@@ -1,0 +1,85 @@
+"""Ablation: the "only consider pairs that perform well" pruning threshold.
+
+Section 3.1 notes that although the throughput matrix grows quadratically with
+job combinations, in practice only combinations that actually perform well
+need to be considered.  This ablation sweeps the pruning threshold on the
+combined normalized throughput of a pair (1.0 = keep any pair that is not
+harmful, 1.3 = keep only clearly beneficial pairs) and reports both the
+average JCT achieved by the SS-aware LAS policy and the number of pair rows
+in the policy's optimization problem.
+
+Expected shape: a moderate threshold (the 1.1 default) keeps almost all of the
+JCT benefit of space sharing while sharply reducing the number of pair rows
+(and therefore LP size) compared to keeping every feasible pair.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from repro.core import build_throughput_matrix
+from repro.harness import format_table, run_policy_on_trace, steady_state_job_ids
+from repro.simulator import SimulatorConfig
+
+_THRESHOLDS = [1.0, 1.1, 1.3]
+
+
+def _run(oracle, bench_cluster, single_worker_generator, colocation_model):
+    trace = single_worker_generator.generate_continuous(
+        num_jobs=scaled(14), jobs_per_hour=4.0, seed=6
+    )
+    window = steady_state_job_ids(trace)
+    results = {}
+    for threshold in _THRESHOLDS:
+        result = run_policy_on_trace(
+            "max_min_fairness_ss",
+            trace,
+            bench_cluster,
+            oracle=oracle,
+            config=SimulatorConfig(colocation_threshold=threshold),
+        )
+        matrix = build_throughput_matrix(
+            list(trace.jobs),
+            oracle,
+            space_sharing=True,
+            colocation_model=colocation_model,
+            colocation_threshold=threshold,
+        )
+        pair_rows = sum(1 for c in matrix.combinations if len(c) == 2)
+        results[threshold] = {
+            "jct": result.average_jct_hours(window),
+            "pair_rows": pair_rows,
+        }
+    no_ss = run_policy_on_trace("max_min_fairness", trace, bench_cluster, oracle=oracle)
+    results["no_ss"] = {"jct": no_ss.average_jct_hours(window), "pair_rows": 0}
+    return results
+
+
+def bench_ablation_colocation_threshold(
+    benchmark, oracle, bench_cluster, single_worker_generator, colocation_model
+):
+    results = benchmark.pedantic(
+        _run,
+        args=(oracle, bench_cluster, single_worker_generator, colocation_model),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [str(key), f"{value['jct']:.1f}", value["pair_rows"]] for key, value in results.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["colocation threshold", "avg JCT (hrs)", "pair rows in T"],
+            rows,
+            title="Ablation: pair-pruning threshold for space-sharing-aware LAS",
+        )
+    )
+    benchmark.extra_info["jct_default_threshold"] = round(results[1.1]["jct"], 2)
+    benchmark.extra_info["jct_no_ss"] = round(results["no_ss"]["jct"], 2)
+
+    # Pruning must shrink the optimization problem...
+    assert results[1.3]["pair_rows"] <= results[1.1]["pair_rows"] <= results[1.0]["pair_rows"]
+    # ...while the default threshold keeps space sharing no worse than
+    # disabling it outright.
+    assert results[1.1]["jct"] <= results["no_ss"]["jct"] * 1.05

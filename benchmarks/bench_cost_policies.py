@@ -1,0 +1,94 @@
+"""§7.3 "Cost": minimize-cost and cost-with-SLO policies on a cloud workload.
+
+The paper runs a 500-job workload of ResNet-50 and A3C jobs (durations 0.5-8
+days, SLOs 1.2x/2x/10x the ideal duration) and reports that the min-cost
+policy reduces total cost ~1.4x versus throughput maximization but violates
+~35% of SLOs, while the SLO-aware variant removes the violations for a small
+cost increase (still ~1.2x cheaper than the baseline).  This benchmark runs a
+scaled-down version of that experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import scaled
+
+from repro.cluster import ClusterSpec
+from repro.harness import format_table, run_policy_on_trace
+from repro.workloads import Job, ThroughputOracle, Trace, TraceGenerator
+
+_POLICIES = {
+    "Max throughput": "max_total_throughput",
+    "Min cost": "min_cost",
+    "Min cost w/ SLOs": "min_cost_slo",
+}
+
+
+def _cost_trace(oracle: ThroughputOracle, num_jobs: int, seed: int = 0) -> Trace:
+    """ResNet-50 and A3C jobs with durations in days and SLO multipliers from the paper."""
+    rng = np.random.default_rng(seed)
+    generator = TraceGenerator(oracle)
+    jobs = []
+    duration_choices_days = [0.02, 0.04, 0.08, 0.16]  # scaled-down "days"
+    slo_multipliers = [1.2, 2.0, 10.0]
+    for job_id in range(num_jobs):
+        job_type = "resnet50-bs64" if job_id % 2 == 0 else "a3c-bs4"
+        duration_seconds = float(rng.choice(duration_choices_days)) * 86_400.0
+        best = max(oracle.throughput(job_type, name) for name in oracle.registry.names)
+        total_steps = duration_seconds * best
+        slo = duration_seconds * float(rng.choice(slo_multipliers))
+        jobs.append(
+            Job(
+                job_id=job_id,
+                job_type=job_type,
+                total_steps=total_steps,
+                arrival_time=0.0,
+                slo_seconds=slo,
+                duration_seconds_on_reference=duration_seconds,
+            )
+        )
+    return Trace.from_jobs(jobs, name="cost-policy-trace")
+
+
+def _run(oracle, bench_cluster):
+    trace = _cost_trace(oracle, num_jobs=scaled(12), seed=0)
+    table = {}
+    for name, policy in _POLICIES.items():
+        result = run_policy_on_trace(policy, trace, bench_cluster, oracle=oracle)
+        table[name] = {
+            "cost": result.total_cost_dollars,
+            "violations": result.slo_violation_rate(),
+            "makespan": result.makespan_hours(),
+        }
+    return table
+
+
+def bench_cost_policies(benchmark, oracle, bench_cluster):
+    table = benchmark.pedantic(_run, args=(oracle, bench_cluster), rounds=1, iterations=1)
+    rows = [
+        [name, f"${values['cost']:.0f}", f"{values['violations'] * 100:.0f}%", f"{values['makespan']:.1f}"]
+        for name, values in table.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["policy", "total cost", "SLO violations", "makespan (hrs)"],
+            rows,
+            title="Section 7.3 (Cost): cost policies on a ResNet-50 + A3C workload",
+        )
+    )
+    cost_reduction = table["Max throughput"]["cost"] / table["Min cost"]["cost"]
+    slo_cost_reduction = table["Max throughput"]["cost"] / table["Min cost w/ SLOs"]["cost"]
+    benchmark.extra_info["min_cost_reduction"] = round(cost_reduction, 3)
+    benchmark.extra_info["min_cost_slo_reduction"] = round(slo_cost_reduction, 3)
+    benchmark.extra_info["min_cost_violationrate"] = round(table["Min cost"]["violations"], 3)
+    benchmark.extra_info["slo_policy_violationrate"] = round(
+        table["Min cost w/ SLOs"]["violations"], 3
+    )
+
+    assert cost_reduction > 1.0, "min-cost must be cheaper than throughput maximization"
+    assert (
+        table["Min cost w/ SLOs"]["violations"] <= table["Min cost"]["violations"]
+    ), "the SLO-aware policy must not violate more SLOs than plain min-cost"
+    assert slo_cost_reduction >= 1.0, "the SLO-aware policy should still be cheaper than the baseline"

@@ -1,0 +1,64 @@
+"""Figure 1: throughput and dollar-normalized throughput across GPU generations.
+
+Reproduces the motivation figure: raw throughput is always highest on the
+V100, but once normalized by the GCP on-demand price the older P100/K80 are
+competitive or better for low-speedup models (e.g. A3C), so the "best" GPU is
+model- and objective-dependent.
+"""
+
+from __future__ import annotations
+
+from repro.harness import format_table
+
+_MODELS = [
+    "transformer-bs64",
+    "a3c-bs4",
+    "cyclegan-bs1",
+    "lstm-bs20",
+    "resnet18-bs64",
+    "resnet50-bs64",
+]
+
+
+def _figure1_rows(oracle):
+    rows = []
+    for job_type in _MODELS:
+        speedups = {
+            name: oracle.single_worker_throughput(job_type, name)
+            / oracle.single_worker_throughput(job_type, "k80")
+            for name in ("v100", "p100", "k80")
+        }
+        per_dollar = {
+            name: oracle.dollar_normalized_throughput(job_type, name) for name in ("v100", "p100", "k80")
+        }
+        best_per_dollar = max(per_dollar, key=per_dollar.get)
+        rows.append(
+            [
+                job_type,
+                f"{speedups['v100']:.1f}x",
+                f"{speedups['p100']:.1f}x",
+                f"{per_dollar['v100'] / per_dollar['k80']:.2f}",
+                f"{per_dollar['p100'] / per_dollar['k80']:.2f}",
+                best_per_dollar,
+            ]
+        )
+    return rows
+
+
+def bench_fig01_throughput_heterogeneity(benchmark, oracle):
+    rows = benchmark.pedantic(_figure1_rows, args=(oracle,), rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["model", "v100/k80 thpt", "p100/k80 thpt", "v100/k80 $-norm", "p100/k80 $-norm", "best $/step"],
+            rows,
+            title="Figure 1: throughput and dollar-normalized throughput vs. GPU generation",
+        )
+    )
+    # Paper shape: ResNet-50 ~10x on V100 while A3C ~2x; the per-dollar winner
+    # is not the V100 for the low-speedup models.
+    by_model = {row[0]: row for row in rows}
+    assert float(by_model["resnet50-bs64"][1][:-1]) > 3 * float(by_model["a3c-bs4"][1][:-1])
+    assert by_model["a3c-bs4"][5] in ("k80", "p100")
+    benchmark.extra_info["resnet50_v100_over_k80"] = by_model["resnet50-bs64"][1]
+    benchmark.extra_info["a3c_v100_over_k80"] = by_model["a3c-bs4"][1]

@@ -1,0 +1,72 @@
+"""Figure 8: LAS policies on the continuous-single trace.
+
+Average JCT versus input job rate for the heterogeneity-agnostic LAS baseline,
+Gavel, Gavel with space sharing, LAS with Gandiva-style packing, and AlloX,
+plus the short/long JCT CDF summary at moderate load.  The reproduced shape:
+the heterogeneity-aware policies sustain higher load and reduce average JCT,
+and Gavel roughly matches AlloX (which explicitly optimizes average JCT).
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from common import average_jct_sweep, jct_cdf_summary, print_sweep
+from repro.harness import format_table
+
+_POLICIES = {
+    "LAS": "max_min_fairness_agnostic",
+    "Gavel": "max_min_fairness",
+    "Gavel w/ SS": "max_min_fairness_ss",
+    "LAS w/ Gandiva SS": "gandiva",
+    "AlloX": "allox",
+}
+_RATES = [1.0, 3.0, 5.0]
+
+
+def _run(oracle, bench_cluster, single_worker_generator):
+    series = average_jct_sweep(
+        _POLICIES,
+        _RATES,
+        single_worker_generator,
+        bench_cluster,
+        oracle,
+        num_jobs=scaled(18),
+        seeds=(0,),
+    )
+    trace = single_worker_generator.generate_continuous(
+        num_jobs=scaled(18), jobs_per_hour=_RATES[1], seed=0
+    )
+    cdfs = jct_cdf_summary(
+        {"LAS": _POLICIES["LAS"], "Gavel": _POLICIES["Gavel"], "Gavel w/ SS": _POLICIES["Gavel w/ SS"]},
+        trace,
+        bench_cluster,
+        oracle,
+    )
+    return series, cdfs
+
+
+def bench_fig08_las_continuous_single(benchmark, oracle, bench_cluster, single_worker_generator):
+    series, cdfs = benchmark.pedantic(
+        _run, args=(oracle, bench_cluster, single_worker_generator), rounds=1, iterations=1
+    )
+    print_sweep("Figure 8a: average JCT vs input job rate (continuous-single)", _RATES, series)
+    rows = [
+        [name, split, f"{stats['p50']:.1f}", f"{stats['p90']:.1f}", f"{stats['p99']:.1f}"]
+        for name, splits in cdfs.items()
+        for split, stats in splits.items()
+    ]
+    print()
+    print(format_table(["policy", "jobs", "p50 JCT", "p90 JCT", "p99 JCT"], rows,
+                       title="Figure 8b: JCT distribution summary (hours)"))
+
+    at_high_load = {name: values[-1] for name, values in series.items()}
+    improvement = at_high_load["LAS"] / at_high_load["Gavel"]
+    benchmark.extra_info["jct_improvement_at_high_load"] = round(improvement, 3)
+    benchmark.extra_info["gavel_vs_allox"] = round(
+        at_high_load["Gavel"] / at_high_load["AlloX"], 3
+    )
+    assert improvement > 1.0, "Gavel should beat heterogeneity-agnostic LAS at high load"
+    assert at_high_load["Gavel w/ SS"] <= at_high_load["LAS w/ Gandiva SS"] * 1.05, (
+        "principled space sharing should not lose to Gandiva's ad-hoc packing"
+    )

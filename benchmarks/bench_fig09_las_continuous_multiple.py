@@ -1,0 +1,46 @@
+"""Figure 9: LAS policies on the continuous-multiple trace (jobs with 1-8 workers).
+
+Same sweep as Figure 8 but ~30% of jobs request multiple workers (the Philly
+proportions).  AlloX is omitted as in the paper's Figure 9 (it only handles
+single-worker jobs).  The reproduced shape: heterogeneity-aware LAS still wins,
+and the space-sharing gain shrinks relative to the single-worker trace because
+distributed jobs cannot be packed.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from common import average_jct_sweep, print_sweep
+
+_POLICIES = {
+    "LAS": "max_min_fairness_agnostic",
+    "Gavel": "max_min_fairness",
+    "Gavel w/ SS": "max_min_fairness_ss",
+    "LAS w/ Gandiva SS": "gandiva",
+}
+_RATES = [0.5, 1.5, 2.5]
+
+
+def _run(oracle, bench_cluster, multi_worker_generator):
+    return average_jct_sweep(
+        _POLICIES,
+        _RATES,
+        multi_worker_generator,
+        bench_cluster,
+        oracle,
+        num_jobs=scaled(16),
+        seeds=(0,),
+    )
+
+
+def bench_fig09_las_continuous_multiple(benchmark, oracle, bench_cluster, multi_worker_generator):
+    series = benchmark.pedantic(
+        _run, args=(oracle, bench_cluster, multi_worker_generator), rounds=1, iterations=1
+    )
+    print_sweep("Figure 9: average JCT vs input job rate (continuous-multiple)", _RATES, series)
+    at_high_load = {name: values[-1] for name, values in series.items()}
+    improvement = at_high_load["LAS"] / at_high_load["Gavel"]
+    benchmark.extra_info["jct_improvement_at_high_load"] = round(improvement, 3)
+    assert improvement > 1.0, "Gavel should beat heterogeneity-agnostic LAS on the multi-worker trace"
+    assert at_high_load["Gavel w/ SS"] <= at_high_load["LAS w/ Gandiva SS"] * 1.05

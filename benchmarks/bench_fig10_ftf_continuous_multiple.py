@@ -1,0 +1,62 @@
+"""Figure 10: finish-time fairness on the continuous-multiple trace.
+
+Heterogeneity-agnostic vs heterogeneity-aware FTF (Themis-style) policies:
+average JCT versus load plus the per-job FTF (rho) distribution.  Reproduced
+shape: the heterogeneity-aware policy reduces both average JCT and average
+finish-time fairness.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from common import average_jct_sweep, print_sweep
+from repro.harness import format_table, run_policy_on_trace, steady_state_job_ids, summarize_cdf
+
+_POLICIES = {"FTF": "finish_time_fairness_agnostic", "Gavel": "finish_time_fairness"}
+_RATES = [0.5, 1.5, 2.5]
+
+
+def _run(oracle, bench_cluster, multi_worker_generator):
+    series = average_jct_sweep(
+        _POLICIES,
+        _RATES,
+        multi_worker_generator,
+        bench_cluster,
+        oracle,
+        num_jobs=scaled(14),
+        seeds=(0,),
+    )
+    trace = multi_worker_generator.generate_continuous(
+        num_jobs=scaled(14), jobs_per_hour=_RATES[1], seed=0
+    )
+    window = steady_state_job_ids(trace)
+    rho_summary = {}
+    rho_mean = {}
+    for name, policy in _POLICIES.items():
+        result = run_policy_on_trace(policy, trace, bench_cluster, oracle=oracle)
+        values = result.finish_time_fairness_values(window)
+        rho_summary[name] = summarize_cdf(values)
+        rho_mean[name] = sum(values) / len(values)
+    return series, rho_summary, rho_mean
+
+
+def bench_fig10_ftf_continuous_multiple(benchmark, oracle, bench_cluster, multi_worker_generator):
+    series, rho_summary, rho_mean = benchmark.pedantic(
+        _run, args=(oracle, bench_cluster, multi_worker_generator), rounds=1, iterations=1
+    )
+    print_sweep("Figure 10a: average JCT vs input job rate (FTF policies)", _RATES, series)
+    rows = [
+        [name, f"{rho_mean[name]:.2f}", f"{stats['p50']:.2f}", f"{stats['p90']:.2f}", f"{stats['p99']:.2f}"]
+        for name, stats in rho_summary.items()
+    ]
+    print()
+    print(format_table(["policy", "mean rho", "p50", "p90", "p99"], rows,
+                       title="Figure 10b: finish-time fairness (rho) distribution"))
+
+    jct_improvement = series["FTF"][-1] / series["Gavel"][-1]
+    ftf_improvement = rho_mean["FTF"] / rho_mean["Gavel"]
+    benchmark.extra_info["jct_improvement"] = round(jct_improvement, 3)
+    benchmark.extra_info["ftf_improvement"] = round(ftf_improvement, 3)
+    assert jct_improvement > 0.95, "heterogeneity-aware FTF should not lose on average JCT"
+    assert ftf_improvement > 0.95, "heterogeneity-aware FTF should not worsen average rho"

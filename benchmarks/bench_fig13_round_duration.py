@@ -1,0 +1,70 @@
+"""Figure 13: effect of the round duration and comparison against the ideal execution.
+
+(a) Average JCT of the heterogeneity-aware LAS policy as the round length
+grows from 6 to 48 minutes: longer rounds give the mechanism fewer chances to
+course-correct, so JCT degrades.
+(b) The 6-minute round mechanism compared against an "ideal" fluid execution
+that gives every job exactly its computed allocation continuously.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from repro.harness import format_series, run_policy_on_trace, steady_state_job_ids
+from repro.simulator import SimulatorConfig
+
+_ROUND_DURATIONS = [360.0, 720.0, 1440.0, 2880.0]
+
+
+def _run(oracle, bench_cluster, single_worker_generator):
+    trace = single_worker_generator.generate_continuous(
+        num_jobs=scaled(18), jobs_per_hour=4.0, seed=2
+    )
+    window = steady_state_job_ids(trace)
+    by_round = {}
+    for duration in _ROUND_DURATIONS:
+        result = run_policy_on_trace(
+            "max_min_fairness",
+            trace,
+            bench_cluster,
+            oracle=oracle,
+            config=SimulatorConfig(round_duration_seconds=duration),
+        )
+        by_round[duration] = result.average_jct_hours(window)
+    ideal = run_policy_on_trace(
+        "max_min_fairness",
+        trace,
+        bench_cluster,
+        oracle=oracle,
+        config=SimulatorConfig(mode="ideal"),
+    ).average_jct_hours(window)
+    return by_round, ideal
+
+
+def bench_fig13_round_duration(benchmark, oracle, bench_cluster, single_worker_generator):
+    by_round, ideal = benchmark.pedantic(
+        _run, args=(oracle, bench_cluster, single_worker_generator), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_series(
+            "Figure 13a: Gavel LAS, avg JCT vs round duration",
+            list(by_round),
+            list(by_round.values()),
+            x_label="round (s)",
+            y_label="avg JCT (hrs)",
+        )
+    )
+    print(
+        f"\nFigure 13b: mechanism (360s rounds) = {by_round[360.0]:.1f} hrs, "
+        f"ideal fluid execution = {ideal:.1f} hrs "
+        f"({by_round[360.0] / ideal:.3f}x)"
+    )
+    benchmark.extra_info["jct_360s_over_ideal"] = round(by_round[360.0] / ideal, 4)
+    benchmark.extra_info["jct_2880s_over_ideal"] = round(by_round[2880.0] / ideal, 4)
+
+    # Shape: the 6-minute round mechanism is close to ideal, and very long
+    # rounds are no better than short ones.
+    assert by_round[360.0] <= ideal * 1.35
+    assert by_round[2880.0] >= by_round[360.0] * 0.9

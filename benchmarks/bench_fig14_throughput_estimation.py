@@ -1,0 +1,67 @@
+"""Figure 14: space-sharing-aware LAS with estimated vs oracle throughputs.
+
+Runs the SS-aware LAS policy on a small heterogeneous cluster three ways:
+with oracle colocated throughputs, with throughputs produced by the
+matrix-completion estimator, and without space sharing at all.  Reproduced
+shape: the estimator costs only a small increase in average JCT relative to
+the oracle, and both space-sharing variants beat the non-SS policy.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from repro.estimator import ThroughputEstimator
+from repro.harness import format_table, run_policy_on_trace, steady_state_job_ids
+from repro.simulator import SimulatorConfig
+from repro.workloads import ColocationModel
+
+
+def _run(oracle, bench_cluster, single_worker_generator, colocation_model):
+    trace = single_worker_generator.generate_continuous(
+        num_jobs=scaled(16), jobs_per_hour=4.0, seed=4
+    )
+    window = steady_state_job_ids(trace)
+    results = {}
+    results["Gavel w/ SS (Oracle)"] = run_policy_on_trace(
+        "max_min_fairness_ss", trace, bench_cluster, oracle=oracle
+    ).average_jct_hours(window)
+    estimator = ThroughputEstimator(colocation_model, profile_fraction=0.3, seed=0)
+    results["Gavel w/ SS (Estimated)"] = run_policy_on_trace(
+        "max_min_fairness_ss",
+        trace,
+        bench_cluster,
+        oracle=oracle,
+        config=SimulatorConfig(estimator=estimator),
+    ).average_jct_hours(window)
+    results["Gavel (no SS)"] = run_policy_on_trace(
+        "max_min_fairness", trace, bench_cluster, oracle=oracle
+    ).average_jct_hours(window)
+    error = estimator.estimation_error(list(trace.job_types())[:6])
+    return results, error
+
+
+def bench_fig14_throughput_estimation(
+    benchmark, oracle, bench_cluster, single_worker_generator, colocation_model
+):
+    results, estimation_error = benchmark.pedantic(
+        _run,
+        args=(oracle, bench_cluster, single_worker_generator, colocation_model),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            ["configuration", "avg JCT (hrs)"],
+            [[name, f"{value:.1f}"] for name, value in results.items()],
+            title="Figure 14: SS-aware LAS with estimated vs oracle throughputs",
+        )
+    )
+    print(f"mean absolute estimation error of retained fractions: {estimation_error:.3f}")
+    penalty = results["Gavel w/ SS (Estimated)"] / results["Gavel w/ SS (Oracle)"]
+    benchmark.extra_info["estimated_over_oracle_jct"] = round(penalty, 3)
+    benchmark.extra_info["estimation_error"] = round(estimation_error, 4)
+
+    assert penalty <= 1.3, "estimated throughputs should cost only a small JCT penalty"
+    assert estimation_error < 0.2

@@ -1,0 +1,57 @@
+"""Figure 15: pairwise colocation performance on a single P100 GPU.
+
+Reproduces the heat-map data: for a representative subset of the Table 2
+models, the combined normalized throughput of each pair when space-shared on
+a P100, with memory-infeasible pairs marked.  Reproduced shape: wide spread
+across pairs (some pairs gain >1.5x, heavy pairs gain nothing or cannot
+colocate at all).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.harness import format_table
+
+_MODELS = [
+    "a3c-bs4",
+    "cyclegan-bs1",
+    "lstm-bs20",
+    "resnet18-bs64",
+    "resnet50-bs64",
+    "transformer-bs64",
+    "recoder-bs2048",
+]
+
+
+def _matrix(colocation_model):
+    names, matrix = colocation_model.normalized_matrix("p100", job_types=_MODELS)
+    return names, matrix
+
+
+def bench_fig15_colocation_matrix(benchmark, colocation_model):
+    names, matrix = benchmark.pedantic(_matrix, args=(colocation_model,), rounds=1, iterations=1)
+    rows = []
+    for i, name in enumerate(names):
+        row = [name]
+        for j in range(len(names)):
+            value = matrix[i, j]
+            row.append("mem" if np.isnan(value) else f"{value:.2f}")
+        rows.append(row)
+    print()
+    print(
+        format_table(
+            ["model"] + [n.split("-")[0] for n in names],
+            rows,
+            title="Figure 15: combined normalized throughput of colocated pairs on a P100",
+        )
+    )
+    finite = matrix[np.isfinite(matrix)]
+    spread = float(finite.max() - finite.min())
+    benchmark.extra_info["max_combined"] = round(float(finite.max()), 3)
+    benchmark.extra_info["min_combined"] = round(float(finite.min()), 3)
+    benchmark.extra_info["num_infeasible_pairs"] = int(np.isnan(matrix).sum())
+
+    assert spread > 0.4, "pairs must differ widely in colocated performance"
+    assert np.isnan(matrix).sum() > 0, "some pairs must not fit in device memory"
+    assert float(finite.max()) > 1.2, "good pairs should beat time slicing"

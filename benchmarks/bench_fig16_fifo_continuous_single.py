@@ -1,0 +1,40 @@
+"""Figure 16: FIFO policies on the continuous-single trace.
+
+Heterogeneity-agnostic FIFO vs Gavel's FIFO vs Gavel's FIFO with space
+sharing.  Reproduced shape: the heterogeneity-aware variants reduce average
+JCT (paper: up to 2.7x, 3.8x with space sharing at high load).
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from common import average_jct_sweep, print_sweep
+
+_POLICIES = {"FIFO": "fifo_agnostic", "Gavel": "fifo", "Gavel w/ SS": "fifo_ss"}
+_RATES = [1.0, 3.0, 5.0]
+
+
+def _run(oracle, bench_cluster, single_worker_generator):
+    return average_jct_sweep(
+        _POLICIES,
+        _RATES,
+        single_worker_generator,
+        bench_cluster,
+        oracle,
+        num_jobs=scaled(16),
+        seeds=(0,),
+    )
+
+
+def bench_fig16_fifo_continuous_single(benchmark, oracle, bench_cluster, single_worker_generator):
+    series = benchmark.pedantic(
+        _run, args=(oracle, bench_cluster, single_worker_generator), rounds=1, iterations=1
+    )
+    print_sweep("Figure 16: FIFO policies, continuous-single trace", _RATES, series)
+    improvement = series["FIFO"][-1] / series["Gavel"][-1]
+    improvement_ss = series["FIFO"][-1] / series["Gavel w/ SS"][-1]
+    benchmark.extra_info["fifo_improvement"] = round(improvement, 3)
+    benchmark.extra_info["fifo_ss_improvement"] = round(improvement_ss, 3)
+    assert improvement > 1.0
+    assert improvement_ss >= improvement * 0.9

@@ -1,0 +1,57 @@
+"""Figure 17: finish-time-fairness policies on the continuous-single trace.
+
+Heterogeneity-agnostic FTF vs Gavel's FTF vs AlloX: average JCT versus load
+and the FTF (rho) distribution.  Reproduced shape: the heterogeneity-aware FTF
+policy improves both metrics; AlloX achieves good average JCT but worse tail
+fairness for long jobs.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from common import average_jct_sweep, print_sweep
+from repro.harness import format_table, run_policy_on_trace, steady_state_job_ids, summarize_cdf
+
+_POLICIES = {
+    "FTF": "finish_time_fairness_agnostic",
+    "Gavel": "finish_time_fairness",
+    "AlloX": "allox",
+}
+_RATES = [1.0, 3.0]
+
+
+def _run(oracle, bench_cluster, single_worker_generator):
+    series = average_jct_sweep(
+        _POLICIES,
+        _RATES,
+        single_worker_generator,
+        bench_cluster,
+        oracle,
+        num_jobs=scaled(14),
+        seeds=(0,),
+    )
+    trace = single_worker_generator.generate_continuous(
+        num_jobs=scaled(14), jobs_per_hour=_RATES[-1], seed=1
+    )
+    window = steady_state_job_ids(trace)
+    rho = {}
+    for name, policy in _POLICIES.items():
+        result = run_policy_on_trace(policy, trace, bench_cluster, oracle=oracle)
+        rho[name] = summarize_cdf(result.finish_time_fairness_values(window))
+    return series, rho
+
+
+def bench_fig17_ftf_continuous_single(benchmark, oracle, bench_cluster, single_worker_generator):
+    series, rho = benchmark.pedantic(
+        _run, args=(oracle, bench_cluster, single_worker_generator), rounds=1, iterations=1
+    )
+    print_sweep("Figure 17a: average JCT vs input job rate (FTF, single-worker)", _RATES, series)
+    rows = [[name, f"{stats['p50']:.2f}", f"{stats['p90']:.2f}", f"{stats['p99']:.2f}"] for name, stats in rho.items()]
+    print()
+    print(format_table(["policy", "rho p50", "rho p90", "rho p99"], rows,
+                       title="Figure 17b: finish-time fairness distribution"))
+    improvement = series["FTF"][-1] / series["Gavel"][-1]
+    benchmark.extra_info["jct_improvement"] = round(improvement, 3)
+    assert improvement > 0.95
+    assert rho["Gavel"]["p90"] <= rho["FTF"]["p90"] * 1.1

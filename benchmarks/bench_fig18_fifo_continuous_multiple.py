@@ -1,0 +1,42 @@
+"""Figure 18: FIFO policies on the continuous-multiple trace.
+
+Same comparison as Figure 16 but with multi-worker jobs.  Reproduced shape:
+the heterogeneity-aware FIFO still wins, and space sharing helps less than on
+the single-worker trace (distributed jobs cannot be packed).
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from common import average_jct_sweep, print_sweep
+
+_POLICIES = {"FIFO": "fifo_agnostic", "Gavel": "fifo", "Gavel w/ SS": "fifo_ss"}
+_RATES = [0.5, 1.5, 2.5]
+
+
+def _run(oracle, bench_cluster, multi_worker_generator):
+    return average_jct_sweep(
+        _POLICIES,
+        _RATES,
+        multi_worker_generator,
+        bench_cluster,
+        oracle,
+        num_jobs=scaled(14),
+        seeds=(0,),
+    )
+
+
+def bench_fig18_fifo_continuous_multiple(benchmark, oracle, bench_cluster, multi_worker_generator):
+    series = benchmark.pedantic(
+        _run, args=(oracle, bench_cluster, multi_worker_generator), rounds=1, iterations=1
+    )
+    print_sweep("Figure 18: FIFO policies, continuous-multiple trace", _RATES, series)
+    improvement = series["FIFO"][-1] / series["Gavel"][-1]
+    ss_gain_multi = series["Gavel"][-1] / series["Gavel w/ SS"][-1]
+    benchmark.extra_info["fifo_improvement"] = round(improvement, 3)
+    benchmark.extra_info["space_sharing_gain"] = round(ss_gain_multi, 3)
+    assert improvement > 1.0
+    # Space sharing gain exists but is modest on the multi-worker trace
+    # (paper: 1.1x vs 1.4x on the single-worker trace).
+    assert ss_gain_multi >= 0.9

@@ -1,0 +1,59 @@
+"""Figure 19: makespan versus number of jobs on the static-multiple trace.
+
+Compares a heterogeneity-agnostic FIFO baseline, Gandiva-style packing,
+Gavel's heterogeneity-aware makespan policy, and the makespan policy with
+space sharing as the batch size grows.  Reproduced shape: Gavel reduces
+makespan versus FIFO (paper: 2.5x) and versus Gandiva (paper: 1.4x), and
+space sharing shaves off a further few percent for large batches.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from common import compare_policies_on_trace
+from repro.harness import format_table, speedup
+
+_POLICIES = {
+    "FIFO": "fifo_agnostic",
+    "Gandiva": "gandiva",
+    "Gavel": "makespan",
+    "Gavel w/ SS": "makespan_ss",
+}
+_NUM_JOBS = [scaled(8), scaled(16), scaled(24)]
+
+
+def _run(oracle, bench_cluster, multi_worker_generator):
+    makespans = {name: [] for name in _POLICIES}
+    for num_jobs in _NUM_JOBS:
+        trace = multi_worker_generator.generate_static(num_jobs=num_jobs, seed=1)
+        results = compare_policies_on_trace(_POLICIES, trace, bench_cluster, oracle)
+        for name, result in results.items():
+            makespans[name].append(result.makespan_hours())
+    return makespans
+
+
+def bench_fig19_makespan(benchmark, oracle, bench_cluster, multi_worker_generator):
+    makespans = benchmark.pedantic(
+        _run, args=(oracle, bench_cluster, multi_worker_generator), rounds=1, iterations=1
+    )
+    rows = [
+        [name] + [f"{value:.1f}" for value in values] for name, values in makespans.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["policy"] + [f"{n} jobs" for n in _NUM_JOBS],
+            rows,
+            title="Figure 19: makespan (hours) vs number of jobs, static-multiple trace",
+        )
+    )
+    fifo_speedup = speedup(makespans["FIFO"][-1], makespans["Gavel"][-1])
+    gandiva_speedup = speedup(makespans["Gandiva"][-1], makespans["Gavel"][-1])
+    ss_gain = speedup(makespans["Gavel"][-1], makespans["Gavel w/ SS"][-1])
+    benchmark.extra_info["makespan_vs_fifo"] = round(fifo_speedup, 3)
+    benchmark.extra_info["makespan_vs_gandiva"] = round(gandiva_speedup, 3)
+    benchmark.extra_info["space_sharing_gain"] = round(ss_gain, 3)
+
+    assert fifo_speedup > 1.0, "heterogeneity-aware makespan should beat FIFO"
+    assert gandiva_speedup > 0.95, "heterogeneity-aware makespan should not lose to Gandiva"

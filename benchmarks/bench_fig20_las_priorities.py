@@ -1,0 +1,61 @@
+"""Figure 20: LAS with job priorities on the continuous-multiple trace.
+
+20% of jobs are high priority (weight 5).  Reproduced shape: Gavel reduces the
+average JCT of both priority classes relative to the heterogeneity-agnostic
+LAS policy, and high-priority jobs finish faster than low-priority jobs under
+both systems.
+"""
+
+from __future__ import annotations
+
+from conftest import scaled
+
+from repro.harness import format_table, run_policy_on_trace, steady_state_job_ids
+from repro.workloads import TraceGenerator
+
+_POLICIES = {"LAS": "max_min_fairness_agnostic", "Gavel": "max_min_fairness"}
+
+
+def _run(oracle, bench_cluster, multi_worker_generator):
+    trace = multi_worker_generator.generate_continuous(
+        num_jobs=scaled(18), jobs_per_hour=2.0, seed=3
+    )
+    trace = TraceGenerator.assign_priorities(trace, high_priority_fraction=0.2, high_weight=5.0, seed=3)
+    window = set(steady_state_job_ids(trace))
+    high = [job.job_id for job in trace if job.priority_weight > 1.0 and job.job_id in window]
+    low = [job.job_id for job in trace if job.priority_weight == 1.0 and job.job_id in window]
+    table = {}
+    for name, policy in _POLICIES.items():
+        result = run_policy_on_trace(policy, trace, bench_cluster, oracle=oracle)
+        table[name] = {
+            "high": result.average_jct_hours(high) if high else float("nan"),
+            "low": result.average_jct_hours(low) if low else float("nan"),
+        }
+    return table
+
+
+def bench_fig20_las_priorities(benchmark, oracle, bench_cluster, multi_worker_generator):
+    table = benchmark.pedantic(
+        _run, args=(oracle, bench_cluster, multi_worker_generator), rounds=1, iterations=1
+    )
+    rows = [
+        [name, f"{values['high']:.1f}", f"{values['low']:.1f}"] for name, values in table.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["policy", "avg JCT high-priority (hrs)", "avg JCT low-priority (hrs)"],
+            rows,
+            title="Figure 20: LAS with 20% high-priority jobs",
+        )
+    )
+    high_improvement = table["LAS"]["high"] / table["Gavel"]["high"]
+    low_improvement = table["LAS"]["low"] / table["Gavel"]["low"]
+    benchmark.extra_info["high_priority_improvement"] = round(high_improvement, 3)
+    benchmark.extra_info["low_priority_improvement"] = round(low_improvement, 3)
+
+    assert high_improvement > 0.95, "Gavel should not hurt high-priority jobs"
+    assert low_improvement > 0.95, "Gavel should not hurt low-priority jobs"
+    assert table["Gavel"]["high"] <= table["Gavel"]["low"] * 1.1, (
+        "high-priority jobs should finish no slower than low-priority jobs under Gavel"
+    )

@@ -1,0 +1,92 @@
+"""Shared experiment-shaped helpers used by the figure benchmarks."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.cluster import ClusterSpec
+from repro.core.policy import Policy
+from repro.harness import (
+    format_series,
+    format_table,
+    run_policy_on_trace,
+    steady_state_job_ids,
+    summarize_cdf,
+)
+from repro.simulator import SimulationResult, SimulatorConfig
+from repro.workloads import ThroughputOracle, Trace, TraceGenerator
+
+__all__ = ["average_jct_sweep", "jct_cdf_summary", "print_sweep", "compare_policies_on_trace"]
+
+
+def average_jct_sweep(
+    policies: Mapping[str, "Policy | str"],
+    rates: Sequence[float],
+    generator: TraceGenerator,
+    cluster: ClusterSpec,
+    oracle: ThroughputOracle,
+    num_jobs: int,
+    seeds: Sequence[int] = (0,),
+    config: Optional[SimulatorConfig] = None,
+    metric: str = "average_jct_hours",
+) -> Dict[str, List[float]]:
+    """Average JCT (hours) per policy per input job rate — the Fig. 8/9/10/16-18 shape."""
+    series: Dict[str, List[float]] = {name: [] for name in policies}
+    for rate in rates:
+        traces = [
+            generator.generate_continuous(num_jobs=num_jobs, jobs_per_hour=rate, seed=seed)
+            for seed in seeds
+        ]
+        for name, policy in policies.items():
+            values = []
+            for trace in traces:
+                result = run_policy_on_trace(policy, trace, cluster, oracle=oracle, config=config)
+                window = steady_state_job_ids(trace)
+                if metric == "average_jct_hours":
+                    values.append(result.average_jct_hours(window))
+                else:
+                    values.append(result.average_finish_time_fairness(window))
+            series[name].append(sum(values) / len(values))
+    return series
+
+
+def jct_cdf_summary(
+    policies: Mapping[str, "Policy | str"],
+    trace: Trace,
+    cluster: ClusterSpec,
+    oracle: ThroughputOracle,
+    config: Optional[SimulatorConfig] = None,
+) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Short-job / long-job JCT percentile summaries (the CDF panels of Figs. 8-10)."""
+    summary: Dict[str, Dict[str, Dict[str, float]]] = {}
+    window = steady_state_job_ids(trace)
+    for name, policy in policies.items():
+        result = run_policy_on_trace(policy, trace, cluster, oracle=oracle, config=config)
+        short, long = result.split_short_long(window)
+        summary[name] = {
+            "short": summarize_cdf(result.jcts_hours(short)),
+            "long": summarize_cdf(result.jcts_hours(long)),
+        }
+    return summary
+
+
+def compare_policies_on_trace(
+    policies: Mapping[str, "Policy | str"],
+    trace: Trace,
+    cluster: ClusterSpec,
+    oracle: ThroughputOracle,
+    config: Optional[SimulatorConfig] = None,
+) -> Dict[str, SimulationResult]:
+    """Run every policy on the same trace and return the results keyed by name."""
+    return {
+        name: run_policy_on_trace(policy, trace, cluster, oracle=oracle, config=config)
+        for name, policy in policies.items()
+    }
+
+
+def print_sweep(title: str, rates: Sequence[float], series: Mapping[str, Sequence[float]]) -> None:
+    """Print an average-JCT-vs-load sweep as the paper's figure series."""
+    print()
+    print(f"=== {title} ===")
+    for name, values in series.items():
+        print(format_series(name, rates, values, x_label="jobs/hr", y_label="avg JCT (hrs)"))

@@ -1,0 +1,70 @@
+"""Shared fixtures and helpers for the figure/table reproduction benchmarks.
+
+Every benchmark regenerates one table or figure from the paper's evaluation
+(Section 7 and Appendix A.2) on a *scaled-down* cluster and trace so the whole
+suite completes in minutes on a laptop.  The scale factor can be raised with
+the ``REPRO_BENCH_SCALE`` environment variable (1 = default laptop scale,
+larger values move towards the paper's cluster sizes and job counts).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` flag shows the reproduced rows/series; each benchmark also stores
+its headline numbers in ``benchmark.extra_info`` so they appear in the
+pytest-benchmark JSON output.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.workloads import ColocationModel, ThroughputOracle, TraceGenerator, TraceGeneratorConfig
+
+#: Scale factor for cluster sizes and job counts (1 = fast laptop defaults).
+BENCH_SCALE = max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+
+
+def scaled(value: int) -> int:
+    """Scale a job count / cluster size by ``REPRO_BENCH_SCALE``."""
+    return int(value * BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def oracle():
+    return ThroughputOracle()
+
+
+@pytest.fixture(scope="session")
+def colocation_model(oracle):
+    return ColocationModel(oracle)
+
+
+@pytest.fixture(scope="session")
+def bench_cluster(oracle):
+    """Scaled-down heterogeneous cluster (paper: 36/36/36 for simulations)."""
+    per_type = scaled(2)
+    return ClusterSpec.from_counts(
+        {"v100": per_type, "p100": per_type, "k80": per_type}, registry=oracle.registry
+    )
+
+
+@pytest.fixture(scope="session")
+def physical_cluster(oracle):
+    """Scaled-down version of the paper's 48-GPU physical cluster (8/16/24)."""
+    return ClusterSpec.from_counts(
+        {"v100": scaled(1), "p100": scaled(2), "k80": scaled(3)}, registry=oracle.registry
+    )
+
+
+@pytest.fixture(scope="session")
+def single_worker_generator(oracle):
+    return TraceGenerator(oracle)
+
+
+@pytest.fixture(scope="session")
+def multi_worker_generator(oracle):
+    return TraceGenerator(oracle, config=TraceGeneratorConfig(multi_worker=True))

@@ -1,0 +1,88 @@
+"""Reproduction of Gavel: heterogeneity-aware cluster scheduling for DNN training.
+
+The public API re-exports the most commonly used pieces; see the subpackages
+for the full surface:
+
+* :mod:`repro.cluster` — accelerator types, cluster specs, topology, placement;
+* :mod:`repro.workloads` — jobs, the Table 2 workload, throughput oracles, traces;
+* :mod:`repro.core` — allocation matrices and every scheduling policy;
+* :mod:`repro.scheduler` — the round-based scheduling mechanism;
+* :mod:`repro.simulator` — the cluster simulator and its metrics;
+* :mod:`repro.estimator` — the matrix-completion throughput estimator;
+* :mod:`repro.harness` — experiment sweeps and reporting.
+"""
+
+from repro.cluster import AcceleratorRegistry, AcceleratorType, ClusterSpec, default_registry
+from repro.core import (
+    Allocation,
+    EntitySpec,
+    FifoPolicy,
+    FinishTimeFairnessPolicy,
+    HierarchicalPolicy,
+    MakespanPolicy,
+    MaxMinFairnessPolicy,
+    MinCostPolicy,
+    MinCostWithSLOsPolicy,
+    Policy,
+    PolicyProblem,
+    ThroughputMatrix,
+    available_policies,
+    build_throughput_matrix,
+    effective_throughput,
+    make_policy,
+)
+from repro.estimator import ThroughputEstimator
+from repro.harness import run_load_sweep, run_policy_on_trace
+from repro.simulator import SimulationResult, Simulator, SimulatorConfig
+from repro.workloads import (
+    ColocationModel,
+    Job,
+    ThroughputOracle,
+    Trace,
+    TraceGenerator,
+    TraceGeneratorConfig,
+    default_job_type_table,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # cluster
+    "AcceleratorType",
+    "AcceleratorRegistry",
+    "ClusterSpec",
+    "default_registry",
+    # workloads
+    "Job",
+    "ThroughputOracle",
+    "ColocationModel",
+    "Trace",
+    "TraceGenerator",
+    "TraceGeneratorConfig",
+    "default_job_type_table",
+    # core
+    "Policy",
+    "PolicyProblem",
+    "Allocation",
+    "ThroughputMatrix",
+    "build_throughput_matrix",
+    "effective_throughput",
+    "MaxMinFairnessPolicy",
+    "FifoPolicy",
+    "MakespanPolicy",
+    "FinishTimeFairnessPolicy",
+    "MinCostPolicy",
+    "MinCostWithSLOsPolicy",
+    "HierarchicalPolicy",
+    "EntitySpec",
+    "make_policy",
+    "available_policies",
+    # simulator / estimator / harness
+    "Simulator",
+    "SimulatorConfig",
+    "SimulationResult",
+    "ThroughputEstimator",
+    "run_policy_on_trace",
+    "run_load_sweep",
+]

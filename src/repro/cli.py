@@ -1,0 +1,167 @@
+"""Command-line interface for running scheduling experiments.
+
+Three sub-commands cover the common workflows:
+
+* ``policies`` — list every policy name the registry knows;
+* ``simulate`` — generate a synthetic trace and simulate it under one policy,
+  printing the headline metrics (average JCT, makespan, cost, utilization);
+* ``sweep`` — run the average-JCT-versus-load sweep used by the paper's
+  figures for one or more policies.
+
+Examples::
+
+    gavel-repro policies
+    gavel-repro simulate --policy max_min_fairness --num-jobs 30 --jobs-per-hour 4
+    gavel-repro sweep --policies max_min_fairness_agnostic,max_min_fairness \
+        --rates 1,3,5 --num-jobs 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster import ClusterSpec
+from repro.core import available_policies, make_policy
+from repro.harness import format_series, format_table, run_policy_on_trace, steady_state_job_ids
+from repro.simulator import SimulatorConfig
+from repro.workloads import ThroughputOracle, TraceGenerator, TraceGeneratorConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def _parse_cluster(text: str) -> Dict[str, int]:
+    """Parse ``"v100=2,p100=2,k80=2"`` into a counts mapping."""
+    counts: Dict[str, int] = {}
+    for part in text.split(","):
+        if not part:
+            continue
+        name, _, value = part.partition("=")
+        if not value:
+            raise argparse.ArgumentTypeError(
+                f"cluster spec entries must look like name=count, got {part!r}"
+            )
+        counts[name.strip()] = int(value)
+    if not counts:
+        raise argparse.ArgumentTypeError("cluster spec must name at least one accelerator type")
+    return counts
+
+
+def _parse_floats(text: str) -> List[float]:
+    return [float(part) for part in text.split(",") if part]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="gavel-repro",
+        description="Run Gavel-reproduction scheduling experiments from the command line.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("policies", help="list available policy names")
+
+    simulate = subparsers.add_parser("simulate", help="simulate one trace under one policy")
+    simulate.add_argument("--policy", required=True, help="policy registry name")
+    simulate.add_argument("--num-jobs", type=int, default=20)
+    simulate.add_argument("--jobs-per-hour", type=float, default=None,
+                          help="Poisson arrival rate; omit for a static (all at t=0) trace")
+    simulate.add_argument("--cluster", type=_parse_cluster, default="v100=2,p100=2,k80=2",
+                          help="cluster spec, e.g. v100=2,p100=2,k80=2")
+    simulate.add_argument("--multi-worker", action="store_true",
+                          help="sample multi-worker scale factors (Philly proportions)")
+    simulate.add_argument("--round-duration", type=float, default=360.0,
+                          help="scheduling round length in seconds")
+    simulate.add_argument("--mode", choices=["round", "ideal", "physical"], default="round")
+    simulate.add_argument("--seed", type=int, default=0)
+
+    sweep = subparsers.add_parser("sweep", help="average JCT versus input job rate")
+    sweep.add_argument("--policies", required=True,
+                       help="comma-separated policy registry names")
+    sweep.add_argument("--rates", type=_parse_floats, default="1,3,5",
+                       help="comma-separated input job rates (jobs/hour)")
+    sweep.add_argument("--num-jobs", type=int, default=20)
+    sweep.add_argument("--cluster", type=_parse_cluster, default="v100=2,p100=2,k80=2")
+    sweep.add_argument("--multi-worker", action="store_true")
+    sweep.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _make_generator(oracle: ThroughputOracle, multi_worker: bool) -> TraceGenerator:
+    return TraceGenerator(oracle, config=TraceGeneratorConfig(multi_worker=multi_worker))
+
+
+def _command_policies() -> int:
+    for name in available_policies():
+        print(name)
+    return 0
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    oracle = ThroughputOracle()
+    cluster_counts = args.cluster if isinstance(args.cluster, dict) else _parse_cluster(args.cluster)
+    cluster = ClusterSpec.from_counts(cluster_counts, registry=oracle.registry)
+    generator = _make_generator(oracle, args.multi_worker)
+    if args.jobs_per_hour is None:
+        trace = generator.generate_static(num_jobs=args.num_jobs, seed=args.seed)
+    else:
+        trace = generator.generate_continuous(
+            num_jobs=args.num_jobs, jobs_per_hour=args.jobs_per_hour, seed=args.seed
+        )
+    config = SimulatorConfig(round_duration_seconds=args.round_duration, mode=args.mode, seed=args.seed)
+    result = run_policy_on_trace(make_policy(args.policy), trace, cluster, oracle=oracle, config=config)
+    window = steady_state_job_ids(trace) if not trace.is_static() else None
+    rows = [
+        ["policy", result.policy_name],
+        ["trace", trace.name],
+        ["cluster", str(cluster)],
+        ["completed jobs", f"{len(result.completed_job_ids())}/{len(trace)}"],
+        ["average JCT (hrs)", f"{result.average_jct_hours(window):.2f}"],
+        ["makespan (hrs)", f"{result.makespan_hours():.2f}"],
+        ["total cost ($)", f"{result.total_cost_dollars:.0f}"],
+        ["cluster utilization", f"{result.utilization() * 100:.1f}%"],
+        ["SLO violation rate", f"{result.slo_violation_rate() * 100:.1f}%"],
+        ["scheduling rounds", result.num_rounds],
+        ["policy recomputations", result.num_policy_recomputations],
+        ["policy compute time (s)", f"{result.policy_compute_seconds:.2f}"],
+    ]
+    print(format_table(["metric", "value"], rows, title="Simulation summary"))
+    return 0
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    oracle = ThroughputOracle()
+    cluster_counts = args.cluster if isinstance(args.cluster, dict) else _parse_cluster(args.cluster)
+    cluster = ClusterSpec.from_counts(cluster_counts, registry=oracle.registry)
+    generator = _make_generator(oracle, args.multi_worker)
+    rates = args.rates if isinstance(args.rates, list) else _parse_floats(args.rates)
+    policy_names = [name for name in args.policies.split(",") if name]
+    for name in policy_names:
+        values = []
+        for rate in rates:
+            trace = generator.generate_continuous(
+                num_jobs=args.num_jobs, jobs_per_hour=rate, seed=args.seed
+            )
+            result = run_policy_on_trace(make_policy(name), trace, cluster, oracle=oracle)
+            values.append(result.average_jct_hours(steady_state_job_ids(trace)))
+        print(format_series(name, rates, values, x_label="jobs/hr", y_label="avg JCT (hrs)"))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "policies":
+        return _command_policies()
+    if args.command == "simulate":
+        return _command_simulate(args)
+    if args.command == "sweep":
+        return _command_sweep(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

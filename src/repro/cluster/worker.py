@@ -1,0 +1,128 @@
+"""Physical topology: servers and workers.
+
+The scheduling mechanism places job combinations on concrete workers.  A
+*worker* is a single accelerator; a *server* groups several workers of the
+same accelerator type (e.g. an 8-GPU machine).  Placement sensitivity
+(Section 3.1) distinguishes consolidated placements — all workers of a
+distributed job on as few servers as possible — from unconsolidated ones.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cluster.accelerators import AcceleratorRegistry, AcceleratorType, default_registry
+from repro.cluster.cluster_spec import ClusterSpec
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Worker", "Server", "ClusterTopology"]
+
+
+@dataclass(frozen=True, order=True)
+class Worker:
+    """A single accelerator device attached to a server."""
+
+    worker_id: int
+    accelerator_type: AcceleratorType
+    server_id: int
+
+    def __str__(self) -> str:
+        return f"worker{self.worker_id}({self.accelerator_type.name}@server{self.server_id})"
+
+
+@dataclass(frozen=True)
+class Server:
+    """A physical machine hosting one or more workers of a single type."""
+
+    server_id: int
+    accelerator_type: AcceleratorType
+    worker_ids: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.worker_ids:
+            raise ConfigurationError(f"server {self.server_id} has no workers")
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.worker_ids)
+
+
+class ClusterTopology:
+    """Concrete servers and workers realising a :class:`ClusterSpec`.
+
+    Workers are numbered densely starting at zero, grouped by accelerator type
+    in registry order, and packed onto servers of ``workers_per_server``
+    devices each (the last server of a type may be partially filled).
+    """
+
+    def __init__(self, spec: ClusterSpec, workers_per_server: int = 4):
+        if workers_per_server <= 0:
+            raise ConfigurationError(
+                f"workers_per_server must be positive, got {workers_per_server}"
+            )
+        self._spec = spec
+        self._workers_per_server = workers_per_server
+        self._workers: List[Worker] = []
+        self._servers: List[Server] = []
+        self._workers_by_type: Dict[str, List[Worker]] = {name: [] for name in spec.registry.names}
+        self._build()
+
+    def _build(self) -> None:
+        worker_id = itertools.count()
+        server_id = itertools.count()
+        for accelerator in self._spec.registry.types:
+            remaining = self._spec.count(accelerator)
+            while remaining > 0:
+                batch = min(remaining, self._workers_per_server)
+                sid = next(server_id)
+                ids = tuple(next(worker_id) for _ in range(batch))
+                server = Server(server_id=sid, accelerator_type=accelerator, worker_ids=ids)
+                self._servers.append(server)
+                for wid in ids:
+                    worker = Worker(worker_id=wid, accelerator_type=accelerator, server_id=sid)
+                    self._workers.append(worker)
+                    self._workers_by_type[accelerator.name].append(worker)
+                remaining -= batch
+
+    # -- queries --------------------------------------------------------------
+    @property
+    def spec(self) -> ClusterSpec:
+        return self._spec
+
+    @property
+    def workers_per_server(self) -> int:
+        return self._workers_per_server
+
+    @property
+    def workers(self) -> Tuple[Worker, ...]:
+        return tuple(self._workers)
+
+    @property
+    def servers(self) -> Tuple[Server, ...]:
+        return tuple(self._servers)
+
+    def workers_of_type(self, accelerator: "AcceleratorType | str") -> Tuple[Worker, ...]:
+        name = accelerator.name if isinstance(accelerator, AcceleratorType) else accelerator
+        if name not in self._workers_by_type:
+            raise ConfigurationError(f"unknown accelerator type {name!r}")
+        return tuple(self._workers_by_type[name])
+
+    def servers_of_type(self, accelerator: "AcceleratorType | str") -> Tuple[Server, ...]:
+        name = accelerator.name if isinstance(accelerator, AcceleratorType) else accelerator
+        return tuple(s for s in self._servers if s.accelerator_type.name == name)
+
+    def worker(self, worker_id: int) -> Worker:
+        if worker_id < 0 or worker_id >= len(self._workers):
+            raise ConfigurationError(f"unknown worker id {worker_id}")
+        return self._workers[worker_id]
+
+    def num_workers(self) -> int:
+        return len(self._workers)
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterTopology(spec={self._spec}, "
+            f"workers_per_server={self._workers_per_server})"
+        )

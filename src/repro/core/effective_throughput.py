@@ -1,0 +1,99 @@
+"""Effective throughput and the reference allocations used to normalize it.
+
+``throughput(m, X)`` — the *effective throughput* of job ``m`` under
+allocation ``X`` — is the time-weighted average throughput over every
+(combination, accelerator type) the job runs in:
+
+    throughput(m, X) = sum_{k: m in k} sum_j T[k, j, m] * X[k, j]
+
+Policies normalize this quantity against reference allocations:
+
+* ``X^equal`` — the job runs all the time, spread over accelerator types in
+  proportion to their counts (Section 4.1's fairness normalizer);
+* ``X^isolated`` — the job receives a dedicated 1/n share of the cluster
+  (finish-time fairness, Section 4.2);
+* ``X^fastest`` — the job runs exclusively on its fastest accelerator type
+  (FIFO, Section 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.cluster_spec import ClusterSpec
+from repro.core.allocation import Allocation
+from repro.core.throughput_matrix import ThroughputMatrix
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "effective_throughput",
+    "equal_share_reference_throughput",
+    "isolated_reference_throughput",
+    "fastest_reference_throughput",
+]
+
+
+def effective_throughput(matrix: ThroughputMatrix, allocation: Allocation, job_id: int) -> float:
+    """Effective throughput of ``job_id`` under ``allocation`` (steps/second).
+
+    Rows of the throughput matrix that the allocation does not cover (for
+    example pair rows when the allocation was computed without space sharing)
+    contribute nothing.
+    """
+    total = 0.0
+    for combination, position in matrix.rows_containing(job_id):
+        if not allocation.has_row(combination):
+            continue
+        row = matrix.row(combination)[position]
+        total += float(np.dot(row, allocation.row(combination)))
+    return total
+
+
+def equal_share_reference_throughput(
+    matrix: ThroughputMatrix, cluster_spec: ClusterSpec, job_id: int
+) -> float:
+    """``throughput(m, X^equal_m)``: time split across types proportionally to their counts.
+
+    With one V100 and one K80, ``X^equal = [0.5, 0.5]``; in general the
+    fraction of time on type ``j`` is ``num_workers_j / total_workers``.  Only
+    the job's own singleton (isolated) throughputs are used.
+    """
+    counts = cluster_spec.counts_vector()
+    total_workers = counts.sum()
+    if total_workers <= 0:
+        raise ConfigurationError("cluster has no workers")
+    reference = counts / total_workers
+    return float(np.dot(matrix.isolated_throughputs(job_id), reference))
+
+
+def isolated_reference_throughput(
+    matrix: ThroughputMatrix,
+    cluster_spec: ClusterSpec,
+    job_id: int,
+    num_jobs: int,
+    scale_factor: int = 1,
+) -> float:
+    """``throughput(m, X^isolated)``: a dedicated 1/n slice of the cluster.
+
+    A job that needs ``scale_factor`` workers at a time can turn a slice of
+    ``num_workers_j / n`` devices of type ``j`` into a time fraction of
+    ``num_workers_j / (n * scale_factor)`` on that type; the total time
+    fraction is capped at 1 (a job cannot run more than all of the time).
+    """
+    if num_jobs <= 0:
+        raise ConfigurationError(f"num_jobs must be positive, got {num_jobs}")
+    if scale_factor <= 0:
+        raise ConfigurationError(f"scale_factor must be positive, got {scale_factor}")
+    counts = cluster_spec.counts_vector()
+    fractions = counts / (num_jobs * scale_factor)
+    total = fractions.sum()
+    if total > 1.0:
+        fractions = fractions / total
+    return float(np.dot(matrix.isolated_throughputs(job_id), fractions))
+
+
+def fastest_reference_throughput(matrix: ThroughputMatrix, job_id: int) -> float:
+    """``throughput(m, X^fastest)``: run 100% of the time on the fastest type."""
+    return float(matrix.isolated_throughputs(job_id).max())

@@ -1,0 +1,133 @@
+"""Finish-time fairness (Themis) policy — Section 4.2.
+
+Themis defines the finish-time-fairness metric
+
+    rho(m, X) = (t_m + num_steps_m / throughput(m, X))
+                / (t_m^isolated + num_steps_m / throughput(m, X^isolated))
+
+and the policy minimizes ``max_m rho(m, X)``.  The numerator contains
+``1 / throughput(m, X)``, so the problem is not linear; like the makespan
+policy we binary-search the smallest achievable ``rho`` and solve a
+feasibility LP at each candidate:
+
+    rho is achievable  <=>  exists valid X with, for every job m,
+        throughput(m, X) >= num_steps_m / (rho * D_m - t_m)
+    where D_m is the (constant) isolated finish time in the denominator.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro.core.allocation import Allocation
+from repro.core.effective_throughput import (
+    fastest_reference_throughput,
+    isolated_reference_throughput,
+)
+from repro.core.policy import AllocationVariables, Policy
+from repro.core.problem import PolicyProblem
+from repro.exceptions import InfeasibleError, SolverError
+from repro.solver.bisection import bisect_min_feasible
+from repro.solver.lp import LinearExpression, LinearProgram
+
+__all__ = ["FinishTimeFairnessPolicy", "finish_time_fairness_rho"]
+
+
+def finish_time_fairness_rho(
+    elapsed: float,
+    remaining_steps: float,
+    achieved_throughput: float,
+    isolated_throughput: float,
+    isolated_elapsed: Optional[float] = None,
+) -> float:
+    """Compute the Themis rho metric for one job.
+
+    Args:
+        elapsed: Wall-clock seconds since the job arrived (``t_m``).
+        remaining_steps: Steps left to train.
+        achieved_throughput: Effective throughput under the evaluated allocation.
+        isolated_throughput: Throughput under the isolated 1/n allocation.
+        isolated_elapsed: ``t_m^isolated``; defaults to ``elapsed``.
+    """
+    isolated_elapsed = elapsed if isolated_elapsed is None else isolated_elapsed
+    if isolated_throughput <= 0:
+        return math.inf
+    denominator = isolated_elapsed + remaining_steps / isolated_throughput
+    if achieved_throughput <= 0:
+        return math.inf
+    numerator = elapsed + remaining_steps / achieved_throughput
+    return numerator / denominator
+
+
+class FinishTimeFairnessPolicy(Policy):
+    """Minimize the maximum finish-time-fairness rho across jobs."""
+
+    name = "finish_time_fairness"
+
+    def __init__(
+        self,
+        heterogeneity_agnostic: bool = False,
+        space_sharing: bool = False,
+        relative_tolerance: float = 1e-2,
+        max_rho: float = 64.0,
+    ):
+        super().__init__(heterogeneity_agnostic=heterogeneity_agnostic, space_sharing=space_sharing)
+        self._relative_tolerance = relative_tolerance
+        self._max_rho = max_rho
+
+    def compute_allocation(self, problem: PolicyProblem) -> Allocation:
+        matrix = self.effective_matrix(problem)
+        num_jobs = problem.num_jobs
+
+        isolated_finish_times: Dict[int, float] = {}
+        for job_id in problem.job_ids:
+            isolated = isolated_reference_throughput(
+                matrix,
+                problem.cluster_spec,
+                job_id,
+                num_jobs=num_jobs,
+                scale_factor=problem.scale_factor(job_id),
+            )
+            if isolated <= 0:
+                raise InfeasibleError(
+                    f"job {job_id} has zero isolated throughput; rho is undefined"
+                )
+            isolated_finish_times[job_id] = (
+                problem.elapsed(job_id) + problem.remaining_steps(job_id) / isolated
+            )
+
+        def feasible_allocation(rho: float) -> Optional[Allocation]:
+            program = LinearProgram(name=f"{self.display_name}[rho={rho:.3g}]")
+            variables = AllocationVariables(problem, matrix, program)
+            total = LinearExpression()
+            for job_id in problem.job_ids:
+                elapsed = problem.elapsed(job_id)
+                steps = problem.remaining_steps(job_id)
+                budget = rho * isolated_finish_times[job_id] - elapsed
+                throughput = variables.effective_throughput_expression(job_id)
+                if budget <= 0:
+                    # This job can no longer achieve the candidate rho at all.
+                    return None
+                program.add_greater_equal(throughput, steps / budget)
+                total = total + throughput
+            program.maximize(total)
+            try:
+                solution = program.solve()
+            except (InfeasibleError, SolverError):
+                return None
+            return variables.extract_allocation(solution)
+
+        # The sharing-incentive property guarantees rho <= 1 is not always
+        # achievable but rho achieved by the isolated allocation (== 1 by
+        # definition, modulo elapsed-time skew) always is; search up to a
+        # generous ceiling to accommodate overloaded clusters.
+        lower = 1e-3
+        upper = self._max_rho
+        result = bisect_min_feasible(
+            feasible_allocation,
+            lower=lower,
+            upper=upper,
+            relative_tolerance=self._relative_tolerance,
+        )
+        return result.witness

@@ -1,0 +1,160 @@
+"""Hierarchical (multi-level) scheduling policies — Section 4.3.
+
+An organization shares the cluster among *entities* (teams) using weighted
+fairness; each entity shares its slice among its own jobs using either
+fairness or FIFO.  The allocation is computed with the water-filling
+procedure of :mod:`repro.core.water_filling`: each entity's weight is split
+among its non-bottlenecked jobs according to the entity's internal policy,
+and weights are redistributed whenever jobs bottleneck.
+
+``WaterFillingFairnessPolicy`` exposes the same machinery for single-level
+max-min fairness, which improves the throughput of non-bottlenecked jobs
+compared to the plain LAS LP (Section 4.3, last paragraph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.allocation import Allocation
+from repro.core.policy import Policy
+from repro.core.problem import PolicyProblem
+from repro.core.water_filling import WaterFillingAllocator, WaterFillingResult
+from repro.exceptions import ConfigurationError
+
+__all__ = ["EntitySpec", "HierarchicalPolicy", "WaterFillingFairnessPolicy"]
+
+_FAIRNESS = "fairness"
+_FIFO = "fifo"
+
+
+@dataclass(frozen=True)
+class EntitySpec:
+    """One entity (team / department) in the hierarchy."""
+
+    entity_id: int
+    weight: float
+    internal_policy: str = _FAIRNESS
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ConfigurationError(
+                f"entity {self.entity_id}: weight must be positive, got {self.weight}"
+            )
+        if self.internal_policy not in (_FAIRNESS, _FIFO):
+            raise ConfigurationError(
+                f"entity {self.entity_id}: internal policy must be "
+                f"'{_FAIRNESS}' or '{_FIFO}', got {self.internal_policy!r}"
+            )
+
+
+class HierarchicalPolicy(Policy):
+    """Weighted fairness across entities, fairness or FIFO within each entity."""
+
+    name = "hierarchical"
+
+    def __init__(
+        self,
+        entities: Sequence[EntitySpec],
+        heterogeneity_agnostic: bool = False,
+        space_sharing: bool = False,
+        use_milp_bottleneck_detection: bool = True,
+    ):
+        super().__init__(heterogeneity_agnostic=heterogeneity_agnostic, space_sharing=space_sharing)
+        if not entities:
+            raise ConfigurationError("hierarchical policy requires at least one entity")
+        ids = [entity.entity_id for entity in entities]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError(f"duplicate entity ids: {ids}")
+        self._entities: Dict[int, EntitySpec] = {e.entity_id: e for e in entities}
+        self._use_milp = use_milp_bottleneck_detection
+
+    @property
+    def entities(self) -> Tuple[EntitySpec, ...]:
+        return tuple(self._entities.values())
+
+    def entity(self, entity_id: int) -> EntitySpec:
+        if entity_id not in self._entities:
+            raise ConfigurationError(f"unknown entity id {entity_id}")
+        return self._entities[entity_id]
+
+    # -- weight distribution -----------------------------------------------------------
+    def _jobs_by_entity(self, problem: PolicyProblem) -> Dict[int, List[int]]:
+        grouped: Dict[int, List[int]] = {entity_id: [] for entity_id in self._entities}
+        for job_id in problem.job_ids:
+            entity_id = problem.job(job_id).entity_id
+            if entity_id is None:
+                raise ConfigurationError(
+                    f"job {job_id} has no entity_id but the hierarchical policy requires one"
+                )
+            if entity_id not in grouped:
+                raise ConfigurationError(
+                    f"job {job_id} belongs to unknown entity {entity_id}"
+                )
+            grouped[entity_id].append(job_id)
+        return grouped
+
+    def _distribute_weights(
+        self, problem: PolicyProblem, bottlenecked: Set[int]
+    ) -> Dict[int, float]:
+        """Split each entity's weight among its non-bottlenecked jobs."""
+        weights: Dict[int, float] = {job_id: 0.0 for job_id in problem.job_ids}
+        grouped = self._jobs_by_entity(problem)
+        for entity_id, job_ids in grouped.items():
+            if not job_ids:
+                continue
+            entity = self._entities[entity_id]
+            active = [job_id for job_id in job_ids if job_id not in bottlenecked]
+            if not active:
+                continue
+            if entity.internal_policy == _FAIRNESS:
+                share = entity.weight / len(active)
+                for job_id in active:
+                    weights[job_id] = share * problem.priority_weight(job_id)
+            else:  # FIFO: the earliest non-bottlenecked job carries the entity weight.
+                ordered = sorted(
+                    active, key=lambda job_id: (problem.job(job_id).arrival_time, job_id)
+                )
+                weights[ordered[0]] = entity.weight
+        return weights
+
+    # -- policy interface ------------------------------------------------------------------
+    def compute_allocation(self, problem: PolicyProblem) -> Allocation:
+        return self.compute_with_diagnostics(problem).allocation
+
+    def compute_with_diagnostics(self, problem: PolicyProblem) -> WaterFillingResult:
+        """Run water filling and return the allocation plus per-job levels."""
+        matrix = self.effective_matrix(problem)
+        allocator = WaterFillingAllocator(
+            problem, matrix, use_milp_bottleneck_detection=self._use_milp
+        )
+        initial = self._distribute_weights(problem, bottlenecked=set())
+
+        def redistribute(_weights: Mapping[int, float], frozen: Set[int]) -> Dict[int, float]:
+            return self._distribute_weights(problem, bottlenecked=frozen)
+
+        return allocator.run(initial_weights=initial, redistribute=redistribute)
+
+
+class WaterFillingFairnessPolicy(Policy):
+    """Single-level weighted max-min fairness solved with water filling."""
+
+    name = "max_min_fairness_water_filling"
+
+    def __init__(
+        self,
+        heterogeneity_agnostic: bool = False,
+        space_sharing: bool = False,
+        use_milp_bottleneck_detection: bool = True,
+    ):
+        super().__init__(heterogeneity_agnostic=heterogeneity_agnostic, space_sharing=space_sharing)
+        self._use_milp = use_milp_bottleneck_detection
+
+    def compute_allocation(self, problem: PolicyProblem) -> Allocation:
+        matrix = self.effective_matrix(problem)
+        allocator = WaterFillingAllocator(
+            problem, matrix, use_milp_bottleneck_detection=self._use_milp
+        )
+        weights = {job_id: problem.priority_weight(job_id) for job_id in problem.job_ids}
+        return allocator.run(initial_weights=weights).allocation

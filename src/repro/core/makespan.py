@@ -1,0 +1,105 @@
+"""Minimum-makespan policy — Section 4.2 and Appendix A.1.
+
+The makespan of a batch of jobs is the maximum over jobs of
+``num_steps_m / throughput(m, X)``.  Minimizing it directly is not linear, so
+the policy binary-searches for the smallest makespan ``M`` such that the LP
+
+    num_steps_m <= throughput(m, X) * M   for every job m
+    X valid (Section 3.1 constraints)
+
+is feasible, returning the allocation that witnesses feasibility at the
+smallest ``M`` found.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.core.effective_throughput import (
+    fastest_reference_throughput,
+    isolated_reference_throughput,
+)
+from repro.core.policy import AllocationVariables, Policy
+from repro.core.problem import PolicyProblem
+from repro.exceptions import InfeasibleError, SolverError
+from repro.solver.bisection import bisect_min_feasible
+from repro.solver.lp import LinearExpression, LinearProgram
+
+__all__ = ["MakespanPolicy"]
+
+
+class MakespanPolicy(Policy):
+    """Minimize the completion time of the last job in a batch."""
+
+    name = "min_makespan"
+
+    def __init__(
+        self,
+        heterogeneity_agnostic: bool = False,
+        space_sharing: bool = False,
+        relative_tolerance: float = 1e-2,
+    ):
+        super().__init__(heterogeneity_agnostic=heterogeneity_agnostic, space_sharing=space_sharing)
+        self._relative_tolerance = relative_tolerance
+
+    def compute_allocation(self, problem: PolicyProblem) -> Allocation:
+        matrix = self.effective_matrix(problem)
+
+        def feasible_allocation(makespan: float) -> Optional[Allocation]:
+            program = LinearProgram(name=f"{self.display_name}[M={makespan:.3g}]")
+            variables = AllocationVariables(problem, matrix, program)
+            slack_total = LinearExpression()
+            for job_id in problem.job_ids:
+                steps = problem.remaining_steps(job_id)
+                throughput = variables.effective_throughput_expression(job_id)
+                program.add_greater_equal(throughput * makespan, steps)
+                slack_total = slack_total + throughput
+            # Among feasible allocations prefer higher total throughput so the
+            # witness allocation keeps the cluster busy.
+            program.maximize(slack_total)
+            try:
+                solution = program.solve()
+            except (InfeasibleError, SolverError):
+                return None
+            return variables.extract_allocation(solution)
+
+        lower, upper = self._makespan_bounds(problem, matrix)
+        result = bisect_min_feasible(
+            feasible_allocation,
+            lower=lower,
+            upper=upper,
+            relative_tolerance=self._relative_tolerance,
+        )
+        return result.witness
+
+    def _makespan_bounds(self, problem: PolicyProblem, matrix) -> tuple:
+        """A guaranteed-feasible upper bound and a safe lower bound on the makespan.
+
+        Upper bound: every job running under the equal 1/n isolated share
+        (always a feasible allocation).  Lower bound: no job can finish faster
+        than running alone, all of the time, on its fastest accelerator.
+        """
+        num_jobs = problem.num_jobs
+        upper = 0.0
+        lower = 0.0
+        for job_id in problem.job_ids:
+            steps = problem.remaining_steps(job_id)
+            isolated = isolated_reference_throughput(
+                matrix,
+                problem.cluster_spec,
+                job_id,
+                num_jobs=num_jobs,
+                scale_factor=problem.scale_factor(job_id),
+            )
+            fastest = fastest_reference_throughput(matrix, job_id)
+            if isolated > 0:
+                upper = max(upper, steps / isolated)
+            if fastest > 0:
+                lower = max(lower, steps / fastest)
+        if upper <= 0:
+            raise InfeasibleError("no job can make progress on any accelerator type")
+        upper = max(upper, lower) * 1.001
+        return max(lower * 0.999, 0.0), upper

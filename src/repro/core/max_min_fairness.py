@@ -1,0 +1,54 @@
+"""Max-min fairness (Least Attained Service) policies — Section 4.1.
+
+The heterogeneity-aware LAS policy maximizes the minimum weighted normalized
+effective throughput across jobs:
+
+    maximize_X  min_m  (scale_factor_m / w_m) *
+                throughput(m, X) / throughput(m, X^equal_m)
+
+The heterogeneity-agnostic variant is obtained by flattening the throughput
+matrix (every accelerator looks identical), which reduces the objective to
+max-min fairness over total compute-time fractions, i.e. classic LAS as used
+by Tiresias.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.allocation import Allocation
+from repro.core.effective_throughput import equal_share_reference_throughput
+from repro.core.policy import AllocationVariables, OptimizationPolicy
+from repro.core.problem import PolicyProblem
+from repro.exceptions import ConfigurationError
+from repro.solver.lp import LinearExpression, LinearProgram
+
+__all__ = ["MaxMinFairnessPolicy"]
+
+
+class MaxMinFairnessPolicy(OptimizationPolicy):
+    """Weighted max-min fairness over normalized effective throughputs (LAS)."""
+
+    name = "max_min_fairness"
+
+    def build_objective(
+        self,
+        problem: PolicyProblem,
+        variables: AllocationVariables,
+        program: LinearProgram,
+    ) -> None:
+        expressions: List[LinearExpression] = []
+        matrix = variables.matrix
+        for job_id in problem.job_ids:
+            reference = equal_share_reference_throughput(matrix, problem.cluster_spec, job_id)
+            if reference <= 0:
+                raise ConfigurationError(
+                    f"job {job_id} has zero throughput on every accelerator type"
+                )
+            weight = problem.priority_weight(job_id)
+            scale_factor = problem.scale_factor(job_id)
+            scaled = variables.effective_throughput_expression(job_id) * (
+                scale_factor / (weight * reference)
+            )
+            expressions.append(scaled)
+        program.add_max_min_objective(expressions)

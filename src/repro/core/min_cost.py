@@ -1,0 +1,135 @@
+"""Cost-aware policies for elastic public-cloud deployments — Section 4.2.
+
+``MinCostPolicy`` maximizes the ratio of total (normalized) effective
+throughput to total dollar cost, i.e. it prefers the cheapest devices that
+still make progress.  ``MinCostWithSLOsPolicy`` adds per-job deadline
+constraints ``throughput(m, X) >= num_steps_m / SLO_m`` so that jobs with
+tight SLOs are moved onto faster (more expensive) accelerators.
+
+Both are linear-fractional programs, solved through the Charnes–Cooper
+reduction in :mod:`repro.solver.fractional`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.core.allocation import Allocation
+from repro.core.effective_throughput import fastest_reference_throughput
+from repro.core.policy import AllocationVariables, Policy
+from repro.core.problem import PolicyProblem
+from repro.exceptions import InfeasibleError, SolverError
+from repro.solver.fractional import FractionalProgram
+from repro.solver.lp import LinearExpression
+
+__all__ = ["MinCostPolicy", "MinCostWithSLOsPolicy"]
+
+
+class MinCostPolicy(Policy):
+    """Maximize throughput per dollar (equivalently, minimize cost per unit work)."""
+
+    name = "min_cost"
+
+    def __init__(
+        self,
+        heterogeneity_agnostic: bool = False,
+        space_sharing: bool = False,
+        normalize: bool = True,
+        minimum_normalized_throughput: float = 1e-3,
+    ):
+        super().__init__(heterogeneity_agnostic=heterogeneity_agnostic, space_sharing=space_sharing)
+        self._normalize = normalize
+        self._minimum_normalized_throughput = minimum_normalized_throughput
+
+    # -- shared LP construction --------------------------------------------------
+    def _normalizer(self, matrix, job_id: int) -> float:
+        if not self._normalize:
+            return 1.0
+        fastest = fastest_reference_throughput(matrix, job_id)
+        return 1.0 / fastest if fastest > 0 else 0.0
+
+    def _build_program(self, problem: PolicyProblem):
+        matrix = self.effective_matrix(problem)
+        program = FractionalProgram(name=self.display_name)
+        variables = AllocationVariables(problem, matrix, program)
+
+        numerator = LinearExpression()
+        for job_id in problem.job_ids:
+            scale = self._normalizer(matrix, job_id)
+            throughput = variables.effective_throughput_expression(job_id)
+            numerator = numerator + throughput * scale
+            # Every job must make at least minimal progress, otherwise the
+            # cheapest "allocation" is to run nothing at all.
+            if self._minimum_normalized_throughput > 0 and scale > 0:
+                program.add_greater_equal(
+                    throughput, self._minimum_normalized_throughput / scale
+                )
+        denominator = variables.cost_expression() + 1e-9
+        program.set_ratio_objective(numerator, denominator)
+        return matrix, program, variables
+
+    def compute_allocation(self, problem: PolicyProblem) -> Allocation:
+        _matrix, program, variables = self._build_program(problem)
+        solution = program.solve()
+        return variables.extract_allocation(solution)
+
+
+class MinCostWithSLOsPolicy(MinCostPolicy):
+    """Minimize cost subject to per-job SLO deadlines.
+
+    Jobs without an SLO only contribute to the cost/throughput trade-off.
+    Jobs whose SLO has become impossible to meet (even running flat out on the
+    fastest accelerator the remaining time is insufficient) have their
+    constraint dropped, matching the practical behaviour described in the
+    paper (the scheduler cannot turn back time).
+    """
+
+    name = "min_cost_slo"
+
+    def compute_allocation(self, problem: PolicyProblem) -> Allocation:
+        matrix = self.effective_matrix(problem)
+        achievable = self._achievable_slo_jobs(problem, matrix)
+        dropped: Set[int] = set()
+        while True:
+            _matrix, program, variables = self._build_program(problem)
+            for job_id in achievable - dropped:
+                required = self._required_throughput(problem, job_id)
+                if required is None:
+                    continue
+                program.add_greater_equal(
+                    variables.effective_throughput_expression(job_id), required
+                )
+            try:
+                solution = program.solve()
+            except (InfeasibleError, SolverError):
+                # Drop the tightest remaining SLO and retry; an empty set of
+                # SLO constraints always yields a feasible program.
+                remaining = sorted(
+                    achievable - dropped,
+                    key=lambda job_id: self._required_throughput(problem, job_id) or 0.0,
+                    reverse=True,
+                )
+                if not remaining:
+                    raise
+                dropped.add(remaining[0])
+                continue
+            return variables.extract_allocation(solution)
+
+    def _required_throughput(self, problem: PolicyProblem, job_id: int) -> Optional[float]:
+        job = problem.job(job_id)
+        if job.slo_seconds is None:
+            return None
+        remaining_time = job.slo_seconds - problem.elapsed(job_id)
+        if remaining_time <= 0:
+            return None
+        return problem.remaining_steps(job_id) / remaining_time
+
+    def _achievable_slo_jobs(self, problem: PolicyProblem, matrix) -> Set[int]:
+        achievable: Set[int] = set()
+        for job_id in problem.job_ids:
+            required = self._required_throughput(problem, job_id)
+            if required is None:
+                continue
+            if fastest_reference_throughput(matrix, job_id) >= required:
+                achievable.add(job_id)
+        return achievable

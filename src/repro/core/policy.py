@@ -1,0 +1,217 @@
+"""Policy base classes and the LP scaffolding shared by all optimization policies.
+
+A policy turns a :class:`~repro.core.problem.PolicyProblem` into an
+:class:`~repro.core.allocation.Allocation`.  Most policies are optimization
+problems over the allocation matrix ``X``; :class:`AllocationVariables` builds
+the decision variables and the Section 3.1 validity constraints once so each
+policy only has to express its objective.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cluster.cluster_spec import ClusterSpec
+from repro.core.allocation import Allocation
+from repro.core.problem import PolicyProblem
+from repro.core.throughput_matrix import JobCombination, ThroughputMatrix
+from repro.exceptions import ConfigurationError
+from repro.solver.fractional import FractionalProgram, FractionalSolution
+from repro.solver.lp import LinearExpression, LinearProgram, Solution, Variable
+
+__all__ = ["Policy", "OptimizationPolicy", "AllocationVariables"]
+
+_Program = Union[LinearProgram, FractionalProgram]
+_ProgramSolution = Union[Solution, FractionalSolution]
+
+
+class Policy(abc.ABC):
+    """A scheduling policy mapping cluster/job state to a target allocation."""
+
+    #: Human-readable policy name used in experiment output.
+    name: str = "policy"
+
+    def __init__(self, heterogeneity_agnostic: bool = False, space_sharing: bool = False):
+        self._heterogeneity_agnostic = heterogeneity_agnostic
+        self._space_sharing = space_sharing
+
+    @property
+    def heterogeneity_agnostic(self) -> bool:
+        """Whether the policy ignores per-accelerator performance differences."""
+        return self._heterogeneity_agnostic
+
+    @property
+    def space_sharing(self) -> bool:
+        """Whether the policy may allocate time to job-pair combinations."""
+        return self._space_sharing
+
+    @property
+    def display_name(self) -> str:
+        """Name annotated with the agnostic / space-sharing variants."""
+        suffix = ""
+        if self._heterogeneity_agnostic:
+            suffix += " (het-agnostic)"
+        if self._space_sharing:
+            suffix += " +SS"
+        return f"{self.name}{suffix}"
+
+    def effective_matrix(self, problem: PolicyProblem) -> ThroughputMatrix:
+        """The throughput matrix this policy actually optimizes over.
+
+        Heterogeneity-agnostic policies see a flattened matrix in which every
+        accelerator type looks identical for a given job; policies without
+        space sharing only see the singleton rows.
+        """
+        matrix = problem.throughputs
+        if not self._space_sharing and matrix.has_space_sharing():
+            matrix = matrix.restrict_to_singletons()
+        if self._heterogeneity_agnostic:
+            matrix = matrix.heterogeneity_agnostic()
+        return matrix
+
+    @abc.abstractmethod
+    def compute_allocation(self, problem: PolicyProblem) -> Allocation:
+        """Compute the target allocation for the given problem."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.display_name!r})"
+
+
+class AllocationVariables:
+    """Decision variables ``X[combination, accelerator]`` plus validity constraints."""
+
+    def __init__(
+        self,
+        problem: PolicyProblem,
+        matrix: ThroughputMatrix,
+        program: _Program,
+    ):
+        self._problem = problem
+        self._matrix = matrix
+        self._program = program
+        self._variables: Dict[Tuple[JobCombination, int], Variable] = {}
+        self._create_variables()
+        self._add_validity_constraints()
+
+    # -- construction --------------------------------------------------------------
+    def _create_variables(self) -> None:
+        for combination in self._matrix.combinations:
+            row = self._matrix.row(combination)
+            for column, accelerator_name in enumerate(self._matrix.registry.names):
+                runnable = bool(np.any(row[:, column] > 0))
+                upper = 1.0 if runnable else 0.0
+                variable = self._program.add_variable(
+                    name=f"x[{combination},{accelerator_name}]", lower=0.0, upper=upper
+                )
+                self._variables[(combination, column)] = variable
+
+    def _add_validity_constraints(self) -> None:
+        # (2) total allocation of each job across all rows containing it is <= 1.
+        for job_id in self._matrix.job_ids:
+            terms: Dict[int, float] = {}
+            for combination, _position in self._matrix.rows_containing(job_id):
+                for column in range(len(self._matrix.registry)):
+                    variable = self._variables[(combination, column)]
+                    terms[variable.index] = terms.get(variable.index, 0.0) + 1.0
+            self._program.add_less_equal(terms, 1.0)
+
+        # (3) expected worker usage per accelerator type is bounded by capacity.
+        capacity = self._problem.cluster_spec.counts_vector()
+        for column in range(len(self._matrix.registry)):
+            terms = {}
+            for combination in self._matrix.combinations:
+                scale = max(self._problem.scale_factor(job_id) for job_id in combination)
+                variable = self._variables[(combination, column)]
+                terms[variable.index] = terms.get(variable.index, 0.0) + float(scale)
+            self._program.add_less_equal(terms, float(capacity[column]))
+
+    # -- accessors -------------------------------------------------------------------
+    @property
+    def matrix(self) -> ThroughputMatrix:
+        return self._matrix
+
+    @property
+    def problem(self) -> PolicyProblem:
+        return self._problem
+
+    def variable(self, combination: Sequence[int], accelerator: "str | int") -> Variable:
+        key = tuple(sorted(int(j) for j in combination))
+        column = (
+            accelerator
+            if isinstance(accelerator, int)
+            else self._matrix.registry.index_of(accelerator)
+        )
+        return self._variables[(key, column)]
+
+    def effective_throughput_expression(self, job_id: int) -> LinearExpression:
+        """``throughput(job_id, X)`` as a linear expression over the variables."""
+        expression = LinearExpression()
+        for combination, position in self._matrix.rows_containing(job_id):
+            row = self._matrix.row(combination)[position]
+            for column in range(len(self._matrix.registry)):
+                coefficient = float(row[column])
+                if coefficient != 0.0:
+                    variable = self._variables[(combination, column)]
+                    expression = expression + variable * coefficient
+        return expression
+
+    def total_time_expression(self, combination: Sequence[int]) -> LinearExpression:
+        """Total time fraction allocated to one combination across all accelerator types."""
+        key = tuple(sorted(int(j) for j in combination))
+        expression = LinearExpression()
+        for column in range(len(self._matrix.registry)):
+            expression = expression + self._variables[(key, column)] * 1.0
+        return expression
+
+    def cost_expression(self) -> LinearExpression:
+        """Time-averaged dollar cost of the allocation.
+
+        Each combination row is charged once per accelerator (space-sharing
+        jobs split one instance, so the cost is not double counted), scaled by
+        the number of workers the combination occupies.
+        """
+        costs = self._matrix.registry.costs_per_hour()
+        expression = LinearExpression()
+        for combination in self._matrix.combinations:
+            scale = max(self._problem.scale_factor(job_id) for job_id in combination)
+            for column in range(len(self._matrix.registry)):
+                variable = self._variables[(combination, column)]
+                expression = expression + variable * (costs[column] * scale)
+        return expression
+
+    def extract_allocation(self, solution: _ProgramSolution) -> Allocation:
+        """Read the optimal variable values back into an :class:`Allocation`."""
+        entries: Dict[JobCombination, np.ndarray] = {}
+        for combination in self._matrix.combinations:
+            row = np.zeros(len(self._matrix.registry))
+            for column in range(len(self._matrix.registry)):
+                row[column] = solution.value_of(self._variables[(combination, column)])
+            entries[combination] = row
+        allocation = Allocation(
+            self._matrix.registry, entries, scale_factors=self._problem.scale_factors()
+        )
+        return allocation.clipped()
+
+
+class OptimizationPolicy(Policy):
+    """Base class for policies expressed as a single LP over :class:`AllocationVariables`."""
+
+    def compute_allocation(self, problem: PolicyProblem) -> Allocation:
+        matrix = self.effective_matrix(problem)
+        program = LinearProgram(name=self.display_name)
+        variables = AllocationVariables(problem, matrix, program)
+        self.build_objective(problem, variables, program)
+        solution = program.solve()
+        return variables.extract_allocation(solution)
+
+    @abc.abstractmethod
+    def build_objective(
+        self,
+        problem: PolicyProblem,
+        variables: AllocationVariables,
+        program: LinearProgram,
+    ) -> None:
+        """Add the policy-specific objective (and extra constraints) to ``program``."""

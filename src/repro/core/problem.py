@@ -1,0 +1,95 @@
+"""Policy input: everything a scheduling policy needs to compute an allocation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.cluster_spec import ClusterSpec
+from repro.core.throughput_matrix import ThroughputMatrix
+from repro.exceptions import ConfigurationError, UnknownJobError
+from repro.workloads.job import Job
+
+__all__ = ["PolicyProblem"]
+
+
+@dataclass(frozen=True)
+class PolicyProblem:
+    """Snapshot of cluster and job state handed to a policy.
+
+    Attributes:
+        jobs: Active (runnable) jobs keyed by job id.
+        throughputs: Throughput matrix covering exactly the active jobs (and,
+            when space sharing is enabled, beneficial pair combinations).
+        cluster_spec: Worker counts per accelerator type.
+        steps_remaining: Training steps left for each job (defaults to each
+            job's ``total_steps``).
+        time_elapsed: Wall-clock seconds since each job's arrival (``t_m`` in
+            the finish-time-fairness objective); defaults to zero.
+        current_time: Wall-clock time of the snapshot, in seconds.
+    """
+
+    jobs: Mapping[int, Job]
+    throughputs: ThroughputMatrix
+    cluster_spec: ClusterSpec
+    steps_remaining: Mapping[int, float] = field(default_factory=dict)
+    time_elapsed: Mapping[int, float] = field(default_factory=dict)
+    current_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.jobs:
+            raise ConfigurationError("policy problem must contain at least one job")
+        matrix_jobs = set(self.throughputs.job_ids)
+        problem_jobs = set(self.jobs)
+        if matrix_jobs != problem_jobs:
+            raise ConfigurationError(
+                "throughput matrix jobs and problem jobs differ: "
+                f"matrix-only={sorted(matrix_jobs - problem_jobs)}, "
+                f"problem-only={sorted(problem_jobs - matrix_jobs)}"
+            )
+        for job_id, job in self.jobs.items():
+            if job_id != job.job_id:
+                raise ConfigurationError(
+                    f"jobs mapping key {job_id} does not match job id {job.job_id}"
+                )
+
+    # -- convenience accessors -------------------------------------------------
+    @property
+    def job_ids(self) -> Tuple[int, ...]:
+        return tuple(sorted(self.jobs))
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.jobs)
+
+    def job(self, job_id: int) -> Job:
+        if job_id not in self.jobs:
+            raise UnknownJobError(f"job {job_id} is not part of this problem")
+        return self.jobs[job_id]
+
+    def scale_factor(self, job_id: int) -> int:
+        return self.job(job_id).scale_factor
+
+    def scale_factors(self) -> Dict[int, int]:
+        return {job_id: job.scale_factor for job_id, job in self.jobs.items()}
+
+    def priority_weight(self, job_id: int) -> float:
+        return self.job(job_id).priority_weight
+
+    def remaining_steps(self, job_id: int) -> float:
+        job = self.job(job_id)
+        return float(self.steps_remaining.get(job_id, job.total_steps))
+
+    def elapsed(self, job_id: int) -> float:
+        return float(self.time_elapsed.get(job_id, 0.0))
+
+    def arrival_order(self) -> Tuple[int, ...]:
+        """Job ids sorted by (arrival time, job id) — the FIFO order."""
+        return tuple(
+            job_id
+            for job_id, _ in sorted(
+                self.jobs.items(), key=lambda item: (item[1].arrival_time, item[0])
+            )
+        )

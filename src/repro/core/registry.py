@@ -1,0 +1,63 @@
+"""Name-based registry of scheduling policies (Table 1).
+
+Benchmarks and examples refer to policies by short names such as
+``"max_min_fairness"`` or ``"fifo_agnostic"``; this registry constructs the
+corresponding policy objects so experiment configuration stays declarative.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.baselines import AlloXPolicy, GandivaPolicy, IsolatedPolicy
+from repro.core.fifo import FifoPolicy
+from repro.core.finish_time_fairness import FinishTimeFairnessPolicy
+from repro.core.hierarchical import EntitySpec, HierarchicalPolicy, WaterFillingFairnessPolicy
+from repro.core.makespan import MakespanPolicy
+from repro.core.max_min_fairness import MaxMinFairnessPolicy
+from repro.core.max_throughput import MaxTotalThroughputPolicy
+from repro.core.min_cost import MinCostPolicy, MinCostWithSLOsPolicy
+from repro.core.policy import Policy
+from repro.core.shortest_job_first import ShortestJobFirstPolicy
+from repro.exceptions import ConfigurationError
+
+__all__ = ["available_policies", "make_policy"]
+
+_FACTORIES: Dict[str, Callable[[], Policy]] = {
+    # Heterogeneity-aware policies (Gavel).
+    "max_min_fairness": lambda: MaxMinFairnessPolicy(),
+    "max_min_fairness_ss": lambda: MaxMinFairnessPolicy(space_sharing=True),
+    "max_min_fairness_water_filling": lambda: WaterFillingFairnessPolicy(),
+    "fifo": lambda: FifoPolicy(),
+    "fifo_ss": lambda: FifoPolicy(space_sharing=True),
+    "makespan": lambda: MakespanPolicy(),
+    "makespan_ss": lambda: MakespanPolicy(space_sharing=True),
+    "finish_time_fairness": lambda: FinishTimeFairnessPolicy(),
+    "shortest_job_first": lambda: ShortestJobFirstPolicy(),
+    "max_total_throughput": lambda: MaxTotalThroughputPolicy(),
+    "min_cost": lambda: MinCostPolicy(),
+    "min_cost_slo": lambda: MinCostWithSLOsPolicy(),
+    # Heterogeneity-agnostic baselines.
+    "max_min_fairness_agnostic": lambda: MaxMinFairnessPolicy(heterogeneity_agnostic=True),
+    "fifo_agnostic": lambda: FifoPolicy(heterogeneity_agnostic=True),
+    "makespan_agnostic": lambda: MakespanPolicy(heterogeneity_agnostic=True),
+    "finish_time_fairness_agnostic": lambda: FinishTimeFairnessPolicy(heterogeneity_agnostic=True),
+    # Other baseline systems.
+    "isolated": lambda: IsolatedPolicy(),
+    "gandiva": lambda: GandivaPolicy(),
+    "allox": lambda: AlloXPolicy(),
+}
+
+
+def available_policies() -> List[str]:
+    """All policy names :func:`make_policy` understands, sorted."""
+    return sorted(_FACTORIES)
+
+
+def make_policy(name: str) -> Policy:
+    """Instantiate a policy by registry name."""
+    if name not in _FACTORIES:
+        raise ConfigurationError(
+            f"unknown policy {name!r}; available: {available_policies()}"
+        )
+    return _FACTORIES[name]()

@@ -1,0 +1,235 @@
+"""Throughput matrices over job combinations.
+
+A policy's input is the matrix ``T`` of Section 3.1: one row per schedulable
+unit (a single job, or — when space sharing is enabled — a pair of jobs) and
+one column per accelerator type.  For pair rows the entry is a tuple of
+per-job throughputs; this module stores each row as an array of shape
+``(len(combination), num_accelerator_types)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.accelerators import AcceleratorRegistry
+from repro.exceptions import ConfigurationError, UnknownJobError
+from repro.workloads.colocation import ColocationModel
+from repro.workloads.job import Job
+from repro.workloads.throughputs import ThroughputOracle
+
+__all__ = ["JobCombination", "ThroughputMatrix", "build_throughput_matrix"]
+
+JobCombination = Tuple[int, ...]
+
+
+def _normalize_combination(combination: Sequence[int]) -> JobCombination:
+    ordered = tuple(sorted(int(j) for j in combination))
+    if len(set(ordered)) != len(ordered):
+        raise ConfigurationError(f"combination {combination} repeats a job id")
+    if not ordered:
+        raise ConfigurationError("combination must contain at least one job")
+    return ordered
+
+
+class ThroughputMatrix:
+    """Per-combination, per-accelerator throughputs for a set of active jobs."""
+
+    def __init__(
+        self,
+        registry: AcceleratorRegistry,
+        entries: Mapping[JobCombination, np.ndarray],
+    ):
+        if not entries:
+            raise ConfigurationError("throughput matrix must contain at least one row")
+        self._registry = registry
+        self._combinations: List[JobCombination] = []
+        self._values: Dict[JobCombination, np.ndarray] = {}
+        for combination, values in entries.items():
+            normalized = _normalize_combination(combination)
+            array = np.asarray(values, dtype=float)
+            expected = (len(normalized), len(registry))
+            if array.shape != expected:
+                raise ConfigurationError(
+                    f"row for combination {normalized} has shape {array.shape}, expected {expected}"
+                )
+            if np.any(array < 0):
+                raise ConfigurationError(
+                    f"row for combination {normalized} contains negative throughputs"
+                )
+            self._combinations.append(normalized)
+            self._values[normalized] = array
+        self._combinations.sort()
+        self._job_ids: Tuple[int, ...] = tuple(
+            sorted({job_id for combination in self._combinations for job_id in combination})
+        )
+        self._rows_by_job: Dict[int, List[Tuple[JobCombination, int]]] = {
+            job_id: [] for job_id in self._job_ids
+        }
+        for combination in self._combinations:
+            for position, job_id in enumerate(combination):
+                self._rows_by_job[job_id].append((combination, position))
+        for job_id in self._job_ids:
+            if (job_id,) not in self._values:
+                raise ConfigurationError(
+                    f"job {job_id} appears in a pair row but has no singleton row"
+                )
+
+    # -- structure -------------------------------------------------------------
+    @property
+    def registry(self) -> AcceleratorRegistry:
+        return self._registry
+
+    @property
+    def combinations(self) -> Tuple[JobCombination, ...]:
+        """All rows, sorted; singletons first within the natural tuple order."""
+        return tuple(self._combinations)
+
+    @property
+    def job_ids(self) -> Tuple[int, ...]:
+        """All distinct job ids appearing in any row."""
+        return self._job_ids
+
+    @property
+    def num_accelerator_types(self) -> int:
+        return len(self._registry)
+
+    def num_rows(self) -> int:
+        return len(self._combinations)
+
+    def has_space_sharing(self) -> bool:
+        """Whether any row contains more than one job."""
+        return any(len(combination) > 1 for combination in self._combinations)
+
+    def rows_containing(self, job_id: int) -> Tuple[Tuple[JobCombination, int], ...]:
+        """Rows in which ``job_id`` participates, with its position in each row."""
+        if job_id not in self._rows_by_job:
+            raise UnknownJobError(f"job {job_id} is not in this throughput matrix")
+        return tuple(self._rows_by_job[job_id])
+
+    # -- values -----------------------------------------------------------------
+    def row(self, combination: Sequence[int]) -> np.ndarray:
+        """Full row for a combination: shape ``(len(combination), num_accelerators)``."""
+        normalized = _normalize_combination(combination)
+        if normalized not in self._values:
+            raise UnknownJobError(f"combination {normalized} is not in this throughput matrix")
+        return self._values[normalized].copy()
+
+    def throughput(self, combination: Sequence[int], job_id: int, accelerator_name: str) -> float:
+        """Throughput of ``job_id`` inside ``combination`` on one accelerator type."""
+        normalized = _normalize_combination(combination)
+        if normalized not in self._values:
+            raise UnknownJobError(f"combination {normalized} is not in this throughput matrix")
+        if job_id not in normalized:
+            raise UnknownJobError(f"job {job_id} is not part of combination {normalized}")
+        position = normalized.index(job_id)
+        column = self._registry.index_of(accelerator_name)
+        return float(self._values[normalized][position, column])
+
+    def isolated_throughputs(self, job_id: int) -> np.ndarray:
+        """The singleton-row throughput vector of ``job_id`` (one entry per accelerator)."""
+        if (job_id,) not in self._values:
+            raise UnknownJobError(f"job {job_id} has no singleton row")
+        return self._values[(job_id,)][0].copy()
+
+    def singles_matrix(self) -> Tuple[Tuple[int, ...], np.ndarray]:
+        """Dense matrix of singleton rows only: ``(job_ids, array[num_jobs, num_accels])``."""
+        array = np.vstack([self._values[(job_id,)][0] for job_id in self._job_ids])
+        return self._job_ids, array
+
+    def restrict_to_singletons(self) -> "ThroughputMatrix":
+        """A copy of this matrix containing only the singleton rows."""
+        return ThroughputMatrix(
+            self._registry,
+            {(job_id,): self._values[(job_id,)] for job_id in self._job_ids},
+        )
+
+    def heterogeneity_agnostic(self) -> "ThroughputMatrix":
+        """Replace every throughput by the job's mean across accelerators.
+
+        This is how heterogeneity-agnostic baselines are modelled: the policy
+        sees no difference between accelerator types (a job's "speed" is the
+        same everywhere), so its optimization cannot favour one type over
+        another, exactly like schedulers that reason only about device counts.
+        Zero columns (job cannot run on that type) are preserved.
+        """
+        entries: Dict[JobCombination, np.ndarray] = {}
+        for combination in self._combinations:
+            values = self._values[combination]
+            flattened = np.zeros_like(values)
+            for position in range(values.shape[0]):
+                row = values[position]
+                runnable = row > 0
+                if runnable.any():
+                    flattened[position, runnable] = row[runnable].mean()
+            entries[combination] = flattened
+        return ThroughputMatrix(self._registry, entries)
+
+
+def build_throughput_matrix(
+    jobs: Sequence[Job],
+    oracle: ThroughputOracle,
+    space_sharing: bool = False,
+    colocation_model: Optional[ColocationModel] = None,
+    colocation_threshold: float = 1.1,
+    consolidated: bool = True,
+) -> ThroughputMatrix:
+    """Build the policy-input matrix for a set of active jobs.
+
+    Singleton rows are always present.  When ``space_sharing`` is enabled,
+    pair rows are added for every pair of *single-worker* jobs whose combined
+    normalized throughput exceeds ``colocation_threshold`` (the paper observes
+    that only combinations that actually perform well need to be considered,
+    which keeps the matrix close to linear in the number of jobs).
+    """
+    if not jobs:
+        raise ConfigurationError("cannot build a throughput matrix for zero jobs")
+    ids = [job.job_id for job in jobs]
+    if len(set(ids)) != len(ids):
+        raise ConfigurationError("duplicate job ids in throughput matrix input")
+
+    registry = oracle.registry
+    entries: Dict[JobCombination, np.ndarray] = {}
+    for job in jobs:
+        vector = np.array(
+            [
+                oracle.throughput(
+                    job.job_type, name, scale_factor=job.scale_factor, consolidated=consolidated
+                )
+                for name in registry.names
+            ]
+        )
+        entries[(job.job_id,)] = vector.reshape(1, -1)
+
+    if space_sharing:
+        model = colocation_model if colocation_model is not None else ColocationModel(oracle)
+        single_worker_jobs = [job for job in jobs if job.scale_factor == 1]
+        for first_index in range(len(single_worker_jobs)):
+            for second_index in range(first_index + 1, len(single_worker_jobs)):
+                job_a = single_worker_jobs[first_index]
+                job_b = single_worker_jobs[second_index]
+                pair_values = np.zeros((2, len(registry)))
+                beneficial = False
+                for column, name in enumerate(registry.names):
+                    pair = model.colocated_throughputs(job_a.job_type, job_b.job_type, name)
+                    if not pair.feasible:
+                        continue
+                    combined = model.combined_normalized_throughput(
+                        job_a.job_type, job_b.job_type, name
+                    )
+                    if combined >= colocation_threshold:
+                        beneficial = True
+                        first, second = (
+                            (pair.first, pair.second)
+                            if job_a.job_id < job_b.job_id
+                            else (pair.second, pair.first)
+                        )
+                        pair_values[0, column] = first
+                        pair_values[1, column] = second
+                if beneficial:
+                    combination = tuple(sorted((job_a.job_id, job_b.job_id)))
+                    entries[combination] = pair_values
+
+    return ThroughputMatrix(registry, entries)

@@ -1,0 +1,246 @@
+"""Water-filling machinery for (hierarchical) max-min fairness — Section 4.3.
+
+The water-filling procedure raises every job's weighted normalized effective
+throughput at an equal rate until some job *bottlenecks* (its throughput
+cannot be increased without decreasing another job's), freezes the
+bottlenecked jobs, redistributes their weight according to the per-entity
+policy, and repeats.  Two optimization problems are solved per iteration:
+
+1. an LP that maximizes the minimum weighted *increase* in normalized
+   throughput across the jobs still in play, subject to nobody dropping below
+   the level reached in earlier iterations; and
+2. the Appendix A.1 MILP that identifies which jobs are bottlenecked, i.e.
+   whose normalized throughput cannot be improved at all without hurting
+   another job.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.core.effective_throughput import equal_share_reference_throughput
+from repro.core.policy import AllocationVariables
+from repro.core.problem import PolicyProblem
+from repro.core.throughput_matrix import ThroughputMatrix
+from repro.exceptions import ConfigurationError, InfeasibleError, SolverError
+from repro.solver.lp import LinearExpression, LinearProgram
+
+__all__ = ["WaterFillingResult", "WaterFillingAllocator"]
+
+_EPSILON = 1e-4
+
+
+@dataclass
+class WaterFillingResult:
+    """Outcome of the water-filling procedure."""
+
+    allocation: Allocation
+    normalized_throughputs: Dict[int, float]
+    iterations: int
+    bottleneck_order: List[Set[int]] = field(default_factory=list)
+
+
+class WaterFillingAllocator:
+    """Runs water filling over a policy problem given per-job weight assignments."""
+
+    def __init__(
+        self,
+        problem: PolicyProblem,
+        matrix: ThroughputMatrix,
+        use_milp_bottleneck_detection: bool = True,
+        max_iterations: Optional[int] = None,
+    ):
+        self._problem = problem
+        self._matrix = matrix
+        self._use_milp = use_milp_bottleneck_detection
+        self._max_iterations = (
+            max_iterations if max_iterations is not None else problem.num_jobs + 2
+        )
+        self._references: Dict[int, float] = {}
+        for job_id in problem.job_ids:
+            reference = equal_share_reference_throughput(matrix, problem.cluster_spec, job_id)
+            if reference <= 0:
+                raise ConfigurationError(
+                    f"job {job_id} has zero throughput on every accelerator type"
+                )
+            self._references[job_id] = reference
+
+    # -- normalization helpers --------------------------------------------------------
+    def _normalized_expression(
+        self, variables: AllocationVariables, job_id: int
+    ) -> LinearExpression:
+        scale = self._problem.scale_factor(job_id)
+        return variables.effective_throughput_expression(job_id) * (
+            scale / self._references[job_id]
+        )
+
+    def _normalized_upper_bound(self, job_id: int) -> float:
+        """Upper bound on a job's normalized throughput (run 100% on fastest type)."""
+        scale = self._problem.scale_factor(job_id)
+        fastest = float(self._matrix.isolated_throughputs(job_id).max())
+        return scale * fastest / self._references[job_id] + 1.0
+
+    def _normalized_value(self, allocation: Allocation, job_id: int) -> float:
+        from repro.core.effective_throughput import effective_throughput
+
+        scale = self._problem.scale_factor(job_id)
+        return (
+            effective_throughput(self._matrix, allocation, job_id)
+            * scale
+            / self._references[job_id]
+        )
+
+    # -- per-iteration LP ------------------------------------------------------------
+    def _solve_level_lp(
+        self,
+        weights: Mapping[int, float],
+        levels: Mapping[int, float],
+        frozen: Set[int],
+    ) -> Allocation:
+        program = LinearProgram(name="water_filling_lp")
+        variables = AllocationVariables(self._problem, self._matrix, program)
+        active_expressions: List[LinearExpression] = []
+        for job_id in self._problem.job_ids:
+            normalized = self._normalized_expression(variables, job_id)
+            # Nobody may drop below the level already achieved.
+            if levels.get(job_id, 0.0) > 0:
+                program.add_greater_equal(normalized, levels[job_id] - _EPSILON)
+            weight = weights.get(job_id, 0.0)
+            if job_id not in frozen and weight > 0:
+                active_expressions.append(
+                    (normalized + (-levels.get(job_id, 0.0))) * (1.0 / weight)
+                )
+        if not active_expressions:
+            raise InfeasibleError("water filling has no active jobs to optimize")
+        program.add_max_min_objective(active_expressions)
+        solution = program.solve()
+        return variables.extract_allocation(solution)
+
+    # -- bottleneck detection (Appendix A.1 MILP) ----------------------------------------
+    def _find_improvable_jobs(
+        self, levels: Mapping[int, float], candidates: Set[int]
+    ) -> Set[int]:
+        """Return the subset of ``candidates`` whose normalized throughput can still rise."""
+        if not candidates:
+            return set()
+        if not self._use_milp:
+            return self._find_improvable_jobs_greedy(levels, candidates)
+
+        program = LinearProgram(name="water_filling_bottleneck_milp")
+        variables = AllocationVariables(self._problem, self._matrix, program)
+        indicator: Dict[int, "object"] = {}
+        objective = LinearExpression()
+        for job_id in self._problem.job_ids:
+            normalized = self._normalized_expression(variables, job_id)
+            level = levels.get(job_id, 0.0)
+            # No job may drop below its current level.
+            program.add_greater_equal(normalized, level - _EPSILON)
+            if job_id in candidates:
+                z = program.add_variable(name=f"z[{job_id}]", lower=0.0, upper=1.0, integer=True)
+                indicator[job_id] = z
+                big_m = self._normalized_upper_bound(job_id)
+                # z = 1 => normalized >= level + delta (strictly better), via
+                # normalized >= (level + delta) - bigM * (1 - z).
+                program.add_greater_equal(
+                    normalized + z * (-big_m), level + 10 * _EPSILON - big_m
+                )
+                objective = objective + z * 1.0
+        program.maximize(objective)
+        try:
+            solution = program.solve()
+        except (InfeasibleError, SolverError):
+            return self._find_improvable_jobs_greedy(levels, candidates)
+        improvable = {
+            job_id for job_id, z in indicator.items() if solution.value_of(z) > 0.5
+        }
+        return improvable
+
+    def _find_improvable_jobs_greedy(
+        self, levels: Mapping[int, float], candidates: Set[int]
+    ) -> Set[int]:
+        """LP fallback: test each candidate individually for head room."""
+        improvable: Set[int] = set()
+        for job_id in candidates:
+            program = LinearProgram(name=f"water_filling_headroom[{job_id}]")
+            variables = AllocationVariables(self._problem, self._matrix, program)
+            for other in self._problem.job_ids:
+                normalized = self._normalized_expression(variables, other)
+                program.add_greater_equal(normalized, levels.get(other, 0.0) - _EPSILON)
+            program.maximize(self._normalized_expression(variables, job_id))
+            try:
+                solution = program.solve()
+            except (InfeasibleError, SolverError):
+                continue
+            if solution.objective_value > levels.get(job_id, 0.0) + 10 * _EPSILON:
+                improvable.add(job_id)
+        return improvable
+
+    # -- main loop -------------------------------------------------------------------------
+    def run(
+        self,
+        initial_weights: Mapping[int, float],
+        redistribute: Optional[
+            "callable[[Mapping[int, float], Set[int]], Dict[int, float]]"
+        ] = None,
+    ) -> WaterFillingResult:
+        """Execute water filling.
+
+        Args:
+            initial_weights: Weight ``w_m^job`` for each job (zero-weight jobs
+                are not optimized until redistribution hands them weight).
+            redistribute: Called after each iteration with the current weights
+                and the set of all bottlenecked jobs; returns the new weight
+                assignment.  Defaults to keeping weights fixed, which is the
+                single-level behaviour.
+        """
+        weights: Dict[int, float] = {
+            job_id: float(initial_weights.get(job_id, 0.0)) for job_id in self._problem.job_ids
+        }
+        if all(weight <= 0 for weight in weights.values()):
+            raise ConfigurationError("water filling requires at least one positive job weight")
+
+        levels: Dict[int, float] = {job_id: 0.0 for job_id in self._problem.job_ids}
+        frozen: Set[int] = set()
+        bottleneck_order: List[Set[int]] = []
+        allocation: Optional[Allocation] = None
+
+        iterations = 0
+        while iterations < self._max_iterations:
+            iterations += 1
+            active = {
+                job_id
+                for job_id in self._problem.job_ids
+                if job_id not in frozen and weights.get(job_id, 0.0) > 0
+            }
+            if not active:
+                break
+            allocation = self._solve_level_lp(weights, levels, frozen)
+            for job_id in self._problem.job_ids:
+                levels[job_id] = max(levels[job_id], self._normalized_value(allocation, job_id))
+
+            improvable = self._find_improvable_jobs(levels, active)
+            newly_frozen = active - improvable
+            if not newly_frozen:
+                # Guard against cycling: freeze the lowest-level active job.
+                newly_frozen = {min(active, key=lambda job_id: levels[job_id])}
+            frozen.update(newly_frozen)
+            bottleneck_order.append(set(newly_frozen))
+
+            if redistribute is not None:
+                weights = dict(redistribute(weights, frozen))
+            if len(frozen) == len(self._problem.job_ids):
+                break
+
+        if allocation is None:
+            raise InfeasibleError("water filling produced no allocation")
+        return WaterFillingResult(
+            allocation=allocation,
+            normalized_throughputs=dict(levels),
+            iterations=iterations,
+            bottleneck_order=bottleneck_order,
+        )

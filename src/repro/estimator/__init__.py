@@ -1,0 +1,12 @@
+"""Throughput estimation: matrix completion, fingerprinting, online estimator."""
+
+from repro.estimator.estimator import ThroughputEstimator
+from repro.estimator.fingerprint import cosine_similarity, nearest_reference
+from repro.estimator.matrix_completion import complete_matrix
+
+__all__ = [
+    "ThroughputEstimator",
+    "complete_matrix",
+    "nearest_reference",
+    "cosine_similarity",
+]

@@ -1,0 +1,243 @@
+"""Gavel's throughput estimator — Section 3.3 / 6, Figure 7.
+
+The estimator predicts the colocated (space-sharing) throughputs of job pairs
+from a small number of profiled measurements:
+
+1. Offline, a library of *reference job types* is fully profiled: for every
+   ordered pair of reference types and every accelerator, the fraction of its
+   isolated throughput each job retains when colocated.
+2. When a new job type arrives, only a small random subset of its pairings is
+   "profiled" (in this reproduction the true colocation model plays the role
+   of the profiling harness).
+3. Low-rank matrix completion fills in the rest of the new job's fingerprint,
+   and the nearest reference job (by cosine similarity over the observed
+   entries) provides the estimate used by space-sharing-aware policies.
+4. Whenever the cluster actually runs a pair, the measured value replaces the
+   estimate (online refinement).
+
+The estimator exposes the same query interface as
+:class:`~repro.workloads.colocation.ColocationModel`, so the simulator can
+swap it in for the oracle when building policy inputs (Figure 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.accelerators import AcceleratorRegistry
+from repro.estimator.fingerprint import nearest_reference
+from repro.estimator.matrix_completion import complete_matrix
+from repro.exceptions import EstimationError
+from repro.workloads.colocation import ColocatedThroughputs, ColocationModel
+from repro.workloads.throughputs import ThroughputOracle
+
+__all__ = ["ThroughputEstimator"]
+
+
+class ThroughputEstimator:
+    """Estimates pairwise colocation behaviour from partial profiling."""
+
+    def __init__(
+        self,
+        true_model: ColocationModel,
+        reference_job_types: Optional[Sequence[str]] = None,
+        profile_fraction: float = 0.3,
+        completion_rank: int = 4,
+        seed: int = 0,
+    ):
+        if not 0.0 < profile_fraction <= 1.0:
+            raise EstimationError("profile_fraction must be in (0, 1]")
+        self._true_model = true_model
+        self._oracle: ThroughputOracle = true_model.oracle
+        self._registry: AcceleratorRegistry = true_model.registry
+        self._profile_fraction = profile_fraction
+        self._completion_rank = completion_rank
+        self._rng = np.random.default_rng(seed)
+
+        all_types = list(self._oracle.job_types.names)
+        self._reference_types: List[str] = (
+            list(reference_job_types) if reference_job_types is not None else all_types
+        )
+        if not self._reference_types:
+            raise EstimationError("estimator requires at least one reference job type")
+        self._reference_index = {name: i for i, name in enumerate(self._reference_types)}
+
+        # Offline reference fingerprints: for each accelerator, a matrix whose
+        # entry [i, j] is the fraction of its isolated throughput reference
+        # type i retains when colocated with reference type j.
+        self._reference_fingerprints: Dict[str, np.ndarray] = {}
+        for accelerator_name in self._registry.names:
+            matrix = np.zeros((len(self._reference_types), len(self._reference_types)))
+            for i, type_i in enumerate(self._reference_types):
+                for j, type_j in enumerate(self._reference_types):
+                    matrix[i, j] = self._true_retained(type_i, type_j, accelerator_name)
+            self._reference_fingerprints[accelerator_name] = matrix
+
+        # Estimated retained fraction per (job type, other type, accelerator);
+        # populated lazily per new job type, refined by observations.
+        self._estimates: Dict[Tuple[str, str, str], float] = {}
+        self._matched_reference: Dict[str, str] = {}
+        self._num_profiled: Dict[str, int] = {}
+
+    # -- internals ----------------------------------------------------------------------
+    def _true_retained(self, job_type: str, other_type: str, accelerator_name: str) -> float:
+        """Ground-truth retained fraction (0 when the pair does not fit in memory)."""
+        if not self._true_model.fits_in_memory(job_type, other_type, accelerator_name):
+            return 0.0
+        return self._true_model.retained_fraction(job_type, other_type, accelerator_name)
+
+    def _fingerprint_job(self, job_type: str) -> None:
+        """Profile a subset of pairings, complete the rest, and match a reference."""
+        if job_type in self._matched_reference:
+            return
+        num_references = len(self._reference_types)
+        num_profiled = max(1, int(round(self._profile_fraction * num_references)))
+        profiled_indices = self._rng.choice(num_references, size=num_profiled, replace=False)
+        self._num_profiled[job_type] = num_profiled
+
+        similarities: List[Tuple[str, int, float]] = []
+        for accelerator_name in self._registry.names:
+            references = self._reference_fingerprints[accelerator_name]
+            fingerprint = np.zeros(num_references)
+            mask = np.zeros(num_references, dtype=bool)
+            for index in profiled_indices:
+                other = self._reference_types[index]
+                fingerprint[index] = self._true_retained(job_type, other, accelerator_name)
+                mask[index] = True
+                # Profiled entries are exact; store them directly (but never
+                # overwrite an online observation already recorded).
+                key = (job_type, other, accelerator_name)
+                if key not in self._estimates:
+                    self._estimates[key] = float(fingerprint[index])
+
+            # Complete the fingerprint against the reference matrix.
+            stacked = np.vstack([references, fingerprint])
+            stacked_mask = np.vstack([np.ones_like(references, dtype=bool), mask])
+            completed = complete_matrix(
+                stacked, stacked_mask, rank=self._completion_rank, seed=int(self._rng.integers(1 << 31))
+            )
+            completed_fingerprint = np.clip(completed[-1], 0.0, 1.0)
+            reference_index, similarity = nearest_reference(
+                completed_fingerprint, references, mask=None
+            )
+            similarities.append((accelerator_name, reference_index, similarity))
+            for index, other in enumerate(self._reference_types):
+                key = (job_type, other, accelerator_name)
+                if key not in self._estimates:
+                    # Blend the completed value with the matched reference row.
+                    reference_value = references[reference_index, index]
+                    self._estimates[key] = float(
+                        0.5 * completed_fingerprint[index] + 0.5 * reference_value
+                    )
+
+        best = max(similarities, key=lambda item: item[2])
+        self._matched_reference[job_type] = self._reference_types[best[1]]
+
+    def _estimated_retained(self, job_type: str, other_type: str, accelerator_name: str) -> float:
+        self._fingerprint_job(job_type)
+        key = (job_type, other_type, accelerator_name)
+        if key in self._estimates:
+            return self._estimates[key]
+        # The partner type may not be a reference type; fall back to the
+        # matched reference job's behaviour against the partner's match.
+        reference = self._matched_reference[job_type]
+        partner_reference = self._matched_reference.get(other_type, other_type)
+        if partner_reference in self._reference_index:
+            row = self._reference_index[reference]
+            column = self._reference_index[partner_reference]
+            value = float(self._reference_fingerprints[accelerator_name][row, column])
+        else:
+            value = float(
+                np.mean(self._reference_fingerprints[accelerator_name][self._reference_index[reference]])
+            )
+        self._estimates[key] = value
+        return value
+
+    # -- ColocationModel-compatible interface -----------------------------------------------
+    @property
+    def oracle(self) -> ThroughputOracle:
+        return self._oracle
+
+    @property
+    def registry(self) -> AcceleratorRegistry:
+        return self._registry
+
+    def matched_reference(self, job_type: str) -> str:
+        """The reference job type the estimator matched ``job_type`` to."""
+        self._fingerprint_job(job_type)
+        return self._matched_reference[job_type]
+
+    def fits_in_memory(self, job_type_a: str, job_type_b: str, accelerator_name: str) -> bool:
+        """Memory feasibility is known from the jobs' own footprints (not estimated)."""
+        return self._true_model.fits_in_memory(job_type_a, job_type_b, accelerator_name)
+
+    def colocated_throughputs(
+        self,
+        job_type_a: str,
+        job_type_b: str,
+        accelerator_name: str,
+        scale_factor: int = 1,
+        consolidated: bool = True,
+    ) -> ColocatedThroughputs:
+        """Estimated absolute colocated throughputs of a pair."""
+        if not self.fits_in_memory(job_type_a, job_type_b, accelerator_name):
+            return ColocatedThroughputs(first=0.0, second=0.0)
+        isolated_a = self._oracle.throughput(
+            job_type_a, accelerator_name, scale_factor=scale_factor, consolidated=consolidated
+        )
+        isolated_b = self._oracle.throughput(
+            job_type_b, accelerator_name, scale_factor=scale_factor, consolidated=consolidated
+        )
+        frac_a = self._estimated_retained(job_type_a, job_type_b, accelerator_name)
+        frac_b = self._estimated_retained(job_type_b, job_type_a, accelerator_name)
+        return ColocatedThroughputs(first=isolated_a * frac_a, second=isolated_b * frac_b)
+
+    def combined_normalized_throughput(
+        self, job_type_a: str, job_type_b: str, accelerator_name: str
+    ) -> float:
+        pair = self.colocated_throughputs(job_type_a, job_type_b, accelerator_name)
+        if not pair.feasible:
+            return 0.0
+        isolated_a = self._oracle.throughput(job_type_a, accelerator_name)
+        isolated_b = self._oracle.throughput(job_type_b, accelerator_name)
+        return pair.first / isolated_a + pair.second / isolated_b
+
+    def is_beneficial(
+        self, job_type_a: str, job_type_b: str, accelerator_name: str, threshold: float = 1.1
+    ) -> bool:
+        return bool(
+            self.combined_normalized_throughput(job_type_a, job_type_b, accelerator_name)
+            >= threshold
+        )
+
+    # -- online refinement ----------------------------------------------------------------------
+    def observe(
+        self,
+        job_type_a: str,
+        job_type_b: str,
+        accelerator_name: str,
+        measured: ColocatedThroughputs,
+    ) -> None:
+        """Replace estimates with a measurement taken from an actual colocated run."""
+        isolated_a = self._oracle.throughput(job_type_a, accelerator_name)
+        isolated_b = self._oracle.throughput(job_type_b, accelerator_name)
+        if isolated_a > 0:
+            self._estimates[(job_type_a, job_type_b, accelerator_name)] = measured.first / isolated_a
+        if isolated_b > 0:
+            self._estimates[(job_type_b, job_type_a, accelerator_name)] = measured.second / isolated_b
+
+    # -- accuracy reporting (used by tests and Figure 14's analysis) -------------------------------
+    def estimation_error(self, job_types: Optional[Sequence[str]] = None) -> float:
+        """Mean absolute error of estimated retained fractions against ground truth."""
+        types = list(job_types) if job_types is not None else list(self._reference_types)
+        errors: List[float] = []
+        for job_type in types:
+            for other in self._reference_types:
+                for accelerator_name in self._registry.names:
+                    estimate = self._estimated_retained(job_type, other, accelerator_name)
+                    truth = self._true_retained(job_type, other, accelerator_name)
+                    errors.append(abs(estimate - truth))
+        return float(np.mean(errors)) if errors else 0.0

@@ -1,0 +1,75 @@
+"""Reference-job fingerprint matching.
+
+After matrix completion, Gavel's estimator compares a new job's completed
+colocation fingerprint against the fingerprints of pre-profiled *reference
+jobs* and adopts the closest reference job's measurements as the initial
+estimate (Figure 7).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import EstimationError
+
+__all__ = ["nearest_reference", "cosine_similarity"]
+
+
+def cosine_similarity(first: np.ndarray, second: np.ndarray) -> float:
+    """Cosine similarity of two vectors (0 when either is all zeros)."""
+    first = np.asarray(first, dtype=float).reshape(-1)
+    second = np.asarray(second, dtype=float).reshape(-1)
+    if first.shape != second.shape:
+        raise EstimationError(
+            f"fingerprint shapes differ: {first.shape} vs {second.shape}"
+        )
+    norm_first = np.linalg.norm(first)
+    norm_second = np.linalg.norm(second)
+    if norm_first == 0 or norm_second == 0:
+        return 0.0
+    return float(np.dot(first, second) / (norm_first * norm_second))
+
+
+def nearest_reference(
+    fingerprint: np.ndarray,
+    reference_fingerprints: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+) -> Tuple[int, float]:
+    """Index and similarity of the reference fingerprint closest to ``fingerprint``.
+
+    Args:
+        fingerprint: The new job's (completed) fingerprint vector.
+        reference_fingerprints: One row per reference job.
+        mask: Optional boolean vector restricting the comparison to observed
+            coordinates only.
+
+    Returns:
+        ``(reference_index, cosine_similarity)`` of the best match.
+    """
+    fingerprint = np.asarray(fingerprint, dtype=float).reshape(-1)
+    references = np.asarray(reference_fingerprints, dtype=float)
+    if references.ndim != 2 or references.shape[1] != fingerprint.shape[0]:
+        raise EstimationError(
+            "reference fingerprints must be a 2-D array with one column per fingerprint entry"
+        )
+    if references.shape[0] == 0:
+        raise EstimationError("no reference fingerprints to match against")
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool).reshape(-1)
+        if mask.shape != fingerprint.shape:
+            raise EstimationError("mask shape does not match fingerprint shape")
+        if not mask.any():
+            mask = None
+    best_index = -1
+    best_similarity = -np.inf
+    for index in range(references.shape[0]):
+        reference = references[index]
+        if mask is not None:
+            similarity = cosine_similarity(fingerprint[mask], reference[mask])
+        else:
+            similarity = cosine_similarity(fingerprint, reference)
+        if similarity > best_similarity:
+            best_index, best_similarity = index, similarity
+    return best_index, float(best_similarity)

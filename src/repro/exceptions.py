@@ -1,0 +1,48 @@
+"""Exception hierarchy shared across the Gavel reproduction.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so callers
+can catch library errors without also swallowing programming mistakes such as
+``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed with inconsistent or invalid parameters."""
+
+
+class UnknownAcceleratorError(ConfigurationError):
+    """A referenced accelerator type is not registered."""
+
+
+class UnknownJobError(ReproError):
+    """A referenced job id is not known to the component that was asked."""
+
+
+class InfeasibleError(ReproError):
+    """An optimization problem has no feasible solution."""
+
+
+class SolverError(ReproError):
+    """The underlying LP/MILP solver failed or returned an unusable status."""
+
+
+class AllocationError(ReproError):
+    """An allocation matrix violates the validity constraints of Section 3.1."""
+
+
+class SchedulingError(ReproError):
+    """The round-based scheduling mechanism was asked to do something invalid."""
+
+
+class TraceError(ReproError):
+    """A workload trace is malformed or internally inconsistent."""
+
+
+class EstimationError(ReproError):
+    """The throughput estimator could not produce an estimate."""

@@ -1,0 +1,22 @@
+"""Experiment harness: sweeps, runtime measurement, text reporting."""
+
+from repro.harness.experiments import (
+    LoadSweepPoint,
+    measure_policy_runtime,
+    run_load_sweep,
+    run_policy_on_trace,
+    steady_state_job_ids,
+)
+from repro.harness.reporting import format_series, format_table, speedup, summarize_cdf
+
+__all__ = [
+    "run_policy_on_trace",
+    "run_load_sweep",
+    "measure_policy_runtime",
+    "steady_state_job_ids",
+    "LoadSweepPoint",
+    "format_table",
+    "format_series",
+    "summarize_cdf",
+    "speedup",
+]

@@ -1,0 +1,171 @@
+"""Experiment harness: the building blocks benchmarks use to regenerate figures.
+
+Every evaluation figure in the paper is some combination of the primitives in
+this module: run a trace under a policy, sweep the input job rate (cluster
+load), replicate over seeds, or time the policy computation as the number of
+active jobs grows.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.cluster_spec import ClusterSpec
+from repro.core.policy import Policy
+from repro.core.problem import PolicyProblem
+from repro.core.registry import make_policy
+from repro.core.throughput_matrix import build_throughput_matrix
+from repro.exceptions import ConfigurationError
+from repro.simulator.metrics import SimulationResult
+from repro.simulator.simulator import Simulator, SimulatorConfig
+from repro.workloads.throughputs import ThroughputOracle
+from repro.workloads.trace import Trace
+from repro.workloads.trace_generator import TraceGenerator, TraceGeneratorConfig
+
+__all__ = [
+    "LoadSweepPoint",
+    "run_policy_on_trace",
+    "run_load_sweep",
+    "measure_policy_runtime",
+    "steady_state_job_ids",
+]
+
+
+@dataclass
+class LoadSweepPoint:
+    """Aggregated metric at one input job rate."""
+
+    jobs_per_hour: float
+    mean: float
+    std: float
+    values: List[float] = field(default_factory=list)
+
+
+def _resolve_policy(policy: "Policy | str") -> Policy:
+    return make_policy(policy) if isinstance(policy, str) else policy
+
+
+def steady_state_job_ids(trace: Trace, warmup_fraction: float = 0.2, cooldown_fraction: float = 0.2) -> List[int]:
+    """Job ids in the steady-state window of a continuous trace.
+
+    The first ``warmup_fraction`` of arrivals (cluster filling up) and the
+    last ``cooldown_fraction`` (cluster draining) are excluded, matching the
+    paper's use of steady-state average JCT.
+    """
+    num_jobs = len(trace)
+    start = int(num_jobs * warmup_fraction)
+    end = int(num_jobs * (1.0 - cooldown_fraction))
+    if end <= start:
+        start, end = 0, num_jobs
+    return [job.job_id for job in trace.jobs[start:end]]
+
+
+def run_policy_on_trace(
+    policy: "Policy | str",
+    trace: Trace,
+    cluster_spec: ClusterSpec,
+    oracle: Optional[ThroughputOracle] = None,
+    config: Optional[SimulatorConfig] = None,
+) -> SimulationResult:
+    """Simulate one trace under one policy."""
+    simulator = Simulator(
+        policy=_resolve_policy(policy),
+        cluster_spec=cluster_spec,
+        oracle=oracle,
+        config=config,
+    )
+    return simulator.run(trace)
+
+
+def run_load_sweep(
+    policy: "Policy | str",
+    jobs_per_hour_values: Sequence[float],
+    cluster_spec: ClusterSpec,
+    num_jobs: int = 60,
+    seeds: Sequence[int] = (0,),
+    multi_worker: bool = False,
+    oracle: Optional[ThroughputOracle] = None,
+    config: Optional[SimulatorConfig] = None,
+    metric: str = "average_jct_hours",
+) -> List[LoadSweepPoint]:
+    """Average-JCT (or FTF) versus input job rate, replicated over seeds.
+
+    This is the x-axis sweep of Figures 8, 9, 10, 16, 17, 18 and 20.  The
+    metric is computed over the steady-state window of each trace.
+    """
+    if metric not in ("average_jct_hours", "average_finish_time_fairness"):
+        raise ConfigurationError(f"unsupported sweep metric {metric!r}")
+    oracle = oracle if oracle is not None else ThroughputOracle()
+    generator = TraceGenerator(
+        oracle=oracle, config=TraceGeneratorConfig(multi_worker=multi_worker)
+    )
+    points: List[LoadSweepPoint] = []
+    for rate in jobs_per_hour_values:
+        values: List[float] = []
+        for seed in seeds:
+            trace = generator.generate_continuous(
+                num_jobs=num_jobs, jobs_per_hour=rate, seed=seed
+            )
+            result = run_policy_on_trace(
+                policy, trace, cluster_spec, oracle=oracle, config=config
+            )
+            window = steady_state_job_ids(trace)
+            if metric == "average_jct_hours":
+                values.append(result.average_jct_hours(window))
+            else:
+                values.append(result.average_finish_time_fairness(window))
+        points.append(
+            LoadSweepPoint(
+                jobs_per_hour=float(rate),
+                mean=float(np.mean(values)),
+                std=float(np.std(values)),
+                values=values,
+            )
+        )
+    return points
+
+
+def measure_policy_runtime(
+    policy: "Policy | str",
+    num_jobs_values: Sequence[int],
+    per_type_workers_per_job: float = 0.05,
+    seeds: Sequence[int] = (0,),
+    oracle: Optional[ThroughputOracle] = None,
+    space_sharing: Optional[bool] = None,
+) -> Dict[int, float]:
+    """Wall-clock seconds to compute one allocation versus the number of active jobs.
+
+    The cluster is scaled with the number of jobs, as in Figure 12 (the paper
+    uses an equal number of V100s, P100s and K80s growing with the job count).
+    """
+    oracle = oracle if oracle is not None else ThroughputOracle()
+    resolved = _resolve_policy(policy)
+    generator = TraceGenerator(oracle=oracle)
+    runtimes: Dict[int, float] = {}
+    for num_jobs in num_jobs_values:
+        per_type = max(1, int(round(num_jobs * per_type_workers_per_job)))
+        cluster_spec = ClusterSpec.from_counts(
+            {name: per_type for name in oracle.registry.names}, registry=oracle.registry
+        )
+        samples: List[float] = []
+        for seed in seeds:
+            trace = generator.generate_static(num_jobs=num_jobs, seed=seed)
+            jobs = list(trace.jobs)
+            use_space_sharing = (
+                space_sharing if space_sharing is not None else resolved.space_sharing
+            )
+            matrix = build_throughput_matrix(jobs, oracle, space_sharing=use_space_sharing)
+            problem = PolicyProblem(
+                jobs={job.job_id: job for job in jobs},
+                throughputs=matrix,
+                cluster_spec=cluster_spec,
+            )
+            start = _time.perf_counter()
+            resolved.compute_allocation(problem)
+            samples.append(_time.perf_counter() - start)
+        runtimes[int(num_jobs)] = float(np.mean(samples))
+    return runtimes

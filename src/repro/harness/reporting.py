@@ -1,0 +1,52 @@
+"""Plain-text reporting helpers used by the benchmark harness.
+
+Benchmarks print the same rows/series the paper's tables and figures report;
+these helpers keep that formatting consistent and dependency-free (no plotting
+libraries are required offline).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["format_table", "format_series", "summarize_cdf", "speedup"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: Optional[str] = None) -> str:
+    """Render a fixed-width text table."""
+    columns = [list(map(str, column)) for column in zip(*([headers] + [list(r) for r in rows]))]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[float], ys: Sequence[float], x_label: str = "x", y_label: str = "y") -> str:
+    """Render one figure series as aligned (x, y) pairs."""
+    lines = [f"{name} [{x_label} -> {y_label}]"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {x:>10.4g}  {y:>12.4g}")
+    return "\n".join(lines)
+
+
+def summarize_cdf(values: Sequence[float], percentiles: Sequence[float] = (50, 90, 99)) -> Dict[str, float]:
+    """Percentile summary of a distribution (used in place of full CDF plots)."""
+    if len(values) == 0:
+        return {f"p{int(p)}": float("nan") for p in percentiles}
+    array = np.asarray(values, dtype=float)
+    return {f"p{int(p)}": float(np.percentile(array, p)) for p in percentiles}
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """How many times smaller ``improved`` is than ``baseline`` (e.g. JCT reduction)."""
+    if improved <= 0:
+        return float("inf")
+    return baseline / improved

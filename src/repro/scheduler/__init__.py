@@ -1,0 +1,14 @@
+"""Round-based scheduling mechanism: priorities, Algorithm 1, leases."""
+
+from repro.scheduler.lease import CheckpointStore, GavelIterator, Lease
+from repro.scheduler.mechanism import RoundScheduler, ScheduledCombination
+from repro.scheduler.priorities import PriorityTracker
+
+__all__ = [
+    "PriorityTracker",
+    "RoundScheduler",
+    "ScheduledCombination",
+    "Lease",
+    "GavelIterator",
+    "CheckpointStore",
+]

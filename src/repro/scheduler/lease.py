@@ -1,0 +1,122 @@
+"""GavelIterator-style lease API — Section 6.
+
+On a physical deployment, user training scripts wrap their data iterator in a
+``GavelIterator`` which (a) runs a fixed number of iterations per round,
+(b) checks with the scheduler near the end of a round whether the *lease* is
+renewed (same job, same worker next round), and (c) saves a checkpoint and
+returns control to the scheduler when the lease expires.
+
+This reproduction has no physical workers, but the same API is provided so
+example applications can be written against it, and the simulator's
+"physical" mode uses the checkpoint accounting to model preemption overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Generic, Iterable, Iterator, List, Optional, TypeVar
+
+from repro.exceptions import SchedulingError
+
+__all__ = ["Lease", "GavelIterator", "CheckpointStore"]
+
+T = TypeVar("T")
+
+
+@dataclass
+class Lease:
+    """Permission for a job to keep running on its current worker."""
+
+    job_id: int
+    worker_id: int
+    round_index: int
+    renewed: bool = True
+
+
+class CheckpointStore:
+    """In-memory checkpoint store used by examples and the physical-mode simulator."""
+
+    def __init__(self) -> None:
+        self._checkpoints: Dict[int, object] = {}
+        self.saves = 0
+        self.loads = 0
+
+    def save(self, job_id: int, state: object) -> None:
+        self._checkpoints[job_id] = state
+        self.saves += 1
+
+    def load(self, job_id: int) -> Optional[object]:
+        self.loads += 1
+        return self._checkpoints.get(job_id)
+
+    def has_checkpoint(self, job_id: int) -> bool:
+        return job_id in self._checkpoints
+
+
+class GavelIterator(Generic[T]):
+    """Wraps a framework data iterator with round-aware lease handling.
+
+    Args:
+        data: The underlying iterable of minibatches.
+        job_id: The wrapping job's id.
+        load_checkpoint: Called with the job id at the start of a round; should
+            restore model state and return the iteration to resume from.
+        save_checkpoint: Called with the job id and the current iteration when
+            the lease is not renewed.
+        lease_oracle: Callable that answers whether the lease is renewed for
+            the next round; on a real deployment this is an RPC to the
+            scheduler.
+        iterations_per_round: How many minibatches constitute one round.
+    """
+
+    def __init__(
+        self,
+        data: Iterable[T],
+        job_id: int,
+        load_checkpoint: Callable[[int], Optional[int]],
+        save_checkpoint: Callable[[int, int], None],
+        lease_oracle: Callable[[int, int], bool],
+        iterations_per_round: int = 100,
+    ):
+        if iterations_per_round <= 0:
+            raise SchedulingError("iterations_per_round must be positive")
+        self._data = data
+        self._job_id = job_id
+        self._load_checkpoint = load_checkpoint
+        self._save_checkpoint = save_checkpoint
+        self._lease_oracle = lease_oracle
+        self._iterations_per_round = iterations_per_round
+        self._iteration = 0
+        self._round_index = 0
+        self._lease_active = True
+
+    @property
+    def iteration(self) -> int:
+        return self._iteration
+
+    @property
+    def round_index(self) -> int:
+        return self._round_index
+
+    @property
+    def lease_active(self) -> bool:
+        return self._lease_active
+
+    def __iter__(self) -> Iterator[T]:
+        resumed = self._load_checkpoint(self._job_id)
+        if resumed is not None:
+            self._iteration = int(resumed)
+        for item in self._data:
+            if not self._lease_active:
+                break
+            yield item
+            self._iteration += 1
+            if self._iteration % self._iterations_per_round == 0:
+                self._end_of_round()
+
+    def _end_of_round(self) -> None:
+        self._round_index += 1
+        renewed = self._lease_oracle(self._job_id, self._round_index)
+        if not renewed:
+            self._save_checkpoint(self._job_id, self._iteration)
+            self._lease_active = False

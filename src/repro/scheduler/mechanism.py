@@ -1,0 +1,128 @@
+"""Round-based scheduling mechanism — Section 5, Algorithm 1.
+
+Each round the mechanism picks, per accelerator type, the job combinations
+with the highest priority that fit in the remaining worker budget, subject to
+the constraint that no job appears in more than one scheduled combination in
+the same round.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.cluster.cluster_spec import ClusterSpec
+from repro.cluster.placement import PlacementRequest
+from repro.core.allocation import Allocation
+from repro.core.throughput_matrix import JobCombination
+from repro.exceptions import SchedulingError
+from repro.scheduler.priorities import PriorityTracker
+
+__all__ = ["ScheduledCombination", "RoundScheduler"]
+
+
+@dataclass(frozen=True)
+class ScheduledCombination:
+    """One job combination scheduled on one accelerator type for a round."""
+
+    combination: JobCombination
+    accelerator_name: str
+    scale_factor: int
+    priority: float
+
+    def placement_request(self) -> PlacementRequest:
+        return PlacementRequest(
+            combination=self.combination,
+            accelerator_name=self.accelerator_name,
+            scale_factor=self.scale_factor,
+        )
+
+
+class RoundScheduler:
+    """Greedy highest-priority-first selection of combinations for one round."""
+
+    def __init__(self, cluster_spec: ClusterSpec):
+        self._cluster_spec = cluster_spec
+
+    def schedule_round(
+        self,
+        tracker: PriorityTracker,
+        scale_factors: Mapping[int, int],
+    ) -> List[ScheduledCombination]:
+        """Select the combinations to run in the upcoming round.
+
+        Args:
+            tracker: Priority tracker holding the target allocation and the
+                time received so far in this allocation period.
+            scale_factors: Worker count required per job id.
+
+        Returns:
+            Scheduled combinations (at most one per job) whose total worker
+            demand per accelerator type fits the cluster.
+        """
+        allocation = tracker.allocation
+        priorities = tracker.priorities()
+        registry = allocation.registry
+
+        candidates: List[Tuple[float, float, JobCombination, str, int]] = []
+        for combination in allocation.combinations:
+            scale = max(int(scale_factors.get(job_id, 1)) for job_id in combination)
+            target = allocation.row(combination)
+            priority_row = priorities[combination]
+            for column, accelerator_name in enumerate(registry.names):
+                if target[column] <= 0:
+                    continue
+                priority = priority_row[column]
+                if priority <= 0:
+                    continue
+                # Sort key: higher priority first; ties broken by larger target
+                # allocation, then deterministically by combination id.
+                sort_priority = priority if math.isfinite(priority) else 1e18
+                candidates.append(
+                    (sort_priority, float(target[column]), combination, accelerator_name, scale)
+                )
+
+        candidates.sort(key=lambda item: (-item[0], -item[1], item[2], item[3]))
+
+        remaining: Dict[str, int] = {
+            name: self._cluster_spec.count(name) for name in registry.names
+        }
+        scheduled: List[ScheduledCombination] = []
+        busy_jobs: Set[int] = set()
+        for priority, _target, combination, accelerator_name, scale in candidates:
+            if any(job_id in busy_jobs for job_id in combination):
+                continue
+            if remaining[accelerator_name] < scale:
+                continue
+            remaining[accelerator_name] -= scale
+            busy_jobs.update(combination)
+            scheduled.append(
+                ScheduledCombination(
+                    combination=combination,
+                    accelerator_name=accelerator_name,
+                    scale_factor=scale,
+                    priority=priority,
+                )
+            )
+            if all(count == 0 for count in remaining.values()):
+                break
+        return scheduled
+
+    def validate_round(self, scheduled: Sequence[ScheduledCombination]) -> None:
+        """Sanity-check a round: no job twice, no accelerator type oversubscribed."""
+        seen: Set[int] = set()
+        usage: Dict[str, int] = {}
+        for item in scheduled:
+            for job_id in item.combination:
+                if job_id in seen:
+                    raise SchedulingError(f"job {job_id} scheduled more than once in a round")
+                seen.add(job_id)
+            usage[item.accelerator_name] = usage.get(item.accelerator_name, 0) + item.scale_factor
+        for name, used in usage.items():
+            if used > self._cluster_spec.count(name):
+                raise SchedulingError(
+                    f"round oversubscribes {name}: {used} > {self._cluster_spec.count(name)}"
+                )

@@ -1,0 +1,101 @@
+"""Per-round priority computation — Section 5, Figure 4.
+
+Between allocation recomputations the scheduler tracks, for every job
+combination and accelerator type, the wall-clock time the combination has
+already received.  The *fraction* matrix ``f`` normalizes this per accelerator
+type, and the priority of a (combination, type) pair is the element-wise
+ratio ``X_opt / f``: combinations that have received less time than their
+target allocation get a high priority (infinite if they have received
+nothing at all) and are scheduled first in the next round.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.accelerators import AcceleratorRegistry
+from repro.core.allocation import Allocation
+from repro.core.throughput_matrix import JobCombination
+from repro.exceptions import SchedulingError
+
+__all__ = ["PriorityTracker"]
+
+
+class PriorityTracker:
+    """Tracks time received per (combination, accelerator type) and derives priorities."""
+
+    def __init__(self, allocation: Allocation):
+        self._allocation = allocation
+        self._registry: AcceleratorRegistry = allocation.registry
+        self._time_received: Dict[JobCombination, np.ndarray] = {
+            combination: np.zeros(len(self._registry))
+            for combination in allocation.combinations
+        }
+
+    # -- bookkeeping -------------------------------------------------------------
+    @property
+    def allocation(self) -> Allocation:
+        return self._allocation
+
+    def record_time(self, combination: Sequence[int], accelerator_name: str, seconds: float) -> None:
+        """Record that ``combination`` ran on ``accelerator_name`` for ``seconds``."""
+        key = tuple(sorted(int(j) for j in combination))
+        if key not in self._time_received:
+            raise SchedulingError(f"combination {key} is not part of the tracked allocation")
+        if seconds < 0:
+            raise SchedulingError(f"cannot record negative time {seconds}")
+        column = self._registry.index_of(accelerator_name)
+        self._time_received[key][column] += seconds
+
+    def time_received(self, combination: Sequence[int]) -> np.ndarray:
+        """Seconds of time received per accelerator type for one combination."""
+        key = tuple(sorted(int(j) for j in combination))
+        if key not in self._time_received:
+            raise SchedulingError(f"combination {key} is not part of the tracked allocation")
+        return self._time_received[key].copy()
+
+    def total_time_per_type(self) -> np.ndarray:
+        """Total recorded seconds per accelerator type across all combinations."""
+        total = np.zeros(len(self._registry))
+        for received in self._time_received.values():
+            total += received
+        return total
+
+    # -- fractions and priorities ----------------------------------------------------
+    def fractions(self) -> Dict[JobCombination, np.ndarray]:
+        """``f[k, j]``: share of accelerator ``j``'s recorded time spent on combination ``k``."""
+        totals = self.total_time_per_type()
+        fractions: Dict[JobCombination, np.ndarray] = {}
+        for combination, received in self._time_received.items():
+            row = np.zeros(len(self._registry))
+            for column in range(len(self._registry)):
+                if totals[column] > 0:
+                    row[column] = received[column] / totals[column]
+            fractions[combination] = row
+        return fractions
+
+    def priorities(self) -> Dict[JobCombination, np.ndarray]:
+        """Element-wise ``X_opt / f`` with the conventions of Figure 4.
+
+        * target 0 ⇒ priority 0 (never scheduled on that type);
+        * target > 0 and no time received yet ⇒ infinite priority;
+        * otherwise the ratio of target to received fraction.
+        """
+        fractions = self.fractions()
+        priorities: Dict[JobCombination, np.ndarray] = {}
+        for combination in self._allocation.combinations:
+            target = self._allocation.row(combination)
+            fraction = fractions[combination]
+            row = np.zeros(len(self._registry))
+            for column in range(len(self._registry)):
+                if target[column] <= 0:
+                    row[column] = 0.0
+                elif fraction[column] <= 0:
+                    row[column] = math.inf
+                else:
+                    row[column] = target[column] / fraction[column]
+            priorities[combination] = row
+        return priorities

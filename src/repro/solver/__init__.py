@@ -1,0 +1,16 @@
+"""Optimization substrate: LP/MILP modeling, fractional programs, bisection."""
+
+from repro.solver.bisection import BisectionResult, bisect_min_feasible
+from repro.solver.fractional import FractionalProgram, FractionalSolution
+from repro.solver.lp import LinearExpression, LinearProgram, Solution, Variable
+
+__all__ = [
+    "LinearProgram",
+    "LinearExpression",
+    "Variable",
+    "Solution",
+    "FractionalProgram",
+    "FractionalSolution",
+    "bisect_min_feasible",
+    "BisectionResult",
+]

@@ -1,0 +1,85 @@
+"""Bisection over a monotone feasibility predicate.
+
+The makespan policy (Appendix A.1) binary-searches for the smallest makespan
+``M`` such that an LP with the constraint ``num_steps_m <= throughput(m, X) * M``
+is feasible.  This helper implements that search for any monotone predicate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Generic, Optional, Tuple, TypeVar
+
+from repro.exceptions import ConfigurationError, InfeasibleError
+
+__all__ = ["BisectionResult", "bisect_min_feasible"]
+
+T = TypeVar("T")
+
+
+@dataclass
+class BisectionResult(Generic[T]):
+    """Outcome of :func:`bisect_min_feasible`."""
+
+    value: float
+    witness: T
+    iterations: int
+
+
+def bisect_min_feasible(
+    predicate: Callable[[float], Optional[T]],
+    lower: float,
+    upper: float,
+    relative_tolerance: float = 1e-3,
+    max_iterations: int = 60,
+) -> BisectionResult[T]:
+    """Find (approximately) the smallest value in ``[lower, upper]`` that is feasible.
+
+    Args:
+        predicate: Called with a candidate value; returns a witness object if
+            the candidate is feasible and ``None`` otherwise.  Feasibility must
+            be monotone: if ``v`` is feasible then every ``v' > v`` is too.
+        lower: Lower end of the search interval (may be infeasible).
+        upper: Upper end of the search interval; must be feasible.
+        relative_tolerance: Stop when the bracket has shrunk below this
+            relative width.
+        max_iterations: Hard cap on bisection steps.
+
+    Returns:
+        The smallest feasible value found and the witness the predicate
+        returned for it.
+
+    Raises:
+        InfeasibleError: If ``upper`` itself is infeasible.
+        ConfigurationError: On an invalid interval or tolerance.
+    """
+    if not (lower >= 0 and upper > lower):
+        raise ConfigurationError(f"invalid bisection interval [{lower}, {upper}]")
+    if relative_tolerance <= 0:
+        raise ConfigurationError("relative_tolerance must be positive")
+
+    witness = predicate(upper)
+    if witness is None:
+        raise InfeasibleError(
+            f"bisection upper bound {upper:g} is infeasible; no feasible value in range"
+        )
+    best_value = upper
+    best_witness = witness
+
+    feasible_lower = predicate(lower)
+    if feasible_lower is not None:
+        return BisectionResult(value=lower, witness=feasible_lower, iterations=1)
+
+    low, high = lower, upper
+    iterations = 1
+    while iterations < max_iterations and (high - low) > relative_tolerance * max(high, 1e-12):
+        middle = 0.5 * (low + high)
+        iterations += 1
+        candidate = predicate(middle)
+        if candidate is not None:
+            best_value, best_witness = middle, candidate
+            high = middle
+        else:
+            low = middle
+    return BisectionResult(value=best_value, witness=best_witness, iterations=iterations)

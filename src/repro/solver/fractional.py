@@ -1,0 +1,164 @@
+"""Linear-fractional programming via the Charnes–Cooper transformation.
+
+The cost policies of Section 4.2 maximize a ratio of linear functions of the
+allocation, e.g. total effective throughput divided by total dollar cost.
+Such linear-fractional programs reduce to ordinary LPs: substitute
+``y = x * s`` and ``s = 1 / (d·x + d0)``, maximize ``c·y + c0*s`` subject to
+``d·y + d0*s == 1``, the scaled original constraints, and ``s >= 0``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import InfeasibleError, SolverError
+from repro.solver.lp import LinearExpression, LinearProgram, Solution, Variable
+
+__all__ = ["FractionalProgram", "FractionalSolution"]
+
+
+@dataclass
+class FractionalSolution:
+    """Solution of a linear-fractional program in the original variable space."""
+
+    values: np.ndarray
+    objective_value: float
+    scale: float
+
+    def value_of(self, expression: "Variable | LinearExpression") -> float:
+        if isinstance(expression, Variable):
+            return float(self.values[expression.index])
+        return expression.value(self.values)
+
+
+@dataclass
+class _RatioConstraint:
+    coefficients: Dict[int, float]
+    constant: float
+    sense: str  # "<=", ">=", "=="
+    rhs: float
+
+
+class FractionalProgram:
+    """Maximize ``(numerator) / (denominator)`` over a polytope.
+
+    Variables are continuous with finite lower/upper bounds (allocations live
+    in ``[0, 1]``).  The denominator must be strictly positive over the
+    feasible region; the Charnes–Cooper scale variable enforces this at the
+    optimum.
+    """
+
+    def __init__(self, name: str = "fractional"):
+        self.name = name
+        self._lower: List[float] = []
+        self._upper: List[float] = []
+        self._names: List[str] = []
+        self._constraints: List[_RatioConstraint] = []
+        self._numerator: Optional[LinearExpression] = None
+        self._denominator: Optional[LinearExpression] = None
+
+    # -- variables --------------------------------------------------------------
+    def add_variable(self, name: Optional[str] = None, lower: float = 0.0, upper: float = 1.0) -> Variable:
+        if not math.isfinite(lower) or not math.isfinite(upper):
+            raise SolverError(f"{self.name}: fractional programs require finite variable bounds")
+        index = len(self._lower)
+        self._lower.append(float(lower))
+        self._upper.append(float(upper))
+        self._names.append(name if name is not None else f"x{index}")
+        return Variable(index=index, name=self._names[-1])
+
+    def add_variables(self, count: int, name_prefix: str = "x", lower: float = 0.0, upper: float = 1.0) -> List[Variable]:
+        return [self.add_variable(f"{name_prefix}{i}", lower, upper) for i in range(count)]
+
+    # -- constraints ------------------------------------------------------------
+    @staticmethod
+    def _normalize(expression: "Mapping[int, float] | LinearExpression") -> Tuple[Dict[int, float], float]:
+        if isinstance(expression, Variable):
+            return {expression.index: 1.0}, 0.0
+        if isinstance(expression, LinearExpression):
+            return dict(expression.coefficients), expression.constant
+        return {int(k): float(v) for k, v in expression.items()}, 0.0
+
+    def add_less_equal(self, expression: "Mapping[int, float] | LinearExpression", rhs: float) -> None:
+        coefficients, constant = self._normalize(expression)
+        self._constraints.append(_RatioConstraint(coefficients, constant, "<=", float(rhs)))
+
+    def add_greater_equal(self, expression: "Mapping[int, float] | LinearExpression", rhs: float) -> None:
+        coefficients, constant = self._normalize(expression)
+        self._constraints.append(_RatioConstraint(coefficients, constant, ">=", float(rhs)))
+
+    def add_equal(self, expression: "Mapping[int, float] | LinearExpression", rhs: float) -> None:
+        coefficients, constant = self._normalize(expression)
+        self._constraints.append(_RatioConstraint(coefficients, constant, "==", float(rhs)))
+
+    # -- objective ----------------------------------------------------------------
+    def set_ratio_objective(
+        self,
+        numerator: "Mapping[int, float] | LinearExpression",
+        denominator: "Mapping[int, float] | LinearExpression",
+    ) -> None:
+        """Maximize ``numerator / denominator``."""
+        num_coefficients, num_constant = self._normalize(numerator)
+        den_coefficients, den_constant = self._normalize(denominator)
+        self._numerator = LinearExpression(num_coefficients, num_constant)
+        self._denominator = LinearExpression(den_coefficients, den_constant)
+
+    # -- solving -------------------------------------------------------------------
+    def solve(self) -> FractionalSolution:
+        """Solve via Charnes–Cooper and map back to the original variables."""
+        if self._numerator is None or self._denominator is None:
+            raise SolverError(f"{self.name}: ratio objective not set")
+        num_original = len(self._lower)
+        if num_original == 0:
+            raise SolverError(f"{self.name}: no variables")
+
+        lp = LinearProgram(name=f"{self.name}-charnes-cooper")
+        scaled = lp.add_variables(num_original, name_prefix="y", lower=0.0)
+        scale = lp.add_variable(name="s", lower=0.0)
+
+        # Original bounds lower <= x <= upper become lower*s <= y <= upper*s.
+        for index in range(num_original):
+            lp.add_less_equal({scaled[index].index: 1.0, scale.index: -self._upper[index]}, 0.0)
+            lp.add_greater_equal({scaled[index].index: 1.0, scale.index: -self._lower[index]}, 0.0)
+
+        # Original constraints a·x + a0 (sense) rhs become a·y + (a0 - rhs)*s (sense) 0.
+        for constraint in self._constraints:
+            coefficients = {scaled[i].index: c for i, c in constraint.coefficients.items()}
+            coefficients[scale.index] = coefficients.get(scale.index, 0.0) + (
+                constraint.constant - constraint.rhs
+            )
+            if constraint.sense == "<=":
+                lp.add_less_equal(coefficients, 0.0)
+            elif constraint.sense == ">=":
+                lp.add_greater_equal(coefficients, 0.0)
+            else:
+                lp.add_equal(coefficients, 0.0)
+
+        # Denominator normalisation: d·y + d0*s == 1.
+        denominator = {scaled[i].index: c for i, c in self._denominator.coefficients.items()}
+        denominator[scale.index] = denominator.get(scale.index, 0.0) + self._denominator.constant
+        lp.add_equal(denominator, 1.0)
+
+        numerator = {scaled[i].index: c for i, c in self._numerator.coefficients.items()}
+        numerator[scale.index] = numerator.get(scale.index, 0.0) + self._numerator.constant
+        lp.maximize(numerator)
+
+        solution = lp.solve()
+        scale_value = solution.value_of(scale)
+        if scale_value <= 1e-12:
+            raise InfeasibleError(
+                f"{self.name}: Charnes–Cooper scale collapsed to zero "
+                "(denominator is not strictly positive on the feasible set)"
+            )
+        original_values = np.array(
+            [solution.value_of(scaled[i]) / scale_value for i in range(num_original)]
+        )
+        return FractionalSolution(
+            values=original_values,
+            objective_value=solution.objective_value,
+            scale=scale_value,
+        )

@@ -1,0 +1,375 @@
+"""A small linear-programming modeling layer on top of SciPy's HiGHS solvers.
+
+The paper implements its policies with cvxpy; cvxpy is not available in this
+offline environment, so this module provides the narrow modeling surface the
+policies need:
+
+* continuous and integer variables with bounds,
+* linear ``<=`` / ``>=`` / ``==`` constraints expressed as sparse coefficient
+  maps,
+* linear objectives (maximize or minimize),
+* epigraph helpers for max-min / min-max objectives.
+
+Problems are handed to :func:`scipy.optimize.linprog` (pure LPs) or
+:func:`scipy.optimize.milp` (when any variable is integer), both of which use
+HiGHS and solve the same programs cvxpy would.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import LinearConstraint, linprog, milp
+from scipy.optimize import Bounds as ScipyBounds
+
+from repro.exceptions import InfeasibleError, SolverError
+
+__all__ = ["Variable", "LinearExpression", "LinearProgram", "Solution"]
+
+_Coefficients = Union[Mapping[int, float], "LinearExpression"]
+
+
+@dataclass(frozen=True)
+class Variable:
+    """Handle to a single decision variable inside a :class:`LinearProgram`."""
+
+    index: int
+    name: str
+
+    def __mul__(self, scalar: float) -> "LinearExpression":
+        return LinearExpression({self.index: float(scalar)})
+
+    __rmul__ = __mul__
+
+    def __add__(self, other: "Variable | LinearExpression | float") -> "LinearExpression":
+        return LinearExpression({self.index: 1.0}) + other
+
+    def __radd__(self, other: "Variable | LinearExpression | float") -> "LinearExpression":
+        return self.__add__(other)
+
+    def __neg__(self) -> "LinearExpression":
+        return LinearExpression({self.index: -1.0})
+
+    def __sub__(self, other: "Variable | LinearExpression | float") -> "LinearExpression":
+        return LinearExpression({self.index: 1.0}) - other
+
+    def __rsub__(self, other: "Variable | LinearExpression | float") -> "LinearExpression":
+        return (-self) + other
+
+
+class LinearExpression:
+    """A sparse linear expression ``sum_i coeff_i * x_i + constant``."""
+
+    __slots__ = ("coefficients", "constant")
+
+    def __init__(self, coefficients: Optional[Mapping[int, float]] = None, constant: float = 0.0):
+        self.coefficients: Dict[int, float] = dict(coefficients or {})
+        self.constant = float(constant)
+
+    @classmethod
+    def from_terms(cls, terms: Iterable[Tuple["Variable | int", float]], constant: float = 0.0) -> "LinearExpression":
+        """Build an expression from ``(variable, coefficient)`` pairs."""
+        coefficients: Dict[int, float] = {}
+        for variable, coefficient in terms:
+            index = variable.index if isinstance(variable, Variable) else int(variable)
+            coefficients[index] = coefficients.get(index, 0.0) + float(coefficient)
+        return cls(coefficients, constant)
+
+    def copy(self) -> "LinearExpression":
+        return LinearExpression(dict(self.coefficients), self.constant)
+
+    def __add__(self, other: "LinearExpression | Variable | float") -> "LinearExpression":
+        result = self.copy()
+        if isinstance(other, LinearExpression):
+            for index, coefficient in other.coefficients.items():
+                result.coefficients[index] = result.coefficients.get(index, 0.0) + coefficient
+            result.constant += other.constant
+        elif isinstance(other, Variable):
+            result.coefficients[other.index] = result.coefficients.get(other.index, 0.0) + 1.0
+        else:
+            result.constant += float(other)
+        return result
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "LinearExpression | Variable | float") -> "LinearExpression":
+        return self + (other * -1.0 if isinstance(other, (LinearExpression, Variable)) else -float(other))
+
+    def __rsub__(self, other: "LinearExpression | Variable | float") -> "LinearExpression":
+        return (self * -1.0) + other
+
+    def __neg__(self) -> "LinearExpression":
+        return self * -1.0
+
+    def __mul__(self, scalar: float) -> "LinearExpression":
+        return LinearExpression(
+            {index: coefficient * float(scalar) for index, coefficient in self.coefficients.items()},
+            self.constant * float(scalar),
+        )
+
+    __rmul__ = __mul__
+
+    def value(self, assignment: np.ndarray) -> float:
+        """Evaluate the expression at a variable assignment."""
+        total = self.constant
+        for index, coefficient in self.coefficients.items():
+            total += coefficient * float(assignment[index])
+        return total
+
+    def __repr__(self) -> str:
+        terms = " + ".join(f"{c:g}*x{i}" for i, c in sorted(self.coefficients.items()))
+        return f"LinearExpression({terms or '0'} + {self.constant:g})"
+
+
+@dataclass
+class Solution:
+    """Result of solving a :class:`LinearProgram`."""
+
+    values: np.ndarray
+    objective_value: float
+    status: str
+
+    def value_of(self, variable: "Variable | LinearExpression") -> float:
+        """Value of a variable or linear expression at the optimum."""
+        if isinstance(variable, Variable):
+            return float(self.values[variable.index])
+        return variable.value(self.values)
+
+
+@dataclass
+class _Constraint:
+    coefficients: Dict[int, float]
+    lower: float
+    upper: float
+
+
+class LinearProgram:
+    """Incrementally built LP / MILP solved with HiGHS."""
+
+    def __init__(self, name: str = "lp"):
+        self.name = name
+        self._lower: List[float] = []
+        self._upper: List[float] = []
+        self._integer: List[bool] = []
+        self._names: List[str] = []
+        self._constraints: List[_Constraint] = []
+        self._objective: Dict[int, float] = {}
+        self._objective_constant = 0.0
+        self._maximize = False
+
+    # -- variables -----------------------------------------------------------------
+    def num_variables(self) -> int:
+        return len(self._lower)
+
+    def add_variable(
+        self,
+        name: Optional[str] = None,
+        lower: float = 0.0,
+        upper: Optional[float] = None,
+        integer: bool = False,
+    ) -> Variable:
+        """Add one decision variable and return its handle."""
+        index = len(self._lower)
+        self._lower.append(float(lower))
+        self._upper.append(float(upper) if upper is not None else math.inf)
+        self._integer.append(bool(integer))
+        self._names.append(name if name is not None else f"x{index}")
+        return Variable(index=index, name=self._names[-1])
+
+    def add_variables(
+        self,
+        count: int,
+        name_prefix: str = "x",
+        lower: float = 0.0,
+        upper: Optional[float] = None,
+        integer: bool = False,
+    ) -> List[Variable]:
+        """Add ``count`` variables sharing bounds, returning their handles."""
+        return [
+            self.add_variable(name=f"{name_prefix}{i}", lower=lower, upper=upper, integer=integer)
+            for i in range(count)
+        ]
+
+    # -- constraints ------------------------------------------------------------------
+    @staticmethod
+    def _normalize(expression: "_Coefficients") -> Tuple[Dict[int, float], float]:
+        if isinstance(expression, Variable):
+            return {expression.index: 1.0}, 0.0
+        if isinstance(expression, LinearExpression):
+            return dict(expression.coefficients), expression.constant
+        return {int(k): float(v) for k, v in expression.items()}, 0.0
+
+    def add_less_equal(self, expression: "_Coefficients", rhs: float) -> None:
+        """Add ``expression <= rhs``."""
+        coefficients, constant = self._normalize(expression)
+        self._constraints.append(
+            _Constraint(coefficients=coefficients, lower=-math.inf, upper=float(rhs) - constant)
+        )
+
+    def add_greater_equal(self, expression: "_Coefficients", rhs: float) -> None:
+        """Add ``expression >= rhs``."""
+        coefficients, constant = self._normalize(expression)
+        self._constraints.append(
+            _Constraint(coefficients=coefficients, lower=float(rhs) - constant, upper=math.inf)
+        )
+
+    def add_equal(self, expression: "_Coefficients", rhs: float) -> None:
+        """Add ``expression == rhs``."""
+        coefficients, constant = self._normalize(expression)
+        bound = float(rhs) - constant
+        self._constraints.append(_Constraint(coefficients=coefficients, lower=bound, upper=bound))
+
+    def num_constraints(self) -> int:
+        return len(self._constraints)
+
+    # -- objective ---------------------------------------------------------------------
+    def set_objective(self, expression: "_Coefficients", maximize: bool) -> None:
+        """Set the linear objective; ``maximize`` selects the sense."""
+        coefficients, constant = self._normalize(expression)
+        self._objective = coefficients
+        self._objective_constant = constant
+        self._maximize = maximize
+
+    def maximize(self, expression: "_Coefficients") -> None:
+        self.set_objective(expression, maximize=True)
+
+    def minimize(self, expression: "_Coefficients") -> None:
+        self.set_objective(expression, maximize=False)
+
+    # -- epigraph helpers -----------------------------------------------------------------
+    def add_max_min_objective(self, expressions: Sequence["_Coefficients"]) -> Variable:
+        """Maximize ``min_k expressions[k]`` via an epigraph variable.
+
+        Returns the epigraph variable (its optimal value is the achieved
+        minimum).
+        """
+        epigraph = self.add_variable(name="max_min_t", lower=-math.inf)
+        for expression in expressions:
+            coefficients, constant = self._normalize(expression)
+            # t <= expr  <=>  t - expr <= constant-part of expr
+            shifted = {index: -coefficient for index, coefficient in coefficients.items()}
+            shifted[epigraph.index] = shifted.get(epigraph.index, 0.0) + 1.0
+            self._constraints.append(
+                _Constraint(coefficients=shifted, lower=-math.inf, upper=constant)
+            )
+        self.maximize({epigraph.index: 1.0})
+        return epigraph
+
+    def add_min_max_objective(self, expressions: Sequence["_Coefficients"]) -> Variable:
+        """Minimize ``max_k expressions[k]`` via an epigraph variable."""
+        epigraph = self.add_variable(name="min_max_t", lower=-math.inf)
+        for expression in expressions:
+            coefficients, constant = self._normalize(expression)
+            # expr <= t  <=>  expr - t <= -constant
+            shifted = dict(coefficients)
+            shifted[epigraph.index] = shifted.get(epigraph.index, 0.0) - 1.0
+            self._constraints.append(
+                _Constraint(coefficients=shifted, lower=-math.inf, upper=-constant)
+            )
+        self.minimize({epigraph.index: 1.0})
+        return epigraph
+
+    # -- solving --------------------------------------------------------------------------
+    def _build_constraint_matrix(self) -> Tuple[sparse.csr_matrix, np.ndarray, np.ndarray]:
+        num_vars = self.num_variables()
+        rows: List[int] = []
+        cols: List[int] = []
+        data: List[float] = []
+        lowers = np.empty(len(self._constraints))
+        uppers = np.empty(len(self._constraints))
+        for row, constraint in enumerate(self._constraints):
+            lowers[row] = constraint.lower
+            uppers[row] = constraint.upper
+            for index, coefficient in constraint.coefficients.items():
+                if coefficient != 0.0:
+                    rows.append(row)
+                    cols.append(index)
+                    data.append(coefficient)
+        matrix = sparse.csr_matrix(
+            (data, (rows, cols)), shape=(len(self._constraints), num_vars)
+        )
+        return matrix, lowers, uppers
+
+    def _objective_vector(self) -> np.ndarray:
+        c = np.zeros(self.num_variables())
+        for index, coefficient in self._objective.items():
+            c[index] = coefficient
+        return -c if self._maximize else c
+
+    def solve(self) -> Solution:
+        """Solve the program, raising on infeasibility or solver failure."""
+        if self.num_variables() == 0:
+            raise SolverError(f"{self.name}: cannot solve a program with no variables")
+        c = self._objective_vector()
+        lower = np.array(self._lower)
+        upper = np.array(self._upper)
+        use_milp = any(self._integer)
+
+        if self._constraints:
+            matrix, constraint_lower, constraint_upper = self._build_constraint_matrix()
+        else:
+            matrix, constraint_lower, constraint_upper = None, None, None
+
+        if use_milp:
+            constraints = []
+            if matrix is not None:
+                constraints.append(LinearConstraint(matrix, constraint_lower, constraint_upper))
+            integrality = np.array([1 if flag else 0 for flag in self._integer])
+            result = milp(
+                c=c,
+                constraints=constraints,
+                bounds=ScipyBounds(lower, upper),
+                integrality=integrality,
+            )
+            success, status_message, x, objective = (
+                result.success,
+                result.message,
+                result.x,
+                result.fun,
+            )
+        else:
+            if matrix is not None:
+                # Split two-sided row bounds into <= rows for linprog.
+                finite_upper = np.isfinite(constraint_upper)
+                finite_lower = np.isfinite(constraint_lower)
+                blocks = []
+                rhs_parts = []
+                if finite_upper.any():
+                    blocks.append(matrix[finite_upper])
+                    rhs_parts.append(constraint_upper[finite_upper])
+                if finite_lower.any():
+                    blocks.append(-matrix[finite_lower])
+                    rhs_parts.append(-constraint_lower[finite_lower])
+                a_ub = sparse.vstack(blocks) if blocks else None
+                b_ub = np.concatenate(rhs_parts) if rhs_parts else None
+            else:
+                a_ub, b_ub = None, None
+            result = linprog(
+                c=c,
+                A_ub=a_ub,
+                b_ub=b_ub,
+                bounds=np.column_stack([lower, upper]),
+                method="highs",
+            )
+            success, status_message, x, objective = (
+                result.success,
+                result.message,
+                result.x,
+                result.fun,
+            )
+
+        if not success or x is None:
+            message = status_message or "unknown solver failure"
+            if "infeasible" in message.lower():
+                raise InfeasibleError(f"{self.name}: {message}")
+            raise SolverError(f"{self.name}: {message}")
+
+        objective_value = float(objective) + (0.0 if not self._maximize else 0.0)
+        if self._maximize:
+            objective_value = -float(objective)
+        objective_value += self._objective_constant
+        return Solution(values=np.asarray(x, dtype=float), objective_value=objective_value, status="optimal")

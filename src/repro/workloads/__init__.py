@@ -1,0 +1,23 @@
+"""Workload model: jobs, the Table 2 job-type table, throughput oracles, traces."""
+
+from repro.workloads.colocation import ColocatedThroughputs, ColocationModel
+from repro.workloads.job import Job, JobIdAllocator
+from repro.workloads.job_table import JobTypeSpec, JobTypeTable, default_job_type_table, job_type_name
+from repro.workloads.throughputs import ThroughputOracle
+from repro.workloads.trace import Trace
+from repro.workloads.trace_generator import TraceGenerator, TraceGeneratorConfig
+
+__all__ = [
+    "Job",
+    "JobIdAllocator",
+    "JobTypeSpec",
+    "JobTypeTable",
+    "default_job_type_table",
+    "job_type_name",
+    "ThroughputOracle",
+    "ColocationModel",
+    "ColocatedThroughputs",
+    "Trace",
+    "TraceGenerator",
+    "TraceGeneratorConfig",
+]

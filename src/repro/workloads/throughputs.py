@@ -1,0 +1,160 @@
+"""Synthetic oracle for isolated (non-colocated) job throughputs.
+
+The oracle answers "how many steps per second does job type ``t`` achieve on
+accelerator ``a`` with ``s`` workers, placed consolidated or not?".  It is the
+reproduction's substitute for the paper's measured throughput files: the
+numbers are synthetic but their ratios across accelerator types follow
+Figure 1a, their dollar-normalized ordering follows Figure 1b, and their
+distributed-scaling behaviour follows the placement-sensitivity discussion in
+Section 3.1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.accelerators import AcceleratorRegistry, default_registry
+from repro.exceptions import ConfigurationError, UnknownAcceleratorError, UnknownJobError
+from repro.workloads.job_table import JobTypeSpec, JobTypeTable, default_job_type_table
+
+__all__ = ["ThroughputOracle"]
+
+
+class ThroughputOracle:
+    """Deterministic isolated-throughput model for all job types.
+
+    Args:
+        job_types: Job type calibration table (defaults to the 26-entry table).
+        registry: Accelerator registry fixing which accelerator names exist.
+        batch_size_speedup_exponent: Larger batches utilise fast GPUs slightly
+            better; the speedup of a non-K80 accelerator is scaled by
+            ``(batch_size / min_batch_size_of_model) ** exponent`` capped at
+            15% extra, which mirrors the spread visible in Figure 1a.
+    """
+
+    def __init__(
+        self,
+        job_types: Optional[JobTypeTable] = None,
+        registry: Optional[AcceleratorRegistry] = None,
+        batch_size_speedup_exponent: float = 0.03,
+    ):
+        self._job_types = job_types if job_types is not None else default_job_type_table()
+        self._registry = registry if registry is not None else default_registry()
+        if batch_size_speedup_exponent < 0:
+            raise ConfigurationError("batch_size_speedup_exponent must be >= 0")
+        self._bs_exponent = batch_size_speedup_exponent
+        self._min_batch_size: Dict[str, int] = {}
+        for spec in self._job_types:
+            current = self._min_batch_size.get(spec.model)
+            if current is None or spec.batch_size < current:
+                self._min_batch_size[spec.model] = spec.batch_size
+
+    # -- basic queries --------------------------------------------------------
+    @property
+    def registry(self) -> AcceleratorRegistry:
+        return self._registry
+
+    @property
+    def job_types(self) -> JobTypeTable:
+        return self._job_types
+
+    def spec(self, job_type: str) -> JobTypeSpec:
+        """Calibration record for ``job_type``."""
+        return self._job_types.get(job_type)
+
+    def single_worker_throughput(self, job_type: str, accelerator_name: str) -> float:
+        """Steps/second of one worker of ``job_type`` on ``accelerator_name``."""
+        if accelerator_name not in self._registry:
+            raise UnknownAcceleratorError(f"unknown accelerator {accelerator_name!r}")
+        spec = self._job_types.get(job_type)
+        speedup = spec.speedup(accelerator_name)
+        if accelerator_name != "k80" and self._bs_exponent > 0:
+            ratio = spec.batch_size / self._min_batch_size[spec.model]
+            speedup *= min(1.15, ratio**self._bs_exponent)
+        return spec.base_k80_throughput * speedup
+
+    def scaling_efficiency(
+        self, job_type: str, scale_factor: int, consolidated: bool = True
+    ) -> float:
+        """Per-worker efficiency of running with ``scale_factor`` workers.
+
+        Efficiency is 1.0 for a single worker and decays geometrically with
+        each doubling of the worker count, faster when workers are spread
+        across servers (unconsolidated).
+        """
+        if scale_factor < 1 or int(scale_factor) != scale_factor:
+            raise ConfigurationError(f"scale_factor must be a positive integer, got {scale_factor}")
+        if scale_factor == 1:
+            return 1.0
+        spec = self._job_types.get(job_type)
+        per_doubling = spec.consolidated_scaling if consolidated else spec.unconsolidated_scaling
+        doublings = math.log2(scale_factor)
+        return per_doubling**doublings
+
+    def throughput(
+        self,
+        job_type: str,
+        accelerator_name: str,
+        scale_factor: int = 1,
+        consolidated: bool = True,
+    ) -> float:
+        """Aggregate steps/second of a (possibly distributed) job.
+
+        A distributed job's throughput is the single-worker throughput times
+        the worker count times the scaling efficiency.
+        """
+        single = self.single_worker_throughput(job_type, accelerator_name)
+        efficiency = self.scaling_efficiency(job_type, scale_factor, consolidated=consolidated)
+        return single * scale_factor * efficiency
+
+    # -- vectorised / matrix views ---------------------------------------------
+    def throughput_vector(
+        self, job_type: str, scale_factor: int = 1, consolidated: bool = True
+    ) -> np.ndarray:
+        """Throughputs of ``job_type`` on every accelerator, in registry order."""
+        return np.array(
+            [
+                self.throughput(job_type, name, scale_factor=scale_factor, consolidated=consolidated)
+                for name in self._registry.names
+            ],
+            dtype=float,
+        )
+
+    def throughput_table(self) -> Dict[str, np.ndarray]:
+        """Single-worker throughput vectors for every job type."""
+        return {name: self.throughput_vector(name) for name in self._job_types.names}
+
+    def dollar_normalized_throughput(self, job_type: str, accelerator_name: str) -> float:
+        """Steps per dollar: throughput divided by the accelerator's hourly price.
+
+        This is the quantity plotted in Figure 1b (up to a constant factor of
+        3600 seconds/hour, which does not affect the comparison).
+        """
+        accelerator = self._registry.get(accelerator_name)
+        if accelerator.cost_per_hour == 0:
+            raise ConfigurationError(
+                f"accelerator {accelerator_name!r} has zero cost; cannot dollar-normalize"
+            )
+        return (
+            self.single_worker_throughput(job_type, accelerator_name)
+            * 3600.0
+            / accelerator.cost_per_hour
+        )
+
+    def best_accelerator(self, job_type: str, dollar_normalized: bool = False) -> str:
+        """Name of the accelerator maximising (dollar-normalized) throughput."""
+        if dollar_normalized:
+            scores = {
+                name: self.dollar_normalized_throughput(job_type, name)
+                for name in self._registry.names
+            }
+        else:
+            scores = {
+                name: self.single_worker_throughput(job_type, name)
+                for name in self._registry.names
+            }
+        return max(scores, key=lambda name: scores[name])

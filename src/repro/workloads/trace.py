@@ -1,0 +1,96 @@
+"""Workload traces: ordered collections of jobs submitted to the cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import TraceError
+from repro.workloads.job import Job
+
+__all__ = ["Trace"]
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An immutable, arrival-time-ordered sequence of jobs.
+
+    A *static* trace has every job arriving at time zero (used for makespan
+    experiments); a *continuous* trace has Poisson arrivals (used for
+    steady-state JCT experiments).
+    """
+
+    jobs: Tuple[Job, ...]
+    name: str = "trace"
+
+    def __post_init__(self) -> None:
+        ids = [job.job_id for job in self.jobs]
+        if len(set(ids)) != len(ids):
+            raise TraceError(f"trace {self.name!r} contains duplicate job ids")
+        arrivals = [job.arrival_time for job in self.jobs]
+        if any(b < a for a, b in zip(arrivals, arrivals[1:])):
+            raise TraceError(f"trace {self.name!r} is not sorted by arrival time")
+
+    # -- constructors ----------------------------------------------------------
+    @classmethod
+    def from_jobs(cls, jobs: Iterable[Job], name: str = "trace") -> "Trace":
+        """Build a trace, sorting jobs by (arrival_time, job_id)."""
+        ordered = tuple(sorted(jobs, key=lambda j: (j.arrival_time, j.job_id)))
+        return cls(jobs=ordered, name=name)
+
+    # -- container protocol ------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self.jobs)
+
+    def __getitem__(self, index: int) -> Job:
+        return self.jobs[index]
+
+    # -- queries ------------------------------------------------------------------
+    def job(self, job_id: int) -> Job:
+        """Return the job with id ``job_id``."""
+        for job in self.jobs:
+            if job.job_id == job_id:
+                return job
+        raise TraceError(f"trace {self.name!r} has no job with id {job_id}")
+
+    def is_static(self) -> bool:
+        """Whether every job arrives at time zero."""
+        return all(job.arrival_time == 0.0 for job in self.jobs)
+
+    def arrival_span_seconds(self) -> float:
+        """Time between the first and last arrival."""
+        if not self.jobs:
+            return 0.0
+        return self.jobs[-1].arrival_time - self.jobs[0].arrival_time
+
+    def job_types(self) -> Tuple[str, ...]:
+        """Distinct job types present in the trace, in first-appearance order."""
+        seen: List[str] = []
+        for job in self.jobs:
+            if job.job_type not in seen:
+                seen.append(job.job_type)
+        return tuple(seen)
+
+    def scale_factor_histogram(self) -> Dict[int, int]:
+        """Number of jobs per requested worker count."""
+        histogram: Dict[int, int] = {}
+        for job in self.jobs:
+            histogram[job.scale_factor] = histogram.get(job.scale_factor, 0) + 1
+        return histogram
+
+    # -- transformations -------------------------------------------------------------
+    def subset(self, num_jobs: int) -> "Trace":
+        """Return a trace with only the first ``num_jobs`` jobs."""
+        if num_jobs < 0:
+            raise TraceError(f"num_jobs must be non-negative, got {num_jobs}")
+        return Trace(jobs=self.jobs[:num_jobs], name=f"{self.name}[:{num_jobs}]")
+
+    def map_jobs(self, transform: Callable[[Job], Job], name: Optional[str] = None) -> "Trace":
+        """Return a trace with ``transform`` applied to every job."""
+        return Trace.from_jobs(
+            (transform(job) for job in self.jobs),
+            name=name if name is not None else self.name,
+        )

@@ -1,0 +1,221 @@
+"""Synthetic trace generation matching the paper's evaluation setup (§7.1).
+
+* Job configurations are drawn uniformly from the 26 entries of Table 2.
+* Durations are sampled log-uniformly between 10^1.5 and 10^4 minutes (the
+  process Gandiva and Gavel use) and converted to a step count using the
+  job's throughput on a reference accelerator.
+* Continuous traces use Poisson arrivals with a configurable rate λ
+  (jobs/hour); static traces submit every job at time zero.
+* Multi-worker traces follow the published Microsoft Philly proportions the
+  paper quotes: roughly 70% of jobs use one worker, 25% use 2–4 workers and
+  5% use 8 workers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.workloads.job import Job, JobIdAllocator
+from repro.workloads.job_table import JobTypeTable, default_job_type_table
+from repro.workloads.throughputs import ThroughputOracle
+from repro.workloads.trace import Trace
+
+__all__ = ["TraceGeneratorConfig", "TraceGenerator"]
+
+_SECONDS_PER_MINUTE = 60.0
+_SECONDS_PER_HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class TraceGeneratorConfig:
+    """Tunable knobs for synthetic trace generation.
+
+    Attributes:
+        min_duration_minutes / max_duration_minutes: Bounds of the log-uniform
+            duration distribution (paper: 10^1.5 to 10^4 minutes).
+        reference_accelerator: Accelerator whose throughput converts a target
+            duration into a step count.
+        multi_worker: Whether to sample multi-worker scale factors
+            (continuous-multiple / static-multiple traces).
+        single_worker_fraction / small_multi_fraction: Proportions of 1-worker
+            and 2-4-worker jobs; the remainder requests 8 workers.
+    """
+
+    min_duration_minutes: float = 10**1.5
+    max_duration_minutes: float = 10**4
+    reference_accelerator: str = "v100"
+    multi_worker: bool = False
+    single_worker_fraction: float = 0.70
+    small_multi_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.min_duration_minutes <= 0 or self.max_duration_minutes <= self.min_duration_minutes:
+            raise ConfigurationError(
+                "duration bounds must satisfy 0 < min < max, got "
+                f"[{self.min_duration_minutes}, {self.max_duration_minutes}]"
+            )
+        if not 0.0 <= self.single_worker_fraction <= 1.0:
+            raise ConfigurationError("single_worker_fraction must be in [0, 1]")
+        if not 0.0 <= self.small_multi_fraction <= 1.0:
+            raise ConfigurationError("small_multi_fraction must be in [0, 1]")
+        if self.single_worker_fraction + self.small_multi_fraction > 1.0:
+            raise ConfigurationError(
+                "single_worker_fraction + small_multi_fraction must not exceed 1"
+            )
+
+
+class TraceGenerator:
+    """Generates static and continuous traces from the Table 2 workload."""
+
+    def __init__(
+        self,
+        oracle: Optional[ThroughputOracle] = None,
+        config: Optional[TraceGeneratorConfig] = None,
+    ):
+        self._oracle = oracle if oracle is not None else ThroughputOracle()
+        self._config = config if config is not None else TraceGeneratorConfig()
+        if self._config.reference_accelerator not in self._oracle.registry:
+            raise ConfigurationError(
+                f"reference accelerator {self._config.reference_accelerator!r} "
+                "is not in the oracle's registry"
+            )
+
+    @property
+    def oracle(self) -> ThroughputOracle:
+        return self._oracle
+
+    @property
+    def config(self) -> TraceGeneratorConfig:
+        return self._config
+
+    # -- sampling helpers ---------------------------------------------------------
+    def _sample_job_type(self, rng: np.random.Generator) -> str:
+        names = self._oracle.job_types.names
+        return names[int(rng.integers(0, len(names)))]
+
+    def _sample_duration_seconds(self, rng: np.random.Generator) -> float:
+        low = math.log10(self._config.min_duration_minutes)
+        high = math.log10(self._config.max_duration_minutes)
+        minutes = 10 ** rng.uniform(low, high)
+        return minutes * _SECONDS_PER_MINUTE
+
+    def _sample_scale_factor(self, rng: np.random.Generator) -> int:
+        if not self._config.multi_worker:
+            return 1
+        draw = rng.uniform()
+        if draw < self._config.single_worker_fraction:
+            return 1
+        if draw < self._config.single_worker_fraction + self._config.small_multi_fraction:
+            return int(rng.choice([2, 4]))
+        return 8
+
+    def _steps_for_duration(self, job_type: str, scale_factor: int, duration_seconds: float) -> float:
+        reference_throughput = self._oracle.throughput(
+            job_type, self._config.reference_accelerator, scale_factor=scale_factor
+        )
+        return max(1.0, duration_seconds * reference_throughput)
+
+    def _make_job(
+        self,
+        allocator: JobIdAllocator,
+        rng: np.random.Generator,
+        arrival_time: float,
+    ) -> Job:
+        job_type = self._sample_job_type(rng)
+        scale_factor = self._sample_scale_factor(rng)
+        duration_seconds = self._sample_duration_seconds(rng)
+        total_steps = self._steps_for_duration(job_type, scale_factor, duration_seconds)
+        return Job(
+            job_id=allocator.next_id(),
+            job_type=job_type,
+            total_steps=total_steps,
+            arrival_time=arrival_time,
+            scale_factor=scale_factor,
+            duration_seconds_on_reference=duration_seconds,
+        )
+
+    # -- public generators -----------------------------------------------------------
+    def generate_static(self, num_jobs: int, seed: int = 0, name: Optional[str] = None) -> Trace:
+        """All jobs available at time zero (makespan experiments)."""
+        if num_jobs <= 0:
+            raise ConfigurationError(f"num_jobs must be positive, got {num_jobs}")
+        rng = np.random.default_rng(seed)
+        allocator = JobIdAllocator()
+        jobs = [self._make_job(allocator, rng, arrival_time=0.0) for _ in range(num_jobs)]
+        suffix = "multiple" if self._config.multi_worker else "single"
+        return Trace.from_jobs(jobs, name=name or f"static-{suffix}-{num_jobs}jobs-seed{seed}")
+
+    def generate_continuous(
+        self,
+        num_jobs: int,
+        jobs_per_hour: float,
+        seed: int = 0,
+        name: Optional[str] = None,
+    ) -> Trace:
+        """Poisson arrivals with rate ``jobs_per_hour`` (steady-state JCT experiments)."""
+        if num_jobs <= 0:
+            raise ConfigurationError(f"num_jobs must be positive, got {num_jobs}")
+        if jobs_per_hour <= 0:
+            raise ConfigurationError(f"jobs_per_hour must be positive, got {jobs_per_hour}")
+        rng = np.random.default_rng(seed)
+        allocator = JobIdAllocator()
+        mean_interarrival = _SECONDS_PER_HOUR / jobs_per_hour
+        arrival = 0.0
+        jobs: List[Job] = []
+        for _ in range(num_jobs):
+            arrival += rng.exponential(mean_interarrival)
+            jobs.append(self._make_job(allocator, rng, arrival_time=arrival))
+        suffix = "multiple" if self._config.multi_worker else "single"
+        return Trace.from_jobs(
+            jobs,
+            name=name or f"continuous-{suffix}-{num_jobs}jobs-{jobs_per_hour:g}per_hr-seed{seed}",
+        )
+
+    # -- experiment-specific decorators -------------------------------------------------
+    @staticmethod
+    def assign_priorities(trace: Trace, high_priority_fraction: float, high_weight: float = 5.0,
+                          seed: int = 0) -> Trace:
+        """Mark a random fraction of jobs as high priority (Figure 20's setup)."""
+        if not 0.0 <= high_priority_fraction <= 1.0:
+            raise ConfigurationError("high_priority_fraction must be in [0, 1]")
+        rng = np.random.default_rng(seed)
+        flags = rng.uniform(size=len(trace)) < high_priority_fraction
+        return trace.map_jobs(
+            lambda job: job.with_priority(high_weight) if flags[job.job_id % len(flags)] else job,
+            name=f"{trace.name}-priorities",
+        )
+
+    @staticmethod
+    def assign_entities(trace: Trace, num_entities: int) -> Trace:
+        """Assign jobs round-robin blocks to entities (Figure 11's setup uses 3)."""
+        if num_entities <= 0:
+            raise ConfigurationError("num_entities must be positive")
+        jobs_per_entity = max(1, len(trace) // num_entities)
+        return trace.map_jobs(
+            lambda job: job.with_entity(min(job.job_id // jobs_per_entity, num_entities - 1)),
+            name=f"{trace.name}-entities{num_entities}",
+        )
+
+    def assign_slos(self, trace: Trace, slo_multipliers: Sequence[float] = (1.2, 2.0, 10.0),
+                    seed: int = 0) -> Trace:
+        """Attach SLOs as multiples of each job's ideal duration (cost-policy setup)."""
+        if not slo_multipliers:
+            raise ConfigurationError("slo_multipliers must be non-empty")
+        rng = np.random.default_rng(seed)
+        multipliers = [float(m) for m in slo_multipliers]
+
+        def _with_slo(job: Job) -> Job:
+            best = max(
+                self._oracle.throughput(job.job_type, name, scale_factor=job.scale_factor)
+                for name in self._oracle.registry.names
+            )
+            ideal_duration = job.total_steps / best
+            multiplier = multipliers[int(rng.integers(0, len(multipliers)))]
+            return job.with_slo(ideal_duration * multiplier)
+
+        return trace.map_jobs(_with_slo, name=f"{trace.name}-slos")

@@ -1,0 +1,98 @@
+"""Tests for the accelerator type registry."""
+
+import pytest
+
+from repro.cluster.accelerators import (
+    DEFAULT_ACCELERATOR_TYPES,
+    K80,
+    P100,
+    V100,
+    AcceleratorRegistry,
+    AcceleratorType,
+    default_registry,
+)
+from repro.exceptions import ConfigurationError, UnknownAcceleratorError
+
+
+class TestAcceleratorType:
+    def test_default_types_have_expected_names(self):
+        assert [t.name for t in DEFAULT_ACCELERATOR_TYPES] == ["v100", "p100", "k80"]
+
+    def test_prices_ordered_by_generation(self):
+        assert V100.cost_per_hour > P100.cost_per_hour > K80.cost_per_hour
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ConfigurationError):
+            AcceleratorType(name="", cost_per_hour=1.0, memory_gb=16, peak_tflops=10)
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ConfigurationError):
+            AcceleratorType(name="x", cost_per_hour=-1.0, memory_gb=16, peak_tflops=10)
+
+    def test_rejects_non_positive_memory(self):
+        with pytest.raises(ConfigurationError):
+            AcceleratorType(name="x", cost_per_hour=1.0, memory_gb=0, peak_tflops=10)
+
+    def test_str_is_name(self):
+        assert str(V100) == "v100"
+
+    def test_is_hashable_and_frozen(self):
+        assert len({V100, P100, K80, V100}) == 3
+
+
+class TestAcceleratorRegistry:
+    def test_default_registry_has_three_types(self):
+        assert len(default_registry()) == 3
+
+    def test_names_preserve_order(self):
+        assert default_registry().names == ("v100", "p100", "k80")
+
+    def test_get_by_name(self):
+        assert default_registry().get("p100") is P100
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(UnknownAcceleratorError):
+            default_registry().get("tpu")
+
+    def test_index_of_accepts_object_and_name(self):
+        registry = default_registry()
+        assert registry.index_of("k80") == 2
+        assert registry.index_of(K80) == 2
+
+    def test_index_of_unknown_raises(self):
+        with pytest.raises(UnknownAcceleratorError):
+            default_registry().index_of("a100")
+
+    def test_contains_by_name_and_object(self):
+        registry = default_registry()
+        assert "v100" in registry
+        assert V100 in registry
+        assert "a100" not in registry
+        assert 42 not in registry
+
+    def test_costs_per_hour_in_order(self):
+        assert default_registry().costs_per_hour() == [
+            V100.cost_per_hour,
+            P100.cost_per_hour,
+            K80.cost_per_hour,
+        ]
+
+    def test_subset_preserves_requested_order(self):
+        subset = default_registry().subset(["k80", "v100"])
+        assert subset.names == ("k80", "v100")
+        assert subset.index_of("v100") == 1
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AcceleratorRegistry([V100, V100])
+
+    def test_empty_registry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AcceleratorRegistry([])
+
+    def test_equality_and_hash(self):
+        assert default_registry() == AcceleratorRegistry(DEFAULT_ACCELERATOR_TYPES)
+        assert hash(default_registry()) == hash(AcceleratorRegistry(DEFAULT_ACCELERATOR_TYPES))
+
+    def test_iteration_yields_types(self):
+        assert list(default_registry()) == list(DEFAULT_ACCELERATOR_TYPES)

@@ -1,0 +1,80 @@
+"""Tests for cluster specifications."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, default_registry
+from repro.exceptions import ConfigurationError, UnknownAcceleratorError
+
+
+class TestConstruction:
+    def test_from_counts_fills_missing_types_with_zero(self):
+        spec = ClusterSpec.from_counts({"v100": 4})
+        assert spec.count("v100") == 4
+        assert spec.count("p100") == 0
+        assert spec.count("k80") == 0
+
+    def test_paper_physical_cluster(self):
+        spec = ClusterSpec.physical_paper_cluster()
+        assert spec.total_workers() == 48
+        assert (spec.count("v100"), spec.count("p100"), spec.count("k80")) == (8, 16, 24)
+
+    def test_paper_simulated_cluster(self):
+        spec = ClusterSpec.simulated_paper_cluster()
+        assert spec.total_workers() == 108
+        assert spec.counts_vector().tolist() == [36.0, 36.0, 36.0]
+
+    def test_small_cluster(self):
+        assert ClusterSpec.small_cluster(3).total_workers() == 9
+
+    def test_unknown_accelerator_rejected(self):
+        registry = default_registry()
+        with pytest.raises(UnknownAcceleratorError):
+            ClusterSpec(registry=registry, counts={"tpu": 4})
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec.from_counts({"v100": -1})
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec.from_counts({"v100": 0, "p100": 0, "k80": 0})
+
+
+class TestQueries:
+    def test_counts_vector_in_registry_order(self):
+        spec = ClusterSpec.from_counts({"v100": 1, "p100": 2, "k80": 3})
+        np.testing.assert_allclose(spec.counts_vector(), [1.0, 2.0, 3.0])
+
+    def test_count_accepts_type_object(self):
+        registry = default_registry()
+        spec = ClusterSpec.from_counts({"v100": 5}, registry=registry)
+        assert spec.count(registry.get("v100")) == 5
+
+    def test_count_unknown_type_raises(self):
+        spec = ClusterSpec.from_counts({"v100": 1})
+        with pytest.raises(UnknownAcceleratorError):
+            spec.count("a100")
+
+    def test_cost_per_hour_sums_device_prices(self):
+        registry = default_registry()
+        spec = ClusterSpec.from_counts({"v100": 2, "k80": 4}, registry=registry)
+        expected = 2 * registry.get("v100").cost_per_hour + 4 * registry.get("k80").cost_per_hour
+        assert spec.cost_per_hour() == pytest.approx(expected)
+
+    def test_scaled_multiplies_all_counts(self):
+        spec = ClusterSpec.from_counts({"v100": 1, "p100": 2, "k80": 3}).scaled(3)
+        assert spec.counts_vector().tolist() == [3.0, 6.0, 9.0]
+
+    def test_scaled_rejects_non_positive_factor(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec.from_counts({"v100": 1}).scaled(0)
+
+    def test_with_counts_overrides_selected_types(self):
+        spec = ClusterSpec.from_counts({"v100": 1, "p100": 2, "k80": 3}).with_counts(k80=10)
+        assert spec.count("k80") == 10
+        assert spec.count("v100") == 1
+
+    def test_str_mentions_all_types(self):
+        text = str(ClusterSpec.from_counts({"v100": 1, "p100": 2, "k80": 3}))
+        assert "v100=1" in text and "k80=3" in text

@@ -1,0 +1,80 @@
+"""Tests for placing scheduled job combinations on concrete workers."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, ClusterTopology, Placer, PlacementRequest
+from repro.exceptions import SchedulingError
+
+
+@pytest.fixture
+def placer():
+    spec = ClusterSpec.from_counts({"v100": 8, "p100": 4, "k80": 4})
+    return Placer(ClusterTopology(spec, workers_per_server=4))
+
+
+class TestPlacement:
+    def test_single_worker_job_is_consolidated(self, placer):
+        [placement] = placer.place(
+            [PlacementRequest(combination=(0,), accelerator_name="v100", scale_factor=1)]
+        )
+        assert placement.consolidated is True
+        assert len(placement.worker_ids) == 1
+
+    def test_distributed_job_fits_one_server_when_possible(self, placer):
+        [placement] = placer.place(
+            [PlacementRequest(combination=(0,), accelerator_name="v100", scale_factor=4)]
+        )
+        assert placement.consolidated is True
+        assert len(set(placement.worker_ids)) == 4
+
+    def test_distributed_job_spanning_servers_is_unconsolidated(self, placer):
+        [placement] = placer.place(
+            [PlacementRequest(combination=(0,), accelerator_name="v100", scale_factor=8)]
+        )
+        assert placement.consolidated is False
+        assert len(placement.worker_ids) == 8
+
+    def test_requests_do_not_share_workers(self, placer):
+        placements = placer.place(
+            [
+                PlacementRequest(combination=(0,), accelerator_name="v100", scale_factor=4),
+                PlacementRequest(combination=(1,), accelerator_name="v100", scale_factor=4),
+                PlacementRequest(combination=(2,), accelerator_name="p100", scale_factor=2),
+            ]
+        )
+        used = [w for p in placements for w in p.worker_ids]
+        assert len(used) == len(set(used)) == 10
+
+    def test_demand_exceeding_capacity_raises(self, placer):
+        requests = [
+            PlacementRequest(combination=(i,), accelerator_name="k80", scale_factor=2)
+            for i in range(3)
+        ]
+        with pytest.raises(SchedulingError):
+            placer.place(requests)
+
+    def test_larger_jobs_placed_first(self, placer):
+        placements = placer.place(
+            [
+                PlacementRequest(combination=(0,), accelerator_name="v100", scale_factor=1),
+                PlacementRequest(combination=(1,), accelerator_name="v100", scale_factor=4),
+            ]
+        )
+        by_combination = {p.combination: p for p in placements}
+        # The 4-worker job got a full server, so it is consolidated even
+        # though a single-worker request was also present.
+        assert by_combination[(1,)].consolidated is True
+
+    def test_pair_combination_placement(self, placer):
+        [placement] = placer.place(
+            [PlacementRequest(combination=(3, 7), accelerator_name="k80", scale_factor=1)]
+        )
+        assert placement.combination == (3, 7)
+        assert len(placement.worker_ids) == 1
+
+    def test_accelerator_type_respected(self, placer):
+        [placement] = placer.place(
+            [PlacementRequest(combination=(0,), accelerator_name="p100", scale_factor=2)]
+        )
+        topology_types = {placement.accelerator_name}
+        assert topology_types == {"p100"}

@@ -1,0 +1,60 @@
+"""Tests for the cluster topology (servers and workers)."""
+
+import pytest
+
+from repro.cluster import ClusterSpec, ClusterTopology
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def topology():
+    spec = ClusterSpec.from_counts({"v100": 8, "p100": 6, "k80": 3})
+    return ClusterTopology(spec, workers_per_server=4)
+
+
+class TestTopologyConstruction:
+    def test_total_worker_count_matches_spec(self, topology):
+        assert topology.num_workers() == 17
+
+    def test_workers_grouped_by_type(self, topology):
+        assert len(topology.workers_of_type("v100")) == 8
+        assert len(topology.workers_of_type("p100")) == 6
+        assert len(topology.workers_of_type("k80")) == 3
+
+    def test_server_sizes_respect_workers_per_server(self, topology):
+        for server in topology.servers:
+            assert 1 <= server.num_workers <= 4
+
+    def test_last_server_of_type_may_be_partial(self, topology):
+        p100_servers = topology.servers_of_type("p100")
+        sizes = sorted(server.num_workers for server in p100_servers)
+        assert sizes == [2, 4]
+
+    def test_worker_ids_are_dense_and_unique(self, topology):
+        ids = [worker.worker_id for worker in topology.workers]
+        assert ids == list(range(len(ids)))
+
+    def test_worker_lookup_by_id(self, topology):
+        worker = topology.worker(0)
+        assert worker.worker_id == 0
+        assert worker.accelerator_type.name == "v100"
+
+    def test_worker_lookup_out_of_range(self, topology):
+        with pytest.raises(ConfigurationError):
+            topology.worker(999)
+
+    def test_invalid_workers_per_server(self):
+        spec = ClusterSpec.from_counts({"v100": 2})
+        with pytest.raises(ConfigurationError):
+            ClusterTopology(spec, workers_per_server=0)
+
+    def test_unknown_type_queries_raise(self, topology):
+        with pytest.raises(ConfigurationError):
+            topology.workers_of_type("tpu")
+
+    def test_every_worker_belongs_to_its_server(self, topology):
+        for server in topology.servers:
+            for worker_id in server.worker_ids:
+                worker = topology.worker(worker_id)
+                assert worker.server_id == server.server_id
+                assert worker.accelerator_type == server.accelerator_type

@@ -1,0 +1,136 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, default_registry
+from repro.core import PolicyProblem, ThroughputMatrix, build_throughput_matrix
+from repro.workloads import (
+    ColocationModel,
+    Job,
+    ThroughputOracle,
+    TraceGenerator,
+    TraceGeneratorConfig,
+)
+
+
+@pytest.fixture(scope="session")
+def registry():
+    """The default V100/P100/K80 accelerator registry."""
+    return default_registry()
+
+
+@pytest.fixture(scope="session")
+def oracle():
+    """The synthetic throughput oracle over the Table 2 workload."""
+    return ThroughputOracle()
+
+
+@pytest.fixture(scope="session")
+def colocation_model(oracle):
+    return ColocationModel(oracle)
+
+
+@pytest.fixture
+def small_cluster(registry):
+    """A small heterogeneous cluster: 2 V100, 2 P100, 2 K80."""
+    return ClusterSpec.from_counts({"v100": 2, "p100": 2, "k80": 2}, registry=registry)
+
+
+@pytest.fixture
+def tiny_cluster_v100_k80(registry):
+    """The Section 4.1 worked-example cluster: 1 V100 and 1 K80."""
+    sub = registry.subset(["v100", "k80"])
+    return ClusterSpec.from_counts({"v100": 1, "k80": 1}, registry=sub)
+
+
+@pytest.fixture
+def worked_example_matrix(registry):
+    """The Section 4.1 throughput matrix T = [[4,1],[3,1],[2,1]] on (V100, K80)."""
+    sub = registry.subset(["v100", "k80"])
+    return ThroughputMatrix(
+        sub,
+        {
+            (0,): np.array([[4.0, 1.0]]),
+            (1,): np.array([[3.0, 1.0]]),
+            (2,): np.array([[2.0, 1.0]]),
+        },
+    )
+
+
+@pytest.fixture
+def worked_example_problem(worked_example_matrix, tiny_cluster_v100_k80):
+    jobs = {
+        i: Job(job_id=i, job_type="resnet50-bs64", total_steps=10_000.0, arrival_time=float(i))
+        for i in range(3)
+    }
+    return PolicyProblem(
+        jobs=jobs,
+        throughputs=worked_example_matrix,
+        cluster_spec=tiny_cluster_v100_k80,
+    )
+
+
+def make_jobs(oracle, job_types, scale_factors=None, steps=50_000.0):
+    """Helper: build Job objects for the given job types."""
+    scale_factors = scale_factors or [1] * len(job_types)
+    return [
+        Job(
+            job_id=i,
+            job_type=job_type,
+            total_steps=steps,
+            arrival_time=float(i * 10),
+            scale_factor=scale,
+        )
+        for i, (job_type, scale) in enumerate(zip(job_types, scale_factors))
+    ]
+
+
+@pytest.fixture
+def mixed_jobs(oracle):
+    """Six single-worker jobs spanning heavy and light models."""
+    return make_jobs(
+        oracle,
+        [
+            "resnet50-bs64",
+            "a3c-bs4",
+            "lstm-bs20",
+            "transformer-bs64",
+            "resnet18-bs128",
+            "recoder-bs2048",
+        ],
+    )
+
+
+@pytest.fixture
+def mixed_problem(mixed_jobs, oracle, small_cluster):
+    matrix = build_throughput_matrix(mixed_jobs, oracle)
+    return PolicyProblem(
+        jobs={job.job_id: job for job in mixed_jobs},
+        throughputs=matrix,
+        cluster_spec=small_cluster,
+    )
+
+
+@pytest.fixture
+def mixed_problem_ss(mixed_jobs, oracle, small_cluster, colocation_model):
+    matrix = build_throughput_matrix(
+        mixed_jobs, oracle, space_sharing=True, colocation_model=colocation_model
+    )
+    return PolicyProblem(
+        jobs={job.job_id: job for job in mixed_jobs},
+        throughputs=matrix,
+        cluster_spec=small_cluster,
+    )
+
+
+@pytest.fixture(scope="session")
+def trace_generator(oracle):
+    return TraceGenerator(oracle)
+
+
+@pytest.fixture(scope="session")
+def multi_worker_trace_generator(oracle):
+    return TraceGenerator(oracle, config=TraceGeneratorConfig(multi_worker=True))

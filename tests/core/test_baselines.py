@@ -1,0 +1,117 @@
+"""Tests for the baseline schedulers (isolated, Gandiva, AlloX)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.core import (
+    AlloXPolicy,
+    GandivaPolicy,
+    IsolatedPolicy,
+    PolicyProblem,
+    build_throughput_matrix,
+    effective_throughput,
+)
+from repro.exceptions import ConfigurationError
+from repro.workloads import Job
+
+
+class TestIsolatedPolicy:
+    def test_equal_split_across_jobs(self, mixed_problem):
+        allocation = IsolatedPolicy().compute_allocation(mixed_problem)
+        totals = [allocation.job_total(job_id) for job_id in mixed_problem.job_ids]
+        assert max(totals) - min(totals) <= 1e-6
+
+    def test_allocation_valid(self, mixed_problem):
+        IsolatedPolicy().compute_allocation(mixed_problem).validate(mixed_problem.cluster_spec)
+
+    def test_time_share_proportional_to_counts(self, oracle):
+        spec = ClusterSpec.from_counts({"v100": 1, "p100": 2, "k80": 1})
+        jobs = [Job(job_id=0, job_type="a3c-bs4", total_steps=10.0)]
+        matrix = build_throughput_matrix(jobs, oracle)
+        problem = PolicyProblem(jobs={0: jobs[0]}, throughputs=matrix, cluster_spec=spec)
+        allocation = IsolatedPolicy().compute_allocation(problem)
+        row = allocation.job_row(0)
+        assert row[1] == pytest.approx(2 * row[0], rel=1e-6)
+
+
+class TestGandivaPolicy:
+    def test_is_heterogeneity_agnostic(self):
+        assert GandivaPolicy().heterogeneity_agnostic
+
+    def test_negative_trials_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GandivaPolicy(packing_trials=-1)
+
+    def test_allocation_valid_without_pairs(self, mixed_problem):
+        GandivaPolicy().compute_allocation(mixed_problem).validate(mixed_problem.cluster_spec)
+
+    def test_packs_beneficial_pairs(self, mixed_problem_ss):
+        allocation = GandivaPolicy(packing_trials=200, seed=1).compute_allocation(mixed_problem_ss)
+        pair_rows = [c for c in allocation.combinations if len(c) == 2]
+        packed = [c for c in pair_rows if allocation.row(c).sum() > 0]
+        assert packed, "random packing should find at least one beneficial pair"
+        allocation.validate(mixed_problem_ss.cluster_spec)
+
+    def test_deterministic_for_fixed_seed(self, mixed_problem_ss):
+        first = GandivaPolicy(packing_trials=100, seed=3).compute_allocation(mixed_problem_ss)
+        second = GandivaPolicy(packing_trials=100, seed=3).compute_allocation(mixed_problem_ss)
+        for combination in first.combinations:
+            np.testing.assert_allclose(first.row(combination), second.row(combination))
+
+    def test_no_packing_when_disabled(self, mixed_problem_ss):
+        allocation = GandivaPolicy(space_sharing=False).compute_allocation(mixed_problem_ss)
+        pair_fractions = [
+            allocation.row(c).sum() for c in allocation.combinations if len(c) == 2
+        ]
+        assert all(value == 0.0 for value in pair_fractions)
+
+
+class TestAlloXPolicy:
+    def test_each_accelerator_type_not_oversubscribed(self, mixed_problem):
+        allocation = AlloXPolicy().compute_allocation(mixed_problem)
+        allocation.validate(mixed_problem.cluster_spec)
+
+    def test_runs_at_most_one_job_per_worker(self, oracle):
+        spec = ClusterSpec.from_counts({"v100": 1, "p100": 1, "k80": 1})
+        jobs = [
+            Job(job_id=i, job_type="resnet50-bs64", total_steps=1e5 * (i + 1))
+            for i in range(5)
+        ]
+        matrix = build_throughput_matrix(jobs, oracle)
+        problem = PolicyProblem(
+            jobs={j.job_id: j for j in jobs}, throughputs=matrix, cluster_spec=spec
+        )
+        allocation = AlloXPolicy().compute_allocation(problem)
+        usage = allocation.worker_usage()
+        assert np.all(usage <= spec.counts_vector() + 1e-6)
+        # Exactly three jobs (one per device) run now.
+        running = [j for j in problem.job_ids if allocation.job_total(j) > 0.5]
+        assert len(running) == 3
+
+    def test_short_jobs_favoured_for_fast_devices(self, oracle):
+        """AlloX minimizes average JCT, so short jobs run before long ones."""
+        spec = ClusterSpec.from_counts({"v100": 1, "p100": 0, "k80": 0})
+        jobs = [
+            Job(job_id=0, job_type="resnet50-bs64", total_steps=1e7),
+            Job(job_id=1, job_type="resnet50-bs64", total_steps=1e3),
+        ]
+        matrix = build_throughput_matrix(jobs, oracle)
+        problem = PolicyProblem(
+            jobs={j.job_id: j for j in jobs}, throughputs=matrix, cluster_spec=spec
+        )
+        allocation = AlloXPolicy().compute_allocation(problem)
+        assert allocation.job_total(1) > allocation.job_total(0)
+
+    def test_distributed_jobs_fall_back_to_fastest_type(self, oracle):
+        spec = ClusterSpec.from_counts({"v100": 8, "p100": 4, "k80": 4})
+        jobs = [
+            Job(job_id=0, job_type="resnet50-bs64", total_steps=1e5, scale_factor=4),
+            Job(job_id=1, job_type="a3c-bs4", total_steps=1e5),
+        ]
+        matrix = build_throughput_matrix(jobs, oracle)
+        problem = PolicyProblem(
+            jobs={j.job_id: j for j in jobs}, throughputs=matrix, cluster_spec=spec
+        )
+        allocation = AlloXPolicy().compute_allocation(problem)
+        assert allocation.value((0,), "v100") == pytest.approx(1.0, abs=1e-6)

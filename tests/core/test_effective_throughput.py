@@ -1,0 +1,110 @@
+"""Tests for effective throughput and its reference normalizers."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, default_registry
+from repro.core import Allocation, ThroughputMatrix
+from repro.core.effective_throughput import (
+    effective_throughput,
+    equal_share_reference_throughput,
+    fastest_reference_throughput,
+    isolated_reference_throughput,
+)
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def registry():
+    return default_registry()
+
+
+@pytest.fixture
+def matrix(registry):
+    return ThroughputMatrix(
+        registry,
+        {
+            (0,): np.array([[4.0, 2.0, 1.0]]),
+            (1,): np.array([[3.0, 2.0, 1.0]]),
+            (0, 1): np.array([[2.0, 1.0, 0.5], [1.5, 1.0, 0.5]]),
+        },
+    )
+
+
+class TestEffectiveThroughput:
+    def test_single_row_only(self, registry, matrix):
+        allocation = Allocation(
+            registry,
+            {
+                (0,): np.array([0.5, 0.0, 0.0]),
+                (1,): np.array([0.0, 0.0, 0.0]),
+                (0, 1): np.array([0.0, 0.0, 0.0]),
+            },
+        )
+        assert effective_throughput(matrix, allocation, 0) == pytest.approx(2.0)
+        assert effective_throughput(matrix, allocation, 1) == pytest.approx(0.0)
+
+    def test_pair_rows_contribute(self, registry, matrix):
+        allocation = Allocation(
+            registry,
+            {
+                (0,): np.array([0.0, 0.5, 0.0]),
+                (1,): np.array([0.0, 0.0, 0.0]),
+                (0, 1): np.array([0.4, 0.0, 0.0]),
+            },
+        )
+        # 0.5 * 2.0 (alone on P100) + 0.4 * 2.0 (paired on V100).
+        assert effective_throughput(matrix, allocation, 0) == pytest.approx(1.8)
+        # Job 1 only runs in the pair row: 0.4 * 1.5.
+        assert effective_throughput(matrix, allocation, 1) == pytest.approx(0.6)
+
+    def test_mirrors_paper_definition_without_space_sharing(self, registry):
+        """throughput(m, X) = sum_j T_mj X_mj for singleton-only matrices."""
+        matrix = ThroughputMatrix(registry, {(0,): np.array([[4.0, 2.0, 1.0]])})
+        allocation = Allocation(registry, {(0,): np.array([0.2, 0.3, 0.5])})
+        expected = 4.0 * 0.2 + 2.0 * 0.3 + 1.0 * 0.5
+        assert effective_throughput(matrix, allocation, 0) == pytest.approx(expected)
+
+
+class TestReferences:
+    def test_equal_share_weights_by_worker_counts(self, registry, matrix):
+        spec = ClusterSpec.from_counts({"v100": 1, "p100": 0, "k80": 1}, registry=registry)
+        # X^equal = [0.5, 0, 0.5]; throughput = 0.5*4 + 0.5*1 = 2.5.
+        assert equal_share_reference_throughput(matrix, spec, 0) == pytest.approx(2.5)
+
+    def test_equal_share_matches_paper_example_shape(self, registry, matrix):
+        spec = ClusterSpec.from_counts({"v100": 2, "p100": 1, "k80": 1}, registry=registry)
+        expected = (2 * 4.0 + 1 * 2.0 + 1 * 1.0) / 4
+        assert equal_share_reference_throughput(matrix, spec, 0) == pytest.approx(expected)
+
+    def test_isolated_divides_by_num_jobs(self, registry, matrix):
+        spec = ClusterSpec.from_counts({"v100": 1, "p100": 1, "k80": 1}, registry=registry)
+        four_jobs = isolated_reference_throughput(matrix, spec, 0, num_jobs=4)
+        eight_jobs = isolated_reference_throughput(matrix, spec, 0, num_jobs=8)
+        assert four_jobs > eight_jobs
+        assert four_jobs == pytest.approx(2 * eight_jobs)
+
+    def test_isolated_caps_total_time_fraction(self, registry, matrix):
+        """With 1 job on a big cluster the fraction sum is capped at 1."""
+        spec = ClusterSpec.from_counts({"v100": 10, "p100": 10, "k80": 10}, registry=registry)
+        throughput = isolated_reference_throughput(matrix, spec, 0, num_jobs=1)
+        # The best the job could do running 100% of the time is its average
+        # over the (equally sized) pools — never more than its fastest type.
+        assert throughput <= fastest_reference_throughput(matrix, 0) + 1e-9
+
+    def test_isolated_scale_factor_reduces_time_share(self, registry, matrix):
+        spec = ClusterSpec.from_counts({"v100": 4, "p100": 4, "k80": 4}, registry=registry)
+        single = isolated_reference_throughput(matrix, spec, 0, num_jobs=4, scale_factor=1)
+        distributed = isolated_reference_throughput(matrix, spec, 0, num_jobs=4, scale_factor=4)
+        assert distributed < single
+
+    def test_isolated_invalid_arguments(self, registry, matrix):
+        spec = ClusterSpec.from_counts({"v100": 1}, registry=registry)
+        with pytest.raises(ConfigurationError):
+            isolated_reference_throughput(matrix, spec, 0, num_jobs=0)
+        with pytest.raises(ConfigurationError):
+            isolated_reference_throughput(matrix, spec, 0, num_jobs=1, scale_factor=0)
+
+    def test_fastest_reference_is_row_max(self, matrix):
+        assert fastest_reference_throughput(matrix, 0) == 4.0
+        assert fastest_reference_throughput(matrix, 1) == 3.0

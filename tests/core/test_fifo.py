@@ -1,0 +1,88 @@
+"""Tests for the heterogeneity-aware FIFO policy."""
+
+import pytest
+
+from repro.core import FifoPolicy, PolicyProblem, build_throughput_matrix, effective_throughput
+from repro.core.effective_throughput import fastest_reference_throughput
+from repro.workloads import Job
+
+
+def _problem(oracle, cluster, job_types, arrivals):
+    jobs = [
+        Job(job_id=i, job_type=job_type, total_steps=1e5, arrival_time=arrival)
+        for i, (job_type, arrival) in enumerate(zip(job_types, arrivals))
+    ]
+    matrix = build_throughput_matrix(jobs, oracle)
+    return PolicyProblem(
+        jobs={job.job_id: job for job in jobs}, throughputs=matrix, cluster_spec=cluster
+    )
+
+
+class TestFifo:
+    def test_earliest_job_gets_full_speed(self, oracle, small_cluster):
+        """With plenty of capacity, the first arrivals run at their fastest rate."""
+        problem = _problem(
+            oracle,
+            small_cluster,
+            ["resnet50-bs64", "lstm-bs20", "a3c-bs4"],
+            [0.0, 10.0, 20.0],
+        )
+        allocation = FifoPolicy().compute_allocation(problem)
+        matrix = problem.throughputs
+        first = effective_throughput(matrix, allocation, 0)
+        assert first == pytest.approx(fastest_reference_throughput(matrix, 0), rel=0.05)
+
+    def test_under_contention_earlier_jobs_preferred(self, oracle, registry):
+        from repro.cluster import ClusterSpec
+
+        tiny = ClusterSpec.from_counts({"v100": 1, "p100": 0, "k80": 0}, registry=registry)
+        problem = _problem(
+            oracle,
+            tiny,
+            ["resnet50-bs64", "resnet50-bs64", "resnet50-bs64"],
+            [0.0, 10.0, 20.0],
+        )
+        allocation = FifoPolicy().compute_allocation(problem)
+        matrix = problem.throughputs
+        throughputs = [effective_throughput(matrix, allocation, i) for i in range(3)]
+        assert throughputs[0] >= throughputs[1] >= throughputs[2]
+        assert throughputs[0] > 0
+
+    def test_arrival_order_breaks_ties_not_job_id(self, oracle, registry):
+        from repro.cluster import ClusterSpec
+
+        tiny = ClusterSpec.from_counts({"v100": 1, "p100": 0, "k80": 0}, registry=registry)
+        # Job 1 arrived before job 0.
+        jobs = [
+            Job(job_id=0, job_type="resnet50-bs64", total_steps=1e5, arrival_time=50.0),
+            Job(job_id=1, job_type="resnet50-bs64", total_steps=1e5, arrival_time=0.0),
+        ]
+        matrix = build_throughput_matrix(jobs, oracle)
+        problem = PolicyProblem(
+            jobs={job.job_id: job for job in jobs}, throughputs=matrix, cluster_spec=tiny
+        )
+        allocation = FifoPolicy().compute_allocation(problem)
+        assert effective_throughput(matrix, allocation, 1) >= effective_throughput(
+            matrix, allocation, 0
+        )
+
+    def test_allocation_valid(self, oracle, small_cluster):
+        problem = _problem(
+            oracle,
+            small_cluster,
+            ["resnet50-bs64", "lstm-bs20", "a3c-bs4", "transformer-bs64"],
+            [0.0, 1.0, 2.0, 3.0],
+        )
+        allocation = FifoPolicy().compute_allocation(problem)
+        allocation.validate(small_cluster)
+
+    def test_jobs_placed_on_fastest_available_type(self, oracle, small_cluster):
+        """In a heterogeneous regime FIFO places jobs on the fastest available type."""
+        problem = _problem(oracle, small_cluster, ["resnet50-bs64"], [0.0])
+        allocation = FifoPolicy().compute_allocation(problem)
+        assert allocation.value((0,), "v100") == pytest.approx(1.0, abs=1e-3)
+
+    def test_agnostic_variant_runs(self, oracle, small_cluster):
+        problem = _problem(oracle, small_cluster, ["resnet50-bs64", "a3c-bs4"], [0.0, 1.0])
+        allocation = FifoPolicy(heterogeneity_agnostic=True).compute_allocation(problem)
+        allocation.validate(small_cluster)

@@ -1,0 +1,125 @@
+"""Tests for the finish-time-fairness (Themis) policy."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    FinishTimeFairnessPolicy,
+    PolicyProblem,
+    build_throughput_matrix,
+    effective_throughput,
+    finish_time_fairness_rho,
+)
+from repro.core.effective_throughput import isolated_reference_throughput
+from repro.workloads import Job
+
+
+class TestRhoMetric:
+    def test_rho_one_when_matching_isolated(self):
+        assert finish_time_fairness_rho(
+            elapsed=100.0, remaining_steps=1000.0, achieved_throughput=2.0, isolated_throughput=2.0
+        ) == pytest.approx(1.0)
+
+    def test_rho_above_one_when_slower_than_isolated(self):
+        rho = finish_time_fairness_rho(
+            elapsed=0.0, remaining_steps=1000.0, achieved_throughput=1.0, isolated_throughput=2.0
+        )
+        assert rho == pytest.approx(2.0)
+
+    def test_rho_below_one_when_faster_than_isolated(self):
+        rho = finish_time_fairness_rho(
+            elapsed=0.0, remaining_steps=1000.0, achieved_throughput=4.0, isolated_throughput=2.0
+        )
+        assert rho == pytest.approx(0.5)
+
+    def test_zero_throughput_gives_infinite_rho(self):
+        assert math.isinf(
+            finish_time_fairness_rho(
+                elapsed=0.0, remaining_steps=10.0, achieved_throughput=0.0, isolated_throughput=1.0
+            )
+        )
+
+    def test_custom_isolated_elapsed(self):
+        rho = finish_time_fairness_rho(
+            elapsed=200.0,
+            remaining_steps=0.0001,
+            achieved_throughput=1.0,
+            isolated_throughput=1.0,
+            isolated_elapsed=100.0,
+        )
+        assert rho == pytest.approx(2.0, rel=0.01)
+
+
+class TestPolicy:
+    def test_all_jobs_no_worse_than_isolated(self, mixed_problem):
+        """Sharing incentive: max rho is at most ~1 when the cluster is not overloaded."""
+        problem = mixed_problem
+        allocation = FinishTimeFairnessPolicy().compute_allocation(problem)
+        matrix = problem.throughputs
+        for job_id in problem.job_ids:
+            achieved = effective_throughput(matrix, allocation, job_id)
+            isolated = isolated_reference_throughput(
+                matrix,
+                problem.cluster_spec,
+                job_id,
+                num_jobs=problem.num_jobs,
+                scale_factor=problem.scale_factor(job_id),
+            )
+            rho = finish_time_fairness_rho(
+                elapsed=problem.elapsed(job_id),
+                remaining_steps=problem.remaining_steps(job_id),
+                achieved_throughput=achieved,
+                isolated_throughput=isolated,
+            )
+            assert rho <= 1.05
+
+    def test_allocation_valid(self, mixed_problem):
+        allocation = FinishTimeFairnessPolicy().compute_allocation(mixed_problem)
+        allocation.validate(mixed_problem.cluster_spec)
+
+    def test_elapsed_time_shifts_priority_to_late_jobs(self, oracle, small_cluster):
+        """A job far behind its isolated finish time gets more resources."""
+        jobs = [
+            Job(job_id=0, job_type="resnet50-bs64", total_steps=1e5),
+            Job(job_id=1, job_type="resnet50-bs64", total_steps=1e5),
+        ]
+        matrix = build_throughput_matrix(jobs, oracle)
+        problem = PolicyProblem(
+            jobs={job.job_id: job for job in jobs},
+            throughputs=matrix,
+            cluster_spec=small_cluster,
+            # Job 0 has waited a long time without progress.
+            time_elapsed={0: 1e5, 1: 0.0},
+            steps_remaining={0: 1e5, 1: 1e5},
+        )
+        allocation = FinishTimeFairnessPolicy().compute_allocation(problem)
+        assert effective_throughput(matrix, allocation, 0) >= effective_throughput(
+            matrix, allocation, 1
+        ) * 0.95
+
+    def test_heterogeneity_aware_beats_agnostic_on_max_rho(self, mixed_problem):
+        problem = mixed_problem
+        matrix = problem.throughputs
+
+        def max_rho(allocation):
+            worst = 0.0
+            for job_id in problem.job_ids:
+                achieved = effective_throughput(matrix, allocation, job_id)
+                isolated = isolated_reference_throughput(
+                    matrix, problem.cluster_spec, job_id, num_jobs=problem.num_jobs
+                )
+                worst = max(
+                    worst,
+                    finish_time_fairness_rho(
+                        elapsed=0.0,
+                        remaining_steps=problem.remaining_steps(job_id),
+                        achieved_throughput=achieved,
+                        isolated_throughput=isolated,
+                    ),
+                )
+            return worst
+
+        aware = FinishTimeFairnessPolicy().compute_allocation(problem)
+        agnostic = FinishTimeFairnessPolicy(heterogeneity_agnostic=True).compute_allocation(problem)
+        assert max_rho(aware) <= max_rho(agnostic) + 0.05

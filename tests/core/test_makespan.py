@@ -1,0 +1,107 @@
+"""Tests for the minimum-makespan policy."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, default_registry
+from repro.core import (
+    MakespanPolicy,
+    MaxMinFairnessPolicy,
+    PolicyProblem,
+    ThroughputMatrix,
+    build_throughput_matrix,
+    effective_throughput,
+)
+from repro.workloads import Job
+
+
+def _makespan_of(problem, allocation):
+    matrix = problem.throughputs
+    return max(
+        problem.remaining_steps(job_id) / max(effective_throughput(matrix, allocation, job_id), 1e-12)
+        for job_id in problem.job_ids
+    )
+
+
+class TestMakespan:
+    def test_single_job_runs_on_fastest_accelerator(self, registry):
+        matrix = ThroughputMatrix(registry, {(0,): np.array([[4.0, 2.0, 1.0]])})
+        spec = ClusterSpec.from_counts({"v100": 1, "p100": 1, "k80": 1}, registry=registry)
+        problem = PolicyProblem(
+            jobs={0: Job(job_id=0, job_type="x", total_steps=1000.0)},
+            throughputs=matrix,
+            cluster_spec=spec,
+        )
+        allocation = MakespanPolicy().compute_allocation(problem)
+        makespan = _makespan_of(problem, allocation)
+        assert makespan == pytest.approx(1000.0 / 4.0, rel=0.05)
+
+    def test_identical_jobs_split_the_cluster(self, registry):
+        matrix = ThroughputMatrix(
+            registry,
+            {
+                (0,): np.array([[2.0, 1.0, 0.5]]),
+                (1,): np.array([[2.0, 1.0, 0.5]]),
+            },
+        )
+        spec = ClusterSpec.from_counts({"v100": 1, "p100": 1, "k80": 1}, registry=registry)
+        jobs = {i: Job(job_id=i, job_type="x", total_steps=1000.0) for i in range(2)}
+        problem = PolicyProblem(jobs=jobs, throughputs=matrix, cluster_spec=spec)
+        allocation = MakespanPolicy().compute_allocation(problem)
+        makespans = [
+            problem.remaining_steps(i) / effective_throughput(matrix, allocation, i)
+            for i in range(2)
+        ]
+        assert makespans[0] == pytest.approx(makespans[1], rel=0.1)
+
+    def test_beats_fair_sharing_on_makespan(self, oracle, small_cluster):
+        jobs = [
+            Job(job_id=0, job_type="resnet50-bs64", total_steps=5e5),
+            Job(job_id=1, job_type="a3c-bs4", total_steps=5e4),
+            Job(job_id=2, job_type="lstm-bs20", total_steps=2e5),
+            Job(job_id=3, job_type="transformer-bs64", total_steps=3e5),
+        ]
+        matrix = build_throughput_matrix(jobs, oracle)
+        problem = PolicyProblem(
+            jobs={job.job_id: job for job in jobs},
+            throughputs=matrix,
+            cluster_spec=small_cluster,
+        )
+        makespan_allocation = MakespanPolicy().compute_allocation(problem)
+        fair_allocation = MaxMinFairnessPolicy().compute_allocation(problem)
+        assert _makespan_of(problem, makespan_allocation) <= _makespan_of(
+            problem, fair_allocation
+        ) * 1.05
+
+    def test_respects_remaining_steps_override(self, oracle, registry):
+        tiny = ClusterSpec.from_counts({"v100": 1, "p100": 0, "k80": 0}, registry=registry)
+        jobs = [
+            Job(job_id=0, job_type="resnet50-bs64", total_steps=1e6),
+            Job(job_id=1, job_type="resnet50-bs64", total_steps=1e6),
+        ]
+        matrix = build_throughput_matrix(jobs, oracle)
+        problem = PolicyProblem(
+            jobs={job.job_id: job for job in jobs},
+            throughputs=matrix,
+            cluster_spec=tiny,
+            steps_remaining={0: 1e6, 1: 10.0},
+        )
+        allocation = MakespanPolicy().compute_allocation(problem)
+        # Job 1 is nearly finished, so job 0 should dominate the single V100.
+        assert effective_throughput(matrix, allocation, 0) > effective_throughput(
+            matrix, allocation, 1
+        )
+
+    def test_allocation_valid(self, mixed_problem):
+        allocation = MakespanPolicy().compute_allocation(mixed_problem)
+        allocation.validate(mixed_problem.cluster_spec)
+
+    def test_agnostic_makespan_not_better_than_aware(self, mixed_problem):
+        aware = MakespanPolicy().compute_allocation(mixed_problem)
+        agnostic = MakespanPolicy(heterogeneity_agnostic=True).compute_allocation(mixed_problem)
+        assert _makespan_of(mixed_problem, aware) <= _makespan_of(mixed_problem, agnostic) * 1.05
+
+    def test_space_sharing_not_worse(self, mixed_problem_ss):
+        plain = MakespanPolicy(space_sharing=False).compute_allocation(mixed_problem_ss)
+        shared = MakespanPolicy(space_sharing=True).compute_allocation(mixed_problem_ss)
+        assert _makespan_of(mixed_problem_ss, shared) <= _makespan_of(mixed_problem_ss, plain) * 1.05

@@ -1,0 +1,140 @@
+"""Tests for SJF, max-throughput and the cost policies."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.core import (
+    MaxTotalThroughputPolicy,
+    MinCostPolicy,
+    MinCostWithSLOsPolicy,
+    PolicyProblem,
+    ShortestJobFirstPolicy,
+    build_throughput_matrix,
+    effective_throughput,
+)
+from repro.workloads import Job
+
+
+def _cost_of(problem, allocation):
+    registry = problem.cluster_spec.registry
+    costs = registry.costs_per_hour()
+    total = 0.0
+    for combination in allocation.combinations:
+        scale = max(problem.scale_factor(job_id) for job_id in combination)
+        row = allocation.row(combination)
+        total += float(np.dot(row, costs)) * scale
+    return total
+
+
+class TestShortestJobFirst:
+    def test_shortest_job_ranked_first(self, oracle, small_cluster):
+        jobs = [
+            Job(job_id=0, job_type="resnet50-bs64", total_steps=1e7),
+            Job(job_id=1, job_type="resnet50-bs64", total_steps=1e3),
+        ]
+        matrix = build_throughput_matrix(jobs, oracle)
+        problem = PolicyProblem(
+            jobs={j.job_id: j for j in jobs}, throughputs=matrix, cluster_spec=small_cluster
+        )
+        policy = ShortestJobFirstPolicy()
+        ranked = policy.ranked_jobs(problem)
+        assert ranked[0][0] == 1
+
+    def test_shortest_job_gets_fast_gpu_under_contention(self, oracle, registry):
+        tiny = ClusterSpec.from_counts({"v100": 1, "p100": 0, "k80": 1}, registry=registry)
+        jobs = [
+            Job(job_id=0, job_type="resnet50-bs64", total_steps=1e7),
+            Job(job_id=1, job_type="resnet50-bs64", total_steps=1e3),
+        ]
+        matrix = build_throughput_matrix(jobs, oracle)
+        problem = PolicyProblem(
+            jobs={j.job_id: j for j in jobs}, throughputs=matrix, cluster_spec=tiny
+        )
+        allocation = ShortestJobFirstPolicy().compute_allocation(problem)
+        assert allocation.value((1,), "v100") >= allocation.value((0,), "v100")
+
+    def test_allocation_valid(self, mixed_problem):
+        ShortestJobFirstPolicy().compute_allocation(mixed_problem).validate(
+            mixed_problem.cluster_spec
+        )
+
+
+class TestMaxTotalThroughput:
+    def test_uses_the_whole_cluster(self, mixed_problem):
+        allocation = MaxTotalThroughputPolicy().compute_allocation(mixed_problem)
+        usage = allocation.worker_usage()
+        capacity = mixed_problem.cluster_spec.counts_vector()
+        assert usage.sum() == pytest.approx(capacity.sum(), rel=0.05)
+
+    def test_allocation_valid(self, mixed_problem):
+        MaxTotalThroughputPolicy().compute_allocation(mixed_problem).validate(
+            mixed_problem.cluster_spec
+        )
+
+    def test_unnormalized_variant_runs(self, mixed_problem):
+        allocation = MaxTotalThroughputPolicy(normalize=False).compute_allocation(mixed_problem)
+        allocation.validate(mixed_problem.cluster_spec)
+
+
+class TestMinCost:
+    def test_cheaper_than_max_throughput(self, mixed_problem):
+        """The min-cost policy spends fewer dollars per unit of work (§7.3, Cost)."""
+        throughput_allocation = MaxTotalThroughputPolicy().compute_allocation(mixed_problem)
+        cost_allocation = MinCostPolicy().compute_allocation(mixed_problem)
+        assert _cost_of(mixed_problem, cost_allocation) <= _cost_of(
+            mixed_problem, throughput_allocation
+        )
+
+    def test_a3c_prefers_cheap_gpu(self, oracle, small_cluster):
+        """A3C has the best cost-normalized throughput on the K80 (Figure 1b)."""
+        jobs = [Job(job_id=0, job_type="a3c-bs4", total_steps=1e5)]
+        matrix = build_throughput_matrix(jobs, oracle)
+        problem = PolicyProblem(
+            jobs={0: jobs[0]}, throughputs=matrix, cluster_spec=small_cluster
+        )
+        allocation = MinCostPolicy().compute_allocation(problem)
+        assert allocation.value((0,), "k80") > allocation.value((0,), "v100")
+
+    def test_allocation_valid(self, mixed_problem):
+        MinCostPolicy().compute_allocation(mixed_problem).validate(mixed_problem.cluster_spec)
+
+
+class TestMinCostWithSLOs:
+    def _problem(self, oracle, cluster, slo_seconds):
+        jobs = [
+            Job(job_id=0, job_type="a3c-bs4", total_steps=3e5, slo_seconds=slo_seconds),
+            Job(job_id=1, job_type="resnet50-bs64", total_steps=1e5),
+        ]
+        matrix = build_throughput_matrix(jobs, oracle)
+        return PolicyProblem(
+            jobs={j.job_id: j for j in jobs}, throughputs=matrix, cluster_spec=cluster
+        )
+
+    def test_tight_slo_forces_fast_gpu(self, oracle, small_cluster):
+        """With a tight SLO the A3C job must be moved off the cheap K80 (§7.3)."""
+        oracle_throughput = oracle.throughput("a3c-bs4", "v100")
+        tight = 3e5 / oracle_throughput * 1.1  # only achievable near V100 speed
+        problem = self._problem(oracle, small_cluster, slo_seconds=tight)
+        allocation = MinCostWithSLOsPolicy().compute_allocation(problem)
+        achieved = effective_throughput(problem.throughputs, allocation, 0)
+        assert achieved >= 3e5 / tight * 0.95
+
+    def test_loose_slo_keeps_cheap_gpu(self, oracle, small_cluster):
+        loose = 3e5 / oracle.throughput("a3c-bs4", "k80") * 10.0
+        problem = self._problem(oracle, small_cluster, slo_seconds=loose)
+        allocation = MinCostWithSLOsPolicy().compute_allocation(problem)
+        assert allocation.value((0,), "k80") >= allocation.value((0,), "v100") - 1e-6
+
+    def test_impossible_slo_is_dropped(self, oracle, small_cluster):
+        problem = self._problem(oracle, small_cluster, slo_seconds=1.0)
+        allocation = MinCostWithSLOsPolicy().compute_allocation(problem)
+        allocation.validate(small_cluster)
+
+    def test_slo_constrained_cost_at_least_min_cost(self, oracle, small_cluster):
+        oracle_throughput = oracle.throughput("a3c-bs4", "v100")
+        tight = 3e5 / oracle_throughput * 1.1
+        problem = self._problem(oracle, small_cluster, slo_seconds=tight)
+        slo_cost = _cost_of(problem, MinCostWithSLOsPolicy().compute_allocation(problem))
+        plain_cost = _cost_of(problem, MinCostPolicy().compute_allocation(problem))
+        assert slo_cost >= plain_cost - 1e-6

@@ -1,0 +1,144 @@
+"""Property-based tests over the policy framework (Section 4.4 properties).
+
+These tests generate random mixes of jobs and cluster shapes with Hypothesis
+and check the structural properties the paper states for Gavel's policies:
+
+* every policy returns a *valid* allocation (constraints (1)-(3) of §3.1);
+* on a homogeneous cluster the heterogeneity-aware policies coincide with
+  their heterogeneity-agnostic counterparts;
+* the fairness policies have sharing incentive: nobody is worse off than
+  under the static 1/n split;
+* colocation-aware solutions are never worse than colocation-free ones.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cluster import ClusterSpec, default_registry
+from repro.core import (
+    FifoPolicy,
+    IsolatedPolicy,
+    MakespanPolicy,
+    MaxMinFairnessPolicy,
+    MaxTotalThroughputPolicy,
+    PolicyProblem,
+    ShortestJobFirstPolicy,
+    build_throughput_matrix,
+    effective_throughput,
+)
+from repro.core.effective_throughput import equal_share_reference_throughput
+from repro.workloads import Job, ThroughputOracle, default_job_type_table
+
+_ORACLE = ThroughputOracle()
+_JOB_TYPES = list(default_job_type_table().names)
+
+_job_types_strategy = st.lists(
+    st.sampled_from(_JOB_TYPES), min_size=2, max_size=6
+)
+_cluster_strategy = st.tuples(
+    st.integers(1, 3), st.integers(0, 3), st.integers(0, 3)
+).filter(lambda counts: sum(counts) >= 2)
+
+_POLICIES = [
+    MaxMinFairnessPolicy(),
+    FifoPolicy(),
+    ShortestJobFirstPolicy(),
+    MaxTotalThroughputPolicy(),
+    MakespanPolicy(),
+]
+
+
+def _problem_from(job_types, cluster_counts, steps=200_000.0):
+    jobs = [
+        Job(job_id=i, job_type=job_type, total_steps=steps, arrival_time=float(i))
+        for i, job_type in enumerate(job_types)
+    ]
+    spec = ClusterSpec.from_counts(
+        {"v100": cluster_counts[0], "p100": cluster_counts[1], "k80": cluster_counts[2]}
+    )
+    matrix = build_throughput_matrix(jobs, _ORACLE)
+    return PolicyProblem(
+        jobs={job.job_id: job for job in jobs}, throughputs=matrix, cluster_spec=spec
+    )
+
+
+class TestValidityProperty:
+    @given(job_types=_job_types_strategy, cluster=_cluster_strategy)
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_all_policies_return_valid_allocations(self, job_types, cluster):
+        problem = _problem_from(job_types, cluster)
+        for policy in _POLICIES:
+            allocation = policy.compute_allocation(problem)
+            allocation.validate(problem.cluster_spec)
+
+    @given(job_types=_job_types_strategy, cluster=_cluster_strategy)
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_effective_throughputs_nonnegative(self, job_types, cluster):
+        problem = _problem_from(job_types, cluster)
+        allocation = MaxMinFairnessPolicy().compute_allocation(problem)
+        for job_id in problem.job_ids:
+            assert effective_throughput(problem.throughputs, allocation, job_id) >= -1e-9
+
+
+class TestSharingIncentive:
+    @given(job_types=_job_types_strategy, cluster=_cluster_strategy)
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_las_no_worse_than_isolated_split(self, job_types, cluster):
+        """The minimum normalized throughput under LAS is at least that of the 1/n split."""
+        problem = _problem_from(job_types, cluster)
+        matrix = problem.throughputs
+        fair = MaxMinFairnessPolicy().compute_allocation(problem)
+        isolated = IsolatedPolicy().compute_allocation(problem)
+
+        def min_normalized(allocation):
+            values = []
+            for job_id in problem.job_ids:
+                reference = equal_share_reference_throughput(matrix, problem.cluster_spec, job_id)
+                values.append(effective_throughput(matrix, allocation, job_id) / reference)
+            return min(values)
+
+        assert min_normalized(fair) >= min_normalized(isolated) - 1e-6
+
+
+class TestHomogeneousReduction:
+    @given(
+        job_types=_job_types_strategy,
+        num_gpus=st.integers(1, 4),
+    )
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_aware_equals_agnostic_on_homogeneous_cluster(self, job_types, num_gpus):
+        """With one accelerator type there is no heterogeneity to exploit (§4.4)."""
+        problem = _problem_from(job_types, (num_gpus, 0, 0))
+        matrix = problem.throughputs
+        aware = MaxMinFairnessPolicy().compute_allocation(problem)
+        agnostic = MaxMinFairnessPolicy(heterogeneity_agnostic=True).compute_allocation(problem)
+        for job_id in problem.job_ids:
+            a = effective_throughput(matrix, aware, job_id)
+            b = effective_throughput(matrix, agnostic, job_id)
+            assert a == pytest.approx(b, rel=0.05, abs=1e-6)
+
+
+class TestColocationNeverHurts:
+    @given(job_types=st.lists(st.sampled_from(_JOB_TYPES), min_size=3, max_size=5))
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_space_sharing_objective_not_worse(self, job_types):
+        jobs = [
+            Job(job_id=i, job_type=job_type, total_steps=1e5) for i, job_type in enumerate(job_types)
+        ]
+        spec = ClusterSpec.from_counts({"v100": 1, "p100": 1, "k80": 1})
+        matrix = build_throughput_matrix(jobs, _ORACLE, space_sharing=True)
+        problem = PolicyProblem(
+            jobs={job.job_id: job for job in jobs}, throughputs=matrix, cluster_spec=spec
+        )
+
+        def min_normalized(allocation):
+            values = []
+            for job_id in problem.job_ids:
+                reference = equal_share_reference_throughput(matrix, spec, job_id)
+                values.append(effective_throughput(matrix, allocation, job_id) / reference)
+            return min(values)
+
+        plain = MaxMinFairnessPolicy(space_sharing=False).compute_allocation(problem)
+        shared = MaxMinFairnessPolicy(space_sharing=True).compute_allocation(problem)
+        assert min_normalized(shared) >= min_normalized(plain) - 1e-3

@@ -1,0 +1,88 @@
+"""Tests for the PolicyProblem snapshot."""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.core import PolicyProblem, build_throughput_matrix
+from repro.exceptions import ConfigurationError, UnknownJobError
+from repro.workloads import Job, ThroughputOracle
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return ThroughputOracle()
+
+
+@pytest.fixture
+def jobs():
+    return [
+        Job(job_id=0, job_type="resnet50-bs64", total_steps=1000.0, arrival_time=5.0),
+        Job(job_id=1, job_type="a3c-bs4", total_steps=2000.0, arrival_time=1.0, scale_factor=4,
+            priority_weight=2.0),
+    ]
+
+
+@pytest.fixture
+def problem(jobs, oracle):
+    matrix = build_throughput_matrix(jobs, oracle)
+    return PolicyProblem(
+        jobs={job.job_id: job for job in jobs},
+        throughputs=matrix,
+        cluster_spec=ClusterSpec.from_counts({"v100": 4, "p100": 4, "k80": 4}),
+        steps_remaining={0: 400.0},
+        time_elapsed={0: 60.0},
+        current_time=100.0,
+    )
+
+
+class TestValidation:
+    def test_empty_jobs_rejected(self, jobs, oracle):
+        matrix = build_throughput_matrix(jobs, oracle)
+        with pytest.raises(ConfigurationError):
+            PolicyProblem(jobs={}, throughputs=matrix,
+                          cluster_spec=ClusterSpec.from_counts({"v100": 1}))
+
+    def test_mismatched_matrix_rejected(self, jobs, oracle):
+        matrix = build_throughput_matrix(jobs[:1], oracle)
+        with pytest.raises(ConfigurationError):
+            PolicyProblem(
+                jobs={job.job_id: job for job in jobs},
+                throughputs=matrix,
+                cluster_spec=ClusterSpec.from_counts({"v100": 1}),
+            )
+
+    def test_mismatched_key_rejected(self, jobs, oracle):
+        matrix = build_throughput_matrix(jobs, oracle)
+        with pytest.raises(ConfigurationError):
+            PolicyProblem(
+                jobs={99: jobs[0], 1: jobs[1]},
+                throughputs=matrix,
+                cluster_spec=ClusterSpec.from_counts({"v100": 1}),
+            )
+
+
+class TestAccessors:
+    def test_job_ids_sorted(self, problem):
+        assert problem.job_ids == (0, 1)
+        assert problem.num_jobs == 2
+
+    def test_job_lookup(self, problem):
+        assert problem.job(1).job_type == "a3c-bs4"
+        with pytest.raises(UnknownJobError):
+            problem.job(7)
+
+    def test_scale_factors_and_weights(self, problem):
+        assert problem.scale_factor(1) == 4
+        assert problem.scale_factors() == {0: 1, 1: 4}
+        assert problem.priority_weight(1) == 2.0
+
+    def test_remaining_steps_defaults_to_total(self, problem):
+        assert problem.remaining_steps(0) == 400.0
+        assert problem.remaining_steps(1) == 2000.0
+
+    def test_elapsed_defaults_to_zero(self, problem):
+        assert problem.elapsed(0) == 60.0
+        assert problem.elapsed(1) == 0.0
+
+    def test_arrival_order(self, problem):
+        assert problem.arrival_order() == (1, 0)

@@ -1,0 +1,51 @@
+"""Tests for the policy registry."""
+
+import pytest
+
+from repro.core import Policy, available_policies, make_policy
+from repro.exceptions import ConfigurationError
+
+
+class TestRegistry:
+    def test_all_listed_policies_instantiate(self):
+        for name in available_policies():
+            policy = make_policy(name)
+            assert isinstance(policy, Policy)
+
+    def test_table1_policies_present(self):
+        """Every policy class from Table 1 has a registry entry."""
+        names = set(available_policies())
+        for required in (
+            "max_min_fairness",
+            "fifo",
+            "makespan",
+            "finish_time_fairness",
+            "shortest_job_first",
+            "min_cost",
+            "min_cost_slo",
+            "max_min_fairness_water_filling",
+        ):
+            assert required in names
+
+    def test_baselines_present(self):
+        names = set(available_policies())
+        assert {"gandiva", "allox", "isolated"} <= names
+
+    def test_agnostic_variants_flagged(self):
+        assert make_policy("max_min_fairness_agnostic").heterogeneity_agnostic
+        assert not make_policy("max_min_fairness").heterogeneity_agnostic
+
+    def test_space_sharing_variants_flagged(self):
+        assert make_policy("max_min_fairness_ss").space_sharing
+        assert not make_policy("max_min_fairness").space_sharing
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("round_robin")
+
+    def test_each_call_returns_fresh_instance(self):
+        assert make_policy("fifo") is not make_policy("fifo")
+
+    def test_available_policies_sorted(self):
+        names = available_policies()
+        assert names == sorted(names)

@@ -1,0 +1,164 @@
+"""Tests for throughput matrices over job combinations."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import default_registry
+from repro.core import ThroughputMatrix, build_throughput_matrix
+from repro.exceptions import ConfigurationError, UnknownJobError
+from repro.workloads import ColocationModel, Job, ThroughputOracle
+
+from tests.conftest import make_jobs
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return ThroughputOracle()
+
+
+class TestConstruction:
+    def test_singleton_rows(self, registry):
+        matrix = ThroughputMatrix(
+            registry, {(0,): np.array([[1.0, 2.0, 3.0]]), (1,): np.array([[4.0, 5.0, 6.0]])}
+        )
+        assert matrix.job_ids == (0, 1)
+        assert matrix.num_rows() == 2
+        assert not matrix.has_space_sharing()
+
+    def test_pair_rows_require_singletons(self, registry):
+        with pytest.raises(ConfigurationError):
+            ThroughputMatrix(registry, {(0, 1): np.zeros((2, 3))})
+
+    def test_row_shape_validated(self, registry):
+        with pytest.raises(ConfigurationError):
+            ThroughputMatrix(registry, {(0,): np.array([[1.0, 2.0]])})
+
+    def test_negative_throughput_rejected(self, registry):
+        with pytest.raises(ConfigurationError):
+            ThroughputMatrix(registry, {(0,): np.array([[1.0, -2.0, 3.0]])})
+
+    def test_duplicate_job_in_combination_rejected(self, registry):
+        with pytest.raises(ConfigurationError):
+            ThroughputMatrix(
+                registry,
+                {(0,): np.ones((1, 3)), (0, 0): np.ones((2, 3))},
+            )
+
+    def test_empty_matrix_rejected(self, registry):
+        with pytest.raises(ConfigurationError):
+            ThroughputMatrix(registry, {})
+
+    def test_combination_order_normalized(self, registry):
+        matrix = ThroughputMatrix(
+            registry,
+            {
+                (0,): np.ones((1, 3)),
+                (1,): np.ones((1, 3)),
+                (1, 0): np.array([[1.0, 1.0, 1.0], [2.0, 2.0, 2.0]]),
+            },
+        )
+        assert (0, 1) in matrix.combinations
+
+
+class TestQueries:
+    @pytest.fixture
+    def matrix(self, registry):
+        return ThroughputMatrix(
+            registry,
+            {
+                (0,): np.array([[4.0, 2.0, 1.0]]),
+                (1,): np.array([[3.0, 2.0, 1.0]]),
+                (0, 1): np.array([[2.0, 0.0, 0.0], [1.5, 0.0, 0.0]]),
+            },
+        )
+
+    def test_throughput_lookup(self, matrix):
+        assert matrix.throughput((0,), 0, "v100") == 4.0
+        assert matrix.throughput((0, 1), 1, "v100") == 1.5
+
+    def test_rows_containing(self, matrix):
+        rows = matrix.rows_containing(0)
+        assert ((0,), 0) in rows
+        assert ((0, 1), 0) in rows
+
+    def test_unknown_job_raises(self, matrix):
+        with pytest.raises(UnknownJobError):
+            matrix.rows_containing(9)
+        with pytest.raises(UnknownJobError):
+            matrix.throughput((0,), 9, "v100")
+
+    def test_isolated_throughputs(self, matrix):
+        np.testing.assert_allclose(matrix.isolated_throughputs(1), [3.0, 2.0, 1.0])
+
+    def test_singles_matrix(self, matrix):
+        job_ids, dense = matrix.singles_matrix()
+        assert job_ids == (0, 1)
+        assert dense.shape == (2, 3)
+
+    def test_restrict_to_singletons(self, matrix):
+        restricted = matrix.restrict_to_singletons()
+        assert not restricted.has_space_sharing()
+        assert restricted.num_rows() == 2
+
+    def test_heterogeneity_agnostic_flattens_rows(self, matrix):
+        flat = matrix.heterogeneity_agnostic()
+        row = flat.isolated_throughputs(0)
+        assert row[0] == row[1] == row[2] == pytest.approx(np.mean([4.0, 2.0, 1.0]))
+
+    def test_heterogeneity_agnostic_preserves_zero_columns(self, matrix):
+        flat = matrix.heterogeneity_agnostic()
+        pair_row = flat.row((0, 1))
+        assert pair_row[0, 1] == 0.0 and pair_row[0, 2] == 0.0
+        assert pair_row[0, 0] > 0
+
+
+class TestBuilder:
+    def test_builds_singleton_rows_for_all_jobs(self, oracle):
+        jobs = make_jobs(oracle, ["resnet50-bs64", "a3c-bs4", "lstm-bs20"])
+        matrix = build_throughput_matrix(jobs, oracle)
+        assert matrix.job_ids == (0, 1, 2)
+        assert not matrix.has_space_sharing()
+
+    def test_space_sharing_adds_beneficial_pairs_only(self, oracle):
+        jobs = make_jobs(oracle, ["resnet50-bs128", "cyclegan-bs1", "a3c-bs4", "lstm-bs5"])
+        matrix = build_throughput_matrix(jobs, oracle, space_sharing=True)
+        pairs = [c for c in matrix.combinations if len(c) == 2]
+        # The two heavy jobs (0, 1) do not fit together / do not benefit.
+        assert (0, 1) not in pairs
+        # The two light jobs colocate well.
+        assert (2, 3) in pairs
+
+    def test_multi_worker_jobs_excluded_from_pairs(self, oracle):
+        jobs = make_jobs(oracle, ["a3c-bs4", "lstm-bs5"], scale_factors=[4, 1])
+        matrix = build_throughput_matrix(jobs, oracle, space_sharing=True)
+        assert all(len(c) == 1 for c in matrix.combinations)
+
+    def test_scale_factor_increases_aggregate_throughput(self, oracle):
+        single = make_jobs(oracle, ["resnet50-bs64"], scale_factors=[1])
+        distributed = make_jobs(oracle, ["resnet50-bs64"], scale_factors=[4])
+        matrix_single = build_throughput_matrix(single, oracle)
+        matrix_distributed = build_throughput_matrix(distributed, oracle)
+        assert (
+            matrix_distributed.isolated_throughputs(0)[0]
+            > matrix_single.isolated_throughputs(0)[0]
+        )
+
+    def test_duplicate_job_ids_rejected(self, oracle):
+        job = Job(job_id=0, job_type="a3c-bs4", total_steps=10.0)
+        with pytest.raises(ConfigurationError):
+            build_throughput_matrix([job, job], oracle)
+
+    def test_empty_jobs_rejected(self, oracle):
+        with pytest.raises(ConfigurationError):
+            build_throughput_matrix([], oracle)
+
+    def test_explicit_colocation_model_used(self, oracle):
+        jobs = make_jobs(oracle, ["a3c-bs4", "lstm-bs5"])
+        model = ColocationModel(oracle, interference_strength=0.0)
+        matrix = build_throughput_matrix(
+            jobs, oracle, space_sharing=True, colocation_model=model
+        )
+        # With zero interference every pair is beneficial (combined = 2.0).
+        assert (0, 1) in matrix.combinations
+        pair = matrix.row((0, 1))
+        np.testing.assert_allclose(pair[0], matrix.isolated_throughputs(0))

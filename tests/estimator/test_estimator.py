@@ -1,0 +1,75 @@
+"""Tests for the end-to-end throughput estimator."""
+
+import pytest
+
+from repro.estimator import ThroughputEstimator
+from repro.exceptions import EstimationError
+from repro.workloads import ColocatedThroughputs, ColocationModel, ThroughputOracle
+
+
+@pytest.fixture(scope="module")
+def true_model():
+    return ColocationModel(ThroughputOracle())
+
+
+@pytest.fixture
+def estimator(true_model):
+    return ThroughputEstimator(true_model, profile_fraction=0.3, seed=0)
+
+
+class TestConstruction:
+    def test_invalid_profile_fraction(self, true_model):
+        with pytest.raises(EstimationError):
+            ThroughputEstimator(true_model, profile_fraction=0.0)
+
+    def test_empty_reference_set_rejected(self, true_model):
+        with pytest.raises(EstimationError):
+            ThroughputEstimator(true_model, reference_job_types=[])
+
+
+class TestEstimates:
+    def test_memory_feasibility_is_exact(self, estimator, true_model):
+        for pair in [("resnet50-bs128", "cyclegan-bs1"), ("a3c-bs4", "lstm-bs5")]:
+            assert estimator.fits_in_memory(*pair, "v100") == true_model.fits_in_memory(
+                *pair, "v100"
+            )
+
+    def test_estimates_close_to_truth_on_average(self, true_model):
+        estimator = ThroughputEstimator(true_model, profile_fraction=0.4, seed=1)
+        error = estimator.estimation_error(["resnet50-bs64", "a3c-bs4", "transformer-bs64"])
+        assert error < 0.15
+
+    def test_higher_profile_fraction_reduces_error(self, true_model):
+        sparse = ThroughputEstimator(true_model, profile_fraction=0.15, seed=2)
+        dense = ThroughputEstimator(true_model, profile_fraction=0.9, seed=2)
+        types = ["resnet50-bs64", "lstm-bs20", "recoder-bs2048"]
+        assert dense.estimation_error(types) <= sparse.estimation_error(types) + 0.02
+
+    def test_colocated_throughputs_bounded_by_isolated(self, estimator, true_model):
+        oracle = true_model.oracle
+        pair = estimator.colocated_throughputs("resnet18-bs32", "lstm-bs20", "p100")
+        assert 0 < pair.first <= oracle.throughput("resnet18-bs32", "p100") * 1.01
+        assert 0 < pair.second <= oracle.throughput("lstm-bs20", "p100") * 1.01
+
+    def test_infeasible_pair_estimated_as_infeasible(self, estimator):
+        pair = estimator.colocated_throughputs("resnet50-bs128", "cyclegan-bs1", "v100")
+        assert not pair.feasible
+
+    def test_matched_reference_is_known_job_type(self, estimator, true_model):
+        match = estimator.matched_reference("transformer-bs128")
+        assert match in true_model.oracle.job_types.names
+
+    def test_combined_normalized_interface(self, estimator):
+        value = estimator.combined_normalized_throughput("a3c-bs4", "lstm-bs5", "v100")
+        assert 0.0 < value <= 2.0
+        assert isinstance(estimator.is_beneficial("a3c-bs4", "lstm-bs5", "v100"), bool)
+
+
+class TestOnlineRefinement:
+    def test_observation_overrides_estimate(self, estimator, true_model):
+        oracle = true_model.oracle
+        isolated = oracle.throughput("resnet18-bs32", "p100")
+        measured = ColocatedThroughputs(first=isolated * 0.123, second=1.0)
+        estimator.observe("resnet18-bs32", "lstm-bs20", "p100", measured)
+        pair = estimator.colocated_throughputs("resnet18-bs32", "lstm-bs20", "p100")
+        assert pair.first == pytest.approx(isolated * 0.123, rel=1e-6)

@@ -1,0 +1,54 @@
+"""Tests for fingerprint matching."""
+
+import numpy as np
+import pytest
+
+from repro.estimator import cosine_similarity, nearest_reference
+from repro.exceptions import EstimationError
+
+
+class TestCosineSimilarity:
+    def test_identical_vectors(self):
+        assert cosine_similarity(np.array([1.0, 2.0]), np.array([2.0, 4.0])) == pytest.approx(1.0)
+
+    def test_orthogonal_vectors(self):
+        assert cosine_similarity(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(0.0)
+
+    def test_zero_vector_gives_zero(self):
+        assert cosine_similarity(np.zeros(3), np.ones(3)) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(EstimationError):
+            cosine_similarity(np.ones(2), np.ones(3))
+
+
+class TestNearestReference:
+    def test_exact_match_found(self):
+        references = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.5, 0.5, 0.7]])
+        index, similarity = nearest_reference(np.array([0.5, 0.5, 0.7]), references)
+        assert index == 2
+        assert similarity == pytest.approx(1.0)
+
+    def test_masked_comparison(self):
+        references = np.array([[1.0, 0.0], [0.0, 1.0]])
+        fingerprint = np.array([1.0, 123.0])  # second coordinate unobserved garbage
+        mask = np.array([True, False])
+        index, _ = nearest_reference(fingerprint, references, mask=mask)
+        assert index == 0
+
+    def test_empty_mask_falls_back_to_full_comparison(self):
+        references = np.array([[1.0, 0.0], [0.0, 1.0]])
+        index, _ = nearest_reference(np.array([0.9, 0.1]), references, mask=np.array([False, False]))
+        assert index == 0
+
+    def test_no_references_rejected(self):
+        with pytest.raises(EstimationError):
+            nearest_reference(np.ones(2), np.empty((0, 2)))
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(EstimationError):
+            nearest_reference(np.ones(2), np.ones((3, 4)))
+
+    def test_mask_shape_mismatch_rejected(self):
+        with pytest.raises(EstimationError):
+            nearest_reference(np.ones(2), np.ones((3, 2)), mask=np.ones(3, dtype=bool))

@@ -1,0 +1,72 @@
+"""Tests for ALS matrix completion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.estimator import complete_matrix
+from repro.exceptions import EstimationError
+
+
+def _low_rank_matrix(rows, cols, rank, seed=0):
+    rng = np.random.default_rng(seed)
+    u = rng.uniform(0.3, 1.0, size=(rows, rank))
+    v = rng.uniform(0.3, 1.0, size=(cols, rank))
+    return u @ v.T
+
+
+class TestCompletion:
+    def test_observed_entries_preserved(self):
+        matrix = _low_rank_matrix(6, 6, 2)
+        mask = np.random.default_rng(1).uniform(size=matrix.shape) < 0.6
+        completed = complete_matrix(matrix, mask, rank=2)
+        np.testing.assert_allclose(completed[mask], matrix[mask])
+
+    def test_recovers_low_rank_structure(self):
+        matrix = _low_rank_matrix(10, 10, 2, seed=3)
+        mask = np.random.default_rng(4).uniform(size=matrix.shape) < 0.7
+        completed = complete_matrix(matrix, mask, rank=3, num_iterations=80)
+        missing = ~mask
+        error = np.abs(completed[missing] - matrix[missing]).mean()
+        assert error < 0.15 * matrix.mean()
+
+    def test_rank_capped_at_matrix_size(self):
+        matrix = _low_rank_matrix(3, 3, 1)
+        mask = np.ones_like(matrix, dtype=bool)
+        completed = complete_matrix(matrix, mask, rank=10)
+        np.testing.assert_allclose(completed, matrix)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(EstimationError):
+            complete_matrix(np.ones((2, 2)), np.ones((3, 3), dtype=bool))
+
+    def test_no_observations_rejected(self):
+        with pytest.raises(EstimationError):
+            complete_matrix(np.ones((2, 2)), np.zeros((2, 2), dtype=bool))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(EstimationError):
+            complete_matrix(np.ones(4), np.ones(4, dtype=bool))
+
+    def test_invalid_rank_rejected(self):
+        with pytest.raises(EstimationError):
+            complete_matrix(np.ones((2, 2)), np.ones((2, 2), dtype=bool), rank=0)
+
+    def test_deterministic_for_seed(self):
+        matrix = _low_rank_matrix(6, 6, 2)
+        mask = np.random.default_rng(5).uniform(size=matrix.shape) < 0.5
+        first = complete_matrix(matrix, mask, rank=2, seed=9)
+        second = complete_matrix(matrix, mask, rank=2, seed=9)
+        np.testing.assert_allclose(first, second)
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_completion_bounded_for_bounded_inputs(self, seed):
+        """Completed values of a [0, 1] matrix stay in a sane numeric range."""
+        matrix = np.clip(_low_rank_matrix(5, 5, 2, seed=seed), 0.0, 1.0)
+        mask = np.random.default_rng(seed).uniform(size=matrix.shape) < 0.6
+        if not mask.any():
+            mask[0, 0] = True
+        completed = complete_matrix(matrix, mask, rank=2)
+        assert np.all(np.isfinite(completed))
+        assert completed.max() < 10.0

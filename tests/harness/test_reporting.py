@@ -1,0 +1,47 @@
+"""Tests for the plain-text reporting helpers."""
+
+import math
+
+import pytest
+
+from repro.harness import format_series, format_table, speedup, summarize_cdf
+
+
+class TestFormatTable:
+    def test_columns_aligned(self):
+        text = format_table(["policy", "jct"], [["gavel", 3.4], ["las", 5.0]], title="Table 3")
+        lines = text.splitlines()
+        assert lines[0] == "Table 3"
+        assert "policy" in lines[1] and "jct" in lines[1]
+        assert len(lines) == 5
+
+    def test_no_title(self):
+        text = format_table(["a"], [[1]])
+        assert text.splitlines()[0].startswith("a")
+
+
+class TestFormatSeries:
+    def test_pairs_rendered(self):
+        text = format_series("Gavel", [1, 2], [10.0, 20.0], x_label="rate", y_label="jct")
+        assert "Gavel" in text
+        assert "rate" in text and "jct" in text
+        assert len(text.splitlines()) == 3
+
+
+class TestSummarizeCdf:
+    def test_percentiles(self):
+        summary = summarize_cdf(list(range(1, 101)))
+        assert summary["p50"] == pytest.approx(50.5)
+        assert summary["p99"] == pytest.approx(99.01)
+
+    def test_empty_values(self):
+        summary = summarize_cdf([])
+        assert math.isnan(summary["p50"])
+
+
+class TestSpeedup:
+    def test_ratio(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+
+    def test_zero_improved(self):
+        assert speedup(10.0, 0.0) == float("inf")

@@ -1,0 +1,130 @@
+"""End-to-end integration tests reproducing the paper's headline claims in miniature.
+
+These tests run the full stack (trace generator → policy LPs → round-based
+mechanism → simulator metrics) on scaled-down clusters and check that the
+paper's qualitative results hold: heterogeneity-aware policies beat their
+agnostic counterparts, principled space sharing beats Gandiva's ad-hoc
+packing, the makespan policy beats FIFO, and the cost policies trade dollars
+for SLO compliance.
+"""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.core import EntitySpec, HierarchicalPolicy, make_policy
+from repro.estimator import ThroughputEstimator
+from repro.harness import run_policy_on_trace, steady_state_job_ids
+from repro.simulator import Simulator, SimulatorConfig
+from repro.workloads import ColocationModel, ThroughputOracle, TraceGenerator, TraceGeneratorConfig
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return ThroughputOracle()
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return ClusterSpec.from_counts({"v100": 2, "p100": 2, "k80": 2})
+
+
+@pytest.fixture(scope="module")
+def continuous_trace(oracle):
+    return TraceGenerator(oracle).generate_continuous(num_jobs=24, jobs_per_hour=5.0, seed=11)
+
+
+@pytest.fixture(scope="module")
+def static_trace(oracle):
+    return TraceGenerator(oracle).generate_static(num_jobs=16, seed=3)
+
+
+class TestHeterogeneityAwareness:
+    def test_gavel_las_beats_agnostic_las(self, oracle, cluster, continuous_trace):
+        """Figures 8/9: the heterogeneity-aware LAS policy reduces average JCT."""
+        window = steady_state_job_ids(continuous_trace)
+        aware = run_policy_on_trace("max_min_fairness", continuous_trace, cluster, oracle=oracle)
+        agnostic = run_policy_on_trace(
+            "max_min_fairness_agnostic", continuous_trace, cluster, oracle=oracle
+        )
+        assert aware.average_jct_hours(window) < agnostic.average_jct_hours(window)
+
+    def test_gavel_fifo_beats_agnostic_fifo(self, oracle, cluster, continuous_trace):
+        """Figures 16/18."""
+        window = steady_state_job_ids(continuous_trace)
+        aware = run_policy_on_trace("fifo", continuous_trace, cluster, oracle=oracle)
+        agnostic = run_policy_on_trace("fifo_agnostic", continuous_trace, cluster, oracle=oracle)
+        assert aware.average_jct_hours(window) <= agnostic.average_jct_hours(window) * 1.05
+
+    def test_gavel_ftf_beats_agnostic_ftf(self, oracle, cluster, continuous_trace):
+        """Figure 10: both average JCT and the FTF metric improve."""
+        window = steady_state_job_ids(continuous_trace)
+        aware = run_policy_on_trace("finish_time_fairness", continuous_trace, cluster, oracle=oracle)
+        agnostic = run_policy_on_trace(
+            "finish_time_fairness_agnostic", continuous_trace, cluster, oracle=oracle
+        )
+        assert aware.average_jct_hours(window) <= agnostic.average_jct_hours(window) * 1.05
+
+
+class TestSpaceSharing:
+    def test_gavel_ss_beats_gandiva_packing(self, oracle, cluster, continuous_trace):
+        """§7.3: principled packing beats Gandiva's random exploration."""
+        window = steady_state_job_ids(continuous_trace)
+        gavel_ss = run_policy_on_trace("max_min_fairness_ss", continuous_trace, cluster, oracle=oracle)
+        gandiva = run_policy_on_trace("gandiva", continuous_trace, cluster, oracle=oracle)
+        assert gavel_ss.average_jct_hours(window) < gandiva.average_jct_hours(window)
+
+
+class TestMakespan:
+    def test_makespan_policy_beats_fifo(self, oracle, cluster, static_trace):
+        """Figure 19: the heterogeneity-aware makespan policy beats FIFO."""
+        makespan = run_policy_on_trace("makespan", static_trace, cluster, oracle=oracle)
+        fifo = run_policy_on_trace("fifo_agnostic", static_trace, cluster, oracle=oracle)
+        assert makespan.makespan_hours() < fifo.makespan_hours()
+
+    def test_makespan_close_to_gandiva_or_better(self, oracle, cluster, static_trace):
+        makespan = run_policy_on_trace("makespan", static_trace, cluster, oracle=oracle)
+        gandiva = run_policy_on_trace("gandiva", static_trace, cluster, oracle=oracle)
+        assert makespan.makespan_hours() <= gandiva.makespan_hours() * 1.05
+
+
+class TestCostPolicies:
+    def test_min_cost_cheaper_but_violates_slos(self, oracle, cluster):
+        """§7.3 Cost: min-cost saves money, min-cost-with-SLOs removes violations."""
+        generator = TraceGenerator(oracle)
+        trace = generator.generate_continuous(num_jobs=16, jobs_per_hour=4.0, seed=5)
+        trace = generator.assign_slos(trace, slo_multipliers=(1.2, 2.0, 10.0), seed=5)
+
+        throughput = run_policy_on_trace("max_total_throughput", trace, cluster, oracle=oracle)
+        min_cost = run_policy_on_trace("min_cost", trace, cluster, oracle=oracle)
+        with_slos = run_policy_on_trace("min_cost_slo", trace, cluster, oracle=oracle)
+
+        assert min_cost.total_cost_dollars < throughput.total_cost_dollars
+        assert with_slos.slo_violation_rate() <= min_cost.slo_violation_rate()
+
+
+class TestHierarchicalEndToEnd:
+    def test_entities_with_higher_weight_finish_sooner(self, oracle, cluster):
+        generator = TraceGenerator(oracle)
+        trace = TraceGenerator.assign_entities(generator.generate_static(num_jobs=12, seed=9), 3)
+        policy = HierarchicalPolicy(
+            [EntitySpec(0, weight=1.0), EntitySpec(1, weight=1.0), EntitySpec(2, weight=4.0)]
+        )
+        result = run_policy_on_trace(policy, trace, cluster, oracle=oracle)
+        assert result.completion_rate() == 1.0
+
+
+class TestEstimatorEndToEnd:
+    def test_estimated_throughputs_close_to_oracle_jct(self, oracle, cluster):
+        """Figure 14: estimated colocation throughputs cost little average JCT."""
+        trace = TraceGenerator(oracle).generate_continuous(num_jobs=14, jobs_per_hour=5.0, seed=21)
+        window = steady_state_job_ids(trace)
+        oracle_result = run_policy_on_trace("max_min_fairness_ss", trace, cluster, oracle=oracle)
+        estimator = ThroughputEstimator(ColocationModel(oracle), profile_fraction=0.3, seed=1)
+        estimated_result = run_policy_on_trace(
+            "max_min_fairness_ss",
+            trace,
+            cluster,
+            oracle=oracle,
+            config=SimulatorConfig(estimator=estimator),
+        )
+        assert estimated_result.average_jct_hours(window) <= oracle_result.average_jct_hours(window) * 1.35

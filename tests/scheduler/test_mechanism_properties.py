@@ -1,0 +1,90 @@
+"""Property-based tests for the round-based scheduling mechanism.
+
+For random valid allocations and cluster shapes, every round produced by
+Algorithm 1 must (a) never run a job twice, (b) never oversubscribe an
+accelerator type, and (c) over many rounds drive the received time fractions
+towards the target allocation (the mechanism's fidelity claim, §7.5).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cluster import ClusterSpec, default_registry
+from repro.core import Allocation
+from repro.scheduler import PriorityTracker, RoundScheduler
+
+_REGISTRY = default_registry()
+
+
+@st.composite
+def _allocation_and_cluster(draw):
+    num_jobs = draw(st.integers(2, 6))
+    counts = {
+        "v100": draw(st.integers(1, 3)),
+        "p100": draw(st.integers(0, 3)),
+        "k80": draw(st.integers(0, 3)),
+    }
+    cluster = ClusterSpec.from_counts(counts, registry=_REGISTRY)
+    capacity = cluster.counts_vector()
+    raw = np.array(
+        [[draw(st.floats(0.0, 1.0)) for _ in range(3)] for _ in range(num_jobs)]
+    )
+    # Normalize rows to keep per-job totals <= 1.
+    for row in range(num_jobs):
+        total = raw[row].sum()
+        if total > 1.0:
+            raw[row] /= total
+    # Scale columns down to respect worker capacity.
+    for column in range(3):
+        usage = raw[:, column].sum()
+        if usage > capacity[column]:
+            raw[:, column] *= 0.0 if capacity[column] == 0 else capacity[column] / usage
+    allocation = Allocation(_REGISTRY, {(i,): raw[i] for i in range(num_jobs)})
+    return allocation, cluster
+
+
+class TestMechanismProperties:
+    @given(data=_allocation_and_cluster())
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_rounds_always_valid(self, data):
+        allocation, cluster = data
+        tracker = PriorityTracker(allocation)
+        scheduler = RoundScheduler(cluster)
+        scale_factors = {job_id: 1 for job_id in allocation.job_ids}
+        for _ in range(5):
+            scheduled = scheduler.schedule_round(tracker, scale_factors)
+            scheduler.validate_round(scheduled)
+            for item in scheduled:
+                tracker.record_time(item.combination, item.accelerator_name, 360.0)
+
+    @given(data=_allocation_and_cluster())
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_fractions_track_targets_over_many_rounds(self, data):
+        allocation, cluster = data
+        tracker = PriorityTracker(allocation)
+        scheduler = RoundScheduler(cluster)
+        scale_factors = {job_id: 1 for job_id in allocation.job_ids}
+        for _ in range(80):
+            scheduled = scheduler.schedule_round(tracker, scale_factors)
+            for item in scheduled:
+                tracker.record_time(item.combination, item.accelerator_name, 360.0)
+        fractions = tracker.fractions()
+        totals = tracker.total_time_per_type()
+        capacity = cluster.counts_vector()
+        for combination in allocation.combinations:
+            target = allocation.row(combination)
+            for column in range(3):
+                # Only compare on accelerator types that actually received
+                # work, have a meaningful target, and are *contended* — when
+                # capacity exceeds the total demand every job simply runs all
+                # the time and the proportional-share prediction does not apply.
+                if totals[column] == 0 or target[column] < 0.05:
+                    continue
+                column_targets = sum(
+                    allocation.row(other)[column] for other in allocation.combinations
+                )
+                if column_targets < capacity[column] - 1e-9:
+                    continue
+                expected = target[column] / column_targets if column_targets > 0 else 0.0
+                assert fractions[combination][column] == pytest.approx(expected, abs=0.25)

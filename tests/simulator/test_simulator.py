@@ -1,0 +1,162 @@
+"""Tests for the round-based cluster simulator."""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.core import make_policy
+from repro.exceptions import ConfigurationError
+from repro.simulator import Simulator, SimulatorConfig
+from repro.workloads import Job, ThroughputOracle, Trace, TraceGenerator
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return ThroughputOracle()
+
+
+@pytest.fixture(scope="module")
+def small_spec():
+    return ClusterSpec.from_counts({"v100": 2, "p100": 2, "k80": 2})
+
+
+def _simple_trace(oracle, num_jobs=4, steps=100_000.0, job_type="resnet18-bs64"):
+    jobs = [
+        Job(job_id=i, job_type=job_type, total_steps=steps, arrival_time=0.0)
+        for i in range(num_jobs)
+    ]
+    return Trace.from_jobs(jobs, name="simple")
+
+
+class TestConfig:
+    def test_invalid_round_duration(self):
+        with pytest.raises(ConfigurationError):
+            SimulatorConfig(round_duration_seconds=0.0)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ConfigurationError):
+            SimulatorConfig(mode="warp")
+
+    def test_invalid_overhead(self):
+        with pytest.raises(ConfigurationError):
+            SimulatorConfig(checkpoint_overhead_seconds=-1.0)
+
+
+class TestBasicExecution:
+    def test_all_jobs_complete(self, oracle, small_spec):
+        simulator = Simulator(make_policy("max_min_fairness"), small_spec, oracle=oracle)
+        result = simulator.run(_simple_trace(oracle))
+        assert result.completion_rate() == 1.0
+        assert result.num_rounds > 0
+        assert result.end_time > 0
+
+    def test_empty_trace_rejected(self, oracle, small_spec):
+        simulator = Simulator(make_policy("max_min_fairness"), small_spec, oracle=oracle)
+        with pytest.raises(ConfigurationError):
+            simulator.run(Trace.from_jobs([]))
+
+    def test_progress_matches_step_counts(self, oracle, small_spec):
+        trace = _simple_trace(oracle, num_jobs=2)
+        simulator = Simulator(make_policy("max_min_fairness"), small_spec, oracle=oracle)
+        result = simulator.run(trace)
+        for job_id, record in result.records.items():
+            assert record.steps_done >= trace.job(job_id).total_steps * 0.999
+
+    def test_jct_not_shorter_than_ideal(self, oracle, small_spec):
+        """No job can finish faster than running alone on its fastest GPU."""
+        trace = _simple_trace(oracle, num_jobs=3)
+        simulator = Simulator(make_policy("max_min_fairness"), small_spec, oracle=oracle)
+        result = simulator.run(trace)
+        for job_id, record in result.records.items():
+            job = trace.job(job_id)
+            fastest = max(
+                oracle.throughput(job.job_type, name, scale_factor=job.scale_factor)
+                for name in oracle.registry.names
+            )
+            assert record.jct_seconds >= job.total_steps / fastest * 0.99
+
+    def test_cost_accounting_positive(self, oracle, small_spec):
+        simulator = Simulator(make_policy("max_min_fairness"), small_spec, oracle=oracle)
+        result = simulator.run(_simple_trace(oracle))
+        assert result.total_cost_dollars > 0
+        assert sum(record.cost_dollars for record in result.records.values()) == pytest.approx(
+            result.total_cost_dollars
+        )
+
+    def test_utilization_bounded(self, oracle, small_spec):
+        simulator = Simulator(make_policy("max_min_fairness"), small_spec, oracle=oracle)
+        result = simulator.run(_simple_trace(oracle))
+        assert 0.0 < result.utilization() <= 1.0
+
+    def test_policy_recomputed_on_events(self, oracle, small_spec):
+        jobs = [
+            Job(job_id=i, job_type="resnet18-bs64", total_steps=50_000.0 * (i + 1), arrival_time=0.0)
+            for i in range(4)
+        ]
+        trace = Trace.from_jobs(jobs)
+        simulator = Simulator(make_policy("max_min_fairness"), small_spec, oracle=oracle)
+        result = simulator.run(trace)
+        # One computation at the start plus at least one after a completion
+        # event (the jobs have staggered lengths, so completions are spread out).
+        assert result.num_policy_recomputations >= 2
+
+    def test_deterministic_given_seed(self, oracle, small_spec):
+        trace = TraceGenerator(oracle).generate_continuous(num_jobs=8, jobs_per_hour=4, seed=5)
+        results = [
+            Simulator(
+                make_policy("max_min_fairness"),
+                small_spec,
+                oracle=oracle,
+                config=SimulatorConfig(seed=1),
+            ).run(trace)
+            for _ in range(2)
+        ]
+        assert results[0].average_jct_hours() == pytest.approx(results[1].average_jct_hours())
+
+
+class TestArrivals:
+    def test_jobs_not_started_before_arrival(self, oracle, small_spec):
+        jobs = [
+            Job(job_id=0, job_type="resnet18-bs64", total_steps=50_000.0, arrival_time=0.0),
+            Job(job_id=1, job_type="resnet18-bs64", total_steps=50_000.0, arrival_time=36_000.0),
+        ]
+        trace = Trace.from_jobs(jobs)
+        simulator = Simulator(make_policy("max_min_fairness"), small_spec, oracle=oracle)
+        result = simulator.run(trace)
+        assert result.records[1].completion_time > 36_000.0
+
+    def test_idle_period_skipped(self, oracle, small_spec):
+        """A long gap between arrivals should not inflate the round count much."""
+        jobs = [
+            Job(job_id=0, job_type="resnet18-bs64", total_steps=10_000.0, arrival_time=0.0),
+            Job(job_id=1, job_type="resnet18-bs64", total_steps=10_000.0, arrival_time=1e6),
+        ]
+        trace = Trace.from_jobs(jobs)
+        simulator = Simulator(make_policy("max_min_fairness"), small_spec, oracle=oracle)
+        result = simulator.run(trace)
+        assert result.completion_rate() == 1.0
+        # Far fewer rounds than the 1e6 / 360 that ticking through the gap would take.
+        assert result.num_rounds < 1000
+
+
+class TestMultiWorkerJobs:
+    def test_distributed_jobs_complete(self, oracle):
+        spec = ClusterSpec.from_counts({"v100": 4, "p100": 4, "k80": 4})
+        jobs = [
+            Job(job_id=0, job_type="resnet50-bs64", total_steps=200_000.0, scale_factor=4),
+            Job(job_id=1, job_type="lstm-bs20", total_steps=100_000.0, scale_factor=2),
+            Job(job_id=2, job_type="a3c-bs4", total_steps=50_000.0),
+        ]
+        trace = Trace.from_jobs(jobs)
+        simulator = Simulator(make_policy("max_min_fairness"), spec, oracle=oracle)
+        result = simulator.run(trace)
+        assert result.completion_rate() == 1.0
+
+
+class TestSpaceSharingExecution:
+    def test_space_sharing_policy_completes_and_is_not_worse(self, oracle, small_spec):
+        trace = TraceGenerator(oracle).generate_continuous(num_jobs=10, jobs_per_hour=6, seed=2)
+        plain = Simulator(make_policy("max_min_fairness"), small_spec, oracle=oracle).run(trace)
+        shared = Simulator(make_policy("max_min_fairness_ss"), small_spec, oracle=oracle).run(trace)
+        assert shared.completion_rate() == 1.0
+        # Space sharing should not catastrophically hurt average JCT.
+        assert shared.average_jct_hours() <= plain.average_jct_hours() * 1.3

@@ -1,0 +1,101 @@
+"""Tests for the ideal and physical simulator modes."""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.core import make_policy
+from repro.simulator import Simulator, SimulatorConfig
+from repro.workloads import ThroughputOracle, TraceGenerator
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return ThroughputOracle()
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return ClusterSpec.from_counts({"v100": 2, "p100": 2, "k80": 2})
+
+
+@pytest.fixture(scope="module")
+def trace(oracle):
+    return TraceGenerator(oracle).generate_continuous(num_jobs=10, jobs_per_hour=5, seed=7)
+
+
+class TestIdealMode:
+    def test_ideal_mode_completes(self, oracle, spec, trace):
+        simulator = Simulator(
+            make_policy("max_min_fairness"), spec, oracle=oracle, config=SimulatorConfig(mode="ideal")
+        )
+        result = simulator.run(trace)
+        assert result.completion_rate() == 1.0
+        assert "(ideal)" in result.policy_name
+
+    def test_round_mechanism_close_to_ideal(self, oracle, spec, trace):
+        """Figure 13b: the round-based mechanism behaves almost like the ideal fluid execution."""
+        ideal = Simulator(
+            make_policy("max_min_fairness"), spec, oracle=oracle, config=SimulatorConfig(mode="ideal")
+        ).run(trace)
+        rounds = Simulator(
+            make_policy("max_min_fairness"),
+            spec,
+            oracle=oracle,
+            config=SimulatorConfig(mode="round", round_duration_seconds=360.0),
+        ).run(trace)
+        assert rounds.average_jct_hours() == pytest.approx(ideal.average_jct_hours(), rel=0.30)
+        assert rounds.average_jct_hours() >= ideal.average_jct_hours() * 0.8
+
+    def test_shorter_rounds_track_ideal_more_closely(self, oracle, spec, trace):
+        """Figure 13a: smaller round durations approximate the target allocation better."""
+        ideal = Simulator(
+            make_policy("max_min_fairness"), spec, oracle=oracle, config=SimulatorConfig(mode="ideal")
+        ).run(trace).average_jct_hours()
+        short_round = Simulator(
+            make_policy("max_min_fairness"), spec, oracle=oracle,
+            config=SimulatorConfig(round_duration_seconds=360.0),
+        ).run(trace).average_jct_hours()
+        long_round = Simulator(
+            make_policy("max_min_fairness"), spec, oracle=oracle,
+            config=SimulatorConfig(round_duration_seconds=5760.0),
+        ).run(trace).average_jct_hours()
+        assert abs(short_round - ideal) <= abs(long_round - ideal) + 1e-6
+
+
+class TestPhysicalMode:
+    def test_physical_mode_completes_with_overhead(self, oracle, spec, trace):
+        result = Simulator(
+            make_policy("max_min_fairness"),
+            spec,
+            oracle=oracle,
+            config=SimulatorConfig(mode="physical", checkpoint_overhead_seconds=5.0, seed=1),
+        ).run(trace)
+        assert result.completion_rate() == 1.0
+        assert any(record.preemptions > 0 for record in result.records.values())
+
+    def test_physical_close_to_simulation(self, oracle, spec, trace):
+        """Table 3: physical-cluster results agree with simulation within a few percent."""
+        simulated = Simulator(
+            make_policy("max_min_fairness"), spec, oracle=oracle, config=SimulatorConfig(seed=1)
+        ).run(trace)
+        physical = Simulator(
+            make_policy("max_min_fairness"),
+            spec,
+            oracle=oracle,
+            config=SimulatorConfig(mode="physical", seed=1),
+        ).run(trace)
+        assert physical.average_jct_hours() == pytest.approx(
+            simulated.average_jct_hours(), rel=0.10
+        )
+
+    def test_physical_mode_never_faster_than_pure_simulation_by_much(self, oracle, spec, trace):
+        simulated = Simulator(
+            make_policy("max_min_fairness"), spec, oracle=oracle, config=SimulatorConfig(seed=1)
+        ).run(trace)
+        physical = Simulator(
+            make_policy("max_min_fairness"),
+            spec,
+            oracle=oracle,
+            config=SimulatorConfig(mode="physical", seed=1, checkpoint_overhead_seconds=30.0),
+        ).run(trace)
+        assert physical.average_jct_hours() >= simulated.average_jct_hours() * 0.95

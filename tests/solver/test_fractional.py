@@ -1,0 +1,91 @@
+"""Tests for linear-fractional programming (Charnes–Cooper)."""
+
+import pytest
+
+from repro.exceptions import InfeasibleError, SolverError
+from repro.solver import FractionalProgram
+
+
+class TestFractionalProgram:
+    def test_simple_ratio(self):
+        """max (x + 2y) / (x + y + 1) over the unit box: optimum at x=0, y=1."""
+        program = FractionalProgram()
+        x = program.add_variable("x")
+        y = program.add_variable("y")
+        program.set_ratio_objective(x * 1.0 + y * 2.0, x * 1.0 + y * 1.0 + 1.0)
+        solution = program.solve()
+        assert solution.objective_value == pytest.approx(1.0, abs=1e-5)
+        assert solution.value_of(y) == pytest.approx(1.0, abs=1e-5)
+        assert solution.value_of(x) == pytest.approx(0.0, abs=1e-5)
+
+    def test_constant_denominator_reduces_to_lp(self):
+        """max (3x) / 2 over x in [0, 1] is 1.5 at x = 1."""
+        program = FractionalProgram()
+        x = program.add_variable("x")
+        program.set_ratio_objective(x * 3.0, x * 0.0 + 2.0)
+        solution = program.solve()
+        assert solution.objective_value == pytest.approx(1.5, abs=1e-6)
+        assert solution.value_of(x) == pytest.approx(1.0, abs=1e-6)
+
+    def test_constraints_respected(self):
+        """max x / (0.5x + 1) with x <= 0.4."""
+        program = FractionalProgram()
+        x = program.add_variable("x")
+        program.add_less_equal(x * 1.0, 0.4)
+        program.set_ratio_objective(x * 1.0, x * 0.5 + 1.0)
+        solution = program.solve()
+        assert solution.value_of(x) == pytest.approx(0.4, abs=1e-5)
+        assert solution.objective_value == pytest.approx(0.4 / 1.2, abs=1e-5)
+
+    def test_greater_equal_constraint(self):
+        """Throughput-per-cost shape: prefer the cheap variable but keep a floor on the fast one."""
+        program = FractionalProgram()
+        fast = program.add_variable("fast")
+        cheap = program.add_variable("cheap")
+        program.add_greater_equal(fast * 4.0 + cheap * 1.0, 1.0)  # minimum throughput
+        program.set_ratio_objective(fast * 4.0 + cheap * 1.0, fast * 3.0 + cheap * 0.5 + 1e-6)
+        solution = program.solve()
+        # Cost-normalized throughput of cheap (2.0/unit) beats fast (1.33/unit).
+        assert solution.value_of(cheap) > solution.value_of(fast)
+
+    def test_equality_constraint(self):
+        program = FractionalProgram()
+        x = program.add_variable("x")
+        y = program.add_variable("y")
+        program.add_equal(x * 1.0 + y * 1.0, 1.0)
+        program.set_ratio_objective(x * 2.0 + y * 1.0, x * 1.0 + y * 1.0)
+        solution = program.solve()
+        assert solution.value_of(x) + solution.value_of(y) == pytest.approx(1.0, abs=1e-6)
+        assert solution.objective_value == pytest.approx(2.0, abs=1e-4)
+
+    def test_missing_objective_raises(self):
+        program = FractionalProgram()
+        program.add_variable("x")
+        with pytest.raises(SolverError):
+            program.solve()
+
+    def test_no_variables_raises(self):
+        program = FractionalProgram()
+        program.set_ratio_objective({}, {})
+        with pytest.raises(SolverError):
+            program.solve()
+
+    def test_infinite_bounds_rejected(self):
+        program = FractionalProgram()
+        with pytest.raises(SolverError):
+            program.add_variable("x", lower=0.0, upper=float("inf"))
+
+    def test_infeasible_constraints(self):
+        program = FractionalProgram()
+        x = program.add_variable("x")
+        program.add_greater_equal(x * 1.0, 2.0)  # impossible with x <= 1
+        program.set_ratio_objective(x * 1.0, x * 1.0 + 1.0)
+        with pytest.raises((InfeasibleError, SolverError)):
+            program.solve()
+
+    def test_solution_scale_is_positive(self):
+        program = FractionalProgram()
+        x = program.add_variable("x")
+        program.set_ratio_objective(x * 1.0 + 1.0, x * 1.0 + 2.0)
+        solution = program.solve()
+        assert solution.scale > 0

@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core import available_policies
+
+
+class TestParser:
+    def test_policies_command_parses(self):
+        args = build_parser().parse_args(["policies"])
+        assert args.command == "policies"
+
+    def test_simulate_requires_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate"])
+
+    def test_cluster_spec_parsing(self):
+        args = build_parser().parse_args(
+            ["simulate", "--policy", "fifo", "--cluster", "v100=1,k80=3"]
+        )
+        assert args.cluster == {"v100": 1, "k80": 3}
+
+    def test_invalid_cluster_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--policy", "fifo", "--cluster", "v100"])
+
+    def test_rates_parsing(self):
+        args = build_parser().parse_args(["sweep", "--policies", "fifo", "--rates", "1,2.5,4"])
+        assert args.rates == [1.0, 2.5, 4.0]
+
+
+class TestCommands:
+    def test_policies_lists_registry(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert set(available_policies()) <= set(out)
+
+    def test_simulate_continuous(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--policy",
+                "max_min_fairness",
+                "--num-jobs",
+                "6",
+                "--jobs-per-hour",
+                "4",
+                "--cluster",
+                "v100=1,p100=1,k80=1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "average JCT" in out
+        assert "completed jobs" in out and "6/6" in out
+
+    def test_simulate_static_trace(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--policy",
+                "makespan",
+                "--num-jobs",
+                "4",
+                "--cluster",
+                "v100=1,p100=1,k80=1",
+            ]
+        )
+        assert code == 0
+        assert "makespan" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--policies",
+                "max_min_fairness,fifo",
+                "--rates",
+                "2",
+                "--num-jobs",
+                "5",
+                "--cluster",
+                "v100=1,p100=1,k80=1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "max_min_fairness" in out and "fifo" in out

@@ -1,0 +1,90 @@
+"""Tests for the space-sharing (colocation) throughput model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.workloads import ColocationModel, ThroughputOracle
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ColocationModel(ThroughputOracle())
+
+
+class TestRetainedFractions:
+    def test_fractions_in_unit_interval(self, model):
+        for a in ("resnet50-bs64", "a3c-bs4", "lstm-bs20"):
+            for b in ("cyclegan-bs1", "resnet18-bs32"):
+                for accel in ("v100", "p100", "k80"):
+                    fraction = model.retained_fraction(a, b, accel)
+                    assert 0.0 < fraction <= 1.0
+
+    def test_light_partner_hurts_less_than_heavy_partner(self, model):
+        """Pairing with A3C (light) must retain more throughput than with CycleGAN (heavy)."""
+        with_light = model.retained_fraction("resnet50-bs64", "a3c-bs4", "p100")
+        with_heavy = model.retained_fraction("resnet50-bs64", "cyclegan-bs1", "p100")
+        assert with_light > with_heavy
+
+    def test_invalid_interference_strength(self):
+        with pytest.raises(ConfigurationError):
+            ColocationModel(interference_strength=1.5)
+
+
+class TestMemoryFeasibility:
+    def test_two_large_models_do_not_fit(self, model):
+        """ResNet-50 bs128 (12 GB) + CycleGAN (9 GB) exceed a 16 GB device."""
+        assert not model.fits_in_memory("resnet50-bs128", "cyclegan-bs1", "v100")
+
+    def test_two_small_models_fit(self, model):
+        assert model.fits_in_memory("a3c-bs4", "lstm-bs5", "k80")
+
+    def test_infeasible_pair_has_zero_throughputs(self, model):
+        pair = model.colocated_throughputs("resnet50-bs128", "cyclegan-bs1", "v100")
+        assert pair.first == 0.0 and pair.second == 0.0
+        assert not pair.feasible
+
+
+class TestCombinedThroughput:
+    def test_colocated_below_isolated(self, model):
+        oracle = model.oracle
+        pair = model.colocated_throughputs("resnet18-bs32", "lstm-bs20", "p100")
+        assert pair.first < oracle.throughput("resnet18-bs32", "p100")
+        assert pair.second < oracle.throughput("lstm-bs20", "p100")
+
+    def test_good_pairs_beat_time_slicing(self, model):
+        """Combined normalized throughput > 1 means space sharing helps."""
+        combined = model.combined_normalized_throughput("resnet18-bs16", "a3c-bs4", "v100")
+        assert combined > 1.0
+
+    def test_two_compute_bound_jobs_gain_little(self, model):
+        combined = model.combined_normalized_throughput("resnet50-bs16", "cyclegan-bs1", "k80")
+        light = model.combined_normalized_throughput("a3c-bs4", "lstm-bs5", "k80")
+        assert combined < light
+
+    def test_pairwise_variation_is_large(self, model):
+        """Figure 15: different pairs have vastly different colocated performance."""
+        names, matrix = model.normalized_matrix("p100")
+        finite = matrix[np.isfinite(matrix)]
+        assert finite.max() - finite.min() > 0.4
+
+    def test_is_beneficial_threshold(self, model):
+        assert model.is_beneficial("a3c-bs4", "lstm-bs5", "v100", threshold=1.1)
+        assert not model.is_beneficial("resnet50-bs128", "cyclegan-bs1", "v100")
+
+
+class TestNormalizedMatrix:
+    def test_matrix_shape_and_symmetric_feasibility(self, model):
+        names, matrix = model.normalized_matrix("p100")
+        assert matrix.shape == (len(names), len(names))
+        nan_mask = np.isnan(matrix)
+        np.testing.assert_array_equal(nan_mask, nan_mask.T)
+
+    def test_subset_of_job_types(self, model):
+        names, matrix = model.normalized_matrix("v100", job_types=["a3c-bs4", "lstm-bs5"])
+        assert names == ["a3c-bs4", "lstm-bs5"]
+        assert matrix.shape == (2, 2)
+
+    def test_infeasible_pairs_are_nan(self, model):
+        names, matrix = model.normalized_matrix("v100", job_types=["resnet50-bs128", "cyclegan-bs1"])
+        assert np.isnan(matrix[0, 1])

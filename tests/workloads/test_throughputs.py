@@ -1,0 +1,112 @@
+"""Tests for the synthetic throughput oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ConfigurationError, UnknownAcceleratorError, UnknownJobError
+from repro.workloads import ThroughputOracle, default_job_type_table
+
+JOB_TYPES = list(default_job_type_table().names)
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return ThroughputOracle()
+
+
+class TestSingleWorkerThroughput:
+    def test_v100_fastest_for_every_job(self, oracle):
+        """Figure 1a: raw throughput is always highest on the newest GPU."""
+        for job_type in JOB_TYPES:
+            v100 = oracle.single_worker_throughput(job_type, "v100")
+            p100 = oracle.single_worker_throughput(job_type, "p100")
+            k80 = oracle.single_worker_throughput(job_type, "k80")
+            assert v100 > p100 > k80 > 0
+
+    def test_resnet50_vs_a3c_speedup_spread(self, oracle):
+        """The V100/K80 speedup varies widely across models (motivation, Fig. 1a)."""
+        resnet = oracle.single_worker_throughput("resnet50-bs64", "v100") / oracle.single_worker_throughput(
+            "resnet50-bs64", "k80"
+        )
+        a3c = oracle.single_worker_throughput("a3c-bs4", "v100") / oracle.single_worker_throughput(
+            "a3c-bs4", "k80"
+        )
+        assert resnet > 3 * a3c
+
+    def test_unknown_accelerator_raises(self, oracle):
+        with pytest.raises(UnknownAcceleratorError):
+            oracle.single_worker_throughput("a3c-bs4", "tpu")
+
+    def test_unknown_job_type_raises(self, oracle):
+        with pytest.raises(UnknownJobError):
+            oracle.single_worker_throughput("bert-bs8", "v100")
+
+    def test_throughput_vector_ordering(self, oracle):
+        vector = oracle.throughput_vector("lstm-bs20")
+        assert vector.shape == (3,)
+        assert vector[0] > vector[1] > vector[2]
+
+    def test_throughput_table_covers_all_types(self, oracle):
+        table = oracle.throughput_table()
+        assert set(table) == set(JOB_TYPES)
+
+
+class TestDollarNormalized:
+    def test_k80_or_p100_wins_for_low_speedup_models(self, oracle):
+        """Figure 1b: the V100 is not the best per-dollar choice for every model."""
+        best = oracle.best_accelerator("a3c-bs4", dollar_normalized=True)
+        assert best in ("k80", "p100")
+
+    def test_v100_still_wins_per_dollar_for_resnet50(self, oracle):
+        assert oracle.best_accelerator("resnet50-bs64", dollar_normalized=False) == "v100"
+
+    def test_dollar_normalized_positive(self, oracle):
+        for job_type in JOB_TYPES[:5]:
+            for name in ("v100", "p100", "k80"):
+                assert oracle.dollar_normalized_throughput(job_type, name) > 0
+
+
+class TestDistributedScaling:
+    def test_efficiency_decreases_with_scale(self, oracle):
+        e2 = oracle.scaling_efficiency("resnet50-bs64", 2)
+        e8 = oracle.scaling_efficiency("resnet50-bs64", 8)
+        assert 1.0 > e2 > e8 > 0.0
+
+    def test_single_worker_efficiency_is_one(self, oracle):
+        assert oracle.scaling_efficiency("lstm-bs20", 1) == 1.0
+
+    def test_unconsolidated_slower_than_consolidated(self, oracle):
+        consolidated = oracle.throughput("transformer-bs64", "v100", scale_factor=4, consolidated=True)
+        unconsolidated = oracle.throughput(
+            "transformer-bs64", "v100", scale_factor=4, consolidated=False
+        )
+        assert consolidated > unconsolidated
+
+    def test_aggregate_throughput_grows_with_workers(self, oracle):
+        one = oracle.throughput("resnet50-bs64", "v100", scale_factor=1)
+        four = oracle.throughput("resnet50-bs64", "v100", scale_factor=4)
+        assert four > one
+
+    def test_invalid_scale_factor(self, oracle):
+        with pytest.raises(ConfigurationError):
+            oracle.scaling_efficiency("a3c-bs4", 0)
+
+    @given(scale=st.sampled_from([1, 2, 4, 8, 16]), job=st.sampled_from(JOB_TYPES))
+    @settings(max_examples=30, deadline=None)
+    def test_per_worker_efficiency_bounded(self, scale, job):
+        oracle = ThroughputOracle()
+        efficiency = oracle.scaling_efficiency(job, scale)
+        assert 0.0 < efficiency <= 1.0
+
+
+class TestConfiguration:
+    def test_negative_batch_exponent_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThroughputOracle(batch_size_speedup_exponent=-0.1)
+
+    def test_best_accelerator_consistent_with_vector(self, oracle):
+        for job_type in JOB_TYPES[:6]:
+            best = oracle.best_accelerator(job_type)
+            vector = oracle.throughput_vector(job_type)
+            assert oracle.registry.index_of(best) == int(np.argmax(vector))

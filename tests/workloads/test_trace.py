@@ -1,0 +1,74 @@
+"""Tests for trace data structures."""
+
+import pytest
+
+from repro.exceptions import TraceError
+from repro.workloads import Job, Trace
+
+
+def _job(job_id, arrival=0.0, scale=1, job_type="a3c-bs4"):
+    return Job(job_id=job_id, job_type=job_type, total_steps=100.0, arrival_time=arrival, scale_factor=scale)
+
+
+class TestTraceConstruction:
+    def test_from_jobs_sorts_by_arrival(self):
+        trace = Trace.from_jobs([_job(1, 50.0), _job(0, 10.0)])
+        assert [job.job_id for job in trace] == [0, 1]
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(TraceError):
+            Trace.from_jobs([_job(0), _job(0)])
+
+    def test_unsorted_direct_construction_rejected(self):
+        with pytest.raises(TraceError):
+            Trace(jobs=(_job(0, 100.0), _job(1, 10.0)))
+
+    def test_len_and_getitem(self):
+        trace = Trace.from_jobs([_job(0), _job(1)])
+        assert len(trace) == 2
+        assert trace[1].job_id == 1
+
+
+class TestTraceQueries:
+    def test_job_lookup(self):
+        trace = Trace.from_jobs([_job(0), _job(5, 10.0)])
+        assert trace.job(5).arrival_time == 10.0
+
+    def test_job_lookup_missing(self):
+        with pytest.raises(TraceError):
+            Trace.from_jobs([_job(0)]).job(9)
+
+    def test_is_static(self):
+        assert Trace.from_jobs([_job(0), _job(1)]).is_static()
+        assert not Trace.from_jobs([_job(0), _job(1, 5.0)]).is_static()
+
+    def test_arrival_span(self):
+        trace = Trace.from_jobs([_job(0, 0.0), _job(1, 120.0)])
+        assert trace.arrival_span_seconds() == 120.0
+
+    def test_job_types_first_appearance_order(self):
+        trace = Trace.from_jobs(
+            [_job(0, job_type="a3c-bs4"), _job(1, job_type="lstm-bs20"), _job(2, job_type="a3c-bs4")]
+        )
+        assert trace.job_types() == ("a3c-bs4", "lstm-bs20")
+
+    def test_scale_factor_histogram(self):
+        trace = Trace.from_jobs([_job(0, scale=1), _job(1, scale=4), _job(2, scale=1)])
+        assert trace.scale_factor_histogram() == {1: 2, 4: 1}
+
+
+class TestTraceTransforms:
+    def test_subset(self):
+        trace = Trace.from_jobs([_job(i, float(i)) for i in range(5)]).subset(2)
+        assert len(trace) == 2
+        assert [job.job_id for job in trace] == [0, 1]
+
+    def test_subset_negative_rejected(self):
+        with pytest.raises(TraceError):
+            Trace.from_jobs([_job(0)]).subset(-1)
+
+    def test_map_jobs(self):
+        trace = Trace.from_jobs([_job(0), _job(1)])
+        upgraded = trace.map_jobs(lambda job: job.with_priority(9.0))
+        assert all(job.priority_weight == 9.0 for job in upgraded)
+        assert all(job.priority_weight == 1.0 for job in trace)

@@ -1,0 +1,132 @@
+"""Tests for synthetic trace generation (§7.1 setup)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.workloads import ThroughputOracle, TraceGenerator, TraceGeneratorConfig
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return TraceGenerator(ThroughputOracle())
+
+
+@pytest.fixture(scope="module")
+def multi_generator():
+    return TraceGenerator(ThroughputOracle(), config=TraceGeneratorConfig(multi_worker=True))
+
+
+class TestStaticTraces:
+    def test_all_jobs_arrive_at_zero(self, generator):
+        trace = generator.generate_static(num_jobs=30, seed=0)
+        assert trace.is_static()
+        assert len(trace) == 30
+
+    def test_determinism_per_seed(self, generator):
+        first = generator.generate_static(num_jobs=10, seed=7)
+        second = generator.generate_static(num_jobs=10, seed=7)
+        assert [j.job_type for j in first] == [j.job_type for j in second]
+        assert [j.total_steps for j in first] == [j.total_steps for j in second]
+
+    def test_different_seeds_differ(self, generator):
+        first = generator.generate_static(num_jobs=20, seed=0)
+        second = generator.generate_static(num_jobs=20, seed=1)
+        assert [j.job_type for j in first] != [j.job_type for j in second]
+
+    def test_invalid_num_jobs(self, generator):
+        with pytest.raises(ConfigurationError):
+            generator.generate_static(num_jobs=0)
+
+
+class TestContinuousTraces:
+    def test_poisson_interarrival_mean(self, generator):
+        rate = 6.0
+        trace = generator.generate_continuous(num_jobs=400, jobs_per_hour=rate, seed=1)
+        arrivals = [job.arrival_time for job in trace]
+        gaps = np.diff(arrivals)
+        assert np.mean(gaps) == pytest.approx(3600.0 / rate, rel=0.2)
+
+    def test_arrivals_strictly_increasing(self, generator):
+        trace = generator.generate_continuous(num_jobs=50, jobs_per_hour=2.0, seed=3)
+        arrivals = [job.arrival_time for job in trace]
+        assert all(b >= a for a, b in zip(arrivals, arrivals[1:]))
+
+    def test_invalid_rate(self, generator):
+        with pytest.raises(ConfigurationError):
+            generator.generate_continuous(num_jobs=5, jobs_per_hour=0.0)
+
+
+class TestDurations:
+    def test_duration_bounds_match_paper(self, generator):
+        """Durations are log-uniform between 10^1.5 and 10^4 minutes."""
+        trace = generator.generate_static(num_jobs=300, seed=5)
+        for job in trace:
+            minutes = job.duration_seconds_on_reference / 60.0
+            assert 10**1.5 - 1e-6 <= minutes <= 10**4 + 1e-6
+
+    def test_steps_consistent_with_reference_throughput(self, generator):
+        oracle = generator.oracle
+        trace = generator.generate_static(num_jobs=50, seed=2)
+        for job in trace:
+            reference = oracle.throughput(job.job_type, "v100", scale_factor=job.scale_factor)
+            assert job.total_steps == pytest.approx(
+                max(1.0, job.duration_seconds_on_reference * reference)
+            )
+
+
+class TestScaleFactors:
+    def test_single_worker_by_default(self, generator):
+        trace = generator.generate_static(num_jobs=50, seed=0)
+        assert trace.scale_factor_histogram() == {1: 50}
+
+    def test_multi_worker_proportions(self, multi_generator):
+        """Roughly 70% 1-worker, 25% 2-4-worker, 5% 8-worker (§7.1)."""
+        trace = multi_generator.generate_static(num_jobs=1000, seed=0)
+        histogram = trace.scale_factor_histogram()
+        total = len(trace)
+        single = histogram.get(1, 0) / total
+        small = (histogram.get(2, 0) + histogram.get(4, 0)) / total
+        large = histogram.get(8, 0) / total
+        assert single == pytest.approx(0.70, abs=0.06)
+        assert small == pytest.approx(0.25, abs=0.06)
+        assert large == pytest.approx(0.05, abs=0.03)
+
+    def test_invalid_fractions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceGeneratorConfig(single_worker_fraction=0.9, small_multi_fraction=0.3)
+
+
+class TestDecorators:
+    def test_assign_priorities_marks_fraction(self, generator):
+        trace = generator.generate_static(num_jobs=200, seed=0)
+        decorated = TraceGenerator.assign_priorities(trace, high_priority_fraction=0.2, seed=1)
+        high = sum(1 for job in decorated if job.priority_weight > 1.0)
+        assert 0.1 <= high / len(decorated) <= 0.3
+
+    def test_assign_entities_round_robin_blocks(self, generator):
+        trace = generator.generate_static(num_jobs=9, seed=0)
+        decorated = TraceGenerator.assign_entities(trace, num_entities=3)
+        entities = [job.entity_id for job in decorated]
+        assert set(entities) == {0, 1, 2}
+        assert entities == sorted(entities)
+
+    def test_assign_slos_multiples_of_ideal_duration(self, generator):
+        oracle = generator.oracle
+        trace = generator.generate_static(num_jobs=20, seed=0)
+        decorated = generator.assign_slos(trace, slo_multipliers=(1.2, 2.0, 10.0), seed=0)
+        for job in decorated:
+            best = max(
+                oracle.throughput(job.job_type, name, scale_factor=job.scale_factor)
+                for name in oracle.registry.names
+            )
+            ideal = job.total_steps / best
+            ratio = job.slo_seconds / ideal
+            assert any(math.isclose(ratio, m, rel_tol=1e-6) for m in (1.2, 2.0, 10.0))
+
+    def test_invalid_priority_fraction(self, generator):
+        trace = generator.generate_static(num_jobs=5, seed=0)
+        with pytest.raises(ConfigurationError):
+            TraceGenerator.assign_priorities(trace, high_priority_fraction=1.5)
