@@ -7,6 +7,11 @@ laptop-scale sweep here stops earlier — raise REPRO_BENCH_SCALE to extend it).
 Reproduced shape: runtimes grow polynomially with the number of jobs, the
 hierarchical policy is the most expensive, and space sharing adds a
 significant multiplier.
+
+Also measures policy-*input* preparation time (throughput-matrix
+construction) under job churn, comparing a from-scratch rebuild per event
+against the incremental :class:`~repro.core.AllocationEngine`; the engine
+must be at least 2x faster at the largest job count.
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ from __future__ import annotations
 from conftest import BENCH_SCALE
 
 from repro.core import EntitySpec, HierarchicalPolicy, WaterFillingFairnessPolicy
-from repro.harness import format_table, measure_policy_runtime
+from repro.harness import format_table, measure_matrix_prep_runtime, measure_policy_runtime
 from repro.workloads import TraceGenerator
 
 _NUM_JOBS = [8, 16, 32] if BENCH_SCALE == 1 else [32, 64, 128, 256]
@@ -62,11 +67,12 @@ def _measure(oracle):
         runtimes[name] = measure_policy_runtime(
             policy, _NUM_JOBS, oracle=oracle, space_sharing=space_sharing
         )
-    return runtimes
+    prep = measure_matrix_prep_runtime(_NUM_JOBS, oracle=oracle, space_sharing=True)
+    return runtimes, prep
 
 
 def bench_fig12_policy_scalability(benchmark, oracle):
-    runtimes = benchmark.pedantic(_measure, args=(oracle,), rounds=1, iterations=1)
+    runtimes, prep = benchmark.pedantic(_measure, args=(oracle,), rounds=1, iterations=1)
     rows = [
         [name] + [f"{runtimes[name][n]:.3f}" for n in _NUM_JOBS] for name in runtimes
     ]
@@ -81,9 +87,33 @@ def bench_fig12_policy_scalability(benchmark, oracle):
     for name, values in runtimes.items():
         benchmark.extra_info[f"{name}@{_NUM_JOBS[-1]}jobs"] = round(values[_NUM_JOBS[-1]], 4)
 
+    prep_rows = [
+        [
+            str(n),
+            f"{prep[n]['rebuild']:.3f}",
+            f"{prep[n]['incremental']:.3f}",
+            f"{prep[n]['rebuild'] / max(prep[n]['incremental'], 1e-12):.1f}x",
+        ]
+        for n in _NUM_JOBS
+    ]
+    print(
+        format_table(
+            ["jobs", "rebuild (s)", "incremental (s)", "speedup"],
+            prep_rows,
+            title="Policy-input prep under churn: from-scratch rebuild vs AllocationEngine",
+        )
+    )
+    largest = _NUM_JOBS[-1]
+    benchmark.extra_info["matrix_prep_speedup@%djobs" % largest] = round(
+        prep[largest]["rebuild"] / max(prep[largest]["incremental"], 1e-12), 2
+    )
+
     # Shape checks: runtime grows with the number of jobs, the hierarchical
     # policy costs more than single-level LAS, and every configuration stays
     # far below the paper's 10-minute acceptability threshold at this scale.
     assert runtimes["LAS"][_NUM_JOBS[-1]] >= runtimes["LAS"][_NUM_JOBS[0]] * 0.5
     assert runtimes["Hierarchical"][_NUM_JOBS[-1]] >= runtimes["LAS"][_NUM_JOBS[-1]]
     assert all(value < 600.0 for series in runtimes.values() for value in series.values())
+    # The incremental engine must cut matrix-construction + policy-input prep
+    # time by at least 2x at the largest job count (it is typically >5x).
+    assert prep[largest]["rebuild"] >= 2.0 * prep[largest]["incremental"]

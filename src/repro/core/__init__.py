@@ -1,6 +1,7 @@
 """Gavel's core contribution: heterogeneity-aware scheduling policies."""
 
 from repro.core.allocation import Allocation
+from repro.core.allocation_engine import AllocationEngine, PairThroughputCache
 from repro.core.baselines import AlloXPolicy, GandivaPolicy, IsolatedPolicy
 from repro.core.effective_throughput import (
     effective_throughput,
@@ -24,6 +25,8 @@ from repro.core.water_filling import WaterFillingAllocator, WaterFillingResult
 
 __all__ = [
     "Allocation",
+    "AllocationEngine",
+    "PairThroughputCache",
     "PolicyProblem",
     "Policy",
     "OptimizationPolicy",

@@ -1,0 +1,259 @@
+"""Incremental construction of policy-input throughput matrices.
+
+The policy-scalability story (Section 7.5 / Figure 12) depends on keeping the
+work done per allocation recomputation close to linear in the number of
+active jobs.  Rebuilding the matrix of Section 3.1 from scratch on every
+arrival or completion defeats that: with space sharing enabled a rebuild
+queries the colocation model for every job *pair*, which is quadratic in the
+number of jobs even though almost all of those pair rows are identical to
+the ones computed for the previous allocation.
+
+:class:`AllocationEngine` sits between the simulator (or a live scheduler)
+and the policies and maintains the matrix incrementally:
+
+* a **type-level colocation cache** (:class:`PairThroughputCache`) memoizes
+  pair rows keyed on ``(job_type_a, job_type_b)`` — colocated throughputs
+  depend only on the two job types and the accelerator, never on job ids, so
+  two ResNet-50 jobs arriving hours apart share one cached row;
+* on **arrival** only the new job's singleton row and its pair rows against
+  the currently active single-worker jobs are added (O(active jobs));
+* on **completion** only the rows containing the finished job are dropped,
+  using a per-job row index (O(rows containing the job)).
+
+The produced matrix is exactly equivalent to a from-scratch
+:func:`~repro.core.throughput_matrix.build_throughput_matrix` over the same
+active set; the equivalence tests in ``tests/core/test_allocation_engine.py``
+assert this after arbitrary arrival/completion sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.throughput_matrix import JobCombination, ThroughputMatrix
+from repro.exceptions import ConfigurationError, UnknownJobError
+from repro.workloads.colocation import ColocationModel, beneficial_pair_row
+from repro.workloads.job import Job
+from repro.workloads.throughputs import ThroughputOracle
+
+__all__ = ["AllocationEngine", "PairThroughputCache"]
+
+
+class PairThroughputCache:
+    """Memoized type-level colocation queries.
+
+    Keys are canonical ``(job_type_a, job_type_b)`` pairs (sorted by type
+    name); the cached value is the beneficial pair row of
+    :func:`~repro.workloads.colocation.beneficial_pair_row` — one column per
+    accelerator — or ``None`` when the pair is never worth colocating.  The
+    wrapped model may be the true :class:`ColocationModel` or an estimator
+    exposing the same query interface.
+    """
+
+    def __init__(
+        self,
+        model: ColocationModel,
+        accelerator_names: Tuple[str, ...],
+        threshold: float = 1.1,
+    ):
+        self._model = model
+        self._names = tuple(accelerator_names)
+        self._threshold = float(threshold)
+        self._rows: Dict[Tuple[str, str], Optional[np.ndarray]] = {}
+        # Mutable models (e.g. a ThroughputEstimator refined online via
+        # ``observe()``) expose a ``version`` counter; cached rows are dropped
+        # whenever it changes so refinements reach later allocations.
+        self._model_version = getattr(model, "version", None)
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def model(self) -> ColocationModel:
+        return self._model
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def refresh_if_stale(self) -> bool:
+        """Drop cached rows when the model's ``version`` changed; True if dropped."""
+        current_version = getattr(self._model, "version", None)
+        if current_version != self._model_version:
+            self._rows.clear()
+            self._model_version = current_version
+            return True
+        return False
+
+    def row(self, job_type_a: str, job_type_b: str) -> Optional[np.ndarray]:
+        """Pair row with ``[0]`` = ``job_type_a``'s throughputs, or ``None``.
+
+        Returns a copy, so callers may mutate freely.  Rows are served from
+        whatever model version the last :meth:`refresh_if_stale` saw; callers
+        holding rows across model mutations coordinate refreshes themselves
+        (as :class:`AllocationEngine` does), since refreshing here would
+        silently consume the version bump mid-update.
+        """
+        key = (
+            (job_type_a, job_type_b)
+            if job_type_a <= job_type_b
+            else (job_type_b, job_type_a)
+        )
+        if key in self._rows:
+            self.hits += 1
+            cached = self._rows[key]
+        else:
+            self.misses += 1
+            cached = beneficial_pair_row(
+                self._model, key[0], key[1], self._names, threshold=self._threshold
+            )
+            self._rows[key] = cached
+        if cached is None:
+            return None
+        return cached.copy() if (job_type_a, job_type_b) == key else cached[::-1].copy()
+
+    def invalidate(self) -> None:
+        """Drop all cached rows (call after mutating the underlying model)."""
+        self._rows.clear()
+
+
+class AllocationEngine:
+    """Maintains the policy-input :class:`ThroughputMatrix` incrementally.
+
+    The engine tracks the active job set; :meth:`add_job` and
+    :meth:`remove_job` touch only the rows affected by the event, and
+    :meth:`matrix` returns the (memoized) matrix for the current set.
+    """
+
+    def __init__(
+        self,
+        oracle: ThroughputOracle,
+        space_sharing: bool = False,
+        colocation_model: Optional[ColocationModel] = None,
+        colocation_threshold: float = 1.1,
+        consolidated: bool = True,
+    ):
+        self._oracle = oracle
+        self._space_sharing = bool(space_sharing)
+        self._consolidated = bool(consolidated)
+        self._cache: Optional[PairThroughputCache] = None
+        if self._space_sharing:
+            model = (
+                colocation_model if colocation_model is not None else ColocationModel(oracle)
+            )
+            self._cache = PairThroughputCache(
+                model, tuple(oracle.registry.names), threshold=colocation_threshold
+            )
+        self._jobs: Dict[int, Job] = {}
+        self._single_worker: Dict[int, Job] = {}
+        self._entries: Dict[JobCombination, np.ndarray] = {}
+        self._pair_rows_by_job: Dict[int, Set[JobCombination]] = {}
+        self._matrix: Optional[ThroughputMatrix] = None
+
+    # -- structure -------------------------------------------------------------
+    @property
+    def space_sharing(self) -> bool:
+        return self._space_sharing
+
+    @property
+    def colocation_cache(self) -> Optional[PairThroughputCache]:
+        return self._cache
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __contains__(self, job_id: object) -> bool:
+        return job_id in self._jobs
+
+    @property
+    def job_ids(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._jobs))
+
+    def num_rows(self) -> int:
+        return len(self._entries)
+
+    # -- incremental updates -----------------------------------------------------
+    def _sync_model_version(self) -> None:
+        """Rebuild every pair row when the colocation model's version changed."""
+        if self._cache is not None and self._cache.refresh_if_stale():
+            self._matrix = None
+            self._rebuild_pair_rows()
+
+    def _insert_pair_row(self, job_a: Job, job_b: Job) -> None:
+        """Add the (cached) pair row for two single-worker jobs, if beneficial."""
+        low, high = (job_a, job_b) if job_a.job_id < job_b.job_id else (job_b, job_a)
+        row = self._cache.row(low.job_type, high.job_type)
+        if row is None:
+            return
+        combination = (low.job_id, high.job_id)
+        self._entries[combination] = row
+        self._pair_rows_by_job.setdefault(low.job_id, set()).add(combination)
+        self._pair_rows_by_job.setdefault(high.job_id, set()).add(combination)
+
+    def add_job(self, job: Job) -> None:
+        """Add one job: its singleton row plus pair rows against active jobs."""
+        if job.job_id in self._jobs:
+            raise ConfigurationError(f"job {job.job_id} is already tracked by the engine")
+        self._sync_model_version()
+        self._matrix = None
+        vector = self._oracle.throughput_vector(
+            job.job_type, scale_factor=job.scale_factor, consolidated=self._consolidated
+        )
+        self._entries[(job.job_id,)] = vector.reshape(1, -1)
+        self._jobs[job.job_id] = job
+        if self._cache is not None and job.scale_factor == 1:
+            for other in self._single_worker.values():
+                self._insert_pair_row(job, other)
+            self._single_worker[job.job_id] = job
+
+    def add_jobs(self, jobs: Iterable[Job]) -> None:
+        for job in jobs:
+            self.add_job(job)
+
+    def remove_job(self, job_id: int) -> None:
+        """Remove one job and every matrix row it participates in."""
+        if job_id not in self._jobs:
+            raise UnknownJobError(f"job {job_id} is not tracked by the engine")
+        self._matrix = None
+        del self._jobs[job_id]
+        self._single_worker.pop(job_id, None)
+        del self._entries[(job_id,)]
+        for combination in self._pair_rows_by_job.pop(job_id, set()):
+            self._entries.pop(combination, None)
+            for other_id in combination:
+                if other_id != job_id:
+                    partner_rows = self._pair_rows_by_job.get(other_id)
+                    if partner_rows is not None:
+                        partner_rows.discard(combination)
+
+    def remove_jobs(self, job_ids: Iterable[int]) -> None:
+        for job_id in job_ids:
+            self.remove_job(job_id)
+
+    def _rebuild_pair_rows(self) -> None:
+        """Recompute every pair row from the (refreshed) colocation cache."""
+        for combinations in self._pair_rows_by_job.values():
+            for combination in combinations:
+                self._entries.pop(combination, None)
+        self._pair_rows_by_job.clear()
+        ordered = sorted(self._single_worker.values(), key=lambda job: job.job_id)
+        for first_index in range(len(ordered)):
+            for second_index in range(first_index + 1, len(ordered)):
+                self._insert_pair_row(ordered[first_index], ordered[second_index])
+
+    # -- matrix view ---------------------------------------------------------------
+    def matrix(self) -> ThroughputMatrix:
+        """The policy-input matrix for the current active set (memoized).
+
+        When the colocation model advertises a changed ``version`` (an
+        estimator refined by ``observe()``), all pair rows are recomputed so
+        the refinement reaches this and later allocations.
+        """
+        self._sync_model_version()
+        if self._matrix is None:
+            if not self._entries:
+                raise ConfigurationError(
+                    "cannot build a throughput matrix for zero active jobs"
+                )
+            self._matrix = ThroughputMatrix(self._oracle.registry, self._entries)
+        return self._matrix

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.cluster.accelerators import AcceleratorRegistry
 from repro.exceptions import ConfigurationError, UnknownJobError
-from repro.workloads.colocation import ColocationModel
+from repro.workloads.colocation import ColocationModel, beneficial_pair_row
 from repro.workloads.job import Job
 from repro.workloads.throughputs import ThroughputOracle
 
@@ -192,44 +192,29 @@ def build_throughput_matrix(
 
     registry = oracle.registry
     entries: Dict[JobCombination, np.ndarray] = {}
-    for job in jobs:
-        vector = np.array(
-            [
-                oracle.throughput(
-                    job.job_type, name, scale_factor=job.scale_factor, consolidated=consolidated
-                )
-                for name in registry.names
-            ]
-        )
-        entries[(job.job_id,)] = vector.reshape(1, -1)
+    singles = oracle.singleton_rows(
+        [(job.job_type, job.scale_factor, consolidated) for job in jobs]
+    )
+    for row_index, job in enumerate(jobs):
+        entries[(job.job_id,)] = singles[row_index].reshape(1, -1)
 
     if space_sharing:
         model = colocation_model if colocation_model is not None else ColocationModel(oracle)
-        single_worker_jobs = [job for job in jobs if job.scale_factor == 1]
+        single_worker_jobs = sorted(
+            (job for job in jobs if job.scale_factor == 1), key=lambda job: job.job_id
+        )
         for first_index in range(len(single_worker_jobs)):
             for second_index in range(first_index + 1, len(single_worker_jobs)):
                 job_a = single_worker_jobs[first_index]
                 job_b = single_worker_jobs[second_index]
-                pair_values = np.zeros((2, len(registry)))
-                beneficial = False
-                for column, name in enumerate(registry.names):
-                    pair = model.colocated_throughputs(job_a.job_type, job_b.job_type, name)
-                    if not pair.feasible:
-                        continue
-                    combined = model.combined_normalized_throughput(
-                        job_a.job_type, job_b.job_type, name
-                    )
-                    if combined >= colocation_threshold:
-                        beneficial = True
-                        first, second = (
-                            (pair.first, pair.second)
-                            if job_a.job_id < job_b.job_id
-                            else (pair.second, pair.first)
-                        )
-                        pair_values[0, column] = first
-                        pair_values[1, column] = second
-                if beneficial:
-                    combination = tuple(sorted((job_a.job_id, job_b.job_id)))
-                    entries[combination] = pair_values
+                pair_values = beneficial_pair_row(
+                    model,
+                    job_a.job_type,
+                    job_b.job_type,
+                    registry.names,
+                    threshold=colocation_threshold,
+                )
+                if pair_values is not None:
+                    entries[(job_a.job_id, job_b.job_id)] = pair_values
 
     return ThroughputMatrix(registry, entries)

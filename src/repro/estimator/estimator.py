@@ -56,6 +56,7 @@ class ThroughputEstimator:
         self._profile_fraction = profile_fraction
         self._completion_rank = completion_rank
         self._rng = np.random.default_rng(seed)
+        self._version = 0
 
         all_types = list(self._oracle.job_types.names)
         self._reference_types: List[str] = (
@@ -165,6 +166,16 @@ class ThroughputEstimator:
     def registry(self) -> AcceleratorRegistry:
         return self._registry
 
+    @property
+    def version(self) -> int:
+        """Bumped whenever :meth:`observe` refines an estimate.
+
+        Consumers that memoize estimated pair rows (e.g. the allocation
+        engine's :class:`~repro.core.allocation_engine.PairThroughputCache`)
+        watch this counter and drop stale rows when it changes.
+        """
+        return self._version
+
     def matched_reference(self, job_type: str) -> str:
         """The reference job type the estimator matched ``job_type`` to."""
         self._fingerprint_job(job_type)
@@ -224,6 +235,11 @@ class ThroughputEstimator:
         """Replace estimates with a measurement taken from an actual colocated run."""
         isolated_a = self._oracle.throughput(job_type_a, accelerator_name)
         isolated_b = self._oracle.throughput(job_type_b, accelerator_name)
+        if isolated_a > 0 or isolated_b > 0:
+            # Only bump when an estimate is actually written: consumers react
+            # to version changes with a full cache refresh, which a no-op
+            # observation must not trigger.
+            self._version += 1
         if isolated_a > 0:
             self._estimates[(job_type_a, job_type_b, accelerator_name)] = measured.first / isolated_a
         if isolated_b > 0:

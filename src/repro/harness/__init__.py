@@ -2,6 +2,7 @@
 
 from repro.harness.experiments import (
     LoadSweepPoint,
+    measure_matrix_prep_runtime,
     measure_policy_runtime,
     run_load_sweep,
     run_policy_on_trace,
@@ -13,6 +14,7 @@ __all__ = [
     "run_policy_on_trace",
     "run_load_sweep",
     "measure_policy_runtime",
+    "measure_matrix_prep_runtime",
     "steady_state_job_ids",
     "LoadSweepPoint",
     "format_table",

@@ -15,13 +15,16 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, 
 import numpy as np
 
 from repro.cluster.cluster_spec import ClusterSpec
+from repro.core.allocation_engine import AllocationEngine
 from repro.core.policy import Policy
 from repro.core.problem import PolicyProblem
 from repro.core.registry import make_policy
 from repro.core.throughput_matrix import build_throughput_matrix
 from repro.exceptions import ConfigurationError
+from repro.workloads.colocation import ColocationModel
 from repro.simulator.metrics import SimulationResult
 from repro.simulator.simulator import Simulator, SimulatorConfig
+from repro.workloads.job import Job
 from repro.workloads.throughputs import ThroughputOracle
 from repro.workloads.trace import Trace
 from repro.workloads.trace_generator import TraceGenerator, TraceGeneratorConfig
@@ -31,6 +34,7 @@ __all__ = [
     "run_policy_on_trace",
     "run_load_sweep",
     "measure_policy_runtime",
+    "measure_matrix_prep_runtime",
     "steady_state_job_ids",
 ]
 
@@ -169,3 +173,93 @@ def measure_policy_runtime(
             samples.append(_time.perf_counter() - start)
         runtimes[int(num_jobs)] = float(np.mean(samples))
     return runtimes
+
+
+def measure_matrix_prep_runtime(
+    num_jobs_values: Sequence[int],
+    oracle: Optional[ThroughputOracle] = None,
+    space_sharing: bool = True,
+    num_events: int = 16,
+    seeds: Sequence[int] = (0,),
+    colocation_threshold: float = 1.1,
+) -> Dict[int, Dict[str, float]]:
+    """Policy-input preparation time across a job churn sequence, per strategy.
+
+    For each job count the same event sequence — an initial set of active
+    jobs followed by ``num_events`` alternating completions and arrivals — is
+    replayed twice: once rebuilding the throughput matrix from scratch after
+    every event (what the simulator did before the
+    :class:`~repro.core.allocation_engine.AllocationEngine` existed) and once
+    updating it incrementally through the engine.  Returns, per job count,
+    the total matrix-construction seconds under ``"rebuild"`` and
+    ``"incremental"`` — the before/after yardstick for the Figure 12
+    scalability story.
+    """
+    oracle = oracle if oracle is not None else ThroughputOracle()
+    generator = TraceGenerator(oracle=oracle)
+    results: Dict[int, Dict[str, float]] = {}
+    for num_jobs in num_jobs_values:
+        rebuild_total = 0.0
+        incremental_total = 0.0
+        for seed in seeds:
+            trace = generator.generate_static(num_jobs=num_jobs + num_events, seed=seed)
+            jobs = list(trace.jobs)
+            initial, later = jobs[:num_jobs], jobs[num_jobs:]
+            # Alternate a completion of the longest-active job with the next
+            # arrival, keeping the active set near ``num_jobs`` throughout.
+            events: List[Tuple[str, Job]] = []
+            for index, job in enumerate(later):
+                events.append(("remove", jobs[index]))
+                events.append(("add", job))
+
+            # From-scratch rebuild after every event.
+            model = ColocationModel(oracle)
+            active: Dict[int, Job] = {job.job_id: job for job in initial}
+            start = _time.perf_counter()
+            build_throughput_matrix(
+                list(active.values()),
+                oracle,
+                space_sharing=space_sharing,
+                colocation_model=model,
+                colocation_threshold=colocation_threshold,
+            )
+            rebuild_total += _time.perf_counter() - start
+            for action, job in events:
+                if action == "remove":
+                    del active[job.job_id]
+                else:
+                    active[job.job_id] = job
+                start = _time.perf_counter()
+                build_throughput_matrix(
+                    list(active.values()),
+                    oracle,
+                    space_sharing=space_sharing,
+                    colocation_model=model,
+                    colocation_threshold=colocation_threshold,
+                )
+                rebuild_total += _time.perf_counter() - start
+
+            # Incremental engine over the identical event sequence.
+            engine = AllocationEngine(
+                oracle,
+                space_sharing=space_sharing,
+                colocation_model=ColocationModel(oracle),
+                colocation_threshold=colocation_threshold,
+            )
+            start = _time.perf_counter()
+            engine.add_jobs(initial)
+            engine.matrix()
+            incremental_total += _time.perf_counter() - start
+            for action, job in events:
+                start = _time.perf_counter()
+                if action == "remove":
+                    engine.remove_job(job.job_id)
+                else:
+                    engine.add_job(job)
+                engine.matrix()
+                incremental_total += _time.perf_counter() - start
+        results[int(num_jobs)] = {
+            "rebuild": rebuild_total / len(seeds),
+            "incremental": incremental_total / len(seeds),
+        }
+    return results

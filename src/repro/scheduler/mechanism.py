@@ -76,7 +76,10 @@ class RoundScheduler:
                 if target[column] <= 0:
                     continue
                 priority = priority_row[column]
-                if priority <= 0:
+                # ``not (priority > 0)`` also rejects NaN priorities, which
+                # would otherwise make the sort key non-total and the
+                # resulting schedule dependent on candidate insertion order.
+                if not (priority > 0):
                     continue
                 # Sort key: higher priority first; ties broken by larger target
                 # allocation, then deterministically by combination id.

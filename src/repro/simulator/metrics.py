@@ -30,6 +30,12 @@ class JobRecord:
     cost_dollars: float = 0.0
     accelerator_seconds: Dict[str, float] = field(default_factory=dict)
     preemptions: int = 0
+    #: Wall-clock seconds this job spent in checkpoint/restore windows
+    #: (physical mode).  The device is held — and billed — during these
+    #: windows, but no training progress is made; tracking them separately
+    #: keeps Table 3 cost numbers decomposable into productive and overhead
+    #: components.
+    checkpoint_seconds: float = 0.0
 
     @property
     def completed(self) -> bool:
@@ -66,12 +72,26 @@ class SimulationResult:
     records: Dict[int, JobRecord]
     end_time: float
     num_rounds: int
+    #: Worker-seconds of device *occupancy* per accelerator type: a device is
+    #: busy while any job scheduled on it is still running.
     busy_worker_seconds: Dict[str, float]
     capacity_worker_seconds: Dict[str, float]
+    #: Sum of job-*attributable* cost: each job is billed for its own used
+    #: time (prorated when it completes mid-round).  When one job of a
+    #: space-shared pair finishes early, its released half-slot is occupied
+    #: by the surviving job but billed to no one, so this can be slightly
+    #: below busy-worker-hours x hourly rate.
     total_cost_dollars: float
     isolated_durations: Dict[int, float] = field(default_factory=dict)
     policy_compute_seconds: float = 0.0
     num_policy_recomputations: int = 0
+    #: Worker-seconds per accelerator type spent on checkpoint/restore
+    #: overhead (physical mode); a subset of ``busy_worker_seconds``.
+    checkpoint_worker_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Wall-clock seconds spent preparing policy inputs (incremental
+    #: throughput-matrix maintenance), as opposed to solving the policy
+    #: optimization itself (``policy_compute_seconds``).
+    matrix_prep_seconds: float = 0.0
 
     # -- completion-time metrics --------------------------------------------------
     def completed_job_ids(self) -> List[int]:
@@ -159,6 +179,27 @@ class SimulationResult:
             busy = self.busy_worker_seconds.get(name, 0.0)
             result[name] = busy / capacity if capacity > 0 else 0.0
         return result
+
+    def productive_utilization(self) -> float:
+        """Utilization counting only productive time (busy minus checkpoint overhead).
+
+        In physical mode some busy worker-seconds are checkpoint/restore
+        windows that make no training progress; this metric excludes them.
+        Equal to :meth:`utilization` when there is no overhead.
+        """
+        busy = sum(self.busy_worker_seconds.values())
+        overhead = sum(self.checkpoint_worker_seconds.values())
+        capacity = sum(self.capacity_worker_seconds.values())
+        if capacity <= 0:
+            return 0.0
+        return max(0.0, busy - overhead) / capacity
+
+    def checkpoint_overhead_fraction(self) -> float:
+        """Fraction of busy worker-seconds spent on checkpoint/restore overhead."""
+        busy = sum(self.busy_worker_seconds.values())
+        if busy <= 0:
+            return 0.0
+        return sum(self.checkpoint_worker_seconds.values()) / busy
 
     # -- short/long split used by the CDF figures ----------------------------------------
     def split_short_long(

@@ -21,8 +21,9 @@ from __future__ import annotations
 
 import math
 import time as _time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Deque, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -30,6 +31,7 @@ from repro.cluster.cluster_spec import ClusterSpec
 from repro.cluster.placement import Placer, PlacementRequest
 from repro.cluster.worker import ClusterTopology
 from repro.core.allocation import Allocation
+from repro.core.allocation_engine import AllocationEngine
 from repro.core.effective_throughput import effective_throughput, isolated_reference_throughput
 from repro.core.policy import Policy
 from repro.core.problem import PolicyProblem
@@ -57,7 +59,12 @@ class SimulatorConfig:
             6 minutes; 20 minutes for the physical cluster runs).
         mode: ``"round"``, ``"ideal"`` or ``"physical"`` (see module docstring).
         checkpoint_overhead_seconds: Time lost when a job is preempted or
-            migrated at a round boundary (physical mode only).
+            migrated at a round boundary (physical mode only).  The overhead
+            window holds the accelerator, so it is billed and counted as busy
+            time like productive execution, but it is *also* accounted
+            separately (``JobRecord.checkpoint_seconds`` /
+            ``SimulationResult.checkpoint_worker_seconds``) so cost and
+            utilization can be decomposed into productive and overhead parts.
         throughput_jitter_std: Relative std-dev of per-round throughput noise
             (physical mode only).
         seed: Seed for the jitter generator.
@@ -138,11 +145,10 @@ class Simulator:
         return self._run_rounds(trace)
 
     # -- shared helpers ---------------------------------------------------------------------
-    def _policy_matrix(self, active: Mapping[int, _JobState]) -> ThroughputMatrix:
-        jobs = [state.job for state in active.values()]
+    def _make_engine(self) -> AllocationEngine:
+        """Incremental matrix engine; policies see the estimator when one is set."""
         colocation = self._config.estimator if self._config.estimator is not None else self._colocation
-        return build_throughput_matrix(
-            jobs,
+        return AllocationEngine(
             self._oracle,
             space_sharing=self._policy.space_sharing,
             colocation_model=colocation,
@@ -150,7 +156,10 @@ class Simulator:
         )
 
     def _build_problem(
-        self, active: Mapping[int, _JobState], current_time: float
+        self,
+        active: Mapping[int, _JobState],
+        current_time: float,
+        matrix: ThroughputMatrix,
     ) -> PolicyProblem:
         jobs = {job_id: state.job for job_id, state in active.items()}
         steps_remaining = {job_id: state.steps_remaining for job_id, state in active.items()}
@@ -160,7 +169,7 @@ class Simulator:
         }
         return PolicyProblem(
             jobs=jobs,
-            throughputs=self._policy_matrix(active),
+            throughputs=matrix,
             cluster_spec=self._cluster_spec,
             steps_remaining=steps_remaining,
             time_elapsed=elapsed,
@@ -221,16 +230,21 @@ class Simulator:
         round_duration = config.round_duration_seconds
         physical = config.mode == "physical"
 
-        pending: List[Job] = list(trace.jobs)
+        pending: Deque[Job] = deque(trace.jobs)
         active: Dict[int, _JobState] = {}
         records: Dict[int, JobRecord] = {job.job_id: JobRecord(job=job) for job in trace.jobs}
         busy_seconds: Dict[str, float] = {name: 0.0 for name in self._cluster_spec.registry.names}
+        checkpoint_seconds: Dict[str, float] = {
+            name: 0.0 for name in self._cluster_spec.registry.names
+        }
         total_cost = 0.0
         current_time = 0.0
         num_rounds = 0
         allocation_stale = True
         tracker: Optional[PriorityTracker] = None
+        engine = self._make_engine()
         policy_seconds = 0.0
+        matrix_seconds = 0.0
         recomputations = 0
 
         while pending or active:
@@ -241,8 +255,11 @@ class Simulator:
             # Admit arrivals.
             admitted = False
             while pending and pending[0].arrival_time <= current_time + 1e-9:
-                job = pending.pop(0)
+                job = pending.popleft()
                 active[job.job_id] = _JobState(job=job)
+                start = _time.perf_counter()
+                engine.add_job(job)
+                matrix_seconds += _time.perf_counter() - start
                 admitted = True
             if admitted:
                 allocation_stale = True
@@ -250,7 +267,10 @@ class Simulator:
                 continue
 
             if allocation_stale or tracker is None:
-                problem = self._build_problem(active, current_time)
+                start = _time.perf_counter()
+                matrix = engine.matrix()
+                matrix_seconds += _time.perf_counter() - start
+                problem = self._build_problem(active, current_time, matrix)
                 start = _time.perf_counter()
                 allocation = self._policy.compute_allocation(problem)
                 policy_seconds += _time.perf_counter() - start
@@ -274,6 +294,14 @@ class Simulator:
                 accelerator_name = item.accelerator_name
                 consolidated = consolidated_by_combination.get(combination, True)
                 effective_duration = round_duration
+                # Worker-occupancy within the round: jobs that complete
+                # mid-round release their accelerators at the completion
+                # instant, so utilization and cost are prorated rather than
+                # charged a full round.  Cost is job-attributable: when one
+                # job of a pair finishes early, the surviving job keeps the
+                # device busy (occupancy = max over the pair) but the freed
+                # half-slot is billed to no one.
+                occupancy_seconds = 0.0
                 for job_id in combination:
                     state = active[job_id]
                     running_jobs.add(job_id)
@@ -282,7 +310,7 @@ class Simulator:
                         not state.was_running_last_round
                         or state.last_accelerator != accelerator_name
                     ):
-                        overhead = config.checkpoint_overhead_seconds
+                        overhead = min(config.checkpoint_overhead_seconds, round_duration)
                         records[job_id].preemptions += 1
                     usable = max(0.0, effective_duration - overhead)
                     throughput = self._execution_throughput(
@@ -291,28 +319,41 @@ class Simulator:
                     progress = throughput * usable
                     needed = state.steps_remaining
                     if throughput > 0 and progress >= needed:
-                        finish = current_time + overhead + needed / throughput
-                        completed_this_round.append((job_id, min(finish, round_end)))
+                        finish = min(current_time + overhead + needed / throughput, round_end)
+                        completed_this_round.append((job_id, finish))
                         state.steps_done = state.job.total_steps
+                        used_seconds = finish - current_time
                     else:
                         state.steps_done += progress
+                        used_seconds = round_duration
                     state.last_accelerator = accelerator_name
                     record = records[job_id]
                     record.steps_done = state.steps_done
                     record.accelerator_seconds[accelerator_name] = (
-                        record.accelerator_seconds.get(accelerator_name, 0.0) + round_duration
+                        record.accelerator_seconds.get(accelerator_name, 0.0) + used_seconds
                     )
+                    if overhead > 0:
+                        # Checkpoint/restore windows occupy the accelerator but
+                        # produce no training progress; they are billed like
+                        # productive time (the device is held) and accounted
+                        # separately so cost/utilization can be decomposed.
+                        overhead_used = min(overhead, used_seconds)
+                        record.checkpoint_seconds += overhead_used
+                        checkpoint_seconds[accelerator_name] += (
+                            overhead_used * item.scale_factor / len(combination)
+                        )
                     cost = (
                         self._cluster_spec.registry.get(accelerator_name).cost_per_hour
                         * state.job.scale_factor
-                        * round_duration
+                        * used_seconds
                         / _SECONDS_PER_HOUR
                     )
                     if len(combination) > 1:
                         cost /= len(combination)
                     record.cost_dollars += cost
                     total_cost += cost
-                busy_seconds[accelerator_name] += item.scale_factor * round_duration
+                    occupancy_seconds = max(occupancy_seconds, used_seconds)
+                busy_seconds[accelerator_name] += item.scale_factor * occupancy_seconds
                 tracker.record_time(combination, accelerator_name, round_duration)
 
             for job_id, state in active.items():
@@ -321,6 +362,9 @@ class Simulator:
             for job_id, finish_time in completed_this_round:
                 records[job_id].completion_time = finish_time
                 del active[job_id]
+                start = _time.perf_counter()
+                engine.remove_job(job_id)
+                matrix_seconds += _time.perf_counter() - start
             if completed_this_round:
                 allocation_stale = True
 
@@ -342,18 +386,22 @@ class Simulator:
             isolated_durations=self._isolated_durations(trace),
             policy_compute_seconds=policy_seconds,
             num_policy_recomputations=recomputations,
+            checkpoint_worker_seconds=checkpoint_seconds,
+            matrix_prep_seconds=matrix_seconds,
         )
 
     # -- ideal (fluid) execution ----------------------------------------------------------------------
     def _run_ideal(self, trace: Trace) -> SimulationResult:
         """Jobs progress continuously at exactly the allocation's effective throughput."""
-        pending: List[Job] = list(trace.jobs)
+        pending: Deque[Job] = deque(trace.jobs)
         active: Dict[int, _JobState] = {}
         records: Dict[int, JobRecord] = {job.job_id: JobRecord(job=job) for job in trace.jobs}
         busy_seconds: Dict[str, float] = {name: 0.0 for name in self._cluster_spec.registry.names}
         total_cost = 0.0
         current_time = 0.0
+        engine = self._make_engine()
         policy_seconds = 0.0
+        matrix_seconds = 0.0
         recomputations = 0
         events = 0
 
@@ -363,17 +411,22 @@ class Simulator:
             if not active and pending:
                 current_time = max(current_time, pending[0].arrival_time)
             while pending and pending[0].arrival_time <= current_time + 1e-9:
-                job = pending.pop(0)
+                job = pending.popleft()
                 active[job.job_id] = _JobState(job=job)
+                start = _time.perf_counter()
+                engine.add_job(job)
+                matrix_seconds += _time.perf_counter() - start
             if not active:
                 continue
 
-            problem = self._build_problem(active, current_time)
+            start = _time.perf_counter()
+            matrix = engine.matrix()
+            matrix_seconds += _time.perf_counter() - start
+            problem = self._build_problem(active, current_time, matrix)
             start = _time.perf_counter()
             allocation = self._policy.compute_allocation(problem)
             policy_seconds += _time.perf_counter() - start
             recomputations += 1
-            matrix = problem.throughputs
 
             throughputs = {
                 job_id: effective_throughput(matrix, allocation, job_id) for job_id in active
@@ -410,6 +463,9 @@ class Simulator:
                 if state.steps_remaining <= 1e-6:
                     records[job_id].completion_time = current_time + dt
                     del active[job_id]
+                    start = _time.perf_counter()
+                    engine.remove_job(job_id)
+                    matrix_seconds += _time.perf_counter() - start
 
             current_time = next_event
             events += 1
@@ -429,4 +485,5 @@ class Simulator:
             isolated_durations=self._isolated_durations(trace),
             policy_compute_seconds=policy_seconds,
             num_policy_recomputations=recomputations,
+            matrix_prep_seconds=matrix_seconds,
         )

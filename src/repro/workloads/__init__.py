@@ -1,6 +1,6 @@
 """Workload model: jobs, the Table 2 job-type table, throughput oracles, traces."""
 
-from repro.workloads.colocation import ColocatedThroughputs, ColocationModel
+from repro.workloads.colocation import ColocatedThroughputs, ColocationModel, beneficial_pair_row
 from repro.workloads.job import Job, JobIdAllocator
 from repro.workloads.job_table import JobTypeSpec, JobTypeTable, default_job_type_table, job_type_name
 from repro.workloads.throughputs import ThroughputOracle
@@ -17,6 +17,7 @@ __all__ = [
     "ThroughputOracle",
     "ColocationModel",
     "ColocatedThroughputs",
+    "beneficial_pair_row",
     "Trace",
     "TraceGenerator",
     "TraceGeneratorConfig",

@@ -31,7 +31,41 @@ from repro.exceptions import ConfigurationError
 from repro.workloads.job_table import JobTypeTable, default_job_type_table
 from repro.workloads.throughputs import ThroughputOracle
 
-__all__ = ["ColocationModel", "ColocatedThroughputs"]
+__all__ = ["ColocationModel", "ColocatedThroughputs", "beneficial_pair_row"]
+
+
+def beneficial_pair_row(
+    model: "ColocationModel",
+    job_type_a: str,
+    job_type_b: str,
+    accelerator_names: Sequence[str],
+    threshold: float = 1.1,
+) -> Optional[np.ndarray]:
+    """Colocated-throughput row for a *type* pair, or ``None`` if never beneficial.
+
+    Row ``[0]`` holds ``job_type_a``'s absolute throughputs and row ``[1]``
+    ``job_type_b``'s, one column per accelerator name.  A column is filled
+    only when the pair fits in memory there *and* its combined normalized
+    throughput reaches ``threshold``; if no column qualifies the pair carries
+    no information for space-sharing policies and ``None`` is returned.
+
+    ``model`` may be any object exposing the :class:`ColocationModel` query
+    interface (e.g. a throughput estimator).  Because the result depends only
+    on the two job *types* (never on job ids), it is the natural unit to
+    memoize across allocation recomputations.
+    """
+    values = np.zeros((2, len(accelerator_names)))
+    beneficial = False
+    for column, name in enumerate(accelerator_names):
+        pair = model.colocated_throughputs(job_type_a, job_type_b, name)
+        if not pair.feasible:
+            continue
+        combined = model.combined_normalized_throughput(job_type_a, job_type_b, name)
+        if combined >= threshold:
+            beneficial = True
+            values[0, column] = pair.first
+            values[1, column] = pair.second
+    return values if beneficial else None
 
 
 @dataclass(frozen=True)

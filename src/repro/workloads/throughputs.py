@@ -52,6 +52,11 @@ class ThroughputOracle:
             current = self._min_batch_size.get(spec.model)
             if current is None or spec.batch_size < current:
                 self._min_batch_size[spec.model] = spec.batch_size
+        # The oracle is deterministic and immutable, so per-configuration
+        # throughput vectors can be memoized; allocation recomputations ask
+        # for the same (job_type, scale_factor, consolidated) vectors over
+        # and over while a trace runs.
+        self._vector_cache: Dict[Tuple[str, int, bool], np.ndarray] = {}
 
     # -- basic queries --------------------------------------------------------
     @property
@@ -115,13 +120,45 @@ class ThroughputOracle:
     def throughput_vector(
         self, job_type: str, scale_factor: int = 1, consolidated: bool = True
     ) -> np.ndarray:
-        """Throughputs of ``job_type`` on every accelerator, in registry order."""
-        return np.array(
+        """Throughputs of ``job_type`` on every accelerator, in registry order.
+
+        Vectors are memoized per ``(job_type, scale_factor, consolidated)``
+        configuration; a copy is returned so callers may mutate freely.
+        """
+        key = (job_type, int(scale_factor), bool(consolidated))
+        cached = self._vector_cache.get(key)
+        if cached is None:
+            singles = np.array(
+                [self.single_worker_throughput(job_type, name) for name in self._registry.names],
+                dtype=float,
+            )
+            efficiency = self.scaling_efficiency(
+                job_type, scale_factor, consolidated=consolidated
+            )
+            cached = singles * (scale_factor * efficiency)
+            self._vector_cache[key] = cached
+        return cached.copy()
+
+    def singleton_rows(
+        self, requests: Sequence[Tuple[str, int, bool]]
+    ) -> np.ndarray:
+        """Stacked throughput vectors, one row per request.
+
+        This is the batched oracle call used to build all singleton rows of a
+        throughput matrix at once: each request is a ``(job_type,
+        scale_factor, consolidated)`` triple and row ``i`` of the result is
+        the corresponding per-accelerator throughput vector.  Duplicate
+        configurations hit the vector cache and are computed once.
+        """
+        if not requests:
+            return np.zeros((0, len(self._registry)))
+        return np.vstack(
             [
-                self.throughput(job_type, name, scale_factor=scale_factor, consolidated=consolidated)
-                for name in self._registry.names
-            ],
-            dtype=float,
+                self.throughput_vector(
+                    job_type, scale_factor=scale_factor, consolidated=consolidated
+                )
+                for job_type, scale_factor, consolidated in requests
+            ]
         )
 
     def throughput_table(self) -> Dict[str, np.ndarray]:

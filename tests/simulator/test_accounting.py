@@ -1,0 +1,151 @@
+"""Regression tests for partial-round and checkpoint-overhead accounting.
+
+Jobs that complete mid-round release their accelerators at the completion
+instant: utilization, per-accelerator seconds and dollar cost must be
+prorated to the actually-used time, not charged a full round.  Checkpoint
+overhead in physical mode is billed (the device is held) but accounted
+separately from productive time.
+"""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.core import make_policy
+from repro.simulator import Simulator, SimulatorConfig
+from repro.workloads import Job, ThroughputOracle, Trace
+
+_SECONDS_PER_HOUR = 3600.0
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return ThroughputOracle()
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return ClusterSpec.from_counts({"v100": 2, "p100": 2, "k80": 2})
+
+
+def _single_job_trace(oracle, steps, job_type="resnet18-bs64"):
+    return Trace.from_jobs(
+        [Job(job_id=0, job_type=job_type, total_steps=steps, arrival_time=0.0)]
+    )
+
+
+def _run(oracle, spec, trace, **config_kwargs):
+    simulator = Simulator(
+        make_policy("max_min_fairness"),
+        spec,
+        oracle=oracle,
+        config=SimulatorConfig(**config_kwargs),
+    )
+    return simulator.run(trace)
+
+
+class TestPartialRoundProration:
+    def test_mid_round_completion_prorates_busy_and_cost(self, oracle, spec):
+        """A 1-job trace finishing mid-round reports prorated busy/cost."""
+        round_duration = 360.0
+        fastest = max(
+            oracle.throughput("resnet18-bs64", name) for name in oracle.registry.names
+        )
+        # Enough steps for roughly half a round on the fastest accelerator, so
+        # the job finishes inside the first round no matter where it lands.
+        steps = fastest * round_duration * 0.4
+        result = _run(
+            oracle,
+            spec,
+            _single_job_trace(oracle, steps),
+            round_duration_seconds=round_duration,
+        )
+        record = result.records[0]
+        assert record.completed
+        assert record.jct_seconds < round_duration
+
+        # Accelerator occupancy equals the time to completion, not the round.
+        assert sum(record.accelerator_seconds.values()) == pytest.approx(
+            record.jct_seconds, rel=1e-9
+        )
+        assert sum(result.busy_worker_seconds.values()) == pytest.approx(
+            record.jct_seconds, rel=1e-9
+        )
+
+        # Cost covers exactly the used time on the accelerator that ran the job.
+        (accelerator_name,) = record.accelerator_seconds.keys()
+        rate = spec.registry.get(accelerator_name).cost_per_hour
+        expected_cost = rate * record.jct_seconds / _SECONDS_PER_HOUR
+        assert record.cost_dollars == pytest.approx(expected_cost, rel=1e-9)
+        assert result.total_cost_dollars == pytest.approx(expected_cost, rel=1e-9)
+
+    def test_single_job_busy_time_matches_jct_across_rounds(self, oracle, spec):
+        """With one job the total occupancy equals its JCT even over many rounds."""
+        fastest = max(
+            oracle.throughput("resnet18-bs64", name) for name in oracle.registry.names
+        )
+        steps = fastest * 360.0 * 3.5
+        result = _run(oracle, spec, _single_job_trace(oracle, steps))
+        record = result.records[0]
+        assert record.completed
+        assert result.num_rounds >= 2
+        assert sum(record.accelerator_seconds.values()) == pytest.approx(
+            record.jct_seconds, rel=1e-6
+        )
+
+    def test_full_round_jobs_still_charged_whole_rounds(self, oracle, spec):
+        """Jobs that do not complete keep being charged whole rounds."""
+        result = _run(
+            oracle,
+            spec,
+            _single_job_trace(oracle, steps=1e9),
+            max_simulated_seconds=1000.0,
+        )
+        record = result.records[0]
+        assert not record.completed
+        assert sum(record.accelerator_seconds.values()) == pytest.approx(
+            result.num_rounds * 360.0
+        )
+
+    def test_utilization_bounded_with_proration(self, oracle, spec):
+        jobs = [
+            Job(job_id=i, job_type="resnet18-bs64", total_steps=30_000.0 * (i + 1))
+            for i in range(4)
+        ]
+        result = _run(oracle, spec, Trace.from_jobs(jobs))
+        assert 0.0 < result.utilization() <= 1.0
+        assert result.total_cost_dollars == pytest.approx(
+            sum(record.cost_dollars for record in result.records.values())
+        )
+
+
+class TestCheckpointOverheadAccounting:
+    def test_overhead_recorded_separately(self, oracle, spec):
+        fastest = max(
+            oracle.throughput("resnet18-bs64", name) for name in oracle.registry.names
+        )
+        steps = fastest * 360.0 * 2.5
+        result = _run(
+            oracle,
+            spec,
+            _single_job_trace(oracle, steps),
+            mode="physical",
+            checkpoint_overhead_seconds=30.0,
+            throughput_jitter_std=0.0,
+        )
+        record = result.records[0]
+        assert record.completed
+        # One preemption (the initial placement); the job then stays put.
+        assert record.preemptions >= 1
+        assert record.checkpoint_seconds == pytest.approx(30.0 * record.preemptions)
+        assert sum(result.checkpoint_worker_seconds.values()) == pytest.approx(
+            record.checkpoint_seconds
+        )
+        # Overhead is billed as busy time but excluded from productive time.
+        assert result.productive_utilization() < result.utilization()
+        assert 0.0 < result.checkpoint_overhead_fraction() < 1.0
+
+    def test_no_overhead_outside_physical_mode(self, oracle, spec):
+        result = _run(oracle, spec, _single_job_trace(oracle, 50_000.0))
+        assert all(record.checkpoint_seconds == 0.0 for record in result.records.values())
+        assert sum(result.checkpoint_worker_seconds.values()) == 0.0
+        assert result.productive_utilization() == pytest.approx(result.utilization())
