@@ -15,6 +15,7 @@ for the full surface:
 from repro.cluster import AcceleratorRegistry, AcceleratorType, ClusterSpec, default_registry
 from repro.core import (
     Allocation,
+    AllocationEngine,
     EntitySpec,
     FifoPolicy,
     FinishTimeFairnessPolicy,
@@ -25,11 +26,13 @@ from repro.core import (
     MinCostWithSLOsPolicy,
     Policy,
     PolicyProblem,
+    PolicySession,
     ThroughputMatrix,
     available_policies,
     build_throughput_matrix,
     effective_throughput,
     make_policy,
+    parse_policy_spec,
 )
 from repro.estimator import ThroughputEstimator
 from repro.harness import run_load_sweep, run_policy_on_trace
@@ -64,6 +67,8 @@ __all__ = [
     # core
     "Policy",
     "PolicyProblem",
+    "PolicySession",
+    "AllocationEngine",
     "Allocation",
     "ThroughputMatrix",
     "build_throughput_matrix",
@@ -78,6 +83,7 @@ __all__ = [
     "EntitySpec",
     "make_policy",
     "available_policies",
+    "parse_policy_spec",
     # simulator / estimator / harness
     "Simulator",
     "SimulatorConfig",

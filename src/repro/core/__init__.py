@@ -18,7 +18,16 @@ from repro.core.max_throughput import MaxTotalThroughputPolicy
 from repro.core.min_cost import MinCostPolicy, MinCostWithSLOsPolicy
 from repro.core.policy import AllocationVariables, OptimizationPolicy, Policy
 from repro.core.problem import PolicyProblem
-from repro.core.registry import available_policies, make_policy
+from repro.core.registry import available_policies, make_policy, parse_policy_spec
+from repro.core.session import (
+    EstimateRefined,
+    IncrementalLPSession,
+    JobAdded,
+    JobRemoved,
+    PolicyDelta,
+    PolicySession,
+    RebuildSession,
+)
 from repro.core.shortest_job_first import ShortestJobFirstPolicy
 from repro.core.throughput_matrix import JobCombination, ThroughputMatrix, build_throughput_matrix
 from repro.core.water_filling import WaterFillingAllocator, WaterFillingResult
@@ -57,4 +66,12 @@ __all__ = [
     "AlloXPolicy",
     "available_policies",
     "make_policy",
+    "parse_policy_spec",
+    "PolicySession",
+    "RebuildSession",
+    "IncrementalLPSession",
+    "PolicyDelta",
+    "JobAdded",
+    "JobRemoved",
+    "EstimateRefined",
 ]

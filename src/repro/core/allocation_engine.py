@@ -18,7 +18,18 @@ and the policies and maintains the matrix incrementally:
 * on **arrival** only the new job's singleton row and its pair rows against
   the currently active single-worker jobs are added (O(active jobs));
 * on **completion** only the rows containing the finished job are dropped,
-  using a per-job row index (O(rows containing the job)).
+  using a per-job row index (O(rows containing the job));
+* when an estimator refines colocation estimates (its ``version`` counter
+  moves), only the pair rows touching the **refined job types** are
+  recomputed when the model can attribute the refinement
+  (``refined_job_types_since``), falling back to a full pair-row rebuild
+  otherwise.
+
+The engine also emits a **delta stream** for policy sessions: every arrival,
+completion and estimate refinement appends a
+:class:`~repro.core.session.PolicyDelta`, and :meth:`AllocationEngine.drain_deltas`
+hands the batch to ``session.apply(...)`` so the policy layer can edit its
+live solver program instead of rebuilding it.
 
 The produced matrix is exactly equivalent to a from-scratch
 :func:`~repro.core.throughput_matrix.build_throughput_matrix` over the same
@@ -28,10 +39,11 @@ assert this after arbitrary arrival/completion sequences.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.core.session import EstimateRefined, JobAdded, JobRemoved, PolicyDelta
 from repro.core.throughput_matrix import JobCombination, ThroughputMatrix
 from repro.exceptions import ConfigurationError, UnknownJobError
 from repro.workloads.colocation import ColocationModel, beneficial_pair_row
@@ -76,23 +88,35 @@ class PairThroughputCache:
     def __len__(self) -> int:
         return len(self._rows)
 
-    def refresh_if_stale(self) -> bool:
-        """Drop cached rows when the model's ``version`` changed; True if dropped."""
+    def poll_refinements(self) -> Tuple[bool, Optional[FrozenSet[str]]]:
+        """Invalidate stale rows; returns ``(changed, refined job types)``.
+
+        When the model's ``version`` moved and the model can attribute the
+        refinements to job types (``refined_job_types_since``), only the
+        cached rows touching those types are dropped and the type set is
+        returned; otherwise every row is dropped and ``None`` is returned
+        (meaning "anything may have changed").
+        """
         current_version = getattr(self._model, "version", None)
-        if current_version != self._model_version:
+        if current_version == self._model_version:
+            return False, frozenset()
+        query = getattr(self._model, "refined_job_types_since", None)
+        types = query(self._model_version) if callable(query) else None
+        if types is None:
             self._rows.clear()
-            self._model_version = current_version
-            return True
-        return False
+        else:
+            self.invalidate_types(types)
+        self._model_version = current_version
+        return True, types
 
     def row(self, job_type_a: str, job_type_b: str) -> Optional[np.ndarray]:
         """Pair row with ``[0]`` = ``job_type_a``'s throughputs, or ``None``.
 
         Returns a copy, so callers may mutate freely.  Rows are served from
-        whatever model version the last :meth:`refresh_if_stale` saw; callers
-        holding rows across model mutations coordinate refreshes themselves
-        (as :class:`AllocationEngine` does), since refreshing here would
-        silently consume the version bump mid-update.
+        whatever model version the last refresh saw; callers holding rows
+        across model mutations coordinate refreshes themselves (as
+        :class:`AllocationEngine` does), since refreshing here would silently
+        consume the version bump mid-update.
         """
         key = (
             (job_type_a, job_type_b)
@@ -116,6 +140,14 @@ class PairThroughputCache:
         """Drop all cached rows (call after mutating the underlying model)."""
         self._rows.clear()
 
+    def invalidate_types(self, job_types: Iterable[str]) -> int:
+        """Drop only the cached rows touching the given job types."""
+        affected = set(job_types)
+        stale = [key for key in self._rows if key[0] in affected or key[1] in affected]
+        for key in stale:
+            del self._rows[key]
+        return len(stale)
+
 
 class AllocationEngine:
     """Maintains the policy-input :class:`ThroughputMatrix` incrementally.
@@ -123,6 +155,8 @@ class AllocationEngine:
     The engine tracks the active job set; :meth:`add_job` and
     :meth:`remove_job` touch only the rows affected by the event, and
     :meth:`matrix` returns the (memoized) matrix for the current set.
+    Changes are mirrored into a delta stream (:meth:`drain_deltas`) that
+    policy sessions consume.
     """
 
     def __init__(
@@ -146,9 +180,11 @@ class AllocationEngine:
             )
         self._jobs: Dict[int, Job] = {}
         self._single_worker: Dict[int, Job] = {}
-        self._entries: Dict[JobCombination, np.ndarray] = {}
+        self._singles: Dict[int, np.ndarray] = {}
+        self._pairs: Dict[JobCombination, np.ndarray] = {}
         self._pair_rows_by_job: Dict[int, Set[JobCombination]] = {}
         self._matrix: Optional[ThroughputMatrix] = None
+        self._deltas: List[PolicyDelta] = []
 
     # -- structure -------------------------------------------------------------
     @property
@@ -170,14 +206,39 @@ class AllocationEngine:
         return tuple(sorted(self._jobs))
 
     def num_rows(self) -> int:
-        return len(self._entries)
+        return len(self._singles) + len(self._pairs)
+
+    # -- delta stream -------------------------------------------------------------
+    def drain_deltas(self) -> List[PolicyDelta]:
+        """Return (and clear) the deltas accumulated since the last drain.
+
+        The batch is ready to hand to ``PolicySession.apply``; deltas are
+        advisory for sessions, so draining into multiple consumers only costs
+        recomputation time, never correctness.
+        """
+        drained, self._deltas = self._deltas, []
+        return drained
 
     # -- incremental updates -----------------------------------------------------
     def _sync_model_version(self) -> None:
-        """Rebuild every pair row when the colocation model's version changed."""
-        if self._cache is not None and self._cache.refresh_if_stale():
-            self._matrix = None
+        """Apply pending colocation-model refinements to the pair rows.
+
+        When the model attributes its refinement to specific job types, only
+        the pair rows involving active jobs of those types are recomputed
+        (O(affected jobs x active jobs)); otherwise every pair row is rebuilt.
+        """
+        if self._cache is None:
+            return
+        changed, types = self._cache.poll_refinements()
+        if not changed:
+            return
+        self._matrix = None
+        if types is None:
             self._rebuild_pair_rows()
+            self._deltas.append(EstimateRefined(job_types=None))
+        else:
+            self._rebuild_pair_rows_for_types(types)
+            self._deltas.append(EstimateRefined(job_types=tuple(sorted(types))))
 
     def _insert_pair_row(self, job_a: Job, job_b: Job) -> None:
         """Add the (cached) pair row for two single-worker jobs, if beneficial."""
@@ -186,7 +247,7 @@ class AllocationEngine:
         if row is None:
             return
         combination = (low.job_id, high.job_id)
-        self._entries[combination] = row
+        self._pairs[combination] = row
         self._pair_rows_by_job.setdefault(low.job_id, set()).add(combination)
         self._pair_rows_by_job.setdefault(high.job_id, set()).add(combination)
 
@@ -199,12 +260,13 @@ class AllocationEngine:
         vector = self._oracle.throughput_vector(
             job.job_type, scale_factor=job.scale_factor, consolidated=self._consolidated
         )
-        self._entries[(job.job_id,)] = vector.reshape(1, -1)
+        self._singles[job.job_id] = vector
         self._jobs[job.job_id] = job
         if self._cache is not None and job.scale_factor == 1:
             for other in self._single_worker.values():
                 self._insert_pair_row(job, other)
             self._single_worker[job.job_id] = job
+        self._deltas.append(JobAdded(job=job))
 
     def add_jobs(self, jobs: Iterable[Job]) -> None:
         for job in jobs:
@@ -217,43 +279,68 @@ class AllocationEngine:
         self._matrix = None
         del self._jobs[job_id]
         self._single_worker.pop(job_id, None)
-        del self._entries[(job_id,)]
+        del self._singles[job_id]
         for combination in self._pair_rows_by_job.pop(job_id, set()):
-            self._entries.pop(combination, None)
+            self._pairs.pop(combination, None)
+            for other_id in combination:
+                if other_id != job_id:
+                    partner_rows = self._pair_rows_by_job.get(other_id)
+                    if partner_rows is not None:
+                        partner_rows.discard(combination)
+        self._deltas.append(JobRemoved(job_id=job_id))
+
+    def remove_jobs(self, job_ids: Iterable[int]) -> None:
+        for job_id in job_ids:
+            self.remove_job(job_id)
+
+    def _drop_pair_rows_of(self, job_id: int) -> None:
+        """Remove every pair row containing ``job_id`` (the job itself stays)."""
+        for combination in self._pair_rows_by_job.pop(job_id, set()):
+            self._pairs.pop(combination, None)
             for other_id in combination:
                 if other_id != job_id:
                     partner_rows = self._pair_rows_by_job.get(other_id)
                     if partner_rows is not None:
                         partner_rows.discard(combination)
 
-    def remove_jobs(self, job_ids: Iterable[int]) -> None:
-        for job_id in job_ids:
-            self.remove_job(job_id)
-
     def _rebuild_pair_rows(self) -> None:
         """Recompute every pair row from the (refreshed) colocation cache."""
-        for combinations in self._pair_rows_by_job.values():
-            for combination in combinations:
-                self._entries.pop(combination, None)
+        self._pairs.clear()
         self._pair_rows_by_job.clear()
         ordered = sorted(self._single_worker.values(), key=lambda job: job.job_id)
         for first_index in range(len(ordered)):
             for second_index in range(first_index + 1, len(ordered)):
                 self._insert_pair_row(ordered[first_index], ordered[second_index])
 
+    def _rebuild_pair_rows_for_types(self, job_types: FrozenSet[str]) -> None:
+        """Recompute only the pair rows involving jobs of the given types."""
+        affected = [
+            job for job in self._single_worker.values() if job.job_type in job_types
+        ]
+        for job in affected:
+            self._drop_pair_rows_of(job.job_id)
+        for job in affected:
+            for other in self._single_worker.values():
+                if other.job_id != job.job_id:
+                    self._insert_pair_row(job, other)
+
     # -- matrix view ---------------------------------------------------------------
     def matrix(self) -> ThroughputMatrix:
         """The policy-input matrix for the current active set (memoized).
 
         When the colocation model advertises a changed ``version`` (an
-        estimator refined by ``observe()``), all pair rows are recomputed so
-        the refinement reaches this and later allocations.
+        estimator refined by ``observe()``), the affected pair rows are
+        recomputed so the refinement reaches this and later allocations.
         """
         self._sync_model_version()
         if self._matrix is None:
-            if not self._entries:
+            if not self._singles:
                 raise ConfigurationError(
                     "cannot build a throughput matrix for zero active jobs"
                 )
-            self._matrix = ThroughputMatrix(self._oracle.registry, self._entries)
+            job_ids = sorted(self._singles)
+            singles = np.vstack([self._singles[job_id] for job_id in job_ids])
+            self._matrix = ThroughputMatrix.from_parts(
+                self._oracle.registry, job_ids, singles, dict(self._pairs)
+            )
         return self._matrix

@@ -13,6 +13,10 @@ feasibility LP at each candidate:
     rho is achievable  <=>  exists valid X with, for every job m,
         throughput(m, X) >= num_steps_m / (rho * D_m - t_m)
     where D_m is the (constant) isolated finish time in the denominator.
+
+:class:`FinishTimeFairnessSession` keeps the feasibility LP alive across
+bisection candidates and allocation recomputations — a candidate evaluation
+is a right-hand-side edit plus a solve.
 """
 
 from __future__ import annotations
@@ -21,17 +25,14 @@ import math
 from typing import Dict, Optional
 
 from repro.core.allocation import Allocation
-from repro.core.effective_throughput import (
-    fastest_reference_throughput,
-    isolated_reference_throughput,
-)
-from repro.core.policy import AllocationVariables, Policy
+from repro.core.effective_throughput import isolated_reference_throughput
+from repro.core.policy import Policy
 from repro.core.problem import PolicyProblem
-from repro.exceptions import InfeasibleError, SolverError
+from repro.core.session import PolicySession, ThroughputFeasibilitySession
+from repro.exceptions import InfeasibleError
 from repro.solver.bisection import bisect_min_feasible
-from repro.solver.lp import LinearExpression, LinearProgram
 
-__all__ = ["FinishTimeFairnessPolicy", "finish_time_fairness_rho"]
+__all__ = ["FinishTimeFairnessPolicy", "FinishTimeFairnessSession", "finish_time_fairness_rho"]
 
 
 def finish_time_fairness_rho(
@@ -76,11 +77,16 @@ class FinishTimeFairnessPolicy(Policy):
         self._relative_tolerance = relative_tolerance
         self._max_rho = max_rho
 
-    def compute_allocation(self, problem: PolicyProblem) -> Allocation:
-        matrix = self.effective_matrix(problem)
-        num_jobs = problem.num_jobs
+    def session(self, problem: PolicyProblem) -> PolicySession:
+        return FinishTimeFairnessSession(self, problem)
 
-        isolated_finish_times: Dict[int, float] = {}
+    def compute_allocation(self, problem: PolicyProblem) -> Allocation:
+        return self.session(problem).solve(problem)
+
+    def _isolated_finish_times(self, problem: PolicyProblem, matrix) -> Dict[int, float]:
+        """The constant denominators ``D_m`` of the rho metric."""
+        num_jobs = problem.num_jobs
+        finish_times: Dict[int, float] = {}
         for job_id in problem.job_ids:
             isolated = isolated_reference_throughput(
                 matrix,
@@ -93,41 +99,43 @@ class FinishTimeFairnessPolicy(Policy):
                 raise InfeasibleError(
                     f"job {job_id} has zero isolated throughput; rho is undefined"
                 )
-            isolated_finish_times[job_id] = (
+            finish_times[job_id] = (
                 problem.elapsed(job_id) + problem.remaining_steps(job_id) / isolated
             )
+        return finish_times
+
+
+class FinishTimeFairnessSession(ThroughputFeasibilitySession):
+    """Stateful Themis solver: persistent feasibility LP, rhs-only candidates."""
+
+    def _solve(self, problem: PolicyProblem) -> Allocation:
+        policy = self._policy
+        self._sync(problem)
+        self._align_feasibility()
+        matrix = self._variables.matrix
+        isolated_finish_times = policy._isolated_finish_times(problem, matrix)
+        elapsed = {job_id: problem.elapsed(job_id) for job_id in matrix.job_ids}
+        steps = {job_id: problem.remaining_steps(job_id) for job_id in matrix.job_ids}
 
         def feasible_allocation(rho: float) -> Optional[Allocation]:
-            program = LinearProgram(name=f"{self.display_name}[rho={rho:.3g}]")
-            variables = AllocationVariables(problem, matrix, program)
-            total = LinearExpression()
-            for job_id in problem.job_ids:
-                elapsed = problem.elapsed(job_id)
-                steps = problem.remaining_steps(job_id)
-                budget = rho * isolated_finish_times[job_id] - elapsed
-                throughput = variables.effective_throughput_expression(job_id)
+            required: Dict[int, float] = {}
+            for job_id in matrix.job_ids:
+                budget = rho * isolated_finish_times[job_id] - elapsed[job_id]
                 if budget <= 0:
                     # This job can no longer achieve the candidate rho at all.
                     return None
-                program.add_greater_equal(throughput, steps / budget)
-                total = total + throughput
-            program.maximize(total)
-            try:
-                solution = program.solve()
-            except (InfeasibleError, SolverError):
-                return None
-            return variables.extract_allocation(solution)
+                required[job_id] = steps[job_id] / budget
+            self._set_feasibility_rhs(required)
+            return self._solve_candidate()
 
         # The sharing-incentive property guarantees rho <= 1 is not always
         # achievable but rho achieved by the isolated allocation (== 1 by
         # definition, modulo elapsed-time skew) always is; search up to a
         # generous ceiling to accommodate overloaded clusters.
-        lower = 1e-3
-        upper = self._max_rho
         result = bisect_min_feasible(
             feasible_allocation,
-            lower=lower,
-            upper=upper,
-            relative_tolerance=self._relative_tolerance,
+            lower=1e-3,
+            upper=policy._max_rho,
+            relative_tolerance=policy._relative_tolerance,
         )
         return result.witness

@@ -4,31 +4,35 @@ The makespan of a batch of jobs is the maximum over jobs of
 ``num_steps_m / throughput(m, X)``.  Minimizing it directly is not linear, so
 the policy binary-searches for the smallest makespan ``M`` such that the LP
 
-    num_steps_m <= throughput(m, X) * M   for every job m
+    throughput(m, X) >= num_steps_m / M   for every job m
     X valid (Section 3.1 constraints)
 
 is feasible, returning the allocation that witnesses feasibility at the
 smallest ``M`` found.
+
+:class:`MakespanSession` keeps one LP alive for the whole search *and*
+across allocation recomputations: every bisection candidate is a
+right-hand-side edit on persistent per-job feasibility constraints, so the
+constraint matrix is assembled once per structural change rather than once
+per candidate.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
 from repro.core.allocation import Allocation
 from repro.core.effective_throughput import (
     fastest_reference_throughput,
     isolated_reference_throughput,
 )
-from repro.core.policy import AllocationVariables, Policy
+from repro.core.policy import Policy
 from repro.core.problem import PolicyProblem
-from repro.exceptions import InfeasibleError, SolverError
+from repro.core.session import PolicySession, ThroughputFeasibilitySession
+from repro.exceptions import InfeasibleError
 from repro.solver.bisection import bisect_min_feasible
-from repro.solver.lp import LinearExpression, LinearProgram
 
-__all__ = ["MakespanPolicy"]
+__all__ = ["MakespanPolicy", "MakespanSession"]
 
 
 class MakespanPolicy(Policy):
@@ -45,35 +49,11 @@ class MakespanPolicy(Policy):
         super().__init__(heterogeneity_agnostic=heterogeneity_agnostic, space_sharing=space_sharing)
         self._relative_tolerance = relative_tolerance
 
+    def session(self, problem: PolicyProblem) -> PolicySession:
+        return MakespanSession(self, problem)
+
     def compute_allocation(self, problem: PolicyProblem) -> Allocation:
-        matrix = self.effective_matrix(problem)
-
-        def feasible_allocation(makespan: float) -> Optional[Allocation]:
-            program = LinearProgram(name=f"{self.display_name}[M={makespan:.3g}]")
-            variables = AllocationVariables(problem, matrix, program)
-            slack_total = LinearExpression()
-            for job_id in problem.job_ids:
-                steps = problem.remaining_steps(job_id)
-                throughput = variables.effective_throughput_expression(job_id)
-                program.add_greater_equal(throughput * makespan, steps)
-                slack_total = slack_total + throughput
-            # Among feasible allocations prefer higher total throughput so the
-            # witness allocation keeps the cluster busy.
-            program.maximize(slack_total)
-            try:
-                solution = program.solve()
-            except (InfeasibleError, SolverError):
-                return None
-            return variables.extract_allocation(solution)
-
-        lower, upper = self._makespan_bounds(problem, matrix)
-        result = bisect_min_feasible(
-            feasible_allocation,
-            lower=lower,
-            upper=upper,
-            relative_tolerance=self._relative_tolerance,
-        )
-        return result.witness
+        return self.session(problem).solve(problem)
 
     def _makespan_bounds(self, problem: PolicyProblem, matrix) -> tuple:
         """A guaranteed-feasible upper bound and a safe lower bound on the makespan.
@@ -103,3 +83,35 @@ class MakespanPolicy(Policy):
             raise InfeasibleError("no job can make progress on any accelerator type")
         upper = max(upper, lower) * 1.001
         return max(lower * 0.999, 0.0), upper
+
+
+class MakespanSession(ThroughputFeasibilitySession):
+    """Stateful makespan solver: persistent feasibility LP, rhs-only candidates."""
+
+    def _solve(self, problem: PolicyProblem) -> Allocation:
+        policy = self._policy
+        self._sync(problem)
+        self._align_feasibility()
+        matrix = self._variables.matrix
+        steps = {job_id: problem.remaining_steps(job_id) for job_id in matrix.job_ids}
+
+        def feasible_allocation(makespan: float) -> Optional[Allocation]:
+            if makespan <= 0:
+                # Zero (or negative) time is only enough when nothing is left
+                # to train; mirror ``0 >= steps`` without dividing by zero.
+                if any(value > 0 for value in steps.values()):
+                    return None
+                required = {job_id: 0.0 for job_id in steps}
+            else:
+                required = {job_id: value / makespan for job_id, value in steps.items()}
+            self._set_feasibility_rhs(required)
+            return self._solve_candidate()
+
+        lower, upper = policy._makespan_bounds(problem, matrix)
+        result = bisect_min_feasible(
+            feasible_allocation,
+            lower=lower,
+            upper=upper,
+            relative_tolerance=policy._relative_tolerance,
+        )
+        return result.witness

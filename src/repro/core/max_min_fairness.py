@@ -10,26 +10,46 @@ The heterogeneity-agnostic variant is obtained by flattening the throughput
 matrix (every accelerator looks identical), which reduces the objective to
 max-min fairness over total compute-time fractions, i.e. classic LAS as used
 by Tiresias.
+
+:class:`MaxMinFairnessSession` keeps the epigraph formulation alive across
+allocation recomputations: the epigraph variable, its per-job constraints and
+the objective persist, and only the constraints of jobs whose throughput
+expressions (or normalization) actually changed are rewritten — so a churn
+event touches a handful of rows and HiGHS re-solves from its incumbent basis.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import math
+from typing import Dict, List
 
 from repro.core.allocation import Allocation
 from repro.core.effective_throughput import equal_share_reference_throughput
 from repro.core.policy import AllocationVariables, OptimizationPolicy
 from repro.core.problem import PolicyProblem
+from repro.core.session import IncrementalProgramSession, PolicySession
 from repro.exceptions import ConfigurationError
 from repro.solver.lp import LinearExpression, LinearProgram
 
-__all__ = ["MaxMinFairnessPolicy"]
+__all__ = ["MaxMinFairnessPolicy", "MaxMinFairnessSession"]
 
 
 class MaxMinFairnessPolicy(OptimizationPolicy):
     """Weighted max-min fairness over normalized effective throughputs (LAS)."""
 
     name = "max_min_fairness"
+
+    def session(self, problem: PolicyProblem) -> PolicySession:
+        return MaxMinFairnessSession(self, problem)
+
+    def normalized_throughput_scale(self, problem: PolicyProblem, matrix, job_id: int) -> float:
+        """The factor turning ``throughput(m, X)`` into the LAS objective term."""
+        reference = equal_share_reference_throughput(matrix, problem.cluster_spec, job_id)
+        if reference <= 0:
+            raise ConfigurationError(
+                f"job {job_id} has zero throughput on every accelerator type"
+            )
+        return problem.scale_factor(job_id) / (problem.priority_weight(job_id) * reference)
 
     def build_objective(
         self,
@@ -40,15 +60,62 @@ class MaxMinFairnessPolicy(OptimizationPolicy):
         expressions: List[LinearExpression] = []
         matrix = variables.matrix
         for job_id in problem.job_ids:
-            reference = equal_share_reference_throughput(matrix, problem.cluster_spec, job_id)
-            if reference <= 0:
-                raise ConfigurationError(
-                    f"job {job_id} has zero throughput on every accelerator type"
-                )
-            weight = problem.priority_weight(job_id)
-            scale_factor = problem.scale_factor(job_id)
-            scaled = variables.effective_throughput_expression(job_id) * (
-                scale_factor / (weight * reference)
-            )
-            expressions.append(scaled)
+            scale = self.normalized_throughput_scale(problem, matrix, job_id)
+            expressions.append(variables.effective_throughput_expression(job_id) * scale)
         program.add_max_min_objective(expressions)
+
+
+class MaxMinFairnessSession(IncrementalProgramSession):
+    """Stateful LAS solver with a persistent epigraph formulation.
+
+    Equivalent to ``build_objective`` + ``add_max_min_objective`` on a fresh
+    program, but the epigraph constraints ``t <= scale_m * throughput(m, X)``
+    are edited in place rather than rebuilt, so unchanged jobs cost nothing.
+    """
+
+    def __init__(self, policy: MaxMinFairnessPolicy, problem: PolicyProblem):
+        super().__init__(policy, problem, LinearProgram(name=policy.display_name))
+        self._epigraph = self._program.add_variable(name="max_min_t", lower=-math.inf)
+        self._program.maximize({self._epigraph.index: 1.0})
+        self._constraints: Dict[int, int] = {}
+        self._scales: Dict[int, float] = {}
+        self._expressions: Dict[int, LinearExpression] = {}
+
+    def _solve(self, problem: PolicyProblem) -> Allocation:
+        policy = self._policy
+        self._sync(problem)
+        program = self._program
+        variables = self._variables
+        matrix = variables.matrix
+        active = set(matrix.job_ids)
+        for job_id in list(self._constraints):
+            if job_id not in active:
+                program.remove_constraint(self._constraints.pop(job_id))
+                self._scales.pop(job_id, None)
+                self._expressions.pop(job_id, None)
+        for job_id in matrix.job_ids:
+            scale = policy.normalized_throughput_scale(problem, matrix, job_id)
+            expression = variables.effective_throughput_expression(job_id)
+            handle = self._constraints.get(job_id)
+            if (
+                handle is not None
+                and self._expressions.get(job_id) is expression
+                and self._scales.get(job_id) == scale
+            ):
+                continue
+            # t <= scale * expr  <=>  t - scale * expr <= 0
+            coefficients = {
+                index: -coefficient * scale
+                for index, coefficient in expression.coefficients.items()
+            }
+            coefficients[self._epigraph.index] = (
+                coefficients.get(self._epigraph.index, 0.0) + 1.0
+            )
+            if handle is None:
+                self._constraints[job_id] = program.add_less_equal(coefficients, 0.0)
+            else:
+                program.set_constraint_coefficients(handle, coefficients)
+            self._scales[job_id] = scale
+            self._expressions[job_id] = expression
+        solution = program.solve()
+        return variables.extract_allocation(solution)

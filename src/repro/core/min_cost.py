@@ -7,22 +7,26 @@ constraints ``throughput(m, X) >= num_steps_m / SLO_m`` so that jobs with
 tight SLOs are moved onto faster (more expensive) accelerators.
 
 Both are linear-fractional programs, solved through the Charnes–Cooper
-reduction in :mod:`repro.solver.fractional`.
+reduction in :mod:`repro.solver.fractional`.  Their sessions keep the
+fractional program's variables and validity constraints alive across
+allocation recomputations, rebuilding only the ratio objective (and the
+minimum-progress / SLO constraints) each round.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Optional, Set
 
 from repro.core.allocation import Allocation
 from repro.core.effective_throughput import fastest_reference_throughput
 from repro.core.policy import AllocationVariables, Policy
 from repro.core.problem import PolicyProblem
+from repro.core.session import OBJECTIVE_TAG, IncrementalProgramSession, PolicySession
 from repro.exceptions import InfeasibleError, SolverError
 from repro.solver.fractional import FractionalProgram
 from repro.solver.lp import LinearExpression
 
-__all__ = ["MinCostPolicy", "MinCostWithSLOsPolicy"]
+__all__ = ["MinCostPolicy", "MinCostWithSLOsPolicy", "MinCostSession", "MinCostWithSLOsSession"]
 
 
 class MinCostPolicy(Policy):
@@ -48,11 +52,14 @@ class MinCostPolicy(Policy):
         fastest = fastest_reference_throughput(matrix, job_id)
         return 1.0 / fastest if fastest > 0 else 0.0
 
-    def _build_program(self, problem: PolicyProblem):
-        matrix = self.effective_matrix(problem)
-        program = FractionalProgram(name=self.display_name)
-        variables = AllocationVariables(problem, matrix, program)
-
+    def _add_objective(
+        self,
+        problem: PolicyProblem,
+        variables: AllocationVariables,
+        program: FractionalProgram,
+    ) -> None:
+        """Add the ratio objective and minimum-progress constraints."""
+        matrix = variables.matrix
         numerator = LinearExpression()
         for job_id in problem.job_ids:
             scale = self._normalizer(matrix, job_id)
@@ -66,12 +73,19 @@ class MinCostPolicy(Policy):
                 )
         denominator = variables.cost_expression() + 1e-9
         program.set_ratio_objective(numerator, denominator)
+
+    def _build_program(self, problem: PolicyProblem):
+        matrix = self.effective_matrix(problem)
+        program = FractionalProgram(name=self.display_name)
+        variables = AllocationVariables(problem, matrix, program)
+        self._add_objective(problem, variables, program)
         return matrix, program, variables
 
+    def session(self, problem: PolicyProblem) -> PolicySession:
+        return MinCostSession(self, problem)
+
     def compute_allocation(self, problem: PolicyProblem) -> Allocation:
-        _matrix, program, variables = self._build_program(problem)
-        solution = program.solve()
-        return variables.extract_allocation(solution)
+        return self.session(problem).solve(problem)
 
 
 class MinCostWithSLOsPolicy(MinCostPolicy):
@@ -86,34 +100,8 @@ class MinCostWithSLOsPolicy(MinCostPolicy):
 
     name = "min_cost_slo"
 
-    def compute_allocation(self, problem: PolicyProblem) -> Allocation:
-        matrix = self.effective_matrix(problem)
-        achievable = self._achievable_slo_jobs(problem, matrix)
-        dropped: Set[int] = set()
-        while True:
-            _matrix, program, variables = self._build_program(problem)
-            for job_id in achievable - dropped:
-                required = self._required_throughput(problem, job_id)
-                if required is None:
-                    continue
-                program.add_greater_equal(
-                    variables.effective_throughput_expression(job_id), required
-                )
-            try:
-                solution = program.solve()
-            except (InfeasibleError, SolverError):
-                # Drop the tightest remaining SLO and retry; an empty set of
-                # SLO constraints always yields a feasible program.
-                remaining = sorted(
-                    achievable - dropped,
-                    key=lambda job_id: self._required_throughput(problem, job_id) or 0.0,
-                    reverse=True,
-                )
-                if not remaining:
-                    raise
-                dropped.add(remaining[0])
-                continue
-            return variables.extract_allocation(solution)
+    def session(self, problem: PolicyProblem) -> PolicySession:
+        return MinCostWithSLOsSession(self, problem)
 
     def _required_throughput(self, problem: PolicyProblem, job_id: int) -> Optional[float]:
         job = problem.job(job_id)
@@ -133,3 +121,66 @@ class MinCostWithSLOsPolicy(MinCostPolicy):
             if fastest_reference_throughput(matrix, job_id) >= required:
                 achievable.add(job_id)
         return achievable
+
+
+class MinCostSession(IncrementalProgramSession):
+    """Stateful min-cost solver over a live :class:`FractionalProgram`."""
+
+    def __init__(self, policy: MinCostPolicy, problem: PolicyProblem):
+        super().__init__(policy, problem, FractionalProgram(name=policy.display_name))
+
+    def _solve(self, problem: PolicyProblem) -> Allocation:
+        self._sync(problem)
+        program = self._program
+        program.clear_tag(OBJECTIVE_TAG)
+        program.begin_tag(OBJECTIVE_TAG)
+        try:
+            self._policy._add_objective(problem, self._variables, program)
+        finally:
+            program.end_tag()
+        solution = program.solve()
+        return self._variables.extract_allocation(solution)
+
+
+class MinCostWithSLOsSession(IncrementalProgramSession):
+    """Min-cost-with-SLOs solver: retry loop dropping unachievable SLOs."""
+
+    def __init__(self, policy: MinCostWithSLOsPolicy, problem: PolicyProblem):
+        super().__init__(policy, problem, FractionalProgram(name=policy.display_name))
+
+    def _solve(self, problem: PolicyProblem) -> Allocation:
+        policy = self._policy
+        self._sync(problem)
+        program = self._program
+        variables = self._variables
+        achievable = policy._achievable_slo_jobs(problem, variables.matrix)
+        dropped: Set[int] = set()
+        while True:
+            program.clear_tag(OBJECTIVE_TAG)
+            program.begin_tag(OBJECTIVE_TAG)
+            try:
+                policy._add_objective(problem, variables, program)
+                for job_id in achievable - dropped:
+                    required = policy._required_throughput(problem, job_id)
+                    if required is None:
+                        continue
+                    program.add_greater_equal(
+                        variables.effective_throughput_expression(job_id), required
+                    )
+            finally:
+                program.end_tag()
+            try:
+                solution = program.solve()
+            except (InfeasibleError, SolverError):
+                # Drop the tightest remaining SLO and retry; an empty set of
+                # SLO constraints always yields a feasible program.
+                remaining = sorted(
+                    achievable - dropped,
+                    key=lambda job_id: policy._required_throughput(problem, job_id) or 0.0,
+                    reverse=True,
+                )
+                if not remaining:
+                    raise
+                dropped.add(remaining[0])
+                continue
+            return variables.extract_allocation(solution)

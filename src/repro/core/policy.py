@@ -5,22 +5,35 @@ A policy turns a :class:`~repro.core.problem.PolicyProblem` into an
 problems over the allocation matrix ``X``; :class:`AllocationVariables` builds
 the decision variables and the Section 3.1 validity constraints once so each
 policy only has to express its objective.
+
+Two entry points exist for computing allocations:
+
+* :meth:`Policy.compute_allocation` — the stateless one-shot API; since the
+  session redesign it is a thin wrapper that opens a fresh
+  :class:`~repro.core.session.PolicySession` and solves once;
+* :meth:`Policy.session` — the stateful API: the returned session keeps the
+  policy's solver program alive across allocation recomputations, consuming
+  :mod:`~repro.core.session` deltas (job arrivals/completions, estimate
+  refinements) and editing only the dirty parts of the program.  This is
+  what keeps per-recomputation policy work near-linear under churn
+  (Section 7.5 / Figure 12).
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.cluster.cluster_spec import ClusterSpec
 from repro.core.allocation import Allocation
 from repro.core.problem import PolicyProblem
 from repro.core.throughput_matrix import JobCombination, ThroughputMatrix
-from repro.exceptions import ConfigurationError
 from repro.solver.fractional import FractionalProgram, FractionalSolution
 from repro.solver.lp import LinearExpression, LinearProgram, Solution, Variable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.session import PolicySession
 
 __all__ = ["Policy", "OptimizationPolicy", "AllocationVariables"]
 
@@ -72,6 +85,19 @@ class Policy(abc.ABC):
             matrix = matrix.heterogeneity_agnostic()
         return matrix
 
+    def session(self, problem: PolicyProblem) -> "PolicySession":
+        """Open a stateful allocation session seeded with ``problem``.
+
+        The default implementation returns a
+        :class:`~repro.core.session.RebuildSession` that recomputes from
+        scratch on every solve, so every policy supports the session API;
+        policies with reusable solver state override this with an
+        incremental session.
+        """
+        from repro.core.session import RebuildSession
+
+        return RebuildSession(self, problem)
+
     @abc.abstractmethod
     def compute_allocation(self, problem: PolicyProblem) -> Allocation:
         """Compute the target allocation for the given problem."""
@@ -81,7 +107,17 @@ class Policy(abc.ABC):
 
 
 class AllocationVariables:
-    """Decision variables ``X[combination, accelerator]`` plus validity constraints."""
+    """Decision variables ``X[combination, accelerator]`` plus validity constraints.
+
+    Besides the one-shot construction used by ``compute_allocation``, the
+    object supports **incremental resynchronisation** against a new problem
+    snapshot (:meth:`update_to`): rows added or removed by job churn or
+    estimate refinement translate into targeted variable/constraint edits on
+    the owning program instead of a rebuild.  Per-job effective-throughput
+    expressions are cached and invalidated only when one of the job's rows
+    changes, which is what policy sessions lean on to rebuild objectives
+    cheaply.
+    """
 
     def __init__(
         self,
@@ -93,18 +129,27 @@ class AllocationVariables:
         self._matrix = matrix
         self._program = program
         self._variables: Dict[Tuple[JobCombination, int], Variable] = {}
+        self._num_columns = len(matrix.registry)
+        self._job_constraints: Dict[int, int] = {}
+        self._capacity_constraints: List[int] = []
+        self._row_values: Dict[JobCombination, np.ndarray] = {}
+        self._throughput_cache: Dict[int, LinearExpression] = {}
+        self._extract_index_cache: Dict[JobCombination, np.ndarray] = {}
         self._create_variables()
         self._add_validity_constraints()
 
     # -- construction --------------------------------------------------------------
     def _create_variables(self) -> None:
+        names = self._matrix.registry.names
         for combination in self._matrix.combinations:
             row = self._matrix.row(combination)
-            for column, accelerator_name in enumerate(self._matrix.registry.names):
-                runnable = bool(np.any(row[:, column] > 0))
-                upper = 1.0 if runnable else 0.0
+            self._row_values[combination] = row
+            runnable = (row > 0).any(axis=0)
+            for column, accelerator_name in enumerate(names):
                 variable = self._program.add_variable(
-                    name=f"x[{combination},{accelerator_name}]", lower=0.0, upper=upper
+                    name=f"x[{combination},{accelerator_name}]",
+                    lower=0.0,
+                    upper=1.0 if runnable[column] else 0.0,
                 )
                 self._variables[(combination, column)] = variable
 
@@ -113,20 +158,114 @@ class AllocationVariables:
         for job_id in self._matrix.job_ids:
             terms: Dict[int, float] = {}
             for combination, _position in self._matrix.rows_containing(job_id):
-                for column in range(len(self._matrix.registry)):
+                for column in range(self._num_columns):
                     variable = self._variables[(combination, column)]
                     terms[variable.index] = terms.get(variable.index, 0.0) + 1.0
-            self._program.add_less_equal(terms, 1.0)
+            self._job_constraints[job_id] = self._program.add_less_equal(terms, 1.0)
 
         # (3) expected worker usage per accelerator type is bounded by capacity.
         capacity = self._problem.cluster_spec.counts_vector()
-        for column in range(len(self._matrix.registry)):
+        for column in range(self._num_columns):
             terms = {}
             for combination in self._matrix.combinations:
                 scale = max(self._problem.scale_factor(job_id) for job_id in combination)
                 variable = self._variables[(combination, column)]
                 terms[variable.index] = terms.get(variable.index, 0.0) + float(scale)
-            self._program.add_less_equal(terms, float(capacity[column]))
+            self._capacity_constraints.append(
+                self._program.add_less_equal(terms, float(capacity[column]))
+            )
+
+    # -- incremental resynchronisation ---------------------------------------------
+    def update_to(self, problem: PolicyProblem, matrix: ThroughputMatrix) -> None:
+        """Re-align variables and validity constraints with a new snapshot.
+
+        Only the difference against the previous matrix is applied: new
+        combinations gain variables and constraint terms, vanished ones are
+        scrubbed and their variables released back to the program, and
+        persisting rows whose throughput values changed (estimate
+        refinements) get their runnable bounds refreshed.  Cached throughput
+        expressions of every affected job are invalidated.
+        """
+        previous_cluster = self._problem.cluster_spec
+        self._problem = problem
+        if problem.cluster_spec is not previous_cluster:
+            capacity = problem.cluster_spec.counts_vector()
+            for column, handle in enumerate(self._capacity_constraints):
+                self._program.set_constraint_bounds(handle, upper=float(capacity[column]))
+        old_combinations = set(self._row_values)
+        new_combinations = set(matrix.combinations)
+
+        for combination in old_combinations - new_combinations:
+            self._remove_combination(combination)
+
+        # Persisting rows: detect value changes (refined pair estimates).
+        for combination in old_combinations & new_combinations:
+            row = matrix.row(combination)
+            if not np.array_equal(row, self._row_values[combination]):
+                self._row_values[combination] = row
+                runnable = (row > 0).any(axis=0)
+                for column in range(self._num_columns):
+                    self._program.set_variable_bounds(
+                        self._variables[(combination, column)],
+                        0.0,
+                        1.0 if runnable[column] else 0.0,
+                    )
+                for job_id in combination:
+                    self._throughput_cache.pop(job_id, None)
+
+        self._matrix = matrix
+        for combination in sorted(new_combinations - old_combinations):
+            self._insert_combination(combination)
+
+        # Jobs that vanished entirely: drop their (now vacuous) constraints.
+        active_jobs = set(matrix.job_ids)
+        for job_id in list(self._job_constraints):
+            if job_id not in active_jobs:
+                self._program.remove_constraint(self._job_constraints.pop(job_id))
+                self._throughput_cache.pop(job_id, None)
+
+    def _insert_combination(self, combination: JobCombination) -> None:
+        row = self._matrix.row(combination)
+        self._row_values[combination] = row
+        scale = float(max(self._problem.scale_factor(job_id) for job_id in combination))
+        runnable = (row > 0).any(axis=0)
+        new_terms: Dict[int, float] = {}
+        for column, accelerator_name in enumerate(self._matrix.registry.names):
+            variable = self._program.add_variable(
+                name=f"x[{combination},{accelerator_name}]",
+                lower=0.0,
+                upper=1.0 if runnable[column] else 0.0,
+            )
+            self._variables[(combination, column)] = variable
+            new_terms[variable.index] = 1.0
+            self._program.add_terms_to_constraint(
+                self._capacity_constraints[column], {variable.index: scale}
+            )
+        for job_id in combination:
+            handle = self._job_constraints.get(job_id)
+            if handle is None:
+                self._job_constraints[job_id] = self._program.add_less_equal(dict(new_terms), 1.0)
+            else:
+                self._program.add_terms_to_constraint(handle, new_terms)
+            self._throughput_cache.pop(job_id, None)
+
+    def _remove_combination(self, combination: JobCombination) -> None:
+        variables = [
+            self._variables.pop((combination, column)) for column in range(self._num_columns)
+        ]
+        indices = [variable.index for variable in variables]
+        for job_id in combination:
+            handle = self._job_constraints.get(job_id)
+            if handle is not None:
+                self._program.remove_terms_from_constraint(handle, indices)
+            self._throughput_cache.pop(job_id, None)
+        for column, variable in enumerate(variables):
+            self._program.remove_terms_from_constraint(
+                self._capacity_constraints[column], [variable.index]
+            )
+            self._program.release_variable(variable)
+        del self._row_values[combination]
+        self._extract_index_cache.pop(combination, None)
 
     # -- accessors -------------------------------------------------------------------
     @property
@@ -147,22 +286,31 @@ class AllocationVariables:
         return self._variables[(key, column)]
 
     def effective_throughput_expression(self, job_id: int) -> LinearExpression:
-        """``throughput(job_id, X)`` as a linear expression over the variables."""
-        expression = LinearExpression()
-        for combination, position in self._matrix.rows_containing(job_id):
-            row = self._matrix.row(combination)[position]
-            for column in range(len(self._matrix.registry)):
-                coefficient = float(row[column])
-                if coefficient != 0.0:
-                    variable = self._variables[(combination, column)]
-                    expression = expression + variable * coefficient
-        return expression
+        """``throughput(job_id, X)`` as a linear expression over the variables.
+
+        Expressions are cached per job until one of the job's rows changes;
+        the *same* object is returned on cache hits, so callers must treat it
+        as immutable (all :class:`LinearExpression` operators already do).
+        """
+        cached = self._throughput_cache.get(job_id)
+        if cached is None:
+            coefficients: Dict[int, float] = {}
+            for combination, position in self._matrix.rows_containing(job_id):
+                row = self._row_values[combination]
+                for column in range(self._num_columns):
+                    coefficient = float(row[position, column])
+                    if coefficient != 0.0:
+                        index = self._variables[(combination, column)].index
+                        coefficients[index] = coefficients.get(index, 0.0) + coefficient
+            cached = LinearExpression(coefficients)
+            self._throughput_cache[job_id] = cached
+        return cached
 
     def total_time_expression(self, combination: Sequence[int]) -> LinearExpression:
         """Total time fraction allocated to one combination across all accelerator types."""
         key = tuple(sorted(int(j) for j in combination))
         expression = LinearExpression()
-        for column in range(len(self._matrix.registry)):
+        for column in range(self._num_columns):
             expression = expression + self._variables[(key, column)] * 1.0
         return expression
 
@@ -174,22 +322,32 @@ class AllocationVariables:
         the number of workers the combination occupies.
         """
         costs = self._matrix.registry.costs_per_hour()
-        expression = LinearExpression()
+        coefficients: Dict[int, float] = {}
         for combination in self._matrix.combinations:
             scale = max(self._problem.scale_factor(job_id) for job_id in combination)
-            for column in range(len(self._matrix.registry)):
+            for column in range(self._num_columns):
                 variable = self._variables[(combination, column)]
-                expression = expression + variable * (costs[column] * scale)
-        return expression
+                coefficients[variable.index] = (
+                    coefficients.get(variable.index, 0.0) + costs[column] * scale
+                )
+        return LinearExpression(coefficients)
 
     def extract_allocation(self, solution: _ProgramSolution) -> Allocation:
         """Read the optimal variable values back into an :class:`Allocation`."""
+        values = solution.values
+        num_columns = self._num_columns
         entries: Dict[JobCombination, np.ndarray] = {}
+        cache = self._extract_index_cache
         for combination in self._matrix.combinations:
-            row = np.zeros(len(self._matrix.registry))
-            for column in range(len(self._matrix.registry)):
-                row[column] = solution.value_of(self._variables[(combination, column)])
-            entries[combination] = row
+            indices = cache.get(combination)
+            if indices is None:
+                indices = np.fromiter(
+                    (self._variables[(combination, column)].index for column in range(num_columns)),
+                    dtype=np.int64,
+                    count=num_columns,
+                )
+                cache[combination] = indices
+            entries[combination] = values[indices]
         allocation = Allocation(
             self._matrix.registry, entries, scale_factors=self._problem.scale_factors()
         )
@@ -199,13 +357,14 @@ class AllocationVariables:
 class OptimizationPolicy(Policy):
     """Base class for policies expressed as a single LP over :class:`AllocationVariables`."""
 
+    def session(self, problem: PolicyProblem) -> "PolicySession":
+        from repro.core.session import IncrementalLPSession
+
+        return IncrementalLPSession(self, problem)
+
     def compute_allocation(self, problem: PolicyProblem) -> Allocation:
-        matrix = self.effective_matrix(problem)
-        program = LinearProgram(name=self.display_name)
-        variables = AllocationVariables(problem, matrix, program)
-        self.build_objective(problem, variables, program)
-        solution = program.solve()
-        return variables.extract_allocation(solution)
+        """One-shot allocation: a fresh session solved once."""
+        return self.session(problem).solve(problem)
 
     @abc.abstractmethod
     def build_objective(

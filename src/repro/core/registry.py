@@ -1,18 +1,32 @@
 """Name-based registry of scheduling policies (Table 1).
 
 Benchmarks and examples refer to policies by short names such as
-``"max_min_fairness"`` or ``"fifo_agnostic"``; this registry constructs the
-corresponding policy objects so experiment configuration stays declarative.
+``"max_min_fairness"``; this registry constructs the corresponding policy
+objects so experiment configuration stays declarative.
+
+The registry is **parameterized**: every base factory accepts keyword
+options, and a *spec string* can switch on the two variants shared by every
+policy directly in the name —
+
+* ``"+ss"`` enables space sharing (``"max_min_fairness+ss"``),
+* ``"@agnostic"`` selects the heterogeneity-agnostic baseline
+  (``"fifo@agnostic"``, ``"fifo+ss@agnostic"``; ``"@aware"`` spells out the
+  default).
+
+Arbitrary constructor options pass through ``make_policy`` keywords, e.g.
+``make_policy("gandiva", packing_trials=100)``.  The pre-spec-string names
+(``"max_min_fairness_ss"``, ``"fifo_agnostic"``, …) remain as aliases.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+import re
+from typing import Any, Callable, Dict, List, Tuple
 
 from repro.core.baselines import AlloXPolicy, GandivaPolicy, IsolatedPolicy
 from repro.core.fifo import FifoPolicy
 from repro.core.finish_time_fairness import FinishTimeFairnessPolicy
-from repro.core.hierarchical import EntitySpec, HierarchicalPolicy, WaterFillingFairnessPolicy
+from repro.core.hierarchical import WaterFillingFairnessPolicy
 from repro.core.makespan import MakespanPolicy
 from repro.core.max_min_fairness import MaxMinFairnessPolicy
 from repro.core.max_throughput import MaxTotalThroughputPolicy
@@ -21,43 +35,109 @@ from repro.core.policy import Policy
 from repro.core.shortest_job_first import ShortestJobFirstPolicy
 from repro.exceptions import ConfigurationError
 
-__all__ = ["available_policies", "make_policy"]
+__all__ = ["available_policies", "make_policy", "parse_policy_spec"]
 
-_FACTORIES: Dict[str, Callable[[], Policy]] = {
+#: Base policy factories; every factory accepts its policy's constructor
+#: keywords (at minimum ``heterogeneity_agnostic`` / ``space_sharing`` where
+#: the policy supports them).
+_FACTORIES: Dict[str, Callable[..., Policy]] = {
     # Heterogeneity-aware policies (Gavel).
-    "max_min_fairness": lambda: MaxMinFairnessPolicy(),
-    "max_min_fairness_ss": lambda: MaxMinFairnessPolicy(space_sharing=True),
-    "max_min_fairness_water_filling": lambda: WaterFillingFairnessPolicy(),
-    "fifo": lambda: FifoPolicy(),
-    "fifo_ss": lambda: FifoPolicy(space_sharing=True),
-    "makespan": lambda: MakespanPolicy(),
-    "makespan_ss": lambda: MakespanPolicy(space_sharing=True),
-    "finish_time_fairness": lambda: FinishTimeFairnessPolicy(),
-    "shortest_job_first": lambda: ShortestJobFirstPolicy(),
-    "max_total_throughput": lambda: MaxTotalThroughputPolicy(),
-    "min_cost": lambda: MinCostPolicy(),
-    "min_cost_slo": lambda: MinCostWithSLOsPolicy(),
-    # Heterogeneity-agnostic baselines.
-    "max_min_fairness_agnostic": lambda: MaxMinFairnessPolicy(heterogeneity_agnostic=True),
-    "fifo_agnostic": lambda: FifoPolicy(heterogeneity_agnostic=True),
-    "makespan_agnostic": lambda: MakespanPolicy(heterogeneity_agnostic=True),
-    "finish_time_fairness_agnostic": lambda: FinishTimeFairnessPolicy(heterogeneity_agnostic=True),
+    "max_min_fairness": MaxMinFairnessPolicy,
+    "max_min_fairness_water_filling": WaterFillingFairnessPolicy,
+    "fifo": FifoPolicy,
+    "makespan": MakespanPolicy,
+    "finish_time_fairness": FinishTimeFairnessPolicy,
+    "shortest_job_first": ShortestJobFirstPolicy,
+    "max_total_throughput": MaxTotalThroughputPolicy,
+    "min_cost": MinCostPolicy,
+    "min_cost_slo": MinCostWithSLOsPolicy,
     # Other baseline systems.
-    "isolated": lambda: IsolatedPolicy(),
-    "gandiva": lambda: GandivaPolicy(),
-    "allox": lambda: AlloXPolicy(),
+    "isolated": IsolatedPolicy,
+    "gandiva": GandivaPolicy,
+    "allox": AlloXPolicy,
 }
+
+#: Backwards-compatible aliases from before the spec-string redesign; each
+#: maps onto an equivalent spec string.
+_ALIASES: Dict[str, str] = {
+    "max_min_fairness_ss": "max_min_fairness+ss",
+    "fifo_ss": "fifo+ss",
+    "makespan_ss": "makespan+ss",
+    "max_min_fairness_agnostic": "max_min_fairness@agnostic",
+    "fifo_agnostic": "fifo@agnostic",
+    "makespan_agnostic": "makespan@agnostic",
+    "finish_time_fairness_agnostic": "finish_time_fairness@agnostic",
+}
+
+#: Feature modifiers introduced by ``+``.
+_PLUS_MODIFIERS: Dict[str, Dict[str, Any]] = {
+    "ss": {"space_sharing": True},
+}
+
+#: Mode modifiers introduced by ``@``.
+_AT_MODIFIERS: Dict[str, Dict[str, Any]] = {
+    "agnostic": {"heterogeneity_agnostic": True},
+    "aware": {"heterogeneity_agnostic": False},
+}
+
+_SPEC_TOKEN = re.compile(r"([+@])")
+
+
+def parse_policy_spec(spec: str) -> Tuple[str, Dict[str, Any]]:
+    """Split a policy spec string into ``(base name, option dict)``.
+
+    ``"max_min_fairness+ss@agnostic"`` parses to
+    ``("max_min_fairness", {"space_sharing": True, "heterogeneity_agnostic": True})``.
+    Aliases are resolved first, so ``"fifo_ss"`` parses like ``"fifo+ss"``.
+    Raises :class:`ConfigurationError` on unknown modifiers or malformed
+    specs; the base name itself is validated by :func:`make_policy`.
+    """
+    if not isinstance(spec, str) or not spec:
+        raise ConfigurationError(f"policy spec must be a non-empty string, got {spec!r}")
+    spec = _ALIASES.get(spec, spec)
+    tokens = _SPEC_TOKEN.split(spec)
+    base = tokens[0]
+    if not base:
+        raise ConfigurationError(f"policy spec {spec!r} is missing a base policy name")
+    options: Dict[str, Any] = {}
+    for separator, modifier in zip(tokens[1::2], tokens[2::2]):
+        table = _PLUS_MODIFIERS if separator == "+" else _AT_MODIFIERS
+        if modifier not in table:
+            known = sorted(table)
+            raise ConfigurationError(
+                f"unknown policy modifier {separator}{modifier!r} in spec {spec!r}; "
+                f"known {separator!r} modifiers: {known}"
+            )
+        options.update(table[modifier])
+    return base, options
 
 
 def available_policies() -> List[str]:
-    """All policy names :func:`make_policy` understands, sorted."""
-    return sorted(_FACTORIES)
+    """All registered policy names (base names plus aliases), sorted.
+
+    Any base name additionally accepts ``+ss`` / ``@agnostic`` spec-string
+    modifiers supported by the policy's constructor.
+    """
+    return sorted(set(_FACTORIES) | set(_ALIASES))
 
 
-def make_policy(name: str) -> Policy:
-    """Instantiate a policy by registry name."""
-    if name not in _FACTORIES:
+def make_policy(name: str, **options: Any) -> Policy:
+    """Instantiate a policy from a registry name or spec string.
+
+    ``name`` may be a base name (``"fifo"``), an alias (``"fifo_ss"``) or a
+    spec string (``"fifo+ss@agnostic"``).  Extra keyword ``options`` are
+    forwarded to the policy constructor and take precedence over the
+    modifiers encoded in the spec.
+    """
+    base, spec_options = parse_policy_spec(name)
+    if base not in _FACTORIES:
         raise ConfigurationError(
-            f"unknown policy {name!r}; available: {available_policies()}"
+            f"unknown policy {base!r}; available: {available_policies()}"
         )
-    return _FACTORIES[name]()
+    merged = {**spec_options, **options}
+    try:
+        return _FACTORIES[base](**merged)
+    except TypeError as error:
+        raise ConfigurationError(
+            f"policy {base!r} does not accept options {sorted(merged)}: {error}"
+        ) from None

@@ -1,0 +1,279 @@
+"""Stateful policy sessions: incremental allocation recomputation.
+
+PR 1 made policy-*input* preparation incremental (the
+:class:`~repro.core.allocation_engine.AllocationEngine` maintains the
+throughput matrix across job churn); this module makes the policy *solve*
+incremental.  A :class:`PolicySession` is opened once per scheduling loop
+(``policy.session(initial_problem)``) and kept alive across allocation
+recomputations:
+
+* the engine (or any driver) feeds it **deltas** — :class:`JobAdded`,
+  :class:`JobRemoved`, :class:`EstimateRefined` — describing what changed
+  since the last solve;
+* ``session.solve(problem)`` re-aligns the session's live solver program
+  with the new snapshot by editing only the dirty parts (new/vanished matrix
+  rows become targeted variable/constraint edits, refreshed pair estimates
+  become bound updates) and re-solves.
+
+Deltas are advisory: sessions verify the actual difference against the
+matrix inside the problem snapshot, so a missed or duplicated delta can cost
+time but never correctness.  Every policy supports the API — policies
+without reusable solver state fall back to :class:`RebuildSession`, which
+recomputes from scratch per solve — and the stateless
+``Policy.compute_allocation`` is now a thin wrapper that opens a fresh
+session and solves once, so both APIs always agree.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple, Union
+
+from repro.core.allocation import Allocation
+from repro.core.policy import AllocationVariables, OptimizationPolicy, Policy
+from repro.core.problem import PolicyProblem
+from repro.exceptions import ConfigurationError, InfeasibleError, SolverError
+from repro.solver.lp import LinearExpression, LinearProgram
+from repro.workloads.job import Job
+
+__all__ = [
+    "JobAdded",
+    "JobRemoved",
+    "EstimateRefined",
+    "PolicyDelta",
+    "PolicySession",
+    "RebuildSession",
+    "IncrementalProgramSession",
+    "IncrementalLPSession",
+    "ThroughputFeasibilitySession",
+]
+
+#: Tag under which sessions create per-solve objective state (epigraph
+#: variables and constraints); cleared and rebuilt on every solve.
+OBJECTIVE_TAG = "objective"
+
+
+@dataclass(frozen=True)
+class JobAdded:
+    """A job entered the active set."""
+
+    job: Job
+
+
+@dataclass(frozen=True)
+class JobRemoved:
+    """A job left the active set (completion or cancellation)."""
+
+    job_id: int
+
+
+@dataclass(frozen=True)
+class EstimateRefined:
+    """Colocated-throughput estimates were refined for some job types.
+
+    ``job_types`` lists the affected types; ``None`` means the refinement
+    could not be attributed (consumers should treat every pair row as
+    potentially stale).
+    """
+
+    job_types: Optional[Tuple[str, ...]] = None
+
+
+PolicyDelta = Union[JobAdded, JobRemoved, EstimateRefined]
+
+
+class PolicySession(abc.ABC):
+    """A stateful handle for repeatedly computing one policy's allocation.
+
+    Lifecycle::
+
+        session = policy.session(problem)      # build solver state once
+        allocation = session.solve()           # first allocation
+        ...
+        session.update(JobAdded(job))          # or session.apply(engine.drain_deltas())
+        allocation = session.solve(problem)    # fresh snapshot, incremental re-solve
+
+    ``solve`` takes the current :class:`PolicyProblem` snapshot because
+    objectives depend on time-varying state (steps remaining, elapsed time)
+    that deltas do not carry; passing ``None`` re-solves the last snapshot.
+    """
+
+    def __init__(self, policy: Policy, problem: PolicyProblem):
+        self._policy = policy
+        self._problem = problem
+        self._pending: List[PolicyDelta] = []
+
+    @property
+    def policy(self) -> Policy:
+        return self._policy
+
+    @property
+    def problem(self) -> PolicyProblem:
+        """The most recent problem snapshot this session has seen."""
+        return self._problem
+
+    def update(self, delta: PolicyDelta) -> None:
+        """Record one delta to be applied on the next :meth:`solve`."""
+        self._pending.append(delta)
+
+    def apply(self, deltas: Iterable[PolicyDelta]) -> None:
+        """Record a batch of deltas (e.g. ``engine.drain_deltas()``)."""
+        self._pending.extend(deltas)
+
+    def solve(self, problem: Optional[PolicyProblem] = None) -> Allocation:
+        """Compute the allocation for ``problem`` (default: last snapshot)."""
+        if problem is not None:
+            self._problem = problem
+        allocation = self._solve(self._problem)
+        self._pending.clear()
+        return allocation
+
+    @abc.abstractmethod
+    def _solve(self, problem: PolicyProblem) -> Allocation:
+        """Policy-specific solve against the current snapshot."""
+
+
+class RebuildSession(PolicySession):
+    """Fallback session with no reusable state: every solve is from scratch.
+
+    This keeps the session API universal — combinatorial policies (AlloX's
+    matching, Gandiva's random packing, water filling) re-derive their
+    internal structures per solve anyway, so there is nothing to keep warm.
+    """
+
+    def _solve(self, problem: PolicyProblem) -> Allocation:
+        return self._policy.compute_allocation(problem)
+
+
+class IncrementalProgramSession(PolicySession):
+    """Shared machinery for sessions that keep a solver program alive.
+
+    Owns an :class:`~repro.core.policy.AllocationVariables` bound to a
+    mutable program and re-synchronises it lazily: a solve skips the
+    structural diff entirely when the snapshot's throughput matrix is the
+    *same object* as last time and no deltas arrived (the allocation engine
+    memoizes its matrix, so an unchanged cluster hits this path).
+    """
+
+    def __init__(self, policy: Policy, problem: PolicyProblem, program) -> None:
+        super().__init__(policy, problem)
+        self._program = program
+        self._variables = AllocationVariables(
+            problem, policy.effective_matrix(problem), program
+        )
+        self._source_matrix = problem.throughputs
+        self._problem_seen = problem
+
+    @property
+    def program(self):
+        """The live solver program (exposed for tests and diagnostics)."""
+        return self._program
+
+    @property
+    def variables(self) -> AllocationVariables:
+        return self._variables
+
+    def _sync(self, problem: PolicyProblem) -> None:
+        if (
+            problem.throughputs is self._source_matrix
+            and problem is self._problem_seen
+            and not self._pending
+        ):
+            return
+        self._variables.update_to(problem, self._policy.effective_matrix(problem))
+        self._source_matrix = problem.throughputs
+        self._problem_seen = problem
+
+
+class IncrementalLPSession(IncrementalProgramSession):
+    """Session for :class:`~repro.core.policy.OptimizationPolicy` subclasses.
+
+    The decision variables and Section 3.1 validity constraints live across
+    solves; only the policy objective (tagged ``objective``) is torn down and
+    rebuilt each round, reusing cached per-job throughput expressions for
+    every job whose rows did not change.
+    """
+
+    def __init__(self, policy: OptimizationPolicy, problem: PolicyProblem):
+        if not isinstance(policy, OptimizationPolicy):
+            raise ConfigurationError(
+                f"{type(policy).__name__} is not an OptimizationPolicy; "
+                "use the policy's own session() instead"
+            )
+        super().__init__(policy, problem, LinearProgram(name=policy.display_name))
+
+    def _solve(self, problem: PolicyProblem) -> Allocation:
+        self._sync(problem)
+        program = self._program
+        program.clear_tag(OBJECTIVE_TAG)
+        program.begin_tag(OBJECTIVE_TAG)
+        try:
+            self._policy.build_objective(problem, self._variables, program)
+        finally:
+            program.end_tag()
+        solution = program.solve()
+        return self._variables.extract_allocation(solution)
+
+
+class ThroughputFeasibilitySession(IncrementalProgramSession):
+    """Base session for bisection policies (makespan, finish-time fairness).
+
+    Both policies binary-search a scalar and solve, per candidate, an LP
+    whose only candidate-dependent part is the right-hand side of per-job
+    ``throughput(m, X) >= rhs_m`` constraints.  This session keeps those
+    constraints (and the keep-the-cluster-busy objective) alive, so a
+    candidate evaluation is a right-hand-side edit plus a solve — the cached
+    constraint matrix is reused across *all* bisection iterations of *all*
+    rounds.
+    """
+
+    def __init__(self, policy: Policy, problem: PolicyProblem):
+        super().__init__(policy, problem, LinearProgram(name=policy.display_name))
+        self._feasibility: dict = {}
+        self._feasibility_exprs: dict = {}
+
+    def _align_feasibility(self) -> None:
+        """Re-align per-job feasibility constraints and the total-throughput objective.
+
+        Must be called after :meth:`_sync`; relies on the expression cache
+        returning the *same object* for jobs whose rows did not change to
+        detect which constraints need their coefficients refreshed.
+        """
+        program = self._program
+        variables = self._variables
+        job_ids = variables.matrix.job_ids
+        active = set(job_ids)
+        for job_id in list(self._feasibility):
+            if job_id not in active:
+                program.remove_constraint(self._feasibility.pop(job_id))
+                self._feasibility_exprs.pop(job_id, None)
+        for job_id in job_ids:
+            expression = variables.effective_throughput_expression(job_id)
+            handle = self._feasibility.get(job_id)
+            if handle is None:
+                self._feasibility[job_id] = program.add_greater_equal(expression, 0.0)
+                self._feasibility_exprs[job_id] = expression
+            elif self._feasibility_exprs.get(job_id) is not expression:
+                program.set_constraint_coefficients(handle, expression)
+                self._feasibility_exprs[job_id] = expression
+        # Among feasible allocations prefer higher total throughput so the
+        # witness allocation keeps the cluster busy.
+        program.maximize(
+            LinearExpression.sum(
+                variables.effective_throughput_expression(job_id) for job_id in job_ids
+            )
+        )
+
+    def _set_feasibility_rhs(self, required: dict) -> None:
+        """Set each job's minimum-throughput right-hand side for one candidate."""
+        for job_id, handle in self._feasibility.items():
+            self._program.set_constraint_bounds(handle, lower=required[job_id])
+
+    def _solve_candidate(self) -> Optional[Allocation]:
+        """Solve the current candidate; ``None`` when infeasible."""
+        try:
+            solution = self._program.solve()
+        except (InfeasibleError, SolverError):
+            return None
+        return self._variables.extract_allocation(solution)

@@ -3,14 +3,24 @@
 A policy's input is the matrix ``T`` of Section 3.1: one row per schedulable
 unit (a single job, or — when space sharing is enabled — a pair of jobs) and
 one column per accelerator type.  For pair rows the entry is a tuple of
-per-job throughputs; this module stores each row as an array of shape
+per-job throughputs; this module stores each pair row as an array of shape
 ``(len(combination), num_accelerator_types)``.
+
+Singleton rows are backed by **one dense ndarray** (one row per job, in
+sorted-job-id order) instead of one small Python-owned array per job: at
+1000+ active jobs the per-row object overhead (allocation, dtype checks,
+``vstack`` during :meth:`ThroughputMatrix.singles_matrix`) dominated matrix
+construction, and the dense block makes the singleton-only transformations
+(:meth:`ThroughputMatrix.restrict_to_singletons`,
+:meth:`ThroughputMatrix.heterogeneity_agnostic`) vectorized copies.
+:meth:`ThroughputMatrix.from_parts` exposes the dense fast path to builders
+that already hold the block (the allocation engine, the oracle's batched
+singleton rows).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -44,9 +54,8 @@ class ThroughputMatrix:
     ):
         if not entries:
             raise ConfigurationError("throughput matrix must contain at least one row")
-        self._registry = registry
-        self._combinations: List[JobCombination] = []
-        self._values: Dict[JobCombination, np.ndarray] = {}
+        singles: Dict[int, np.ndarray] = {}
+        pairs: Dict[JobCombination, np.ndarray] = {}
         for combination, values in entries.items():
             normalized = _normalize_combination(combination)
             array = np.asarray(values, dtype=float)
@@ -59,23 +68,92 @@ class ThroughputMatrix:
                 raise ConfigurationError(
                     f"row for combination {normalized} contains negative throughputs"
                 )
-            self._combinations.append(normalized)
-            self._values[normalized] = array
-        self._combinations.sort()
-        self._job_ids: Tuple[int, ...] = tuple(
-            sorted({job_id for combination in self._combinations for job_id in combination})
+            if len(normalized) == 1:
+                singles[normalized[0]] = array[0]
+            else:
+                pairs[normalized] = array
+        job_ids = sorted(singles)
+        dense = (
+            np.vstack([singles[job_id] for job_id in job_ids])
+            if job_ids
+            else np.zeros((0, len(registry)))
         )
+        self._init_from_parts(registry, tuple(job_ids), dense, pairs)
+
+    @classmethod
+    def from_parts(
+        cls,
+        registry: AcceleratorRegistry,
+        job_ids: Sequence[int],
+        singles: np.ndarray,
+        pairs: Optional[Mapping[JobCombination, np.ndarray]] = None,
+    ) -> "ThroughputMatrix":
+        """Fast-path constructor from a pre-built dense singleton block.
+
+        ``singles`` has one row per entry of ``job_ids`` (which must be
+        sorted and duplicate-free); ``pairs`` maps normalized multi-job
+        combinations to ``(len(combination), num_accelerators)`` arrays.
+        Validation is vectorized rather than per-row.
+        """
+        matrix = cls.__new__(cls)
+        job_ids = tuple(int(j) for j in job_ids)
+        singles = np.asarray(singles, dtype=float)
+        if singles.shape != (len(job_ids), len(registry)):
+            raise ConfigurationError(
+                f"singleton block has shape {singles.shape}, expected "
+                f"{(len(job_ids), len(registry))}"
+            )
+        if any(a >= b for a, b in zip(job_ids, job_ids[1:])):
+            raise ConfigurationError("from_parts job_ids must be sorted and unique")
+        if np.any(singles < 0):
+            raise ConfigurationError("singleton block contains negative throughputs")
+        pair_entries: Dict[JobCombination, np.ndarray] = {}
+        for combination, values in (pairs or {}).items():
+            array = np.asarray(values, dtype=float)
+            if array.shape != (len(combination), len(registry)) or len(combination) < 2:
+                raise ConfigurationError(
+                    f"pair row {combination} has shape {array.shape}, expected "
+                    f"{(len(combination), len(registry))}"
+                )
+            if np.any(array < 0):
+                raise ConfigurationError(
+                    f"row for combination {combination} contains negative throughputs"
+                )
+            pair_entries[_normalize_combination(combination)] = array
+        matrix._init_from_parts(registry, job_ids, singles, pair_entries)
+        return matrix
+
+    def _init_from_parts(
+        self,
+        registry: AcceleratorRegistry,
+        job_ids: Tuple[int, ...],
+        singles: np.ndarray,
+        pairs: Dict[JobCombination, np.ndarray],
+    ) -> None:
+        if len(job_ids) == 0:
+            raise ConfigurationError("throughput matrix must contain at least one row")
+        self._registry = registry
+        self._singles_ids = job_ids
+        self._singles_index = {job_id: row for row, job_id in enumerate(job_ids)}
+        self._singles = singles
+        self._pairs = pairs
+        known = set(job_ids)
+        for combination in pairs:
+            for job_id in combination:
+                if job_id not in known:
+                    raise ConfigurationError(
+                        f"job {job_id} appears in a pair row but has no singleton row"
+                    )
+        self._combinations: List[JobCombination] = sorted(
+            [(job_id,) for job_id in job_ids] + list(pairs)
+        )
+        self._job_ids: Tuple[int, ...] = job_ids
         self._rows_by_job: Dict[int, List[Tuple[JobCombination, int]]] = {
-            job_id: [] for job_id in self._job_ids
+            job_id: [] for job_id in job_ids
         }
         for combination in self._combinations:
             for position, job_id in enumerate(combination):
                 self._rows_by_job[job_id].append((combination, position))
-        for job_id in self._job_ids:
-            if (job_id,) not in self._values:
-                raise ConfigurationError(
-                    f"job {job_id} appears in a pair row but has no singleton row"
-                )
 
     # -- structure -------------------------------------------------------------
     @property
@@ -101,7 +179,7 @@ class ThroughputMatrix:
 
     def has_space_sharing(self) -> bool:
         """Whether any row contains more than one job."""
-        return any(len(combination) > 1 for combination in self._combinations)
+        return bool(self._pairs)
 
     def rows_containing(self, job_id: int) -> Tuple[Tuple[JobCombination, int], ...]:
         """Rows in which ``job_id`` participates, with its position in each row."""
@@ -110,41 +188,48 @@ class ThroughputMatrix:
         return tuple(self._rows_by_job[job_id])
 
     # -- values -----------------------------------------------------------------
+    def _row_array(self, combination: JobCombination) -> np.ndarray:
+        """Internal view of a normalized combination's row (do not mutate)."""
+        if len(combination) == 1:
+            index = self._singles_index.get(combination[0])
+            if index is None:
+                raise UnknownJobError(
+                    f"combination {combination} is not in this throughput matrix"
+                )
+            return self._singles[index : index + 1]
+        row = self._pairs.get(combination)
+        if row is None:
+            raise UnknownJobError(f"combination {combination} is not in this throughput matrix")
+        return row
+
     def row(self, combination: Sequence[int]) -> np.ndarray:
         """Full row for a combination: shape ``(len(combination), num_accelerators)``."""
-        normalized = _normalize_combination(combination)
-        if normalized not in self._values:
-            raise UnknownJobError(f"combination {normalized} is not in this throughput matrix")
-        return self._values[normalized].copy()
+        return self._row_array(_normalize_combination(combination)).copy()
 
     def throughput(self, combination: Sequence[int], job_id: int, accelerator_name: str) -> float:
         """Throughput of ``job_id`` inside ``combination`` on one accelerator type."""
         normalized = _normalize_combination(combination)
-        if normalized not in self._values:
-            raise UnknownJobError(f"combination {normalized} is not in this throughput matrix")
+        row = self._row_array(normalized)
         if job_id not in normalized:
             raise UnknownJobError(f"job {job_id} is not part of combination {normalized}")
         position = normalized.index(job_id)
         column = self._registry.index_of(accelerator_name)
-        return float(self._values[normalized][position, column])
+        return float(row[position, column])
 
     def isolated_throughputs(self, job_id: int) -> np.ndarray:
         """The singleton-row throughput vector of ``job_id`` (one entry per accelerator)."""
-        if (job_id,) not in self._values:
+        index = self._singles_index.get(job_id)
+        if index is None:
             raise UnknownJobError(f"job {job_id} has no singleton row")
-        return self._values[(job_id,)][0].copy()
+        return self._singles[index].copy()
 
     def singles_matrix(self) -> Tuple[Tuple[int, ...], np.ndarray]:
         """Dense matrix of singleton rows only: ``(job_ids, array[num_jobs, num_accels])``."""
-        array = np.vstack([self._values[(job_id,)][0] for job_id in self._job_ids])
-        return self._job_ids, array
+        return self._job_ids, self._singles.copy()
 
     def restrict_to_singletons(self) -> "ThroughputMatrix":
         """A copy of this matrix containing only the singleton rows."""
-        return ThroughputMatrix(
-            self._registry,
-            {(job_id,): self._values[(job_id,)] for job_id in self._job_ids},
-        )
+        return ThroughputMatrix.from_parts(self._registry, self._singles_ids, self._singles.copy())
 
     def heterogeneity_agnostic(self) -> "ThroughputMatrix":
         """Replace every throughput by the job's mean across accelerators.
@@ -155,17 +240,23 @@ class ThroughputMatrix:
         another, exactly like schedulers that reason only about device counts.
         Zero columns (job cannot run on that type) are preserved.
         """
-        entries: Dict[JobCombination, np.ndarray] = {}
-        for combination in self._combinations:
-            values = self._values[combination]
+        runnable = self._singles > 0
+        counts = runnable.sum(axis=1)
+        sums = self._singles.sum(axis=1)
+        means = np.divide(sums, counts, out=np.zeros_like(sums), where=counts > 0)
+        flattened_singles = np.where(runnable, means[:, None], 0.0)
+        pairs: Dict[JobCombination, np.ndarray] = {}
+        for combination, values in self._pairs.items():
             flattened = np.zeros_like(values)
             for position in range(values.shape[0]):
                 row = values[position]
-                runnable = row > 0
-                if runnable.any():
-                    flattened[position, runnable] = row[runnable].mean()
-            entries[combination] = flattened
-        return ThroughputMatrix(self._registry, entries)
+                row_runnable = row > 0
+                if row_runnable.any():
+                    flattened[position, row_runnable] = row[row_runnable].mean()
+            pairs[combination] = flattened
+        return ThroughputMatrix.from_parts(
+            self._registry, self._singles_ids, flattened_singles, pairs
+        )
 
 
 def build_throughput_matrix(
@@ -191,18 +282,15 @@ def build_throughput_matrix(
         raise ConfigurationError("duplicate job ids in throughput matrix input")
 
     registry = oracle.registry
-    entries: Dict[JobCombination, np.ndarray] = {}
+    ordered = sorted(jobs, key=lambda job: job.job_id)
     singles = oracle.singleton_rows(
-        [(job.job_type, job.scale_factor, consolidated) for job in jobs]
+        [(job.job_type, job.scale_factor, consolidated) for job in ordered]
     )
-    for row_index, job in enumerate(jobs):
-        entries[(job.job_id,)] = singles[row_index].reshape(1, -1)
 
+    pairs: Dict[JobCombination, np.ndarray] = {}
     if space_sharing:
         model = colocation_model if colocation_model is not None else ColocationModel(oracle)
-        single_worker_jobs = sorted(
-            (job for job in jobs if job.scale_factor == 1), key=lambda job: job.job_id
-        )
+        single_worker_jobs = [job for job in ordered if job.scale_factor == 1]
         for first_index in range(len(single_worker_jobs)):
             for second_index in range(first_index + 1, len(single_worker_jobs)):
                 job_a = single_worker_jobs[first_index]
@@ -215,6 +303,8 @@ def build_throughput_matrix(
                     threshold=colocation_threshold,
                 )
                 if pair_values is not None:
-                    entries[(job_a.job_id, job_b.job_id)] = pair_values
+                    pairs[(job_a.job_id, job_b.job_id)] = pair_values
 
-    return ThroughputMatrix(registry, entries)
+    return ThroughputMatrix.from_parts(
+        registry, [job.job_id for job in ordered], singles, pairs
+    )

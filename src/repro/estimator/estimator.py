@@ -57,6 +57,10 @@ class ThroughputEstimator:
         self._completion_rank = completion_rank
         self._rng = np.random.default_rng(seed)
         self._version = 0
+        # Per-version refinement attribution: which job types each observe()
+        # touched, so matrix caches can invalidate per type instead of fully.
+        self._refinement_log: List[Tuple[int, Tuple[str, str]]] = []
+        self._refinement_floor = 0
 
         all_types = list(self._oracle.job_types.names)
         self._reference_types: List[str] = (
@@ -176,6 +180,24 @@ class ThroughputEstimator:
         """
         return self._version
 
+    def refined_job_types_since(self, version: int) -> Optional[frozenset]:
+        """Job types whose estimates changed after ``version``.
+
+        Returns ``None`` when the question cannot be answered precisely (the
+        version predates the retained refinement history), in which case the
+        caller must assume every estimate may have changed.  Consumers such
+        as :class:`~repro.core.allocation_engine.PairThroughputCache` use
+        this to invalidate only the pair rows touching the refined types
+        instead of refreshing the whole cache.
+        """
+        if version is None or version > self._version or version < self._refinement_floor:
+            return None
+        types: set = set()
+        for logged_version, pair in self._refinement_log:
+            if logged_version > version:
+                types.update(pair)
+        return frozenset(types)
+
     def matched_reference(self, job_type: str) -> str:
         """The reference job type the estimator matched ``job_type`` to."""
         self._fingerprint_job(job_type)
@@ -237,9 +259,15 @@ class ThroughputEstimator:
         isolated_b = self._oracle.throughput(job_type_b, accelerator_name)
         if isolated_a > 0 or isolated_b > 0:
             # Only bump when an estimate is actually written: consumers react
-            # to version changes with a full cache refresh, which a no-op
+            # to version changes with a cache refresh, which a no-op
             # observation must not trigger.
             self._version += 1
+            self._refinement_log.append((self._version, (job_type_a, job_type_b)))
+            if len(self._refinement_log) > 4096:
+                # Bound the history; versions at or below the new floor can
+                # no longer be attributed and fall back to a full refresh.
+                self._refinement_log = self._refinement_log[2048:]
+                self._refinement_floor = self._refinement_log[0][0] - 1
         if isolated_a > 0:
             self._estimates[(job_type_a, job_type_b, accelerator_name)] = measured.first / isolated_a
         if isolated_b > 0:

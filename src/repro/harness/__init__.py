@@ -4,6 +4,7 @@ from repro.harness.experiments import (
     LoadSweepPoint,
     measure_matrix_prep_runtime,
     measure_policy_runtime,
+    measure_policy_solve_under_churn,
     run_load_sweep,
     run_policy_on_trace,
     steady_state_job_ids,
@@ -15,6 +16,7 @@ __all__ = [
     "run_load_sweep",
     "measure_policy_runtime",
     "measure_matrix_prep_runtime",
+    "measure_policy_solve_under_churn",
     "steady_state_job_ids",
     "LoadSweepPoint",
     "format_table",

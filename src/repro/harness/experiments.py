@@ -35,6 +35,7 @@ __all__ = [
     "run_load_sweep",
     "measure_policy_runtime",
     "measure_matrix_prep_runtime",
+    "measure_policy_solve_under_churn",
     "steady_state_job_ids",
 ]
 
@@ -173,6 +174,98 @@ def measure_policy_runtime(
             samples.append(_time.perf_counter() - start)
         runtimes[int(num_jobs)] = float(np.mean(samples))
     return runtimes
+
+
+def measure_policy_solve_under_churn(
+    policy: "Policy | str",
+    num_jobs_values: Sequence[int],
+    per_type_workers_per_job: float = 0.05,
+    num_events: int = 8,
+    seeds: Sequence[int] = (0,),
+    oracle: Optional[ThroughputOracle] = None,
+) -> Dict[int, Dict[str, float]]:
+    """Policy-solve seconds across a job-churn sequence, per strategy.
+
+    For each job count the same event sequence — an initial active set
+    followed by ``num_events`` alternating completions and arrivals — is
+    replayed twice, recomputing the allocation after every event:
+
+    * ``"scratch"`` times the stateless ``compute_allocation`` API, which
+      rebuilds the policy's solver program from nothing each time;
+    * ``"session"`` times the stateful session API (one
+      ``policy.session(...)`` kept alive and fed the engine's delta stream),
+      including the initial session construction.
+
+    Matrix preparation runs through an :class:`AllocationEngine` in both
+    strategies and is *excluded* from the timings, so the comparison isolates
+    the policy-side solve — the counterpart of
+    :func:`measure_matrix_prep_runtime` for the Figure 12 story.
+    """
+    oracle = oracle if oracle is not None else ThroughputOracle()
+    resolved = _resolve_policy(policy)
+    generator = TraceGenerator(oracle=oracle)
+    results: Dict[int, Dict[str, float]] = {}
+    for num_jobs in num_jobs_values:
+        per_type = max(1, int(round(num_jobs * per_type_workers_per_job)))
+        cluster_spec = ClusterSpec.from_counts(
+            {name: per_type for name in oracle.registry.names}, registry=oracle.registry
+        )
+        scratch_total = 0.0
+        session_total = 0.0
+        for seed in seeds:
+            trace = generator.generate_static(num_jobs=num_jobs + num_events, seed=seed)
+            jobs = list(trace.jobs)
+            initial, later = jobs[:num_jobs], jobs[num_jobs:]
+            events: List[Tuple[str, Job]] = []
+            for index, job in enumerate(later):
+                events.append(("remove", jobs[index]))
+                events.append(("add", job))
+
+            def replay(use_session: bool) -> float:
+                engine = AllocationEngine(
+                    oracle,
+                    space_sharing=resolved.space_sharing,
+                    colocation_model=ColocationModel(oracle),
+                )
+                engine.add_jobs(initial)
+                active: Dict[int, Job] = {job.job_id: job for job in initial}
+                session = None
+                elapsed = 0.0
+                pending_events: List[Optional[Tuple[str, Job]]] = [None] + list(events)
+                for event in pending_events:
+                    if event is not None:
+                        action, job = event
+                        if action == "remove":
+                            engine.remove_job(job.job_id)
+                            del active[job.job_id]
+                        else:
+                            engine.add_job(job)
+                            active[job.job_id] = job
+                    problem = PolicyProblem(
+                        jobs=dict(active),
+                        throughputs=engine.matrix(),
+                        cluster_spec=cluster_spec,
+                    )
+                    deltas = engine.drain_deltas()
+                    start = _time.perf_counter()
+                    if use_session:
+                        if session is None:
+                            session = resolved.session(problem)
+                        else:
+                            session.apply(deltas)
+                        session.solve(problem)
+                    else:
+                        resolved.compute_allocation(problem)
+                    elapsed += _time.perf_counter() - start
+                return elapsed
+
+            scratch_total += replay(use_session=False)
+            session_total += replay(use_session=True)
+        results[int(num_jobs)] = {
+            "scratch": scratch_total / len(seeds),
+            "session": session_total / len(seeds),
+        }
+    return results
 
 
 def measure_matrix_prep_runtime(

@@ -7,6 +7,12 @@ which job combinations run each round and the simulator advances their
 training progress using the throughput oracle (and the colocation model for
 space-shared pairs).
 
+Policies are driven through the stateful session API: one
+:class:`~repro.core.session.PolicySession` is opened per simulation and fed
+the :class:`~repro.core.allocation_engine.AllocationEngine`'s delta stream,
+so policies with reusable solver state (the LP policies of Table 1) edit
+their live program on each arrival/completion instead of rebuilding it.
+
 Three execution modes cover the paper's experiments:
 
 * ``round`` (default) — the full mechanism, used everywhere;
@@ -35,6 +41,7 @@ from repro.core.allocation_engine import AllocationEngine
 from repro.core.effective_throughput import effective_throughput, isolated_reference_throughput
 from repro.core.policy import Policy
 from repro.core.problem import PolicyProblem
+from repro.core.session import PolicySession
 from repro.core.throughput_matrix import ThroughputMatrix, build_throughput_matrix
 from repro.exceptions import ConfigurationError, SchedulingError
 from repro.scheduler.mechanism import RoundScheduler, ScheduledCombination
@@ -243,6 +250,7 @@ class Simulator:
         allocation_stale = True
         tracker: Optional[PriorityTracker] = None
         engine = self._make_engine()
+        session: Optional[PolicySession] = None
         policy_seconds = 0.0
         matrix_seconds = 0.0
         recomputations = 0
@@ -271,8 +279,13 @@ class Simulator:
                 matrix = engine.matrix()
                 matrix_seconds += _time.perf_counter() - start
                 problem = self._build_problem(active, current_time, matrix)
+                deltas = engine.drain_deltas()
                 start = _time.perf_counter()
-                allocation = self._policy.compute_allocation(problem)
+                if session is None:
+                    session = self._policy.session(problem)
+                else:
+                    session.apply(deltas)
+                allocation = session.solve(problem)
                 policy_seconds += _time.perf_counter() - start
                 recomputations += 1
                 tracker = PriorityTracker(allocation)
@@ -400,6 +413,7 @@ class Simulator:
         total_cost = 0.0
         current_time = 0.0
         engine = self._make_engine()
+        session: Optional[PolicySession] = None
         policy_seconds = 0.0
         matrix_seconds = 0.0
         recomputations = 0
@@ -423,8 +437,13 @@ class Simulator:
             matrix = engine.matrix()
             matrix_seconds += _time.perf_counter() - start
             problem = self._build_problem(active, current_time, matrix)
+            deltas = engine.drain_deltas()
             start = _time.perf_counter()
-            allocation = self._policy.compute_allocation(problem)
+            if session is None:
+                session = self._policy.session(problem)
+            else:
+                session.apply(deltas)
+            allocation = session.solve(problem)
             policy_seconds += _time.perf_counter() - start
             recomputations += 1
 

@@ -5,18 +5,31 @@ allocation, e.g. total effective throughput divided by total dollar cost.
 Such linear-fractional programs reduce to ordinary LPs: substitute
 ``y = x * s`` and ``s = 1 / (d·x + d0)``, maximize ``c·y + c0*s`` subject to
 ``d·y + d0*s == 1``, the scaled original constraints, and ``s >= 0``.
+
+Like :class:`~repro.solver.lp.LinearProgram`, fractional programs are
+**mutable** so policy sessions can keep one alive across allocation
+recomputations: ``add_*`` constraint methods return handles usable with
+:meth:`~FractionalProgram.remove_constraint`,
+:meth:`~FractionalProgram.add_terms_to_constraint` and
+:meth:`~FractionalProgram.remove_terms_from_constraint`; variables can be
+deactivated and recycled with :meth:`~FractionalProgram.release_variable`;
+and tag scopes (:meth:`~FractionalProgram.begin_tag` /
+:meth:`~FractionalProgram.clear_tag`) let a session tear down just the
+objective-dependent parts each round.  The Charnes–Cooper reduction itself is
+re-run per solve — it is linear in the program size, unlike the validity
+scaffolding the session preserves.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.exceptions import InfeasibleError, SolverError
-from repro.solver.lp import LinearExpression, LinearProgram, Solution, Variable
+from repro.solver.lp import LinearExpression, LinearProgram, Variable
 
 __all__ = ["FractionalProgram", "FractionalSolution"]
 
@@ -57,22 +70,78 @@ class FractionalProgram:
         self._lower: List[float] = []
         self._upper: List[float] = []
         self._names: List[str] = []
-        self._constraints: List[_RatioConstraint] = []
+        self._constraints: Dict[int, _RatioConstraint] = {}
+        self._next_constraint_id = 0
         self._numerator: Optional[LinearExpression] = None
         self._denominator: Optional[LinearExpression] = None
+        self._free_variables: List[int] = []
+        self._active_tag: Optional[str] = None
+        self._tagged_constraints: Dict[str, List[int]] = {}
+        self._tagged_variables: Dict[str, List[int]] = {}
 
     # -- variables --------------------------------------------------------------
+    def num_variables(self) -> int:
+        return len(self._lower)
+
     def add_variable(self, name: Optional[str] = None, lower: float = 0.0, upper: float = 1.0) -> Variable:
         if not math.isfinite(lower) or not math.isfinite(upper):
             raise SolverError(f"{self.name}: fractional programs require finite variable bounds")
-        index = len(self._lower)
-        self._lower.append(float(lower))
-        self._upper.append(float(upper))
-        self._names.append(name if name is not None else f"x{index}")
-        return Variable(index=index, name=self._names[-1])
+        if self._free_variables:
+            index = self._free_variables.pop()
+            self._lower[index] = float(lower)
+            self._upper[index] = float(upper)
+            self._names[index] = name if name is not None else f"x{index}"
+        else:
+            index = len(self._lower)
+            self._lower.append(float(lower))
+            self._upper.append(float(upper))
+            self._names.append(name if name is not None else f"x{index}")
+        if self._active_tag is not None:
+            self._tagged_variables.setdefault(self._active_tag, []).append(index)
+        return Variable(index=index, name=self._names[index])
 
     def add_variables(self, count: int, name_prefix: str = "x", lower: float = 0.0, upper: float = 1.0) -> List[Variable]:
         return [self.add_variable(f"{name_prefix}{i}", lower, upper) for i in range(count)]
+
+    def set_variable_bounds(self, variable: "Variable | int", lower: float, upper: float) -> None:
+        """Replace one variable's (finite) bounds."""
+        if not math.isfinite(lower) or not math.isfinite(upper):
+            raise SolverError(f"{self.name}: fractional programs require finite variable bounds")
+        index = variable.index if isinstance(variable, Variable) else int(variable)
+        self._lower[index] = float(lower)
+        self._upper[index] = float(upper)
+
+    def fix_variable(self, variable: "Variable | int", value: float = 0.0) -> None:
+        """Pin a variable to a single value."""
+        self.set_variable_bounds(variable, value, value)
+
+    def release_variable(self, variable: "Variable | int") -> None:
+        """Deactivate a variable (fixed to zero) and recycle its index.
+
+        As with :meth:`LinearProgram.release_variable`, the caller must scrub
+        the variable's coefficients from remaining constraints and the ratio
+        objective before releasing.
+        """
+        index = variable.index if isinstance(variable, Variable) else int(variable)
+        self.fix_variable(index, 0.0)
+        self._free_variables.append(index)
+
+    # -- tag scopes --------------------------------------------------------------
+    def begin_tag(self, tag: str) -> None:
+        """Tag every variable/constraint created until :meth:`end_tag`."""
+        if self._active_tag is not None:
+            raise SolverError(f"{self.name}: tag scope {self._active_tag!r} already open")
+        self._active_tag = tag
+
+    def end_tag(self) -> None:
+        self._active_tag = None
+
+    def clear_tag(self, tag: str) -> None:
+        """Remove tagged constraints and release tagged variables."""
+        for constraint_id in self._tagged_constraints.pop(tag, []):
+            self._constraints.pop(constraint_id, None)
+        for index in self._tagged_variables.pop(tag, []):
+            self.release_variable(index)
 
     # -- constraints ------------------------------------------------------------
     @staticmethod
@@ -83,17 +152,74 @@ class FractionalProgram:
             return dict(expression.coefficients), expression.constant
         return {int(k): float(v) for k, v in expression.items()}, 0.0
 
-    def add_less_equal(self, expression: "Mapping[int, float] | LinearExpression", rhs: float) -> None:
-        coefficients, constant = self._normalize(expression)
-        self._constraints.append(_RatioConstraint(coefficients, constant, "<=", float(rhs)))
+    def _append_constraint(self, coefficients: Dict[int, float], constant: float, sense: str, rhs: float) -> int:
+        constraint_id = self._next_constraint_id
+        self._next_constraint_id += 1
+        self._constraints[constraint_id] = _RatioConstraint(coefficients, constant, sense, rhs)
+        if self._active_tag is not None:
+            self._tagged_constraints.setdefault(self._active_tag, []).append(constraint_id)
+        return constraint_id
 
-    def add_greater_equal(self, expression: "Mapping[int, float] | LinearExpression", rhs: float) -> None:
+    def add_less_equal(self, expression: "Mapping[int, float] | LinearExpression", rhs: float) -> int:
         coefficients, constant = self._normalize(expression)
-        self._constraints.append(_RatioConstraint(coefficients, constant, ">=", float(rhs)))
+        return self._append_constraint(coefficients, constant, "<=", float(rhs))
 
-    def add_equal(self, expression: "Mapping[int, float] | LinearExpression", rhs: float) -> None:
+    def add_greater_equal(self, expression: "Mapping[int, float] | LinearExpression", rhs: float) -> int:
         coefficients, constant = self._normalize(expression)
-        self._constraints.append(_RatioConstraint(coefficients, constant, "==", float(rhs)))
+        return self._append_constraint(coefficients, constant, ">=", float(rhs))
+
+    def add_equal(self, expression: "Mapping[int, float] | LinearExpression", rhs: float) -> int:
+        coefficients, constant = self._normalize(expression)
+        return self._append_constraint(coefficients, constant, "==", float(rhs))
+
+    def remove_constraint(self, handle: int) -> None:
+        """Delete one constraint by handle (no-op if already removed)."""
+        self._constraints.pop(handle, None)
+
+    def add_terms_to_constraint(self, handle: int, terms: Mapping[int, float]) -> None:
+        """Accumulate coefficients onto an existing constraint."""
+        constraint = self._require(handle)
+        for index, coefficient in terms.items():
+            constraint.coefficients[index] = constraint.coefficients.get(index, 0.0) + float(coefficient)
+
+    def remove_terms_from_constraint(self, handle: int, indices: Iterable[int]) -> None:
+        """Drop the given variables' coefficients from an existing constraint."""
+        constraint = self._require(handle)
+        for index in indices:
+            constraint.coefficients.pop(int(index), None)
+
+    def set_constraint_bounds(
+        self, handle: int, lower: Optional[float] = None, upper: Optional[float] = None
+    ) -> None:
+        """Update a one-sided constraint's right-hand side.
+
+        Only the side matching the constraint's sense may be updated (a
+        ``>=`` constraint accepts ``lower``, ``<=`` accepts ``upper``, and
+        ``==`` accepts either one alone or both equal).
+        """
+        constraint = self._require(handle)
+        if constraint.sense == ">=":
+            if upper is not None or lower is None:
+                raise SolverError(f"{self.name}: '>=' constraint only has a lower bound")
+            constraint.rhs = float(lower)
+        elif constraint.sense == "<=":
+            if lower is not None or upper is None:
+                raise SolverError(f"{self.name}: '<=' constraint only has an upper bound")
+            constraint.rhs = float(upper)
+        else:
+            values = {v for v in (lower, upper) if v is not None}
+            if len(values) != 1:
+                raise SolverError(f"{self.name}: '==' constraint requires one consistent bound")
+            constraint.rhs = float(values.pop())
+
+    def _require(self, handle: int) -> _RatioConstraint:
+        try:
+            return self._constraints[handle]
+        except KeyError:
+            raise SolverError(f"{self.name}: unknown constraint handle {handle}") from None
+
+    def num_constraints(self) -> int:
+        return len(self._constraints)
 
     # -- objective ----------------------------------------------------------------
     def set_ratio_objective(
@@ -108,7 +234,7 @@ class FractionalProgram:
         self._denominator = LinearExpression(den_coefficients, den_constant)
 
     # -- solving -------------------------------------------------------------------
-    def solve(self) -> FractionalSolution:
+    def solve(self, warm_start: Optional[np.ndarray] = None) -> FractionalSolution:
         """Solve via Charnes–Cooper and map back to the original variables."""
         if self._numerator is None or self._denominator is None:
             raise SolverError(f"{self.name}: ratio objective not set")
@@ -126,7 +252,7 @@ class FractionalProgram:
             lp.add_greater_equal({scaled[index].index: 1.0, scale.index: -self._lower[index]}, 0.0)
 
         # Original constraints a·x + a0 (sense) rhs become a·y + (a0 - rhs)*s (sense) 0.
-        for constraint in self._constraints:
+        for constraint in self._constraints.values():
             coefficients = {scaled[i].index: c for i, c in constraint.coefficients.items()}
             coefficients[scale.index] = coefficients.get(scale.index, 0.0) + (
                 constraint.constant - constraint.rhs

@@ -10,16 +10,41 @@ policies need:
 * linear objectives (maximize or minimize),
 * epigraph helpers for max-min / min-max objectives.
 
+Programs are **mutable**: policy sessions keep one program alive across
+allocation recomputations and edit it in place instead of rebuilding it.
+The mutation surface is
+
+* constraint handles — every ``add_*`` returns an integer handle usable with
+  :meth:`remove_constraint`, :meth:`add_terms_to_constraint`,
+  :meth:`remove_terms_from_constraint`, :meth:`set_constraint_coefficients`
+  and :meth:`set_constraint_bounds`;
+* variable deactivation — :meth:`release_variable` fixes a variable to zero
+  and recycles its column index for a later :meth:`add_variable`, keeping the
+  program from growing without bound under job churn (callers must scrub the
+  variable from their constraints first);
+* tag scopes — :meth:`begin_tag` / :meth:`end_tag` mark every variable and
+  constraint created inside the scope, and :meth:`clear_tag` removes them all
+  at once (sessions rebuild only the policy objective this way, leaving the
+  validity constraints untouched);
+* cached sparse assembly — each constraint's coefficient arrays are built
+  once and reused, so a solve after a right-hand-side-only edit (bisection
+  policies) reuses the previous constraint matrix outright, and any other
+  edit only pays a fast ``np.concatenate`` over per-constraint fragments.
+
 Problems are handed to :func:`scipy.optimize.linprog` (pure LPs) or
 :func:`scipy.optimize.milp` (when any variable is integer), both of which use
-HiGHS and solve the same programs cvxpy would.
+HiGHS and solve the same programs cvxpy would.  ``solve`` accepts a
+``warm_start`` hint with the previous solution; SciPy's HiGHS interface
+exposes no basis/solution warm starting, so the hint is currently recorded
+but unused — the parameter exists so sessions already thread the information
+a warm-start-capable backend would need.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 from scipy import sparse
@@ -27,6 +52,11 @@ from scipy.optimize import LinearConstraint, linprog, milp
 from scipy.optimize import Bounds as ScipyBounds
 
 from repro.exceptions import InfeasibleError, SolverError
+
+try:  # SciPy vendors the full incremental HiGHS API; use it when present.
+    from scipy.optimize._highspy import _core as _highs_core
+except Exception:  # pragma: no cover - older/newer scipy layouts
+    _highs_core = None
 
 __all__ = ["Variable", "LinearExpression", "LinearProgram", "Solution"]
 
@@ -77,6 +107,17 @@ class LinearExpression:
         for variable, coefficient in terms:
             index = variable.index if isinstance(variable, Variable) else int(variable)
             coefficients[index] = coefficients.get(index, 0.0) + float(coefficient)
+        return cls(coefficients, constant)
+
+    @classmethod
+    def sum(cls, expressions: Iterable["LinearExpression"]) -> "LinearExpression":
+        """Sum many expressions in one pass (avoids quadratic chained ``+``)."""
+        coefficients: Dict[int, float] = {}
+        constant = 0.0
+        for expression in expressions:
+            for index, coefficient in expression.coefficients.items():
+                coefficients[index] = coefficients.get(index, 0.0) + coefficient
+            constant += expression.constant
         return cls(coefficients, constant)
 
     def copy(self) -> "LinearExpression":
@@ -145,10 +186,173 @@ class _Constraint:
     coefficients: Dict[int, float]
     lower: float
     upper: float
+    indices: Optional[np.ndarray] = None
+    values: Optional[np.ndarray] = None
+
+    def fragment(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Cached ``(column indices, coefficients)`` arrays for assembly."""
+        if self.indices is None:
+            items = [(i, c) for i, c in self.coefficients.items() if c != 0.0]
+            self.indices = np.fromiter((i for i, _ in items), dtype=np.int64, count=len(items))
+            self.values = np.fromiter((c for _, c in items), dtype=float, count=len(items))
+        return self.indices, self.values
+
+    def invalidate(self) -> None:
+        self.indices = None
+        self.values = None
+
+
+class _HighsBackend:
+    """A live HiGHS instance mirroring one :class:`LinearProgram`.
+
+    SciPy's ``linprog`` rebuilds the solver state on every call; this backend
+    keeps a ``_Highs`` model alive instead and replays only the *edits* made
+    to the owning program since the previous solve (row adds/deletes, bound
+    and cost updates).  HiGHS then re-solves from its incumbent basis — the
+    actual warm start that makes right-hand-side-only edits (bisection
+    candidates) and small churn edits cost a handful of simplex iterations
+    instead of a full solve.
+    """
+
+    def __init__(self) -> None:
+        self._highs = _highs_core._Highs()
+        self._highs.setOptionValue("output_flag", False)
+        self._highs.setOptionValue("random_seed", 0)
+        self._row_handles: List[int] = []
+        self._row_of: Dict[int, int] = {}
+        self._num_cols = 0
+        self._synced = False
+
+    # -- synchronisation -------------------------------------------------------
+    def _pass_full_model(self, program: "LinearProgram") -> None:
+        matrix, row_lower, row_upper = program._assembled()
+        num_vars = program.num_variables()
+        lp = _highs_core.HighsLp()
+        lp.num_col_ = num_vars
+        lp.num_row_ = matrix.shape[0]
+        lp.col_cost_ = program._objective_dense()
+        lp.col_lower_ = np.array(program._lower)
+        lp.col_upper_ = np.array(program._upper)
+        lp.row_lower_ = row_lower
+        lp.row_upper_ = row_upper
+        lp.sense_ = (
+            _highs_core.ObjSense.kMaximize
+            if program._maximize
+            else _highs_core.ObjSense.kMinimize
+        )
+        a = _highs_core.HighsSparseMatrix()
+        a.format_ = _highs_core.MatrixFormat.kRowwise
+        a.num_col_ = num_vars
+        a.num_row_ = matrix.shape[0]
+        a.start_ = matrix.indptr.astype(np.int32)
+        a.index_ = matrix.indices.astype(np.int32)
+        a.value_ = matrix.data.astype(float)
+        lp.a_matrix_ = a
+        # kWarning covers benign conditions (e.g. sub-tolerance coefficients
+        # being dropped); only a hard error means the model did not load.
+        if self._highs.passModel(lp) == _highs_core.HighsStatus.kError:
+            raise SolverError(f"{program.name}: HiGHS rejected the model")
+        self._row_handles = list(program._cached_ids)
+        self._row_of = {handle: row for row, handle in enumerate(self._row_handles)}
+        self._num_cols = num_vars
+        self._synced = True
+
+    def _apply_edits(self, program: "LinearProgram") -> None:
+        highs = self._highs
+        num_vars = program.num_variables()
+        empty_i = np.empty(0, np.int32)
+        empty_f = np.empty(0, float)
+        for index in range(self._num_cols, num_vars):
+            highs.addCol(0.0, program._lower[index], program._upper[index], 0, empty_i, empty_f)
+        self._num_cols = num_vars
+
+        # Rows whose coefficients changed are deleted and re-added.
+        drop = {
+            handle
+            for handle in (program._hs_removed | program._hs_dirty)
+            if handle in self._row_of
+        }
+        if drop:
+            rows = np.array(sorted(self._row_of[handle] for handle in drop), np.int32)
+            highs.deleteRows(len(rows), rows)
+            self._row_handles = [h for h in self._row_handles if h not in drop]
+            self._row_of = {handle: row for row, handle in enumerate(self._row_handles)}
+
+        add = sorted(h for h in program._constraints if h not in self._row_of)
+        if add:
+            fragments = [program._constraints[h].fragment() for h in add]
+            counts = np.fromiter((len(f[0]) for f in fragments), np.int64, count=len(add))
+            starts = np.zeros(len(add) + 1, np.int64)
+            np.cumsum(counts, out=starts[1:])
+            indices = (
+                np.concatenate([f[0] for f in fragments]) if len(add) else np.empty(0, np.int64)
+            )
+            values = (
+                np.concatenate([f[1] for f in fragments]) if len(add) else np.empty(0)
+            )
+            lowers = np.fromiter(
+                (program._constraints[h].lower for h in add), float, count=len(add)
+            )
+            uppers = np.fromiter(
+                (program._constraints[h].upper for h in add), float, count=len(add)
+            )
+            highs.addRows(
+                len(add),
+                lowers,
+                uppers,
+                int(counts.sum()),
+                starts[:-1].astype(np.int32),
+                indices.astype(np.int32),
+                values.astype(float),
+            )
+            base = len(self._row_handles)
+            self._row_handles.extend(add)
+            for offset, handle in enumerate(add):
+                self._row_of[handle] = base + offset
+
+        for handle in program._hs_bounds_dirty:
+            row = self._row_of.get(handle)
+            constraint = program._constraints.get(handle)
+            if row is not None and constraint is not None:
+                highs.changeRowBounds(row, constraint.lower, constraint.upper)
+
+        all_columns = np.arange(num_vars, dtype=np.int32)
+        highs.changeColsBounds(
+            num_vars, all_columns, np.array(program._lower), np.array(program._upper)
+        )
+        highs.changeColsCost(num_vars, all_columns, program._objective_dense())
+        highs.changeObjectiveSense(
+            _highs_core.ObjSense.kMaximize
+            if program._maximize
+            else _highs_core.ObjSense.kMinimize
+        )
+
+    # -- solving ----------------------------------------------------------------
+    def solve(self, program: "LinearProgram") -> Tuple[np.ndarray, float]:
+        if not self._synced:
+            self._pass_full_model(program)
+        else:
+            self._apply_edits(program)
+        program._hs_removed.clear()
+        program._hs_dirty.clear()
+        program._hs_bounds_dirty.clear()
+        self._highs.run()
+        status = self._highs.getModelStatus()
+        if status != _highs_core.HighsModelStatus.kOptimal:
+            message = f"{program.name}: HiGHS status {status}"
+            if status in (
+                _highs_core.HighsModelStatus.kInfeasible,
+                _highs_core.HighsModelStatus.kUnboundedOrInfeasible,
+            ):
+                raise InfeasibleError(message)
+            raise SolverError(message)
+        values = np.asarray(self._highs.getSolution().col_value, dtype=float)
+        objective = float(self._highs.getInfo().objective_function_value)
+        return values, objective
 
 
 class LinearProgram:
-    """Incrementally built LP / MILP solved with HiGHS."""
+    """Incrementally built *and editable* LP / MILP solved with HiGHS."""
 
     def __init__(self, name: str = "lp"):
         self.name = name
@@ -156,10 +360,27 @@ class LinearProgram:
         self._upper: List[float] = []
         self._integer: List[bool] = []
         self._names: List[str] = []
-        self._constraints: List[_Constraint] = []
+        self._constraints: Dict[int, _Constraint] = {}
+        self._next_constraint_id = 0
         self._objective: Dict[int, float] = {}
         self._objective_constant = 0.0
         self._maximize = False
+        # Mutation machinery: recycled variable indices, tag scopes, and the
+        # structure revision the cached sparse assembly is keyed on.
+        self._free_variables: List[int] = []
+        self._active_tag: Optional[str] = None
+        self._tagged_constraints: Dict[str, List[int]] = {}
+        self._tagged_variables: Dict[str, List[int]] = {}
+        self._structure_revision = 0
+        self._cached_key: Optional[Tuple[int, int]] = None
+        self._cached_matrix: Optional[sparse.csr_matrix] = None
+        self._cached_ids: List[int] = []
+        self._warm_start_hint: Optional[np.ndarray] = None
+        # Edit journal consumed by the live HiGHS backend (warm starts).
+        self._backend: Optional[_HighsBackend] = None
+        self._hs_removed: Set[int] = set()
+        self._hs_dirty: Set[int] = set()
+        self._hs_bounds_dirty: Set[int] = set()
 
     # -- variables -----------------------------------------------------------------
     def num_variables(self) -> int:
@@ -172,13 +393,27 @@ class LinearProgram:
         upper: Optional[float] = None,
         integer: bool = False,
     ) -> Variable:
-        """Add one decision variable and return its handle."""
-        index = len(self._lower)
-        self._lower.append(float(lower))
-        self._upper.append(float(upper) if upper is not None else math.inf)
-        self._integer.append(bool(integer))
-        self._names.append(name if name is not None else f"x{index}")
-        return Variable(index=index, name=self._names[-1])
+        """Add one decision variable and return its handle.
+
+        Indices released by :meth:`release_variable` (or a :meth:`clear_tag`)
+        are recycled before the program grows a new column.
+        """
+        if self._free_variables:
+            index = self._free_variables.pop()
+            self._lower[index] = float(lower)
+            self._upper[index] = float(upper) if upper is not None else math.inf
+            self._integer[index] = bool(integer)
+            self._names[index] = name if name is not None else f"x{index}"
+        else:
+            index = len(self._lower)
+            self._lower.append(float(lower))
+            self._upper.append(float(upper) if upper is not None else math.inf)
+            self._integer.append(bool(integer))
+            self._names.append(name if name is not None else f"x{index}")
+            self._structure_revision += 1
+        if self._active_tag is not None:
+            self._tagged_variables.setdefault(self._active_tag, []).append(index)
+        return Variable(index=index, name=self._names[index])
 
     def add_variables(
         self,
@@ -194,6 +429,60 @@ class LinearProgram:
             for i in range(count)
         ]
 
+    def set_variable_bounds(
+        self, variable: "Variable | int", lower: float, upper: Optional[float] = None
+    ) -> None:
+        """Replace one variable's bounds (bounds edits never dirty the matrix cache)."""
+        index = variable.index if isinstance(variable, Variable) else int(variable)
+        self._lower[index] = float(lower)
+        self._upper[index] = float(upper) if upper is not None else math.inf
+
+    def fix_variable(self, variable: "Variable | int", value: float = 0.0) -> None:
+        """Pin a variable to a single value."""
+        self.set_variable_bounds(variable, value, value)
+
+    def release_variable(self, variable: "Variable | int") -> None:
+        """Deactivate a variable and recycle its index.
+
+        The variable is fixed to zero so the program stays valid even if a
+        stale reference survives somewhere; the caller is responsible for
+        scrubbing its coefficients from every remaining constraint and from
+        the objective before releasing, otherwise a later
+        :meth:`add_variable` reusing the index inherits those terms.
+        """
+        index = variable.index if isinstance(variable, Variable) else int(variable)
+        self.fix_variable(index, 0.0)
+        self._integer[index] = False
+        self._free_variables.append(index)
+
+    # -- tag scopes --------------------------------------------------------------------
+    def begin_tag(self, tag: str) -> None:
+        """Tag every variable/constraint created until :meth:`end_tag`."""
+        if self._active_tag is not None:
+            raise SolverError(f"{self.name}: tag scope {self._active_tag!r} already open")
+        self._active_tag = tag
+
+    def end_tag(self) -> None:
+        self._active_tag = None
+
+    def clear_tag(self, tag: str) -> None:
+        """Remove every constraint and release every variable carrying ``tag``.
+
+        Tagged variables must only be referenced by same-tagged constraints
+        and the objective (which callers are expected to rebuild after the
+        clear) — the epigraph-variable pattern of the max-min / min-max
+        helpers satisfies this by construction.
+        """
+        removed = False
+        for constraint_id in self._tagged_constraints.pop(tag, []):
+            if self._constraints.pop(constraint_id, None) is not None:
+                removed = True
+                self._hs_removed.add(constraint_id)
+        for index in self._tagged_variables.pop(tag, []):
+            self.release_variable(index)
+        if removed:
+            self._structure_revision += 1
+
     # -- constraints ------------------------------------------------------------------
     @staticmethod
     def _normalize(expression: "_Coefficients") -> Tuple[Dict[int, float], float]:
@@ -203,25 +492,98 @@ class LinearProgram:
             return dict(expression.coefficients), expression.constant
         return {int(k): float(v) for k, v in expression.items()}, 0.0
 
-    def add_less_equal(self, expression: "_Coefficients", rhs: float) -> None:
-        """Add ``expression <= rhs``."""
-        coefficients, constant = self._normalize(expression)
-        self._constraints.append(
-            _Constraint(coefficients=coefficients, lower=-math.inf, upper=float(rhs) - constant)
+    def _append_constraint(self, coefficients: Dict[int, float], lower: float, upper: float) -> int:
+        constraint_id = self._next_constraint_id
+        self._next_constraint_id += 1
+        self._constraints[constraint_id] = _Constraint(
+            coefficients=coefficients, lower=lower, upper=upper
         )
+        if self._active_tag is not None:
+            self._tagged_constraints.setdefault(self._active_tag, []).append(constraint_id)
+        self._structure_revision += 1
+        return constraint_id
 
-    def add_greater_equal(self, expression: "_Coefficients", rhs: float) -> None:
-        """Add ``expression >= rhs``."""
+    def add_less_equal(self, expression: "_Coefficients", rhs: float) -> int:
+        """Add ``expression <= rhs``; returns the constraint handle."""
         coefficients, constant = self._normalize(expression)
-        self._constraints.append(
-            _Constraint(coefficients=coefficients, lower=float(rhs) - constant, upper=math.inf)
-        )
+        return self._append_constraint(coefficients, -math.inf, float(rhs) - constant)
 
-    def add_equal(self, expression: "_Coefficients", rhs: float) -> None:
-        """Add ``expression == rhs``."""
+    def add_greater_equal(self, expression: "_Coefficients", rhs: float) -> int:
+        """Add ``expression >= rhs``; returns the constraint handle."""
+        coefficients, constant = self._normalize(expression)
+        return self._append_constraint(coefficients, float(rhs) - constant, math.inf)
+
+    def add_equal(self, expression: "_Coefficients", rhs: float) -> int:
+        """Add ``expression == rhs``; returns the constraint handle."""
         coefficients, constant = self._normalize(expression)
         bound = float(rhs) - constant
-        self._constraints.append(_Constraint(coefficients=coefficients, lower=bound, upper=bound))
+        return self._append_constraint(coefficients, bound, bound)
+
+    def remove_constraint(self, handle: int) -> None:
+        """Delete one constraint by handle (no-op if already removed)."""
+        if self._constraints.pop(handle, None) is not None:
+            self._structure_revision += 1
+            self._hs_removed.add(handle)
+
+    def add_terms_to_constraint(self, handle: int, terms: Mapping[int, float]) -> None:
+        """Accumulate coefficients onto an existing constraint."""
+        constraint = self._constraint(handle)
+        coefficients = constraint.coefficients
+        for index, coefficient in terms.items():
+            coefficients[index] = coefficients.get(index, 0.0) + float(coefficient)
+        constraint.invalidate()
+        self._structure_revision += 1
+        self._hs_dirty.add(handle)
+
+    def remove_terms_from_constraint(self, handle: int, indices: Iterable[int]) -> None:
+        """Drop the given variables' coefficients from an existing constraint."""
+        constraint = self._constraint(handle)
+        for index in indices:
+            constraint.coefficients.pop(int(index), None)
+        constraint.invalidate()
+        self._structure_revision += 1
+        self._hs_dirty.add(handle)
+
+    def set_constraint_coefficients(self, handle: int, expression: "_Coefficients") -> None:
+        """Replace a constraint's coefficient map (bounds unchanged).
+
+        The expression must be constant-free: the stored bounds already fold
+        in the rhs (and any constant) from construction time, so a new
+        constant cannot be applied unambiguously.  Use
+        :meth:`set_constraint_bounds` to move the right-hand side.
+        """
+        constraint = self._constraint(handle)
+        coefficients, constant = self._normalize(expression)
+        if constant != 0.0:
+            raise SolverError(
+                f"{self.name}: set_constraint_coefficients requires a constant-free "
+                f"expression (got constant {constant!r}); adjust the bounds instead"
+            )
+        constraint.coefficients = coefficients
+        constraint.invalidate()
+        self._structure_revision += 1
+        self._hs_dirty.add(handle)
+
+    def set_constraint_bounds(
+        self, handle: int, lower: Optional[float] = None, upper: Optional[float] = None
+    ) -> None:
+        """Update a constraint's bounds; passing ``None`` keeps the old value.
+
+        Bounds edits do not invalidate the cached constraint matrix — this is
+        what makes repeated feasibility solves (bisection policies) cheap.
+        """
+        constraint = self._constraint(handle)
+        if lower is not None:
+            constraint.lower = float(lower)
+        if upper is not None:
+            constraint.upper = float(upper)
+        self._hs_bounds_dirty.add(handle)
+
+    def _constraint(self, handle: int) -> _Constraint:
+        try:
+            return self._constraints[handle]
+        except KeyError:
+            raise SolverError(f"{self.name}: unknown constraint handle {handle}") from None
 
     def num_constraints(self) -> int:
         return len(self._constraints)
@@ -253,9 +615,7 @@ class LinearProgram:
             # t <= expr  <=>  t - expr <= constant-part of expr
             shifted = {index: -coefficient for index, coefficient in coefficients.items()}
             shifted[epigraph.index] = shifted.get(epigraph.index, 0.0) + 1.0
-            self._constraints.append(
-                _Constraint(coefficients=shifted, lower=-math.inf, upper=constant)
-            )
+            self._append_constraint(shifted, -math.inf, constant)
         self.maximize({epigraph.index: 1.0})
         return epigraph
 
@@ -267,50 +627,99 @@ class LinearProgram:
             # expr <= t  <=>  expr - t <= -constant
             shifted = dict(coefficients)
             shifted[epigraph.index] = shifted.get(epigraph.index, 0.0) - 1.0
-            self._constraints.append(
-                _Constraint(coefficients=shifted, lower=-math.inf, upper=-constant)
-            )
+            self._append_constraint(shifted, -math.inf, -constant)
         self.minimize({epigraph.index: 1.0})
         return epigraph
 
     # -- solving --------------------------------------------------------------------------
-    def _build_constraint_matrix(self) -> Tuple[sparse.csr_matrix, np.ndarray, np.ndarray]:
-        num_vars = self.num_variables()
-        rows: List[int] = []
-        cols: List[int] = []
-        data: List[float] = []
-        lowers = np.empty(len(self._constraints))
-        uppers = np.empty(len(self._constraints))
-        for row, constraint in enumerate(self._constraints):
-            lowers[row] = constraint.lower
-            uppers[row] = constraint.upper
-            for index, coefficient in constraint.coefficients.items():
-                if coefficient != 0.0:
-                    rows.append(row)
-                    cols.append(index)
-                    data.append(coefficient)
-        matrix = sparse.csr_matrix(
-            (data, (rows, cols)), shape=(len(self._constraints), num_vars)
-        )
-        return matrix, lowers, uppers
+    def _assembled(self) -> Tuple[Optional[sparse.csr_matrix], np.ndarray, np.ndarray]:
+        """Constraint matrix plus per-row bounds, with fragment-level caching.
 
-    def _objective_vector(self) -> np.ndarray:
+        The CSR matrix is cached on ``(structure revision, num variables)``;
+        row bounds are re-read every call so right-hand-side edits take
+        effect without an assembly.
+        """
+        key = (self._structure_revision, self.num_variables())
+        if key != self._cached_key:
+            ids = list(self._constraints)
+            fragments = [self._constraints[i].fragment() for i in ids]
+            counts = np.fromiter((len(f[0]) for f in fragments), dtype=np.int64, count=len(ids))
+            if fragments:
+                rows = np.repeat(np.arange(len(ids)), counts)
+                cols = np.concatenate([f[0] for f in fragments]) if len(ids) else np.empty(0, np.int64)
+                data = np.concatenate([f[1] for f in fragments]) if len(ids) else np.empty(0)
+            else:
+                rows = np.empty(0, np.int64)
+                cols = np.empty(0, np.int64)
+                data = np.empty(0)
+            self._cached_matrix = sparse.csr_matrix(
+                (data, (rows, cols)), shape=(len(ids), self.num_variables())
+            )
+            self._cached_ids = ids
+            self._cached_key = key
+        num_rows = len(self._cached_ids)
+        lowers = np.fromiter(
+            (self._constraints[i].lower for i in self._cached_ids), dtype=float, count=num_rows
+        )
+        uppers = np.fromiter(
+            (self._constraints[i].upper for i in self._cached_ids), dtype=float, count=num_rows
+        )
+        return self._cached_matrix, lowers, uppers
+
+    def _objective_dense(self) -> np.ndarray:
+        """Objective coefficients in the program's own sense (no sign flip)."""
         c = np.zeros(self.num_variables())
         for index, coefficient in self._objective.items():
             c[index] = coefficient
+        return c
+
+    def _objective_vector(self) -> np.ndarray:
+        c = self._objective_dense()
         return -c if self._maximize else c
 
-    def solve(self) -> Solution:
-        """Solve the program, raising on infeasibility or solver failure."""
+    def solve(self, warm_start: Optional[np.ndarray] = None) -> Solution:
+        """Solve the program, raising on infeasibility or solver failure.
+
+        ``warm_start`` is a previous solution used as a starting hint when the
+        backend supports it (SciPy's HiGHS interface currently does not; the
+        hint is recorded for API parity with warm-start-capable backends).
+        """
         if self.num_variables() == 0:
             raise SolverError(f"{self.name}: cannot solve a program with no variables")
+        self._warm_start_hint = warm_start
+        use_milp = any(self._integer)
+
+        if not use_milp and _highs_core is not None:
+            try:
+                if self._backend is None:
+                    self._backend = _HighsBackend()
+                values, objective = self._backend.solve(self)
+            except (InfeasibleError, SolverError):
+                raise
+            except Exception:
+                # Any backend/API hiccup: drop the live instance and fall back
+                # to the stateless SciPy path below.
+                self._backend = None
+            else:
+                return Solution(
+                    values=values,
+                    objective_value=objective + self._objective_constant,
+                    status="optimal",
+                )
+
+        # Stateless path (MILP, or backend failure): a live backend would miss
+        # the edits consumed here, so drop it — the next pure-LP solve passes
+        # the full model again — and clear the now-meaningless journal.
+        self._backend = None
+        self._hs_removed.clear()
+        self._hs_dirty.clear()
+        self._hs_bounds_dirty.clear()
         c = self._objective_vector()
         lower = np.array(self._lower)
         upper = np.array(self._upper)
-        use_milp = any(self._integer)
 
         if self._constraints:
-            matrix, constraint_lower, constraint_upper = self._build_constraint_matrix()
+            matrix, constraint_lower, constraint_upper = self._assembled()
         else:
             matrix, constraint_lower, constraint_upper = None, None, None
 
@@ -368,7 +777,7 @@ class LinearProgram:
                 raise InfeasibleError(f"{self.name}: {message}")
             raise SolverError(f"{self.name}: {message}")
 
-        objective_value = float(objective) + (0.0 if not self._maximize else 0.0)
+        objective_value = float(objective)
         if self._maximize:
             objective_value = -float(objective)
         objective_value += self._objective_constant

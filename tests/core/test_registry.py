@@ -49,3 +49,88 @@ class TestRegistry:
     def test_available_policies_sorted(self):
         names = available_policies()
         assert names == sorted(names)
+
+
+class TestPolicySpecs:
+    """Spec-string parsing and parameterized construction."""
+
+    def test_parse_base_name(self):
+        from repro.core import parse_policy_spec
+
+        assert parse_policy_spec("fifo") == ("fifo", {})
+
+    def test_parse_ss_modifier(self):
+        from repro.core import parse_policy_spec
+
+        assert parse_policy_spec("max_min_fairness+ss") == (
+            "max_min_fairness",
+            {"space_sharing": True},
+        )
+
+    def test_parse_agnostic_modifier(self):
+        from repro.core import parse_policy_spec
+
+        assert parse_policy_spec("fifo@agnostic") == (
+            "fifo",
+            {"heterogeneity_agnostic": True},
+        )
+
+    def test_parse_combined_modifiers(self):
+        from repro.core import parse_policy_spec
+
+        base, options = parse_policy_spec("fifo+ss@agnostic")
+        assert base == "fifo"
+        assert options == {"space_sharing": True, "heterogeneity_agnostic": True}
+
+    def test_parse_aware_is_default(self):
+        from repro.core import parse_policy_spec
+
+        assert parse_policy_spec("fifo@aware") == ("fifo", {"heterogeneity_agnostic": False})
+
+    def test_aliases_parse_like_specs(self):
+        from repro.core import parse_policy_spec
+
+        assert parse_policy_spec("max_min_fairness_ss") == parse_policy_spec(
+            "max_min_fairness+ss"
+        )
+        assert parse_policy_spec("fifo_agnostic") == parse_policy_spec("fifo@agnostic")
+
+    def test_make_policy_from_spec_string(self):
+        policy = make_policy("max_min_fairness+ss")
+        assert policy.space_sharing and not policy.heterogeneity_agnostic
+        policy = make_policy("makespan+ss@agnostic")
+        assert policy.space_sharing and policy.heterogeneity_agnostic
+
+    def test_spec_and_alias_build_equivalent_policies(self):
+        via_alias = make_policy("max_min_fairness_ss")
+        via_spec = make_policy("max_min_fairness+ss")
+        assert type(via_alias) is type(via_spec)
+        assert via_alias.space_sharing == via_spec.space_sharing
+        assert via_alias.display_name == via_spec.display_name
+
+    def test_keyword_options_forwarded(self):
+        policy = make_policy("gandiva", packing_trials=7)
+        assert policy._packing_trials == 7
+
+    def test_keyword_options_override_spec(self):
+        policy = make_policy("fifo+ss", space_sharing=False)
+        assert not policy.space_sharing
+
+    def test_unknown_modifier_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("fifo+turbo")
+        with pytest.raises(ConfigurationError):
+            make_policy("fifo@quantum")
+
+    def test_malformed_specs_raise(self):
+        for bad in ("", "+ss", "@agnostic", "fifo+", "fifo@"):
+            with pytest.raises(ConfigurationError):
+                make_policy(bad)
+
+    def test_unsupported_option_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("isolated", packing_trials=3)
+
+    def test_unknown_base_in_spec_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_policy("round_robin+ss")

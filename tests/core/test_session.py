@@ -1,0 +1,319 @@
+"""Session-vs-scratch equivalence for every registry policy.
+
+A policy session driven by the engine's delta stream must produce the same
+allocation as the stateless ``compute_allocation`` API on the equivalent
+from-scratch problem.  Several of the Table-1 LPs have *degenerate* optima
+(interchangeable jobs make many vertices optimal), where HiGHS may return
+different — equally optimal — allocations for structurally different but
+mathematically identical programs; for those the assertion is equality of
+the policy's own objective (to solver tolerance) plus validity, with exact
+row equality asserted whenever the allocations do coincide.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.core import (
+    AllocationEngine,
+    EstimateRefined,
+    JobAdded,
+    JobRemoved,
+    PolicyProblem,
+    available_policies,
+    make_policy,
+)
+from repro.core.effective_throughput import (
+    effective_throughput,
+    equal_share_reference_throughput,
+    fastest_reference_throughput,
+)
+from repro.core.finish_time_fairness import finish_time_fairness_rho
+from repro.core.session import RebuildSession
+from repro.estimator import ThroughputEstimator
+from repro.workloads import ColocatedThroughputs, ColocationModel, ThroughputOracle, TraceGenerator
+
+_REL_TOL = 1e-4
+#: Bisection policies only locate their optimum to a relative tolerance.
+_BISECTION_TOL = 5e-2
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return ThroughputOracle()
+
+
+@pytest.fixture(scope="module")
+def cluster(oracle):
+    return ClusterSpec.from_counts(
+        {name: 2 for name in oracle.registry.names}, registry=oracle.registry
+    )
+
+
+def _policy_objective(name, policy, problem, allocation):
+    """The scalar the policy optimizes, evaluated at an allocation."""
+    matrix = policy.effective_matrix(problem)
+    throughputs = {
+        job_id: effective_throughput(matrix, allocation, job_id)
+        for job_id in problem.job_ids
+    }
+    from repro.core import parse_policy_spec
+
+    base = parse_policy_spec(name)[0]
+    if base in ("max_min_fairness", "max_min_fairness_water_filling"):
+        return min(
+            throughputs[j]
+            * problem.scale_factor(j)
+            / (
+                problem.priority_weight(j)
+                * equal_share_reference_throughput(matrix, problem.cluster_spec, j)
+            )
+            for j in problem.job_ids
+        )
+    if base == "fifo":
+        order = problem.arrival_order()
+        total = len(order)
+        return sum(
+            (total - position) * throughputs[j] / fastest_reference_throughput(matrix, j)
+            for position, j in enumerate(order)
+        )
+    if base == "shortest_job_first":
+        ranked = policy.ranked_jobs(problem)
+        total = len(ranked)
+        return sum(
+            (total - position) * throughputs[j] / fastest_reference_throughput(matrix, j)
+            for position, (j, _duration) in enumerate(ranked)
+        )
+    if base == "max_total_throughput":
+        return sum(
+            throughputs[j] / float(matrix.isolated_throughputs(j).max())
+            for j in problem.job_ids
+        )
+    if base == "makespan":
+        return max(
+            (problem.remaining_steps(j) / throughputs[j]) if throughputs[j] > 0 else math.inf
+            for j in problem.job_ids
+        )
+    if base == "finish_time_fairness":
+        num_jobs = problem.num_jobs
+        from repro.core.effective_throughput import isolated_reference_throughput
+
+        return max(
+            finish_time_fairness_rho(
+                problem.elapsed(j),
+                problem.remaining_steps(j),
+                throughputs[j],
+                isolated_reference_throughput(
+                    matrix,
+                    problem.cluster_spec,
+                    j,
+                    num_jobs=num_jobs,
+                    scale_factor=problem.scale_factor(j),
+                ),
+            )
+            for j in problem.job_ids
+        )
+    if base in ("min_cost", "min_cost_slo"):
+        costs = matrix.registry.costs_per_hour()
+        cost = 0.0
+        for combination in allocation.combinations:
+            scale = max(problem.scale_factor(j) for j in combination)
+            cost += float(np.dot(allocation.row(combination), costs)) * scale
+        numerator = sum(
+            throughputs[j] / fastest_reference_throughput(matrix, j)
+            for j in problem.job_ids
+        )
+        return numerator / (cost + 1e-9)
+    return None  # combinatorial baselines: exact equality is required instead
+
+
+def _assert_equivalent(name, policy, problem, session_allocation, scratch_allocation):
+    session_allocation.validate(problem.cluster_spec)
+    scratch_allocation.validate(problem.cluster_spec)
+    exact = all(
+        np.allclose(
+            session_allocation.row(combination),
+            scratch_allocation.row(combination),
+            atol=1e-6,
+        )
+        for combination in scratch_allocation.combinations
+    )
+    if exact:
+        return
+    session_value = _policy_objective(name, policy, problem, session_allocation)
+    scratch_value = _policy_objective(name, policy, problem, scratch_allocation)
+    assert session_value is not None, (
+        f"{name}: allocations differ but policy has no objective evaluator"
+    )
+    from repro.core import parse_policy_spec
+
+    tolerance = (
+        _BISECTION_TOL
+        if parse_policy_spec(name)[0] in ("makespan", "finish_time_fairness")
+        else _REL_TOL
+    )
+    assert session_value == pytest.approx(scratch_value, rel=tolerance), (
+        f"{name}: session objective {session_value} != scratch {scratch_value}"
+    )
+
+
+def _churn_states(oracle, num_initial=8, num_events=10, seed=11):
+    """Deterministic add/remove event sequence over generated jobs."""
+    trace = TraceGenerator(oracle=oracle).generate_static(
+        num_jobs=num_initial + num_events, seed=seed
+    )
+    jobs = list(trace.jobs)
+    rng = np.random.default_rng(seed)
+    events = [("add", job) for job in jobs[:num_initial]]
+    pending = jobs[num_initial:]
+    active = list(jobs[:num_initial])
+    for job in pending:
+        if len(active) > 3 and rng.random() < 0.5:
+            victim = active.pop(int(rng.integers(0, len(active))))
+            events.append(("remove", victim))
+        events.append(("add", job))
+        active.append(job)
+    return events
+
+
+class TestSessionMatchesScratch:
+    @pytest.mark.parametrize("name", sorted(available_policies()))
+    def test_randomized_churn_equivalence(self, name, oracle, cluster):
+        session_policy = make_policy(name)
+        scratch_policy = make_policy(name)  # separate instance: identical RNG draws
+        engine = AllocationEngine(oracle, space_sharing=session_policy.space_sharing)
+        active = {}
+        session = None
+        compared = 0
+        for action, job in _churn_states(oracle):
+            if action == "add":
+                engine.add_job(job)
+                active[job.job_id] = job
+            else:
+                engine.remove_job(job.job_id)
+                del active[job.job_id]
+            if len(active) < 2:
+                continue
+            problem = PolicyProblem(
+                jobs=dict(active),
+                throughputs=engine.matrix(),
+                cluster_spec=cluster,
+                steps_remaining={
+                    job_id: job.total_steps * (0.25 + 0.75 * ((job_id % 4) / 4))
+                    for job_id, job in active.items()
+                },
+                time_elapsed={job_id: 1800.0 * (job_id % 3) for job_id in active},
+                current_time=3600.0,
+            )
+            deltas = engine.drain_deltas()
+            if session is None:
+                session = session_policy.session(problem)
+            else:
+                session.apply(deltas)
+            session_allocation = session.solve(problem)
+            scratch_allocation = scratch_policy.compute_allocation(problem)
+            _assert_equivalent(
+                name, scratch_policy, problem, session_allocation, scratch_allocation
+            )
+            compared += 1
+        assert compared >= 5
+
+    def test_estimate_refinement_reaches_session(self, oracle, cluster):
+        """EstimateRefined deltas must update the session's pair rows."""
+        model = ColocationModel(oracle)
+        estimator = ThroughputEstimator(model, profile_fraction=0.4, seed=3)
+        policy = make_policy("max_min_fairness+ss")
+        scratch_policy = make_policy("max_min_fairness+ss")
+        engine = AllocationEngine(
+            oracle, space_sharing=True, colocation_model=estimator
+        )
+        trace = TraceGenerator(oracle=oracle).generate_static(num_jobs=8, seed=5)
+        jobs = list(trace.jobs)
+        engine.add_jobs(jobs)
+        active = {job.job_id: job for job in jobs}
+        problem = PolicyProblem(
+            jobs=active, throughputs=engine.matrix(), cluster_spec=cluster
+        )
+        session = policy.session(problem)
+        session.solve(problem)
+        engine.drain_deltas()
+
+        # Refine one pair estimate; the engine must surface a typed delta.
+        first, second = jobs[0], jobs[1]
+        accelerator = oracle.registry.names[0]
+        truth = model.colocated_throughputs(first.job_type, second.job_type, accelerator)
+        estimator.observe(
+            first.job_type,
+            second.job_type,
+            accelerator,
+            ColocatedThroughputs(first=truth.first * 0.5, second=truth.second * 0.5),
+        )
+        matrix = engine.matrix()
+        deltas = engine.drain_deltas()
+        refined = [d for d in deltas if isinstance(d, EstimateRefined)]
+        assert refined, "engine did not emit an EstimateRefined delta"
+        assert refined[0].job_types is not None
+        assert set(refined[0].job_types) == {first.job_type, second.job_type}
+
+        problem = PolicyProblem(jobs=active, throughputs=matrix, cluster_spec=cluster)
+        session.apply(deltas)
+        _assert_equivalent(
+            "max_min_fairness+ss",
+            scratch_policy,
+            problem,
+            session.solve(problem),
+            scratch_policy.compute_allocation(problem),
+        )
+
+    def test_engine_emits_job_deltas(self, oracle):
+        engine = AllocationEngine(oracle)
+        trace = TraceGenerator(oracle=oracle).generate_static(num_jobs=3, seed=0)
+        jobs = list(trace.jobs)
+        engine.add_jobs(jobs)
+        engine.remove_job(jobs[0].job_id)
+        deltas = engine.drain_deltas()
+        assert [type(d) for d in deltas] == [JobAdded, JobAdded, JobAdded, JobRemoved]
+        assert deltas[0].job is jobs[0]
+        assert deltas[-1].job_id == jobs[0].job_id
+        assert engine.drain_deltas() == []
+
+    def test_default_session_is_rebuild(self, oracle, cluster):
+        policy = make_policy("isolated")
+        trace = TraceGenerator(oracle=oracle).generate_static(num_jobs=3, seed=0)
+        jobs = {job.job_id: job for job in trace.jobs}
+        from repro.core.throughput_matrix import build_throughput_matrix
+
+        problem = PolicyProblem(
+            jobs=jobs,
+            throughputs=build_throughput_matrix(list(jobs.values()), oracle),
+            cluster_spec=cluster,
+        )
+        session = policy.session(problem)
+        assert isinstance(session, RebuildSession)
+        allocation = session.solve()
+        for combination in allocation.combinations:
+            np.testing.assert_allclose(
+                allocation.row(combination),
+                policy.compute_allocation(problem).row(combination),
+            )
+
+    def test_solve_without_problem_reuses_last_snapshot(self, oracle, cluster):
+        policy = make_policy("max_min_fairness")
+        trace = TraceGenerator(oracle=oracle).generate_static(num_jobs=4, seed=2)
+        jobs = {job.job_id: job for job in trace.jobs}
+        from repro.core.throughput_matrix import build_throughput_matrix
+
+        problem = PolicyProblem(
+            jobs=jobs,
+            throughputs=build_throughput_matrix(list(jobs.values()), oracle),
+            cluster_spec=cluster,
+        )
+        session = policy.session(problem)
+        first = session.solve()
+        second = session.solve()
+        for combination in first.combinations:
+            np.testing.assert_allclose(
+                first.row(combination), second.row(combination), atol=1e-9
+            )

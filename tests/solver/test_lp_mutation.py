@@ -1,0 +1,182 @@
+"""Tests for the mutable LinearProgram surface (handles, tags, warm re-solves)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InfeasibleError, SolverError
+from repro.solver import LinearExpression, LinearProgram
+from repro.solver.fractional import FractionalProgram
+
+
+def _toy_program():
+    lp = LinearProgram()
+    x = lp.add_variable("x", upper=4.0)
+    y = lp.add_variable("y", upper=3.0)
+    handle = lp.add_less_equal(x + y, 5.0)
+    lp.maximize(x * 2.0 + y)
+    return lp, x, y, handle
+
+
+class TestConstraintMutation:
+    def test_remove_constraint_relaxes_program(self):
+        lp, x, y, handle = _toy_program()
+        assert lp.solve().objective_value == pytest.approx(9.0)
+        lp.remove_constraint(handle)
+        assert lp.solve().objective_value == pytest.approx(11.0)
+
+    def test_set_constraint_bounds_changes_rhs_only(self):
+        lp, x, y, handle = _toy_program()
+        lp.solve()
+        lp.set_constraint_bounds(handle, upper=6.0)
+        assert lp.solve().objective_value == pytest.approx(10.0)
+        lp.set_constraint_bounds(handle, upper=3.0)
+        assert lp.solve().objective_value == pytest.approx(6.0 + 0.0)
+
+    def test_add_and_remove_terms(self):
+        lp, x, y, handle = _toy_program()
+        z = lp.add_variable("z", upper=10.0)
+        lp.add_terms_to_constraint(handle, {z.index: 1.0})
+        lp.maximize(x * 2.0 + y + z * 3.0)
+        solution = lp.solve()
+        # z dominates: z=5, x=4 (bounds), x+y+z <= 5 forces x... x not in bound
+        assert solution.value_of(z) + solution.value_of(x) + solution.value_of(y) <= 5.0 + 1e-9
+        lp.remove_terms_from_constraint(handle, [z.index])
+        solution = lp.solve()
+        assert solution.value_of(z) == pytest.approx(10.0)
+
+    def test_set_constraint_coefficients_replaces_row(self):
+        lp, x, y, handle = _toy_program()
+        lp.solve()
+        lp.set_constraint_coefficients(handle, {x.index: 2.0, y.index: 2.0})
+        solution = lp.solve()
+        assert 2 * solution.value_of(x) + 2 * solution.value_of(y) <= 5.0 + 1e-9
+
+    def test_unknown_handle_raises(self):
+        lp, *_ = _toy_program()
+        with pytest.raises(SolverError):
+            lp.add_terms_to_constraint(9999, {0: 1.0})
+
+    def test_rhs_edit_matches_fresh_program(self):
+        """Warm-started re-solve equals a cold solve of the edited program."""
+        lp, x, y, handle = _toy_program()
+        lp.solve()
+        lp.set_constraint_bounds(handle, upper=4.5)
+        warm = lp.solve()
+
+        fresh = LinearProgram()
+        fx = fresh.add_variable("x", upper=4.0)
+        fy = fresh.add_variable("y", upper=3.0)
+        fresh.add_less_equal(fx + fy, 4.5)
+        fresh.maximize(fx * 2.0 + fy)
+        cold = fresh.solve()
+        assert warm.objective_value == pytest.approx(cold.objective_value)
+        assert warm.value_of(x) == pytest.approx(cold.value_of(fx))
+
+
+class TestVariableRecycling:
+    def test_release_and_reuse_index(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", upper=1.0)
+        y = lp.add_variable("y", upper=1.0)
+        lp.release_variable(y)
+        z = lp.add_variable("z", upper=2.0)
+        assert z.index == y.index
+        assert lp.num_variables() == 2
+        lp.maximize(x + z * 1.0)
+        assert lp.solve().objective_value == pytest.approx(3.0)
+
+    def test_released_variable_fixed_to_zero(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", upper=5.0)
+        y = lp.add_variable("y", upper=5.0)
+        lp.maximize(x + y * 1.0)
+        assert lp.solve().objective_value == pytest.approx(10.0)
+        lp.release_variable(y)
+        lp.maximize({x.index: 1.0})
+        solution = lp.solve()
+        assert solution.value_of(y) == pytest.approx(0.0)
+
+
+class TestTagScopes:
+    def test_clear_tag_removes_scoped_state(self):
+        lp = LinearProgram()
+        x = lp.add_variable("x", upper=2.0)
+        y = lp.add_variable("y", upper=2.0)
+        lp.add_less_equal(x + y, 3.0)
+        for _ in range(5):
+            lp.clear_tag("objective")
+            lp.begin_tag("objective")
+            epigraph = lp.add_max_min_objective([x * 1.0, y * 1.0])
+            lp.end_tag()
+            solution = lp.solve()
+            assert solution.value_of(epigraph) == pytest.approx(1.5)
+        # Epigraph variables were recycled, not accumulated.
+        assert lp.num_variables() == 3
+        assert lp.num_constraints() == 3  # shared row + two epigraph rows
+
+    def test_nested_tag_raises(self):
+        lp = LinearProgram()
+        lp.begin_tag("a")
+        with pytest.raises(SolverError):
+            lp.begin_tag("b")
+
+    def test_fractional_tag_scope(self):
+        fp = FractionalProgram()
+        x = fp.add_variable("x", upper=1.0)
+        y = fp.add_variable("y", upper=1.0)
+        fp.begin_tag("objective")
+        fp.add_greater_equal(x * 1.0, 0.25)
+        fp.end_tag()
+        fp.set_ratio_objective(x + y * 1.0, x * 1.0 + y * 2.0 + 0.1)
+        first = fp.solve()
+        assert first.value_of(x) >= 0.25 - 1e-9
+        fp.clear_tag("objective")
+        second = fp.solve()
+        assert second.objective_value >= first.objective_value - 1e-9
+
+
+class TestChurnEquivalence:
+    def test_incremental_edits_match_fresh_build(self):
+        """A long add/remove/edit sequence stays equivalent to a fresh program."""
+        rng = np.random.default_rng(0)
+        lp = LinearProgram()
+        variables = [lp.add_variable(upper=1.0) for _ in range(6)]
+        handles = {}
+        state = {}
+        for i in range(6):
+            coefficients = {variables[j].index: 1.0 for j in range(6) if (i + j) % 2 == 0}
+            handles[i] = lp.add_less_equal(coefficients, 2.0)
+            state[i] = (dict(coefficients), 2.0)
+        objective = {v.index: float(i + 1) for i, v in enumerate(variables)}
+        lp.maximize(objective)
+
+        for step in range(12):
+            action = step % 3
+            if action == 0:
+                victim = rng.integers(0, 6)
+                if int(victim) in handles:
+                    lp.remove_constraint(handles.pop(int(victim)))
+                    state.pop(int(victim))
+            elif action == 1:
+                key = 100 + step
+                coefficients = {
+                    variables[int(j)].index: float(rng.integers(1, 3))
+                    for j in rng.choice(6, size=3, replace=False)
+                }
+                handles[key] = lp.add_less_equal(coefficients, 2.5)
+                state[key] = (dict(coefficients), 2.5)
+            else:
+                key = next(iter(handles))
+                lp.set_constraint_bounds(handles[key], upper=1.5)
+                state[key] = (state[key][0], 1.5)
+
+            fresh = LinearProgram()
+            fresh_vars = [fresh.add_variable(upper=1.0) for _ in range(6)]
+            for coefficients, rhs in state.values():
+                fresh.add_less_equal(dict(coefficients), rhs)
+            fresh.maximize({v.index: float(i + 1) for i, v in enumerate(fresh_vars)})
+            assert lp.solve().objective_value == pytest.approx(
+                fresh.solve().objective_value, rel=1e-9
+            )
