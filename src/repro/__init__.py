@@ -36,6 +36,15 @@ from repro.core import (
 )
 from repro.estimator import ThroughputEstimator
 from repro.harness import run_load_sweep, run_policy_on_trace
+from repro.scheduler import (
+    Clock,
+    ClusterScheduler,
+    SchedulerConfig,
+    SchedulerSnapshot,
+    SchedulerStatus,
+    VirtualClock,
+    WallClock,
+)
 from repro.simulator import SimulationResult, Simulator, SimulatorConfig
 from repro.workloads import (
     ColocationModel,
@@ -84,6 +93,14 @@ __all__ = [
     "make_policy",
     "available_policies",
     "parse_policy_spec",
+    # scheduler service
+    "ClusterScheduler",
+    "SchedulerConfig",
+    "SchedulerStatus",
+    "SchedulerSnapshot",
+    "Clock",
+    "VirtualClock",
+    "WallClock",
     # simulator / estimator / harness
     "Simulator",
     "SimulatorConfig",

@@ -1,34 +1,52 @@
 """Command-line interface for running scheduling experiments.
 
-Three sub-commands cover the common workflows:
+Four sub-commands cover the common workflows:
 
-* ``policies`` — list every policy name the registry knows;
+* ``policies`` — list every policy name the registry knows and explain the
+  policy-spec string syntax;
 * ``simulate`` — generate a synthetic trace and simulate it under one policy,
   printing the headline metrics (average JCT, makespan, cost, utilization);
 * ``sweep`` — run the average-JCT-versus-load sweep used by the paper's
-  figures for one or more policies.
+  figures for one or more policies;
+* ``online`` — drive the event-driven :class:`~repro.scheduler.ClusterScheduler`
+  with scripted mid-run events (job cancellation, cluster resize, policy
+  hot-swap) on top of a generated trace.
+
+Policy arguments accept registry *spec strings*: a base name plus optional
+``+ss`` (space sharing) and ``@agnostic`` (heterogeneity-agnostic) modifiers,
+e.g. ``max_min_fairness+ss`` or ``fifo@agnostic``.
 
 Examples::
 
     gavel-repro policies
     gavel-repro simulate --policy max_min_fairness --num-jobs 30 --jobs-per-hour 4
     gavel-repro sweep --policies max_min_fairness_agnostic,max_min_fairness \
-        --rates 1,3,5 --num-jobs 20
+        --rates 1,3,5 --num-jobs 20 --round-duration 360 --mode round
+    gavel-repro online --policy max_min_fairness --num-jobs 20 --jobs-per-hour 6 \
+        --cancel 3@7200 --resize v100=+2@14400 --swap-policy fifo@28800
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster import ClusterSpec
 from repro.core import available_policies, make_policy
+from repro.exceptions import SchedulingError, UnknownJobError
 from repro.harness import format_series, format_table, run_policy_on_trace, steady_state_job_ids
+from repro.scheduler import ClusterScheduler
 from repro.simulator import SimulatorConfig
 from repro.workloads import ThroughputOracle, TraceGenerator, TraceGeneratorConfig
 
 __all__ = ["main", "build_parser"]
+
+_POLICY_SPEC_HELP = (
+    "policy spec string: registry name with optional '+ss' (space sharing) "
+    "and '@agnostic' (heterogeneity-agnostic) modifiers, "
+    "e.g. max_min_fairness+ss or fifo@agnostic"
+)
 
 
 def _parse_cluster(text: str) -> Dict[str, int]:
@@ -52,6 +70,72 @@ def _parse_floats(text: str) -> List[float]:
     return [float(part) for part in text.split(",") if part]
 
 
+def _parse_timed(text: str) -> Tuple[str, float]:
+    """Split an ``<event>@<seconds>`` flag value."""
+    payload, at, when = text.rpartition("@")
+    if not at or not payload:
+        raise argparse.ArgumentTypeError(
+            f"expected <event>@<seconds>, got {text!r}"
+        )
+    try:
+        return payload, float(when)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid event time in {text!r}") from None
+
+
+def _parse_deltas(text: str) -> Dict[str, int]:
+    """Parse ``"v100=+2,k80=-1"`` into per-type worker-count deltas."""
+    deltas: Dict[str, int] = {}
+    for part in text.split(","):
+        if not part:
+            continue
+        name, eq, value = part.partition("=")
+        if not eq or not value:
+            raise argparse.ArgumentTypeError(
+                f"resize entries must look like name=+N or name=-N, got {part!r}"
+            )
+        try:
+            deltas[name.strip()] = int(value)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"resize delta for {name.strip()!r} must be an integer, got {value!r}"
+            ) from None
+    if not deltas:
+        raise argparse.ArgumentTypeError("resize must name at least one accelerator type")
+    return deltas
+
+
+def _parse_cancel_event(text: str) -> Tuple[int, float]:
+    """Parse ``JOB_ID@SECONDS`` into ``(job_id, when)``."""
+    payload, when = _parse_timed(text)
+    try:
+        return int(payload), when
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid job id in --cancel {text!r}") from None
+
+
+def _parse_resize_event(text: str) -> Tuple[Dict[str, int], float]:
+    """Parse ``DELTAS@SECONDS`` into ``(deltas, when)``."""
+    payload, when = _parse_timed(text)
+    return _parse_deltas(payload), when
+
+
+def _parse_swap_event(text: str) -> Tuple[str, float]:
+    """Parse ``SPEC@SECONDS`` into ``(policy spec, when)``."""
+    return _parse_timed(text)
+
+
+def _add_trace_arguments(parser: argparse.ArgumentParser, continuous_default: Optional[float]) -> None:
+    parser.add_argument("--num-jobs", type=int, default=20)
+    parser.add_argument("--jobs-per-hour", type=float, default=continuous_default,
+                        help="Poisson arrival rate; omit for a static (all at t=0) trace")
+    parser.add_argument("--cluster", type=_parse_cluster, default="v100=2,p100=2,k80=2",
+                        help="cluster spec, e.g. v100=2,p100=2,k80=2")
+    parser.add_argument("--multi-worker", action="store_true",
+                        help="sample multi-worker scale factors (Philly proportions)")
+    parser.add_argument("--seed", type=int, default=0)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -60,31 +144,62 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("policies", help="list available policy names")
+    subparsers.add_parser(
+        "policies",
+        help="list available policy names and the spec-string syntax",
+        description=(
+            "List every registry policy name.  Any --policy/--policies flag also "
+            f"accepts a {_POLICY_SPEC_HELP}."
+        ),
+    )
 
     simulate = subparsers.add_parser("simulate", help="simulate one trace under one policy")
-    simulate.add_argument("--policy", required=True, help="policy registry name")
-    simulate.add_argument("--num-jobs", type=int, default=20)
-    simulate.add_argument("--jobs-per-hour", type=float, default=None,
-                          help="Poisson arrival rate; omit for a static (all at t=0) trace")
-    simulate.add_argument("--cluster", type=_parse_cluster, default="v100=2,p100=2,k80=2",
-                          help="cluster spec, e.g. v100=2,p100=2,k80=2")
-    simulate.add_argument("--multi-worker", action="store_true",
-                          help="sample multi-worker scale factors (Philly proportions)")
+    simulate.add_argument("--policy", required=True, help=_POLICY_SPEC_HELP)
+    _add_trace_arguments(simulate, continuous_default=None)
     simulate.add_argument("--round-duration", type=float, default=360.0,
                           help="scheduling round length in seconds")
     simulate.add_argument("--mode", choices=["round", "ideal", "physical"], default="round")
-    simulate.add_argument("--seed", type=int, default=0)
 
     sweep = subparsers.add_parser("sweep", help="average JCT versus input job rate")
     sweep.add_argument("--policies", required=True,
-                       help="comma-separated policy registry names")
+                       help=f"comma-separated policy specs; each is a {_POLICY_SPEC_HELP}")
     sweep.add_argument("--rates", type=_parse_floats, default="1,3,5",
                        help="comma-separated input job rates (jobs/hour)")
     sweep.add_argument("--num-jobs", type=int, default=20)
     sweep.add_argument("--cluster", type=_parse_cluster, default="v100=2,p100=2,k80=2")
     sweep.add_argument("--multi-worker", action="store_true")
+    sweep.add_argument("--round-duration", type=float, default=360.0,
+                       help="scheduling round length in seconds")
+    sweep.add_argument("--mode", choices=["round", "ideal", "physical"], default="round")
     sweep.add_argument("--seed", type=int, default=0)
+
+    online = subparsers.add_parser(
+        "online",
+        help="drive the online ClusterScheduler with scripted mid-run events",
+        description=(
+            "Generate a trace, submit it to the event-driven ClusterScheduler and "
+            "apply timed events while it runs: --cancel JOB_ID@SECONDS, "
+            "--resize v100=+2,k80=-1@SECONDS, --swap-policy SPEC@SECONDS.  "
+            "Events may repeat and are applied in time order, each taking "
+            "effect at the first scheduling event boundary at or after its "
+            "time (the next round in round/physical mode, the next "
+            "arrival/completion in ideal mode)."
+        ),
+    )
+    online.add_argument("--policy", required=True, help=_POLICY_SPEC_HELP)
+    _add_trace_arguments(online, continuous_default=4.0)
+    online.add_argument("--round-duration", type=float, default=360.0,
+                        help="scheduling round length in seconds")
+    online.add_argument("--mode", choices=["round", "ideal", "physical"], default="round")
+    online.add_argument("--cancel", action="append", default=[], metavar="JOB_ID@SECONDS",
+                        type=_parse_cancel_event,
+                        help="cancel one job at the given time (repeatable)")
+    online.add_argument("--resize", action="append", default=[], metavar="DELTAS@SECONDS",
+                        type=_parse_resize_event,
+                        help="apply worker-count deltas, e.g. v100=+2,k80=-1@3600 (repeatable)")
+    online.add_argument("--swap-policy", action="append", default=[], metavar="SPEC@SECONDS",
+                        type=_parse_swap_event,
+                        help="hot-swap the scheduling policy at the given time (repeatable)")
     return parser
 
 
@@ -95,30 +210,39 @@ def _make_generator(oracle: ThroughputOracle, multi_worker: bool) -> TraceGenera
 def _command_policies() -> int:
     for name in available_policies():
         print(name)
+    print()
+    print("Any of the above also accepts spec-string modifiers:")
+    print("  <name>+ss        enable space sharing (e.g. max_min_fairness+ss)")
+    print("  <name>@agnostic  heterogeneity-agnostic variant (e.g. fifo@agnostic)")
+    print("  modifiers combine: max_min_fairness+ss@agnostic")
     return 0
 
 
-def _command_simulate(args: argparse.Namespace) -> int:
-    oracle = ThroughputOracle()
-    cluster_counts = args.cluster if isinstance(args.cluster, dict) else _parse_cluster(args.cluster)
-    cluster = ClusterSpec.from_counts(cluster_counts, registry=oracle.registry)
+def _build_trace(args: argparse.Namespace, oracle: ThroughputOracle):
     generator = _make_generator(oracle, args.multi_worker)
     if args.jobs_per_hour is None:
-        trace = generator.generate_static(num_jobs=args.num_jobs, seed=args.seed)
-    else:
-        trace = generator.generate_continuous(
-            num_jobs=args.num_jobs, jobs_per_hour=args.jobs_per_hour, seed=args.seed
-        )
-    config = SimulatorConfig(round_duration_seconds=args.round_duration, mode=args.mode, seed=args.seed)
-    result = run_policy_on_trace(make_policy(args.policy), trace, cluster, oracle=oracle, config=config)
+        return generator.generate_static(num_jobs=args.num_jobs, seed=args.seed)
+    return generator.generate_continuous(
+        num_jobs=args.num_jobs, jobs_per_hour=args.jobs_per_hour, seed=args.seed
+    )
+
+
+def _summary_rows(result, trace, cluster) -> List[List[object]]:
     window = steady_state_job_ids(trace) if not trace.is_static() else None
+    completed = result.completed_job_ids()
     rows = [
         ["policy", result.policy_name],
         ["trace", trace.name],
         ["cluster", str(cluster)],
-        ["completed jobs", f"{len(result.completed_job_ids())}/{len(trace)}"],
-        ["average JCT (hrs)", f"{result.average_jct_hours(window):.2f}"],
-        ["makespan (hrs)", f"{result.makespan_hours():.2f}"],
+        ["completed jobs", f"{len(completed)}/{len(trace)}"],
+    ]
+    if completed:
+        jcts_in_window = result.jcts_hours(window)
+        rows.append(
+            ["average JCT (hrs)", f"{result.average_jct_hours(window if jcts_in_window else None):.2f}"]
+        )
+        rows.append(["makespan (hrs)", f"{result.makespan_hours():.2f}"])
+    rows += [
         ["total cost ($)", f"{result.total_cost_dollars:.0f}"],
         ["cluster utilization", f"{result.utilization() * 100:.1f}%"],
         ["SLO violation rate", f"{result.slo_violation_rate() * 100:.1f}%"],
@@ -126,7 +250,17 @@ def _command_simulate(args: argparse.Namespace) -> int:
         ["policy recomputations", result.num_policy_recomputations],
         ["policy compute time (s)", f"{result.policy_compute_seconds:.2f}"],
     ]
-    print(format_table(["metric", "value"], rows, title="Simulation summary"))
+    return rows
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    oracle = ThroughputOracle()
+    cluster_counts = args.cluster if isinstance(args.cluster, dict) else _parse_cluster(args.cluster)
+    cluster = ClusterSpec.from_counts(cluster_counts, registry=oracle.registry)
+    trace = _build_trace(args, oracle)
+    config = SimulatorConfig(round_duration_seconds=args.round_duration, mode=args.mode, seed=args.seed)
+    result = run_policy_on_trace(make_policy(args.policy), trace, cluster, oracle=oracle, config=config)
+    print(format_table(["metric", "value"], _summary_rows(result, trace, cluster), title="Simulation summary"))
     return 0
 
 
@@ -136,6 +270,7 @@ def _command_sweep(args: argparse.Namespace) -> int:
     cluster = ClusterSpec.from_counts(cluster_counts, registry=oracle.registry)
     generator = _make_generator(oracle, args.multi_worker)
     rates = args.rates if isinstance(args.rates, list) else _parse_floats(args.rates)
+    config = SimulatorConfig(round_duration_seconds=args.round_duration, mode=args.mode, seed=args.seed)
     policy_names = [name for name in args.policies.split(",") if name]
     for name in policy_names:
         values = []
@@ -143,9 +278,64 @@ def _command_sweep(args: argparse.Namespace) -> int:
             trace = generator.generate_continuous(
                 num_jobs=args.num_jobs, jobs_per_hour=rate, seed=args.seed
             )
-            result = run_policy_on_trace(make_policy(name), trace, cluster, oracle=oracle)
+            result = run_policy_on_trace(make_policy(name), trace, cluster, oracle=oracle, config=config)
             values.append(result.average_jct_hours(steady_state_job_ids(trace)))
         print(format_series(name, rates, values, x_label="jobs/hr", y_label="avg JCT (hrs)"))
+    return 0
+
+
+def _collect_online_events(args: argparse.Namespace) -> List[Tuple[float, int, str, object]]:
+    """Merge the (already-parsed) timed-event flags into one time-ordered list."""
+    events: List[Tuple[float, int, str, object]] = []
+    order = 0
+    for kind, parsed in (("cancel", args.cancel), ("resize", args.resize), ("swap", args.swap_policy)):
+        for payload, when in parsed:
+            events.append((when, order, kind, payload))
+            order += 1
+    events.sort(key=lambda event: (event[0], event[1]))
+    return events
+
+
+def _command_online(args: argparse.Namespace) -> int:
+    oracle = ThroughputOracle()
+    cluster_counts = args.cluster if isinstance(args.cluster, dict) else _parse_cluster(args.cluster)
+    cluster = ClusterSpec.from_counts(cluster_counts, registry=oracle.registry)
+    trace = _build_trace(args, oracle)
+    config = SimulatorConfig(round_duration_seconds=args.round_duration, mode=args.mode, seed=args.seed)
+    scheduler = ClusterScheduler(make_policy(args.policy), cluster, oracle=oracle, config=config)
+    for job in trace.jobs:
+        scheduler.submit(job)
+
+    events = _collect_online_events(args)
+    log: List[List[object]] = []
+    for when, _, kind, payload in events:
+        scheduler.run_until(when)
+        if kind == "cancel":
+            try:
+                scheduler.cancel(int(payload))
+            except (SchedulingError, UnknownJobError) as error:
+                # A job may legitimately finish before its scripted cancel
+                # time (completion times are not known in advance).
+                log.append([f"t={when:.0f}s", f"cancel job {payload} skipped: {error}"])
+            else:
+                log.append([f"t={when:.0f}s", f"cancel job {payload}"])
+        elif kind == "resize":
+            new_spec = scheduler.resize(payload)
+            log.append([f"t={when:.0f}s", f"resize -> {new_spec}"])
+        else:
+            old = scheduler.swap_policy(str(payload))
+            log.append(
+                [f"t={when:.0f}s", f"swap policy {old.display_name} -> {scheduler.policy.display_name}"]
+            )
+    scheduler.run_until()
+    result = scheduler.result()
+    status = scheduler.status()
+
+    if log:
+        print(format_table(["when", "event"], log, title="Applied events"))
+    rows = _summary_rows(result, trace, scheduler.cluster_spec)
+    rows.append(["cancelled jobs", ", ".join(map(str, status.cancelled_job_ids)) or "none"])
+    print(format_table(["metric", "value"], rows, title="Online run summary"))
     return 0
 
 
@@ -159,6 +349,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_simulate(args)
     if args.command == "sweep":
         return _command_sweep(args)
+    if args.command == "online":
+        return _command_online(args)
     parser.error(f"unknown command {args.command!r}")
     return 2
 

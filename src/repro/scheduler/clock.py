@@ -1,0 +1,68 @@
+"""Pluggable time sources for the scheduler service.
+
+The :class:`~repro.scheduler.service.ClusterScheduler` never reads wall-clock
+time directly; it asks a :class:`Clock`.  Simulation drives a
+:class:`VirtualClock` (time advances only when the scheduler says so, which is
+what makes trace replay deterministic and snapshot/restore exact), while a
+live deployment would plug in the :class:`WallClock` stub, whose ``now`` is
+the process clock and whose ``advance_to`` sleeps until the target instant.
+"""
+
+from __future__ import annotations
+
+import abc
+import time as _time
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Clock", "VirtualClock", "WallClock"]
+
+
+class Clock(abc.ABC):
+    """A monotone time source measured in seconds from the scheduler epoch."""
+
+    @abc.abstractmethod
+    def now(self) -> float:
+        """Current time in seconds since the epoch of this clock."""
+
+    @abc.abstractmethod
+    def advance_to(self, timestamp: float) -> None:
+        """Block (or jump) until ``now() >= timestamp``.
+
+        Implementations must be monotone: a target in the past is a no-op,
+        never a rewind.
+        """
+
+
+class VirtualClock(Clock):
+    """Simulated time: ``advance_to`` jumps instantly, nothing else moves it."""
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise ConfigurationError(f"virtual clock cannot start at {start}")
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        self._now = max(self._now, float(timestamp))
+
+
+class WallClock(Clock):
+    """Real time relative to construction; ``advance_to`` sleeps.
+
+    This is the live-mode stub: a physical deployment would keep the same
+    interface but wake on scheduler RPCs instead of a plain ``sleep``.
+    """
+
+    def __init__(self) -> None:
+        self._epoch = _time.monotonic()
+
+    def now(self) -> float:
+        return _time.monotonic() - self._epoch
+
+    def advance_to(self, timestamp: float) -> None:
+        delay = float(timestamp) - self.now()
+        if delay > 0:
+            _time.sleep(delay)

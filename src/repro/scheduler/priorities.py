@@ -50,6 +50,23 @@ class PriorityTracker:
         column = self._registry.index_of(accelerator_name)
         self._time_received[key][column] += seconds
 
+    def snapshot_state(self) -> Dict[JobCombination, np.ndarray]:
+        """Copy of the per-combination time-received table (for checkpointing)."""
+        return {combination: received.copy() for combination, received in self._time_received.items()}
+
+    def restore_state(self, state: Mapping[JobCombination, np.ndarray]) -> None:
+        """Overwrite the time-received table from a :meth:`snapshot_state` copy.
+
+        The state must cover exactly the combinations of the tracked
+        allocation — restoring a snapshot taken against a different allocation
+        is a checkpoint/allocation mismatch.
+        """
+        if set(state) != set(self._time_received):
+            raise SchedulingError(
+                "priority-tracker state does not match the tracked allocation's combinations"
+            )
+        self._time_received = {combination: np.array(received, dtype=float) for combination, received in state.items()}
+
     def time_received(self, combination: Sequence[int]) -> np.ndarray:
         """Seconds of time received per accelerator type for one combination."""
         key = tuple(sorted(int(j) for j in combination))

@@ -1,0 +1,919 @@
+"""Event-driven scheduler service: Gavel's round loop as an online API.
+
+Gavel's real deployment is an *online* scheduler — jobs are submitted and
+cancelled at runtime, the cluster grows and shrinks under it, and allocations
+are recomputed on events.  :class:`ClusterScheduler` is that service core:
+it owns admission, the :class:`~repro.core.allocation_engine.AllocationEngine`
+delta stream, one long-lived :class:`~repro.core.session.PolicySession`, the
+Section 5 round mechanism, and lease/cost accounting, and exposes them
+through an event API instead of a closed trace loop:
+
+* :meth:`ClusterScheduler.submit` / :meth:`~ClusterScheduler.cancel` — job
+  churn at runtime;
+* :meth:`~ClusterScheduler.resize` — grow or shrink the cluster mid-run;
+* :meth:`~ClusterScheduler.swap_policy` — hot-swap the scheduling policy,
+  rebuilding the policy session from the live engine state;
+* :meth:`~ClusterScheduler.step` / :meth:`~ClusterScheduler.run_until` —
+  advance the scheduler by one event or until a time horizon;
+* :meth:`~ClusterScheduler.status` / :meth:`~ClusterScheduler.result` —
+  observe progress / collect the final metrics;
+* :meth:`~ClusterScheduler.snapshot` / :meth:`~ClusterScheduler.restore` —
+  checkpoint and resume a long run deterministically.
+
+Time comes from a pluggable :class:`~repro.scheduler.clock.Clock`: the
+simulator drives a :class:`~repro.scheduler.clock.VirtualClock`, a live
+deployment would plug in a :class:`~repro.scheduler.clock.WallClock`.  The
+:class:`~repro.simulator.simulator.Simulator` is now a thin trace-replay
+driver over this core (``submit`` every trace job, ``run_until`` the end) and
+reproduces the pre-refactor results exactly in all three execution modes.
+"""
+
+from __future__ import annotations
+
+import copy
+import heapq
+import math
+import time as _time
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.cluster.cluster_spec import ClusterSpec
+from repro.cluster.placement import Placer
+from repro.cluster.worker import ClusterTopology
+from repro.core.allocation import Allocation
+from repro.core.allocation_engine import AllocationEngine
+from repro.core.effective_throughput import effective_throughput, isolated_reference_throughput
+from repro.core.policy import Policy
+from repro.core.problem import PolicyProblem
+from repro.core.registry import make_policy
+from repro.core.session import PolicyDelta, PolicySession, RebuildSession
+from repro.core.throughput_matrix import ThroughputMatrix, build_throughput_matrix
+from repro.exceptions import ConfigurationError, SchedulingError, UnknownJobError
+from repro.scheduler.clock import Clock, VirtualClock
+from repro.scheduler.mechanism import RoundScheduler
+from repro.scheduler.metrics import JobRecord, SimulationResult
+from repro.scheduler.priorities import PriorityTracker
+from repro.workloads.colocation import ColocationModel
+from repro.workloads.job import Job
+from repro.workloads.throughputs import ThroughputOracle
+
+__all__ = [
+    "SchedulerConfig",
+    "SchedulerStatus",
+    "SchedulerSnapshot",
+    "ClusterScheduler",
+]
+
+_SECONDS_PER_HOUR = 3600.0
+_ARRIVAL_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Tunable scheduler behaviour (shared by the service and the simulator).
+
+    Attributes:
+        round_duration_seconds: Length of one scheduling round (paper default
+            6 minutes; 20 minutes for the physical cluster runs).
+        mode: ``"round"`` (the full Section 5 mechanism), ``"ideal"`` (jobs
+            progress continuously at exactly their allocation's effective
+            throughput — the baseline of Figure 13b) or ``"physical"``
+            (``round`` plus per-preemption checkpoint overhead and seeded
+            throughput jitter, standing in for the paper's 48-GPU cluster).
+        checkpoint_overhead_seconds: Time lost when a job is preempted or
+            migrated at a round boundary (physical mode only).  The overhead
+            window holds the accelerator, so it is billed and counted as busy
+            time like productive execution, but it is *also* accounted
+            separately (``JobRecord.checkpoint_seconds`` /
+            ``SimulationResult.checkpoint_worker_seconds``) so cost and
+            utilization can be decomposed into productive and overhead parts.
+        throughput_jitter_std: Relative std-dev of per-round throughput noise
+            (physical mode only).
+        seed: Seed for the jitter generator.
+        max_simulated_seconds: Safety cap on scheduler time.
+        colocation_threshold: Minimum combined normalized throughput for a job
+            pair to be considered by space-sharing policies.
+        estimator: Optional throughput-estimator object exposing the
+            :class:`~repro.workloads.colocation.ColocationModel` query
+            interface; when set, space-sharing policies see *estimated*
+            colocated throughputs while execution still uses the true model.
+    """
+
+    round_duration_seconds: float = 360.0
+    mode: str = "round"
+    checkpoint_overhead_seconds: float = 5.0
+    throughput_jitter_std: float = 0.02
+    seed: int = 0
+    max_simulated_seconds: float = 6.0e7
+    colocation_threshold: float = 1.1
+    estimator: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.round_duration_seconds <= 0:
+            raise ConfigurationError("round_duration_seconds must be positive")
+        if self.mode not in ("round", "ideal", "physical"):
+            raise ConfigurationError(f"unknown simulator mode {self.mode!r}")
+        if self.checkpoint_overhead_seconds < 0:
+            raise ConfigurationError("checkpoint_overhead_seconds must be non-negative")
+        if self.throughput_jitter_std < 0:
+            raise ConfigurationError("throughput_jitter_std must be non-negative")
+
+
+@dataclass
+class _JobState:
+    """Mutable per-job execution state."""
+
+    job: Job
+    steps_done: float = 0.0
+    last_accelerator: Optional[str] = None
+    was_running_last_round: bool = False
+
+    @property
+    def steps_remaining(self) -> float:
+        return max(0.0, self.job.total_steps - self.steps_done)
+
+
+@dataclass(frozen=True)
+class SchedulerStatus:
+    """Point-in-time view of a :class:`ClusterScheduler`."""
+
+    current_time: float
+    policy_name: str
+    mode: str
+    cluster_spec: ClusterSpec
+    active_job_ids: Tuple[int, ...]
+    pending_job_ids: Tuple[int, ...]
+    completed_job_ids: Tuple[int, ...]
+    cancelled_job_ids: Tuple[int, ...]
+    num_rounds: int
+    num_policy_recomputations: int
+    total_cost_dollars: float
+
+    @property
+    def has_work(self) -> bool:
+        return bool(self.active_job_ids) or bool(self.pending_job_ids)
+
+
+@dataclass
+class SchedulerSnapshot:
+    """In-process checkpoint of a :class:`ClusterScheduler`.
+
+    Captures the full logical execution state — time, job queues and
+    progress, accounting, the current allocation period (target allocation
+    plus time received) and the jitter-RNG state.  Live solver internals
+    (the policy session's program and warm-started backend) cannot be copied
+    directly, so the snapshot instead pins the session's *solve history* —
+    the sequence of problem snapshots and engine deltas it consumed — and
+    :meth:`ClusterScheduler.restore` replays that sequence into a fresh
+    session.  Replay reconstructs the exact solver state, so a resumed run
+    makes bit-identical decisions to an uninterrupted one; its cost is one
+    LP re-solve per past allocation recomputation (the round execution
+    between recomputations, which dominates a run, is not replayed).
+    Snapshots are plain in-memory data tied to the policy/oracle objects of
+    the run that produced them.
+    """
+
+    time: float
+    policy: Policy
+    cluster_spec: ClusterSpec
+    capacity_epochs: List[Tuple[float, ClusterSpec]]
+    pending: List[Tuple[float, int, Job]]
+    submit_seq: int
+    active: List[Tuple[Job, float, Optional[str], bool]]
+    records: Dict[int, JobRecord]
+    busy_seconds: Dict[str, float]
+    checkpoint_seconds: Dict[str, float]
+    total_cost: float
+    num_rounds: int
+    recomputations: int
+    policy_seconds: float
+    matrix_seconds: float
+    allocation_stale: bool
+    tracker_allocation: Optional[Allocation]
+    tracker_state: Optional[Dict[Tuple[int, ...], np.ndarray]]
+    rng_state: dict
+    session_history: List[Tuple[PolicyProblem, Optional[List[PolicyDelta]]]]
+
+
+class ClusterScheduler:
+    """Online scheduler core: submit/cancel/resize/swap driven by a clock.
+
+    One instance owns one cluster and one (swappable) policy.  Jobs enter via
+    :meth:`submit`, progress is made by :meth:`step` / :meth:`run_until`, and
+    aggregate metrics come from :meth:`result` — the same
+    :class:`~repro.scheduler.metrics.SimulationResult` the simulator reports,
+    because the simulator is a thin replay driver over this class.
+    """
+
+    def __init__(
+        self,
+        policy: "Policy | str",
+        cluster_spec: ClusterSpec,
+        oracle: Optional[ThroughputOracle] = None,
+        colocation_model: Optional[ColocationModel] = None,
+        config: Optional[SchedulerConfig] = None,
+        workers_per_server: int = 4,
+        clock: Optional[Clock] = None,
+    ):
+        self._policy = make_policy(policy) if isinstance(policy, str) else policy
+        self._oracle = oracle if oracle is not None else ThroughputOracle()
+        self._colocation = (
+            colocation_model if colocation_model is not None else ColocationModel(self._oracle)
+        )
+        self._config = config if config is not None else SchedulerConfig()
+        self._workers_per_server = workers_per_server
+        self._clock = clock if clock is not None else VirtualClock()
+        self._rng = np.random.default_rng(self._config.seed)
+        self._set_cluster(cluster_spec)
+        #: Piecewise-constant capacity history: (start time, spec) per epoch,
+        #: so utilization stays correct across mid-run resizes.
+        self._capacity_epochs: List[Tuple[float, ClusterSpec]] = [
+            (self._clock.now(), cluster_spec)
+        ]
+
+        self._pending: List[Tuple[float, int, Job]] = []
+        self._pending_ids: Set[int] = set()
+        self._cancelled_pending: Set[int] = set()
+        self._submit_seq = 0
+        self._active: Dict[int, _JobState] = {}
+        self._records: Dict[int, JobRecord] = {}
+
+        self._busy_seconds: Dict[str, float] = {
+            name: 0.0 for name in self._cluster_spec.registry.names
+        }
+        self._checkpoint_seconds: Dict[str, float] = {
+            name: 0.0 for name in self._cluster_spec.registry.names
+        }
+        self._total_cost = 0.0
+        self._num_rounds = 0
+        self._recomputations = 0
+        self._policy_seconds = 0.0
+        self._matrix_seconds = 0.0
+
+        self._allocation_stale = True
+        self._tracker: Optional[PriorityTracker] = None
+        self._engine = self._make_engine()
+        self._session: Optional[PolicySession] = None
+        #: (problem, deltas) consumed by the live session, in order; ``None``
+        #: deltas mark the session-creating solve.  Kept so snapshots can
+        #: reconstruct the session's exact solver state by replay.
+        self._session_history: List[Tuple[PolicyProblem, Optional[List[PolicyDelta]]]] = []
+
+    # -- construction helpers ---------------------------------------------------------
+    def _set_cluster(self, cluster_spec: ClusterSpec) -> None:
+        self._cluster_spec = cluster_spec
+        self._topology = ClusterTopology(
+            cluster_spec, workers_per_server=self._workers_per_server
+        )
+        self._placer = Placer(self._topology)
+        self._round_scheduler = RoundScheduler(cluster_spec)
+
+    def _make_engine(self) -> AllocationEngine:
+        """Incremental matrix engine; policies see the estimator when one is set."""
+        colocation = (
+            self._config.estimator if self._config.estimator is not None else self._colocation
+        )
+        return AllocationEngine(
+            self._oracle,
+            space_sharing=self._policy.space_sharing,
+            colocation_model=colocation,
+            colocation_threshold=self._config.colocation_threshold,
+        )
+
+    # -- introspection ---------------------------------------------------------------
+    @property
+    def policy(self) -> Policy:
+        return self._policy
+
+    @property
+    def cluster_spec(self) -> ClusterSpec:
+        return self._cluster_spec
+
+    @property
+    def clock(self) -> Clock:
+        return self._clock
+
+    @property
+    def now(self) -> float:
+        return self._clock.now()
+
+    @property
+    def has_work(self) -> bool:
+        """Whether any job is active or waiting to be admitted."""
+        return bool(self._active) or self._peek_pending() is not None
+
+    def status(self) -> SchedulerStatus:
+        """A point-in-time summary of the scheduler's state."""
+        pending = tuple(
+            job.job_id
+            for _, _, job in sorted(self._pending)
+            if job.job_id not in self._cancelled_pending
+        )
+        return SchedulerStatus(
+            current_time=self._clock.now(),
+            policy_name=self._policy.display_name,
+            mode=self._config.mode,
+            cluster_spec=self._cluster_spec,
+            active_job_ids=tuple(sorted(self._active)),
+            pending_job_ids=pending,
+            completed_job_ids=tuple(
+                job_id for job_id, record in sorted(self._records.items()) if record.completed
+            ),
+            cancelled_job_ids=tuple(
+                job_id for job_id, record in sorted(self._records.items()) if record.cancelled
+            ),
+            num_rounds=self._num_rounds,
+            num_policy_recomputations=self._recomputations,
+            total_cost_dollars=self._total_cost,
+        )
+
+    # -- event API: job churn -----------------------------------------------------------
+    def submit(self, job: Job) -> None:
+        """Queue one job for admission at ``job.arrival_time``.
+
+        Arrival times in the past (relative to the scheduler clock) are
+        admitted at the next step; future arrival times make the job wait, so
+        a trace replay is just ``submit`` for every job followed by
+        :meth:`run_until`.
+        """
+        if job.job_id in self._records:
+            raise ConfigurationError(f"job {job.job_id} was already submitted")
+        self._records[job.job_id] = JobRecord(job=job)
+        heapq.heappush(self._pending, (job.arrival_time, self._submit_seq, job))
+        self._pending_ids.add(job.job_id)
+        self._submit_seq += 1
+
+    def cancel(self, job_id: int) -> None:
+        """Remove one job (active or still queued) from the scheduler.
+
+        The job's record survives with ``cancelled=True`` and whatever
+        progress/cost it accrued; the next step recomputes the allocation
+        without it.
+        """
+        if job_id in self._active:
+            del self._active[job_id]
+            start = _time.perf_counter()
+            self._engine.remove_job(job_id)
+            self._matrix_seconds += _time.perf_counter() - start
+            self._records[job_id].cancelled = True
+            self._allocation_stale = True
+        elif job_id in self._pending_ids:
+            self._pending_ids.discard(job_id)
+            self._cancelled_pending.add(job_id)
+            self._records[job_id].cancelled = True
+        elif job_id in self._records:
+            raise SchedulingError(
+                f"job {job_id} already left the scheduler and cannot be cancelled"
+            )
+        else:
+            raise UnknownJobError(f"job {job_id} was never submitted")
+
+    # -- event API: cluster and policy churn ------------------------------------------------
+    def resize(self, cluster: "ClusterSpec | Mapping[str, int]") -> ClusterSpec:
+        """Grow or shrink the cluster; returns the new spec.
+
+        ``cluster`` is either a complete :class:`ClusterSpec` or a mapping of
+        per-type worker-count *deltas* (``{"v100": +2, "k80": -1}``).  The
+        change takes effect at the next round: the target allocation is
+        recomputed and capacity accounting switches to the new counts from the
+        current instant.
+        """
+        if isinstance(cluster, ClusterSpec):
+            new_spec = cluster
+        else:
+            counts = {
+                name: self._cluster_spec.count(name) + int(cluster.get(name, 0))
+                for name in self._cluster_spec.registry.names
+            }
+            unknown = set(cluster) - set(self._cluster_spec.registry.names)
+            if unknown:
+                raise ConfigurationError(
+                    f"resize deltas reference unknown accelerator types {sorted(unknown)}"
+                )
+            new_spec = ClusterSpec.from_counts(counts, registry=self._cluster_spec.registry)
+        if tuple(new_spec.registry.names) != tuple(self._cluster_spec.registry.names):
+            raise ConfigurationError(
+                "resize cannot change the set of accelerator types mid-run"
+            )
+        self._set_cluster(new_spec)
+        self._capacity_epochs.append((self._clock.now(), new_spec))
+        # The current allocation period targeted the old capacity; start a
+        # fresh one at the next step.
+        self._allocation_stale = True
+        self._tracker = None
+        return new_spec
+
+    def swap_policy(self, policy: "Policy | str") -> Policy:
+        """Replace the scheduling policy at runtime; returns the old policy.
+
+        The policy session is rebuilt from the live engine state: when the
+        new policy shares the old one's space-sharing setting the incremental
+        throughput matrix is kept as-is, otherwise the engine is rebuilt for
+        the new row structure.  Either way a fresh session is opened at the
+        next allocation recomputation, which starts a new allocation period.
+        """
+        new_policy = make_policy(policy) if isinstance(policy, str) else policy
+        old_policy, self._policy = self._policy, new_policy
+        if new_policy.space_sharing != old_policy.space_sharing:
+            self._rebuild_engine()
+        self._session = None
+        self._session_history = []
+        self._allocation_stale = True
+        self._tracker = None
+        return old_policy
+
+    def _rebuild_engine(self) -> None:
+        """Fresh engine over the current active set (admission order preserved)."""
+        start = _time.perf_counter()
+        self._engine = self._make_engine()
+        for state in self._active.values():
+            self._engine.add_job(state.job)
+        self._engine.drain_deltas()
+        self._matrix_seconds += _time.perf_counter() - start
+
+    # -- event API: time ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Process one scheduling event; returns whether work remains.
+
+        In ``round``/``physical`` mode an event is one scheduling round
+        (admission, allocation recomputation if stale, Algorithm 1 selection,
+        placement, execution, accounting); in ``ideal`` mode it is the span to
+        the next arrival or completion at fluid progress rates.
+        """
+        if not self.has_work:
+            return False
+        if self._clock.now() > self._config.max_simulated_seconds:
+            return False
+        if self._config.mode == "ideal":
+            self._step_ideal()
+        else:
+            self._step_round()
+        return self.has_work
+
+    def run_until(self, until: float = math.inf) -> "ClusterScheduler":
+        """Advance until ``until`` (scheduler time), the work runs out, or the cap hits.
+
+        Steps are atomic: a step that starts before ``until`` runs to its
+        end, so the clock overshoots — by up to one round in
+        ``round``/``physical`` mode, and up to the span to the next
+        arrival/completion in ``ideal`` mode (fluid allocations only change
+        at event boundaries, so there is no meaningful intermediate state to
+        stop at).  Online interventions issued after ``run_until(t)``
+        therefore take effect at the first event boundary at or after ``t``.
+        With the default horizon this drains every submitted job — exactly
+        the trace-replay loop the simulator runs.
+        """
+        while self.has_work:
+            now = self._clock.now()
+            if now > self._config.max_simulated_seconds:
+                break
+            if now >= until:
+                break
+            if not self._active:
+                head = self._peek_pending()
+                if head is not None and head[0] >= until:
+                    break  # idle gap: the next arrival is beyond the horizon
+            self.step()
+        if math.isfinite(until):
+            self._clock.advance_to(min(until, self._config.max_simulated_seconds))
+        return self
+
+    # -- results ---------------------------------------------------------------------------
+    def result(self) -> SimulationResult:
+        """Aggregate metrics for everything executed so far."""
+        end_time = self._clock.now()
+        suffix = " (ideal)" if self._config.mode == "ideal" else ""
+        checkpoint = (
+            {} if self._config.mode == "ideal" else dict(self._checkpoint_seconds)
+        )
+        return SimulationResult(
+            policy_name=f"{self._policy.display_name}{suffix}",
+            records=self._records,
+            end_time=end_time,
+            num_rounds=self._num_rounds,
+            busy_worker_seconds=dict(self._busy_seconds),
+            capacity_worker_seconds=self._capacity_worker_seconds(end_time),
+            total_cost_dollars=self._total_cost,
+            isolated_durations=self._isolated_durations(),
+            policy_compute_seconds=self._policy_seconds,
+            num_policy_recomputations=self._recomputations,
+            checkpoint_worker_seconds=checkpoint,
+            matrix_prep_seconds=self._matrix_seconds,
+        )
+
+    def _capacity_worker_seconds(self, end_time: float) -> Dict[str, float]:
+        """Integrate per-type capacity over the (piecewise-constant) epoch history."""
+        names = self._cluster_spec.registry.names
+        capacity = {name: 0.0 for name in names}
+        for index, (start, spec) in enumerate(self._capacity_epochs):
+            next_start = (
+                self._capacity_epochs[index + 1][0]
+                if index + 1 < len(self._capacity_epochs)
+                else end_time
+            )
+            span = max(0.0, min(next_start, end_time) - start)
+            if span <= 0:
+                continue
+            for name in names:
+                capacity[name] += spec.count(name) * span
+        return capacity
+
+    def _isolated_durations(self) -> Dict[int, float]:
+        """Reference JCT under a dedicated 1/n cluster share, per submitted job (for FTF)."""
+        jobs = [record.job for record in self._records.values()]
+        if not jobs:
+            return {}
+        matrix = build_throughput_matrix(jobs, self._oracle, space_sharing=False)
+        durations: Dict[int, float] = {}
+        num_jobs = max(1, len(jobs))
+        for job in jobs:
+            throughput = isolated_reference_throughput(
+                matrix,
+                self._cluster_spec,
+                job.job_id,
+                num_jobs=num_jobs,
+                scale_factor=job.scale_factor,
+            )
+            if throughput > 0:
+                durations[job.job_id] = job.total_steps / throughput
+        return durations
+
+    # -- checkpoint/resume ------------------------------------------------------------------
+    def snapshot(self) -> SchedulerSnapshot:
+        """Checkpoint the full logical state (see :class:`SchedulerSnapshot`)."""
+        tracker = self._tracker
+        pending = [
+            entry
+            for entry in sorted(self._pending)
+            if entry[2].job_id not in self._cancelled_pending
+        ]
+        return SchedulerSnapshot(
+            time=self._clock.now(),
+            policy=self._policy,
+            cluster_spec=self._cluster_spec,
+            capacity_epochs=list(self._capacity_epochs),
+            pending=pending,
+            submit_seq=self._submit_seq,
+            active=[
+                (state.job, state.steps_done, state.last_accelerator, state.was_running_last_round)
+                for state in self._active.values()
+            ],
+            records=copy.deepcopy(self._records),
+            busy_seconds=dict(self._busy_seconds),
+            checkpoint_seconds=dict(self._checkpoint_seconds),
+            total_cost=self._total_cost,
+            num_rounds=self._num_rounds,
+            recomputations=self._recomputations,
+            policy_seconds=self._policy_seconds,
+            matrix_seconds=self._matrix_seconds,
+            allocation_stale=self._allocation_stale,
+            tracker_allocation=tracker.allocation if tracker is not None else None,
+            tracker_state=tracker.snapshot_state() if tracker is not None else None,
+            rng_state=copy.deepcopy(self._rng.bit_generator.state),
+            session_history=list(self._session_history),
+        )
+
+    def restore(self, snapshot: SchedulerSnapshot) -> "ClusterScheduler":
+        """Load a :meth:`snapshot`, replacing the current state entirely.
+
+        Works both as a rollback on the scheduler that took the snapshot and
+        as a resume on a freshly constructed scheduler sharing the same
+        oracle/colocation/config.  Requires a
+        :class:`~repro.scheduler.clock.VirtualClock` (real time cannot be
+        rewound).
+        """
+        if not isinstance(self._clock, VirtualClock):
+            raise ConfigurationError("restore() requires a VirtualClock")
+        self._policy = snapshot.policy
+        self._set_cluster(snapshot.cluster_spec)
+        self._capacity_epochs = list(snapshot.capacity_epochs)
+        self._clock = VirtualClock(start=snapshot.time)
+        self._pending = list(snapshot.pending)
+        heapq.heapify(self._pending)
+        self._pending_ids = {job.job_id for _, _, job in self._pending}
+        self._cancelled_pending = set()
+        self._submit_seq = snapshot.submit_seq
+        self._active = {
+            job.job_id: _JobState(
+                job=job,
+                steps_done=steps_done,
+                last_accelerator=last_accelerator,
+                was_running_last_round=was_running,
+            )
+            for job, steps_done, last_accelerator, was_running in snapshot.active
+        }
+        self._records = copy.deepcopy(snapshot.records)
+        self._busy_seconds = dict(snapshot.busy_seconds)
+        self._checkpoint_seconds = dict(snapshot.checkpoint_seconds)
+        self._total_cost = snapshot.total_cost
+        self._num_rounds = snapshot.num_rounds
+        self._recomputations = snapshot.recomputations
+        self._policy_seconds = snapshot.policy_seconds
+        self._matrix_seconds = snapshot.matrix_seconds
+        self._rng = np.random.default_rng(self._config.seed)
+        self._rng.bit_generator.state = copy.deepcopy(snapshot.rng_state)
+        self._rebuild_engine()
+        self._replay_session(snapshot.session_history)
+        if snapshot.tracker_allocation is not None:
+            self._tracker = PriorityTracker(snapshot.tracker_allocation)
+            self._tracker.restore_state(snapshot.tracker_state)
+        else:
+            self._tracker = None
+        self._allocation_stale = snapshot.allocation_stale
+        return self
+
+    def _replay_session(
+        self, history: List[Tuple[PolicyProblem, Optional[List[PolicyDelta]]]]
+    ) -> None:
+        """Reconstruct the policy session's solver state by replaying its history.
+
+        A warm solver program is a function of the exact sequence of problem
+        snapshots and deltas it consumed; replaying that sequence rebuilds an
+        identical program (and identical warm-start state), so solves after a
+        restore match the uninterrupted run bit for bit.  Stateless
+        :class:`~repro.core.session.RebuildSession` policies skip the replay —
+        they recompute from scratch per solve anyway.
+        """
+        self._session = None
+        self._session_history = list(history)
+        for problem, deltas in history:
+            if self._session is None:
+                self._session = self._policy.session(problem)
+                if isinstance(self._session, RebuildSession):
+                    return
+            else:
+                self._session.apply(deltas)
+            self._session.solve(problem)
+
+    # -- internals: admission -----------------------------------------------------------------
+    def _peek_pending(self) -> Optional[Tuple[float, int, Job]]:
+        """Next queued entry, dropping lazily-cancelled ones."""
+        while self._pending:
+            entry = self._pending[0]
+            if entry[2].job_id in self._cancelled_pending:
+                heapq.heappop(self._pending)
+                self._cancelled_pending.discard(entry[2].job_id)
+                continue
+            return entry
+        return None
+
+    def _admit_arrivals(self, current_time: float) -> bool:
+        """Move every job whose arrival time has come into the active set."""
+        admitted = False
+        while True:
+            head = self._peek_pending()
+            if head is None or head[0] > current_time + _ARRIVAL_EPSILON:
+                break
+            heapq.heappop(self._pending)
+            job = head[2]
+            self._pending_ids.discard(job.job_id)
+            self._active[job.job_id] = _JobState(job=job)
+            start = _time.perf_counter()
+            self._engine.add_job(job)
+            self._matrix_seconds += _time.perf_counter() - start
+            admitted = True
+        return admitted
+
+    def _build_problem(self, current_time: float, matrix: ThroughputMatrix) -> PolicyProblem:
+        jobs = {job_id: state.job for job_id, state in self._active.items()}
+        steps_remaining = {
+            job_id: state.steps_remaining for job_id, state in self._active.items()
+        }
+        elapsed = {
+            job_id: max(0.0, current_time - state.job.arrival_time)
+            for job_id, state in self._active.items()
+        }
+        return PolicyProblem(
+            jobs=jobs,
+            throughputs=matrix,
+            cluster_spec=self._cluster_spec,
+            steps_remaining=steps_remaining,
+            time_elapsed=elapsed,
+            current_time=current_time,
+        )
+
+    def _solve_allocation(self, current_time: float) -> Allocation:
+        """One allocation recomputation through the long-lived policy session."""
+        start = _time.perf_counter()
+        matrix = self._engine.matrix()
+        self._matrix_seconds += _time.perf_counter() - start
+        problem = self._build_problem(current_time, matrix)
+        deltas = self._engine.drain_deltas()
+        start = _time.perf_counter()
+        if self._session is None:
+            self._session = self._policy.session(problem)
+            self._session_history.append((problem, None))
+        else:
+            self._session.apply(deltas)
+            self._session_history.append((problem, deltas))
+        allocation = self._session.solve(problem)
+        self._policy_seconds += _time.perf_counter() - start
+        self._recomputations += 1
+        return allocation
+
+    def _execution_throughput(
+        self,
+        combination: Tuple[int, ...],
+        job_id: int,
+        accelerator_name: str,
+        consolidated: bool,
+    ) -> float:
+        """True throughput used to advance training progress."""
+        state = self._active[job_id]
+        if len(combination) == 1:
+            throughput = self._oracle.throughput(
+                state.job.job_type,
+                accelerator_name,
+                scale_factor=state.job.scale_factor,
+                consolidated=consolidated,
+            )
+        else:
+            other_id = combination[0] if combination[1] == job_id else combination[1]
+            other = self._active[other_id]
+            pair = self._colocation.colocated_throughputs(
+                state.job.job_type, other.job.job_type, accelerator_name
+            )
+            throughput = pair.first if combination[0] == job_id else pair.second
+        if self._config.mode == "physical" and self._config.throughput_jitter_std > 0:
+            throughput *= max(
+                0.0, float(self._rng.normal(1.0, self._config.throughput_jitter_std))
+            )
+        return throughput
+
+    # -- internals: round-based stepping --------------------------------------------------------
+    def _step_round(self) -> None:
+        config = self._config
+        round_duration = config.round_duration_seconds
+        physical = config.mode == "physical"
+
+        if not self._active:
+            head = self._peek_pending()
+            if head is not None:
+                self._clock.advance_to(head[0])
+        current_time = self._clock.now()
+        if self._admit_arrivals(current_time):
+            self._allocation_stale = True
+        if not self._active:
+            return
+
+        if self._allocation_stale or self._tracker is None:
+            allocation = self._solve_allocation(current_time)
+            self._tracker = PriorityTracker(allocation)
+            self._allocation_stale = False
+        tracker = self._tracker
+
+        scale_factors = {job_id: state.job.scale_factor for job_id, state in self._active.items()}
+        scheduled = self._round_scheduler.schedule_round(tracker, scale_factors)
+        self._round_scheduler.validate_round(scheduled)
+        placements = self._placer.place([item.placement_request() for item in scheduled])
+        consolidated_by_combination = {
+            placement.combination: placement.consolidated for placement in placements
+        }
+
+        round_end = current_time + round_duration
+        completed_this_round: List[Tuple[int, float]] = []
+        running_jobs: Set[int] = set()
+        records = self._records
+        for item in scheduled:
+            combination = item.combination
+            accelerator_name = item.accelerator_name
+            consolidated = consolidated_by_combination.get(combination, True)
+            effective_duration = round_duration
+            # Worker-occupancy within the round: jobs that complete mid-round
+            # release their accelerators at the completion instant, so
+            # utilization and cost are prorated rather than charged a full
+            # round.  Cost is job-attributable: when one job of a pair
+            # finishes early, the surviving job keeps the device busy
+            # (occupancy = max over the pair) but the freed half-slot is
+            # billed to no one.
+            occupancy_seconds = 0.0
+            for job_id in combination:
+                state = self._active[job_id]
+                running_jobs.add(job_id)
+                overhead = 0.0
+                if physical and (
+                    not state.was_running_last_round
+                    or state.last_accelerator != accelerator_name
+                ):
+                    overhead = min(config.checkpoint_overhead_seconds, round_duration)
+                    records[job_id].preemptions += 1
+                usable = max(0.0, effective_duration - overhead)
+                throughput = self._execution_throughput(
+                    combination, job_id, accelerator_name, consolidated
+                )
+                progress = throughput * usable
+                needed = state.steps_remaining
+                if throughput > 0 and progress >= needed:
+                    finish = min(current_time + overhead + needed / throughput, round_end)
+                    completed_this_round.append((job_id, finish))
+                    state.steps_done = state.job.total_steps
+                    used_seconds = finish - current_time
+                else:
+                    state.steps_done += progress
+                    used_seconds = round_duration
+                state.last_accelerator = accelerator_name
+                record = records[job_id]
+                record.steps_done = state.steps_done
+                record.accelerator_seconds[accelerator_name] = (
+                    record.accelerator_seconds.get(accelerator_name, 0.0) + used_seconds
+                )
+                if overhead > 0:
+                    # Checkpoint/restore windows occupy the accelerator but
+                    # produce no training progress; they are billed like
+                    # productive time (the device is held) and accounted
+                    # separately so cost/utilization can be decomposed.
+                    overhead_used = min(overhead, used_seconds)
+                    record.checkpoint_seconds += overhead_used
+                    self._checkpoint_seconds[accelerator_name] += (
+                        overhead_used * item.scale_factor / len(combination)
+                    )
+                cost = (
+                    self._cluster_spec.registry.get(accelerator_name).cost_per_hour
+                    * state.job.scale_factor
+                    * used_seconds
+                    / _SECONDS_PER_HOUR
+                )
+                if len(combination) > 1:
+                    cost /= len(combination)
+                record.cost_dollars += cost
+                self._total_cost += cost
+                occupancy_seconds = max(occupancy_seconds, used_seconds)
+            self._busy_seconds[accelerator_name] += item.scale_factor * occupancy_seconds
+            tracker.record_time(combination, accelerator_name, round_duration)
+
+        for job_id, state in self._active.items():
+            state.was_running_last_round = job_id in running_jobs
+
+        for job_id, finish_time in completed_this_round:
+            records[job_id].completion_time = finish_time
+            del self._active[job_id]
+            start = _time.perf_counter()
+            self._engine.remove_job(job_id)
+            self._matrix_seconds += _time.perf_counter() - start
+        if completed_this_round:
+            self._allocation_stale = True
+
+        self._clock.advance_to(round_end)
+        self._num_rounds += 1
+
+    # -- internals: ideal (fluid) stepping --------------------------------------------------------
+    def _step_ideal(self) -> None:
+        """One fluid event: solve, progress every job to the next arrival/completion."""
+        if not self._active:
+            head = self._peek_pending()
+            if head is not None:
+                self._clock.advance_to(head[0])
+        current_time = self._clock.now()
+        self._admit_arrivals(current_time)
+        if not self._active:
+            return
+
+        allocation = self._solve_allocation(current_time)
+        matrix = self._session.problem.throughputs
+
+        throughputs = {
+            job_id: effective_throughput(matrix, allocation, job_id) for job_id in self._active
+        }
+        # Time to the next event: the next arrival or the earliest completion.
+        head = self._peek_pending()
+        next_arrival = head[0] if head is not None else math.inf
+        earliest_completion = math.inf
+        for job_id, state in self._active.items():
+            throughput = throughputs[job_id]
+            if throughput > 0:
+                earliest_completion = min(
+                    earliest_completion, current_time + state.steps_remaining / throughput
+                )
+        next_event = min(next_arrival, earliest_completion)
+        if not math.isfinite(next_event):
+            raise SchedulingError("ideal execution stalled: no job can make progress")
+        dt = max(0.0, next_event - current_time)
+
+        names = self._cluster_spec.registry.names
+        for job_id, state in list(self._active.items()):
+            throughput = throughputs[job_id]
+            state.steps_done += throughput * dt
+            record = self._records[job_id]
+            record.steps_done = state.steps_done
+            job_row = allocation.job_row(job_id)
+            for column, name in enumerate(names):
+                worker_seconds = job_row[column] * dt * state.job.scale_factor
+                self._busy_seconds[name] += worker_seconds
+                cost = (
+                    self._cluster_spec.registry.get(name).cost_per_hour
+                    * worker_seconds
+                    / _SECONDS_PER_HOUR
+                )
+                record.cost_dollars += cost
+                self._total_cost += cost
+            if state.steps_remaining <= 1e-6:
+                record.completion_time = current_time + dt
+                del self._active[job_id]
+                start = _time.perf_counter()
+                self._engine.remove_job(job_id)
+                self._matrix_seconds += _time.perf_counter() - start
+
+        self._clock.advance_to(next_event)
+        self._num_rounds += 1

@@ -1,125 +1,55 @@
-"""Event-driven simulator of a heterogeneous GPU cluster running Gavel.
+"""Trace-replay driver over the online scheduler service.
 
-The simulator advances time in scheduling rounds (Section 5).  At every reset
-event (job arrival or completion) the policy is re-run to produce a new target
-allocation; within an allocation period the round-based mechanism decides
-which job combinations run each round and the simulator advances their
-training progress using the throughput oracle (and the colocation model for
-space-shared pairs).
+The round loop that used to live here — admission, engine deltas, policy
+sessions, Algorithm 1 rounds, lease/cost accounting — is now the event-driven
+:class:`~repro.scheduler.service.ClusterScheduler` service core.  The
+simulator is the thin replay client of that API: it submits every trace job
+up front, drives a :class:`~repro.scheduler.clock.VirtualClock` to the end of
+the workload, and returns the collected metrics.
 
-Policies are driven through the stateful session API: one
-:class:`~repro.core.session.PolicySession` is opened per simulation and fed
-the :class:`~repro.core.allocation_engine.AllocationEngine`'s delta stream,
-so policies with reusable solver state (the LP policies of Table 1) edit
-their live program on each arrival/completion instead of rebuilding it.
+Three execution modes cover the paper's experiments (see
+:class:`~repro.scheduler.service.SchedulerConfig`):
 
-Three execution modes cover the paper's experiments:
-
-* ``round`` (default) — the full mechanism, used everywhere;
+* ``round`` (default) — the full Section 5 mechanism, used everywhere;
 * ``ideal`` — jobs progress continuously at exactly their allocation's
   effective throughput, the baseline of Figure 13b;
 * ``physical`` — like ``round`` but with per-preemption checkpoint overhead
   and a small seeded throughput jitter, standing in for the paper's 48-GPU
   physical cluster (Table 3).
+
+``SimulatorConfig`` is the historical name of the shared
+:class:`~repro.scheduler.service.SchedulerConfig` and stays importable from
+here.
 """
 
 from __future__ import annotations
 
-import math
-import time as _time
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Mapping, Optional, Sequence, Set, Tuple
-
-import numpy as np
+from typing import Optional
 
 from repro.cluster.cluster_spec import ClusterSpec
-from repro.cluster.placement import Placer, PlacementRequest
-from repro.cluster.worker import ClusterTopology
-from repro.core.allocation import Allocation
-from repro.core.allocation_engine import AllocationEngine
-from repro.core.effective_throughput import effective_throughput, isolated_reference_throughput
 from repro.core.policy import Policy
-from repro.core.problem import PolicyProblem
-from repro.core.session import PolicySession
-from repro.core.throughput_matrix import ThroughputMatrix, build_throughput_matrix
-from repro.exceptions import ConfigurationError, SchedulingError
-from repro.scheduler.mechanism import RoundScheduler, ScheduledCombination
-from repro.scheduler.priorities import PriorityTracker
-from repro.simulator.metrics import JobRecord, SimulationResult
+from repro.exceptions import ConfigurationError
+from repro.scheduler.clock import VirtualClock
+from repro.scheduler.service import ClusterScheduler, SchedulerConfig
+from repro.simulator.metrics import SimulationResult
 from repro.workloads.colocation import ColocationModel
-from repro.workloads.job import Job
 from repro.workloads.throughputs import ThroughputOracle
 from repro.workloads.trace import Trace
 
 __all__ = ["SimulatorConfig", "Simulator"]
 
-_SECONDS_PER_HOUR = 3600.0
-
-
-@dataclass(frozen=True)
-class SimulatorConfig:
-    """Tunable simulator behaviour.
-
-    Attributes:
-        round_duration_seconds: Length of one scheduling round (paper default
-            6 minutes; 20 minutes for the physical cluster runs).
-        mode: ``"round"``, ``"ideal"`` or ``"physical"`` (see module docstring).
-        checkpoint_overhead_seconds: Time lost when a job is preempted or
-            migrated at a round boundary (physical mode only).  The overhead
-            window holds the accelerator, so it is billed and counted as busy
-            time like productive execution, but it is *also* accounted
-            separately (``JobRecord.checkpoint_seconds`` /
-            ``SimulationResult.checkpoint_worker_seconds``) so cost and
-            utilization can be decomposed into productive and overhead parts.
-        throughput_jitter_std: Relative std-dev of per-round throughput noise
-            (physical mode only).
-        seed: Seed for the jitter generator.
-        max_simulated_seconds: Safety cap on simulated time.
-        colocation_threshold: Minimum combined normalized throughput for a job
-            pair to be considered by space-sharing policies.
-        estimator: Optional throughput-estimator object exposing the
-            :class:`~repro.workloads.colocation.ColocationModel` query
-            interface; when set, space-sharing policies see *estimated*
-            colocated throughputs while execution still uses the true model.
-    """
-
-    round_duration_seconds: float = 360.0
-    mode: str = "round"
-    checkpoint_overhead_seconds: float = 5.0
-    throughput_jitter_std: float = 0.02
-    seed: int = 0
-    max_simulated_seconds: float = 6.0e7
-    colocation_threshold: float = 1.1
-    estimator: Optional[object] = None
-
-    def __post_init__(self) -> None:
-        if self.round_duration_seconds <= 0:
-            raise ConfigurationError("round_duration_seconds must be positive")
-        if self.mode not in ("round", "ideal", "physical"):
-            raise ConfigurationError(f"unknown simulator mode {self.mode!r}")
-        if self.checkpoint_overhead_seconds < 0:
-            raise ConfigurationError("checkpoint_overhead_seconds must be non-negative")
-        if self.throughput_jitter_std < 0:
-            raise ConfigurationError("throughput_jitter_std must be non-negative")
-
-
-@dataclass
-class _JobState:
-    """Mutable per-job simulation state."""
-
-    job: Job
-    steps_done: float = 0.0
-    last_accelerator: Optional[str] = None
-    was_running_last_round: bool = False
-
-    @property
-    def steps_remaining(self) -> float:
-        return max(0.0, self.job.total_steps - self.steps_done)
+#: Historical alias — the simulator and the scheduler service share one config.
+SimulatorConfig = SchedulerConfig
 
 
 class Simulator:
-    """Simulates a trace under one policy on one cluster."""
+    """Simulates a trace under one policy on one cluster.
+
+    Each :meth:`run` replays the trace through a fresh
+    :class:`~repro.scheduler.service.ClusterScheduler`: every job is
+    ``submit``-ed at construction time (admission happens at each job's
+    arrival time on the virtual clock) and ``run_until`` drains the workload.
+    """
 
     def __init__(
         self,
@@ -132,377 +62,29 @@ class Simulator:
     ):
         self._policy = policy
         self._cluster_spec = cluster_spec
-        self._oracle = oracle if oracle is not None else ThroughputOracle()
-        self._colocation = (
-            colocation_model if colocation_model is not None else ColocationModel(self._oracle)
-        )
-        self._config = config if config is not None else SimulatorConfig()
-        self._topology = ClusterTopology(cluster_spec, workers_per_server=workers_per_server)
-        self._placer = Placer(self._topology)
-        self._round_scheduler = RoundScheduler(cluster_spec)
-        self._rng = np.random.default_rng(self._config.seed)
+        self._oracle = oracle
+        self._colocation = colocation_model
+        self._config = config
+        self._workers_per_server = workers_per_server
 
-    # -- public API ---------------------------------------------------------------------
+    def make_scheduler(self) -> ClusterScheduler:
+        """A fresh scheduler service configured like this simulator's runs."""
+        return ClusterScheduler(
+            policy=self._policy,
+            cluster_spec=self._cluster_spec,
+            oracle=self._oracle,
+            colocation_model=self._colocation,
+            config=self._config,
+            workers_per_server=self._workers_per_server,
+            clock=VirtualClock(),
+        )
+
     def run(self, trace: Trace) -> SimulationResult:
         """Simulate the whole trace and return collected metrics."""
         if len(trace) == 0:
             raise ConfigurationError("cannot simulate an empty trace")
-        if self._config.mode == "ideal":
-            return self._run_ideal(trace)
-        return self._run_rounds(trace)
-
-    # -- shared helpers ---------------------------------------------------------------------
-    def _make_engine(self) -> AllocationEngine:
-        """Incremental matrix engine; policies see the estimator when one is set."""
-        colocation = self._config.estimator if self._config.estimator is not None else self._colocation
-        return AllocationEngine(
-            self._oracle,
-            space_sharing=self._policy.space_sharing,
-            colocation_model=colocation,
-            colocation_threshold=self._config.colocation_threshold,
-        )
-
-    def _build_problem(
-        self,
-        active: Mapping[int, _JobState],
-        current_time: float,
-        matrix: ThroughputMatrix,
-    ) -> PolicyProblem:
-        jobs = {job_id: state.job for job_id, state in active.items()}
-        steps_remaining = {job_id: state.steps_remaining for job_id, state in active.items()}
-        elapsed = {
-            job_id: max(0.0, current_time - state.job.arrival_time)
-            for job_id, state in active.items()
-        }
-        return PolicyProblem(
-            jobs=jobs,
-            throughputs=matrix,
-            cluster_spec=self._cluster_spec,
-            steps_remaining=steps_remaining,
-            time_elapsed=elapsed,
-            current_time=current_time,
-        )
-
-    def _execution_throughput(
-        self,
-        combination: Tuple[int, ...],
-        job_id: int,
-        accelerator_name: str,
-        active: Mapping[int, _JobState],
-        consolidated: bool,
-    ) -> float:
-        """True throughput used to advance training progress."""
-        state = active[job_id]
-        if len(combination) == 1:
-            throughput = self._oracle.throughput(
-                state.job.job_type,
-                accelerator_name,
-                scale_factor=state.job.scale_factor,
-                consolidated=consolidated,
-            )
-        else:
-            other_id = combination[0] if combination[1] == job_id else combination[1]
-            other = active[other_id]
-            pair = self._colocation.colocated_throughputs(
-                state.job.job_type, other.job.job_type, accelerator_name
-            )
-            throughput = pair.first if combination[0] == job_id else pair.second
-        if self._config.mode == "physical" and self._config.throughput_jitter_std > 0:
-            throughput *= max(
-                0.0, float(self._rng.normal(1.0, self._config.throughput_jitter_std))
-            )
-        return throughput
-
-    def _isolated_durations(self, trace: Trace) -> Dict[int, float]:
-        """Reference JCT under a dedicated 1/n cluster share, per job (for FTF)."""
-        jobs = list(trace.jobs)
-        matrix = build_throughput_matrix(jobs, self._oracle, space_sharing=False)
-        durations: Dict[int, float] = {}
-        num_jobs = max(1, len(jobs))
-        for job in jobs:
-            throughput = isolated_reference_throughput(
-                matrix,
-                self._cluster_spec,
-                job.job_id,
-                num_jobs=num_jobs,
-                scale_factor=job.scale_factor,
-            )
-            if throughput > 0:
-                durations[job.job_id] = job.total_steps / throughput
-        return durations
-
-    # -- round-based execution -------------------------------------------------------------------
-    def _run_rounds(self, trace: Trace) -> SimulationResult:
-        config = self._config
-        round_duration = config.round_duration_seconds
-        physical = config.mode == "physical"
-
-        pending: Deque[Job] = deque(trace.jobs)
-        active: Dict[int, _JobState] = {}
-        records: Dict[int, JobRecord] = {job.job_id: JobRecord(job=job) for job in trace.jobs}
-        busy_seconds: Dict[str, float] = {name: 0.0 for name in self._cluster_spec.registry.names}
-        checkpoint_seconds: Dict[str, float] = {
-            name: 0.0 for name in self._cluster_spec.registry.names
-        }
-        total_cost = 0.0
-        current_time = 0.0
-        num_rounds = 0
-        allocation_stale = True
-        tracker: Optional[PriorityTracker] = None
-        engine = self._make_engine()
-        session: Optional[PolicySession] = None
-        policy_seconds = 0.0
-        matrix_seconds = 0.0
-        recomputations = 0
-
-        while pending or active:
-            if current_time > config.max_simulated_seconds:
-                break
-            if not active and pending:
-                current_time = max(current_time, pending[0].arrival_time)
-            # Admit arrivals.
-            admitted = False
-            while pending and pending[0].arrival_time <= current_time + 1e-9:
-                job = pending.popleft()
-                active[job.job_id] = _JobState(job=job)
-                start = _time.perf_counter()
-                engine.add_job(job)
-                matrix_seconds += _time.perf_counter() - start
-                admitted = True
-            if admitted:
-                allocation_stale = True
-            if not active:
-                continue
-
-            if allocation_stale or tracker is None:
-                start = _time.perf_counter()
-                matrix = engine.matrix()
-                matrix_seconds += _time.perf_counter() - start
-                problem = self._build_problem(active, current_time, matrix)
-                deltas = engine.drain_deltas()
-                start = _time.perf_counter()
-                if session is None:
-                    session = self._policy.session(problem)
-                else:
-                    session.apply(deltas)
-                allocation = session.solve(problem)
-                policy_seconds += _time.perf_counter() - start
-                recomputations += 1
-                tracker = PriorityTracker(allocation)
-                allocation_stale = False
-
-            scale_factors = {job_id: state.job.scale_factor for job_id, state in active.items()}
-            scheduled = self._round_scheduler.schedule_round(tracker, scale_factors)
-            self._round_scheduler.validate_round(scheduled)
-            placements = self._placer.place([item.placement_request() for item in scheduled])
-            consolidated_by_combination = {
-                placement.combination: placement.consolidated for placement in placements
-            }
-
-            round_end = current_time + round_duration
-            completed_this_round: List[Tuple[int, float]] = []
-            running_jobs: Set[int] = set()
-            for item in scheduled:
-                combination = item.combination
-                accelerator_name = item.accelerator_name
-                consolidated = consolidated_by_combination.get(combination, True)
-                effective_duration = round_duration
-                # Worker-occupancy within the round: jobs that complete
-                # mid-round release their accelerators at the completion
-                # instant, so utilization and cost are prorated rather than
-                # charged a full round.  Cost is job-attributable: when one
-                # job of a pair finishes early, the surviving job keeps the
-                # device busy (occupancy = max over the pair) but the freed
-                # half-slot is billed to no one.
-                occupancy_seconds = 0.0
-                for job_id in combination:
-                    state = active[job_id]
-                    running_jobs.add(job_id)
-                    overhead = 0.0
-                    if physical and (
-                        not state.was_running_last_round
-                        or state.last_accelerator != accelerator_name
-                    ):
-                        overhead = min(config.checkpoint_overhead_seconds, round_duration)
-                        records[job_id].preemptions += 1
-                    usable = max(0.0, effective_duration - overhead)
-                    throughput = self._execution_throughput(
-                        combination, job_id, accelerator_name, active, consolidated
-                    )
-                    progress = throughput * usable
-                    needed = state.steps_remaining
-                    if throughput > 0 and progress >= needed:
-                        finish = min(current_time + overhead + needed / throughput, round_end)
-                        completed_this_round.append((job_id, finish))
-                        state.steps_done = state.job.total_steps
-                        used_seconds = finish - current_time
-                    else:
-                        state.steps_done += progress
-                        used_seconds = round_duration
-                    state.last_accelerator = accelerator_name
-                    record = records[job_id]
-                    record.steps_done = state.steps_done
-                    record.accelerator_seconds[accelerator_name] = (
-                        record.accelerator_seconds.get(accelerator_name, 0.0) + used_seconds
-                    )
-                    if overhead > 0:
-                        # Checkpoint/restore windows occupy the accelerator but
-                        # produce no training progress; they are billed like
-                        # productive time (the device is held) and accounted
-                        # separately so cost/utilization can be decomposed.
-                        overhead_used = min(overhead, used_seconds)
-                        record.checkpoint_seconds += overhead_used
-                        checkpoint_seconds[accelerator_name] += (
-                            overhead_used * item.scale_factor / len(combination)
-                        )
-                    cost = (
-                        self._cluster_spec.registry.get(accelerator_name).cost_per_hour
-                        * state.job.scale_factor
-                        * used_seconds
-                        / _SECONDS_PER_HOUR
-                    )
-                    if len(combination) > 1:
-                        cost /= len(combination)
-                    record.cost_dollars += cost
-                    total_cost += cost
-                    occupancy_seconds = max(occupancy_seconds, used_seconds)
-                busy_seconds[accelerator_name] += item.scale_factor * occupancy_seconds
-                tracker.record_time(combination, accelerator_name, round_duration)
-
-            for job_id, state in active.items():
-                state.was_running_last_round = job_id in running_jobs
-
-            for job_id, finish_time in completed_this_round:
-                records[job_id].completion_time = finish_time
-                del active[job_id]
-                start = _time.perf_counter()
-                engine.remove_job(job_id)
-                matrix_seconds += _time.perf_counter() - start
-            if completed_this_round:
-                allocation_stale = True
-
-            current_time = round_end
-            num_rounds += 1
-
-        capacity_seconds = {
-            name: self._cluster_spec.count(name) * current_time
-            for name in self._cluster_spec.registry.names
-        }
-        return SimulationResult(
-            policy_name=self._policy.display_name,
-            records=records,
-            end_time=current_time,
-            num_rounds=num_rounds,
-            busy_worker_seconds=busy_seconds,
-            capacity_worker_seconds=capacity_seconds,
-            total_cost_dollars=total_cost,
-            isolated_durations=self._isolated_durations(trace),
-            policy_compute_seconds=policy_seconds,
-            num_policy_recomputations=recomputations,
-            checkpoint_worker_seconds=checkpoint_seconds,
-            matrix_prep_seconds=matrix_seconds,
-        )
-
-    # -- ideal (fluid) execution ----------------------------------------------------------------------
-    def _run_ideal(self, trace: Trace) -> SimulationResult:
-        """Jobs progress continuously at exactly the allocation's effective throughput."""
-        pending: Deque[Job] = deque(trace.jobs)
-        active: Dict[int, _JobState] = {}
-        records: Dict[int, JobRecord] = {job.job_id: JobRecord(job=job) for job in trace.jobs}
-        busy_seconds: Dict[str, float] = {name: 0.0 for name in self._cluster_spec.registry.names}
-        total_cost = 0.0
-        current_time = 0.0
-        engine = self._make_engine()
-        session: Optional[PolicySession] = None
-        policy_seconds = 0.0
-        matrix_seconds = 0.0
-        recomputations = 0
-        events = 0
-
-        while pending or active:
-            if current_time > self._config.max_simulated_seconds:
-                break
-            if not active and pending:
-                current_time = max(current_time, pending[0].arrival_time)
-            while pending and pending[0].arrival_time <= current_time + 1e-9:
-                job = pending.popleft()
-                active[job.job_id] = _JobState(job=job)
-                start = _time.perf_counter()
-                engine.add_job(job)
-                matrix_seconds += _time.perf_counter() - start
-            if not active:
-                continue
-
-            start = _time.perf_counter()
-            matrix = engine.matrix()
-            matrix_seconds += _time.perf_counter() - start
-            problem = self._build_problem(active, current_time, matrix)
-            deltas = engine.drain_deltas()
-            start = _time.perf_counter()
-            if session is None:
-                session = self._policy.session(problem)
-            else:
-                session.apply(deltas)
-            allocation = session.solve(problem)
-            policy_seconds += _time.perf_counter() - start
-            recomputations += 1
-
-            throughputs = {
-                job_id: effective_throughput(matrix, allocation, job_id) for job_id in active
-            }
-            # Time to the next event: the next arrival or the earliest completion.
-            next_arrival = pending[0].arrival_time if pending else math.inf
-            earliest_completion = math.inf
-            for job_id, state in active.items():
-                throughput = throughputs[job_id]
-                if throughput > 0:
-                    earliest_completion = min(
-                        earliest_completion, current_time + state.steps_remaining / throughput
-                    )
-            next_event = min(next_arrival, earliest_completion)
-            if not math.isfinite(next_event):
-                raise SchedulingError("ideal simulation stalled: no job can make progress")
-            dt = max(0.0, next_event - current_time)
-
-            for job_id, state in list(active.items()):
-                throughput = throughputs[job_id]
-                state.steps_done += throughput * dt
-                records[job_id].steps_done = state.steps_done
-                job_row = allocation.job_row(job_id)
-                for column, name in enumerate(self._cluster_spec.registry.names):
-                    worker_seconds = job_row[column] * dt * state.job.scale_factor
-                    busy_seconds[name] += worker_seconds
-                    cost = (
-                        self._cluster_spec.registry.get(name).cost_per_hour
-                        * worker_seconds
-                        / _SECONDS_PER_HOUR
-                    )
-                    records[job_id].cost_dollars += cost
-                    total_cost += cost
-                if state.steps_remaining <= 1e-6:
-                    records[job_id].completion_time = current_time + dt
-                    del active[job_id]
-                    start = _time.perf_counter()
-                    engine.remove_job(job_id)
-                    matrix_seconds += _time.perf_counter() - start
-
-            current_time = next_event
-            events += 1
-
-        capacity_seconds = {
-            name: self._cluster_spec.count(name) * current_time
-            for name in self._cluster_spec.registry.names
-        }
-        return SimulationResult(
-            policy_name=f"{self._policy.display_name} (ideal)",
-            records=records,
-            end_time=current_time,
-            num_rounds=events,
-            busy_worker_seconds=busy_seconds,
-            capacity_worker_seconds=capacity_seconds,
-            total_cost_dollars=total_cost,
-            isolated_durations=self._isolated_durations(trace),
-            policy_compute_seconds=policy_seconds,
-            num_policy_recomputations=recomputations,
-            matrix_prep_seconds=matrix_seconds,
-        )
+        scheduler = self.make_scheduler()
+        for job in trace.jobs:
+            scheduler.submit(job)
+        scheduler.run_until()
+        return scheduler.result()

@@ -15,9 +15,16 @@ recomputations: ``add_*`` constraint methods return handles usable with
 deactivated and recycled with :meth:`~FractionalProgram.release_variable`;
 and tag scopes (:meth:`~FractionalProgram.begin_tag` /
 :meth:`~FractionalProgram.clear_tag`) let a session tear down just the
-objective-dependent parts each round.  The Charnes–Cooper reduction itself is
-re-run per solve — it is linear in the program size, unlike the validity
-scaffolding the session preserves.
+objective-dependent parts each round.
+
+The Charnes–Cooper reduction is **persistent**: the reduced
+:class:`~repro.solver.lp.LinearProgram` is built once on the first solve and
+every later mutation of the fractional program is mirrored into it as a
+targeted edit (a constraint add/remove/term edit becomes the scaled row edit,
+a variable-bound change becomes a coefficient update on the two ``y``/``s``
+bound-link rows).  Re-solves therefore skip rebuilding the CC LP and inherit
+the warm-started HiGHS backend of the inner program — the same incremental
+path the pure-LP policies use.
 """
 
 from __future__ import annotations
@@ -78,6 +85,14 @@ class FractionalProgram:
         self._active_tag: Optional[str] = None
         self._tagged_constraints: Dict[str, List[int]] = {}
         self._tagged_variables: Dict[str, List[int]] = {}
+        # Persistent Charnes–Cooper mirror: built lazily on the first solve,
+        # then kept in sync by targeted edits from every mutation below.
+        self._cc_lp: Optional[LinearProgram] = None
+        self._cc_scaled: Dict[int, Variable] = {}
+        self._cc_scale: Optional[Variable] = None
+        self._cc_bounds: Dict[int, Tuple[int, int]] = {}
+        self._cc_rows: Dict[int, int] = {}
+        self._cc_denominator: Optional[int] = None
 
     # -- variables --------------------------------------------------------------
     def num_variables(self) -> int:
@@ -98,6 +113,12 @@ class FractionalProgram:
             self._names.append(name if name is not None else f"x{index}")
         if self._active_tag is not None:
             self._tagged_variables.setdefault(self._active_tag, []).append(index)
+        if self._cc_lp is not None:
+            if index in self._cc_scaled:
+                self._cc_sync_variable_bounds(index)
+            else:
+                self._cc_scaled[index] = self._cc_lp.add_variable(name=f"y{index}", lower=0.0)
+                self._cc_add_bound_links(index)
         return Variable(index=index, name=self._names[index])
 
     def add_variables(self, count: int, name_prefix: str = "x", lower: float = 0.0, upper: float = 1.0) -> List[Variable]:
@@ -110,6 +131,8 @@ class FractionalProgram:
         index = variable.index if isinstance(variable, Variable) else int(variable)
         self._lower[index] = float(lower)
         self._upper[index] = float(upper)
+        if self._cc_lp is not None:
+            self._cc_sync_variable_bounds(index)
 
     def fix_variable(self, variable: "Variable | int", value: float = 0.0) -> None:
         """Pin a variable to a single value."""
@@ -139,7 +162,7 @@ class FractionalProgram:
     def clear_tag(self, tag: str) -> None:
         """Remove tagged constraints and release tagged variables."""
         for constraint_id in self._tagged_constraints.pop(tag, []):
-            self._constraints.pop(constraint_id, None)
+            self.remove_constraint(constraint_id)
         for index in self._tagged_variables.pop(tag, []):
             self.release_variable(index)
 
@@ -155,9 +178,12 @@ class FractionalProgram:
     def _append_constraint(self, coefficients: Dict[int, float], constant: float, sense: str, rhs: float) -> int:
         constraint_id = self._next_constraint_id
         self._next_constraint_id += 1
-        self._constraints[constraint_id] = _RatioConstraint(coefficients, constant, sense, rhs)
+        constraint = _RatioConstraint(coefficients, constant, sense, rhs)
+        self._constraints[constraint_id] = constraint
         if self._active_tag is not None:
             self._tagged_constraints.setdefault(self._active_tag, []).append(constraint_id)
+        if self._cc_lp is not None:
+            self._cc_mirror_constraint(constraint_id, constraint)
         return constraint_id
 
     def add_less_equal(self, expression: "Mapping[int, float] | LinearExpression", rhs: float) -> int:
@@ -174,19 +200,33 @@ class FractionalProgram:
 
     def remove_constraint(self, handle: int) -> None:
         """Delete one constraint by handle (no-op if already removed)."""
-        self._constraints.pop(handle, None)
+        if self._constraints.pop(handle, None) is not None:
+            row = self._cc_rows.pop(handle, None)
+            if row is not None and self._cc_lp is not None:
+                self._cc_lp.remove_constraint(row)
 
     def add_terms_to_constraint(self, handle: int, terms: Mapping[int, float]) -> None:
         """Accumulate coefficients onto an existing constraint."""
         constraint = self._require(handle)
         for index, coefficient in terms.items():
             constraint.coefficients[index] = constraint.coefficients.get(index, 0.0) + float(coefficient)
+        if self._cc_lp is not None and handle in self._cc_rows:
+            self._cc_lp.add_terms_to_constraint(
+                self._cc_rows[handle],
+                {self._cc_scaled[int(i)].index: float(c) for i, c in terms.items()},
+            )
 
     def remove_terms_from_constraint(self, handle: int, indices: Iterable[int]) -> None:
         """Drop the given variables' coefficients from an existing constraint."""
         constraint = self._require(handle)
+        indices = [int(index) for index in indices]
         for index in indices:
-            constraint.coefficients.pop(int(index), None)
+            constraint.coefficients.pop(index, None)
+        if self._cc_lp is not None and handle in self._cc_rows:
+            self._cc_lp.remove_terms_from_constraint(
+                self._cc_rows[handle],
+                [self._cc_scaled[index].index for index in indices],
+            )
 
     def set_constraint_bounds(
         self, handle: int, lower: Optional[float] = None, upper: Optional[float] = None
@@ -198,6 +238,7 @@ class FractionalProgram:
         ``==`` accepts either one alone or both equal).
         """
         constraint = self._require(handle)
+        old_rhs = constraint.rhs
         if constraint.sense == ">=":
             if upper is not None or lower is None:
                 raise SolverError(f"{self.name}: '>=' constraint only has a lower bound")
@@ -211,6 +252,12 @@ class FractionalProgram:
             if len(values) != 1:
                 raise SolverError(f"{self.name}: '==' constraint requires one consistent bound")
             constraint.rhs = float(values.pop())
+        # In the reduction the rhs lives in the scale variable's coefficient
+        # (a0 - rhs), so a rhs move is a single-term edit on the mirrored row.
+        if self._cc_lp is not None and handle in self._cc_rows and constraint.rhs != old_rhs:
+            self._cc_lp.add_terms_to_constraint(
+                self._cc_rows[handle], {self._cc_scale.index: old_rhs - constraint.rhs}
+            )
 
     def _require(self, handle: int) -> _RatioConstraint:
         try:
@@ -233,47 +280,89 @@ class FractionalProgram:
         self._numerator = LinearExpression(num_coefficients, num_constant)
         self._denominator = LinearExpression(den_coefficients, den_constant)
 
+    # -- the persistent Charnes–Cooper mirror ---------------------------------------
+    @property
+    def charnes_cooper_program(self) -> Optional[LinearProgram]:
+        """The live reduced LP (``None`` until the first solve builds it)."""
+        return self._cc_lp
+
+    def _cc_add_bound_links(self, index: int) -> None:
+        """Bounds ``lower <= x <= upper`` become ``lower*s <= y <= upper*s``."""
+        y = self._cc_scaled[index].index
+        s = self._cc_scale.index
+        upper_handle = self._cc_lp.add_less_equal({y: 1.0, s: -self._upper[index]}, 0.0)
+        lower_handle = self._cc_lp.add_greater_equal({y: 1.0, s: -self._lower[index]}, 0.0)
+        self._cc_bounds[index] = (upper_handle, lower_handle)
+
+    def _cc_sync_variable_bounds(self, index: int) -> None:
+        y = self._cc_scaled[index].index
+        s = self._cc_scale.index
+        upper_handle, lower_handle = self._cc_bounds[index]
+        self._cc_lp.set_constraint_coefficients(upper_handle, {y: 1.0, s: -self._upper[index]})
+        self._cc_lp.set_constraint_coefficients(lower_handle, {y: 1.0, s: -self._lower[index]})
+
+    def _cc_mirror_constraint(self, handle: int, constraint: _RatioConstraint) -> None:
+        """``a·x + a0 (sense) rhs`` becomes ``a·y + (a0 - rhs)*s (sense) 0``."""
+        coefficients = {
+            self._cc_scaled[i].index: c for i, c in constraint.coefficients.items()
+        }
+        s = self._cc_scale.index
+        coefficients[s] = coefficients.get(s, 0.0) + (constraint.constant - constraint.rhs)
+        if constraint.sense == "<=":
+            row = self._cc_lp.add_less_equal(coefficients, 0.0)
+        elif constraint.sense == ">=":
+            row = self._cc_lp.add_greater_equal(coefficients, 0.0)
+        else:
+            row = self._cc_lp.add_equal(coefficients, 0.0)
+        self._cc_rows[handle] = row
+
+    def _build_cc(self) -> None:
+        """Build the reduced LP once; later mutations arrive as edits."""
+        self._cc_lp = LinearProgram(name=f"{self.name}-charnes-cooper")
+        scaled = self._cc_lp.add_variables(len(self._lower), name_prefix="y", lower=0.0)
+        self._cc_scaled = dict(enumerate(scaled))
+        self._cc_scale = self._cc_lp.add_variable(name="s", lower=0.0)
+        self._cc_bounds = {}
+        for index in range(len(self._lower)):
+            self._cc_add_bound_links(index)
+        self._cc_rows = {}
+        for handle, constraint in self._constraints.items():
+            self._cc_mirror_constraint(handle, constraint)
+        self._cc_denominator = None
+
+    def _cc_sync_objective(self) -> None:
+        """Refresh the normalisation row ``d·y + d0*s == 1`` and the objective."""
+        s = self._cc_scale.index
+        denominator = {
+            self._cc_scaled[i].index: c for i, c in self._denominator.coefficients.items()
+        }
+        denominator[s] = denominator.get(s, 0.0) + self._denominator.constant
+        if self._cc_denominator is None:
+            self._cc_denominator = self._cc_lp.add_equal(denominator, 1.0)
+        else:
+            self._cc_lp.set_constraint_coefficients(self._cc_denominator, denominator)
+        numerator = {
+            self._cc_scaled[i].index: c for i, c in self._numerator.coefficients.items()
+        }
+        numerator[s] = numerator.get(s, 0.0) + self._numerator.constant
+        self._cc_lp.maximize(numerator)
+
     # -- solving -------------------------------------------------------------------
     def solve(self, warm_start: Optional[np.ndarray] = None) -> FractionalSolution:
-        """Solve via Charnes–Cooper and map back to the original variables."""
+        """Solve via the (persistent) Charnes–Cooper LP and map back."""
         if self._numerator is None or self._denominator is None:
             raise SolverError(f"{self.name}: ratio objective not set")
         num_original = len(self._lower)
         if num_original == 0:
             raise SolverError(f"{self.name}: no variables")
 
-        lp = LinearProgram(name=f"{self.name}-charnes-cooper")
-        scaled = lp.add_variables(num_original, name_prefix="y", lower=0.0)
-        scale = lp.add_variable(name="s", lower=0.0)
+        if self._cc_lp is None:
+            self._build_cc()
+        self._cc_sync_objective()
 
-        # Original bounds lower <= x <= upper become lower*s <= y <= upper*s.
-        for index in range(num_original):
-            lp.add_less_equal({scaled[index].index: 1.0, scale.index: -self._upper[index]}, 0.0)
-            lp.add_greater_equal({scaled[index].index: 1.0, scale.index: -self._lower[index]}, 0.0)
-
-        # Original constraints a·x + a0 (sense) rhs become a·y + (a0 - rhs)*s (sense) 0.
-        for constraint in self._constraints.values():
-            coefficients = {scaled[i].index: c for i, c in constraint.coefficients.items()}
-            coefficients[scale.index] = coefficients.get(scale.index, 0.0) + (
-                constraint.constant - constraint.rhs
-            )
-            if constraint.sense == "<=":
-                lp.add_less_equal(coefficients, 0.0)
-            elif constraint.sense == ">=":
-                lp.add_greater_equal(coefficients, 0.0)
-            else:
-                lp.add_equal(coefficients, 0.0)
-
-        # Denominator normalisation: d·y + d0*s == 1.
-        denominator = {scaled[i].index: c for i, c in self._denominator.coefficients.items()}
-        denominator[scale.index] = denominator.get(scale.index, 0.0) + self._denominator.constant
-        lp.add_equal(denominator, 1.0)
-
-        numerator = {scaled[i].index: c for i, c in self._numerator.coefficients.items()}
-        numerator[scale.index] = numerator.get(scale.index, 0.0) + self._numerator.constant
-        lp.maximize(numerator)
-
-        solution = lp.solve()
+        solution = self._cc_lp.solve()
+        scale = self._cc_scale
+        scaled = self._cc_scaled
         scale_value = solution.value_of(scale)
         if scale_value <= 1e-12:
             raise InfeasibleError(

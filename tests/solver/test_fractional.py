@@ -89,3 +89,117 @@ class TestFractionalProgram:
         program.set_ratio_objective(x * 1.0 + 1.0, x * 1.0 + 2.0)
         solution = program.solve()
         assert solution.scale > 0
+
+
+class TestPersistentCharnesCooper:
+    """The reduced LP survives across solves and tracks every mutation."""
+
+    def test_cc_program_built_lazily_and_kept(self):
+        program = FractionalProgram()
+        x = program.add_variable("x")
+        program.set_ratio_objective(x * 1.0, x * 1.0 + 1.0)
+        assert program.charnes_cooper_program is None
+        program.solve()
+        cc = program.charnes_cooper_program
+        assert cc is not None
+        program.solve()
+        assert program.charnes_cooper_program is cc
+
+    def test_constraint_add_and_remove_mirrored(self):
+        program = FractionalProgram()
+        x = program.add_variable("x")
+        program.set_ratio_objective(x * 1.0, x * 0.5 + 1.0)
+        first = program.solve()
+        assert first.value_of(x) == pytest.approx(1.0, abs=1e-6)
+        handle = program.add_less_equal(x * 1.0, 0.4)
+        capped = program.solve()
+        assert capped.value_of(x) == pytest.approx(0.4, abs=1e-6)
+        program.remove_constraint(handle)
+        released = program.solve()
+        assert released.value_of(x) == pytest.approx(1.0, abs=1e-6)
+
+    def test_rhs_edit_mirrored(self):
+        program = FractionalProgram()
+        x = program.add_variable("x")
+        handle = program.add_less_equal(x * 1.0, 0.4)
+        program.set_ratio_objective(x * 1.0, x * 0.0 + 1.0)
+        assert program.solve().value_of(x) == pytest.approx(0.4, abs=1e-6)
+        program.set_constraint_bounds(handle, upper=0.7)
+        assert program.solve().value_of(x) == pytest.approx(0.7, abs=1e-6)
+
+    def test_term_edits_mirrored(self):
+        program = FractionalProgram()
+        x = program.add_variable("x")
+        y = program.add_variable("y")
+        handle = program.add_less_equal(x * 1.0, 0.5)
+        program.set_ratio_objective(x * 1.0 + y * 1.0, x * 0.0 + 1.0)
+        solution = program.solve()
+        assert solution.value_of(x) == pytest.approx(0.5, abs=1e-6)
+        assert solution.value_of(y) == pytest.approx(1.0, abs=1e-6)
+        program.add_terms_to_constraint(handle, {y.index: 1.0})  # now x + y <= 0.5
+        constrained = program.solve()
+        assert constrained.value_of(x) + constrained.value_of(y) == pytest.approx(0.5, abs=1e-6)
+        program.remove_terms_from_constraint(handle, [x.index])  # back to y-only cap
+        relaxed = program.solve()
+        assert relaxed.value_of(x) == pytest.approx(1.0, abs=1e-6)
+        assert relaxed.value_of(y) == pytest.approx(0.5, abs=1e-6)
+
+    def test_variable_bounds_and_recycling_mirrored(self):
+        program = FractionalProgram()
+        x = program.add_variable("x")
+        y = program.add_variable("y")
+        program.set_ratio_objective(x * 1.0 + y * 1.0, x * 0.0 + 1.0)
+        assert program.solve().objective_value == pytest.approx(2.0, abs=1e-5)
+        program.set_variable_bounds(y, 0.0, 0.25)
+        assert program.solve().objective_value == pytest.approx(1.25, abs=1e-5)
+        program.release_variable(y)
+        program.set_ratio_objective(x * 1.0, x * 0.0 + 1.0)
+        assert program.solve().objective_value == pytest.approx(1.0, abs=1e-5)
+        recycled = program.add_variable("z", lower=0.0, upper=0.5)
+        assert recycled.index == y.index
+        program.set_ratio_objective(x * 1.0 + recycled * 1.0, x * 0.0 + 1.0)
+        assert program.solve().objective_value == pytest.approx(1.5, abs=1e-5)
+
+    def test_tag_scope_clear_mirrored(self):
+        program = FractionalProgram()
+        x = program.add_variable("x")
+        program.set_ratio_objective(x * 1.0, x * 0.0 + 1.0)
+        program.solve()
+        cc = program.charnes_cooper_program
+        rows_before = cc.num_constraints()
+        program.begin_tag("objective")
+        program.add_less_equal(x * 1.0, 0.3)
+        program.end_tag()
+        assert program.solve().value_of(x) == pytest.approx(0.3, abs=1e-6)
+        program.clear_tag("objective")
+        assert program.solve().value_of(x) == pytest.approx(1.0, abs=1e-6)
+        # The mirror sheds the removed rows instead of accreting garbage
+        # (the denominator row is added by the first solve after build).
+        assert cc.num_constraints() <= rows_before + 1
+
+    def test_matches_fresh_rebuild_after_churn(self):
+        """An edited program and a from-scratch rebuild agree on the optimum."""
+        program = FractionalProgram()
+        xs = program.add_variables(4, name_prefix="x")
+        cap = program.add_less_equal({v.index: 1.0 for v in xs}, 2.0)
+        program.set_ratio_objective(
+            sum((v * float(i + 1) for i, v in enumerate(xs)), xs[0] * 0.0),
+            sum((v * 1.0 for v in xs), xs[0] * 0.0) + 1.0,
+        )
+        program.solve()
+        # Churn: tighten the cap, drop a variable, re-solve.
+        program.set_constraint_bounds(cap, upper=1.5)
+        program.remove_terms_from_constraint(cap, [xs[0].index])
+        program.fix_variable(xs[0], 0.0)
+        edited = program.solve()
+
+        fresh = FractionalProgram()
+        ys = fresh.add_variables(4, name_prefix="x")
+        fresh.fix_variable(ys[0], 0.0)
+        fresh.add_less_equal({v.index: 1.0 for v in ys[1:]}, 1.5)
+        fresh.set_ratio_objective(
+            sum((v * float(i + 1) for i, v in enumerate(ys)), ys[0] * 0.0),
+            sum((v * 1.0 for v in ys), ys[0] * 0.0) + 1.0,
+        )
+        scratch = fresh.solve()
+        assert edited.objective_value == pytest.approx(scratch.objective_value, rel=1e-6)

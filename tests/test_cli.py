@@ -87,3 +87,102 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "max_min_fairness" in out and "fifo" in out
+
+
+class TestSweepParity:
+    def test_sweep_accepts_round_duration_and_mode(self):
+        args = build_parser().parse_args(
+            ["sweep", "--policies", "fifo", "--round-duration", "600", "--mode", "ideal"]
+        )
+        assert args.round_duration == 600.0
+        assert args.mode == "ideal"
+
+    def test_sweep_round_duration_changes_results(self, capsys):
+        base = ["sweep", "--policies", "fifo", "--rates", "4", "--num-jobs", "5",
+                "--cluster", "v100=1,p100=1,k80=1"]
+        assert main(base) == 0
+        default_out = capsys.readouterr().out
+        assert main(base + ["--round-duration", "7200"]) == 0
+        coarse_out = capsys.readouterr().out
+        assert default_out != coarse_out
+
+    def test_policy_help_documents_spec_strings(self):
+        parser = build_parser()
+        help_text = parser.format_help()
+        for sub in parser._subparsers._group_actions[0].choices.values():
+            help_text += sub.format_help()
+        assert "max_min_fairness+ss" in help_text
+        assert "fifo@agnostic" in help_text
+
+    def test_policies_command_documents_spec_strings(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        assert "+ss" in out and "@agnostic" in out
+
+    def test_spec_string_policy_accepted(self, capsys):
+        code = main(
+            ["simulate", "--policy", "max_min_fairness+ss", "--num-jobs", "4",
+             "--cluster", "v100=1,p100=1,k80=1"]
+        )
+        assert code == 0
+        assert "+SS" in capsys.readouterr().out
+
+
+class TestOnlineCommand:
+    def test_online_events_parse(self):
+        args = build_parser().parse_args(
+            ["online", "--policy", "fifo", "--cancel", "3@7200",
+             "--resize", "v100=+2,k80=-1@3600", "--swap-policy", "fifo@100"]
+        )
+        assert args.cancel == [(3, 7200.0)]
+        assert args.resize == [({"v100": 2, "k80": -1}, 3600.0)]
+        assert args.swap_policy == [("fifo", 100.0)]
+
+    def test_online_run_with_events(self, capsys):
+        code = main(
+            [
+                "online",
+                "--policy", "max_min_fairness",
+                "--num-jobs", "6",
+                "--jobs-per-hour", "6",
+                "--cluster", "v100=1,p100=1,k80=1",
+                "--cancel", "1@7200",
+                "--resize", "v100=+1@10800",
+                "--swap-policy", "fifo@21600",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cancel job 1" in out
+        assert "resize" in out and "v100=2" in out
+        assert "swap policy" in out
+        assert "cancelled jobs" in out
+
+    def test_online_bad_event_values_are_usage_errors(self, capsys):
+        import pytest as _pytest
+
+        for bad in (
+            ["--cancel", "oops"],
+            ["--cancel", "1@soon"],
+            ["--resize", "v100=1.5@3600"],
+            ["--resize", "v100@3600"],
+            ["--swap-policy", "fifo"],
+        ):
+            with _pytest.raises(SystemExit):
+                main(["online", "--policy", "fifo", "--num-jobs", "4"] + bad)
+            capsys.readouterr()
+
+    def test_online_cancel_after_completion_is_skipped(self, capsys):
+        code = main(
+            [
+                "online",
+                "--policy", "fifo",
+                "--num-jobs", "3",
+                "--jobs-per-hour", "6",
+                "--cluster", "v100=1,p100=1,k80=1",
+                "--cancel", "0@2000000000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cancel job 0 skipped" in out
