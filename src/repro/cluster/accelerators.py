@@ -126,7 +126,11 @@ class AcceleratorRegistry:
     @property
     def names(self) -> Tuple[str, ...]:
         """Names of all registered accelerator types, in column order."""
-        return tuple(t.name for t in self._types)
+        cached = getattr(self, "_names", None)
+        if cached is None:
+            cached = tuple(t.name for t in self._types)
+            self._names = cached
+        return cached
 
     def get(self, name: str) -> AcceleratorType:
         """Return the accelerator type registered under ``name``."""

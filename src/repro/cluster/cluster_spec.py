@@ -80,8 +80,16 @@ class ClusterSpec:
         return int(self.counts.get(name, 0))
 
     def counts_vector(self) -> np.ndarray:
-        """Worker counts as a vector in registry column order (``num_workers_j``)."""
-        return np.array([self.count(name) for name in self.registry.names], dtype=float)
+        """Worker counts as a vector in registry column order (``num_workers_j``).
+
+        The vector is computed once per (immutable) spec; callers receive a
+        fresh copy each time, so they may mutate it freely.
+        """
+        cached = getattr(self, "_counts_vector", None)
+        if cached is None:
+            cached = np.array([self.count(name) for name in self.registry.names], dtype=float)
+            object.__setattr__(self, "_counts_vector", cached)
+        return cached.copy()
 
     def total_workers(self) -> int:
         """Total number of devices across all types."""

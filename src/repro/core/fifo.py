@@ -35,7 +35,7 @@ class FifoPolicy(OptimizationPolicy):
         arrival_order = problem.arrival_order()
         total_jobs = len(arrival_order)
         matrix = variables.matrix
-        objective = LinearExpression()
+        terms = []
         for position, job_id in enumerate(arrival_order):
             fastest = fastest_reference_throughput(matrix, job_id)
             if fastest <= 0:
@@ -43,7 +43,7 @@ class FifoPolicy(OptimizationPolicy):
                     f"job {job_id} has zero throughput on every accelerator type"
                 )
             weight = float(total_jobs - position)
-            objective = objective + variables.effective_throughput_expression(job_id) * (
-                weight / fastest
+            terms.append(
+                variables.effective_throughput_expression(job_id) * (weight / fastest)
             )
-        program.maximize(objective)
+        program.maximize(LinearExpression.sum(terms))

@@ -110,8 +110,7 @@ class FinishTimeFairnessSession(ThroughputFeasibilitySession):
 
     def _solve(self, problem: PolicyProblem) -> Allocation:
         policy = self._policy
-        self._sync(problem)
-        self._align_feasibility()
+        self._prepare(problem)
         matrix = self._variables.matrix
         isolated_finish_times = policy._isolated_finish_times(problem, matrix)
         elapsed = {job_id: problem.elapsed(job_id) for job_id in matrix.job_ids}

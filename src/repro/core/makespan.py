@@ -90,8 +90,7 @@ class MakespanSession(ThroughputFeasibilitySession):
 
     def _solve(self, problem: PolicyProblem) -> Allocation:
         policy = self._policy
-        self._sync(problem)
-        self._align_feasibility()
+        self._prepare(problem)
         matrix = self._variables.matrix
         steps = {job_id: problem.remaining_steps(job_id) for job_id in matrix.job_ids}
 

@@ -23,6 +23,8 @@ from __future__ import annotations
 import math
 from typing import Dict, List
 
+import numpy as np
+
 from repro.core.allocation import Allocation
 from repro.core.effective_throughput import equal_share_reference_throughput
 from repro.core.policy import AllocationVariables, OptimizationPolicy
@@ -81,7 +83,7 @@ class MaxMinFairnessSession(IncrementalProgramSession):
         self._scales: Dict[int, float] = {}
         self._expressions: Dict[int, LinearExpression] = {}
 
-    def _solve(self, problem: PolicyProblem) -> Allocation:
+    def _prepare(self, problem: PolicyProblem) -> None:
         policy = self._policy
         self._sync(problem)
         program = self._program
@@ -93,6 +95,9 @@ class MaxMinFairnessSession(IncrementalProgramSession):
                 program.remove_constraint(self._constraints.pop(job_id))
                 self._scales.pop(job_id, None)
                 self._expressions.pop(job_id, None)
+        if variables.vectorized:
+            self._align_vectorized(problem, matrix)
+            return
         for job_id in matrix.job_ids:
             scale = policy.normalized_throughput_scale(problem, matrix, job_id)
             expression = variables.effective_throughput_expression(job_id)
@@ -117,5 +122,84 @@ class MaxMinFairnessSession(IncrementalProgramSession):
                 program.set_constraint_coefficients(handle, coefficients)
             self._scales[job_id] = scale
             self._expressions[job_id] = expression
-        solution = program.solve()
-        return variables.extract_allocation(solution)
+
+    def _align_vectorized(self, problem: PolicyProblem, matrix) -> None:
+        """Columnar twin of the per-job epigraph alignment (same rows, same order).
+
+        A from-scratch alignment (first solve, or every job changed) emits
+        all ``t <= scale_m * throughput(m, X)`` rows in one columnar call;
+        incremental alignment edits only the jobs whose cached terms or
+        normalization moved.
+        """
+        policy = self._policy
+        program = self._program
+        variables = self._variables
+        epigraph_index = self._epigraph.index
+        if not self._constraints:
+            job_ids, starts, cols, vals = variables.effective_throughput_blocks()
+            num_jobs = len(job_ids)
+            scales = np.fromiter(
+                (
+                    policy.normalized_throughput_scale(problem, matrix, job_id)
+                    for job_id in job_ids.tolist()
+                ),
+                dtype=float,
+                count=num_jobs,
+            )
+            counts = np.diff(starts)
+            coeffs = -vals * np.repeat(scales, counts)
+            # Interleave the epigraph term (+1) at the end of each job's
+            # segment, mirroring the dict path's insertion order.
+            total = len(cols)
+            epigraph_positions = starts[1:] + np.arange(num_jobs)
+            term_mask = np.ones(total + num_jobs, dtype=bool)
+            term_mask[epigraph_positions] = False
+            all_cols = np.empty(total + num_jobs, dtype=np.int64)
+            all_vals = np.empty(total + num_jobs)
+            all_rows = np.empty(total + num_jobs, dtype=np.int64)
+            all_cols[term_mask] = cols
+            all_vals[term_mask] = coeffs
+            all_rows[term_mask] = np.repeat(np.arange(num_jobs, dtype=np.int64), counts)
+            all_cols[epigraph_positions] = epigraph_index
+            all_vals[epigraph_positions] = 1.0
+            all_rows[epigraph_positions] = np.arange(num_jobs, dtype=np.int64)
+            handles = program.add_constraints_from_arrays(
+                all_rows, all_cols, all_vals, -math.inf, np.zeros(num_jobs)
+            )
+            for position, job_id in enumerate(job_ids.tolist()):
+                self._constraints[job_id] = int(handles[position])
+                self._scales[job_id] = float(scales[position])
+                self._expressions[job_id] = variables.effective_throughput_terms(job_id)
+            return
+        for job_id in matrix.job_ids:
+            scale = policy.normalized_throughput_scale(problem, matrix, job_id)
+            terms = variables.effective_throughput_terms(job_id)
+            handle = self._constraints.get(job_id)
+            if (
+                handle is not None
+                and self._expressions.get(job_id) is terms
+                and self._scales.get(job_id) == scale
+            ):
+                continue
+            cols, vals = terms
+            row_cols = np.append(cols, epigraph_index)
+            row_vals = np.append(-vals * scale, 1.0)
+            if handle is None:
+                self._constraints[job_id] = int(
+                    program.add_constraints_from_arrays(
+                        np.zeros(len(row_cols), dtype=np.int64),
+                        row_cols,
+                        row_vals,
+                        -math.inf,
+                        np.zeros(1),
+                    )[0]
+                )
+            else:
+                program.set_constraint_coefficients_from_arrays(handle, row_cols, row_vals)
+            self._scales[job_id] = float(scale)
+            self._expressions[job_id] = terms
+
+    def _solve(self, problem: PolicyProblem) -> Allocation:
+        self._prepare(problem)
+        solution = self._program.solve()
+        return self._variables.extract_allocation(solution)

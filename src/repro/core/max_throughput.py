@@ -36,11 +36,11 @@ class MaxTotalThroughputPolicy(OptimizationPolicy):
         program: LinearProgram,
     ) -> None:
         matrix = variables.matrix
-        objective = LinearExpression()
+        terms = []
         for job_id in problem.job_ids:
             scale = 1.0
             if self._normalize:
                 fastest = float(matrix.isolated_throughputs(job_id).max())
                 scale = 1.0 / fastest if fastest > 0 else 0.0
-            objective = objective + variables.effective_throughput_expression(job_id) * scale
-        program.maximize(objective)
+            terms.append(variables.effective_throughput_expression(job_id) * scale)
+        program.maximize(LinearExpression.sum(terms))

@@ -15,7 +15,10 @@ minimum-progress / SLO constraints) each round.
 
 from __future__ import annotations
 
+import math
 from typing import Optional, Set
+
+import numpy as np
 
 from repro.core.allocation import Allocation
 from repro.core.effective_throughput import fastest_reference_throughput
@@ -60,19 +63,61 @@ class MinCostPolicy(Policy):
     ) -> None:
         """Add the ratio objective and minimum-progress constraints."""
         matrix = variables.matrix
-        numerator = LinearExpression()
-        for job_id in problem.job_ids:
-            scale = self._normalizer(matrix, job_id)
-            throughput = variables.effective_throughput_expression(job_id)
-            numerator = numerator + throughput * scale
-            # Every job must make at least minimal progress, otherwise the
-            # cheapest "allocation" is to run nothing at all.
-            if self._minimum_normalized_throughput > 0 and scale > 0:
-                program.add_greater_equal(
-                    throughput, self._minimum_normalized_throughput / scale
-                )
+        if variables.vectorized:
+            numerator = self._add_objective_vectorized(variables, program)
+        else:
+            numerator = LinearExpression()
+            for job_id in problem.job_ids:
+                scale = self._normalizer(matrix, job_id)
+                throughput = variables.effective_throughput_expression(job_id)
+                numerator = numerator + throughput * scale
+                # Every job must make at least minimal progress, otherwise the
+                # cheapest "allocation" is to run nothing at all.
+                if self._minimum_normalized_throughput > 0 and scale > 0:
+                    program.add_greater_equal(
+                        throughput, self._minimum_normalized_throughput / scale
+                    )
         denominator = variables.cost_expression() + 1e-9
         program.set_ratio_objective(numerator, denominator)
+
+    def _add_objective_vectorized(
+        self, variables: AllocationVariables, program: FractionalProgram
+    ) -> LinearExpression:
+        """Columnar twin of the per-job objective loop (same rows, same order)."""
+        matrix = variables.matrix
+        job_ids, starts, cols, vals = variables.effective_throughput_blocks()
+        scales = np.fromiter(
+            (self._normalizer(matrix, job_id) for job_id in job_ids.tolist()),
+            dtype=float,
+            count=len(job_ids),
+        )
+        counts = np.diff(starts)
+        weighted = vals * np.repeat(scales, counts)
+        nonzero = weighted != 0.0
+        numerator = LinearExpression.from_arrays(cols[nonzero], weighted[nonzero])
+        if self._minimum_normalized_throughput > 0:
+            eligible = scales > 0
+            if eligible.all():
+                seg_rows = np.repeat(np.arange(len(job_ids), dtype=np.int64), counts)
+                seg_cols, seg_vals = cols, vals
+                bounds = self._minimum_normalized_throughput / scales
+            else:
+                selected = np.flatnonzero(eligible)
+                seg_rows = np.repeat(
+                    np.arange(len(selected), dtype=np.int64), counts[selected]
+                )
+                seg_cols = np.concatenate(
+                    [cols[starts[k] : starts[k + 1]] for k in selected]
+                ) if len(selected) else np.empty(0, dtype=np.int64)
+                seg_vals = np.concatenate(
+                    [vals[starts[k] : starts[k + 1]] for k in selected]
+                ) if len(selected) else np.empty(0)
+                bounds = self._minimum_normalized_throughput / scales[selected]
+            if len(bounds):
+                program.add_constraints_from_arrays(
+                    seg_rows, seg_cols, seg_vals, bounds, math.inf
+                )
+        return numerator
 
     def _build_program(self, problem: PolicyProblem):
         matrix = self.effective_matrix(problem)
@@ -129,7 +174,7 @@ class MinCostSession(IncrementalProgramSession):
     def __init__(self, policy: MinCostPolicy, problem: PolicyProblem):
         super().__init__(policy, problem, FractionalProgram(name=policy.display_name))
 
-    def _solve(self, problem: PolicyProblem) -> Allocation:
+    def _prepare(self, problem: PolicyProblem) -> None:
         self._sync(problem)
         program = self._program
         program.clear_tag(OBJECTIVE_TAG)
@@ -138,7 +183,10 @@ class MinCostSession(IncrementalProgramSession):
             self._policy._add_objective(problem, self._variables, program)
         finally:
             program.end_tag()
-        solution = program.solve()
+
+    def _solve(self, problem: PolicyProblem) -> Allocation:
+        self._prepare(problem)
+        solution = self._program.solve()
         return self._variables.extract_allocation(solution)
 
 

@@ -22,23 +22,63 @@ Two entry points exist for computing allocations:
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple, Union
+import math
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.allocation import Allocation
 from repro.core.problem import PolicyProblem
-from repro.core.throughput_matrix import JobCombination, ThroughputMatrix
+from repro.core.throughput_matrix import DenseRows, JobCombination, ThroughputMatrix
+from repro.exceptions import ConfigurationError
 from repro.solver.fractional import FractionalProgram, FractionalSolution
 from repro.solver.lp import LinearExpression, LinearProgram, Solution, Variable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.session import PolicySession
 
-__all__ = ["Policy", "OptimizationPolicy", "AllocationVariables"]
+__all__ = [
+    "Policy",
+    "OptimizationPolicy",
+    "AllocationVariables",
+    "lp_assembly",
+    "lp_assembly_mode",
+]
 
 _Program = Union[LinearProgram, FractionalProgram]
 _ProgramSolution = Union[Solution, FractionalSolution]
+
+#: Whether new :class:`AllocationVariables` use the columnar (ndarray) LP
+#: assembly path by default.  The dict-by-dict path is kept as a reference
+#: implementation: benchmarks and equivalence tests flip this via
+#: :func:`lp_assembly` to compare the two.
+_VECTORIZED_DEFAULT = True
+
+
+def lp_assembly_mode() -> str:
+    """The LP-assembly mode new sessions will use: ``"vectorized"`` or ``"dict"``."""
+    return "vectorized" if _VECTORIZED_DEFAULT else "dict"
+
+
+@contextmanager
+def lp_assembly(mode: str) -> Iterator[None]:
+    """Temporarily select the LP-assembly path for new :class:`AllocationVariables`.
+
+    ``"vectorized"`` (the default) emits variables and constraints as ndarray
+    blocks through the columnar solver API; ``"dict"`` uses the historical
+    per-term coefficient maps.  Both produce identical programs — the dict
+    path exists as the equivalence/benchmark baseline.
+    """
+    global _VECTORIZED_DEFAULT
+    if mode not in ("vectorized", "dict"):
+        raise ConfigurationError(f"unknown LP assembly mode {mode!r}")
+    previous = _VECTORIZED_DEFAULT
+    _VECTORIZED_DEFAULT = mode == "vectorized"
+    try:
+        yield
+    finally:
+        _VECTORIZED_DEFAULT = previous
 
 
 class Policy(abc.ABC):
@@ -117,6 +157,13 @@ class AllocationVariables:
     expressions are cached and invalidated only when one of the job's rows
     changes, which is what policy sessions lean on to rebuild objectives
     cheaply.
+
+    Two construction paths produce identical programs: the **vectorized**
+    path (default) feeds the program's columnar API whole ndarray blocks —
+    one bulk variable allocation, one constraint block per validity family —
+    straight from :meth:`ThroughputMatrix.dense_rows`; the **dict** path is
+    the historical per-term reference implementation, kept for equivalence
+    tests and as the benchmark baseline (see :func:`lp_assembly`).
     """
 
     def __init__(
@@ -124,43 +171,59 @@ class AllocationVariables:
         problem: PolicyProblem,
         matrix: ThroughputMatrix,
         program: _Program,
+        vectorized: Optional[bool] = None,
     ):
         self._problem = problem
         self._matrix = matrix
         self._program = program
-        self._variables: Dict[Tuple[JobCombination, int], Variable] = {}
+        self._vectorized = _VECTORIZED_DEFAULT if vectorized is None else bool(vectorized)
+        #: Per-combination variable-index arrays (one column index per type).
+        self._row_vars: Dict[JobCombination, np.ndarray] = {}
         self._num_columns = len(matrix.registry)
         self._job_constraints: Dict[int, int] = {}
         self._capacity_constraints: List[int] = []
         self._row_values: Dict[JobCombination, np.ndarray] = {}
         self._throughput_cache: Dict[int, LinearExpression] = {}
-        self._extract_index_cache: Dict[JobCombination, np.ndarray] = {}
-        self._create_variables()
-        self._add_validity_constraints()
+        self._throughput_terms_cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        #: Row-aligned (num_rows, num_columns) variable-index matrix, cached
+        #: per matrix snapshot for the whole-program columnar builders.
+        self._var_matrix: Optional[np.ndarray] = None
+        self._var_matrix_for: Optional[ThroughputMatrix] = None
+        if self._vectorized:
+            self._create_rows_vectorized()
+        else:
+            self._create_variables()
+            self._add_validity_constraints()
 
-    # -- construction --------------------------------------------------------------
+    @property
+    def vectorized(self) -> bool:
+        """Whether this object assembles LP rows through the columnar path."""
+        return self._vectorized
+
+    # -- construction (dict reference path) ----------------------------------------
     def _create_variables(self) -> None:
         names = self._matrix.registry.names
         for combination in self._matrix.combinations:
             row = self._matrix.row(combination)
             self._row_values[combination] = row
             runnable = (row > 0).any(axis=0)
+            indices = np.empty(self._num_columns, dtype=np.int64)
             for column, accelerator_name in enumerate(names):
                 variable = self._program.add_variable(
                     name=f"x[{combination},{accelerator_name}]",
                     lower=0.0,
                     upper=1.0 if runnable[column] else 0.0,
                 )
-                self._variables[(combination, column)] = variable
+                indices[column] = variable.index
+            self._row_vars[combination] = indices
 
     def _add_validity_constraints(self) -> None:
         # (2) total allocation of each job across all rows containing it is <= 1.
         for job_id in self._matrix.job_ids:
             terms: Dict[int, float] = {}
             for combination, _position in self._matrix.rows_containing(job_id):
-                for column in range(self._num_columns):
-                    variable = self._variables[(combination, column)]
-                    terms[variable.index] = terms.get(variable.index, 0.0) + 1.0
+                for index in self._row_vars[combination].tolist():
+                    terms[index] = terms.get(index, 0.0) + 1.0
             self._job_constraints[job_id] = self._program.add_less_equal(terms, 1.0)
 
         # (3) expected worker usage per accelerator type is bounded by capacity.
@@ -169,18 +232,100 @@ class AllocationVariables:
             terms = {}
             for combination in self._matrix.combinations:
                 scale = max(self._problem.scale_factor(job_id) for job_id in combination)
-                variable = self._variables[(combination, column)]
-                terms[variable.index] = terms.get(variable.index, 0.0) + float(scale)
+                index = int(self._row_vars[combination][column])
+                terms[index] = terms.get(index, 0.0) + float(scale)
             self._capacity_constraints.append(
                 self._program.add_less_equal(terms, float(capacity[column]))
             )
+
+    # -- construction (columnar path) ------------------------------------------------
+    def _row_scales(self, dense: DenseRows) -> np.ndarray:
+        """Per-row worker scale: max scale factor over the row's jobs."""
+        scale_by_job = np.fromiter(
+            (self._problem.scale_factor(job_id) for job_id in dense.job_ids.tolist()),
+            dtype=float,
+            count=len(dense.job_ids),
+        )
+        return np.maximum.reduceat(scale_by_job[dense.member_ordinals], dense.offsets[:-1])
+
+    def _create_rows_vectorized(self) -> None:
+        """Emit all variables and validity constraints as ndarray blocks.
+
+        Produces the same program as the dict path — identical variable-index
+        sequence, constraint order and coefficient order — without building a
+        single per-term Python dict.
+        """
+        program = self._program
+        dense = self._matrix.dense_rows()
+        num_columns = self._num_columns
+        combinations = dense.combinations
+        num_rows = len(combinations)
+        flat = program.add_variables_from_arrays(
+            num_rows * num_columns,
+            lower=0.0,
+            upper=dense.runnable.astype(float).ravel(),
+            name="x",
+        )
+        var_matrix = flat.reshape(num_rows, num_columns)
+        self._var_matrix = var_matrix
+        self._var_matrix_for = self._matrix
+        offsets = dense.offsets
+        values = dense.values
+        row_vars = self._row_vars
+        row_values = self._row_values
+        for ordinal, combination in enumerate(combinations):
+            row_vars[combination] = var_matrix[ordinal]
+            row_values[combination] = values[offsets[ordinal] : offsets[ordinal + 1]]
+
+        # (2) one row per job: coefficient 1 on every variable of every row
+        # containing the job, emitted in rows-containing x column order.
+        member_rows_grouped = dense.member_rows[dense.members_by_job]
+        job_cols = var_matrix[member_rows_grouped]
+        counts = np.diff(dense.job_starts) * num_columns
+        num_jobs = len(dense.job_ids)
+        handles = program.add_constraints_from_arrays(
+            np.repeat(np.arange(num_jobs, dtype=np.int64), counts),
+            job_cols.ravel(),
+            np.ones(job_cols.size),
+            -math.inf,
+            np.ones(num_jobs),
+        )
+        self._job_constraints = dict(
+            zip(dense.job_ids.tolist(), (int(handle) for handle in handles))
+        )
+
+        # (3) one row per worker type, scale-factor coefficients per matrix row.
+        row_scales = self._row_scales(dense)
+        capacity = self._problem.cluster_spec.counts_vector()
+        capacity_handles = program.add_constraints_from_arrays(
+            np.repeat(np.arange(num_columns, dtype=np.int64), num_rows),
+            var_matrix.T.ravel(),
+            np.tile(row_scales, num_columns),
+            -math.inf,
+            np.asarray(capacity, dtype=float),
+        )
+        self._capacity_constraints = [int(handle) for handle in capacity_handles]
+
+    def _aligned_var_matrix(self, dense: DenseRows) -> np.ndarray:
+        """The (num_rows, num_columns) variable-index matrix for this snapshot."""
+        if self._var_matrix is None or self._var_matrix_for is not self._matrix:
+            self._var_matrix = np.stack(
+                [self._row_vars[combination] for combination in dense.combinations]
+            )
+            self._var_matrix_for = self._matrix
+        return self._var_matrix
+
+    def _invalidate_job(self, job_id: int) -> None:
+        self._throughput_cache.pop(job_id, None)
+        self._throughput_terms_cache.pop(job_id, None)
 
     # -- incremental resynchronisation ---------------------------------------------
     def update_to(self, problem: PolicyProblem, matrix: ThroughputMatrix) -> None:
         """Re-align variables and validity constraints with a new snapshot.
 
         Only the difference against the previous matrix is applied: new
-        combinations gain variables and constraint terms, vanished ones are
+        combinations gain variables and constraint terms (appended as whole
+        row blocks in one columnar call when vectorized), vanished ones are
         scrubbed and their variables released back to the program, and
         persisting rows whose throughput values changed (estimate
         refinements) get their runnable bounds refreshed.  Cached throughput
@@ -204,31 +349,34 @@ class AllocationVariables:
             if not np.array_equal(row, self._row_values[combination]):
                 self._row_values[combination] = row
                 runnable = (row > 0).any(axis=0)
-                for column in range(self._num_columns):
-                    self._program.set_variable_bounds(
-                        self._variables[(combination, column)],
-                        0.0,
-                        1.0 if runnable[column] else 0.0,
-                    )
+                self._program.set_variable_bounds_from_arrays(
+                    self._row_vars[combination], 0.0, runnable.astype(float)
+                )
                 for job_id in combination:
-                    self._throughput_cache.pop(job_id, None)
+                    self._invalidate_job(job_id)
 
         self._matrix = matrix
-        for combination in sorted(new_combinations - old_combinations):
-            self._insert_combination(combination)
+        added = sorted(new_combinations - old_combinations)
+        if added:
+            if self._vectorized:
+                self._insert_combinations(added)
+            else:
+                for combination in added:
+                    self._insert_combination(combination)
 
         # Jobs that vanished entirely: drop their (now vacuous) constraints.
         active_jobs = set(matrix.job_ids)
         for job_id in list(self._job_constraints):
             if job_id not in active_jobs:
                 self._program.remove_constraint(self._job_constraints.pop(job_id))
-                self._throughput_cache.pop(job_id, None)
+                self._invalidate_job(job_id)
 
     def _insert_combination(self, combination: JobCombination) -> None:
         row = self._matrix.row(combination)
         self._row_values[combination] = row
         scale = float(max(self._problem.scale_factor(job_id) for job_id in combination))
         runnable = (row > 0).any(axis=0)
+        indices = np.empty(self._num_columns, dtype=np.int64)
         new_terms: Dict[int, float] = {}
         for column, accelerator_name in enumerate(self._matrix.registry.names):
             variable = self._program.add_variable(
@@ -236,36 +384,101 @@ class AllocationVariables:
                 lower=0.0,
                 upper=1.0 if runnable[column] else 0.0,
             )
-            self._variables[(combination, column)] = variable
+            indices[column] = variable.index
             new_terms[variable.index] = 1.0
             self._program.add_terms_to_constraint(
                 self._capacity_constraints[column], {variable.index: scale}
             )
+        self._row_vars[combination] = indices
         for job_id in combination:
             handle = self._job_constraints.get(job_id)
             if handle is None:
                 self._job_constraints[job_id] = self._program.add_less_equal(dict(new_terms), 1.0)
             else:
                 self._program.add_terms_to_constraint(handle, new_terms)
-            self._throughput_cache.pop(job_id, None)
+            self._invalidate_job(job_id)
+
+    def _insert_combinations(self, combinations: Sequence[JobCombination]) -> None:
+        """Batch insert of new matrix rows (sorted), one columnar call per family.
+
+        The equivalent of running :meth:`_insert_combination` per row: the
+        same variable indices are assigned (bulk allocation consumes the
+        recycled-index pool in the same order) and the same constraints end
+        up with the same coefficient order; only the per-term Python work is
+        gone.
+        """
+        program = self._program
+        dense = self._matrix.dense_rows()
+        num_columns = self._num_columns
+        num_new = len(combinations)
+        ordinal_of = {c: r for r, c in enumerate(dense.combinations)}
+        rows = np.fromiter(
+            (ordinal_of[combination] for combination in combinations),
+            dtype=np.int64,
+            count=num_new,
+        )
+        runnable = dense.runnable[rows]
+        var_new = program.add_variables_from_arrays(
+            num_new * num_columns, lower=0.0, upper=runnable.astype(float).ravel(), name="x"
+        ).reshape(num_new, num_columns)
+        offsets = dense.offsets
+        for position, combination in enumerate(combinations):
+            self._row_vars[combination] = var_new[position]
+            row = rows[position]
+            self._row_values[combination] = dense.values[offsets[row] : offsets[row + 1]]
+        row_scales = np.fromiter(
+            (
+                float(max(self._problem.scale_factor(job_id) for job_id in combination))
+                for combination in combinations
+            ),
+            dtype=float,
+            count=num_new,
+        )
+        for column in range(num_columns):
+            program.add_terms_to_constraint_from_arrays(
+                self._capacity_constraints[column], var_new[:, column], row_scales
+            )
+        # Job constraints: group the new rows per job in first-occurrence
+        # order so new-constraint handles match the sequential path.
+        rows_by_job: Dict[int, List[int]] = {}
+        for position, combination in enumerate(combinations):
+            for job_id in combination:
+                rows_by_job.setdefault(job_id, []).append(position)
+        new_jobs: List[Tuple[int, np.ndarray]] = []
+        for job_id, positions in rows_by_job.items():
+            cols = var_new[positions].ravel()
+            handle = self._job_constraints.get(job_id)
+            if handle is None:
+                new_jobs.append((job_id, cols))
+            else:
+                program.add_terms_to_constraint_from_arrays(handle, cols, np.ones(len(cols)))
+            self._invalidate_job(job_id)
+        if new_jobs:
+            lengths = [len(cols) for _, cols in new_jobs]
+            handles = program.add_constraints_from_arrays(
+                np.repeat(np.arange(len(new_jobs), dtype=np.int64), lengths),
+                np.concatenate([cols for _, cols in new_jobs]),
+                np.ones(int(np.sum(lengths))),
+                -math.inf,
+                np.ones(len(new_jobs)),
+            )
+            for (job_id, _), handle in zip(new_jobs, handles):
+                self._job_constraints[job_id] = int(handle)
 
     def _remove_combination(self, combination: JobCombination) -> None:
-        variables = [
-            self._variables.pop((combination, column)) for column in range(self._num_columns)
-        ]
-        indices = [variable.index for variable in variables]
+        indices = self._row_vars.pop(combination)
+        index_list = indices.tolist()
         for job_id in combination:
             handle = self._job_constraints.get(job_id)
             if handle is not None:
-                self._program.remove_terms_from_constraint(handle, indices)
-            self._throughput_cache.pop(job_id, None)
-        for column, variable in enumerate(variables):
+                self._program.remove_terms_from_constraint(handle, index_list)
+            self._invalidate_job(job_id)
+        for column, index in enumerate(index_list):
             self._program.remove_terms_from_constraint(
-                self._capacity_constraints[column], [variable.index]
+                self._capacity_constraints[column], [index]
             )
-            self._program.release_variable(variable)
+            self._program.release_variable(index)
         del self._row_values[combination]
-        self._extract_index_cache.pop(combination, None)
 
     # -- accessors -------------------------------------------------------------------
     @property
@@ -283,7 +496,58 @@ class AllocationVariables:
             if isinstance(accelerator, int)
             else self._matrix.registry.index_of(accelerator)
         )
-        return self._variables[(key, column)]
+        index = int(self._row_vars[key][column])
+        return Variable(index=index, name=f"x[{key},{self._matrix.registry.names[column]}]")
+
+    def effective_throughput_terms(self, job_id: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``throughput(job_id, X)`` as parallel (column, coefficient) arrays.
+
+        Zero coefficients are included (the columnar constraint API filters
+        them at ingestion).  The same tuple object is returned on cache hits
+        until one of the job's rows changes — callers use its identity the
+        way they use :meth:`effective_throughput_expression`'s, and must not
+        mutate the arrays.
+        """
+        cached = self._throughput_terms_cache.get(job_id)
+        if cached is None:
+            rows = self._matrix.rows_containing(job_id)
+            cols = np.concatenate([self._row_vars[combination] for combination, _ in rows])
+            vals = np.concatenate(
+                [self._row_values[combination][position] for combination, position in rows]
+            )
+            cached = (cols, vals)
+            self._throughput_terms_cache[job_id] = cached
+        return cached
+
+    def effective_throughput_blocks(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Columnar effective-throughput terms for *every* job in one pass.
+
+        Returns ``(job_ids, starts, cols, vals)``: the terms of
+        ``job_ids[k]`` are ``cols[starts[k]:starts[k+1]]`` /
+        ``vals[starts[k]:starts[k+1]]``, ordered exactly like the per-job
+        expressions (rows containing the job, then accelerator columns), with
+        zero coefficients included.  Also primes the per-job term cache, so a
+        later :meth:`effective_throughput_terms` hit returns slices of these
+        arrays.
+        """
+        dense = self._matrix.dense_rows()
+        var_matrix = self._aligned_var_matrix(dense)
+        member_order = dense.members_by_job
+        cols = var_matrix[dense.member_rows[member_order]].reshape(-1)
+        vals = dense.values[member_order].reshape(-1)
+        counts = np.diff(dense.job_starts) * self._num_columns
+        starts = np.zeros(len(counts) + 1, dtype=np.int64)
+        np.cumsum(counts, out=starts[1:])
+        cache = self._throughput_terms_cache
+        for position, job_id in enumerate(dense.job_ids.tolist()):
+            if job_id not in cache:
+                cache[job_id] = (
+                    cols[starts[position] : starts[position + 1]],
+                    vals[starts[position] : starts[position + 1]],
+                )
+        return dense.job_ids, starts, cols, vals
 
     def effective_throughput_expression(self, job_id: int) -> LinearExpression:
         """``throughput(job_id, X)`` as a linear expression over the variables.
@@ -294,25 +558,16 @@ class AllocationVariables:
         """
         cached = self._throughput_cache.get(job_id)
         if cached is None:
-            coefficients: Dict[int, float] = {}
-            for combination, position in self._matrix.rows_containing(job_id):
-                row = self._row_values[combination]
-                for column in range(self._num_columns):
-                    coefficient = float(row[position, column])
-                    if coefficient != 0.0:
-                        index = self._variables[(combination, column)].index
-                        coefficients[index] = coefficients.get(index, 0.0) + coefficient
-            cached = LinearExpression(coefficients)
+            cols, vals = self.effective_throughput_terms(job_id)
+            nonzero = vals != 0.0
+            cached = LinearExpression.from_arrays(cols[nonzero], vals[nonzero])
             self._throughput_cache[job_id] = cached
         return cached
 
     def total_time_expression(self, combination: Sequence[int]) -> LinearExpression:
         """Total time fraction allocated to one combination across all accelerator types."""
         key = tuple(sorted(int(j) for j in combination))
-        expression = LinearExpression()
-        for column in range(self._num_columns):
-            expression = expression + self._variables[(key, column)] * 1.0
-        return expression
+        return LinearExpression.from_arrays(self._row_vars[key], np.ones(self._num_columns))
 
     def cost_expression(self) -> LinearExpression:
         """Time-averaged dollar cost of the allocation.
@@ -322,32 +577,27 @@ class AllocationVariables:
         the number of workers the combination occupies.
         """
         costs = self._matrix.registry.costs_per_hour()
+        if self._vectorized:
+            dense = self._matrix.dense_rows()
+            var_matrix = self._aligned_var_matrix(dense)
+            coeffs = self._row_scales(dense)[:, None] * np.asarray(costs, dtype=float)[None, :]
+            return LinearExpression.from_arrays(var_matrix.ravel(), coeffs.ravel())
         coefficients: Dict[int, float] = {}
         for combination in self._matrix.combinations:
             scale = max(self._problem.scale_factor(job_id) for job_id in combination)
+            indices = self._row_vars[combination]
             for column in range(self._num_columns):
-                variable = self._variables[(combination, column)]
-                coefficients[variable.index] = (
-                    coefficients.get(variable.index, 0.0) + costs[column] * scale
-                )
+                index = int(indices[column])
+                coefficients[index] = coefficients.get(index, 0.0) + costs[column] * scale
         return LinearExpression(coefficients)
 
     def extract_allocation(self, solution: _ProgramSolution) -> Allocation:
         """Read the optimal variable values back into an :class:`Allocation`."""
         values = solution.values
-        num_columns = self._num_columns
-        entries: Dict[JobCombination, np.ndarray] = {}
-        cache = self._extract_index_cache
-        for combination in self._matrix.combinations:
-            indices = cache.get(combination)
-            if indices is None:
-                indices = np.fromiter(
-                    (self._variables[(combination, column)].index for column in range(num_columns)),
-                    dtype=np.int64,
-                    count=num_columns,
-                )
-                cache[combination] = indices
-            entries[combination] = values[indices]
+        entries: Dict[JobCombination, np.ndarray] = {
+            combination: values[self._row_vars[combination]]
+            for combination in self._matrix.combinations
+        }
         allocation = Allocation(
             self._matrix.registry, entries, scale_factors=self._problem.scale_factors()
         )

@@ -27,8 +27,11 @@ session and solves once, so both APIs always agree.
 from __future__ import annotations
 
 import abc
+import math
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.core.allocation import Allocation
 from repro.core.policy import AllocationVariables, OptimizationPolicy, Policy
@@ -121,6 +124,23 @@ class PolicySession(abc.ABC):
         """Record a batch of deltas (e.g. ``engine.drain_deltas()``)."""
         self._pending.extend(deltas)
 
+    def prepare(self, problem: Optional[PolicyProblem] = None) -> None:
+        """Align the live solver state with ``problem`` without solving.
+
+        Applies pending deltas, re-syncs the decision variables and rebuilds
+        the policy objective, leaving only the LP solve for :meth:`solve`.
+        Benchmarks use this to time LP *construction* separately from the
+        solver; calling :meth:`solve` afterwards is always correct (the
+        alignment is idempotent).
+        """
+        if problem is not None:
+            self._problem = problem
+        self._prepare(self._problem)
+        self._pending.clear()
+
+    def _prepare(self, problem: PolicyProblem) -> None:
+        """Policy-specific alignment; default no-op (stateless sessions)."""
+
     def solve(self, problem: Optional[PolicyProblem] = None) -> Allocation:
         """Compute the allocation for ``problem`` (default: last snapshot)."""
         if problem is not None:
@@ -185,6 +205,9 @@ class IncrementalProgramSession(PolicySession):
         self._source_matrix = problem.throughputs
         self._problem_seen = problem
 
+    def _prepare(self, problem: PolicyProblem) -> None:
+        self._sync(problem)
+
 
 class IncrementalLPSession(IncrementalProgramSession):
     """Session for :class:`~repro.core.policy.OptimizationPolicy` subclasses.
@@ -203,7 +226,7 @@ class IncrementalLPSession(IncrementalProgramSession):
             )
         super().__init__(policy, problem, LinearProgram(name=policy.display_name))
 
-    def _solve(self, problem: PolicyProblem) -> Allocation:
+    def _prepare(self, problem: PolicyProblem) -> None:
         self._sync(problem)
         program = self._program
         program.clear_tag(OBJECTIVE_TAG)
@@ -212,7 +235,10 @@ class IncrementalLPSession(IncrementalProgramSession):
             self._policy.build_objective(problem, self._variables, program)
         finally:
             program.end_tag()
-        solution = program.solve()
+
+    def _solve(self, problem: PolicyProblem) -> Allocation:
+        self._prepare(problem)
+        solution = self._program.solve()
         return self._variables.extract_allocation(solution)
 
 
@@ -233,12 +259,18 @@ class ThroughputFeasibilitySession(IncrementalProgramSession):
         self._feasibility: dict = {}
         self._feasibility_exprs: dict = {}
 
+    def _prepare(self, problem: PolicyProblem) -> None:
+        self._sync(problem)
+        self._align_feasibility()
+
     def _align_feasibility(self) -> None:
         """Re-align per-job feasibility constraints and the total-throughput objective.
 
-        Must be called after :meth:`_sync`; relies on the expression cache
-        returning the *same object* for jobs whose rows did not change to
-        detect which constraints need their coefficients refreshed.
+        Must be called after :meth:`_sync`; relies on the expression/terms
+        caches returning the *same object* for jobs whose rows did not change
+        to detect which constraints need their coefficients refreshed.  In
+        vectorized mode a from-scratch alignment emits every feasibility row
+        in one columnar call.
         """
         program = self._program
         variables = self._variables
@@ -248,6 +280,9 @@ class ThroughputFeasibilitySession(IncrementalProgramSession):
             if job_id not in active:
                 program.remove_constraint(self._feasibility.pop(job_id))
                 self._feasibility_exprs.pop(job_id, None)
+        if variables.vectorized:
+            self._align_feasibility_vectorized(job_ids)
+            return
         for job_id in job_ids:
             expression = variables.effective_throughput_expression(job_id)
             handle = self._feasibility.get(job_id)
@@ -264,6 +299,47 @@ class ThroughputFeasibilitySession(IncrementalProgramSession):
                 variables.effective_throughput_expression(job_id) for job_id in job_ids
             )
         )
+
+    def _align_feasibility_vectorized(self, job_ids: Tuple[int, ...]) -> None:
+        """Columnar twin of the dict alignment above: same rows, same order."""
+        program = self._program
+        variables = self._variables
+        if not self._feasibility:
+            # One columnar gather serves both the constraint block and the
+            # total-throughput objective below.
+            ids, starts, cols, vals = variables.effective_throughput_blocks()
+            handles = program.add_constraints_from_arrays(
+                np.repeat(np.arange(len(ids), dtype=np.int64), np.diff(starts)),
+                cols,
+                vals,
+                np.zeros(len(ids)),
+                math.inf,
+            )
+            for position, job_id in enumerate(ids.tolist()):
+                self._feasibility[job_id] = int(handles[position])
+                self._feasibility_exprs[job_id] = variables.effective_throughput_terms(job_id)
+            program.set_objective_from_arrays(cols, vals, maximize=True)
+            return
+        for job_id in job_ids:
+            terms = variables.effective_throughput_terms(job_id)
+            handle = self._feasibility.get(job_id)
+            if handle is None:
+                cols, vals = terms
+                self._feasibility[job_id] = int(
+                    program.add_constraints_from_arrays(
+                        np.zeros(len(cols), dtype=np.int64),
+                        cols,
+                        vals,
+                        np.zeros(1),
+                        math.inf,
+                    )[0]
+                )
+                self._feasibility_exprs[job_id] = terms
+            elif self._feasibility_exprs.get(job_id) is not terms:
+                program.set_constraint_coefficients_from_arrays(handle, *terms)
+                self._feasibility_exprs[job_id] = terms
+        _ids, _starts, cols, vals = variables.effective_throughput_blocks()
+        program.set_objective_from_arrays(cols, vals, maximize=True)
 
     def _set_feasibility_rhs(self, required: dict) -> None:
         """Set each job's minimum-throughput right-hand side for one candidate."""

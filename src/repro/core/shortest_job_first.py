@@ -53,11 +53,11 @@ class ShortestJobFirstPolicy(OptimizationPolicy):
         matrix = variables.matrix
         ranked = self.ranked_jobs(problem)
         total_jobs = len(ranked)
-        objective = LinearExpression()
+        terms = []
         for position, (job_id, _duration) in enumerate(ranked):
             fastest = fastest_reference_throughput(matrix, job_id)
             weight = float(total_jobs - position)
-            objective = objective + variables.effective_throughput_expression(job_id) * (
-                weight / fastest
+            terms.append(
+                variables.effective_throughput_expression(job_id) * (weight / fastest)
             )
-        program.maximize(objective)
+        program.maximize(LinearExpression.sum(terms))

@@ -20,6 +20,7 @@ singleton rows).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -30,9 +31,51 @@ from repro.workloads.colocation import ColocationModel, beneficial_pair_row
 from repro.workloads.job import Job
 from repro.workloads.throughputs import ThroughputOracle
 
-__all__ = ["JobCombination", "ThroughputMatrix", "build_throughput_matrix"]
+__all__ = ["JobCombination", "DenseRows", "ThroughputMatrix", "build_throughput_matrix"]
 
 JobCombination = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class DenseRows:
+    """Columnar view of every matrix row, for vectorized LP assembly.
+
+    The matrix's rows are ragged (singletons carry one member, pairs two), so
+    the view flattens them member-major: member ``k`` of row ``r`` lives at
+    flat position ``offsets[r] + k``.  All arrays are internal storage —
+    consumers must not mutate them.
+
+    Attributes:
+        combinations: The matrix's rows, sorted (same order as
+            :attr:`ThroughputMatrix.combinations`).
+        sizes: Per-row member count, shape ``(num_rows,)``.
+        offsets: Prefix sum of ``sizes``, shape ``(num_rows + 1,)``.
+        values: Per-member throughput vectors, shape ``(num_members,
+            num_accelerator_types)``.
+        member_jobs: Per-member job id, shape ``(num_members,)``.
+        member_ordinals: Per-member index into :attr:`job_ids`.
+        member_rows: Per-member row ordinal.
+        runnable: Per-row, per-type "any member can run" mask, shape
+            ``(num_rows, num_accelerator_types)``.
+        job_ids: Sorted distinct job ids, shape ``(num_jobs,)``.
+        members_by_job: Flat member positions grouped by job: the members of
+            ``job_ids[k]`` are ``members_by_job[job_starts[k]:job_starts[k+1]]``,
+            in row order (matching :meth:`ThroughputMatrix.rows_containing`).
+        job_starts: Group boundaries into ``members_by_job``, shape
+            ``(num_jobs + 1,)``.
+    """
+
+    combinations: Tuple[JobCombination, ...]
+    sizes: np.ndarray
+    offsets: np.ndarray
+    values: np.ndarray
+    member_jobs: np.ndarray
+    member_ordinals: np.ndarray
+    member_rows: np.ndarray
+    runnable: np.ndarray
+    job_ids: np.ndarray
+    members_by_job: np.ndarray
+    job_starts: np.ndarray
 
 
 def _normalize_combination(combination: Sequence[int]) -> JobCombination:
@@ -108,19 +151,51 @@ class ThroughputMatrix:
         if np.any(singles < 0):
             raise ConfigurationError("singleton block contains negative throughputs")
         pair_entries: Dict[JobCombination, np.ndarray] = {}
-        for combination, values in (pairs or {}).items():
-            array = np.asarray(values, dtype=float)
-            if array.shape != (len(combination), len(registry)) or len(combination) < 2:
+        pair_block: Optional[np.ndarray] = None
+        pair_ids: Tuple[JobCombination, ...] = ()
+        pair_items = sorted((pairs or {}).items())
+        if pair_items and all(len(combination) == 2 for combination, _ in pair_items):
+            # Fast path: every multi-job row is a pair, so validation is one
+            # stacked block instead of a per-row Python loop.
+            endpoints = np.asarray([combination for combination, _ in pair_items], dtype=np.int64)
+            if np.any(endpoints[:, 0] >= endpoints[:, 1]):
+                bad = endpoints[endpoints[:, 0] >= endpoints[:, 1]][0]
                 raise ConfigurationError(
-                    f"pair row {combination} has shape {array.shape}, expected "
-                    f"{(len(combination), len(registry))}"
+                    f"pair row {tuple(bad)} is not a normalized (sorted, duplicate-free) pair"
                 )
-            if np.any(array < 0):
+            try:
+                pair_block = np.stack([np.asarray(v, dtype=float) for _, v in pair_items])
+            except ValueError:
+                pair_block = None
+            if pair_block is None or pair_block.shape != (len(pair_items), 2, len(registry)):
+                shapes = {np.asarray(v, dtype=float).shape for _, v in pair_items}
                 raise ConfigurationError(
-                    f"row for combination {combination} contains negative throughputs"
+                    f"pair rows have shapes {sorted(shapes)}, expected {(2, len(registry))}"
                 )
-            pair_entries[_normalize_combination(combination)] = array
-        matrix._init_from_parts(registry, job_ids, singles, pair_entries)
+            if np.any(pair_block < 0):
+                raise ConfigurationError("pair rows contain negative throughputs")
+            pair_ids = tuple(combination for combination, _ in pair_items)
+            pair_entries = {
+                combination: pair_block[index] for index, combination in enumerate(pair_ids)
+            }
+        else:
+            for combination, values in pair_items:
+                array = np.asarray(values, dtype=float)
+                if array.shape != (len(combination), len(registry)) or len(combination) < 2:
+                    raise ConfigurationError(
+                        f"pair row {combination} has shape {array.shape}, expected "
+                        f"{(len(combination), len(registry))}"
+                    )
+                if np.any(array < 0):
+                    raise ConfigurationError(
+                        f"row for combination {combination} contains negative throughputs"
+                    )
+                pair_entries[_normalize_combination(combination)] = array
+        matrix._init_from_parts(
+            registry, job_ids, singles, pair_entries, pair_ids=pair_ids, pair_block=pair_block
+        )
+        if pair_block is not None:
+            matrix._pair_endpoints = endpoints
         return matrix
 
     def _init_from_parts(
@@ -129,6 +204,8 @@ class ThroughputMatrix:
         job_ids: Tuple[int, ...],
         singles: np.ndarray,
         pairs: Dict[JobCombination, np.ndarray],
+        pair_ids: Optional[Tuple[JobCombination, ...]] = None,
+        pair_block: Optional[np.ndarray] = None,
     ) -> None:
         if len(job_ids) == 0:
             raise ConfigurationError("throughput matrix must contain at least one row")
@@ -137,23 +214,53 @@ class ThroughputMatrix:
         self._singles_index = {job_id: row for row, job_id in enumerate(job_ids)}
         self._singles = singles
         self._pairs = pairs
-        known = set(job_ids)
-        for combination in pairs:
-            for job_id in combination:
-                if job_id not in known:
-                    raise ConfigurationError(
-                        f"job {job_id} appears in a pair row but has no singleton row"
-                    )
+        if pair_ids and pair_block is not None and len(pair_ids) == len(pairs):
+            # from_parts validated the stacked block; check membership in bulk.
+            endpoints = np.asarray(pair_ids, dtype=np.int64)
+            job_ids_array = np.asarray(job_ids, dtype=np.int64)
+            positions = np.searchsorted(job_ids_array, endpoints)
+            valid = (positions < len(job_ids_array)) & (
+                job_ids_array[np.minimum(positions, len(job_ids_array) - 1)] == endpoints
+            )
+            if not valid.all():
+                missing = int(endpoints[~valid][0])
+                raise ConfigurationError(
+                    f"job {missing} appears in a pair row but has no singleton row"
+                )
+        else:
+            pair_ids, pair_block = None, None
+            known = set(job_ids)
+            for combination in pairs:
+                for job_id in combination:
+                    if job_id not in known:
+                        raise ConfigurationError(
+                            f"job {job_id} appears in a pair row but has no singleton row"
+                        )
+        self._pair_ids: Optional[Tuple[JobCombination, ...]] = pair_ids
+        self._pair_block: Optional[np.ndarray] = pair_block
+        #: Sorted (first, second) job-id endpoints of the pair block, cached
+        #: for vectorized merged-row assembly in :meth:`dense_rows`.
+        self._pair_endpoints: Optional[np.ndarray] = None
+        self._pair_index_map: Optional[Dict[JobCombination, int]] = None
         self._combinations: List[JobCombination] = sorted(
             [(job_id,) for job_id in job_ids] + list(pairs)
         )
         self._job_ids: Tuple[int, ...] = job_ids
-        self._rows_by_job: Dict[int, List[Tuple[JobCombination, int]]] = {
-            job_id: [] for job_id in job_ids
-        }
-        for combination in self._combinations:
-            for position, job_id in enumerate(combination):
-                self._rows_by_job[job_id].append((combination, position))
+        #: Lazily built per-job row index (a per-member Python pass that large
+        #: matrices only pay when the dict-path accessors actually need it).
+        self._rows_by_job: Optional[Dict[int, List[Tuple[JobCombination, int]]]] = None
+        self._dense_rows: Optional[DenseRows] = None
+
+    def _rows_by_job_map(self) -> Dict[int, List[Tuple[JobCombination, int]]]:
+        if self._rows_by_job is None:
+            rows_by_job: Dict[int, List[Tuple[JobCombination, int]]] = {
+                job_id: [] for job_id in self._job_ids
+            }
+            for combination in self._combinations:
+                for position, job_id in enumerate(combination):
+                    rows_by_job[job_id].append((combination, position))
+            self._rows_by_job = rows_by_job
+        return self._rows_by_job
 
     # -- structure -------------------------------------------------------------
     @property
@@ -183,9 +290,144 @@ class ThroughputMatrix:
 
     def rows_containing(self, job_id: int) -> Tuple[Tuple[JobCombination, int], ...]:
         """Rows in which ``job_id`` participates, with its position in each row."""
-        if job_id not in self._rows_by_job:
+        rows_by_job = self._rows_by_job_map()
+        if job_id not in rows_by_job:
             raise UnknownJobError(f"job {job_id} is not in this throughput matrix")
-        return tuple(self._rows_by_job[job_id])
+        return tuple(rows_by_job[job_id])
+
+    # -- dense blocks ------------------------------------------------------------
+    def _pair_parts(self) -> Tuple[Tuple[JobCombination, ...], np.ndarray]:
+        """Sorted 2-job combinations and their stacked ``(n, 2, types)`` block."""
+        if self._pair_block is None:
+            pair_ids = tuple(c for c in sorted(self._pairs) if len(c) == 2)
+            self._pair_ids = pair_ids
+            self._pair_block = (
+                np.stack([self._pairs[c] for c in pair_ids])
+                if pair_ids
+                else np.zeros((0, 2, len(self._registry)))
+            )
+        return self._pair_ids, self._pair_block
+
+    def pairs_matrix(self) -> Tuple[Tuple[JobCombination, ...], np.ndarray]:
+        """Dense block of pair rows, mirroring :meth:`singles_matrix`.
+
+        Returns the sorted 2-job combinations and a copy of the
+        ``(num_pairs, 2, num_accelerator_types)`` block; row ``i`` position
+        ``k`` holds the throughputs of job ``combinations[i][k]``.
+        Combinations with more than two jobs (not produced by any current
+        builder) are not part of the block.
+        """
+        pair_ids, pair_block = self._pair_parts()
+        return pair_ids, pair_block.copy()
+
+    def pair_index(self, combination: Sequence[int]) -> int:
+        """Row of a normalized pair inside the :meth:`pairs_matrix` block."""
+        if self._pair_index_map is None:
+            pair_ids, _ = self._pair_parts()
+            self._pair_index_map = {c: i for i, c in enumerate(pair_ids)}
+        normalized = _normalize_combination(combination)
+        index = self._pair_index_map.get(normalized)
+        if index is None:
+            raise UnknownJobError(f"combination {normalized} is not a pair row of this matrix")
+        return index
+
+    def dense_rows(self) -> DenseRows:
+        """Cached columnar view of every row (see :class:`DenseRows`).
+
+        This is what the vectorized LP-assembly path consumes: flat ndarrays
+        covering all rows at once, instead of per-row Python objects.
+        """
+        if self._dense_rows is None:
+            combinations = tuple(self._combinations)
+            num_rows = len(combinations)
+            num_types = len(self._registry)
+            job_ids = np.asarray(self._job_ids, dtype=np.int64)
+            pair_ids, pair_block = self._pair_parts() if self._pairs else ((), None)
+            if len(pair_ids) == len(self._pairs):
+                # Every multi-job row is a pair: compute the sorted merge of
+                # singleton and pair rows arithmetically (a singleton ``(j,)``
+                # is preceded by the pairs whose first job is ``< j``, a pair
+                # ``(a, b)`` by the singletons ``<= a``) — no per-row Python.
+                num_singles = len(job_ids)
+                num_pairs = len(pair_ids)
+                if num_pairs:
+                    if self._pair_endpoints is None:
+                        self._pair_endpoints = np.asarray(pair_ids, dtype=np.int64)
+                    endpoints = self._pair_endpoints
+                    first = endpoints[:, 0]
+                    pair_rows = np.arange(num_pairs, dtype=np.int64) + np.searchsorted(
+                        job_ids, first, side="right"
+                    )
+                    single_rows = np.arange(num_singles, dtype=np.int64) + np.searchsorted(
+                        first, job_ids, side="left"
+                    )
+                else:
+                    endpoints = np.empty((0, 2), dtype=np.int64)
+                    pair_rows = np.empty(0, dtype=np.int64)
+                    single_rows = np.arange(num_singles, dtype=np.int64)
+                sizes = np.ones(num_rows, dtype=np.int64)
+                sizes[pair_rows] = 2
+                offsets = np.zeros(num_rows + 1, dtype=np.int64)
+                np.cumsum(sizes, out=offsets[1:])
+                num_members = int(offsets[-1])
+                member_jobs = np.empty(num_members, dtype=np.int64)
+                single_offsets = offsets[:-1][single_rows]
+                pair_offsets = offsets[:-1][pair_rows]
+                member_jobs[single_offsets] = job_ids
+                member_jobs[pair_offsets] = endpoints[:, 0]
+                member_jobs[pair_offsets + 1] = endpoints[:, 1]
+                values = np.empty((num_members, num_types))
+                values[single_offsets] = self._singles
+                if num_pairs:
+                    values[pair_offsets] = pair_block[:, 0]
+                    values[pair_offsets + 1] = pair_block[:, 1]
+            else:
+                # General fallback (combinations with 3+ jobs): per-row pass.
+                sizes = np.fromiter(
+                    (len(c) for c in combinations), dtype=np.int64, count=num_rows
+                )
+                offsets = np.zeros(num_rows + 1, dtype=np.int64)
+                np.cumsum(sizes, out=offsets[1:])
+                num_members = int(offsets[-1])
+                member_jobs = np.fromiter(
+                    (job_id for combination in combinations for job_id in combination),
+                    dtype=np.int64,
+                    count=num_members,
+                )
+                values = np.empty((num_members, num_types))
+                single_offsets = offsets[:-1][sizes == 1]
+                values[single_offsets] = self._singles[
+                    np.searchsorted(job_ids, member_jobs[single_offsets])
+                ]
+                if pair_block is not None and len(pair_ids):
+                    # Sorted pair ids appear in the sorted combination list in
+                    # the same relative order, so the blocks line up 1:1.
+                    pair_offsets = offsets[:-1][sizes == 2]
+                    values[pair_offsets] = pair_block[:, 0]
+                    values[pair_offsets + 1] = pair_block[:, 1]
+                for row in np.flatnonzero(sizes > 2):
+                    values[offsets[row] : offsets[row + 1]] = self._pairs[combinations[row]]
+            member_ordinals = np.searchsorted(job_ids, member_jobs)
+            member_rows = np.repeat(np.arange(num_rows, dtype=np.int64), sizes)
+            runnable = np.logical_or.reduceat(values > 0, offsets[:-1], axis=0)
+            order = np.argsort(member_jobs, kind="stable")
+            job_starts = np.append(
+                np.searchsorted(member_jobs[order], job_ids), num_members
+            ).astype(np.int64)
+            self._dense_rows = DenseRows(
+                combinations=combinations,
+                sizes=sizes,
+                offsets=offsets,
+                values=values,
+                member_jobs=member_jobs,
+                member_ordinals=member_ordinals,
+                member_rows=member_rows,
+                runnable=runnable,
+                job_ids=job_ids,
+                members_by_job=order,
+                job_starts=job_starts,
+            )
+        return self._dense_rows
 
     # -- values -----------------------------------------------------------------
     def _row_array(self, combination: JobCombination) -> np.ndarray:
@@ -240,23 +482,35 @@ class ThroughputMatrix:
         another, exactly like schedulers that reason only about device counts.
         Zero columns (job cannot run on that type) are preserved.
         """
-        runnable = self._singles > 0
-        counts = runnable.sum(axis=1)
-        sums = self._singles.sum(axis=1)
-        means = np.divide(sums, counts, out=np.zeros_like(sums), where=counts > 0)
-        flattened_singles = np.where(runnable, means[:, None], 0.0)
+        def flatten(block: np.ndarray) -> np.ndarray:
+            """Replace each (leading…, type) vector by its mean over runnable types."""
+            runnable = block > 0
+            counts = runnable.sum(axis=-1)
+            sums = block.sum(axis=-1)
+            means = np.divide(sums, counts, out=np.zeros_like(sums), where=counts > 0)
+            return np.where(runnable, means[..., None], 0.0)
+
+        flattened_singles = flatten(self._singles)
         pairs: Dict[JobCombination, np.ndarray] = {}
-        for combination, values in self._pairs.items():
-            flattened = np.zeros_like(values)
-            for position in range(values.shape[0]):
-                row = values[position]
-                row_runnable = row > 0
-                if row_runnable.any():
-                    flattened[position, row_runnable] = row[row_runnable].mean()
-            pairs[combination] = flattened
-        return ThroughputMatrix.from_parts(
-            self._registry, self._singles_ids, flattened_singles, pairs
+        pair_ids: Tuple[JobCombination, ...] = ()
+        pair_block: Optional[np.ndarray] = None
+        if self._pairs:
+            pair_ids, block = self._pair_parts()
+            pair_block = flatten(block)
+            pairs = {c: pair_block[i] for i, c in enumerate(pair_ids)}
+            for combination, values in self._pairs.items():
+                if len(combination) > 2:
+                    pairs[combination] = flatten(values)
+        matrix = ThroughputMatrix.__new__(ThroughputMatrix)
+        matrix._init_from_parts(
+            self._registry,
+            self._singles_ids,
+            flattened_singles,
+            pairs,
+            pair_ids=pair_ids,
+            pair_block=pair_block,
         )
+        return matrix
 
 
 def build_throughput_matrix(

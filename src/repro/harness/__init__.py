@@ -2,6 +2,7 @@
 
 from repro.harness.experiments import (
     LoadSweepPoint,
+    measure_lp_build_runtime,
     measure_matrix_prep_runtime,
     measure_policy_runtime,
     measure_policy_solve_under_churn,
@@ -17,6 +18,7 @@ __all__ = [
     "measure_policy_runtime",
     "measure_matrix_prep_runtime",
     "measure_policy_solve_under_churn",
+    "measure_lp_build_runtime",
     "steady_state_job_ids",
     "LoadSweepPoint",
     "format_table",

@@ -36,6 +36,7 @@ __all__ = [
     "measure_policy_runtime",
     "measure_matrix_prep_runtime",
     "measure_policy_solve_under_churn",
+    "measure_lp_build_runtime",
     "steady_state_job_ids",
 ]
 
@@ -264,6 +265,70 @@ def measure_policy_solve_under_churn(
         results[int(num_jobs)] = {
             "scratch": scratch_total / len(seeds),
             "session": session_total / len(seeds),
+        }
+    return results
+
+
+def measure_lp_build_runtime(
+    policy: "Policy | str",
+    num_jobs_values: Sequence[int],
+    per_type_workers_per_job: float = 0.05,
+    seeds: Sequence[int] = (0,),
+    oracle: Optional[ThroughputOracle] = None,
+) -> Dict[int, Dict[str, float]]:
+    """LP *construction* seconds per assembly path, versus active-job count.
+
+    For each job count the policy-input matrix is built once (through the
+    incremental :class:`AllocationEngine`, whose type-level colocation cache
+    keeps pair-row generation tractable at thousands of jobs) and the full
+    policy->LP construction — ``policy.session(problem)`` followed by
+    ``session.prepare(problem)``, i.e. decision variables, the Section 3.1
+    validity constraints and the policy objective, everything except the LP
+    solve — is timed under both assembly paths:
+
+    * ``"dict"`` — the per-term coefficient-map reference path;
+    * ``"vectorized"`` — the columnar ndarray path
+      (:meth:`LinearProgram.add_constraints_from_arrays` fed from
+      :meth:`ThroughputMatrix.dense_rows`).
+
+    Returns ``{num_jobs: {"dict": seconds, "vectorized": seconds}}``; the
+    Figure 12 benchmark gates the ratio at >=3x for ``max_min_fairness+ss``.
+    """
+    from repro.core.allocation_engine import AllocationEngine
+    from repro.core.policy import lp_assembly
+
+    oracle = oracle if oracle is not None else ThroughputOracle()
+    resolved = _resolve_policy(policy)
+    generator = TraceGenerator(oracle=oracle)
+    results: Dict[int, Dict[str, float]] = {}
+    for num_jobs in num_jobs_values:
+        per_type = max(1, int(round(num_jobs * per_type_workers_per_job)))
+        cluster_spec = ClusterSpec.from_counts(
+            {name: per_type for name in oracle.registry.names}, registry=oracle.registry
+        )
+        timings = {"dict": 0.0, "vectorized": 0.0}
+        for seed in seeds:
+            trace = generator.generate_static(num_jobs=num_jobs, seed=seed)
+            jobs = list(trace.jobs)
+            engine = AllocationEngine(
+                oracle,
+                space_sharing=resolved.space_sharing,
+                colocation_model=ColocationModel(oracle),
+            )
+            engine.add_jobs(jobs)
+            problem = PolicyProblem(
+                jobs={job.job_id: job for job in jobs},
+                throughputs=engine.matrix(),
+                cluster_spec=cluster_spec,
+            )
+            for mode in ("dict", "vectorized"):
+                with lp_assembly(mode):
+                    start = _time.perf_counter()
+                    session = resolved.session(problem)
+                    session.prepare(problem)
+                    timings[mode] += _time.perf_counter() - start
+        results[int(num_jobs)] = {
+            mode: total / len(seeds) for mode, total in timings.items()
         }
     return results
 

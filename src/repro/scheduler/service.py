@@ -99,6 +99,19 @@ class SchedulerConfig:
             :class:`~repro.workloads.colocation.ColocationModel` query
             interface; when set, space-sharing policies see *estimated*
             colocated throughputs while execution still uses the true model.
+        max_session_history: When set, the pinned session solve history (what
+            :meth:`ClusterScheduler.snapshot` captures for bit-exact resume)
+            is bounded: once it reaches this many entries the scheduler
+            re-bases onto a *cold* policy session at the next allocation
+            recomputation, dropping the history.  This bounds checkpoint
+            memory on long runs at the cost of one cold solve per re-base.
+            The run remains fully deterministic and snapshot/restore remains
+            bit-exact *for that run*, but because the warm solver state is
+            discarded at each boundary, a cold re-solve may select a
+            different (equally optimal) allocation than the warm program
+            would have — so schedules can differ from an unbounded-history
+            run when a policy's LP has multiple optima.  ``None`` (the
+            default) keeps the full history.
     """
 
     round_duration_seconds: float = 360.0
@@ -109,6 +122,7 @@ class SchedulerConfig:
     max_simulated_seconds: float = 6.0e7
     colocation_threshold: float = 1.1
     estimator: Optional[object] = None
+    max_session_history: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.round_duration_seconds <= 0:
@@ -119,6 +133,8 @@ class SchedulerConfig:
             raise ConfigurationError("checkpoint_overhead_seconds must be non-negative")
         if self.throughput_jitter_std < 0:
             raise ConfigurationError("throughput_jitter_std must be non-negative")
+        if self.max_session_history is not None and self.max_session_history < 1:
+            raise ConfigurationError("max_session_history must be at least 1")
 
 
 @dataclass
@@ -195,6 +211,30 @@ class SchedulerSnapshot:
     tracker_state: Optional[Dict[Tuple[int, ...], np.ndarray]]
     rng_state: dict
     session_history: List[Tuple[PolicyProblem, Optional[List[PolicyDelta]]]]
+
+    def compact(self, max_history: int = 1) -> "SchedulerSnapshot":
+        """Re-base the pinned solve history onto a cold session.
+
+        Returns a copy of this snapshot keeping only the last ``max_history``
+        history entries, with the first kept entry marked session-creating.
+        :meth:`ClusterScheduler.restore` then replays at most ``max_history``
+        solves (instead of one per past allocation recomputation) into a
+        *fresh* session seeded from that entry's full problem snapshot.
+        Sessions are self-sufficient given a snapshot, so the restored run is
+        always valid and deterministic; what is given up is bit-exact parity
+        with the uninterrupted run — the cold session may select a different
+        (equally optimal) allocation than the warm program would have when a
+        policy's LP has multiple optimal vertices, so forward schedules can
+        diverge.  Restores from an *uncompacted* snapshot remain bit-exact.
+        """
+        if max_history < 1:
+            raise ConfigurationError("max_history must be at least 1")
+        kept = list(self.session_history[-max_history:])
+        if kept:
+            kept[0] = (kept[0][0], None)
+        compacted = copy.copy(self)
+        compacted.session_history = kept
+        return compacted
 
 
 class ClusterScheduler:
@@ -696,6 +736,15 @@ class ClusterScheduler:
 
     def _solve_allocation(self, current_time: float) -> Allocation:
         """One allocation recomputation through the long-lived policy session."""
+        if (
+            self._config.max_session_history is not None
+            and self._session is not None
+            and len(self._session_history) >= self._config.max_session_history
+        ):
+            # Bounded-history mode: re-base onto a cold session so checkpoint
+            # memory (and restore-replay cost) cannot grow with run length.
+            self._session = None
+            self._session_history = []
         start = _time.perf_counter()
         matrix = self._engine.matrix()
         self._matrix_seconds += _time.perf_counter() - start

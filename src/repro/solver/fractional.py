@@ -36,7 +36,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 import numpy as np
 
 from repro.exceptions import InfeasibleError, SolverError
-from repro.solver.lp import LinearExpression, LinearProgram, Variable
+from repro.solver.lp import LinearExpression, LinearProgram, Variable, _columnar_rows
 
 __all__ = ["FractionalProgram", "FractionalSolution"]
 
@@ -55,12 +55,57 @@ class FractionalSolution:
         return expression.value(self.values)
 
 
-@dataclass
 class _RatioConstraint:
-    coefficients: Dict[int, float]
-    constant: float
-    sense: str  # "<=", ">=", "=="
-    rhs: float
+    """One ratio-program constraint; array-backed like :class:`~repro.solver.lp._Constraint`.
+
+    Constraints built through the columnar API carry their ``(indices,
+    values)`` fragment from birth and materialize the coefficient dict only
+    when a term-level edit needs it.
+    """
+
+    __slots__ = ("_coefficients", "constant", "sense", "rhs", "indices", "values")
+
+    def __init__(
+        self,
+        coefficients: Optional[Dict[int, float]] = None,
+        constant: float = 0.0,
+        sense: str = "<=",
+        rhs: float = 0.0,
+        indices: Optional[np.ndarray] = None,
+        values: Optional[np.ndarray] = None,
+    ):
+        self._coefficients = coefficients
+        self.constant = constant
+        self.sense = sense
+        self.rhs = rhs
+        self.indices = indices
+        self.values = values
+
+    @property
+    def coefficients(self) -> Dict[int, float]:
+        if self._coefficients is None:
+            indices = self.indices if self.indices is not None else ()
+            values = self.values if self.values is not None else ()
+            self._coefficients = dict(zip((int(i) for i in indices), (float(v) for v in values)))
+        return self._coefficients
+
+    @coefficients.setter
+    def coefficients(self, mapping: Dict[int, float]) -> None:
+        self._coefficients = mapping
+        self.indices = None
+        self.values = None
+
+    def fragment(self) -> Tuple[np.ndarray, np.ndarray]:
+        if self.indices is None:
+            items = [(i, c) for i, c in self._coefficients.items() if c != 0.0]
+            self.indices = np.fromiter((i for i, _ in items), dtype=np.int64, count=len(items))
+            self.values = np.fromiter((c for _, c in items), dtype=float, count=len(items))
+        return self.indices, self.values
+
+    def invalidate(self) -> None:
+        assert self._coefficients is not None, "invalidate() before materializing the dict"
+        self.indices = None
+        self.values = None
 
 
 class FractionalProgram:
@@ -93,6 +138,8 @@ class FractionalProgram:
         self._cc_bounds: Dict[int, Tuple[int, int]] = {}
         self._cc_rows: Dict[int, int] = {}
         self._cc_denominator: Optional[int] = None
+        #: Cached ``original column -> y column`` map (grown on demand).
+        self._cc_map: Optional[np.ndarray] = None
 
     # -- variables --------------------------------------------------------------
     def num_variables(self) -> int:
@@ -123,6 +170,70 @@ class FractionalProgram:
 
     def add_variables(self, count: int, name_prefix: str = "x", lower: float = 0.0, upper: float = 1.0) -> List[Variable]:
         return [self.add_variable(f"{name_prefix}{i}", lower, upper) for i in range(count)]
+
+    def add_variables_from_arrays(
+        self,
+        count: int,
+        lower: "float | np.ndarray" = 0.0,
+        upper: "float | np.ndarray | None" = 1.0,
+        integer: bool = False,
+        name: str = "x",
+    ) -> np.ndarray:
+        """Bulk-allocate variables; returns their column indices.
+
+        Mirrors :meth:`LinearProgram.add_variables_from_arrays` (``integer``
+        is accepted for signature parity but must stay ``False``; fractional
+        programs are continuous).  Bounds must be finite.
+        """
+        if integer:
+            raise SolverError(f"{self.name}: fractional programs have no integer variables")
+        count = int(count)
+        lower_arr = np.broadcast_to(np.asarray(lower, dtype=float), (count,))
+        if upper is None:
+            raise SolverError(f"{self.name}: fractional programs require finite variable bounds")
+        upper_arr = np.broadcast_to(np.asarray(upper, dtype=float), (count,))
+        if count and not (np.isfinite(lower_arr).all() and np.isfinite(upper_arr).all()):
+            raise SolverError(f"{self.name}: fractional programs require finite variable bounds")
+        indices = np.empty(count, dtype=np.int64)
+        recycled = min(len(self._free_variables), count)
+        for position in range(recycled):
+            index = self._free_variables.pop()
+            indices[position] = index
+            self._lower[index] = float(lower_arr[position])
+            self._upper[index] = float(upper_arr[position])
+            self._names[index] = name
+        grown = count - recycled
+        if grown > 0:
+            base = len(self._lower)
+            indices[recycled:] = np.arange(base, base + grown, dtype=np.int64)
+            self._lower.extend(lower_arr[recycled:].tolist())
+            self._upper.extend(upper_arr[recycled:].tolist())
+            self._names.extend([name] * grown)
+        if self._active_tag is not None:
+            self._tagged_variables.setdefault(self._active_tag, []).extend(indices.tolist())
+        if self._cc_lp is not None:
+            for index in indices.tolist():
+                if index in self._cc_scaled:
+                    self._cc_sync_variable_bounds(index)
+                else:
+                    self._cc_scaled[index] = self._cc_lp.add_variable(name=f"y{index}", lower=0.0)
+                    self._cc_add_bound_links(index)
+        return indices
+
+    def set_variable_bounds_from_arrays(
+        self, indices: np.ndarray, lower: "float | np.ndarray", upper: "float | np.ndarray"
+    ) -> None:
+        """Replace many variables' (finite) bounds at once."""
+        indices = np.asarray(indices, dtype=np.int64)
+        lower_arr = np.broadcast_to(np.asarray(lower, dtype=float), indices.shape)
+        upper_arr = np.broadcast_to(np.asarray(upper, dtype=float), indices.shape)
+        if len(indices) and not (np.isfinite(lower_arr).all() and np.isfinite(upper_arr).all()):
+            raise SolverError(f"{self.name}: fractional programs require finite variable bounds")
+        for index, low, high in zip(indices.tolist(), lower_arr.tolist(), upper_arr.tolist()):
+            self._lower[index] = low
+            self._upper[index] = high
+            if self._cc_lp is not None:
+                self._cc_sync_variable_bounds(index)
 
     def set_variable_bounds(self, variable: "Variable | int", lower: float, upper: float) -> None:
         """Replace one variable's (finite) bounds."""
@@ -208,25 +319,105 @@ class FractionalProgram:
     def add_terms_to_constraint(self, handle: int, terms: Mapping[int, float]) -> None:
         """Accumulate coefficients onto an existing constraint."""
         constraint = self._require(handle)
+        coefficients = constraint.coefficients
         for index, coefficient in terms.items():
-            constraint.coefficients[index] = constraint.coefficients.get(index, 0.0) + float(coefficient)
+            coefficients[index] = coefficients.get(index, 0.0) + float(coefficient)
+        constraint.invalidate()
         if self._cc_lp is not None and handle in self._cc_rows:
             self._cc_lp.add_terms_to_constraint(
                 self._cc_rows[handle],
                 {self._cc_scaled[int(i)].index: float(c) for i, c in terms.items()},
             )
 
+    def add_terms_to_constraint_from_arrays(
+        self, handle: int, indices: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Columnar term append; extends the fragment directly when possible."""
+        constraint = self._require(handle)
+        indices = np.asarray(indices, dtype=np.int64)
+        values = np.asarray(values, dtype=float)
+        nonzero = values != 0.0
+        if not nonzero.all():
+            indices, values = indices[nonzero], values[nonzero]
+        if len(indices):
+            if (
+                constraint._coefficients is None
+                and constraint.indices is not None
+                and not np.isin(indices, constraint.indices).any()
+            ):
+                constraint.indices = np.concatenate([constraint.indices, indices])
+                constraint.values = np.concatenate([constraint.values, values])
+            else:
+                coefficients = constraint.coefficients
+                for index, value in zip(indices.tolist(), values.tolist()):
+                    coefficients[index] = coefficients.get(index, 0.0) + value
+                constraint.invalidate()
+            if self._cc_lp is not None and handle in self._cc_rows:
+                self._cc_lp.add_terms_to_constraint_from_arrays(
+                    self._cc_rows[handle], self._cc_column_map()[indices], values
+                )
+
     def remove_terms_from_constraint(self, handle: int, indices: Iterable[int]) -> None:
         """Drop the given variables' coefficients from an existing constraint."""
         constraint = self._require(handle)
         indices = [int(index) for index in indices]
-        for index in indices:
-            constraint.coefficients.pop(index, None)
+        if constraint._coefficients is None and constraint.indices is not None:
+            keep = ~np.isin(constraint.indices, np.asarray(indices, dtype=np.int64))
+            constraint.indices = constraint.indices[keep]
+            constraint.values = constraint.values[keep]
+        else:
+            for index in indices:
+                constraint.coefficients.pop(index, None)
+            constraint.invalidate()
         if self._cc_lp is not None and handle in self._cc_rows:
             self._cc_lp.remove_terms_from_constraint(
                 self._cc_rows[handle],
                 [self._cc_scaled[index].index for index in indices],
             )
+
+    def add_constraints_from_arrays(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        coeffs: np.ndarray,
+        lower: "float | np.ndarray",
+        upper: "float | np.ndarray",
+    ) -> np.ndarray:
+        """Bulk-add constraints from a columnar triplet (see the LP twin).
+
+        Row bounds select the sense: ``(-inf, u)`` adds ``<= u``, ``(l, inf)``
+        adds ``>= l`` and ``(b, b)`` adds ``== b``; general two-sided rows are
+        not expressible in a ratio program.
+        """
+        rows, cols, coeffs, lower_arr, upper_arr, boundaries, num_rows = _columnar_rows(
+            self.name, rows, cols, coeffs, lower, upper
+        )
+        handles = np.empty(num_rows, dtype=np.int64)
+        for ordinal in range(num_rows):
+            low, high = float(lower_arr[ordinal]), float(upper_arr[ordinal])
+            if math.isinf(low) and low < 0 and math.isfinite(high):
+                sense, rhs = "<=", high
+            elif math.isfinite(low) and math.isinf(high) and high > 0:
+                sense, rhs = ">=", low
+            elif math.isfinite(low) and low == high:
+                sense, rhs = "==", low
+            else:
+                raise SolverError(
+                    f"{self.name}: row bounds ({low}, {high}) do not map to a single sense"
+                )
+            start, end = boundaries[ordinal], boundaries[ordinal + 1]
+            constraint = _RatioConstraint(
+                sense=sense, rhs=rhs, indices=cols[start:end], values=coeffs[start:end]
+            )
+            constraint_id = self._next_constraint_id
+            self._next_constraint_id += 1
+            self._constraints[constraint_id] = constraint
+            handles[ordinal] = constraint_id
+            if self._active_tag is not None:
+                self._tagged_constraints.setdefault(self._active_tag, []).append(constraint_id)
+            if self._cc_lp is not None:
+                self._cc_mirror_constraint(constraint_id, constraint)
+        return handles
 
     def set_constraint_bounds(
         self, handle: int, lower: Optional[float] = None, upper: Optional[float] = None
@@ -301,19 +492,40 @@ class FractionalProgram:
         self._cc_lp.set_constraint_coefficients(upper_handle, {y: 1.0, s: -self._upper[index]})
         self._cc_lp.set_constraint_coefficients(lower_handle, {y: 1.0, s: -self._lower[index]})
 
+    def _cc_column_map(self) -> np.ndarray:
+        """Cached ``original column -> y column`` index map (grows on demand).
+
+        Stable to cache: ``y`` columns are never released, and a recycled
+        original index reuses its existing ``y`` column.
+        """
+        num_original = len(self._lower)
+        if self._cc_map is None or len(self._cc_map) < num_original:
+            self._cc_map = np.fromiter(
+                (self._cc_scaled[i].index for i in range(num_original)),
+                dtype=np.int64,
+                count=num_original,
+            )
+        return self._cc_map
+
     def _cc_mirror_constraint(self, handle: int, constraint: _RatioConstraint) -> None:
         """``a·x + a0 (sense) rhs`` becomes ``a·y + (a0 - rhs)*s (sense) 0``."""
-        coefficients = {
-            self._cc_scaled[i].index: c for i, c in constraint.coefficients.items()
-        }
-        s = self._cc_scale.index
-        coefficients[s] = coefficients.get(s, 0.0) + (constraint.constant - constraint.rhs)
+        indices, values = constraint.fragment()
+        mapped = (
+            self._cc_column_map()[indices] if len(indices) else np.empty(0, dtype=np.int64)
+        )
+        cols = np.append(mapped, self._cc_scale.index)
+        coeffs = np.append(values, constraint.constant - constraint.rhs)
         if constraint.sense == "<=":
-            row = self._cc_lp.add_less_equal(coefficients, 0.0)
+            lower, upper = -math.inf, 0.0
         elif constraint.sense == ">=":
-            row = self._cc_lp.add_greater_equal(coefficients, 0.0)
+            lower, upper = 0.0, math.inf
         else:
-            row = self._cc_lp.add_equal(coefficients, 0.0)
+            lower, upper = 0.0, 0.0
+        row = int(
+            self._cc_lp.add_constraints_from_arrays(
+                np.zeros(len(cols), dtype=np.int64), cols, coeffs, [lower], [upper]
+            )[0]
+        )
         self._cc_rows[handle] = row
 
     def _build_cc(self) -> None:
@@ -326,6 +538,7 @@ class FractionalProgram:
         for index in range(len(self._lower)):
             self._cc_add_bound_links(index)
         self._cc_rows = {}
+        self._cc_map = None
         for handle, constraint in self._constraints.items():
             self._cc_mirror_constraint(handle, constraint)
         self._cc_denominator = None

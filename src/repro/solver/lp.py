@@ -29,7 +29,17 @@ The mutation surface is
 * cached sparse assembly — each constraint's coefficient arrays are built
   once and reused, so a solve after a right-hand-side-only edit (bisection
   policies) reuses the previous constraint matrix outright, and any other
-  edit only pays a fast ``np.concatenate`` over per-constraint fragments.
+  edit only pays a fast ``np.concatenate`` over per-constraint fragments;
+* **columnar ingestion** — :meth:`add_variables_from_arrays` bulk-allocates
+  columns and :meth:`add_constraints_from_arrays` adds whole constraint
+  blocks from ``(rows, cols, coeffs, lower, upper)`` ndarrays; such
+  constraints are *array-backed* — their sparse-assembly fragments exist from
+  birth and no per-term coefficient dict is materialized unless a term-level
+  edit needs one (:meth:`add_terms_to_constraint_from_arrays` and
+  :meth:`set_constraint_coefficients_from_arrays` edit fragments directly,
+  :meth:`set_objective_from_arrays` accumulates the dense objective).  This
+  is the fast path the policy layer uses to emit validity/objective rows
+  straight from throughput-matrix ndarrays (Figure 12 at 2048 jobs).
 
 Problems are handed to :func:`scipy.optimize.linprog` (pure LPs) or
 :func:`scipy.optimize.milp` (when any variable is integer), both of which use
@@ -61,6 +71,50 @@ except Exception:  # pragma: no cover - older/newer scipy layouts
 __all__ = ["Variable", "LinearExpression", "LinearProgram", "Solution"]
 
 _Coefficients = Union[Mapping[int, float], "LinearExpression"]
+
+
+def _columnar_rows(
+    name: str,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    coeffs: np.ndarray,
+    lower: "float | np.ndarray",
+    upper: "float | np.ndarray",
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
+    """Validate and slice a columnar ``(rows, cols, coeffs, lower, upper)`` block.
+
+    Shared by :meth:`LinearProgram.add_constraints_from_arrays` and its
+    :class:`~repro.solver.fractional.FractionalProgram` twin so the
+    validation rules cannot drift.  Returns the (zero-filtered) triplet, the
+    broadcast per-row bounds, the per-row boundaries into the triplet, and
+    the row count.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    cols = np.asarray(cols, dtype=np.int64)
+    coeffs = np.asarray(coeffs, dtype=float)
+    if not (rows.shape == cols.shape == coeffs.shape) or rows.ndim != 1:
+        raise SolverError(f"{name}: rows/cols/coeffs must be 1-d arrays of one shape")
+    num_rows: Optional[int] = None
+    for bound in (lower, upper):
+        size = np.asarray(bound).size
+        if size > 1:
+            if num_rows is not None and num_rows != size:
+                raise SolverError(f"{name}: lower/upper bound lengths disagree")
+            num_rows = size
+    if num_rows is None:
+        num_rows = int(rows[-1]) + 1 if len(rows) else 0
+    lower_arr = np.broadcast_to(np.asarray(lower, dtype=float), (num_rows,))
+    upper_arr = np.broadcast_to(np.asarray(upper, dtype=float), (num_rows,))
+    if len(rows):
+        if np.any(np.diff(rows) < 0):
+            raise SolverError(f"{name}: rows must be grouped in non-decreasing order")
+        if rows[0] < 0 or rows[-1] >= num_rows:
+            raise SolverError(f"{name}: row ordinal out of range")
+    nonzero = coeffs != 0.0
+    if not nonzero.all():
+        rows, cols, coeffs = rows[nonzero], cols[nonzero], coeffs[nonzero]
+    boundaries = np.searchsorted(rows, np.arange(num_rows + 1, dtype=np.int64))
+    return rows, cols, coeffs, lower_arr, upper_arr, boundaries, num_rows
 
 
 @dataclass(frozen=True)
@@ -107,6 +161,20 @@ class LinearExpression:
         for variable, coefficient in terms:
             index = variable.index if isinstance(variable, Variable) else int(variable)
             coefficients[index] = coefficients.get(index, 0.0) + float(coefficient)
+        return cls(coefficients, constant)
+
+    @classmethod
+    def from_arrays(
+        cls, indices: np.ndarray, values: np.ndarray, constant: float = 0.0
+    ) -> "LinearExpression":
+        """Build an expression from parallel index/value arrays (duplicates sum)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        values = np.asarray(values, dtype=float)
+        coefficients = dict(zip(indices.tolist(), values.tolist()))
+        if len(coefficients) != len(indices):
+            coefficients = {}
+            for index, value in zip(indices.tolist(), values.tolist()):
+                coefficients[index] = coefficients.get(index, 0.0) + value
         return cls(coefficients, constant)
 
     @classmethod
@@ -181,23 +249,63 @@ class Solution:
         return variable.value(self.values)
 
 
-@dataclass
 class _Constraint:
-    coefficients: Dict[int, float]
-    lower: float
-    upper: float
-    indices: Optional[np.ndarray] = None
-    values: Optional[np.ndarray] = None
+    """One linear constraint, stored array-first.
+
+    A constraint is either *dict-backed* (built term-by-term through the
+    classic ``add_*`` API) or *array-backed* (built through the columnar
+    :meth:`LinearProgram.add_constraints_from_arrays` path, in which case the
+    sparse-assembly fragment exists from birth and no per-term dict is ever
+    materialized).  The coefficient dict of an array-backed constraint is
+    created lazily, only when a term-level edit actually needs it.
+    """
+
+    __slots__ = ("_coefficients", "lower", "upper", "indices", "values")
+
+    def __init__(
+        self,
+        coefficients: Optional[Dict[int, float]] = None,
+        lower: float = -math.inf,
+        upper: float = math.inf,
+        indices: Optional[np.ndarray] = None,
+        values: Optional[np.ndarray] = None,
+    ):
+        self._coefficients = coefficients
+        self.lower = lower
+        self.upper = upper
+        self.indices = indices
+        self.values = values
+
+    @property
+    def coefficients(self) -> Dict[int, float]:
+        """Term map; materialized on demand for array-backed constraints."""
+        if self._coefficients is None:
+            indices = self.indices if self.indices is not None else ()
+            values = self.values if self.values is not None else ()
+            self._coefficients = dict(zip((int(i) for i in indices), (float(v) for v in values)))
+        return self._coefficients
+
+    @coefficients.setter
+    def coefficients(self, mapping: Dict[int, float]) -> None:
+        self._coefficients = mapping
+        self.indices = None
+        self.values = None
 
     def fragment(self) -> Tuple[np.ndarray, np.ndarray]:
         """Cached ``(column indices, coefficients)`` arrays for assembly."""
         if self.indices is None:
-            items = [(i, c) for i, c in self.coefficients.items() if c != 0.0]
+            items = [(i, c) for i, c in self._coefficients.items() if c != 0.0]
             self.indices = np.fromiter((i for i, _ in items), dtype=np.int64, count=len(items))
             self.values = np.fromiter((c for _, c in items), dtype=float, count=len(items))
         return self.indices, self.values
 
     def invalidate(self) -> None:
+        """Drop the cached fragment (dict-backed constraints only).
+
+        Callers must have materialized :attr:`coefficients` before editing;
+        the next :meth:`fragment` call rebuilds the arrays from the dict.
+        """
+        assert self._coefficients is not None, "invalidate() before materializing the dict"
         self.indices = None
         self.values = None
 
@@ -356,13 +464,18 @@ class LinearProgram:
 
     def __init__(self, name: str = "lp"):
         self.name = name
-        self._lower: List[float] = []
-        self._upper: List[float] = []
-        self._integer: List[bool] = []
+        # Variable storage is numpy-backed with amortized growth so bulk
+        # allocation (add_variables_from_arrays) is a vectorized assignment.
+        self._num_vars = 0
+        self._lower_buf = np.empty(0)
+        self._upper_buf = np.empty(0)
+        self._integer_buf = np.empty(0, dtype=bool)
         self._names: List[str] = []
         self._constraints: Dict[int, _Constraint] = {}
         self._next_constraint_id = 0
-        self._objective: Dict[int, float] = {}
+        # Objective coefficients, stored densely (index -> cost); kept at least
+        # as long as the variable vector, padded with zeros on access.
+        self._objective_vec: np.ndarray = np.zeros(0)
         self._objective_constant = 0.0
         self._maximize = False
         # Mutation machinery: recycled variable indices, tag scopes, and the
@@ -383,8 +496,36 @@ class LinearProgram:
         self._hs_bounds_dirty: Set[int] = set()
 
     # -- variables -----------------------------------------------------------------
+    @property
+    def _lower(self) -> np.ndarray:
+        """Active slice of the lower-bound buffer (writes go through)."""
+        return self._lower_buf[: self._num_vars]
+
+    @property
+    def _upper(self) -> np.ndarray:
+        return self._upper_buf[: self._num_vars]
+
+    @property
+    def _integer(self) -> np.ndarray:
+        return self._integer_buf[: self._num_vars]
+
     def num_variables(self) -> int:
-        return len(self._lower)
+        return self._num_vars
+
+    def _grow_variables(self, extra: int) -> int:
+        """Reserve ``extra`` new columns; returns the first new index."""
+        base = self._num_vars
+        needed = base + extra
+        capacity = len(self._lower_buf)
+        if needed > capacity:
+            new_capacity = max(needed, 2 * capacity, 64)
+            for attribute in ("_lower_buf", "_upper_buf", "_integer_buf"):
+                old = getattr(self, attribute)
+                grown = np.empty(new_capacity, dtype=old.dtype)
+                grown[:base] = old[:base]
+                setattr(self, attribute, grown)
+        self._num_vars = needed
+        return base
 
     def add_variable(
         self,
@@ -400,17 +541,14 @@ class LinearProgram:
         """
         if self._free_variables:
             index = self._free_variables.pop()
-            self._lower[index] = float(lower)
-            self._upper[index] = float(upper) if upper is not None else math.inf
-            self._integer[index] = bool(integer)
             self._names[index] = name if name is not None else f"x{index}"
         else:
-            index = len(self._lower)
-            self._lower.append(float(lower))
-            self._upper.append(float(upper) if upper is not None else math.inf)
-            self._integer.append(bool(integer))
+            index = self._grow_variables(1)
             self._names.append(name if name is not None else f"x{index}")
             self._structure_revision += 1
+        self._lower_buf[index] = float(lower)
+        self._upper_buf[index] = float(upper) if upper is not None else math.inf
+        self._integer_buf[index] = bool(integer)
         if self._active_tag is not None:
             self._tagged_variables.setdefault(self._active_tag, []).append(index)
         return Variable(index=index, name=self._names[index])
@@ -428,6 +566,58 @@ class LinearProgram:
             self.add_variable(name=f"{name_prefix}{i}", lower=lower, upper=upper, integer=integer)
             for i in range(count)
         ]
+
+    def add_variables_from_arrays(
+        self,
+        count: int,
+        lower: "float | np.ndarray" = 0.0,
+        upper: "float | np.ndarray | None" = None,
+        integer: bool = False,
+        name: str = "x",
+    ) -> np.ndarray:
+        """Bulk-allocate ``count`` variables; returns their column indices.
+
+        The columnar counterpart of :meth:`add_variable`: bounds arrive as
+        scalars or length-``count`` ndarrays, recycled indices are consumed in
+        the same LIFO order the scalar path uses (so both paths assign
+        identical index sequences), and no per-variable handle objects or
+        name strings are created — every variable shares ``name``.
+        """
+        count = int(count)
+        lower_arr = np.broadcast_to(np.asarray(lower, dtype=float), (count,))
+        if upper is None:
+            upper_arr = np.broadcast_to(np.asarray(math.inf), (count,))
+        else:
+            upper_arr = np.broadcast_to(np.asarray(upper, dtype=float), (count,))
+        indices = np.empty(count, dtype=np.int64)
+        recycled = min(len(self._free_variables), count)
+        for position in range(recycled):
+            index = self._free_variables.pop()
+            indices[position] = index
+            self._lower_buf[index] = lower_arr[position]
+            self._upper_buf[index] = upper_arr[position]
+            self._integer_buf[index] = bool(integer)
+            self._names[index] = name
+        grown = count - recycled
+        if grown > 0:
+            base = self._grow_variables(grown)
+            indices[recycled:] = np.arange(base, base + grown, dtype=np.int64)
+            self._lower_buf[base : base + grown] = lower_arr[recycled:]
+            self._upper_buf[base : base + grown] = upper_arr[recycled:]
+            self._integer_buf[base : base + grown] = bool(integer)
+            self._names.extend([name] * grown)
+            self._structure_revision += 1
+        if self._active_tag is not None:
+            self._tagged_variables.setdefault(self._active_tag, []).extend(indices.tolist())
+        return indices
+
+    def set_variable_bounds_from_arrays(
+        self, indices: np.ndarray, lower: "float | np.ndarray", upper: "float | np.ndarray"
+    ) -> None:
+        """Replace many variables' bounds at once (never dirties the matrix cache)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        self._lower_buf[indices] = np.broadcast_to(np.asarray(lower, dtype=float), indices.shape)
+        self._upper_buf[indices] = np.broadcast_to(np.asarray(upper, dtype=float), indices.shape)
 
     def set_variable_bounds(
         self, variable: "Variable | int", lower: float, upper: Optional[float] = None
@@ -519,6 +709,98 @@ class LinearProgram:
         bound = float(rhs) - constant
         return self._append_constraint(coefficients, bound, bound)
 
+    def add_constraints_from_arrays(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        coeffs: np.ndarray,
+        lower: "float | np.ndarray",
+        upper: "float | np.ndarray",
+    ) -> np.ndarray:
+        """Bulk-add constraints from a columnar ``(rows, cols, coeffs)`` triplet.
+
+        ``rows`` holds per-entry constraint ordinals ``0..n-1`` and must be
+        grouped in non-decreasing order; ``lower``/``upper`` are the per-row
+        bounds (scalars broadcast).  ``n`` is inferred from the bounds arrays,
+        or from ``rows`` when both bounds are scalars.  Each constraint's
+        sparse-assembly fragment is the corresponding slice of ``cols`` /
+        ``coeffs`` — no per-term dicts are built, which is what makes this the
+        fast path for emitting whole constraint blocks (one row per job, one
+        row per worker type) straight from ndarrays.  Entries with a zero
+        coefficient are dropped, mirroring the dict path's assembly filter;
+        column indices must be unique within each row.  Returns the new
+        constraint handles, in row order.
+        """
+        rows, cols, coeffs, lower_arr, upper_arr, boundaries, num_rows = _columnar_rows(
+            self.name, rows, cols, coeffs, lower, upper
+        )
+        first_handle = self._next_constraint_id
+        self._next_constraint_id += num_rows
+        constraints = self._constraints
+        lower_list = lower_arr.tolist()
+        upper_list = upper_arr.tolist()
+        for ordinal in range(num_rows):
+            start, end = boundaries[ordinal], boundaries[ordinal + 1]
+            constraints[first_handle + ordinal] = _Constraint(
+                lower=lower_list[ordinal],
+                upper=upper_list[ordinal],
+                indices=cols[start:end],
+                values=coeffs[start:end],
+            )
+        handles = np.arange(first_handle, first_handle + num_rows, dtype=np.int64)
+        if self._active_tag is not None:
+            self._tagged_constraints.setdefault(self._active_tag, []).extend(handles.tolist())
+        if num_rows:
+            self._structure_revision += 1
+        return handles
+
+    def add_terms_to_constraint_from_arrays(
+        self, handle: int, indices: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Append ``(indices, values)`` terms to an existing constraint.
+
+        When the constraint is array-backed and none of ``indices`` already
+        appears in it, the fragment arrays are extended directly; otherwise
+        the edit falls back to dict accumulation.
+        """
+        constraint = self._constraint(handle)
+        indices = np.asarray(indices, dtype=np.int64)
+        values = np.asarray(values, dtype=float)
+        nonzero = values != 0.0
+        if not nonzero.all():
+            indices, values = indices[nonzero], values[nonzero]
+        if len(indices):
+            if (
+                constraint._coefficients is None
+                and constraint.indices is not None
+                and not np.isin(indices, constraint.indices).any()
+            ):
+                constraint.indices = np.concatenate([constraint.indices, indices])
+                constraint.values = np.concatenate([constraint.values, values])
+            else:
+                coefficients = constraint.coefficients
+                for index, value in zip(indices.tolist(), values.tolist()):
+                    coefficients[index] = coefficients.get(index, 0.0) + value
+                constraint.invalidate()
+        self._structure_revision += 1
+        self._hs_dirty.add(handle)
+
+    def set_constraint_coefficients_from_arrays(
+        self, handle: int, indices: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Replace a constraint's coefficients wholesale from arrays (bounds unchanged)."""
+        constraint = self._constraint(handle)
+        indices = np.asarray(indices, dtype=np.int64)
+        values = np.asarray(values, dtype=float)
+        nonzero = values != 0.0
+        if not nonzero.all():
+            indices, values = indices[nonzero], values[nonzero]
+        constraint._coefficients = None
+        constraint.indices = indices
+        constraint.values = values
+        self._structure_revision += 1
+        self._hs_dirty.add(handle)
+
     def remove_constraint(self, handle: int) -> None:
         """Delete one constraint by handle (no-op if already removed)."""
         if self._constraints.pop(handle, None) is not None:
@@ -536,11 +818,20 @@ class LinearProgram:
         self._hs_dirty.add(handle)
 
     def remove_terms_from_constraint(self, handle: int, indices: Iterable[int]) -> None:
-        """Drop the given variables' coefficients from an existing constraint."""
+        """Drop the given variables' coefficients from an existing constraint.
+
+        Array-backed constraints are filtered in place (vectorized); the
+        coefficient dict is only touched when it was already materialized.
+        """
         constraint = self._constraint(handle)
-        for index in indices:
-            constraint.coefficients.pop(int(index), None)
-        constraint.invalidate()
+        if constraint._coefficients is None and constraint.indices is not None:
+            keep = ~np.isin(constraint.indices, np.asarray(list(indices), dtype=np.int64))
+            constraint.indices = constraint.indices[keep]
+            constraint.values = constraint.values[keep]
+        else:
+            for index in indices:
+                constraint.coefficients.pop(int(index), None)
+            constraint.invalidate()
         self._structure_revision += 1
         self._hs_dirty.add(handle)
 
@@ -592,8 +883,25 @@ class LinearProgram:
     def set_objective(self, expression: "_Coefficients", maximize: bool) -> None:
         """Set the linear objective; ``maximize`` selects the sense."""
         coefficients, constant = self._normalize(expression)
-        self._objective = coefficients
+        vec = np.zeros(self.num_variables())
+        for index, coefficient in coefficients.items():
+            vec[index] = coefficient
+        self._objective_vec = vec
         self._objective_constant = constant
+        self._maximize = maximize
+
+    def set_objective_from_arrays(
+        self,
+        indices: np.ndarray,
+        values: np.ndarray,
+        maximize: bool,
+        constant: float = 0.0,
+    ) -> None:
+        """Columnar objective: accumulate ``values`` at ``indices`` (duplicates sum)."""
+        vec = np.zeros(self.num_variables())
+        np.add.at(vec, np.asarray(indices, dtype=np.int64), np.asarray(values, dtype=float))
+        self._objective_vec = vec
+        self._objective_constant = float(constant)
         self._maximize = maximize
 
     def maximize(self, expression: "_Coefficients") -> None:
@@ -669,8 +977,8 @@ class LinearProgram:
     def _objective_dense(self) -> np.ndarray:
         """Objective coefficients in the program's own sense (no sign flip)."""
         c = np.zeros(self.num_variables())
-        for index, coefficient in self._objective.items():
-            c[index] = coefficient
+        stored = self._objective_vec
+        c[: min(len(stored), len(c))] = stored[: len(c)]
         return c
 
     def _objective_vector(self) -> np.ndarray:
@@ -687,7 +995,7 @@ class LinearProgram:
         if self.num_variables() == 0:
             raise SolverError(f"{self.name}: cannot solve a program with no variables")
         self._warm_start_hint = warm_start
-        use_milp = any(self._integer)
+        use_milp = bool(self._integer.any())
 
         if not use_milp and _highs_core is not None:
             try:
@@ -727,7 +1035,7 @@ class LinearProgram:
             constraints = []
             if matrix is not None:
                 constraints.append(LinearConstraint(matrix, constraint_lower, constraint_upper))
-            integrality = np.array([1 if flag else 0 for flag in self._integer])
+            integrality = self._integer.astype(int)
             result = milp(
                 c=c,
                 constraints=constraints,

@@ -1,0 +1,114 @@
+"""Property tests for the dense pair block and columnar rows view.
+
+Satellite guard for the vectorized-assembly PR: the dense pair block
+(`ThroughputMatrix.pairs_matrix`) and the flattened rows view
+(`ThroughputMatrix.dense_rows`) must agree with the per-row accessors
+(`row`, `rows_containing`) — in particular on the *normalized combination
+ordering* that `beneficial_pair_row` established (row position k holds the
+throughputs of the k-th job of the sorted combination).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.throughput_matrix import ThroughputMatrix, build_throughput_matrix
+from repro.exceptions import ConfigurationError, UnknownJobError
+from repro.workloads import ColocationModel, ThroughputOracle, TraceGenerator
+from repro.workloads.colocation import beneficial_pair_row
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return ThroughputOracle()
+
+
+def _random_matrix(oracle, seed, num_jobs=14, threshold=1.1):
+    trace = TraceGenerator(oracle).generate_static(num_jobs=num_jobs, seed=seed)
+    return build_throughput_matrix(
+        list(trace.jobs), oracle, space_sharing=True, colocation_threshold=threshold
+    ), list(trace.jobs)
+
+
+class TestPairBlock:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_block_matches_row_accessor_on_random_traces(self, oracle, seed):
+        matrix, _jobs = _random_matrix(oracle, seed)
+        pair_ids, block = matrix.pairs_matrix()
+        pairs = [c for c in matrix.combinations if len(c) == 2]
+        assert list(pair_ids) == pairs  # sorted, complete
+        for index, combination in enumerate(pair_ids):
+            assert np.array_equal(block[index], matrix.row(combination))
+            assert matrix.pair_index(combination) == index
+            # Normalization: querying in reversed order hits the same row.
+            assert matrix.pair_index(tuple(reversed(combination))) == index
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_block_ordering_agrees_with_beneficial_pair_row(self, oracle, seed):
+        """Row position k holds the throughputs of sorted-combination job k."""
+        matrix, jobs = _random_matrix(oracle, seed)
+        model = ColocationModel(oracle)
+        by_id = {job.job_id: job for job in jobs}
+        pair_ids, block = matrix.pairs_matrix()
+        for index, (first, second) in enumerate(pair_ids):
+            assert first < second
+            expected = beneficial_pair_row(
+                model,
+                by_id[first].job_type,
+                by_id[second].job_type,
+                oracle.registry.names,
+                threshold=1.1,
+            )
+            assert expected is not None
+            assert np.array_equal(block[index], expected)
+
+    def test_pair_index_unknown_combination(self, oracle):
+        matrix, _ = _random_matrix(oracle, seed=0)
+        with pytest.raises(UnknownJobError):
+            matrix.pair_index((999_998, 999_999))
+
+    def test_from_parts_rejects_unnormalized_pairs(self, oracle):
+        matrix, _ = _random_matrix(oracle, seed=1)
+        job_ids, singles = matrix.singles_matrix()
+        pair_ids, block = matrix.pairs_matrix()
+        if not pair_ids:
+            pytest.skip("trace produced no beneficial pairs")
+        bad = {tuple(reversed(pair_ids[0])): block[0]}
+        with pytest.raises(ConfigurationError):
+            ThroughputMatrix.from_parts(matrix.registry, job_ids, singles, bad)
+
+
+class TestDenseRows:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_dense_rows_matches_per_row_accessors(self, oracle, seed):
+        matrix, _ = _random_matrix(oracle, seed)
+        dense = matrix.dense_rows()
+        assert dense.combinations == matrix.combinations
+        for ordinal, combination in enumerate(dense.combinations):
+            start, end = dense.offsets[ordinal], dense.offsets[ordinal + 1]
+            assert end - start == len(combination)
+            assert np.array_equal(dense.values[start:end], matrix.row(combination))
+            assert tuple(dense.member_jobs[start:end]) == combination
+            expected_runnable = (matrix.row(combination) > 0).any(axis=0)
+            assert np.array_equal(dense.runnable[ordinal], expected_runnable)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_member_grouping_matches_rows_containing(self, oracle, seed):
+        matrix, _ = _random_matrix(oracle, seed)
+        dense = matrix.dense_rows()
+        for position, job_id in enumerate(dense.job_ids.tolist()):
+            members = dense.members_by_job[
+                dense.job_starts[position] : dense.job_starts[position + 1]
+            ]
+            grouped = [
+                (dense.combinations[dense.member_rows[m]], int(m - dense.offsets[dense.member_rows[m]]))
+                for m in members
+            ]
+            assert grouped == list(matrix.rows_containing(job_id))
+
+    def test_transformed_matrices_expose_consistent_blocks(self, oracle):
+        matrix, _ = _random_matrix(oracle, seed=2)
+        for transformed in (matrix.heterogeneity_agnostic(), matrix.restrict_to_singletons()):
+            dense = transformed.dense_rows()
+            for ordinal, combination in enumerate(dense.combinations):
+                start, end = dense.offsets[ordinal], dense.offsets[ordinal + 1]
+                assert np.array_equal(dense.values[start:end], transformed.row(combination))

@@ -1,0 +1,188 @@
+"""Unit tests for the columnar (ndarray) ingestion API of the solver layer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SolverError
+from repro.solver.fractional import FractionalProgram
+from repro.solver.lp import LinearExpression, LinearProgram
+
+
+def _assembled_dense(program):
+    matrix, lower, upper = program._assembled()
+    return matrix.toarray(), lower, upper
+
+
+class TestBulkVariables:
+    def test_bulk_allocation_matches_scalar_path(self):
+        bulk = LinearProgram()
+        scalar = LinearProgram()
+        upper = np.array([1.0, 0.0, 2.0, math.inf])
+        indices = bulk.add_variables_from_arrays(4, lower=0.0, upper=upper)
+        for position in range(4):
+            scalar.add_variable(lower=0.0, upper=None if math.isinf(upper[position]) else upper[position])
+        assert indices.tolist() == [0, 1, 2, 3]
+        assert np.array_equal(np.asarray(bulk._lower), np.asarray(scalar._lower))
+        assert np.array_equal(np.asarray(bulk._upper), np.asarray(scalar._upper))
+
+    def test_bulk_allocation_recycles_lifo_like_scalar_path(self):
+        bulk = LinearProgram()
+        scalar = LinearProgram()
+        for program in (bulk, scalar):
+            variables = [program.add_variable(upper=1.0) for _ in range(5)]
+            for variable in variables[1:4]:
+                program.release_variable(variable)
+        bulk_indices = bulk.add_variables_from_arrays(4, lower=0.0, upper=1.0)
+        scalar_indices = [scalar.add_variable(upper=1.0).index for _ in range(4)]
+        assert bulk_indices.tolist() == scalar_indices
+
+    def test_bulk_bound_updates(self):
+        program = LinearProgram()
+        indices = program.add_variables_from_arrays(3, lower=0.0, upper=1.0)
+        program.set_variable_bounds_from_arrays(indices, 0.0, np.array([0.5, 0.0, 1.0]))
+        assert program._upper.tolist() == [0.5, 0.0, 1.0]
+
+
+class TestBulkConstraints:
+    def test_matches_per_term_construction(self):
+        bulk = LinearProgram()
+        dict_path = LinearProgram()
+        for program in (bulk, dict_path):
+            program.add_variables_from_arrays(3, lower=0.0, upper=1.0)
+        bulk.add_constraints_from_arrays(
+            rows=np.array([0, 0, 1, 1, 1]),
+            cols=np.array([0, 1, 0, 1, 2]),
+            coeffs=np.array([1.0, 2.0, 3.0, 0.0, 5.0]),
+            lower=-math.inf,
+            upper=np.array([4.0, 6.0]),
+        )
+        dict_path.add_less_equal({0: 1.0, 1: 2.0}, 4.0)
+        dict_path.add_less_equal({0: 3.0, 2: 5.0}, 6.0)  # zero coeff dropped
+        b_m, b_l, b_u = _assembled_dense(bulk)
+        d_m, d_l, d_u = _assembled_dense(dict_path)
+        assert np.array_equal(b_m, d_m)
+        assert np.array_equal(b_l, d_l)
+        assert np.array_equal(b_u, d_u)
+
+    def test_rejects_unsorted_rows(self):
+        program = LinearProgram()
+        program.add_variables_from_arrays(2, lower=0.0, upper=1.0)
+        with pytest.raises(SolverError):
+            program.add_constraints_from_arrays(
+                np.array([1, 0]), np.array([0, 1]), np.array([1.0, 1.0]), -math.inf, np.ones(2)
+            )
+
+    def test_solves_identically(self):
+        bulk = LinearProgram()
+        variables = bulk.add_variables_from_arrays(2, lower=0.0, upper=1.0)
+        bulk.add_constraints_from_arrays(
+            np.array([0, 0]), variables, np.array([1.0, 1.0]), -math.inf, np.array([1.0])
+        )
+        bulk.set_objective_from_arrays(variables, np.array([1.0, 2.0]), maximize=True)
+        solution = bulk.solve()
+        assert solution.objective_value == pytest.approx(2.0)
+        assert solution.values[1] == pytest.approx(1.0)
+
+    def test_term_edits_on_array_backed_rows(self):
+        program = LinearProgram()
+        v = program.add_variables_from_arrays(3, lower=0.0, upper=1.0)
+        handle = int(
+            program.add_constraints_from_arrays(
+                np.array([0, 0]), v[:2], np.array([1.0, 1.0]), -math.inf, np.array([1.5])
+            )[0]
+        )
+        # Appending a disjoint term extends the fragment without a dict.
+        program.add_terms_to_constraint_from_arrays(handle, v[2:], np.array([1.0]))
+        assert program._constraints[handle]._coefficients is None
+        # Overlapping append falls back to (correct) dict accumulation.
+        program.add_terms_to_constraint_from_arrays(handle, v[:1], np.array([0.5]))
+        assert program._constraints[handle].coefficients[int(v[0])] == pytest.approx(1.5)
+        program.remove_terms_from_constraint(handle, [int(v[1])])
+        assert int(v[1]) not in program._constraints[handle].coefficients
+        program.set_constraint_coefficients_from_arrays(
+            handle, v[:2], np.array([2.0, 3.0])
+        )
+        matrix, _, _ = program._assembled()
+        assert matrix.toarray()[0].tolist() == [2.0, 3.0, 0.0]
+
+    def test_objective_from_arrays_accumulates_duplicates(self):
+        program = LinearProgram()
+        v = program.add_variables_from_arrays(2, lower=0.0, upper=1.0)
+        program.set_objective_from_arrays(
+            np.array([v[0], v[0], v[1]]), np.array([1.0, 2.0, 4.0]), maximize=True
+        )
+        assert program._objective_dense().tolist() == [3.0, 4.0]
+
+
+class TestLinearExpressionFromArrays:
+    def test_preserves_order_and_sums_duplicates(self):
+        expression = LinearExpression.from_arrays(
+            np.array([3, 1, 3]), np.array([1.0, 2.0, 0.5])
+        )
+        assert list(expression.coefficients.items()) == [(3, 1.5), (1, 2.0)]
+
+
+class TestFractionalColumnar:
+    def test_bulk_constraints_and_variables_solve(self):
+        program = FractionalProgram()
+        v = program.add_variables_from_arrays(2, lower=0.0, upper=1.0)
+        program.add_constraints_from_arrays(
+            np.array([0, 0]), v, np.array([1.0, 1.0]), -math.inf, np.array([1.0])
+        )
+        program.set_ratio_objective({int(v[0]): 2.0, int(v[1]): 1.0}, {int(v[0]): 1.0, int(v[1]): 1.0})
+        reference = FractionalProgram()
+        xs = reference.add_variables(2, lower=0.0, upper=1.0)
+        reference.add_less_equal({0: 1.0, 1: 1.0}, 1.0)
+        reference.set_ratio_objective({0: 2.0, 1: 1.0}, {0: 1.0, 1: 1.0})
+        a = program.solve()
+        b = reference.solve()
+        assert a.objective_value == pytest.approx(b.objective_value)
+        assert np.allclose(a.values, b.values)
+
+    def test_bulk_constraints_reject_two_sided_rows(self):
+        program = FractionalProgram()
+        program.add_variables_from_arrays(1, lower=0.0, upper=1.0)
+        with pytest.raises(SolverError):
+            program.add_constraints_from_arrays(
+                np.array([0]), np.array([0]), np.array([1.0]), np.array([0.2]), np.array([0.8])
+            )
+
+    def test_bulk_constraints_reject_out_of_range_rows(self):
+        """Both program types share the ordinal-range check (no silent drops)."""
+        for program in (FractionalProgram(), LinearProgram()):
+            program.add_variables_from_arrays(1, lower=0.0, upper=1.0)
+            with pytest.raises(SolverError):
+                program.add_constraints_from_arrays(
+                    np.array([0, 1, 2]),
+                    np.array([0, 0, 0]),
+                    np.array([1.0, 1.0, 1.0]),
+                    -math.inf,
+                    np.array([1.0, 1.0]),  # two bounds, three row ordinals
+                )
+
+    def test_bulk_constraint_senses(self):
+        program = FractionalProgram()
+        v = program.add_variables_from_arrays(1, lower=0.0, upper=1.0)
+        handles = program.add_constraints_from_arrays(
+            np.array([0, 1, 2]),
+            np.array([0, 0, 0]),
+            np.array([1.0, 1.0, 1.0]),
+            np.array([-math.inf, 0.25, 0.5]),
+            np.array([0.75, math.inf, 0.5]),
+        )
+        senses = [program._constraints[int(h)].sense for h in handles]
+        assert senses == ["<=", ">=", "=="]
+
+    def test_mirrors_into_live_charnes_cooper(self):
+        program = FractionalProgram()
+        v = program.add_variables_from_arrays(2, lower=0.0, upper=1.0)
+        program.set_ratio_objective({int(v[0]): 1.0}, {int(v[0]): 1.0, int(v[1]): 1.0})
+        program.solve()  # builds the CC mirror
+        handles = program.add_constraints_from_arrays(
+            np.array([0]), v[:1], np.array([1.0]), -math.inf, np.array([0.5])
+        )
+        assert int(handles[0]) in program._cc_rows
+        solution = program.solve()
+        assert solution.values[0] <= 0.5 + 1e-9
