@@ -19,6 +19,11 @@ Also measures, under job churn:
   engine's delta stream (live program edited in place, warm-started solves);
   the session must be at least 2x faster at the largest churn job count for
   the plain LAS policy;
+* water-filling policy-solve time under the same churn protocol, pitting the
+  historical rebuild-per-LP implementation (``incremental=False`` — a fresh
+  program per level iteration and per headroom probe) against the persistent
+  level-loop session; the session must be at least 2x faster at every
+  measured count of 64+ jobs (typically ~4-5x);
 * LP *construction* time (the ``build`` phase: session construction +
   ``session.prepare``, everything short of the LP solve), comparing the
   per-term dict assembly path against the columnar/vectorized path; the
@@ -39,7 +44,7 @@ import os
 
 from conftest import BENCH_SCALE
 
-from repro.core import EntitySpec, HierarchicalPolicy, WaterFillingFairnessPolicy
+from repro.core import make_policy
 from repro.harness import (
     format_table,
     measure_lp_build_runtime,
@@ -64,6 +69,13 @@ _CHURN_POLICIES = {
 #: the session's remaining advantage at laptop scale is the warm-started
 #: re-solve itself (~2.2x at 128 jobs; 2x holds again from 256 jobs up).
 _CHURN_SPEEDUP_GATE = 1.7 if BENCH_SCALE == 1 else 2.0
+#: Water-filling churn sweep: the level loop solves O(iterations x candidates)
+#: LPs per event, so the rebuild baseline is expensive — fewer events, and the
+#: gate point is 64 jobs (the issue's "64+ jobs" floor) at every scale.
+_WF_CHURN_NUM_JOBS = [16, 64] if BENCH_SCALE == 1 else [64, 128]
+_WF_CHURN_NUM_EVENTS = 6
+#: Required rebuild/session speedup for water filling at every 64+ job count.
+_WF_CHURN_SPEEDUP_GATE = 2.0
 #: Job counts for the LP-construction (build-phase) sweep.  Construction is
 #: solver-free, so the space-sharing policies reach 512 jobs even at laptop
 #: scale, and the scaled sweep runs the paper's full 2048 active jobs.
@@ -77,42 +89,38 @@ _BUILD_POLICIES = {
 _BUILD_SPEEDUP_GATE = 3.0
 
 
-class _HierarchicalForScaling(HierarchicalPolicy):
-    """Hierarchical policy whose entities are assigned on the fly for scaling runs."""
+def _hierarchical_for_scaling(space_sharing=False):
+    """Registry hierarchical policy (round-robin entity fallback) for scaling runs."""
+    return make_policy(
+        "hierarchical",
+        space_sharing=space_sharing,
+        use_milp_bottleneck_detection=False,
+    )
 
-    def __init__(self, num_entities=3, space_sharing=False):
-        super().__init__(
-            [EntitySpec(i, weight=float(i + 1)) for i in range(num_entities)],
-            space_sharing=space_sharing,
+
+def _water_filling_churn(oracle):
+    """Rebuild-per-LP baseline vs persistent level-loop session under churn."""
+    return measure_policy_solve_under_churn(
+        make_policy(
+            "max_min_fairness_water_filling",
             use_milp_bottleneck_detection=False,
-        )
-        self._num_entities = num_entities
-
-    def compute_allocation(self, problem):
-        # Assign entities round-robin if the generated jobs carry none.
-        jobs = {
-            job_id: (job if job.entity_id is not None else job.with_entity(job_id % self._num_entities))
-            for job_id, job in problem.jobs.items()
-        }
-        from repro.core import PolicyProblem
-
-        patched = PolicyProblem(
-            jobs=jobs,
-            throughputs=problem.throughputs,
-            cluster_spec=problem.cluster_spec,
-            steps_remaining=problem.steps_remaining,
-            time_elapsed=problem.time_elapsed,
-            current_time=problem.current_time,
-        )
-        return super().compute_allocation(patched)
+            incremental=False,
+        ),
+        _WF_CHURN_NUM_JOBS,
+        num_events=_WF_CHURN_NUM_EVENTS,
+        oracle=oracle,
+        session_policy=make_policy(
+            "max_min_fairness_water_filling", use_milp_bottleneck_detection=False
+        ),
+    )
 
 
 def _measure(oracle):
     policies = {
         "LAS": ("max_min_fairness", False),
         "LAS w/ SS": ("max_min_fairness_ss", True),
-        "Hierarchical": (_HierarchicalForScaling(), False),
-        "Hierarchical w/ SS": (_HierarchicalForScaling(space_sharing=True), True),
+        "Hierarchical": (_hierarchical_for_scaling(), False),
+        "Hierarchical w/ SS": (_hierarchical_for_scaling(space_sharing=True), True),
     }
     runtimes = {}
     for name, (policy, space_sharing) in policies.items():
@@ -126,6 +134,7 @@ def _measure(oracle):
         )
         for name, spec in _CHURN_POLICIES.items()
     }
+    churn["WaterFilling"] = _water_filling_churn(oracle)
     build = {
         name: measure_lp_build_runtime(spec, _BUILD_NUM_JOBS, oracle=oracle)
         for name, spec in _BUILD_POLICIES.items()
@@ -140,6 +149,7 @@ def _write_artifact(runtimes, prep, churn, build) -> str:
         "bench_scale": BENCH_SCALE,
         "num_jobs": _NUM_JOBS,
         "churn_num_jobs": _CHURN_NUM_JOBS,
+        "water_filling_churn_num_jobs": _WF_CHURN_NUM_JOBS,
         "build_num_jobs": _BUILD_NUM_JOBS,
         "policy_runtime_seconds": {
             name: {str(n): value for n, value in series.items()}
@@ -201,7 +211,7 @@ def bench_fig12_policy_scalability(benchmark, oracle):
 
     churn_rows = []
     for name in churn:
-        for n in _CHURN_NUM_JOBS:
+        for n in sorted(churn[name]):
             point = churn[name][n]
             churn_rows.append(
                 [
@@ -221,8 +231,9 @@ def bench_fig12_policy_scalability(benchmark, oracle):
     )
     churn_largest = _CHURN_NUM_JOBS[-1]
     for name in churn:
-        point = churn[name][churn_largest]
-        benchmark.extra_info[f"policy_solve_speedup[{name}]@{churn_largest}jobs"] = round(
+        series_largest = max(churn[name])
+        point = churn[name][series_largest]
+        benchmark.extra_info[f"policy_solve_speedup[{name}]@{series_largest}jobs"] = round(
             point["scratch"] / max(point["session"], 1e-12), 2
         )
 
@@ -274,6 +285,18 @@ def bench_fig12_policy_scalability(benchmark, oracle):
     # regression (with slack for shared-runner timing noise).
     ss_point = churn["LAS w/ SS"][churn_largest]
     assert ss_point["scratch"] >= 0.8 * ss_point["session"]
+    # The persistent water-filling level loop must keep cutting repeated
+    # solves at least 2x vs the historical rebuild-per-LP baseline at every
+    # measured count of 64+ jobs (typically ~4-5x: the baseline rebuilds a
+    # program per level iteration and per greedy headroom probe).
+    for n in _WF_CHURN_NUM_JOBS:
+        if n < 64:
+            continue
+        wf_point = churn["WaterFilling"][n]
+        assert wf_point["scratch"] >= _WF_CHURN_SPEEDUP_GATE * wf_point["session"], (
+            f"water-filling session speedup below {_WF_CHURN_SPEEDUP_GATE}x at {n} jobs: "
+            f"rebuild={wf_point['scratch']:.3f}s session={wf_point['session']:.3f}s"
+        )
     # Columnar LP assembly must cut construction time by at least 3x for
     # LAS w/ SS at every measured job count of 256+ (typically 7-12x).
     for n in _BUILD_NUM_JOBS:

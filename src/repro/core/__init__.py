@@ -8,6 +8,7 @@ from repro.core.effective_throughput import (
     equal_share_reference_throughput,
     fastest_reference_throughput,
     isolated_reference_throughput,
+    normalized_throughput_scale,
 )
 from repro.core.fifo import FifoPolicy
 from repro.core.finish_time_fairness import FinishTimeFairnessPolicy, finish_time_fairness_rho
@@ -30,7 +31,11 @@ from repro.core.session import (
 )
 from repro.core.shortest_job_first import ShortestJobFirstPolicy
 from repro.core.throughput_matrix import JobCombination, ThroughputMatrix, build_throughput_matrix
-from repro.core.water_filling import WaterFillingAllocator, WaterFillingResult
+from repro.core.water_filling import (
+    WaterFillingAllocator,
+    WaterFillingResult,
+    WaterFillingSession,
+)
 
 __all__ = [
     "Allocation",
@@ -47,10 +52,12 @@ __all__ = [
     "equal_share_reference_throughput",
     "isolated_reference_throughput",
     "fastest_reference_throughput",
+    "normalized_throughput_scale",
     "MaxMinFairnessPolicy",
     "WaterFillingFairnessPolicy",
     "WaterFillingAllocator",
     "WaterFillingResult",
+    "WaterFillingSession",
     "FifoPolicy",
     "MakespanPolicy",
     "FinishTimeFairnessPolicy",

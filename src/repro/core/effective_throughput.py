@@ -32,6 +32,7 @@ __all__ = [
     "equal_share_reference_throughput",
     "isolated_reference_throughput",
     "fastest_reference_throughput",
+    "normalized_throughput_scale",
 ]
 
 
@@ -97,3 +98,27 @@ def isolated_reference_throughput(
 def fastest_reference_throughput(matrix: ThroughputMatrix, job_id: int) -> float:
     """``throughput(m, X^fastest)``: run 100% of the time on the fastest type."""
     return float(matrix.isolated_throughputs(job_id).max())
+
+
+def normalized_throughput_scale(
+    matrix: ThroughputMatrix,
+    cluster_spec: ClusterSpec,
+    job_id: int,
+    scale_factor: int = 1,
+    priority_weight: float = 1.0,
+) -> float:
+    """Factor turning ``throughput(m, X)`` into a normalized fairness term.
+
+    ``scale_factor / (priority_weight * throughput(m, X^equal_m))`` — the
+    scaffolding shared by the LAS epigraph objective (Section 4.1) and the
+    water-filling level loop (Section 4.3; water filling passes the default
+    ``priority_weight`` because it carries per-iteration weights separately).
+    Raises :class:`ConfigurationError` when the job cannot run on any
+    accelerator type, which would make the normalization meaningless.
+    """
+    reference = equal_share_reference_throughput(matrix, cluster_spec, job_id)
+    if reference <= 0:
+        raise ConfigurationError(
+            f"job {job_id} has zero throughput on every accelerator type"
+        )
+    return scale_factor / (priority_weight * reference)

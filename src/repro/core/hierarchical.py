@@ -10,6 +10,16 @@ and weights are redistributed whenever jobs bottleneck.
 ``WaterFillingFairnessPolicy`` exposes the same machinery for single-level
 max-min fairness, which improves the throughput of non-bottlenecked jobs
 compared to the plain LAS LP (Section 4.3, last paragraph).
+
+Both policies are **sessionful**: :meth:`~repro.core.policy.Policy.session`
+returns a :class:`~repro.core.water_filling.WaterFillingSession` that keeps
+one level-loop program alive across allocation recomputations and applies
+engine deltas (job churn, estimate refinements — including the entity-weight
+redistribution they trigger) as targeted edits.  Construct with
+``incremental=False`` to fall back to the historical rebuild-per-LP
+behaviour (a :class:`~repro.core.session.RebuildSession` over the legacy
+:class:`~repro.core.water_filling.WaterFillingAllocator` path), kept as the
+equivalence/benchmark baseline.
 """
 
 from __future__ import annotations
@@ -20,13 +30,22 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 from repro.core.allocation import Allocation
 from repro.core.policy import Policy
 from repro.core.problem import PolicyProblem
-from repro.core.water_filling import WaterFillingAllocator, WaterFillingResult
+from repro.core.water_filling import (
+    WaterFillingAllocator,
+    WaterFillingResult,
+    WaterFillingSession,
+    _Redistribute,
+)
 from repro.exceptions import ConfigurationError
 
 __all__ = ["EntitySpec", "HierarchicalPolicy", "WaterFillingFairnessPolicy"]
 
 _FAIRNESS = "fairness"
 _FIFO = "fifo"
+
+#: ``entity_fallback`` modes for jobs submitted without an ``entity_id``.
+_STRICT = "strict"
+_ROUND_ROBIN = "round_robin"
 
 
 @dataclass(frozen=True)
@@ -49,7 +68,78 @@ class EntitySpec:
             )
 
 
-class HierarchicalPolicy(Policy):
+class _WaterFillingPolicyBase(Policy):
+    """Shared sessionful plumbing for the two water-filling policies."""
+
+    def __init__(
+        self,
+        heterogeneity_agnostic: bool = False,
+        space_sharing: bool = False,
+        use_milp_bottleneck_detection: bool = True,
+        incremental: bool = True,
+    ):
+        super().__init__(
+            heterogeneity_agnostic=heterogeneity_agnostic, space_sharing=space_sharing
+        )
+        self._use_milp = use_milp_bottleneck_detection
+        self._incremental = incremental
+
+    @property
+    def use_milp_bottleneck_detection(self) -> bool:
+        """Whether bottleneck detection uses the Appendix A.1 MILP."""
+        return self._use_milp
+
+    @property
+    def incremental(self) -> bool:
+        """Whether sessions keep a persistent level-loop program."""
+        return self._incremental
+
+    # -- weight semantics supplied by subclasses -----------------------------------------
+    def water_filling_weights(self, problem: PolicyProblem) -> Dict[int, float]:
+        """Initial per-job weights for one water-filling run."""
+        raise NotImplementedError
+
+    def water_filling_redistribution(
+        self, problem: PolicyProblem
+    ) -> Optional[_Redistribute]:
+        """Per-iteration weight redistribution; ``None`` keeps weights fixed."""
+        return None
+
+    # -- policy interface ------------------------------------------------------------------
+    def session(self, problem: PolicyProblem):
+        if not self._incremental:
+            from repro.core.session import RebuildSession
+
+            return RebuildSession(self, problem)
+        return WaterFillingSession(self, problem)
+
+    def compute_allocation(self, problem: PolicyProblem) -> Allocation:
+        return self.compute_with_diagnostics(problem).allocation
+
+    def compute_with_diagnostics(self, problem: PolicyProblem) -> WaterFillingResult:
+        """Run water filling and return the allocation plus per-job levels.
+
+        In incremental mode this opens a fresh session and solves once —
+        exactly what a :class:`~repro.core.session.RebuildSession` does per
+        solve — so the stateless and sessionful APIs always agree.
+        """
+        if self._incremental:
+            session = WaterFillingSession(self, problem)
+            session.solve(problem)
+            return session.last_result
+        allocator = WaterFillingAllocator(
+            problem,
+            self.effective_matrix(problem),
+            use_milp_bottleneck_detection=self._use_milp,
+            persistent=False,
+        )
+        return allocator.run(
+            initial_weights=self.water_filling_weights(problem),
+            redistribute=self.water_filling_redistribution(problem),
+        )
+
+
+class HierarchicalPolicy(_WaterFillingPolicyBase):
     """Weighted fairness across entities, fairness or FIFO within each entity."""
 
     name = "hierarchical"
@@ -60,15 +150,28 @@ class HierarchicalPolicy(Policy):
         heterogeneity_agnostic: bool = False,
         space_sharing: bool = False,
         use_milp_bottleneck_detection: bool = True,
+        incremental: bool = True,
+        entity_fallback: str = _STRICT,
     ):
-        super().__init__(heterogeneity_agnostic=heterogeneity_agnostic, space_sharing=space_sharing)
+        super().__init__(
+            heterogeneity_agnostic=heterogeneity_agnostic,
+            space_sharing=space_sharing,
+            use_milp_bottleneck_detection=use_milp_bottleneck_detection,
+            incremental=incremental,
+        )
         if not entities:
             raise ConfigurationError("hierarchical policy requires at least one entity")
         ids = [entity.entity_id for entity in entities]
         if len(set(ids)) != len(ids):
             raise ConfigurationError(f"duplicate entity ids: {ids}")
+        if entity_fallback not in (_STRICT, _ROUND_ROBIN):
+            raise ConfigurationError(
+                f"entity_fallback must be '{_STRICT}' or '{_ROUND_ROBIN}', "
+                f"got {entity_fallback!r}"
+            )
         self._entities: Dict[int, EntitySpec] = {e.entity_id: e for e in entities}
-        self._use_milp = use_milp_bottleneck_detection
+        self._entity_fallback = entity_fallback
+        self._entity_order: Tuple[int, ...] = tuple(sorted(self._entities))
 
     @property
     def entities(self) -> Tuple[EntitySpec, ...]:
@@ -80,25 +183,36 @@ class HierarchicalPolicy(Policy):
         return self._entities[entity_id]
 
     # -- weight distribution -----------------------------------------------------------
+    def _entity_of(self, problem: PolicyProblem, job_id: int) -> int:
+        entity_id = problem.job(job_id).entity_id
+        if entity_id is None:
+            if self._entity_fallback == _ROUND_ROBIN:
+                return self._entity_order[job_id % len(self._entity_order)]
+            raise ConfigurationError(
+                f"job {job_id} has no entity_id but the hierarchical policy requires one"
+            )
+        if entity_id not in self._entities:
+            raise ConfigurationError(f"job {job_id} belongs to unknown entity {entity_id}")
+        return entity_id
+
     def _jobs_by_entity(self, problem: PolicyProblem) -> Dict[int, List[int]]:
         grouped: Dict[int, List[int]] = {entity_id: [] for entity_id in self._entities}
         for job_id in problem.job_ids:
-            entity_id = problem.job(job_id).entity_id
-            if entity_id is None:
-                raise ConfigurationError(
-                    f"job {job_id} has no entity_id but the hierarchical policy requires one"
-                )
-            if entity_id not in grouped:
-                raise ConfigurationError(
-                    f"job {job_id} belongs to unknown entity {entity_id}"
-                )
-            grouped[entity_id].append(job_id)
+            grouped[self._entity_of(problem, job_id)].append(job_id)
         return grouped
 
     def _distribute_weights(
         self, problem: PolicyProblem, bottlenecked: Set[int]
     ) -> Dict[int, float]:
-        """Split each entity's weight among its non-bottlenecked jobs."""
+        """Split each entity's weight among its non-bottlenecked jobs.
+
+        Invariants (guarded by property tests): bottlenecked jobs always get
+        zero weight; an entity whose jobs are all bottlenecked contributes no
+        weight; with unit priority weights the total distributed weight equals
+        the summed weight of the entities that still have a job in play; and
+        the result depends only on the entity/job structure, not on id
+        labelling.
+        """
         weights: Dict[int, float] = {job_id: 0.0 for job_id in problem.job_ids}
         grouped = self._jobs_by_entity(problem)
         for entity_id, job_ids in grouped.items():
@@ -119,42 +233,23 @@ class HierarchicalPolicy(Policy):
                 weights[ordered[0]] = entity.weight
         return weights
 
-    # -- policy interface ------------------------------------------------------------------
-    def compute_allocation(self, problem: PolicyProblem) -> Allocation:
-        return self.compute_with_diagnostics(problem).allocation
+    # -- water-filling weight semantics ----------------------------------------------------
+    def water_filling_weights(self, problem: PolicyProblem) -> Dict[int, float]:
+        return self._distribute_weights(problem, bottlenecked=set())
 
-    def compute_with_diagnostics(self, problem: PolicyProblem) -> WaterFillingResult:
-        """Run water filling and return the allocation plus per-job levels."""
-        matrix = self.effective_matrix(problem)
-        allocator = WaterFillingAllocator(
-            problem, matrix, use_milp_bottleneck_detection=self._use_milp
-        )
-        initial = self._distribute_weights(problem, bottlenecked=set())
-
+    def water_filling_redistribution(
+        self, problem: PolicyProblem
+    ) -> Optional[_Redistribute]:
         def redistribute(_weights: Mapping[int, float], frozen: Set[int]) -> Dict[int, float]:
             return self._distribute_weights(problem, bottlenecked=frozen)
 
-        return allocator.run(initial_weights=initial, redistribute=redistribute)
+        return redistribute
 
 
-class WaterFillingFairnessPolicy(Policy):
+class WaterFillingFairnessPolicy(_WaterFillingPolicyBase):
     """Single-level weighted max-min fairness solved with water filling."""
 
     name = "max_min_fairness_water_filling"
 
-    def __init__(
-        self,
-        heterogeneity_agnostic: bool = False,
-        space_sharing: bool = False,
-        use_milp_bottleneck_detection: bool = True,
-    ):
-        super().__init__(heterogeneity_agnostic=heterogeneity_agnostic, space_sharing=space_sharing)
-        self._use_milp = use_milp_bottleneck_detection
-
-    def compute_allocation(self, problem: PolicyProblem) -> Allocation:
-        matrix = self.effective_matrix(problem)
-        allocator = WaterFillingAllocator(
-            problem, matrix, use_milp_bottleneck_detection=self._use_milp
-        )
-        weights = {job_id: problem.priority_weight(job_id) for job_id in problem.job_ids}
-        return allocator.run(initial_weights=weights).allocation
+    def water_filling_weights(self, problem: PolicyProblem) -> Dict[int, float]:
+        return {job_id: problem.priority_weight(job_id) for job_id in problem.job_ids}

@@ -26,11 +26,10 @@ from typing import Dict, List
 import numpy as np
 
 from repro.core.allocation import Allocation
-from repro.core.effective_throughput import equal_share_reference_throughput
+from repro.core.effective_throughput import normalized_throughput_scale
 from repro.core.policy import AllocationVariables, OptimizationPolicy
 from repro.core.problem import PolicyProblem
 from repro.core.session import IncrementalProgramSession, PolicySession
-from repro.exceptions import ConfigurationError
 from repro.solver.lp import LinearExpression, LinearProgram
 
 __all__ = ["MaxMinFairnessPolicy", "MaxMinFairnessSession"]
@@ -45,13 +44,19 @@ class MaxMinFairnessPolicy(OptimizationPolicy):
         return MaxMinFairnessSession(self, problem)
 
     def normalized_throughput_scale(self, problem: PolicyProblem, matrix, job_id: int) -> float:
-        """The factor turning ``throughput(m, X)`` into the LAS objective term."""
-        reference = equal_share_reference_throughput(matrix, problem.cluster_spec, job_id)
-        if reference <= 0:
-            raise ConfigurationError(
-                f"job {job_id} has zero throughput on every accelerator type"
-            )
-        return problem.scale_factor(job_id) / (problem.priority_weight(job_id) * reference)
+        """The factor turning ``throughput(m, X)`` into the LAS objective term.
+
+        Delegates to the shared
+        :func:`~repro.core.effective_throughput.normalized_throughput_scale`
+        scaffolding also used by the water-filling level loop.
+        """
+        return normalized_throughput_scale(
+            matrix,
+            problem.cluster_spec,
+            job_id,
+            scale_factor=problem.scale_factor(job_id),
+            priority_weight=problem.priority_weight(job_id),
+        )
 
     def build_objective(
         self,

@@ -26,7 +26,7 @@ from typing import Any, Callable, Dict, List, Tuple
 from repro.core.baselines import AlloXPolicy, GandivaPolicy, IsolatedPolicy
 from repro.core.fifo import FifoPolicy
 from repro.core.finish_time_fairness import FinishTimeFairnessPolicy
-from repro.core.hierarchical import WaterFillingFairnessPolicy
+from repro.core.hierarchical import EntitySpec, HierarchicalPolicy, WaterFillingFairnessPolicy
 from repro.core.makespan import MakespanPolicy
 from repro.core.max_min_fairness import MaxMinFairnessPolicy
 from repro.core.max_throughput import MaxTotalThroughputPolicy
@@ -37,6 +37,22 @@ from repro.exceptions import ConfigurationError
 
 __all__ = ["available_policies", "make_policy", "parse_policy_spec"]
 
+def _hierarchical_factory(**options: Any) -> Policy:
+    """Registry default for ``"hierarchical"``: three unit-weight entities.
+
+    Without an explicit ``entities=[EntitySpec(...), ...]`` option the policy
+    gets three equal-weight fairness entities and assigns entity-less jobs
+    round-robin by job id, so spec strings like ``"hierarchical+ss"`` work in
+    sweeps and service policy swaps over arbitrary traces.  Passing
+    ``entities`` restores the strict behaviour (jobs must carry an
+    ``entity_id``) unless ``entity_fallback`` says otherwise.
+    """
+    if "entities" not in options:
+        options["entities"] = (EntitySpec(0, 1.0), EntitySpec(1, 1.0), EntitySpec(2, 1.0))
+        options.setdefault("entity_fallback", "round_robin")
+    return HierarchicalPolicy(**options)
+
+
 #: Base policy factories; every factory accepts its policy's constructor
 #: keywords (at minimum ``heterogeneity_agnostic`` / ``space_sharing`` where
 #: the policy supports them).
@@ -44,6 +60,7 @@ _FACTORIES: Dict[str, Callable[..., Policy]] = {
     # Heterogeneity-aware policies (Gavel).
     "max_min_fairness": MaxMinFairnessPolicy,
     "max_min_fairness_water_filling": WaterFillingFairnessPolicy,
+    "hierarchical": _hierarchical_factory,
     "fifo": FifoPolicy,
     "makespan": MakespanPolicy,
     "finish_time_fairness": FinishTimeFairnessPolicy,

@@ -157,9 +157,13 @@ class PolicySession(abc.ABC):
 class RebuildSession(PolicySession):
     """Fallback session with no reusable state: every solve is from scratch.
 
-    This keeps the session API universal — combinatorial policies (AlloX's
-    matching, Gandiva's random packing, water filling) re-derive their
-    internal structures per solve anyway, so there is nothing to keep warm.
+    This keeps the session API universal — the combinatorial baselines
+    (AlloX's matching, Gandiva's random packing) re-derive their internal
+    structures per solve anyway, so there is nothing to keep warm.  Since the
+    water-filling/hierarchical family moved to persistent level-loop sessions
+    (:class:`~repro.core.water_filling.WaterFillingSession`), the baselines
+    are the only registry policies left on this path; it also doubles as the
+    from-scratch reference in the session-equivalence test harness.
     """
 
     def _solve(self, problem: PolicyProblem) -> Allocation:

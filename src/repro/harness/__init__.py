@@ -1,5 +1,12 @@
-"""Experiment harness: sweeps, runtime measurement, text reporting."""
+"""Experiment harness: sweeps, runtime measurement, equivalence checks, reporting."""
 
+from repro.harness.equivalence import (
+    assert_session_equivalent,
+    churn_events,
+    policy_objective_value,
+    run_session_churn_equivalence,
+    water_filling_level_profile,
+)
 from repro.harness.experiments import (
     LoadSweepPoint,
     measure_lp_build_runtime,
@@ -13,6 +20,11 @@ from repro.harness.experiments import (
 from repro.harness.reporting import format_series, format_table, speedup, summarize_cdf
 
 __all__ = [
+    "assert_session_equivalent",
+    "churn_events",
+    "policy_objective_value",
+    "run_session_churn_equivalence",
+    "water_filling_level_profile",
     "run_policy_on_trace",
     "run_load_sweep",
     "measure_policy_runtime",

@@ -184,6 +184,7 @@ def measure_policy_solve_under_churn(
     num_events: int = 8,
     seeds: Sequence[int] = (0,),
     oracle: Optional[ThroughputOracle] = None,
+    session_policy: "Policy | str | None" = None,
 ) -> Dict[int, Dict[str, float]]:
     """Policy-solve seconds across a job-churn sequence, per strategy.
 
@@ -197,13 +198,25 @@ def measure_policy_solve_under_churn(
       ``policy.session(...)`` kept alive and fed the engine's delta stream),
       including the initial session construction.
 
-    Matrix preparation runs through an :class:`AllocationEngine` in both
-    strategies and is *excluded* from the timings, so the comparison isolates
-    the policy-side solve — the counterpart of
-    :func:`measure_matrix_prep_runtime` for the Figure 12 story.
+    ``session_policy`` lets the two legs use differently-configured policy
+    instances — e.g. the water-filling gate pits the historical
+    rebuild-per-LP baseline (``incremental=False``) against the persistent
+    level-loop session.  Matrix preparation runs through an
+    :class:`AllocationEngine` in both strategies and is *excluded* from the
+    timings, so the comparison isolates the policy-side solve — the
+    counterpart of :func:`measure_matrix_prep_runtime` for the Figure 12
+    story.
     """
     oracle = oracle if oracle is not None else ThroughputOracle()
     resolved = _resolve_policy(policy)
+    resolved_session = (
+        resolved if session_policy is None else _resolve_policy(session_policy)
+    )
+    if resolved_session.space_sharing != resolved.space_sharing:
+        raise ConfigurationError(
+            "session_policy must share the scratch policy's space_sharing setting "
+            "(both legs replay one engine configuration)"
+        )
     generator = TraceGenerator(oracle=oracle)
     results: Dict[int, Dict[str, float]] = {}
     for num_jobs in num_jobs_values:
@@ -251,7 +264,7 @@ def measure_policy_solve_under_churn(
                     start = _time.perf_counter()
                     if use_session:
                         if session is None:
-                            session = resolved.session(problem)
+                            session = resolved_session.session(problem)
                         else:
                             session.apply(deltas)
                         session.solve(problem)

@@ -672,9 +672,12 @@ class ClusterScheduler:
         A warm solver program is a function of the exact sequence of problem
         snapshots and deltas it consumed; replaying that sequence rebuilds an
         identical program (and identical warm-start state), so solves after a
-        restore match the uninterrupted run bit for bit.  Stateless
-        :class:`~repro.core.session.RebuildSession` policies skip the replay —
-        they recompute from scratch per solve anyway.
+        restore match the uninterrupted run bit for bit.  This includes the
+        water-filling/hierarchical sessions, whose replay re-executes every
+        level loop to reconstruct the live level-loop program.  Only the
+        genuinely stateless :class:`~repro.core.session.RebuildSession`
+        baselines skip the replay — they recompute from scratch per solve
+        anyway, so there is no solver state to reconstruct.
         """
         self._session = None
         self._session_history = list(history)

@@ -450,6 +450,38 @@ class FractionalProgram:
                 self._cc_rows[handle], {self._cc_scale.index: old_rhs - constraint.rhs}
             )
 
+    def set_constraint_bounds_from_arrays(
+        self,
+        handles: "Iterable[int] | np.ndarray",
+        lower: "float | np.ndarray | None" = None,
+        upper: "float | np.ndarray | None" = None,
+    ) -> None:
+        """Bulk right-hand-side update mirroring :meth:`LinearProgram.set_constraint_bounds_from_arrays`.
+
+        ``lower``/``upper`` broadcast against ``handles`` and obey the same
+        sense rules as :meth:`set_constraint_bounds` (a ``>=`` row accepts
+        ``lower``, ``<=`` accepts ``upper``).  Each move is mirrored into the
+        live Charnes–Cooper LP as a single-term scale-column edit, so a sweep
+        over many rows stays warm-start friendly.
+        """
+        handles = np.asarray(list(handles) if not isinstance(handles, np.ndarray) else handles, dtype=np.int64)
+        lower_arr = (
+            None
+            if lower is None
+            else np.broadcast_to(np.asarray(lower, dtype=float), handles.shape)
+        )
+        upper_arr = (
+            None
+            if upper is None
+            else np.broadcast_to(np.asarray(upper, dtype=float), handles.shape)
+        )
+        for position, handle in enumerate(handles.tolist()):
+            self.set_constraint_bounds(
+                handle,
+                lower=None if lower_arr is None else float(lower_arr[position]),
+                upper=None if upper_arr is None else float(upper_arr[position]),
+            )
+
     def _require(self, handle: int) -> _RatioConstraint:
         try:
             return self._constraints[handle]

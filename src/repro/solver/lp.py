@@ -870,6 +870,40 @@ class LinearProgram:
             constraint.upper = float(upper)
         self._hs_bounds_dirty.add(handle)
 
+    def set_constraint_bounds_from_arrays(
+        self,
+        handles: "Sequence[int] | np.ndarray",
+        lower: "float | np.ndarray | None" = None,
+        upper: "float | np.ndarray | None" = None,
+    ) -> None:
+        """Update many constraints' bounds at once; ``None`` keeps the old side.
+
+        The columnar counterpart of :meth:`set_constraint_bounds`: ``lower`` /
+        ``upper`` broadcast against ``handles``.  Like the scalar edit this
+        never dirties the cached constraint matrix, which is what makes
+        whole-program right-hand-side sweeps (every water-filling floor bumped
+        to its new level, saturated rows relaxed) cost one bound pass plus a
+        warm re-solve.
+        """
+        handles = np.asarray(handles, dtype=np.int64)
+        lower_arr = (
+            None
+            if lower is None
+            else np.broadcast_to(np.asarray(lower, dtype=float), handles.shape)
+        )
+        upper_arr = (
+            None
+            if upper is None
+            else np.broadcast_to(np.asarray(upper, dtype=float), handles.shape)
+        )
+        for position, handle in enumerate(handles.tolist()):
+            constraint = self._constraint(handle)
+            if lower_arr is not None:
+                constraint.lower = float(lower_arr[position])
+            if upper_arr is not None:
+                constraint.upper = float(upper_arr[position])
+            self._hs_bounds_dirty.add(handle)
+
     def _constraint(self, handle: int) -> _Constraint:
         try:
             return self._constraints[handle]

@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.cluster import ClusterSpec, default_registry
 from repro.core import (
@@ -130,6 +131,151 @@ class TestHierarchicalPolicy:
         result = policy.compute_with_diagnostics(problem)
         result.allocation.validate(spec)
         assert set(result.normalized_throughputs) == set(problem.job_ids)
+
+
+#: Random hierarchies for the _distribute_weights property tests: per-entity
+#: ``(weight, internal policy, jobs in entity)`` plus a bottleneck mask.
+_hierarchy_strategy = st.lists(
+    st.tuples(
+        st.floats(0.25, 8.0, allow_nan=False),
+        st.sampled_from(["fairness", "fifo"]),
+        st.integers(1, 4),
+    ),
+    min_size=1,
+    max_size=4,
+)
+_bottleneck_seed = st.integers(0, 2**31 - 1)
+
+
+def _hierarchy_case(layout, seed):
+    """Build (entities, problem, bottlenecked) from a drawn hierarchy layout."""
+    registry = default_registry().subset(["v100"])
+    entities = []
+    jobs = {}
+    job_id = 0
+    for entity_id, (weight, internal, num_jobs) in enumerate(layout):
+        entities.append(EntitySpec(entity_id, weight=weight, internal_policy=internal))
+        for _ in range(num_jobs):
+            jobs[job_id] = Job(
+                job_id=job_id,
+                job_type="x",
+                total_steps=1000.0,
+                arrival_time=float(job_id),
+                entity_id=entity_id,
+            )
+            job_id += 1
+    matrix = ThroughputMatrix(registry, {(i,): np.array([[1.0]]) for i in jobs})
+    spec = ClusterSpec.from_counts({"v100": max(1, len(jobs) // 2)}, registry=registry)
+    problem = PolicyProblem(jobs=jobs, throughputs=matrix, cluster_spec=spec)
+    rng = np.random.default_rng(seed)
+    bottlenecked = {i for i in jobs if rng.random() < 0.4}
+    return entities, problem, bottlenecked
+
+
+class TestDistributeWeightsProperties:
+    """Invariants of HierarchicalPolicy._distribute_weights (Section 4.3)."""
+
+    @given(layout=_hierarchy_strategy, seed=_bottleneck_seed)
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_conserves_total_weight_of_live_entities(self, layout, seed):
+        """Distributed weight equals the summed weight of entities still in play."""
+        entities, problem, bottlenecked = _hierarchy_case(layout, seed)
+        policy = HierarchicalPolicy(entities)
+        weights = policy._distribute_weights(problem, bottlenecked)
+        live = {
+            e.entity_id: e.weight
+            for e in entities
+            if any(
+                problem.job(j).entity_id == e.entity_id and j not in bottlenecked
+                for j in problem.job_ids
+            )
+        }
+        assert sum(weights.values()) == pytest.approx(sum(live.values()))
+
+    @given(layout=_hierarchy_strategy, seed=_bottleneck_seed)
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_never_revives_bottlenecked_jobs_or_frozen_entities(self, layout, seed):
+        """Bottlenecked jobs get zero weight; fully-bottlenecked entities stay dark."""
+        entities, problem, bottlenecked = _hierarchy_case(layout, seed)
+        policy = HierarchicalPolicy(entities)
+        weights = policy._distribute_weights(problem, bottlenecked)
+        for job_id in bottlenecked:
+            assert weights[job_id] == 0.0
+        for entity in entities:
+            members = [j for j in problem.job_ids if problem.job(j).entity_id == entity.entity_id]
+            if members and all(j in bottlenecked for j in members):
+                assert sum(weights[j] for j in members) == 0.0
+
+    @given(layout=_hierarchy_strategy, seed=_bottleneck_seed)
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_permutation_invariant_over_entity_ids(self, layout, seed):
+        """Relabelling entity ids permutes nothing observable: per-job weights match."""
+        entities, problem, bottlenecked = _hierarchy_case(layout, seed)
+        baseline = HierarchicalPolicy(entities)._distribute_weights(problem, bottlenecked)
+
+        # Reverse the entity-id labels (a nontrivial permutation) and relabel
+        # every job consistently; job ids — the observable axis — stay put.
+        old_ids = [e.entity_id for e in entities]
+        relabel = {old: new for old, new in zip(old_ids, reversed(old_ids))}
+        permuted_entities = [
+            EntitySpec(relabel[e.entity_id], e.weight, e.internal_policy) for e in entities
+        ]
+        permuted_jobs = {
+            job_id: Job(
+                job_id=job_id,
+                job_type=job.job_type,
+                total_steps=job.total_steps,
+                arrival_time=job.arrival_time,
+                entity_id=relabel[job.entity_id],
+            )
+            for job_id, job in problem.jobs.items()
+        }
+        permuted_problem = PolicyProblem(
+            jobs=permuted_jobs,
+            throughputs=problem.throughputs,
+            cluster_spec=problem.cluster_spec,
+        )
+        permuted = HierarchicalPolicy(permuted_entities)._distribute_weights(
+            permuted_problem, bottlenecked
+        )
+        assert set(baseline) == set(permuted)
+        for job_id, weight in baseline.items():
+            assert permuted[job_id] == pytest.approx(weight)
+
+
+class TestEntityFallback:
+    def test_round_robin_assigns_entityless_jobs(self):
+        problem, matrix = _entity_problem(jobs_per_entity=(2, 2), num_gpus=2)
+        stripped = PolicyProblem(
+            jobs={
+                job_id: Job(
+                    job_id=job_id, job_type=job.job_type, total_steps=job.total_steps,
+                    arrival_time=job.arrival_time,
+                )
+                for job_id, job in problem.jobs.items()
+            },
+            throughputs=matrix,
+            cluster_spec=problem.cluster_spec,
+        )
+        strict = HierarchicalPolicy([EntitySpec(0, 1.0), EntitySpec(1, 2.0)])
+        with pytest.raises(ConfigurationError):
+            strict.compute_allocation(stripped)
+        relaxed = HierarchicalPolicy(
+            [EntitySpec(0, 1.0), EntitySpec(1, 2.0)], entity_fallback="round_robin"
+        )
+        allocation = relaxed.compute_allocation(stripped)
+        allocation.validate(stripped.cluster_spec)
+
+    def test_registry_hierarchical_defaults_to_round_robin(self):
+        from repro.core import make_policy
+
+        policy = make_policy("hierarchical")
+        assert len(policy.entities) == 3
+        assert policy._entity_fallback == "round_robin"
+
+    def test_unknown_fallback_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HierarchicalPolicy([EntitySpec(0, 1.0)], entity_fallback="guess")
 
 
 class TestWaterFillingFairnessPolicy:

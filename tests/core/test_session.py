@@ -1,16 +1,17 @@
-"""Session-vs-scratch equivalence for every registry policy.
+"""Registry-wide session-vs-rebuild equivalence over randomized churn.
 
-A policy session driven by the engine's delta stream must produce the same
-allocation as the stateless ``compute_allocation`` API on the equivalent
-from-scratch problem.  Several of the Table-1 LPs have *degenerate* optima
-(interchangeable jobs make many vertices optimal), where HiGHS may return
-different — equally optimal — allocations for structurally different but
-mathematically identical programs; for those the assertion is equality of
-the policy's own objective (to solver tolerance) plus validity, with exact
-row equality asserted whenever the allocations do coincide.
+Every registry policy — in every ``+ss`` / ``@agnostic`` variant its
+constructor accepts, water-filling and hierarchical included — is driven
+through the shared churn harness
+(:func:`repro.harness.run_session_churn_equivalence`): one long-lived
+session fed the engine's delta stream, compared at every step against a
+fresh :class:`~repro.core.session.RebuildSession` on the identical problem
+snapshot.  The comparison protocol (exact rows when the optima are unique,
+the policy's own objective — or, for the water-filling family, the full
+sorted level profile — to solver tolerance otherwise) lives in
+:mod:`repro.harness.equivalence`, replacing the per-policy evaluators that
+used to be copied around here.
 """
-
-import math
 
 import numpy as np
 import pytest
@@ -24,20 +25,36 @@ from repro.core import (
     PolicyProblem,
     available_policies,
     make_policy,
+    parse_policy_spec,
 )
-from repro.core.effective_throughput import (
-    effective_throughput,
-    equal_share_reference_throughput,
-    fastest_reference_throughput,
-)
-from repro.core.finish_time_fairness import finish_time_fairness_rho
 from repro.core.session import RebuildSession
+from repro.core.water_filling import WaterFillingSession
 from repro.estimator import ThroughputEstimator
+from repro.exceptions import ConfigurationError
+from repro.harness import assert_session_equivalent, run_session_churn_equivalence
 from repro.workloads import ColocatedThroughputs, ColocationModel, ThroughputOracle, TraceGenerator
 
-_REL_TOL = 1e-4
-#: Bisection policies only locate their optimum to a relative tolerance.
-_BISECTION_TOL = 5e-2
+#: Variant suffixes every base spec is probed with.
+_VARIANT_SUFFIXES = ("", "+ss", "@agnostic", "+ss@agnostic")
+
+
+def _registry_variant_specs():
+    """Every base registry policy crossed with the variants it supports."""
+    specs = []
+    for name in available_policies():
+        if parse_policy_spec(name)[0] != name:
+            continue  # alias spelling of another spec
+        for suffix in _VARIANT_SUFFIXES:
+            spec = name + suffix
+            try:
+                make_policy(spec)
+            except ConfigurationError:
+                continue  # variant not supported by this constructor
+            specs.append(spec)
+    return specs
+
+
+_ALL_SPECS = _registry_variant_specs()
 
 
 @pytest.fixture(scope="module")
@@ -52,180 +69,46 @@ def cluster(oracle):
     )
 
 
-def _policy_objective(name, policy, problem, allocation):
-    """The scalar the policy optimizes, evaluated at an allocation."""
-    matrix = policy.effective_matrix(problem)
-    throughputs = {
-        job_id: effective_throughput(matrix, allocation, job_id)
-        for job_id in problem.job_ids
-    }
-    from repro.core import parse_policy_spec
-
-    base = parse_policy_spec(name)[0]
-    if base in ("max_min_fairness", "max_min_fairness_water_filling"):
-        return min(
-            throughputs[j]
-            * problem.scale_factor(j)
-            / (
-                problem.priority_weight(j)
-                * equal_share_reference_throughput(matrix, problem.cluster_spec, j)
-            )
-            for j in problem.job_ids
-        )
-    if base == "fifo":
-        order = problem.arrival_order()
-        total = len(order)
-        return sum(
-            (total - position) * throughputs[j] / fastest_reference_throughput(matrix, j)
-            for position, j in enumerate(order)
-        )
-    if base == "shortest_job_first":
-        ranked = policy.ranked_jobs(problem)
-        total = len(ranked)
-        return sum(
-            (total - position) * throughputs[j] / fastest_reference_throughput(matrix, j)
-            for position, (j, _duration) in enumerate(ranked)
-        )
-    if base == "max_total_throughput":
-        return sum(
-            throughputs[j] / float(matrix.isolated_throughputs(j).max())
-            for j in problem.job_ids
-        )
-    if base == "makespan":
-        return max(
-            (problem.remaining_steps(j) / throughputs[j]) if throughputs[j] > 0 else math.inf
-            for j in problem.job_ids
-        )
-    if base == "finish_time_fairness":
-        num_jobs = problem.num_jobs
-        from repro.core.effective_throughput import isolated_reference_throughput
-
-        return max(
-            finish_time_fairness_rho(
-                problem.elapsed(j),
-                problem.remaining_steps(j),
-                throughputs[j],
-                isolated_reference_throughput(
-                    matrix,
-                    problem.cluster_spec,
-                    j,
-                    num_jobs=num_jobs,
-                    scale_factor=problem.scale_factor(j),
-                ),
-            )
-            for j in problem.job_ids
-        )
-    if base in ("min_cost", "min_cost_slo"):
-        costs = matrix.registry.costs_per_hour()
-        cost = 0.0
-        for combination in allocation.combinations:
-            scale = max(problem.scale_factor(j) for j in combination)
-            cost += float(np.dot(allocation.row(combination), costs)) * scale
-        numerator = sum(
-            throughputs[j] / fastest_reference_throughput(matrix, j)
-            for j in problem.job_ids
-        )
-        return numerator / (cost + 1e-9)
-    return None  # combinatorial baselines: exact equality is required instead
-
-
-def _assert_equivalent(name, policy, problem, session_allocation, scratch_allocation):
-    session_allocation.validate(problem.cluster_spec)
-    scratch_allocation.validate(problem.cluster_spec)
-    exact = all(
-        np.allclose(
-            session_allocation.row(combination),
-            scratch_allocation.row(combination),
-            atol=1e-6,
-        )
-        for combination in scratch_allocation.combinations
-    )
-    if exact:
-        return
-    session_value = _policy_objective(name, policy, problem, session_allocation)
-    scratch_value = _policy_objective(name, policy, problem, scratch_allocation)
-    assert session_value is not None, (
-        f"{name}: allocations differ but policy has no objective evaluator"
-    )
-    from repro.core import parse_policy_spec
-
-    tolerance = (
-        _BISECTION_TOL
-        if parse_policy_spec(name)[0] in ("makespan", "finish_time_fairness")
-        else _REL_TOL
-    )
-    assert session_value == pytest.approx(scratch_value, rel=tolerance), (
-        f"{name}: session objective {session_value} != scratch {scratch_value}"
-    )
-
-
-def _churn_states(oracle, num_initial=8, num_events=10, seed=11):
-    """Deterministic add/remove event sequence over generated jobs."""
-    trace = TraceGenerator(oracle=oracle).generate_static(
-        num_jobs=num_initial + num_events, seed=seed
-    )
-    jobs = list(trace.jobs)
-    rng = np.random.default_rng(seed)
-    events = [("add", job) for job in jobs[:num_initial]]
-    pending = jobs[num_initial:]
-    active = list(jobs[:num_initial])
-    for job in pending:
-        if len(active) > 3 and rng.random() < 0.5:
-            victim = active.pop(int(rng.integers(0, len(active))))
-            events.append(("remove", victim))
-        events.append(("add", job))
-        active.append(job)
-    return events
-
-
 class TestSessionMatchesScratch:
-    @pytest.mark.parametrize("name", sorted(available_policies()))
-    def test_randomized_churn_equivalence(self, name, oracle, cluster):
-        session_policy = make_policy(name)
-        scratch_policy = make_policy(name)  # separate instance: identical RNG draws
-        engine = AllocationEngine(oracle, space_sharing=session_policy.space_sharing)
-        active = {}
-        session = None
-        compared = 0
-        for action, job in _churn_states(oracle):
-            if action == "add":
-                engine.add_job(job)
-                active[job.job_id] = job
-            else:
-                engine.remove_job(job.job_id)
-                del active[job.job_id]
-            if len(active) < 2:
-                continue
-            problem = PolicyProblem(
-                jobs=dict(active),
-                throughputs=engine.matrix(),
-                cluster_spec=cluster,
-                steps_remaining={
-                    job_id: job.total_steps * (0.25 + 0.75 * ((job_id % 4) / 4))
-                    for job_id, job in active.items()
-                },
-                time_elapsed={job_id: 1800.0 * (job_id % 3) for job_id in active},
-                current_time=3600.0,
-            )
-            deltas = engine.drain_deltas()
-            if session is None:
-                session = session_policy.session(problem)
-            else:
-                session.apply(deltas)
-            session_allocation = session.solve(problem)
-            scratch_allocation = scratch_policy.compute_allocation(problem)
-            _assert_equivalent(
-                name, scratch_policy, problem, session_allocation, scratch_allocation
-            )
-            compared += 1
-        assert compared >= 5
+    @pytest.mark.parametrize("spec", _ALL_SPECS)
+    def test_randomized_churn_equivalence(self, spec, oracle, cluster):
+        counters = run_session_churn_equivalence(spec, oracle, cluster)
+        assert counters["steps"] >= 5
 
-    def test_estimate_refinement_reaches_session(self, oracle, cluster):
+    def test_variant_sweep_covers_the_whole_registry(self):
+        """Guard: the parametrization really spans every base and both axes."""
+        bases = {parse_policy_spec(spec)[0] for spec in _ALL_SPECS}
+        assert bases == {
+            name for name in available_policies() if parse_policy_spec(name)[0] == name
+        }
+        assert "hierarchical" in bases
+        assert "max_min_fairness_water_filling+ss" in _ALL_SPECS
+        assert "hierarchical+ss@agnostic" in _ALL_SPECS
+
+    def test_water_filling_sessions_are_incremental(self, oracle, cluster):
+        """The water-filling family no longer falls back to RebuildSession."""
+        trace = TraceGenerator(oracle=oracle).generate_static(num_jobs=4, seed=0)
+        jobs = {job.with_entity(job.job_id % 3).job_id: job.with_entity(job.job_id % 3) for job in trace.jobs}
+        from repro.core.throughput_matrix import build_throughput_matrix
+
+        problem = PolicyProblem(
+            jobs=jobs,
+            throughputs=build_throughput_matrix(list(jobs.values()), oracle),
+            cluster_spec=cluster,
+        )
+        for spec in ("max_min_fairness_water_filling", "hierarchical"):
+            session = make_policy(spec).session(problem)
+            assert isinstance(session, WaterFillingSession)
+        rebuild = make_policy("max_min_fairness_water_filling", incremental=False)
+        assert isinstance(rebuild.session(problem), RebuildSession)
+
+    @pytest.mark.parametrize("spec", ["max_min_fairness+ss", "max_min_fairness_water_filling+ss"])
+    def test_estimate_refinement_reaches_session(self, spec, oracle, cluster):
         """EstimateRefined deltas must update the session's pair rows."""
         model = ColocationModel(oracle)
         estimator = ThroughputEstimator(model, profile_fraction=0.4, seed=3)
-        policy = make_policy("max_min_fairness+ss")
-        scratch_policy = make_policy("max_min_fairness+ss")
+        policy = make_policy(spec)
+        scratch_policy = make_policy(spec)
         engine = AllocationEngine(
             oracle, space_sharing=True, colocation_model=estimator
         )
@@ -259,12 +142,12 @@ class TestSessionMatchesScratch:
 
         problem = PolicyProblem(jobs=active, throughputs=matrix, cluster_spec=cluster)
         session.apply(deltas)
-        _assert_equivalent(
-            "max_min_fairness+ss",
+        assert_session_equivalent(
+            spec,
             scratch_policy,
             problem,
             session.solve(problem),
-            scratch_policy.compute_allocation(problem),
+            RebuildSession(scratch_policy, problem).solve(problem),
         )
 
     def test_engine_emits_job_deltas(self, oracle):

@@ -345,7 +345,15 @@ class TestStatusAndStepping:
 class TestSnapshotRestore:
     @pytest.mark.parametrize("mode", ["round", "ideal", "physical"])
     @pytest.mark.parametrize(
-        "policy", ["fifo", "max_min_fairness", "max_min_fairness+ss", "makespan", "min_cost"]
+        "policy",
+        [
+            "fifo",
+            "max_min_fairness",
+            "max_min_fairness+ss",
+            "makespan",
+            "min_cost",
+            "max_min_fairness_water_filling",
+        ],
     )
     def test_interrupt_and_resume_is_deterministic(self, oracle, small_spec, policy, mode):
         """Resuming a mid-trace snapshot reproduces the uninterrupted run exactly."""
@@ -414,6 +422,42 @@ class TestSnapshotRestore:
         resumed.restore(checkpoint)
         assert resumed.cluster_spec.count("v100") == 3
         assert resumed.status().cancelled_job_ids == (victim,)
+        resumed.run_until()
+        assert _result_fingerprint(resumed.result()) == reference
+
+    def test_swap_to_water_filling_snapshot_restore_is_byte_deterministic(
+        self, oracle, small_spec
+    ):
+        """swap_policy -> snapshot -> restore replays the water-filling session.
+
+        Before water filling became sessionful its RebuildSession hit the
+        replay skip in ``ClusterScheduler._replay_session``; now the pinned
+        solve history must reconstruct the live level-loop program so the
+        restored run matches the uninterrupted one byte for byte.
+        """
+        trace = _trace(oracle, num_jobs=10)
+
+        def fresh():
+            scheduler = _scheduler(oracle, small_spec, "max_min_fairness")
+            for job in trace.jobs:
+                scheduler.submit(job)
+            return scheduler
+
+        scheduler = fresh()
+        scheduler.run_until(20_000.0)
+        scheduler.swap_policy("max_min_fairness_water_filling")
+        scheduler.run_until(60_000.0)  # several rounds of session history
+        checkpoint = scheduler.snapshot()
+        assert len(checkpoint.session_history) > 1
+        scheduler.run_until()
+        reference = _result_fingerprint(scheduler.result())
+
+        resumed = _scheduler(oracle, small_spec, "max_min_fairness")
+        resumed.restore(checkpoint)
+        assert resumed.policy.name == "max_min_fairness_water_filling"
+        from repro.core.water_filling import WaterFillingSession
+
+        assert isinstance(resumed._session, WaterFillingSession)
         resumed.run_until()
         assert _result_fingerprint(resumed.result()) == reference
 
@@ -499,3 +543,46 @@ class TestSessionCorrectnessUnderChurn:
                     )
         scheduler.run_until()
         assert not scheduler.has_work
+
+    @pytest.mark.parametrize("mode", ["round", "ideal", "physical"])
+    def test_water_filling_session_matches_rebuild_in_every_mode(
+        self, oracle, small_spec, mode
+    ):
+        """A full run on the live water-filling session matches RebuildSession.
+
+        ``round`` mode — the paper's actual mechanism — must match byte for
+        byte.  In the fluid/jittered modes allocations feed progress directly,
+        so two equally-optimal level-loop vertices may split a job's time
+        differently across accelerator types; there the per-job completion
+        times must still agree to well under one round.
+        """
+        from repro.core.hierarchical import WaterFillingFairnessPolicy
+        from repro.core.session import RebuildSession
+
+        class ForcedRebuild(WaterFillingFairnessPolicy):
+            def session(self, problem):
+                return RebuildSession(self, problem)
+
+        trace = _trace(oracle, num_jobs=10)
+        config = SchedulerConfig(mode=mode)
+        results = {}
+        for label, policy in (
+            ("session", make_policy("max_min_fairness_water_filling")),
+            ("rebuild", ForcedRebuild()),
+        ):
+            scheduler = _scheduler(oracle, small_spec, policy, config)
+            for job in trace.jobs:
+                scheduler.submit(job)
+            scheduler.run_until()
+            results[label] = scheduler.result()
+        session, rebuild = results["session"], results["rebuild"]
+        if mode == "round":
+            assert _result_fingerprint(session) == _result_fingerprint(rebuild)
+            return
+        assert session.num_rounds == rebuild.num_rounds
+        for job_id, record in session.records.items():
+            assert record.completion_time == pytest.approx(
+                rebuild.records[job_id].completion_time,
+                abs=config.round_duration_seconds,
+                rel=1e-3,
+            )

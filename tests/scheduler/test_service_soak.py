@@ -168,6 +168,92 @@ class TestSoakChurn:
         assert len(program._free_variables) < free_after_cancel
 
 
+class TestWaterFillingSoak:
+    """Churn soak for the water-filling family's persistent level-loop sessions."""
+
+    @pytest.mark.parametrize("spec", ["max_min_fairness_water_filling", "hierarchical+ss"])
+    def test_churn_keeps_level_loop_program_bounded(self, oracle, soak_jobs, spec):
+        """Submits/cancels/completions leave no unbounded state in the session.
+
+        The level-loop program's columns must track the active set (released
+        variables are recycled, not grown; the bottleneck MILP runs on a
+        throwaway program, so its indicator columns never enter the live one),
+        the engine's rows must track the active set, and the pinned solve
+        history must respect the cap.
+        """
+        cluster = ClusterSpec.from_counts({"v100": 2, "p100": 2, "k80": 2})
+        config = SchedulerConfig(
+            round_duration_seconds=360.0, max_session_history=6, seed=0
+        )
+        scheduler = ClusterScheduler(
+            make_policy(spec), cluster, oracle=oracle, config=config
+        )
+        max_active = 8
+        for job in soak_jobs[:max_active]:
+            scheduler.submit(job)
+        next_job = max_active
+        num_vars_seen = []
+        engine_rows_seen = []
+        history_seen = []
+        for event in range(60):
+            scheduler.step()
+            status = scheduler.status()
+            if event % 5 == 0 and status.active_job_ids:
+                scheduler.cancel(status.active_job_ids[-1])
+            status = scheduler.status()
+            in_flight = len(status.active_job_ids) + len(status.pending_job_ids)
+            while in_flight < max_active and next_job < len(soak_jobs):
+                scheduler.submit(soak_jobs[next_job])
+                next_job += 1
+                in_flight += 1
+            engine_rows_seen.append(scheduler._engine.num_rows())
+            history_seen.append(len(scheduler._session_history))
+            session = scheduler._session
+            if isinstance(session, IncrementalProgramSession):
+                num_vars_seen.append(session.program.num_variables())
+
+        assert next_job > 40, "soak should have cycled through much of the job list"
+        max_rows = max_active + max_active * (max_active - 1) // 2
+        assert max(engine_rows_seen) <= max_rows
+        assert num_vars_seen, "water-filling session never observed"
+        # Allocation columns (rows x 3 types) + the epigraph variable, plus
+        # headroom for transiently larger row sets between engine syncs;
+        # independent of churn count.
+        columns_bound = max_rows * 3 + 1 + 2 * max_active + 32
+        assert max(num_vars_seen) <= columns_bound
+        assert max(history_seen) <= config.max_session_history
+
+    @pytest.mark.parametrize("spec", ["max_min_fairness_water_filling", "hierarchical"])
+    def test_mid_churn_snapshot_restores_deterministically(self, oracle, soak_jobs, spec):
+        """A snapshot between rounds replays the level-loop session byte-exactly.
+
+        The restored scheduler rebuilds the warm program by replaying the
+        pinned solve history — including every level-loop edit sequence — so
+        its forward run must match the uninterrupted one exactly.
+        """
+        cluster = ClusterSpec.from_counts({"v100": 2, "p100": 2, "k80": 2})
+        config = SchedulerConfig(round_duration_seconds=360.0, seed=0)
+
+        def fresh():
+            return ClusterScheduler(
+                make_policy(spec), cluster, oracle=oracle, config=config
+            )
+
+        scheduler = fresh()
+        for job in soak_jobs[:10]:
+            scheduler.submit(job)
+        for _ in range(7):
+            scheduler.step()
+        checkpoint = scheduler.snapshot()
+        assert len(checkpoint.session_history) > 1
+        scheduler.run_until(math.inf)
+        reference = _result_fingerprint(scheduler.result())
+
+        resumed = fresh().restore(checkpoint)
+        resumed.run_until(math.inf)
+        assert _result_fingerprint(resumed.result()) == reference
+
+
 class TestSnapshotCompaction:
     def test_compact_validates_and_truncates(self, oracle, soak_jobs):
         spec = ClusterSpec.from_counts({"v100": 1, "p100": 1, "k80": 1})

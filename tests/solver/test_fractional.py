@@ -127,6 +127,30 @@ class TestPersistentCharnesCooper:
         program.set_constraint_bounds(handle, upper=0.7)
         assert program.solve().value_of(x) == pytest.approx(0.7, abs=1e-6)
 
+    def test_bulk_rhs_edit_mirrored(self):
+        """set_constraint_bounds_from_arrays sweeps many rows through the live CC LP."""
+        import numpy as np
+
+        program = FractionalProgram()
+        x = program.add_variable("x")
+        y = program.add_variable("y")
+        x_cap = program.add_less_equal(x * 1.0, 0.4)
+        y_floor = program.add_greater_equal(y * 1.0, 0.1)
+        program.set_ratio_objective(x * 1.0 + y * -1.0, x * 0.0 + 1.0)
+        solution = program.solve()
+        assert solution.value_of(x) == pytest.approx(0.4, abs=1e-6)
+        assert solution.value_of(y) == pytest.approx(0.1, abs=1e-6)
+        # One bulk sweep: raise the <= cap, raise the >= floor (sense-matched
+        # sides), broadcasting against the handle array like the LP twin.
+        program.set_constraint_bounds_from_arrays([x_cap], upper=np.array([0.8]))
+        program.set_constraint_bounds_from_arrays([y_floor], lower=0.3)
+        solution = program.solve()
+        assert solution.value_of(x) == pytest.approx(0.8, abs=1e-6)
+        assert solution.value_of(y) == pytest.approx(0.3, abs=1e-6)
+        # Sense mismatches surface the scalar API's errors unchanged.
+        with pytest.raises(SolverError):
+            program.set_constraint_bounds_from_arrays([x_cap], lower=0.1)
+
     def test_term_edits_mirrored(self):
         program = FractionalProgram()
         x = program.add_variable("x")
