@@ -30,7 +30,16 @@ Also measures, under job churn:
   vectorized path must be at least 3x faster for ``max_min_fairness+ss`` at
   every measured count of 256+ jobs.  The space-sharing policies are
   benchmarked at >=512 jobs by default and the ``REPRO_BENCH_SCALE`` sweep
-  reaches the paper's 2048 jobs.
+  reaches the paper's 2048 jobs;
+* the *type-aggregated* representation (``aggregation="type"``, one LP row
+  per group of interchangeable jobs instead of one per job), comparing the
+  full session path (construct + solve + proportional-split expansion)
+  against the per-job session.  The aggregated series sweeps to 16384 jobs
+  by default (100k under ``REPRO_BENCH_SCALE``) — far past where the per-job
+  LP stops being timeable — and is gated two ways: the aggregated path must
+  be at least 5x faster than the per-job session at every measured count of
+  2048+ jobs, and the aggregated LP's row count must stay bounded by the
+  active-type count regardless of the job count.
 
 The per-sweep timings are additionally written to ``BENCH_fig12.json``
 (override the path with ``REPRO_BENCH_JSON``) so CI can publish them as an
@@ -47,6 +56,7 @@ from conftest import BENCH_SCALE
 from repro.core import make_policy
 from repro.harness import (
     format_table,
+    measure_aggregated_solve_runtime,
     measure_lp_build_runtime,
     measure_matrix_prep_runtime,
     measure_policy_runtime,
@@ -87,6 +97,20 @@ _BUILD_POLICIES = {
 #: Vectorized-over-dict LP construction speedup required for LAS w/ SS at
 #: every measured job count of 256 and above.
 _BUILD_SPEEDUP_GATE = 3.0
+#: Job counts for the type-aggregated sweep.  The aggregated LP's size is set
+#: by the active-type count, not the job count, so the series runs far past
+#: the per-job sweeps — 16384 jobs by default, 100k under REPRO_BENCH_SCALE.
+_AGG_NUM_JOBS = [512, 2048, 16384] if BENCH_SCALE == 1 else [2048, 16384, 100_000]
+#: Largest job count at which the per-job comparison leg still runs; above
+#: this the per-job LP dominates the benchmark's wall clock and only the
+#: aggregated leg is timed.
+_AGG_PER_JOB_MAX = 2048
+#: Spec for the aggregated sweep — plain LAS, whose aggregated LP carries
+#: exactly one row per active type (no colocation pair rows).
+_AGG_SPEC = "max_min_fairness"
+#: Required aggregated-over-per-job session speedup at every measured count
+#: of 2048+ jobs where both legs ran (typically 30-60x at 2048).
+_AGG_SPEEDUP_GATE = 5.0
 
 
 def _hierarchical_for_scaling(space_sharing=False):
@@ -139,10 +163,13 @@ def _measure(oracle):
         name: measure_lp_build_runtime(spec, _BUILD_NUM_JOBS, oracle=oracle)
         for name, spec in _BUILD_POLICIES.items()
     }
-    return runtimes, prep, churn, build
+    aggregated = measure_aggregated_solve_runtime(
+        _AGG_SPEC, _AGG_NUM_JOBS, per_job_max=_AGG_PER_JOB_MAX, oracle=oracle
+    )
+    return runtimes, prep, churn, build, aggregated
 
 
-def _write_artifact(runtimes, prep, churn, build) -> str:
+def _write_artifact(runtimes, prep, churn, build, aggregated) -> str:
     """Dump the sweep timings as JSON for the CI perf-trajectory artifact."""
     path = os.environ.get("REPRO_BENCH_JSON", "BENCH_fig12.json")
     payload = {
@@ -151,6 +178,7 @@ def _write_artifact(runtimes, prep, churn, build) -> str:
         "churn_num_jobs": _CHURN_NUM_JOBS,
         "water_filling_churn_num_jobs": _WF_CHURN_NUM_JOBS,
         "build_num_jobs": _BUILD_NUM_JOBS,
+        "aggregated_num_jobs": _AGG_NUM_JOBS,
         "policy_runtime_seconds": {
             name: {str(n): value for n, value in series.items()}
             for name, series in runtimes.items()
@@ -164,6 +192,9 @@ def _write_artifact(runtimes, prep, churn, build) -> str:
             name: {str(n): point for n, point in series.items()}
             for name, series in build.items()
         },
+        "aggregated_solve_seconds": {
+            str(n): point for n, point in aggregated.items()
+        },
     }
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
@@ -171,7 +202,7 @@ def _write_artifact(runtimes, prep, churn, build) -> str:
 
 
 def bench_fig12_policy_scalability(benchmark, oracle):
-    runtimes, prep, churn, build = benchmark.pedantic(
+    runtimes, prep, churn, build, aggregated = benchmark.pedantic(
         _measure, args=(oracle,), rounds=1, iterations=1
     )
     rows = [
@@ -264,7 +295,43 @@ def bench_fig12_policy_scalability(benchmark, oracle):
             point["dict"] / max(point["vectorized"], 1e-12), 2
         )
 
-    artifact = _write_artifact(runtimes, prep, churn, build)
+    agg_rows = []
+    for n in _AGG_NUM_JOBS:
+        point = aggregated[n]
+        per_job = point["per_job"]
+        agg_rows.append(
+            [
+                str(n),
+                f"{per_job:.3f}" if per_job is not None else "-",
+                f"{point['aggregated']:.3f}",
+                f"{per_job / max(point['aggregated'], 1e-12):.1f}x"
+                if per_job is not None
+                else "-",
+                str(point["lp_rows"]),
+                str(point["active_types"]),
+            ]
+        )
+    print(
+        format_table(
+            ["jobs", "per-job (s)", "aggregated (s)", "speedup", "LP rows", "types"],
+            agg_rows,
+            title=f"Type-aggregated solve ({_AGG_SPEC}): per-job session vs aggregated session",
+        )
+    )
+    agg_gate_points = [
+        n for n in _AGG_NUM_JOBS if n >= 2048 and aggregated[n]["per_job"] is not None
+    ]
+    if agg_gate_points:
+        gate_n = max(agg_gate_points)
+        gate_point = aggregated[gate_n]
+        benchmark.extra_info[f"aggregated_solve_speedup@{gate_n}jobs"] = round(
+            gate_point["per_job"] / max(gate_point["aggregated"], 1e-12), 2
+        )
+    benchmark.extra_info[f"aggregated_lp_rows@{_AGG_NUM_JOBS[-1]}jobs"] = aggregated[
+        _AGG_NUM_JOBS[-1]
+    ]["lp_rows"]
+
+    artifact = _write_artifact(runtimes, prep, churn, build, aggregated)
     print(f"wrote sweep timings to {artifact}")
 
     # Shape checks: runtime grows with the number of jobs, the hierarchical
@@ -307,3 +374,20 @@ def bench_fig12_policy_scalability(benchmark, oracle):
             f"vectorized LP construction speedup below {_BUILD_SPEEDUP_GATE}x "
             f"at {n} jobs: dict={point['dict']:.3f}s vectorized={point['vectorized']:.3f}s"
         )
+    # The type-aggregated session must beat the per-job session by at least
+    # 5x at every measured count of 2048+ jobs where both legs ran (typically
+    # 30-60x: the per-job LP grows with the job count, the aggregated LP
+    # doesn't), and the aggregated LP's row count must stay bounded by the
+    # active-type count at every job count — the Figure 12 evidence that the
+    # LP size is independent of the number of active jobs.
+    for n in _AGG_NUM_JOBS:
+        point = aggregated[n]
+        assert point["lp_rows"] <= point["active_types"], (
+            f"aggregated LP rows exceed the active-type count at {n} jobs: "
+            f"{point['lp_rows']} rows for {point['active_types']} types"
+        )
+        if n >= 2048 and point["per_job"] is not None:
+            assert point["per_job"] >= _AGG_SPEEDUP_GATE * point["aggregated"], (
+                f"aggregated solve speedup below {_AGG_SPEEDUP_GATE}x at {n} jobs: "
+                f"per_job={point['per_job']:.3f}s aggregated={point['aggregated']:.3f}s"
+            )

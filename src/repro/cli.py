@@ -34,7 +34,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster import ClusterSpec
 from repro.core import available_policies, make_policy
-from repro.exceptions import SchedulingError, UnknownJobError
+from repro.exceptions import ConfigurationError, SchedulingError, UnknownJobError
 from repro.harness import format_series, format_table, run_policy_on_trace, steady_state_job_ids
 from repro.scheduler import ClusterScheduler
 from repro.simulator import SimulatorConfig
@@ -171,6 +171,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--round-duration", type=float, default=360.0,
                        help="scheduling round length in seconds")
     sweep.add_argument("--mode", choices=["round", "ideal", "physical"], default="round")
+    sweep.add_argument("--aggregation", choices=["job", "type"], default="job",
+                       help="LP representation: 'job' (one row per job) or 'type' "
+                            "(solve over groups of interchangeable jobs; only "
+                            "supported for the LP policy bases — see 'policies')")
     sweep.add_argument("--seed", type=int, default=0)
 
     online = subparsers.add_parser(
@@ -191,6 +195,10 @@ def build_parser() -> argparse.ArgumentParser:
     online.add_argument("--round-duration", type=float, default=360.0,
                         help="scheduling round length in seconds")
     online.add_argument("--mode", choices=["round", "ideal", "physical"], default="round")
+    online.add_argument("--aggregation", choices=["job", "type"], default="job",
+                        help="LP representation: 'job' (one row per job) or 'type' "
+                             "(solve over groups of interchangeable jobs; only "
+                             "supported for the LP policy bases — see 'policies')")
     online.add_argument("--cancel", action="append", default=[], metavar="JOB_ID@SECONDS",
                         type=_parse_cancel_event,
                         help="cancel one job at the given time (repeatable)")
@@ -215,6 +223,14 @@ def _command_policies() -> int:
     print("  <name>+ss        enable space sharing (e.g. max_min_fairness+ss)")
     print("  <name>@agnostic  heterogeneity-agnostic variant (e.g. fifo@agnostic)")
     print("  modifiers combine: max_min_fairness+ss@agnostic")
+    print()
+    print("'sweep' and 'online' additionally accept --aggregation type, which")
+    print("solves the policy LP over groups of interchangeable jobs instead of")
+    print("individual jobs (rows scale with active job *types*).  Supported for:")
+    from repro.core import AGGREGATION_SUPPORTED_BASES
+
+    for base in sorted(AGGREGATION_SUPPORTED_BASES):
+        print(f"  {base}")
     return 0
 
 
@@ -270,7 +286,12 @@ def _command_sweep(args: argparse.Namespace) -> int:
     cluster = ClusterSpec.from_counts(cluster_counts, registry=oracle.registry)
     generator = _make_generator(oracle, args.multi_worker)
     rates = args.rates if isinstance(args.rates, list) else _parse_floats(args.rates)
-    config = SimulatorConfig(round_duration_seconds=args.round_duration, mode=args.mode, seed=args.seed)
+    config = SimulatorConfig(
+        round_duration_seconds=args.round_duration,
+        mode=args.mode,
+        seed=args.seed,
+        aggregation=args.aggregation,
+    )
     policy_names = [name for name in args.policies.split(",") if name]
     for name in policy_names:
         values = []
@@ -301,7 +322,12 @@ def _command_online(args: argparse.Namespace) -> int:
     cluster_counts = args.cluster if isinstance(args.cluster, dict) else _parse_cluster(args.cluster)
     cluster = ClusterSpec.from_counts(cluster_counts, registry=oracle.registry)
     trace = _build_trace(args, oracle)
-    config = SimulatorConfig(round_duration_seconds=args.round_duration, mode=args.mode, seed=args.seed)
+    config = SimulatorConfig(
+        round_duration_seconds=args.round_duration,
+        mode=args.mode,
+        seed=args.seed,
+        aggregation=args.aggregation,
+    )
     scheduler = ClusterScheduler(make_policy(args.policy), cluster, oracle=oracle, config=config)
     for job in trace.jobs:
         scheduler.submit(job)
@@ -343,14 +369,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "policies":
-        return _command_policies()
-    if args.command == "simulate":
-        return _command_simulate(args)
-    if args.command == "sweep":
-        return _command_sweep(args)
-    if args.command == "online":
-        return _command_online(args)
+    try:
+        if args.command == "policies":
+            return _command_policies()
+        if args.command == "simulate":
+            return _command_simulate(args)
+        if args.command == "sweep":
+            return _command_sweep(args)
+        if args.command == "online":
+            return _command_online(args)
+    except ConfigurationError as error:
+        # e.g. --aggregation type with a policy base that cannot be
+        # aggregated: fail with the reason, not a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -1,5 +1,15 @@
 """Gavel's core contribution: heterogeneity-aware scheduling policies."""
 
+from repro.core.aggregation import (
+    AGGREGATION_SUPPORTED_BASES,
+    AggregatedProblem,
+    AggregatedSession,
+    AggregationKey,
+    aggregation_key,
+    proportional_split,
+    supports_type_aggregation,
+    weighted_member_split,
+)
 from repro.core.allocation import Allocation
 from repro.core.allocation_engine import AllocationEngine, PairThroughputCache
 from repro.core.baselines import AlloXPolicy, GandivaPolicy, IsolatedPolicy
@@ -28,6 +38,7 @@ from repro.core.session import (
     PolicyDelta,
     PolicySession,
     RebuildSession,
+    TypeCountChanged,
 )
 from repro.core.shortest_job_first import ShortestJobFirstPolicy
 from repro.core.throughput_matrix import JobCombination, ThroughputMatrix, build_throughput_matrix
@@ -81,4 +92,13 @@ __all__ = [
     "JobAdded",
     "JobRemoved",
     "EstimateRefined",
+    "TypeCountChanged",
+    "AGGREGATION_SUPPORTED_BASES",
+    "AggregatedProblem",
+    "AggregatedSession",
+    "AggregationKey",
+    "aggregation_key",
+    "proportional_split",
+    "supports_type_aggregation",
+    "weighted_member_split",
 ]

@@ -159,11 +159,16 @@ class Allocation:
         return True
 
     # -- misc ---------------------------------------------------------------------------
-    def clipped(self) -> "Allocation":
-        """Return a copy with entries clipped to ``[0, 1]`` (cleans up LP round-off)."""
+    def clipped(self, upper: Optional[float] = 1.0) -> "Allocation":
+        """Return a copy with entries clipped to ``[0, upper]`` (cleans up LP round-off).
+
+        Type-aggregated solves pass ``upper=None``: group-total rows may
+        legitimately exceed 1, so only the lower bound is enforced.
+        """
+        top = np.inf if upper is None else upper
         return Allocation(
             self._registry,
-            {combination: np.clip(values, 0.0, 1.0) for combination, values in self._entries.items()},
+            {combination: np.clip(values, 0.0, top) for combination, values in self._entries.items()},
             scale_factors=self._scale_factors,
         )
 

@@ -43,7 +43,14 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.core.session import EstimateRefined, JobAdded, JobRemoved, PolicyDelta
+from repro.core.aggregation import AggregationKey, aggregation_key
+from repro.core.session import (
+    EstimateRefined,
+    JobAdded,
+    JobRemoved,
+    PolicyDelta,
+    TypeCountChanged,
+)
 from repro.core.throughput_matrix import JobCombination, ThroughputMatrix
 from repro.exceptions import ConfigurationError, UnknownJobError
 from repro.workloads.colocation import ColocationModel, beneficial_pair_row
@@ -166,10 +173,16 @@ class AllocationEngine:
         colocation_model: Optional[ColocationModel] = None,
         colocation_threshold: float = 1.1,
         consolidated: bool = True,
+        aggregation: str = "job",
     ):
+        if aggregation not in ("job", "type"):
+            raise ConfigurationError(
+                f"unknown aggregation mode {aggregation!r}; expected 'job' or 'type'"
+            )
         self._oracle = oracle
         self._space_sharing = bool(space_sharing)
         self._consolidated = bool(consolidated)
+        self._aggregation = aggregation
         self._cache: Optional[PairThroughputCache] = None
         if self._space_sharing:
             model = (
@@ -183,6 +196,14 @@ class AllocationEngine:
         self._singles: Dict[int, np.ndarray] = {}
         self._pairs: Dict[JobCombination, np.ndarray] = {}
         self._pair_rows_by_job: Dict[int, Set[JobCombination]] = {}
+        #: Active-type histogram (group key -> member count), maintained in
+        #: both modes; drives the ``TypeCountChanged`` delta stream.
+        self._group_counts: Dict[AggregationKey, int] = {}
+        #: Type mode only: single-worker members per job type, and the one
+        #: representative member pair currently standing in for each
+        #: beneficial type pair (canonical sorted type names).
+        self._single_worker_by_type: Dict[str, Set[int]] = {}
+        self._type_pair_reps: Dict[Tuple[str, str], JobCombination] = {}
         self._matrix: Optional[ThroughputMatrix] = None
         self._deltas: List[PolicyDelta] = []
 
@@ -190,6 +211,16 @@ class AllocationEngine:
     @property
     def space_sharing(self) -> bool:
         return self._space_sharing
+
+    @property
+    def aggregation(self) -> str:
+        """Matrix-construction mode: ``"job"`` or ``"type"`` (see class docs)."""
+        return self._aggregation
+
+    @property
+    def group_counts(self) -> Dict[AggregationKey, int]:
+        """Copy of the active-type histogram (group key -> member count)."""
+        return dict(self._group_counts)
 
     @property
     def colocation_cache(self) -> Optional[PairThroughputCache]:
@@ -240,19 +271,72 @@ class AllocationEngine:
             self._rebuild_pair_rows_for_types(types)
             self._deltas.append(EstimateRefined(job_types=tuple(sorted(types))))
 
-    def _insert_pair_row(self, job_a: Job, job_b: Job) -> None:
+    def _insert_pair_row(self, job_a: Job, job_b: Job) -> Optional[JobCombination]:
         """Add the (cached) pair row for two single-worker jobs, if beneficial."""
         low, high = (job_a, job_b) if job_a.job_id < job_b.job_id else (job_b, job_a)
         row = self._cache.row(low.job_type, high.job_type)
         if row is None:
-            return
+            return None
         combination = (low.job_id, high.job_id)
         self._pairs[combination] = row
         self._pair_rows_by_job.setdefault(low.job_id, set()).add(combination)
         self._pair_rows_by_job.setdefault(high.job_id, set()).add(combination)
+        return combination
+
+    def _remove_pair_row(self, combination: JobCombination) -> None:
+        """Drop one pair row from the store and the per-job row index."""
+        self._pairs.pop(combination, None)
+        for job_id in set(combination):
+            rows = self._pair_rows_by_job.get(job_id)
+            if rows is not None:
+                rows.discard(combination)
+                if not rows:
+                    del self._pair_rows_by_job[job_id]
+
+    def _ensure_type_pair_row(self, type_a: str, type_b: str) -> None:
+        """Type mode: keep one representative member pair for a type pair.
+
+        Picks the smallest-id single-worker member of each type (two smallest
+        for a same-type pair); a no-op when a representative already exists,
+        when either type has no eligible member, or when the pair is not
+        beneficial (the cache memoizes that verdict, so repeats are O(1)).
+        """
+        key = (type_a, type_b) if type_a <= type_b else (type_b, type_a)
+        if key in self._type_pair_reps:
+            return
+        members_a = self._single_worker_by_type.get(key[0])
+        members_b = self._single_worker_by_type.get(key[1])
+        if not members_a or not members_b:
+            return
+        if key[0] == key[1]:
+            if len(members_a) < 2:
+                return
+            first, second = sorted(members_a)[:2]
+        else:
+            first, second = min(members_a), min(members_b)
+        combination = self._insert_pair_row(self._jobs[first], self._jobs[second])
+        if combination is not None:
+            self._type_pair_reps[key] = combination
+
+    def _bump_group_count(self, job: Job, delta: int) -> None:
+        """Histogram update + ``TypeCountChanged`` emission for one arrival/exit."""
+        key = aggregation_key(job)
+        count = self._group_counts.get(key, 0) + delta
+        if count > 0:
+            self._group_counts[key] = count
+        else:
+            self._group_counts.pop(key, None)
+            count = 0
+        self._deltas.append(TypeCountChanged(key=key, count=count))
 
     def add_job(self, job: Job) -> None:
-        """Add one job: its singleton row plus pair rows against active jobs."""
+        """Add one job: its singleton row plus the pair rows the mode needs.
+
+        ``"job"`` mode inserts pair rows against every active single-worker
+        job (O(active jobs) per arrival); ``"type"`` mode keeps only one
+        representative member pair per beneficial type pair, so the insert
+        loop is O(active types) and the histogram bump is O(1).
+        """
         if job.job_id in self._jobs:
             raise ConfigurationError(f"job {job.job_id} is already tracked by the engine")
         self._sync_model_version()
@@ -263,21 +347,34 @@ class AllocationEngine:
         self._singles[job.job_id] = vector
         self._jobs[job.job_id] = job
         if self._cache is not None and job.scale_factor == 1:
-            for other in self._single_worker.values():
-                self._insert_pair_row(job, other)
-            self._single_worker[job.job_id] = job
+            if self._aggregation == "type":
+                self._single_worker[job.job_id] = job
+                self._single_worker_by_type.setdefault(job.job_type, set()).add(
+                    job.job_id
+                )
+                for other_type in list(self._single_worker_by_type):
+                    self._ensure_type_pair_row(job.job_type, other_type)
+            else:
+                for other in self._single_worker.values():
+                    self._insert_pair_row(job, other)
+                self._single_worker[job.job_id] = job
         self._deltas.append(JobAdded(job=job))
+        self._bump_group_count(job, +1)
 
     def add_jobs(self, jobs: Iterable[Job]) -> None:
         for job in jobs:
             self.add_job(job)
 
     def remove_job(self, job_id: int) -> None:
-        """Remove one job and every matrix row it participates in."""
+        """Remove one job and every matrix row it participates in.
+
+        In type mode a departing representative's pair rows are re-seated on
+        the surviving members of the affected type pairs, if any.
+        """
         if job_id not in self._jobs:
             raise UnknownJobError(f"job {job_id} is not tracked by the engine")
         self._matrix = None
-        del self._jobs[job_id]
+        job = self._jobs.pop(job_id)
         self._single_worker.pop(job_id, None)
         del self._singles[job_id]
         for combination in self._pair_rows_by_job.pop(job_id, set()):
@@ -287,7 +384,22 @@ class AllocationEngine:
                     partner_rows = self._pair_rows_by_job.get(other_id)
                     if partner_rows is not None:
                         partner_rows.discard(combination)
+        if self._aggregation == "type":
+            members = self._single_worker_by_type.get(job.job_type)
+            if members is not None:
+                members.discard(job_id)
+                if not members:
+                    del self._single_worker_by_type[job.job_type]
+            orphaned = [
+                key
+                for key, combination in self._type_pair_reps.items()
+                if job_id in combination
+            ]
+            for key in orphaned:
+                del self._type_pair_reps[key]
+                self._ensure_type_pair_row(*key)
         self._deltas.append(JobRemoved(job_id=job_id))
+        self._bump_group_count(job, -1)
 
     def remove_jobs(self, job_ids: Iterable[int]) -> None:
         for job_id in job_ids:
@@ -307,6 +419,13 @@ class AllocationEngine:
         """Recompute every pair row from the (refreshed) colocation cache."""
         self._pairs.clear()
         self._pair_rows_by_job.clear()
+        if self._aggregation == "type":
+            self._type_pair_reps.clear()
+            active = sorted(self._single_worker_by_type)
+            for index, type_a in enumerate(active):
+                for type_b in active[index:]:
+                    self._ensure_type_pair_row(type_a, type_b)
+            return
         ordered = sorted(self._single_worker.values(), key=lambda job: job.job_id)
         for first_index in range(len(ordered)):
             for second_index in range(first_index + 1, len(ordered)):
@@ -314,6 +433,21 @@ class AllocationEngine:
 
     def _rebuild_pair_rows_for_types(self, job_types: FrozenSet[str]) -> None:
         """Recompute only the pair rows involving jobs of the given types."""
+        if self._aggregation == "type":
+            stale = [
+                key
+                for key in self._type_pair_reps
+                if key[0] in job_types or key[1] in job_types
+            ]
+            for key in stale:
+                self._remove_pair_row(self._type_pair_reps.pop(key))
+            active = sorted(self._single_worker_by_type)
+            for type_a in job_types:
+                if type_a not in self._single_worker_by_type:
+                    continue
+                for type_b in active:
+                    self._ensure_type_pair_row(type_a, type_b)
+            return
         affected = [
             job for job in self._single_worker.values() if job.job_type in job_types
         ]

@@ -77,7 +77,7 @@ class FinishTimeFairnessPolicy(Policy):
         self._relative_tolerance = relative_tolerance
         self._max_rho = max_rho
 
-    def session(self, problem: PolicyProblem) -> PolicySession:
+    def _make_session(self, problem: PolicyProblem) -> PolicySession:
         return FinishTimeFairnessSession(self, problem)
 
     def compute_allocation(self, problem: PolicyProblem) -> Allocation:

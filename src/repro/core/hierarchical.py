@@ -106,7 +106,7 @@ class _WaterFillingPolicyBase(Policy):
         return None
 
     # -- policy interface ------------------------------------------------------------------
-    def session(self, problem: PolicyProblem):
+    def _make_session(self, problem: PolicyProblem):
         if not self._incremental:
             from repro.core.session import RebuildSession
 

@@ -49,7 +49,7 @@ class MakespanPolicy(Policy):
         super().__init__(heterogeneity_agnostic=heterogeneity_agnostic, space_sharing=space_sharing)
         self._relative_tolerance = relative_tolerance
 
-    def session(self, problem: PolicyProblem) -> PolicySession:
+    def _make_session(self, problem: PolicyProblem) -> PolicySession:
         return MakespanSession(self, problem)
 
     def compute_allocation(self, problem: PolicyProblem) -> Allocation:

@@ -40,7 +40,7 @@ class MaxMinFairnessPolicy(OptimizationPolicy):
 
     name = "max_min_fairness"
 
-    def session(self, problem: PolicyProblem) -> PolicySession:
+    def _make_session(self, problem: PolicyProblem) -> PolicySession:
         return MaxMinFairnessSession(self, problem)
 
     def normalized_throughput_scale(self, problem: PolicyProblem, matrix, job_id: int) -> float:

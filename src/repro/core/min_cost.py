@@ -72,10 +72,13 @@ class MinCostPolicy(Policy):
                 throughput = variables.effective_throughput_expression(job_id)
                 numerator = numerator + throughput * scale
                 # Every job must make at least minimal progress, otherwise the
-                # cheapest "allocation" is to run nothing at all.
+                # cheapest "allocation" is to run nothing at all.  On a
+                # type-aggregated problem the row carries the group-total
+                # throughput, so the floor scales with the group size.
                 if self._minimum_normalized_throughput > 0 and scale > 0:
+                    count = problem.group_count(job_id)
                     program.add_greater_equal(
-                        throughput, self._minimum_normalized_throughput / scale
+                        throughput, count * self._minimum_normalized_throughput / scale
                     )
         denominator = variables.cost_expression() + 1e-9
         program.set_ratio_objective(numerator, denominator)
@@ -96,11 +99,17 @@ class MinCostPolicy(Policy):
         nonzero = weighted != 0.0
         numerator = LinearExpression.from_arrays(cols[nonzero], weighted[nonzero])
         if self._minimum_normalized_throughput > 0:
+            # Group-total rows must clear the floor once per member.
+            group_sizes = np.fromiter(
+                (variables.job_count(job_id) for job_id in job_ids.tolist()),
+                dtype=float,
+                count=len(job_ids),
+            )
             eligible = scales > 0
             if eligible.all():
                 seg_rows = np.repeat(np.arange(len(job_ids), dtype=np.int64), counts)
                 seg_cols, seg_vals = cols, vals
-                bounds = self._minimum_normalized_throughput / scales
+                bounds = group_sizes * self._minimum_normalized_throughput / scales
             else:
                 selected = np.flatnonzero(eligible)
                 seg_rows = np.repeat(
@@ -112,7 +121,11 @@ class MinCostPolicy(Policy):
                 seg_vals = np.concatenate(
                     [vals[starts[k] : starts[k + 1]] for k in selected]
                 ) if len(selected) else np.empty(0)
-                bounds = self._minimum_normalized_throughput / scales[selected]
+                bounds = (
+                    group_sizes[selected]
+                    * self._minimum_normalized_throughput
+                    / scales[selected]
+                )
             if len(bounds):
                 program.add_constraints_from_arrays(
                     seg_rows, seg_cols, seg_vals, bounds, math.inf
@@ -126,7 +139,7 @@ class MinCostPolicy(Policy):
         self._add_objective(problem, variables, program)
         return matrix, program, variables
 
-    def session(self, problem: PolicyProblem) -> PolicySession:
+    def _make_session(self, problem: PolicyProblem) -> PolicySession:
         return MinCostSession(self, problem)
 
     def compute_allocation(self, problem: PolicyProblem) -> Allocation:
@@ -145,7 +158,7 @@ class MinCostWithSLOsPolicy(MinCostPolicy):
 
     name = "min_cost_slo"
 
-    def session(self, problem: PolicyProblem) -> PolicySession:
+    def _make_session(self, problem: PolicyProblem) -> PolicySession:
         return MinCostWithSLOsSession(self, problem)
 
     def _required_throughput(self, problem: PolicyProblem, job_id: int) -> Optional[float]:

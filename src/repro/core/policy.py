@@ -87,6 +87,14 @@ class Policy(abc.ABC):
     #: Human-readable policy name used in experiment output.
     name: str = "policy"
 
+    #: Problem-representation mode: ``"job"`` (one LP row per job, the
+    #: reference baseline) or ``"type"`` (the LP is built over aggregation
+    #: groups of interchangeable jobs and per-job shares are recovered by
+    #: proportional split — see :mod:`repro.core.aggregation`).  Set by
+    #: :func:`~repro.core.registry.make_policy` via the ``aggregation``
+    #: option; a class attribute so existing constructors stay untouched.
+    aggregation: str = "job"
+
     def __init__(self, heterogeneity_agnostic: bool = False, space_sharing: bool = False):
         self._heterogeneity_agnostic = heterogeneity_agnostic
         self._space_sharing = space_sharing
@@ -128,11 +136,28 @@ class Policy(abc.ABC):
     def session(self, problem: PolicyProblem) -> "PolicySession":
         """Open a stateful allocation session seeded with ``problem``.
 
-        The default implementation returns a
-        :class:`~repro.core.session.RebuildSession` that recomputes from
-        scratch on every solve, so every policy supports the session API;
-        policies with reusable solver state override this with an
-        incremental session.
+        When the policy runs in ``aggregation="type"`` mode and ``problem``
+        is an ordinary per-job snapshot, the session returned is an
+        :class:`~repro.core.aggregation.AggregatedSession` that collapses the
+        problem into one row per group of interchangeable jobs, drives the
+        policy's own session machinery over the small aggregated problem, and
+        expands the result back to per-job shares.  Otherwise this dispatches
+        to :meth:`_make_session`, which subclasses override to provide their
+        incremental sessions.
+        """
+        if self.aggregation == "type" and problem.group_counts is None:
+            from repro.core.aggregation import AggregatedSession
+
+            return AggregatedSession(self, problem)
+        return self._make_session(problem)
+
+    def _make_session(self, problem: PolicyProblem) -> "PolicySession":
+        """Build this policy's session (no aggregation dispatch).
+
+        The default is a :class:`~repro.core.session.RebuildSession` that
+        recomputes from scratch on every solve, so every policy supports the
+        session API; policies with reusable solver state override this with
+        an incremental session.
         """
         from repro.core.session import RebuildSession
 
@@ -177,6 +202,11 @@ class AllocationVariables:
         self._matrix = matrix
         self._program = program
         self._vectorized = _VECTORIZED_DEFAULT if vectorized is None else bool(vectorized)
+        #: Group sizes when the problem is type-aggregated (empty otherwise):
+        #: per-job validity right-hand sides become the group size and
+        #: variable upper bounds the row's group-size cap, so one variable
+        #: carries a group-*total* allocation.
+        self._counts: Dict[int, int] = dict(problem.group_counts or {})
         #: Per-combination variable-index arrays (one column index per type).
         self._row_vars: Dict[JobCombination, np.ndarray] = {}
         self._num_columns = len(matrix.registry)
@@ -200,6 +230,30 @@ class AllocationVariables:
         """Whether this object assembles LP rows through the columnar path."""
         return self._vectorized
 
+    # -- group-count helpers ---------------------------------------------------------
+    def job_count(self, job_id: int) -> int:
+        """Group size behind ``job_id`` (1 in ordinary per-job problems)."""
+        return self._counts.get(job_id, 1)
+
+    def _row_cap(self, combination: JobCombination) -> float:
+        """Upper bound for one row's variables: min group size over its jobs."""
+        if not self._counts:
+            return 1.0
+        return float(min(self._counts.get(job_id, 1) for job_id in set(combination)))
+
+    def _row_caps_vector(self, dense: DenseRows) -> np.ndarray:
+        """Per-row variable caps for the columnar path, aligned to ``dense``."""
+        if not self._counts:
+            return np.ones(len(dense.combinations))
+        counts_by_ordinal = np.fromiter(
+            (self._counts.get(job_id, 1) for job_id in dense.job_ids.tolist()),
+            dtype=float,
+            count=len(dense.job_ids),
+        )
+        return np.minimum.reduceat(
+            counts_by_ordinal[dense.member_ordinals], dense.offsets[:-1]
+        )
+
     # -- construction (dict reference path) ----------------------------------------
     def _create_variables(self) -> None:
         names = self._matrix.registry.names
@@ -207,24 +261,30 @@ class AllocationVariables:
             row = self._matrix.row(combination)
             self._row_values[combination] = row
             runnable = (row > 0).any(axis=0)
+            cap = self._row_cap(combination)
             indices = np.empty(self._num_columns, dtype=np.int64)
             for column, accelerator_name in enumerate(names):
                 variable = self._program.add_variable(
                     name=f"x[{combination},{accelerator_name}]",
                     lower=0.0,
-                    upper=1.0 if runnable[column] else 0.0,
+                    upper=cap if runnable[column] else 0.0,
                 )
                 indices[column] = variable.index
             self._row_vars[combination] = indices
 
     def _add_validity_constraints(self) -> None:
-        # (2) total allocation of each job across all rows containing it is <= 1.
+        # (2) total allocation of each job across all rows containing it is
+        # bounded by its group size (1 in ordinary per-job problems).  A
+        # same-group pair row (j, j) appears twice in rows_containing, so its
+        # variables accumulate coefficient 2 — the row consumes two members.
         for job_id in self._matrix.job_ids:
             terms: Dict[int, float] = {}
             for combination, _position in self._matrix.rows_containing(job_id):
                 for index in self._row_vars[combination].tolist():
                     terms[index] = terms.get(index, 0.0) + 1.0
-            self._job_constraints[job_id] = self._program.add_less_equal(terms, 1.0)
+            self._job_constraints[job_id] = self._program.add_less_equal(
+                terms, float(self.job_count(job_id))
+            )
 
         # (3) expected worker usage per accelerator type is bounded by capacity.
         capacity = self._problem.cluster_spec.counts_vector()
@@ -260,10 +320,11 @@ class AllocationVariables:
         num_columns = self._num_columns
         combinations = dense.combinations
         num_rows = len(combinations)
+        caps = self._row_caps_vector(dense)
         flat = program.add_variables_from_arrays(
             num_rows * num_columns,
             lower=0.0,
-            upper=dense.runnable.astype(float).ravel(),
+            upper=(dense.runnable.astype(float) * caps[:, None]).ravel(),
             name="x",
         )
         var_matrix = flat.reshape(num_rows, num_columns)
@@ -278,17 +339,29 @@ class AllocationVariables:
             row_values[combination] = values[offsets[ordinal] : offsets[ordinal + 1]]
 
         # (2) one row per job: coefficient 1 on every variable of every row
-        # containing the job, emitted in rows-containing x column order.
+        # containing the job, emitted in rows-containing x column order (a
+        # same-group pair row contributes two members, i.e. coefficient 2
+        # after sparse assembly sums the duplicates); the right-hand side is
+        # the job's group size (1 in ordinary per-job problems).
         member_rows_grouped = dense.member_rows[dense.members_by_job]
         job_cols = var_matrix[member_rows_grouped]
         counts = np.diff(dense.job_starts) * num_columns
         num_jobs = len(dense.job_ids)
+        rhs = (
+            np.fromiter(
+                (self._counts.get(job_id, 1) for job_id in dense.job_ids.tolist()),
+                dtype=float,
+                count=num_jobs,
+            )
+            if self._counts
+            else np.ones(num_jobs)
+        )
         handles = program.add_constraints_from_arrays(
             np.repeat(np.arange(num_jobs, dtype=np.int64), counts),
             job_cols.ravel(),
             np.ones(job_cols.size),
             -math.inf,
-            np.ones(num_jobs),
+            rhs,
         )
         self._job_constraints = dict(
             zip(dense.job_ids.tolist(), (int(handle) for handle in handles))
@@ -332,7 +405,14 @@ class AllocationVariables:
         expressions of every affected job are invalidated.
         """
         previous_cluster = self._problem.cluster_spec
+        previous_counts = self._counts
         self._problem = problem
+        self._counts = dict(problem.group_counts or {})
+        changed_counts = {
+            job_id
+            for job_id in set(previous_counts) | set(self._counts)
+            if previous_counts.get(job_id, 1) != self._counts.get(job_id, 1)
+        }
         if problem.cluster_spec is not previous_cluster:
             capacity = problem.cluster_spec.counts_vector()
             for column, handle in enumerate(self._capacity_constraints):
@@ -350,7 +430,9 @@ class AllocationVariables:
                 self._row_values[combination] = row
                 runnable = (row > 0).any(axis=0)
                 self._program.set_variable_bounds_from_arrays(
-                    self._row_vars[combination], 0.0, runnable.astype(float)
+                    self._row_vars[combination],
+                    0.0,
+                    runnable.astype(float) * self._row_cap(combination),
                 )
                 for job_id in combination:
                     self._invalidate_job(job_id)
@@ -370,19 +452,49 @@ class AllocationVariables:
             if job_id not in active_jobs:
                 self._program.remove_constraint(self._job_constraints.pop(job_id))
                 self._invalidate_job(job_id)
+        if changed_counts:
+            self._resync_counts(changed_counts)
+
+    def _resync_counts(self, changed_jobs: set) -> None:
+        """Refresh rhs/bounds after aggregation-group sizes moved.
+
+        Per-job validity right-hand sides of the affected representatives are
+        reset to the new group size, and the variable caps of every persisting
+        row touching one of them are recomputed (rows inserted this update
+        already used the new counts).
+        """
+        touched_rows: Dict[JobCombination, None] = {}
+        for job_id in changed_jobs:
+            handle = self._job_constraints.get(job_id)
+            if handle is not None:
+                self._program.set_constraint_bounds(
+                    handle, upper=float(self.job_count(job_id))
+                )
+            if job_id in self._matrix.job_ids:
+                for combination, _position in self._matrix.rows_containing(job_id):
+                    touched_rows.setdefault(combination)
+        for combination in touched_rows:
+            indices = self._row_vars.get(combination)
+            if indices is None:
+                continue
+            runnable = (self._row_values[combination] > 0).any(axis=0)
+            self._program.set_variable_bounds_from_arrays(
+                indices, 0.0, runnable.astype(float) * self._row_cap(combination)
+            )
 
     def _insert_combination(self, combination: JobCombination) -> None:
         row = self._matrix.row(combination)
         self._row_values[combination] = row
         scale = float(max(self._problem.scale_factor(job_id) for job_id in combination))
         runnable = (row > 0).any(axis=0)
+        cap = self._row_cap(combination)
         indices = np.empty(self._num_columns, dtype=np.int64)
         new_terms: Dict[int, float] = {}
         for column, accelerator_name in enumerate(self._matrix.registry.names):
             variable = self._program.add_variable(
                 name=f"x[{combination},{accelerator_name}]",
                 lower=0.0,
-                upper=1.0 if runnable[column] else 0.0,
+                upper=cap if runnable[column] else 0.0,
             )
             indices[column] = variable.index
             new_terms[variable.index] = 1.0
@@ -390,12 +502,17 @@ class AllocationVariables:
                 self._capacity_constraints[column], {variable.index: scale}
             )
         self._row_vars[combination] = indices
-        for job_id in combination:
+        for job_id in dict.fromkeys(combination):
+            # Same-group pair rows (j, j) contribute one term per membership.
+            multiplicity = float(combination.count(job_id))
+            terms = {index: multiplicity for index in new_terms}
             handle = self._job_constraints.get(job_id)
             if handle is None:
-                self._job_constraints[job_id] = self._program.add_less_equal(dict(new_terms), 1.0)
+                self._job_constraints[job_id] = self._program.add_less_equal(
+                    terms, float(self.job_count(job_id))
+                )
             else:
-                self._program.add_terms_to_constraint(handle, new_terms)
+                self._program.add_terms_to_constraint(handle, terms)
             self._invalidate_job(job_id)
 
     def _insert_combinations(self, combinations: Sequence[JobCombination]) -> None:
@@ -418,8 +535,12 @@ class AllocationVariables:
             count=num_new,
         )
         runnable = dense.runnable[rows]
+        caps = self._row_caps_vector(dense)[rows]
         var_new = program.add_variables_from_arrays(
-            num_new * num_columns, lower=0.0, upper=runnable.astype(float).ravel(), name="x"
+            num_new * num_columns,
+            lower=0.0,
+            upper=(runnable.astype(float) * caps[:, None]).ravel(),
+            name="x",
         ).reshape(num_new, num_columns)
         offsets = dense.offsets
         for position, combination in enumerate(combinations):
@@ -460,7 +581,7 @@ class AllocationVariables:
                 np.concatenate([cols for _, cols in new_jobs]),
                 np.ones(int(np.sum(lengths))),
                 -math.inf,
-                np.ones(len(new_jobs)),
+                np.asarray([float(self.job_count(job_id)) for job_id, _ in new_jobs]),
             )
             for (job_id, _), handle in zip(new_jobs, handles):
                 self._job_constraints[job_id] = int(handle)
@@ -468,7 +589,7 @@ class AllocationVariables:
     def _remove_combination(self, combination: JobCombination) -> None:
         indices = self._row_vars.pop(combination)
         index_list = indices.tolist()
-        for job_id in combination:
+        for job_id in dict.fromkeys(combination):
             handle = self._job_constraints.get(job_id)
             if handle is not None:
                 self._program.remove_terms_from_constraint(handle, index_list)
@@ -601,13 +722,15 @@ class AllocationVariables:
         allocation = Allocation(
             self._matrix.registry, entries, scale_factors=self._problem.scale_factors()
         )
-        return allocation.clipped()
+        # Group-total rows of a type-aggregated problem may legitimately sit
+        # above 1, so only the lower bound is cleaned up there.
+        return allocation.clipped(upper=None if self._counts else 1.0)
 
 
 class OptimizationPolicy(Policy):
     """Base class for policies expressed as a single LP over :class:`AllocationVariables`."""
 
-    def session(self, problem: PolicyProblem) -> "PolicySession":
+    def _make_session(self, problem: PolicyProblem) -> "PolicySession":
         from repro.core.session import IncrementalLPSession
 
         return IncrementalLPSession(self, problem)

@@ -29,6 +29,13 @@ class PolicyProblem:
         time_elapsed: Wall-clock seconds since each job's arrival (``t_m`` in
             the finish-time-fairness objective); defaults to zero.
         current_time: Wall-clock time of the snapshot, in seconds.
+        group_counts: When set, this problem is a *type-aggregated* view
+            (see :mod:`repro.core.aggregation`): each job here is the
+            representative of a group of interchangeable jobs and the mapping
+            gives the group size per representative id.  Decision variables
+            then carry group-*total* allocations (per-job validity right-hand
+            sides become the group size) and policies must not re-aggregate.
+            ``None`` (the default) means the ordinary one-row-per-job problem.
     """
 
     jobs: Mapping[int, Job]
@@ -37,6 +44,7 @@ class PolicyProblem:
     steps_remaining: Mapping[int, float] = field(default_factory=dict)
     time_elapsed: Mapping[int, float] = field(default_factory=dict)
     current_time: float = 0.0
+    group_counts: Optional[Mapping[int, int]] = None
 
     def __post_init__(self) -> None:
         if not self.jobs:
@@ -54,6 +62,28 @@ class PolicyProblem:
                 raise ConfigurationError(
                     f"jobs mapping key {job_id} does not match job id {job.job_id}"
                 )
+        for label, mapping in (
+            ("steps_remaining", self.steps_remaining),
+            ("time_elapsed", self.time_elapsed),
+        ):
+            stale = set(mapping) - problem_jobs
+            if stale:
+                raise ConfigurationError(
+                    f"{label} references job ids that are not in the problem: "
+                    f"{sorted(stale)}"
+                )
+        if self.group_counts is not None:
+            stale = set(self.group_counts) - problem_jobs
+            if stale:
+                raise ConfigurationError(
+                    "group_counts references job ids that are not in the problem: "
+                    f"{sorted(stale)}"
+                )
+            for job_id, count in self.group_counts.items():
+                if int(count) != count or count < 1:
+                    raise ConfigurationError(
+                        f"group_counts[{job_id}] must be a positive integer, got {count}"
+                    )
 
     # -- convenience accessors -------------------------------------------------
     @property
@@ -77,6 +107,12 @@ class PolicyProblem:
 
     def priority_weight(self, job_id: int) -> float:
         return self.job(job_id).priority_weight
+
+    def group_count(self, job_id: int) -> int:
+        """Size of the group ``job_id`` represents (1 when not aggregated)."""
+        if self.group_counts is None:
+            return 1
+        return int(self.group_counts.get(job_id, 1))
 
     def remaining_steps(self, job_id: int) -> float:
         job = self.job(job_id)

@@ -23,6 +23,7 @@ from __future__ import annotations
 import re
 from typing import Any, Callable, Dict, List, Tuple
 
+from repro.core.aggregation import AGGREGATION_SUPPORTED_BASES
 from repro.core.baselines import AlloXPolicy, GandivaPolicy, IsolatedPolicy
 from repro.core.fifo import FifoPolicy
 from repro.core.finish_time_fairness import FinishTimeFairnessPolicy
@@ -145,6 +146,12 @@ def make_policy(name: str, **options: Any) -> Policy:
     spec string (``"fifo+ss@agnostic"``).  Extra keyword ``options`` are
     forwarded to the policy constructor and take precedence over the
     modifiers encoded in the spec.
+
+    The ``aggregation`` option (``"job"``, the default, or ``"type"``) is
+    consumed here rather than by the constructors: ``"type"`` switches the
+    policy to type-aggregated solves (see :mod:`repro.core.aggregation`) and
+    is only accepted for the policy bases whose objectives are exact over
+    group totals.
     """
     base, spec_options = parse_policy_spec(name)
     if base not in _FACTORIES:
@@ -152,9 +159,23 @@ def make_policy(name: str, **options: Any) -> Policy:
             f"unknown policy {base!r}; available: {available_policies()}"
         )
     merged = {**spec_options, **options}
+    aggregation = merged.pop("aggregation", "job")
+    if aggregation not in ("job", "type"):
+        raise ConfigurationError(
+            f"unknown aggregation mode {aggregation!r}; expected 'job' or 'type'"
+        )
+    if aggregation == "type" and base not in AGGREGATION_SUPPORTED_BASES:
+        raise ConfigurationError(
+            f"policy {base!r} does not support aggregation='type'; supported "
+            f"bases: {sorted(AGGREGATION_SUPPORTED_BASES)} (per-job state such "
+            "as SLOs or entity weights cannot be collapsed into type groups)"
+        )
     try:
-        return _FACTORIES[base](**merged)
+        policy = _FACTORIES[base](**merged)
     except TypeError as error:
         raise ConfigurationError(
             f"policy {base!r} does not accept options {sorted(merged)}: {error}"
         ) from None
+    if aggregation != "job":
+        policy.aggregation = aggregation
+    return policy

@@ -44,6 +44,7 @@ __all__ = [
     "JobAdded",
     "JobRemoved",
     "EstimateRefined",
+    "TypeCountChanged",
     "PolicyDelta",
     "PolicySession",
     "RebuildSession",
@@ -83,7 +84,24 @@ class EstimateRefined:
     job_types: Optional[Tuple[str, ...]] = None
 
 
-PolicyDelta = Union[JobAdded, JobRemoved, EstimateRefined]
+@dataclass(frozen=True)
+class TypeCountChanged:
+    """The active count of one aggregation group changed.
+
+    Emitted by the :class:`~repro.core.allocation_engine.AllocationEngine`
+    alongside the per-job stream whenever a job arrival or completion moves a
+    group's histogram count.  ``key`` is the
+    :class:`~repro.core.aggregation.AggregationKey` of the group and
+    ``count`` its new size (0 when the group emptied).  Per-job sessions
+    ignore it; aggregated sessions use it the way per-job sessions use
+    :class:`JobAdded`/:class:`JobRemoved` — as an advisory dirtiness hint.
+    """
+
+    key: Tuple[object, ...]
+    count: int
+
+
+PolicyDelta = Union[JobAdded, JobRemoved, EstimateRefined, TypeCountChanged]
 
 
 class PolicySession(abc.ABC):

@@ -80,10 +80,14 @@ class DenseRows:
 
 def _normalize_combination(combination: Sequence[int]) -> JobCombination:
     ordered = tuple(sorted(int(j) for j in combination))
-    if len(set(ordered)) != len(ordered):
-        raise ConfigurationError(f"combination {combination} repeats a job id")
     if not ordered:
         raise ConfigurationError("combination must contain at least one job")
+    if len(set(ordered)) != len(ordered) and len(ordered) != 2:
+        # Duplicate ids are allowed only for pairs: a ``(j, j)`` row models
+        # the colocation of two interchangeable jobs of the same group in a
+        # type-aggregated problem (see repro.core.aggregation).  Larger
+        # combinations with repeats have no such meaning and stay rejected.
+        raise ConfigurationError(f"combination {combination} repeats a job id")
     return ordered
 
 
@@ -158,10 +162,10 @@ class ThroughputMatrix:
             # Fast path: every multi-job row is a pair, so validation is one
             # stacked block instead of a per-row Python loop.
             endpoints = np.asarray([combination for combination, _ in pair_items], dtype=np.int64)
-            if np.any(endpoints[:, 0] >= endpoints[:, 1]):
-                bad = endpoints[endpoints[:, 0] >= endpoints[:, 1]][0]
+            if np.any(endpoints[:, 0] > endpoints[:, 1]):
+                bad = endpoints[endpoints[:, 0] > endpoints[:, 1]][0]
                 raise ConfigurationError(
-                    f"pair row {tuple(bad)} is not a normalized (sorted, duplicate-free) pair"
+                    f"pair row {tuple(bad)} is not a normalized (sorted) pair"
                 )
             try:
                 pair_block = np.stack([np.asarray(v, dtype=float) for _, v in pair_items])

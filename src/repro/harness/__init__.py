@@ -1,14 +1,17 @@
 """Experiment harness: sweeps, runtime measurement, equivalence checks, reporting."""
 
 from repro.harness.equivalence import (
+    assert_aggregation_equivalent,
     assert_session_equivalent,
     churn_events,
     policy_objective_value,
+    run_aggregated_churn_equivalence,
     run_session_churn_equivalence,
     water_filling_level_profile,
 )
 from repro.harness.experiments import (
     LoadSweepPoint,
+    measure_aggregated_solve_runtime,
     measure_lp_build_runtime,
     measure_matrix_prep_runtime,
     measure_policy_runtime,
@@ -20,9 +23,11 @@ from repro.harness.experiments import (
 from repro.harness.reporting import format_series, format_table, speedup, summarize_cdf
 
 __all__ = [
+    "assert_aggregation_equivalent",
     "assert_session_equivalent",
     "churn_events",
     "policy_objective_value",
+    "run_aggregated_churn_equivalence",
     "run_session_churn_equivalence",
     "water_filling_level_profile",
     "run_policy_on_trace",
@@ -31,6 +36,7 @@ __all__ = [
     "measure_matrix_prep_runtime",
     "measure_policy_solve_under_churn",
     "measure_lp_build_runtime",
+    "measure_aggregated_solve_runtime",
     "steady_state_job_ids",
     "LoadSweepPoint",
     "format_table",

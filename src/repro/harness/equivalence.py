@@ -54,8 +54,10 @@ __all__ = [
     "policy_objective_value",
     "water_filling_level_profile",
     "assert_session_equivalent",
+    "assert_aggregation_equivalent",
     "churn_events",
     "run_session_churn_equivalence",
+    "run_aggregated_churn_equivalence",
 ]
 
 #: Relative tolerance for objective-tier comparisons.
@@ -237,6 +239,52 @@ def assert_session_equivalent(
     return False
 
 
+def assert_aggregation_equivalent(
+    spec: str,
+    policy: Policy,
+    problem: PolicyProblem,
+    aggregated_allocation: Allocation,
+    baseline_allocation: Allocation,
+) -> None:
+    """Assert a type-aggregated solve matches the per-job baseline.
+
+    ``problem`` must be the full per-job snapshot (every member pair row
+    present) so both allocations' objectives are evaluated on equal footing.
+    The contract is:
+
+    * both allocations are valid;
+    * the policy's scalar objective agrees exactly (to :data:`REL_TOL` —
+      allocation *rows* may differ because interchangeable jobs make many
+      LP vertices optimal, but the optimum value is unique);
+    * within every aggregation group the expanded allocation hands each
+      member the same total time fraction (the proportional equal split).
+    """
+    from repro.core.aggregation import aggregation_key
+
+    aggregated_allocation.validate(problem.cluster_spec)
+    baseline_allocation.validate(problem.cluster_spec)
+    aggregated_value = policy_objective_value(spec, policy, problem, aggregated_allocation)
+    baseline_value = policy_objective_value(spec, policy, problem, baseline_allocation)
+    assert aggregated_value is not None, (
+        f"{spec}: policy has no objective evaluator; aggregation unsupported"
+    )
+    assert math.isclose(aggregated_value, baseline_value, rel_tol=REL_TOL, abs_tol=1e-9), (
+        f"{spec}: aggregated objective {aggregated_value} != per-job baseline "
+        f"{baseline_value}"
+    )
+    groups: Dict[tuple, List[int]] = {}
+    for job_id in problem.job_ids:
+        groups.setdefault(aggregation_key(problem.jobs[job_id]), []).append(job_id)
+    for key, members in groups.items():
+        totals = [aggregated_allocation.job_total(member) for member in members]
+        np.testing.assert_allclose(
+            totals,
+            np.full(len(totals), totals[0]),
+            atol=1e-6,
+            err_msg=f"{spec}: group {key} members received unequal splits",
+        )
+
+
 def churn_events(
     oracle: ThroughputOracle,
     num_initial: int = 8,
@@ -323,3 +371,95 @@ def run_session_churn_equivalence(
         steps += 1
     assert steps >= min_steps, f"{spec}: churn trace produced only {steps} comparisons"
     return {"steps": steps, "exact": exact_steps}
+
+
+def run_aggregated_churn_equivalence(
+    spec: str,
+    oracle: ThroughputOracle,
+    cluster: ClusterSpec,
+    num_initial: int = 8,
+    num_events: int = 10,
+    seed: int = 11,
+    min_steps: int = 5,
+) -> Dict[str, int]:
+    """Drive ``spec`` in ``aggregation="type"`` mode against the per-job baseline.
+
+    Two engines consume the same churn trace: a ``"job"``-mode engine feeding
+    a fresh per-job :class:`~repro.core.session.RebuildSession` each step (the
+    reference), and a ``"type"``-mode engine feeding one long-lived
+    :class:`~repro.core.aggregation.AggregatedSession` via its delta stream
+    (the production path).  Every step must satisfy
+    :func:`assert_aggregation_equivalent` on the full per-job snapshot.
+
+    Returns step counters plus LP-size evidence: ``max_inner_rows`` is the
+    largest row count of the aggregated session's inner matrix and
+    ``max_active_types`` the largest concurrent group count, so callers can
+    assert the LP scales with types, not jobs.
+    """
+    from repro.core.aggregation import AggregatedSession
+
+    aggregated_policy = make_policy(spec, aggregation="type")
+    baseline_policy = make_policy(spec)
+    engine_full = AllocationEngine(oracle, space_sharing=baseline_policy.space_sharing)
+    engine_type = AllocationEngine(
+        oracle, space_sharing=aggregated_policy.space_sharing, aggregation="type"
+    )
+    active: Dict[int, Job] = {}
+    session: Optional[AggregatedSession] = None
+    steps = 0
+    max_inner_rows = 0
+    max_active_types = 0
+    for action, job in churn_events(
+        oracle, num_initial=num_initial, num_events=num_events, seed=seed
+    ):
+        if action == "add":
+            engine_full.add_job(job)
+            engine_type.add_job(job)
+            active[job.job_id] = job
+        else:
+            engine_full.remove_job(job.job_id)
+            engine_type.remove_job(job.job_id)
+            del active[job.job_id]
+        if len(active) < 2:
+            continue
+        timing = {
+            "steps_remaining": {
+                job_id: job.total_steps * (0.25 + 0.75 * ((job_id % 4) / 4))
+                for job_id, job in active.items()
+            },
+            "time_elapsed": {job_id: 1800.0 * (job_id % 3) for job_id in active},
+            "current_time": 3600.0,
+        }
+        baseline_problem = PolicyProblem(
+            jobs=dict(active), throughputs=engine_full.matrix(), cluster_spec=cluster, **timing
+        )
+        aggregated_problem = PolicyProblem(
+            jobs=dict(active), throughputs=engine_type.matrix(), cluster_spec=cluster, **timing
+        )
+        engine_full.drain_deltas()
+        deltas = engine_type.drain_deltas()
+        if session is None:
+            session = aggregated_policy.session(aggregated_problem)
+            assert isinstance(session, AggregatedSession), type(session).__name__
+        else:
+            session.apply(deltas)
+        aggregated_allocation = session.solve(aggregated_problem)
+        baseline_allocation = RebuildSession(baseline_policy, baseline_problem).solve(
+            baseline_problem
+        )
+        assert_aggregation_equivalent(
+            spec,
+            baseline_policy,
+            baseline_problem,
+            aggregated_allocation,
+            baseline_allocation,
+        )
+        max_inner_rows = max(max_inner_rows, session.view.problem.throughputs.num_rows())
+        max_active_types = max(max_active_types, len(engine_type.group_counts))
+        steps += 1
+    assert steps >= min_steps, f"{spec}: churn trace produced only {steps} comparisons"
+    return {
+        "steps": steps,
+        "max_inner_rows": max_inner_rows,
+        "max_active_types": max_active_types,
+    }

@@ -22,7 +22,7 @@ from repro.core.registry import make_policy
 from repro.core.throughput_matrix import build_throughput_matrix
 from repro.exceptions import ConfigurationError
 from repro.workloads.colocation import ColocationModel
-from repro.simulator.metrics import SimulationResult
+from repro.scheduler.metrics import SimulationResult
 from repro.simulator.simulator import Simulator, SimulatorConfig
 from repro.workloads.job import Job
 from repro.workloads.throughputs import ThroughputOracle
@@ -37,6 +37,7 @@ __all__ = [
     "measure_matrix_prep_runtime",
     "measure_policy_solve_under_churn",
     "measure_lp_build_runtime",
+    "measure_aggregated_solve_runtime",
     "steady_state_job_ids",
 ]
 
@@ -342,6 +343,95 @@ def measure_lp_build_runtime(
                     timings[mode] += _time.perf_counter() - start
         results[int(num_jobs)] = {
             mode: total / len(seeds) for mode, total in timings.items()
+        }
+    return results
+
+
+def measure_aggregated_solve_runtime(
+    spec: str,
+    num_jobs_values: Sequence[int],
+    per_type_workers_per_job: float = 0.05,
+    per_job_max: Optional[int] = 2048,
+    seeds: Sequence[int] = (0,),
+    oracle: Optional[ThroughputOracle] = None,
+) -> Dict[int, Dict[str, object]]:
+    """Single-shot policy solve: per-job session versus type-aggregated session.
+
+    For each job count a static trace is materialised once and the full
+    session path — ``policy.session(problem)`` followed by
+    ``session.solve(problem)``, i.e. LP construction, solve and (for the
+    aggregated leg) the proportional-split expansion back to per-job totals —
+    is timed under both representations:
+
+    * ``"per_job"`` — the reference ``aggregation="job"`` policy, whose LP
+      carries one row per active job.  Skipped (``None``) above
+      ``per_job_max`` jobs, where the per-job LP is too large to time in a
+      default benchmark run; the aggregated series keeps going.
+    * ``"aggregated"`` — the same spec in ``aggregation="type"`` mode, whose
+      inner LP carries one row per active *type* group.
+
+    Matrix preparation runs through an :class:`AllocationEngine` per leg and
+    is excluded from the timings.  Alongside the seconds, each point reports
+    ``"lp_rows"`` (the aggregated session's inner row count) and
+    ``"active_types"`` (concurrent aggregation groups) so callers can gate
+    the LP size on the type count rather than the job count.
+    """
+    oracle = oracle if oracle is not None else ThroughputOracle()
+    per_job_policy = make_policy(spec)
+    aggregated_policy = make_policy(spec, aggregation="type")
+    generator = TraceGenerator(oracle=oracle)
+    results: Dict[int, Dict[str, object]] = {}
+    for num_jobs in num_jobs_values:
+        per_type = max(1, int(round(num_jobs * per_type_workers_per_job)))
+        cluster_spec = ClusterSpec.from_counts(
+            {name: per_type for name in oracle.registry.names}, registry=oracle.registry
+        )
+        run_per_job = per_job_max is None or num_jobs <= per_job_max
+        aggregated_total = 0.0
+        per_job_total = 0.0
+        lp_rows = 0
+        active_types = 0
+        for seed in seeds:
+            trace = generator.generate_static(num_jobs=num_jobs, seed=seed)
+            jobs = {job.job_id: job for job in trace.jobs}
+
+            engine_type = AllocationEngine(
+                oracle,
+                space_sharing=aggregated_policy.space_sharing,
+                aggregation="type",
+            )
+            engine_type.add_jobs(list(jobs.values()))
+            aggregated_problem = PolicyProblem(
+                jobs=dict(jobs),
+                throughputs=engine_type.matrix(),
+                cluster_spec=cluster_spec,
+            )
+            start = _time.perf_counter()
+            session = aggregated_policy.session(aggregated_problem)
+            session.solve(aggregated_problem)
+            aggregated_total += _time.perf_counter() - start
+            lp_rows = max(lp_rows, session.view.problem.throughputs.num_rows())
+            active_types = max(active_types, len(engine_type.group_counts))
+
+            if run_per_job:
+                engine_job = AllocationEngine(
+                    oracle, space_sharing=per_job_policy.space_sharing
+                )
+                engine_job.add_jobs(list(jobs.values()))
+                per_job_problem = PolicyProblem(
+                    jobs=dict(jobs),
+                    throughputs=engine_job.matrix(),
+                    cluster_spec=cluster_spec,
+                )
+                start = _time.perf_counter()
+                per_job_session = per_job_policy.session(per_job_problem)
+                per_job_session.solve(per_job_problem)
+                per_job_total += _time.perf_counter() - start
+        results[int(num_jobs)] = {
+            "aggregated": aggregated_total / len(seeds),
+            "per_job": per_job_total / len(seeds) if run_per_job else None,
+            "lp_rows": int(lp_rows),
+            "active_types": int(active_types),
         }
     return results
 

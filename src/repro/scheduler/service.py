@@ -95,6 +95,13 @@ class SchedulerConfig:
         max_simulated_seconds: Safety cap on scheduler time.
         colocation_threshold: Minimum combined normalized throughput for a job
             pair to be considered by space-sharing policies.
+        aggregation: Problem-representation mode handed to the policy and the
+            allocation engine: ``"job"`` (one LP row per job, the default) or
+            ``"type"`` (the LP is solved over groups of interchangeable jobs
+            and per-job shares recovered by proportional split — see
+            :mod:`repro.core.aggregation`).  ``"type"`` is only accepted for
+            the policy bases listed in
+            :data:`~repro.core.aggregation.AGGREGATION_SUPPORTED_BASES`.
         estimator: Optional throughput-estimator object exposing the
             :class:`~repro.workloads.colocation.ColocationModel` query
             interface; when set, space-sharing policies see *estimated*
@@ -121,6 +128,7 @@ class SchedulerConfig:
     seed: int = 0
     max_simulated_seconds: float = 6.0e7
     colocation_threshold: float = 1.1
+    aggregation: str = "job"
     estimator: Optional[object] = None
     max_session_history: Optional[int] = None
 
@@ -129,6 +137,10 @@ class SchedulerConfig:
             raise ConfigurationError("round_duration_seconds must be positive")
         if self.mode not in ("round", "ideal", "physical"):
             raise ConfigurationError(f"unknown simulator mode {self.mode!r}")
+        if self.aggregation not in ("job", "type"):
+            raise ConfigurationError(
+                f"unknown aggregation mode {self.aggregation!r}; expected 'job' or 'type'"
+            )
         if self.checkpoint_overhead_seconds < 0:
             raise ConfigurationError("checkpoint_overhead_seconds must be non-negative")
         if self.throughput_jitter_std < 0:
@@ -263,6 +275,7 @@ class ClusterScheduler:
             colocation_model if colocation_model is not None else ColocationModel(self._oracle)
         )
         self._config = config if config is not None else SchedulerConfig()
+        self._apply_aggregation_mode(self._policy)
         self._workers_per_server = workers_per_server
         self._clock = clock if clock is not None else VirtualClock()
         self._rng = np.random.default_rng(self._config.seed)
@@ -310,6 +323,25 @@ class ClusterScheduler:
         self._placer = Placer(self._topology)
         self._round_scheduler = RoundScheduler(cluster_spec)
 
+    def _apply_aggregation_mode(self, policy: Policy) -> None:
+        """Reconcile the config's ``aggregation`` mode onto ``policy``.
+
+        A policy already built with ``aggregation="type"`` (via
+        :func:`~repro.core.registry.make_policy`) keeps its mode; otherwise a
+        ``"type"`` config switches the policy over, rejecting bases whose
+        objectives cannot be aggregated.
+        """
+        if self._config.aggregation != "type" or policy.aggregation == "type":
+            return
+        from repro.core.aggregation import supports_type_aggregation
+
+        if not supports_type_aggregation(policy.name):
+            raise ConfigurationError(
+                f"policy {policy.name!r} does not support aggregation='type' "
+                "(see repro.core.aggregation.AGGREGATION_SUPPORTED_BASES)"
+            )
+        policy.aggregation = "type"
+
     def _make_engine(self) -> AllocationEngine:
         """Incremental matrix engine; policies see the estimator when one is set."""
         colocation = (
@@ -320,6 +352,7 @@ class ClusterScheduler:
             space_sharing=self._policy.space_sharing,
             colocation_model=colocation,
             colocation_threshold=self._config.colocation_threshold,
+            aggregation=self._policy.aggregation,
         )
 
     # -- introspection ---------------------------------------------------------------
@@ -455,8 +488,12 @@ class ClusterScheduler:
         next allocation recomputation, which starts a new allocation period.
         """
         new_policy = make_policy(policy) if isinstance(policy, str) else policy
+        self._apply_aggregation_mode(new_policy)
         old_policy, self._policy = self._policy, new_policy
-        if new_policy.space_sharing != old_policy.space_sharing:
+        if (
+            new_policy.space_sharing != old_policy.space_sharing
+            or new_policy.aggregation != old_policy.aggregation
+        ):
             self._rebuild_engine()
         self._session = None
         self._session_history = []

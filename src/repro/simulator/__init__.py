@@ -1,6 +1,6 @@
 """Cluster simulator and the metrics it collects."""
 
-from repro.simulator.metrics import JobRecord, SimulationResult, cdf_points
+from repro.scheduler.metrics import JobRecord, SimulationResult, cdf_points
 from repro.simulator.simulator import Simulator, SimulatorConfig
 
 __all__ = ["Simulator", "SimulatorConfig", "SimulationResult", "JobRecord", "cdf_points"]

@@ -1,10 +1,21 @@
-"""Backwards-compatible re-export of the scheduler-service metrics.
+"""Deprecated alias of :mod:`repro.scheduler.metrics` — will be removed.
 
-The per-job records and aggregate result live with the scheduler service
-(:mod:`repro.scheduler.metrics`) since the round loop moved there; importing
-them from ``repro.simulator.metrics`` keeps existing code working.
+The per-job records and aggregate result moved to the scheduler service
+(:mod:`repro.scheduler.metrics`) when the round loop did; nothing in the
+package imports this module anymore.  It emits a :class:`DeprecationWarning`
+on import and will be deleted after one release — update imports to
+``repro.scheduler.metrics``.
 """
 
+import warnings
+
 from repro.scheduler.metrics import JobRecord, SimulationResult, cdf_points
+
+warnings.warn(
+    "repro.simulator.metrics is deprecated; import JobRecord, SimulationResult "
+    "and cdf_points from repro.scheduler.metrics instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["JobRecord", "SimulationResult", "cdf_points"]

@@ -31,7 +31,7 @@ from repro.core.policy import Policy
 from repro.exceptions import ConfigurationError
 from repro.scheduler.clock import VirtualClock
 from repro.scheduler.service import ClusterScheduler, SchedulerConfig
-from repro.simulator.metrics import SimulationResult
+from repro.scheduler.metrics import SimulationResult
 from repro.workloads.colocation import ColocationModel
 from repro.workloads.throughputs import ThroughputOracle
 from repro.workloads.trace import Trace

@@ -73,6 +73,28 @@ __all__ = ["Variable", "LinearExpression", "LinearProgram", "Solution"]
 _Coefficients = Union[Mapping[int, float], "LinearExpression"]
 
 
+def _coalesce_terms(
+    indices: np.ndarray, values: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sum duplicate indices in a parallel (indices, values) term list.
+
+    Constraint fragments must hold unique column indices (HiGHS rejects
+    repeated columns within a row), but callers may legitimately emit one
+    entry per membership — e.g. the same-group pair rows of type-aggregated
+    problems.  No-op (same arrays returned) when already unique.
+    """
+    if len(indices) > 1:
+        unique, first_pos, inverse = np.unique(
+            indices, return_index=True, return_inverse=True
+        )
+        if len(unique) != len(indices):
+            summed = np.zeros(len(unique))
+            np.add.at(summed, inverse, values)
+            order = np.argsort(first_pos, kind="stable")
+            return indices[first_pos[order]], summed[order]
+    return indices, values
+
+
 def _columnar_rows(
     name: str,
     rows: np.ndarray,
@@ -113,6 +135,21 @@ def _columnar_rows(
     nonzero = coeffs != 0.0
     if not nonzero.all():
         rows, cols, coeffs = rows[nonzero], cols[nonzero], coeffs[nonzero]
+    if len(cols):
+        # Coalesce duplicate (row, column) entries by summation — a
+        # same-group pair row of a type-aggregated problem legitimately
+        # contributes one entry per membership, but HiGHS rejects rows with
+        # repeated column indices, so the fragment must hold unique columns.
+        keys = rows * (np.int64(cols.max()) + 1) + cols
+        unique_keys, first_pos, inverse = np.unique(
+            keys, return_index=True, return_inverse=True
+        )
+        if len(unique_keys) != len(keys):
+            summed = np.zeros(len(unique_keys))
+            np.add.at(summed, inverse, coeffs)
+            order = np.argsort(first_pos, kind="stable")
+            keep = first_pos[order]
+            rows, cols, coeffs = rows[keep], cols[keep], summed[order]
     boundaries = np.searchsorted(rows, np.arange(num_rows + 1, dtype=np.int64))
     return rows, cols, coeffs, lower_arr, upper_arr, boundaries, num_rows
 
@@ -404,7 +441,7 @@ class _HighsBackend:
             uppers = np.fromiter(
                 (program._constraints[h].upper for h in add), float, count=len(add)
             )
-            highs.addRows(
+            status = highs.addRows(
                 len(add),
                 lowers,
                 uppers,
@@ -413,6 +450,11 @@ class _HighsBackend:
                 indices.astype(np.int32),
                 values.astype(float),
             )
+            if status == _highs_core.HighsStatus.kError:
+                # An unchecked rejection here would silently desynchronise
+                # the HiGHS model from the program (constraints that exist
+                # Python-side but not solver-side).
+                raise SolverError(f"{program.name}: HiGHS rejected a constraint batch")
             base = len(self._row_handles)
             self._row_handles.extend(add)
             for offset, handle in enumerate(add):
@@ -769,6 +811,7 @@ class LinearProgram:
         nonzero = values != 0.0
         if not nonzero.all():
             indices, values = indices[nonzero], values[nonzero]
+        indices, values = _coalesce_terms(indices, values)
         if len(indices):
             if (
                 constraint._coefficients is None
@@ -795,6 +838,7 @@ class LinearProgram:
         nonzero = values != 0.0
         if not nonzero.all():
             indices, values = indices[nonzero], values[nonzero]
+        indices, values = _coalesce_terms(indices, values)
         constraint._coefficients = None
         constraint.indices = indices
         constraint.values = values

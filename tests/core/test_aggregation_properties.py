@@ -1,0 +1,85 @@
+"""Property-based tests for the proportional-split recovery.
+
+The split is the load-bearing piece of type aggregation: whatever the inner
+LP hands back per group must be divided among members without creating or
+destroying allocation mass.  Hypothesis pins the three properties the
+expansion relies on: conservation (shares sum to the group total),
+permutation invariance over member ids, and degeneration to the per-job
+identity when every group is a singleton.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import proportional_split, weighted_member_split
+
+_totals = st.floats(
+    min_value=0.0, max_value=64.0, allow_nan=False, allow_infinity=False
+)
+_weights = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=12,
+)
+_member_ids = st.lists(
+    st.integers(min_value=0, max_value=10_000), min_size=1, max_size=12, unique=True
+)
+
+
+class TestProportionalSplit:
+    @given(total=_totals, weights=_weights)
+    @settings(max_examples=200)
+    def test_conserves_group_total(self, total, weights):
+        shares = proportional_split(total, weights)
+        assert len(shares) == len(weights)
+        assert all(share >= 0.0 for share in shares)
+        np.testing.assert_allclose(sum(shares), total, atol=1e-9 * max(1.0, total))
+
+    @given(total=_totals, weights=_weights, seed=st.integers(0, 2**16))
+    @settings(max_examples=200)
+    def test_equivariant_under_member_permutation(self, total, weights, seed):
+        # Shuffling the members shuffles the shares identically: no member's
+        # share depends on its position (hence not on its job id either).
+        order = np.random.default_rng(seed).permutation(len(weights))
+        shares = proportional_split(total, weights)
+        permuted = proportional_split(total, [weights[i] for i in order])
+        np.testing.assert_allclose(permuted, [shares[i] for i in order], atol=1e-12)
+
+    @given(total=_totals, weights=_weights)
+    @settings(max_examples=100)
+    def test_zero_mass_falls_back_to_equal_split(self, total, weights):
+        zero = [0.0] * len(weights)
+        shares = proportional_split(total, zero)
+        np.testing.assert_allclose(shares, np.full(len(zero), total / len(zero)))
+
+
+class TestWeightedMemberSplit:
+    @given(total=_totals, member_ids=_member_ids, seed=st.integers(0, 2**16))
+    @settings(max_examples=200)
+    def test_job_id_permutation_invariance(self, total, member_ids, seed):
+        # Equal-weight splits must not care which job ids name the members.
+        shuffled = list(member_ids)
+        np.random.default_rng(seed).shuffle(shuffled)
+        original = weighted_member_split(total, member_ids, None)
+        renamed = weighted_member_split(total, shuffled, None)
+        assert set(original) == set(renamed)
+        for job_id in member_ids:
+            np.testing.assert_allclose(original[job_id], renamed[job_id], atol=1e-12)
+
+    @given(total=_totals, member_ids=_member_ids)
+    @settings(max_examples=200)
+    def test_singleton_groups_degenerate_to_per_job(self, total, member_ids):
+        # All groups of size 1: each member receives the group total verbatim,
+        # i.e. aggregation is the identity on an all-distinct-type problem.
+        for job_id in member_ids:
+            shares = weighted_member_split(total, [job_id], None)
+            assert shares == {job_id: total}
+
+    @given(total=_totals, member_ids=_member_ids)
+    @settings(max_examples=100)
+    def test_weighted_shares_conserve_total(self, total, member_ids):
+        weights = {job_id: float(1 + (job_id % 5)) for job_id in member_ids}
+        shares = weighted_member_split(total, member_ids, weights)
+        np.testing.assert_allclose(
+            sum(shares.values()), total, atol=1e-9 * max(1.0, total)
+        )

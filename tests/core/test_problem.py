@@ -60,6 +60,36 @@ class TestValidation:
                 cluster_spec=ClusterSpec.from_counts({"v100": 1}),
             )
 
+    @pytest.mark.parametrize("field", ["steps_remaining", "time_elapsed"])
+    def test_stale_timing_keys_rejected(self, jobs, oracle, field):
+        # Regression: timing maps used to accept ids of departed jobs
+        # silently; they must be a subset of the problem's jobs.
+        matrix = build_throughput_matrix(jobs, oracle)
+        with pytest.raises(ConfigurationError, match=field):
+            PolicyProblem(
+                jobs={job.job_id: job for job in jobs},
+                throughputs=matrix,
+                cluster_spec=ClusterSpec.from_counts({"v100": 1}),
+                **{field: {0: 10.0, 42: 5.0}},
+            )
+
+    def test_stale_group_counts_rejected(self, jobs, oracle):
+        matrix = build_throughput_matrix(jobs, oracle)
+        with pytest.raises(ConfigurationError, match="group_counts"):
+            PolicyProblem(
+                jobs={job.job_id: job for job in jobs},
+                throughputs=matrix,
+                cluster_spec=ClusterSpec.from_counts({"v100": 1}),
+                group_counts={7: 2},
+            )
+        with pytest.raises(ConfigurationError, match="positive integer"):
+            PolicyProblem(
+                jobs={job.job_id: job for job in jobs},
+                throughputs=matrix,
+                cluster_spec=ClusterSpec.from_counts({"v100": 1}),
+                group_counts={0: 0},
+            )
+
 
 class TestAccessors:
     def test_job_ids_sorted(self, problem):

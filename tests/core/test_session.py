@@ -151,15 +151,29 @@ class TestSessionMatchesScratch:
         )
 
     def test_engine_emits_job_deltas(self, oracle):
+        from repro.core.session import TypeCountChanged
+
         engine = AllocationEngine(oracle)
         trace = TraceGenerator(oracle=oracle).generate_static(num_jobs=3, seed=0)
         jobs = list(trace.jobs)
         engine.add_jobs(jobs)
         engine.remove_job(jobs[0].job_id)
         deltas = engine.drain_deltas()
-        assert [type(d) for d in deltas] == [JobAdded, JobAdded, JobAdded, JobRemoved]
+        # Every arrival/exit emits its per-job delta followed by the group
+        # histogram update.
+        assert [type(d) for d in deltas] == [
+            JobAdded,
+            TypeCountChanged,
+            JobAdded,
+            TypeCountChanged,
+            JobAdded,
+            TypeCountChanged,
+            JobRemoved,
+            TypeCountChanged,
+        ]
         assert deltas[0].job is jobs[0]
-        assert deltas[-1].job_id == jobs[0].job_id
+        assert deltas[-2].job_id == jobs[0].job_id
+        assert all(d.count >= 0 for d in deltas if isinstance(d, TypeCountChanged))
         assert engine.drain_deltas() == []
 
     def test_default_session_is_rebuild(self, oracle, cluster):

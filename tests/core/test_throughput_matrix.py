@@ -38,11 +38,23 @@ class TestConstruction:
             ThroughputMatrix(registry, {(0,): np.array([[1.0, -2.0, 3.0]])})
 
     def test_duplicate_job_in_combination_rejected(self, registry):
+        # Duplicate ids are only meaningful for pairs (the same-group
+        # colocation rows of type-aggregated problems); larger repeats stay
+        # rejected.
         with pytest.raises(ConfigurationError):
             ThroughputMatrix(
                 registry,
-                {(0,): np.ones((1, 3)), (0, 0): np.ones((2, 3))},
+                {(0,): np.ones((1, 3)), (0, 0, 1): np.ones((3, 3))},
             )
+
+    def test_duplicate_pair_row_allowed(self, registry):
+        matrix = ThroughputMatrix(
+            registry,
+            {(0,): np.ones((1, 3)), (0, 0): np.full((2, 3), 0.5)},
+        )
+        assert matrix.combinations == ((0,), (0, 0))
+        np.testing.assert_allclose(matrix.row((0, 0)), np.full((2, 3), 0.5))
+        assert matrix.rows_containing(0) == (((0,), 0), ((0, 0), 0), ((0, 0), 1))
 
     def test_empty_matrix_rejected(self, registry):
         with pytest.raises(ConfigurationError):

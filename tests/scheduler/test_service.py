@@ -342,6 +342,56 @@ class TestStatusAndStepping:
         assert scheduler.result().records[0].completed
 
 
+class TestAggregatedScheduling:
+    def test_type_mode_runs_with_aggregated_session(self, oracle, small_spec):
+        from repro.core.aggregation import AggregatedSession
+
+        config = SchedulerConfig(aggregation="type")
+        scheduler = _scheduler(oracle, small_spec, "max_min_fairness", config)
+        for job in _trace(oracle, num_jobs=8).jobs:
+            scheduler.submit(job)
+        scheduler.run_until()
+        assert isinstance(scheduler._session, AggregatedSession)
+        assert all(record.completed for record in scheduler.result().records.values())
+
+    def test_type_mode_rejects_unsupported_policy(self, oracle, small_spec):
+        config = SchedulerConfig(aggregation="type")
+        with pytest.raises(ConfigurationError, match="aggregation"):
+            _scheduler(oracle, small_spec, "max_min_fairness_water_filling", config)
+
+    def test_swap_policy_applies_aggregation_mode(self, oracle, small_spec):
+        config = SchedulerConfig(aggregation="type")
+        scheduler = _scheduler(oracle, small_spec, "max_min_fairness", config)
+        swapped = scheduler.swap_policy("min_cost")
+        assert swapped.aggregation == "type"
+        with pytest.raises(ConfigurationError, match="aggregation"):
+            scheduler.swap_policy("hierarchical")
+
+    @pytest.mark.parametrize("policy", ["max_min_fairness", "max_min_fairness+ss"])
+    def test_snapshot_restore_is_deterministic_under_type_mode(
+        self, oracle, small_spec, policy
+    ):
+        trace = _trace(oracle, num_jobs=10)
+        config = SchedulerConfig(aggregation="type")
+
+        uninterrupted = _scheduler(oracle, small_spec, policy, config)
+        for job in trace.jobs:
+            uninterrupted.submit(job)
+        uninterrupted.run_until()
+        reference = _result_fingerprint(uninterrupted.result())
+
+        interrupted = _scheduler(oracle, small_spec, policy, config)
+        for job in trace.jobs:
+            interrupted.submit(job)
+        interrupted.run_until(40_000.0)
+        checkpoint = interrupted.snapshot()
+
+        resumed = _scheduler(oracle, small_spec, policy, config)
+        resumed.restore(checkpoint)
+        resumed.run_until()
+        assert _result_fingerprint(resumed.result()) == reference
+
+
 class TestSnapshotRestore:
     @pytest.mark.parametrize("mode", ["round", "ideal", "physical"])
     @pytest.mark.parametrize(

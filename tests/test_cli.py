@@ -88,6 +88,46 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "max_min_fairness" in out and "fifo" in out
 
+    def test_sweep_with_type_aggregation(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--policies",
+                "max_min_fairness",
+                "--rates",
+                "2",
+                "--num-jobs",
+                "5",
+                "--cluster",
+                "v100=1,p100=1,k80=1",
+                "--aggregation",
+                "type",
+            ]
+        )
+        assert code == 0
+        assert "max_min_fairness" in capsys.readouterr().out
+
+    def test_aggregation_rejected_for_unsupported_policy(self, capsys):
+        code = main(
+            [
+                "online",
+                "--policy",
+                "max_min_fairness_water_filling",
+                "--num-jobs",
+                "4",
+                "--aggregation",
+                "type",
+            ]
+        )
+        assert code == 2
+        assert "aggregation" in capsys.readouterr().err
+
+    def test_policies_help_documents_aggregation(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        assert "--aggregation" in out
+        assert "max_total_throughput" in out
+
 
 class TestSweepParity:
     def test_sweep_accepts_round_duration_and_mode(self):
