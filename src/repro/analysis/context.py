@@ -1,0 +1,101 @@
+"""Per-file analysis context shared by every rule.
+
+One :class:`FileContext` is built per scanned file: the parsed tree, a
+child→parent map (rules use it to ask "is this generator expression an
+argument to ``min``?"), and an import-alias table so dotted names resolve
+canonically — ``import time as _time`` makes ``_time.monotonic()`` resolve to
+``"time.monotonic"``, and ``from datetime import datetime`` makes
+``datetime.now()`` resolve to ``"datetime.datetime.now"``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Sequence
+
+from repro.analysis.config import AnalysisConfig
+
+__all__ = ["FileContext", "build_parent_map", "collect_import_aliases"]
+
+#: ``from``-imports whose imported name is itself a namespace worth chasing
+#: (``from datetime import datetime`` → attribute calls keep resolving).
+_FROM_IMPORT_NAMESPACES = {
+    ("datetime", "datetime"): "datetime.datetime",
+    ("datetime", "date"): "datetime.date",
+    ("numpy", "random"): "numpy.random",
+}
+
+def build_parent_map(tree: ast.AST) -> Dict[ast.AST, ast.AST]:
+    """Map every node to its syntactic parent (the module has no entry)."""
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def collect_import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Local name → canonical dotted prefix, from this module's imports."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".", 1)[0]
+                aliases[local] = alias.name if alias.asname else alias.name.split(".", 1)[0]
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                canonical = _FROM_IMPORT_NAMESPACES.get(
+                    (node.module, alias.name), f"{node.module}.{alias.name}"
+                )
+                aliases[local] = canonical
+    return aliases
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may consult while visiting one file."""
+
+    path: Path
+    rel_path: str
+    lines: Sequence[str]
+    tree: ast.Module
+    config: AnalysisConfig
+    parents: Dict[ast.AST, ast.AST] = field(default_factory=dict)
+    aliases: Dict[str, str] = field(default_factory=dict)
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self.parents.get(node)
+
+    def option(self, code: str, key: str, default: Any) -> Any:
+        """Rule-specific option with the pyproject override applied."""
+        return self.config.rule_settings(code).options.get(key, default)
+
+    def dotted_name(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted name of a Name/Attribute chain, alias-resolved.
+
+        Returns ``None`` when the chain is rooted in anything other than an
+        imported name (calls on locals, subscripts, call results...).
+        """
+        parts: list[str] = []
+        probe: ast.AST = node
+        while isinstance(probe, ast.Attribute):
+            parts.append(probe.attr)
+            probe = probe.value
+        if not isinstance(probe, ast.Name):
+            return None
+        base = self.aliases.get(probe.id)
+        if base is None:
+            return None
+        return ".".join([base, *reversed(parts)])
+
+    @staticmethod
+    def receiver_tail(node: ast.AST) -> Optional[str]:
+        """Terminal name of a call receiver: ``self._backend._highs`` → ``_highs``."""
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Name):
+            return node.id
+        return None

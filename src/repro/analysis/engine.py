@@ -1,0 +1,210 @@
+"""File scanner: parse, dispatch rules in one walk, apply suppressions.
+
+The engine owns everything rule-agnostic: path expansion and excludes,
+building the :class:`~repro.analysis.context.FileContext`, dispatching AST
+nodes to the per-file rule instances, and the suppression lifecycle — a
+violation on a line with a matching ``repro: noqa`` comment is swallowed and
+the suppression marked used; suppressions that are blanket, rationale-free,
+malformed, or unused come back out as ``REP000`` violations.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple, Type
+
+from repro.analysis.config import AnalysisConfig, path_matches
+from repro.analysis.context import FileContext, build_parent_map, collect_import_aliases
+from repro.analysis.rules import RULE_CLASSES
+from repro.analysis.rules.base import Rule
+from repro.analysis.suppressions import Suppression, scan_suppressions
+from repro.analysis.violations import PARSE_ERROR_CODE, SUPPRESSION_CODE, Violation
+
+__all__ = ["FileReport", "analyze_file", "analyze_paths", "iter_python_files"]
+
+
+@dataclass
+class FileReport:
+    """Outcome of scanning one file."""
+
+    path: str
+    violations: List[Violation] = field(default_factory=list)
+    suppressions: List[Suppression] = field(default_factory=list)
+
+
+def _relative_path(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return Path(os.path.relpath(path.resolve(), root.resolve())).as_posix()
+
+
+def _active_rules(config: AnalysisConfig, rel_path: str) -> List[Type[Rule]]:
+    active: List[Type[Rule]] = []
+    for code, rule_class in RULE_CLASSES.items():
+        if not config.code_enabled(code):
+            continue
+        if not config.scoped(
+            code, rel_path, rule_class.default_include, rule_class.default_exclude
+        ):
+            continue
+        active.append(rule_class)
+    return active
+
+
+def _dispatch(tree: ast.Module, rules: Sequence[Rule]) -> None:
+    handlers: Dict[str, List[Rule]] = {}
+    for rule in rules:
+        for attribute in dir(rule):
+            if attribute.startswith("visit_"):
+                handlers.setdefault(attribute[len("visit_") :], []).append(rule)
+    if not handlers:
+        return
+    for node in ast.walk(tree):
+        for rule in handlers.get(type(node).__name__, ()):
+            getattr(rule, f"visit_{type(node).__name__}")(node)
+
+
+def _suppression_violations(
+    report: FileReport, active_codes: Iterable[str], config: AnalysisConfig
+) -> List[Violation]:
+    if not config.code_enabled(SUPPRESSION_CODE):
+        return []
+    active = set(active_codes)
+    found: List[Violation] = []
+
+    def emit(line: int, message: str) -> None:
+        found.append(
+            Violation(path=report.path, line=line, col=1, code=SUPPRESSION_CODE, message=message)
+        )
+
+    for suppression in report.suppressions:
+        if suppression.blanket:
+            emit(
+                suppression.line,
+                "blanket `repro: noqa` is not allowed; list the codes being "
+                "suppressed, with a rationale: `repro: noqa[REP0xx] -- why`",
+            )
+            continue
+        for bad in suppression.malformed_codes:
+            emit(suppression.line, f"malformed rule code `{bad}` in suppression")
+        if suppression.codes and not suppression.rationale:
+            emit(
+                suppression.line,
+                "suppression without a rationale; append `-- <why this is safe>`",
+            )
+        for code in suppression.unused_codes():
+            if code not in RULE_CLASSES:
+                emit(suppression.line, f"suppression names unknown rule code `{code}`")
+            elif code in active:
+                emit(
+                    suppression.line,
+                    f"unused suppression: no {code} violation on this line — delete it",
+                )
+    return found
+
+
+def analyze_file(
+    path: Path, config: AnalysisConfig, rel_path: str | None = None
+) -> FileReport:
+    """Scan one file and return its (suppression-filtered) violations."""
+    rel = rel_path if rel_path is not None else _relative_path(path, config.root)
+    report = FileReport(path=rel)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as error:
+        report.violations.append(
+            Violation(rel, 1, 1, PARSE_ERROR_CODE, f"cannot read file: {error}")
+        )
+        return report
+    lines = source.splitlines()
+    report.suppressions = scan_suppressions(lines)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        report.violations.append(
+            Violation(rel, error.lineno or 1, 1, PARSE_ERROR_CODE, f"syntax error: {error.msg}")
+        )
+        return report
+
+    context = FileContext(
+        path=path,
+        rel_path=rel,
+        lines=lines,
+        tree=tree,
+        config=config,
+        parents=build_parent_map(tree),
+        aliases=collect_import_aliases(tree),
+    )
+    rule_classes = _active_rules(config, rel)
+    rules = [rule_class(context) for rule_class in rule_classes]
+    _dispatch(tree, rules)
+    for rule in rules:
+        rule.finish()
+
+    raw = [violation for rule in rules for violation in rule.violations]
+    suppressions_by_line = {suppression.line: suppression for suppression in report.suppressions}
+    kept: List[Violation] = []
+    for violation in raw:
+        suppression = suppressions_by_line.get(violation.line)
+        if suppression is not None and suppression.suppresses(violation.code):
+            suppression.mark_used(violation.code)
+            continue
+        kept.append(violation)
+    kept.extend(
+        _suppression_violations(
+            report, (rule_class.code for rule_class in rule_classes), config
+        )
+    )
+    report.violations = sorted(kept, key=Violation.sort_key)
+    return report
+
+
+def iter_python_files(paths: Sequence[Path], config: AnalysisConfig) -> List[Path]:
+    """Expand path arguments into a sorted, de-duplicated list of .py files.
+
+    Config excludes apply when *expanding directories*; a file passed
+    explicitly is always scanned (that is how the fixture tests drive
+    intentionally-bad files that the project config excludes).
+    """
+    collected: List[Path] = []
+    seen: set[Path] = set()
+
+    def add(candidate: Path) -> None:
+        resolved = candidate.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            collected.append(candidate)
+
+    # Bare names in the exclude list ("__pycache__") match any path part;
+    # entries containing "/" are project-root-relative prefixes.
+    name_excludes = {entry for entry in config.exclude if "/" not in entry}
+    prefix_excludes = [entry for entry in config.exclude if "/" in entry]
+    for path in paths:
+        if path.is_dir():
+            for found in sorted(path.rglob("*.py")):
+                rel = _relative_path(found, config.root)
+                if name_excludes.intersection(found.parts):
+                    continue
+                if path_matches(rel, prefix_excludes):
+                    continue
+                if any(part.startswith(".") and len(part) > 1 for part in rel.split("/")):
+                    continue
+                add(found)
+        elif path.suffix == ".py":
+            add(path)
+    return collected
+
+
+def analyze_paths(
+    paths: Sequence[Path], config: AnalysisConfig
+) -> Tuple[List[Violation], int]:
+    """Scan files/directories; returns (sorted violations, files scanned)."""
+    files = iter_python_files(paths, config)
+    violations: List[Violation] = []
+    for path in files:
+        violations.extend(analyze_file(path, config).violations)
+    return sorted(violations, key=Violation.sort_key), len(files)

@@ -1,0 +1,30 @@
+"""Rule registry: importing this package registers every ``REP0xx`` rule."""
+
+from __future__ import annotations
+
+from repro.analysis.rules.base import RULE_CLASSES, Rule, all_rule_codes, iter_rule_classes
+from repro.analysis.rules.determinism import SetIterationRule, UnseededRandomRule, WallClockRule
+from repro.analysis.rules.hygiene import (
+    DunderAllConsistencyRule,
+    FloatEqualityRule,
+    MutableDefaultRule,
+)
+from repro.analysis.rules.solver_discipline import (
+    IgnoredSolverStatusRule,
+    PrivateInternalReachInRule,
+)
+
+__all__ = [
+    "RULE_CLASSES",
+    "Rule",
+    "DunderAllConsistencyRule",
+    "FloatEqualityRule",
+    "IgnoredSolverStatusRule",
+    "MutableDefaultRule",
+    "PrivateInternalReachInRule",
+    "SetIterationRule",
+    "UnseededRandomRule",
+    "WallClockRule",
+    "all_rule_codes",
+    "iter_rule_classes",
+]

@@ -1,0 +1,240 @@
+"""Rules guarding replay determinism (REP002, REP003, REP004).
+
+Snapshot/restore and the session-vs-rebuild equivalence harness both depend
+on every run of the scheduler being a pure function of the event log: no
+wall-clock reads outside the pluggable :class:`~repro.scheduler.clock.Clock`,
+no unseeded randomness, and no allocation-ordering decisions fed by the
+iteration order of a ``set``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
+
+from repro.analysis.rules.base import Rule, register, scope_statements
+
+__all__ = ["SetIterationRule", "UnseededRandomRule", "WallClockRule"]
+
+
+@register
+class WallClockRule(Rule):
+    """REP002: wall-clock access outside the pluggable clock module.
+
+    ``time.perf_counter`` is deliberately not listed: it feeds performance
+    *metrics*, never scheduling decisions, and flagging it would outlaw the
+    harness timing loops for no determinism gain.
+    """
+
+    code = "REP002"
+    name = "wall-clock-access"
+    summary = "wall-clock read outside scheduler/clock.py"
+
+    _FUNCTIONS = (
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    )
+    _ALLOWED_MODULES = ("src/repro/scheduler/clock.py",)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self.context.dotted_name(node.func)
+        if dotted is None:
+            return
+        functions = tuple(self.context.option(self.code, "functions", self._FUNCTIONS))
+        if dotted not in functions:
+            return
+        # Only *arg-less* datetime.now() is ambient wall clock by this rule;
+        # a tz-aware now is still wall clock but is someone's explicit choice.
+        if dotted == "datetime.datetime.now" and (node.args or node.keywords):
+            return
+        allowed = tuple(
+            self.context.option(self.code, "allowed_modules", self._ALLOWED_MODULES)
+        )
+        if any(self.context.rel_path == module.strip("/") for module in allowed):
+            return
+        self.report(
+            node,
+            f"wall-clock read `{dotted}()` breaks replay determinism; take time "
+            "from the scheduler's Clock (scheduler/clock.py) instead",
+        )
+
+
+@register
+class UnseededRandomRule(Rule):
+    """REP003: randomness that is not plumbed through a seeded generator."""
+
+    code = "REP003"
+    name = "unseeded-random"
+    summary = "unseeded random-number generation"
+
+    #: numpy.random constructors that are fine *when given a seed argument*.
+    _SEEDABLE = (
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.SeedSequence",
+        "numpy.random.BitGenerator",
+        "numpy.random.MT19937",
+        "numpy.random.PCG64",
+        "numpy.random.PCG64DXSM",
+        "numpy.random.Philox",
+        "numpy.random.SFC64",
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self.context.dotted_name(node.func)
+        if dotted is None:
+            return
+        seedable = tuple(self.context.option(self.code, "seedable", self._SEEDABLE))
+        if dotted in seedable or dotted == "random.Random":
+            if not node.args and not node.keywords:
+                self.report(
+                    node,
+                    f"`{dotted}()` without a seed is entropy-seeded; pass an "
+                    "explicit seed so runs replay byte-identically",
+                )
+            return
+        if dotted.startswith("numpy.random."):
+            self.report(
+                node,
+                f"`{dotted}(...)` draws from the module-level legacy RNG; use an "
+                "explicitly seeded numpy.random.default_rng(seed) generator",
+            )
+        elif dotted == "random.random" or dotted.startswith("random."):
+            self.report(
+                node,
+                f"`{dotted}(...)` uses the process-global RNG; use an explicitly "
+                "seeded random.Random(seed) or numpy.random.default_rng(seed)",
+            )
+
+
+#: Callables for which consuming a set via a generator argument is
+#: order-insensitive (the result does not depend on iteration order).
+_ORDER_INSENSITIVE = ("all", "any", "frozenset", "len", "max", "min", "set", "sorted", "sum")
+
+_SET_ANNOTATIONS = ("set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet")
+
+
+def _annotation_is_set(annotation: ast.expr) -> bool:
+    probe = annotation
+    if isinstance(probe, ast.Subscript):
+        probe = probe.value
+    if isinstance(probe, ast.Attribute):
+        return probe.attr in _SET_ANNOTATIONS
+    return isinstance(probe, ast.Name) and probe.id in _SET_ANNOTATIONS
+
+
+@register
+class SetIterationRule(Rule):
+    """REP004: iterating a set without an ordering guard.
+
+    In the allocation-ordering-sensitive packages, anything consuming set
+    iteration order — a ``for`` loop, a list/dict comprehension, a generator
+    handed to an order-sensitive callable — can change variable-recycling
+    order, LP row order, or delta order between runs, which is exactly what
+    breaks byte-deterministic snapshot replay.  Wrap the iterable in
+    ``sorted(...)`` or keep an order-preserving structure (``dict.fromkeys``).
+    """
+
+    code = "REP004"
+    name = "unordered-set-iteration"
+    summary = "iteration over a set without an ordering guard"
+    default_include = ("src/repro/core", "src/repro/scheduler", "src/repro/solver")
+
+    def _set_names(self, scope: ast.AST) -> Set[str]:
+        """Names that are set-typed throughout this scope (heuristic).
+
+        A name counts when every assignment to it in the scope is set-ish;
+        annotated arguments and ``AnnAssign`` declarations count directly.
+        """
+        setish: Set[str] = set()
+        tainted: Set[str] = set()
+        args = getattr(scope, "args", None)
+        if args is not None:
+            for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+                if arg.annotation is not None and _annotation_is_set(arg.annotation):
+                    setish.add(arg.arg)
+        for statement in scope_statements(scope):
+            if isinstance(statement, ast.Assign):
+                for target in statement.targets:
+                    if isinstance(target, ast.Name):
+                        bucket = (
+                            setish if self._is_setish(statement.value, setish) else tainted
+                        )
+                        bucket.add(target.id)
+            elif isinstance(statement, ast.AnnAssign) and isinstance(statement.target, ast.Name):
+                if _annotation_is_set(statement.annotation):
+                    setish.add(statement.target.id)
+        return setish - tainted
+
+    def _is_setish(self, node: ast.expr, set_names: Set[str]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in ("set", "frozenset")
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            return self._is_setish(node.left, set_names) or self._is_setish(
+                node.right, set_names
+            )
+        return isinstance(node, ast.Name) and node.id in set_names
+
+    def _exempt_generator(self, node: ast.GeneratorExp) -> bool:
+        """A generator fed straight into an order-insensitive callable."""
+        parent = self.context.parent(node)
+        if not isinstance(parent, ast.Call) or node not in parent.args:
+            return False
+        if not isinstance(parent.func, ast.Name):
+            return False
+        callables = tuple(
+            self.context.option(self.code, "order_insensitive", _ORDER_INSENSITIVE)
+        )
+        return parent.func.id in callables
+
+    def _iter_scope_expressions(self, scope: ast.AST) -> Iterator[ast.expr]:
+        for statement in scope_statements(scope):
+            for child in ast.iter_child_nodes(statement):
+                if isinstance(child, ast.expr):
+                    yield from (
+                        node for node in ast.walk(child) if isinstance(node, ast.expr)
+                    )
+
+    def _check_scope(self, scope: ast.AST) -> None:
+        set_names = self._set_names(scope)
+        for statement in scope_statements(scope):
+            if isinstance(statement, (ast.For, ast.AsyncFor)) and self._is_setish(
+                statement.iter, set_names
+            ):
+                self.report(
+                    statement.iter,
+                    "for-loop over a set: iteration order is not deterministic; "
+                    "wrap the iterable in sorted(...)",
+                )
+        for expression in self._iter_scope_expressions(scope):
+            if isinstance(expression, (ast.ListComp, ast.DictComp, ast.GeneratorExp)):
+                if isinstance(expression, ast.GeneratorExp) and self._exempt_generator(
+                    expression
+                ):
+                    continue
+                for generator in expression.generators:
+                    if self._is_setish(generator.iter, set_names):
+                        self.report(
+                            generator.iter,
+                            "comprehension over a set feeds its nondeterministic "
+                            "iteration order into an ordered result; wrap the "
+                            "iterable in sorted(...)",
+                        )
+
+    def visit_Module(self, node: ast.Module) -> None:
+        self._check_scope(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_scope(node)

@@ -1,0 +1,253 @@
+"""General correctness-hygiene rules (REP005, REP006, REP008).
+
+These are not Gavel-specific in spirit, but each earns its place from a
+concrete failure mode in this codebase: float equality silently diverging a
+water-filling level loop or a bisection step, a mutable default leaking
+state between policy instantiations, and drift between ``__all__`` and the
+actually-public module surface (the package is now a typed dependency —
+``py.typed`` — so its exports are a contract).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.analysis.config import path_matches
+from repro.analysis.rules.base import Rule, register, scope_statements
+
+__all__ = ["DunderAllConsistencyRule", "FloatEqualityRule", "MutableDefaultRule"]
+
+#: math functions whose results are inexact floats.
+_FLOAT_FUNCTIONS = (
+    "math.sqrt",
+    "math.exp",
+    "math.expm1",
+    "math.log",
+    "math.log1p",
+    "math.log2",
+    "math.log10",
+    "math.pow",
+    "math.sin",
+    "math.cos",
+    "math.tan",
+    "math.hypot",
+    "math.fsum",
+)
+
+
+@register
+class FloatEqualityRule(Rule):
+    """REP005: ``==``/``!=`` on a computed float.
+
+    Flags comparisons where either side is visibly inexact: a non-integral
+    float literal, an arithmetic expression containing division, a power, or
+    a non-integral float constant, or a known float-valued ``math`` call.
+    Exact sentinel comparisons like ``x == 0.0`` pass — storing and
+    re-comparing an unmodified float is well-defined; *recomputing* one is
+    not.
+    """
+
+    code = "REP005"
+    name = "float-equality"
+    summary = "float ==/!= on a computed value"
+
+    #: Comparing against one of these is already tolerance-aware
+    #: (``value == pytest.approx(expected)`` is the recommended fix).
+    _TOLERANCE_CALLS = ("approx",)
+
+    def _tolerance_guarded(self, node: ast.expr) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        guards = tuple(self.context.option(self.code, "tolerance_calls", self._TOLERANCE_CALLS))
+        if isinstance(node.func, ast.Attribute):
+            return node.func.attr in guards
+        return isinstance(node.func, ast.Name) and node.func.id in guards
+
+    def _inexact(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float) and not node.value.is_integer()
+        if isinstance(node, ast.UnaryOp):
+            return self._inexact(node.operand)
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, (ast.Div, ast.Pow)):
+                return True
+            return self._inexact(node.left) or self._inexact(node.right)
+        if isinstance(node, ast.Call):
+            dotted = self.context.dotted_name(node.func)
+            functions = tuple(
+                self.context.option(self.code, "float_functions", _FLOAT_FUNCTIONS)
+            )
+            return dotted in functions if dotted else False
+        return False
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[index], operands[index + 1]
+            if self._tolerance_guarded(left) or self._tolerance_guarded(right):
+                continue
+            if self._inexact(left) or self._inexact(right):
+                self.report(
+                    node,
+                    "float equality on a computed value is tolerance-blind; "
+                    "compare with math.isclose(...) or an explicit epsilon",
+                )
+
+
+@register
+class MutableDefaultRule(Rule):
+    """REP006: mutable default argument shared across calls."""
+
+    code = "REP006"
+    name = "mutable-default-argument"
+    summary = "mutable default argument"
+
+    _MUTABLE_CALLS = (
+        "list",
+        "dict",
+        "set",
+        "bytearray",
+        "collections.defaultdict",
+        "collections.OrderedDict",
+        "collections.Counter",
+        "collections.deque",
+    )
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            dotted = self.context.dotted_name(node.func)
+            if dotted is None and isinstance(node.func, ast.Name):
+                dotted = node.func.id
+            mutable = tuple(self.context.option(self.code, "mutable_calls", self._MUTABLE_CALLS))
+            return dotted in mutable if dotted else False
+        return False
+
+    def _check_arguments(self, node: ast.AST, args: ast.arguments) -> None:
+        for default in (*args.defaults, *args.kw_defaults):
+            if default is not None and self._is_mutable(default):
+                self.report(
+                    default,
+                    "mutable default argument is shared across every call; "
+                    "default to None and construct inside the function",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_arguments(node, node.args)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_arguments(node, node.args)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_arguments(node, node.args)
+
+
+@register
+class DunderAllConsistencyRule(Rule):
+    """REP008: ``__all__`` must exist (in the library) and match reality.
+
+    Three checks: every ``__all__`` entry is actually bound at module top
+    level, no duplicates, and every public top-level ``def``/``class`` is
+    exported.  Modules under the configured ``require_in`` paths must define
+    ``__all__`` at all — the package ships ``py.typed``, so the import
+    surface is part of the typed API contract.
+    """
+
+    code = "REP008"
+    name = "dunder-all-consistency"
+    summary = "__all__ out of sync with the module's public names"
+
+    _REQUIRE_IN = ("src/repro",)
+    _EXEMPT_BASENAMES = ("__main__.py", "conftest.py", "setup.py")
+
+    def visit_Module(self, node: ast.Module) -> None:
+        dunder_all: List[str] = []
+        dunder_all_node: ast.stmt | None = None
+        statically_checkable = True
+        bound: Set[str] = set()
+        star_import = False
+        public_defs: List[Tuple[str, ast.stmt]] = []
+
+        for statement in scope_statements(node):
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(statement.name)
+                if not statement.name.startswith("_"):
+                    public_defs.append((statement.name, statement))
+            elif isinstance(statement, ast.Assign):
+                for target in statement.targets:
+                    for name_node in ast.walk(target):
+                        if isinstance(name_node, ast.Name):
+                            bound.add(name_node.id)
+                if (
+                    len(statement.targets) == 1
+                    and isinstance(statement.targets[0], ast.Name)
+                    and statement.targets[0].id == "__all__"
+                ):
+                    dunder_all_node = statement
+                    if isinstance(statement.value, (ast.List, ast.Tuple)) and all(
+                        isinstance(element, ast.Constant) and isinstance(element.value, str)
+                        for element in statement.value.elts
+                    ):
+                        dunder_all = [
+                            element.value
+                            for element in statement.value.elts
+                            if isinstance(element, ast.Constant)
+                        ]
+                    else:
+                        statically_checkable = False
+            elif isinstance(statement, ast.AnnAssign) and isinstance(
+                statement.target, ast.Name
+            ):
+                bound.add(statement.target.id)
+            elif isinstance(statement, ast.Import):
+                for alias in statement.names:
+                    bound.add(alias.asname or alias.name.split(".", 1)[0])
+            elif isinstance(statement, ast.ImportFrom):
+                for alias in statement.names:
+                    if alias.name == "*":
+                        star_import = True
+                    else:
+                        bound.add(alias.asname or alias.name)
+
+        basename = self.context.rel_path.rsplit("/", 1)[-1]
+        if dunder_all_node is None:
+            require_in = tuple(self.context.option(self.code, "require_in", self._REQUIRE_IN))
+            exempt = tuple(
+                self.context.option(self.code, "exempt_basenames", self._EXEMPT_BASENAMES)
+            )
+            if basename not in exempt and path_matches(self.context.rel_path, require_in):
+                self.report(
+                    node,
+                    "module defines no __all__; the typed package's public API "
+                    "must be explicit",
+                )
+            return
+        if not statically_checkable:
+            self.report(
+                dunder_all_node,
+                "__all__ is not a literal list/tuple of strings, so it cannot "
+                "be checked statically",
+            )
+            return
+
+        seen: Set[str] = set()
+        for exported in dunder_all:
+            if exported in seen:
+                self.report(dunder_all_node, f"duplicate name `{exported}` in __all__")
+            seen.add(exported)
+            if not star_import and exported not in bound:
+                self.report(
+                    dunder_all_node,
+                    f"name `{exported}` in __all__ is not defined in the module",
+                )
+        for public_name, definition in public_defs:
+            if public_name not in seen:
+                self.report(
+                    definition,
+                    f"public name `{public_name}` is missing from __all__; export "
+                    "it or rename it with a leading underscore",
+                )

@@ -1,0 +1,148 @@
+"""Rules guarding the solver/session mutation contract (REP001, REP007).
+
+The warm-start architecture keeps a Python-side :class:`LinearProgram` and a
+live HiGHS model in lockstep by replaying edits.  That contract has exactly
+two failure modes this module lints for: a status-returning backend call whose
+result nobody checks (the model silently diverges from the program — the
+PR 6 ``addRows`` bug), and code outside the owning object reaching into the
+``_highs``/``_program`` internals, mutating state the edit log never sees.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.rules.base import Rule, register, scope_statements
+
+__all__ = ["IgnoredSolverStatusRule", "PrivateInternalReachInRule"]
+
+#: HiGHS methods returning a ``HighsStatus`` that must be checked.  Everything
+#: here either mutates the model (a rejected batch desynchronises it) or runs
+#: the solve itself.
+_STATUS_METHODS = (
+    "addCol",
+    "addCols",
+    "addRow",
+    "addRows",
+    "addVar",
+    "addVars",
+    "changeCoeff",
+    "changeColBounds",
+    "changeColCost",
+    "changeColsBounds",
+    "changeColsCost",
+    "changeObjectiveOffset",
+    "changeObjectiveSense",
+    "changeRowBounds",
+    "changeRowsBounds",
+    "deleteCols",
+    "deleteRows",
+    "deleteVars",
+    "passModel",
+    "run",
+    "setBasis",
+    "setOptionValue",
+    "setSolution",
+)
+
+#: Receiver-name fragments identifying a HiGHS handle (``highs.run()``,
+#: ``self._highs.addRows(...)``); keeps ``subprocess.run()`` and friends out.
+_RECEIVER_HINTS = ("highs",)
+
+
+@register
+class IgnoredSolverStatusRule(Rule):
+    """REP001: the return status of a solver-backend call is ignored.
+
+    Two shapes are flagged: a bare expression statement (the status is
+    discarded outright) and an assignment to a name that is never read
+    afterwards in the same scope (the PR 6 revert shape — ``status =
+    highs.addRows(...)`` with the ``kError`` check deleted).
+    """
+
+    code = "REP001"
+    name = "ignored-solver-status"
+    summary = "return status of a solver-backend call is ignored"
+
+    def _matches(self, call: ast.Call) -> str:
+        if not isinstance(call.func, ast.Attribute):
+            return ""
+        methods = tuple(self.context.option(self.code, "methods", _STATUS_METHODS))
+        if call.func.attr not in methods:
+            return ""
+        hints = tuple(self.context.option(self.code, "receivers", _RECEIVER_HINTS))
+        tail = self.context.receiver_tail(call.func.value)
+        if tail is None or not any(hint in tail.lower() for hint in hints):
+            return ""
+        return call.func.attr
+
+    def _check_scope(self, scope: ast.AST) -> None:
+        assigned: List[Tuple[ast.Assign, str, str]] = []
+        for statement in scope_statements(scope):
+            if isinstance(statement, ast.Expr) and isinstance(statement.value, ast.Call):
+                method = self._matches(statement.value)
+                if method:
+                    self.report(
+                        statement,
+                        f"return status of `{method}(...)` is ignored; check it "
+                        "against HighsStatus and raise SolverError on failure",
+                    )
+            elif isinstance(statement, ast.Assign) and isinstance(statement.value, ast.Call):
+                if len(statement.targets) == 1 and isinstance(statement.targets[0], ast.Name):
+                    method = self._matches(statement.value)
+                    if method:
+                        assigned.append((statement, statement.targets[0].id, method))
+        if not assigned:
+            return
+        loads: Set[str] = {
+            node.id
+            for node in ast.walk(scope)
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)
+        }
+        for statement, target, method in assigned:
+            if target not in loads:
+                self.report(
+                    statement,
+                    f"solver status of `{method}(...)` is assigned to `{target}` "
+                    "but never checked",
+                )
+
+    def visit_Module(self, node: ast.Module) -> None:
+        self._check_scope(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_scope(node)
+
+
+@register
+class PrivateInternalReachInRule(Rule):
+    """REP007: cross-object access to private solver/session internals.
+
+    ``obj._highs`` / ``obj._program`` from anything but ``self``/``cls``
+    bypasses the mutation-handle API: edits made behind the program's back
+    are invisible to the edit log the warm-start replay depends on.
+    """
+
+    code = "REP007"
+    name = "private-internal-reach-in"
+    summary = "cross-object reach-in to private solver/session internals"
+    default_include = ("src/repro",)
+
+    _ATTRIBUTES = ("_highs", "_program")
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        attributes = tuple(self.context.option(self.code, "attributes", self._ATTRIBUTES))
+        if node.attr not in attributes:
+            return
+        receiver = node.value
+        if isinstance(receiver, ast.Name) and receiver.id in ("self", "cls"):
+            return
+        self.report(
+            node,
+            f"reach-in to private internal `.{node.attr}` from outside the owning "
+            "object bypasses the mutation-handle API; use the owner's public surface",
+        )

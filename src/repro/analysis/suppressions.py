@@ -1,0 +1,91 @@
+"""Per-line ``repro: noqa[REP0xx]`` suppression comments.
+
+The suppression grammar is deliberately narrow — every suppression must name
+the rule codes it silences *and* carry a rationale after ``--``, as a comment
+of the form ``repro: noqa[REP005] -- exact handoff value, not computed``.
+
+Blanket ``repro: noqa`` comments and rationale-free suppressions are
+reported as :data:`~repro.analysis.violations.SUPPRESSION_CODE` violations,
+as are suppressions whose codes never fire on their line (the
+unused-suppression check): a suppression that outlives the violation it was
+written for must be deleted, not inherited.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Sequence, Set, Tuple
+
+__all__ = ["Suppression", "scan_suppressions"]
+
+#: Matches the whole suppression comment; group 1 is the bracketed code list
+#: (absent for a blanket ``noqa``), group 2 the rationale after ``--``.
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa"
+    r"(?:\[(?P<codes>[^\]]*)\])?"
+    r"(?:\s*--\s*(?P<rationale>\S.*))?",
+)
+
+_CODE = re.compile(r"^REP\d{3}$")
+
+
+@dataclass
+class Suppression:
+    """One suppression comment, with the bookkeeping for the unused check."""
+
+    line: int
+    codes: Tuple[str, ...]
+    rationale: str
+    blanket: bool = False
+    malformed_codes: Tuple[str, ...] = ()
+    used: Set[str] = field(default_factory=set)
+
+    def suppresses(self, code: str) -> bool:
+        return code in self.codes
+
+    def mark_used(self, code: str) -> None:
+        self.used.add(code)
+
+    def unused_codes(self) -> Tuple[str, ...]:
+        return tuple(code for code in self.codes if code not in self.used)
+
+
+def scan_suppressions(lines: Sequence[str]) -> List[Suppression]:
+    """Extract suppression comments from raw source lines (1-indexed output).
+
+    The scan is purely textual; a ``repro: noqa`` inside a string literal
+    would be picked up too.  That is the same trade-off flake8 makes, and in
+    exchange suppressions survive even on lines the parser cannot map
+    cleanly (decorators, multi-line statements).
+    """
+    found: List[Suppression] = []
+    for lineno, text in enumerate(lines, start=1):
+        match = _NOQA.search(text)
+        if match is None:
+            continue
+        raw_codes = match.group("codes")
+        rationale = match.group("rationale") or ""
+        if raw_codes is None:
+            found.append(Suppression(line=lineno, codes=(), rationale=rationale, blanket=True))
+            continue
+        codes: List[str] = []
+        malformed: List[str] = []
+        for token in raw_codes.split(","):
+            cleaned = token.strip()
+            if not cleaned:
+                continue
+            if _CODE.match(cleaned):
+                codes.append(cleaned)
+            else:
+                malformed.append(cleaned)
+        found.append(
+            Suppression(
+                line=lineno,
+                codes=tuple(codes),
+                rationale=rationale,
+                blanket=not codes and not malformed,
+                malformed_codes=tuple(malformed),
+            )
+        )
+    return found

@@ -1,0 +1,37 @@
+"""The one value every rule produces: a located, coded violation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["PARSE_ERROR_CODE", "SUPPRESSION_CODE", "Violation"]
+
+#: Code reported for suppression-comment misuse (unused or rationale-free
+#: ``repro: noqa`` comments).  Not a registered rule: the engine itself emits it.
+SUPPRESSION_CODE = "REP000"
+
+#: Code reported when a scanned file cannot be parsed as Python at all.
+PARSE_ERROR_CODE = "REP999"
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule violation at a specific source location.
+
+    Ordering is lexicographic over ``(path, line, col, code)`` so reports are
+    stable regardless of rule execution order.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+    def render(self) -> str:
+        """``path:line:col: CODE message`` — the text-reporter line format."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"

@@ -36,9 +36,9 @@ from repro.cluster import ClusterSpec
 from repro.core import available_policies, make_policy
 from repro.exceptions import ConfigurationError, SchedulingError, UnknownJobError
 from repro.harness import format_series, format_table, run_policy_on_trace, steady_state_job_ids
-from repro.scheduler import ClusterScheduler
+from repro.scheduler import ClusterScheduler, SimulationResult
 from repro.simulator import SimulatorConfig
-from repro.workloads import ThroughputOracle, TraceGenerator, TraceGeneratorConfig
+from repro.workloads import ThroughputOracle, Trace, TraceGenerator, TraceGeneratorConfig
 
 __all__ = ["main", "build_parser"]
 
@@ -234,7 +234,7 @@ def _command_policies() -> int:
     return 0
 
 
-def _build_trace(args: argparse.Namespace, oracle: ThroughputOracle):
+def _build_trace(args: argparse.Namespace, oracle: ThroughputOracle) -> Trace:
     generator = _make_generator(oracle, args.multi_worker)
     if args.jobs_per_hour is None:
         return generator.generate_static(num_jobs=args.num_jobs, seed=args.seed)
@@ -243,7 +243,9 @@ def _build_trace(args: argparse.Namespace, oracle: ThroughputOracle):
     )
 
 
-def _summary_rows(result, trace, cluster) -> List[List[object]]:
+def _summary_rows(
+    result: SimulationResult, trace: Trace, cluster: ClusterSpec
+) -> List[List[object]]:
     window = steady_state_job_ids(trace) if not trace.is_static() else None
     completed = result.completed_job_ids()
     rows = [

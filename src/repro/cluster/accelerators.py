@@ -82,7 +82,7 @@ class AcceleratorRegistry:
     use names.
     """
 
-    def __init__(self, accelerator_types: Optional[Iterable[AcceleratorType]] = None):
+    def __init__(self, accelerator_types: Optional[Iterable[AcceleratorType]] = None) -> None:
         types = tuple(accelerator_types) if accelerator_types is not None else DEFAULT_ACCELERATOR_TYPES
         if not types:
             raise ConfigurationError("registry requires at least one accelerator type")

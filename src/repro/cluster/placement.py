@@ -55,7 +55,7 @@ class Placement:
 class Placer:
     """Greedy bin-packing placer preferring consolidated placements."""
 
-    def __init__(self, topology: ClusterTopology):
+    def __init__(self, topology: ClusterTopology) -> None:
         self._topology = topology
 
     def place(self, requests: Sequence[PlacementRequest]) -> List[Placement]:

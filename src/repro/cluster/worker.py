@@ -57,7 +57,7 @@ class ClusterTopology:
     devices each (the last server of a type may be partially filled).
     """
 
-    def __init__(self, spec: ClusterSpec, workers_per_server: int = 4):
+    def __init__(self, spec: ClusterSpec, workers_per_server: int = 4) -> None:
         if workers_per_server <= 0:
             raise ConfigurationError(
                 f"workers_per_server must be positive, got {workers_per_server}"

@@ -335,7 +335,7 @@ class AggregatedSession(PolicySession):
     the inner session's updates.
     """
 
-    def __init__(self, policy: Policy, problem: PolicyProblem):
+    def __init__(self, policy: Policy, problem: PolicyProblem) -> None:
         super().__init__(policy, problem)
         self._view = AggregatedProblem.build(problem)
         self._inner = policy._make_session(self._view.problem)

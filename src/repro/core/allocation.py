@@ -30,7 +30,7 @@ class Allocation:
         registry: AcceleratorRegistry,
         entries: Mapping[JobCombination, np.ndarray],
         scale_factors: Optional[Mapping[int, int]] = None,
-    ):
+    ) -> None:
         self._registry = registry
         self._entries: Dict[JobCombination, np.ndarray] = {}
         for combination, values in entries.items():

@@ -76,7 +76,7 @@ class PairThroughputCache:
         model: ColocationModel,
         accelerator_names: Tuple[str, ...],
         threshold: float = 1.1,
-    ):
+    ) -> None:
         self._model = model
         self._names = tuple(accelerator_names)
         self._threshold = float(threshold)
@@ -174,7 +174,7 @@ class AllocationEngine:
         colocation_threshold: float = 1.1,
         consolidated: bool = True,
         aggregation: str = "job",
-    ):
+    ) -> None:
         if aggregation not in ("job", "type"):
             raise ConfigurationError(
                 f"unknown aggregation mode {aggregation!r}; expected 'job' or 'type'"
@@ -286,7 +286,7 @@ class AllocationEngine:
     def _remove_pair_row(self, combination: JobCombination) -> None:
         """Drop one pair row from the store and the per-job row index."""
         self._pairs.pop(combination, None)
-        for job_id in set(combination):
+        for job_id in dict.fromkeys(combination):
             rows = self._pair_rows_by_job.get(job_id)
             if rows is not None:
                 rows.discard(combination)
@@ -442,7 +442,9 @@ class AllocationEngine:
             for key in stale:
                 self._remove_pair_row(self._type_pair_reps.pop(key))
             active = sorted(self._single_worker_by_type)
-            for type_a in job_types:
+            # Sorted: pair-row insertion order must not depend on the hash-
+            # seeded iteration order of a frozenset of type names.
+            for type_a in sorted(job_types):
                 if type_a not in self._single_worker_by_type:
                     continue
                 for type_b in active:

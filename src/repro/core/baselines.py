@@ -54,7 +54,7 @@ class GandivaPolicy(Policy):
 
     name = "gandiva"
 
-    def __init__(self, packing_trials: int = 50, seed: int = 0, space_sharing: bool = True):
+    def __init__(self, packing_trials: int = 50, seed: int = 0, space_sharing: bool = True) -> None:
         # Gandiva is inherently heterogeneity-agnostic; packing is its form of
         # space sharing.
         super().__init__(heterogeneity_agnostic=True, space_sharing=space_sharing)
@@ -158,7 +158,7 @@ class AlloXPolicy(Policy):
 
     name = "allox"
 
-    def __init__(self, space_sharing: bool = False):
+    def __init__(self, space_sharing: bool = False) -> None:
         super().__init__(heterogeneity_agnostic=False, space_sharing=False)
 
     def compute_allocation(self, problem: PolicyProblem) -> Allocation:

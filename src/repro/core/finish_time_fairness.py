@@ -29,6 +29,7 @@ from repro.core.effective_throughput import isolated_reference_throughput
 from repro.core.policy import Policy
 from repro.core.problem import PolicyProblem
 from repro.core.session import PolicySession, ThroughputFeasibilitySession
+from repro.core.throughput_matrix import ThroughputMatrix
 from repro.exceptions import InfeasibleError
 from repro.solver.bisection import bisect_min_feasible
 
@@ -72,7 +73,7 @@ class FinishTimeFairnessPolicy(Policy):
         space_sharing: bool = False,
         relative_tolerance: float = 1e-2,
         max_rho: float = 64.0,
-    ):
+    ) -> None:
         super().__init__(heterogeneity_agnostic=heterogeneity_agnostic, space_sharing=space_sharing)
         self._relative_tolerance = relative_tolerance
         self._max_rho = max_rho
@@ -83,7 +84,9 @@ class FinishTimeFairnessPolicy(Policy):
     def compute_allocation(self, problem: PolicyProblem) -> Allocation:
         return self.session(problem).solve(problem)
 
-    def _isolated_finish_times(self, problem: PolicyProblem, matrix) -> Dict[int, float]:
+    def _isolated_finish_times(
+        self, problem: PolicyProblem, matrix: ThroughputMatrix
+    ) -> Dict[int, float]:
         """The constant denominators ``D_m`` of the rho metric."""
         num_jobs = problem.num_jobs
         finish_times: Dict[int, float] = {}

@@ -77,7 +77,7 @@ class _WaterFillingPolicyBase(Policy):
         space_sharing: bool = False,
         use_milp_bottleneck_detection: bool = True,
         incremental: bool = True,
-    ):
+    ) -> None:
         super().__init__(
             heterogeneity_agnostic=heterogeneity_agnostic, space_sharing=space_sharing
         )
@@ -106,7 +106,7 @@ class _WaterFillingPolicyBase(Policy):
         return None
 
     # -- policy interface ------------------------------------------------------------------
-    def _make_session(self, problem: PolicyProblem):
+    def _make_session(self, problem: PolicyProblem) -> PolicySession:
         if not self._incremental:
             from repro.core.session import RebuildSession
 
@@ -152,7 +152,7 @@ class HierarchicalPolicy(_WaterFillingPolicyBase):
         use_milp_bottleneck_detection: bool = True,
         incremental: bool = True,
         entity_fallback: str = _STRICT,
-    ):
+    ) -> None:
         super().__init__(
             heterogeneity_agnostic=heterogeneity_agnostic,
             space_sharing=space_sharing,

@@ -19,7 +19,7 @@ per candidate.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.core.allocation import Allocation
 from repro.core.effective_throughput import (
@@ -29,6 +29,7 @@ from repro.core.effective_throughput import (
 from repro.core.policy import Policy
 from repro.core.problem import PolicyProblem
 from repro.core.session import PolicySession, ThroughputFeasibilitySession
+from repro.core.throughput_matrix import ThroughputMatrix
 from repro.exceptions import InfeasibleError
 from repro.solver.bisection import bisect_min_feasible
 
@@ -45,7 +46,7 @@ class MakespanPolicy(Policy):
         heterogeneity_agnostic: bool = False,
         space_sharing: bool = False,
         relative_tolerance: float = 1e-2,
-    ):
+    ) -> None:
         super().__init__(heterogeneity_agnostic=heterogeneity_agnostic, space_sharing=space_sharing)
         self._relative_tolerance = relative_tolerance
 
@@ -55,7 +56,9 @@ class MakespanPolicy(Policy):
     def compute_allocation(self, problem: PolicyProblem) -> Allocation:
         return self.session(problem).solve(problem)
 
-    def _makespan_bounds(self, problem: PolicyProblem, matrix) -> tuple:
+    def _makespan_bounds(
+        self, problem: PolicyProblem, matrix: ThroughputMatrix
+    ) -> Tuple[float, float]:
         """A guaranteed-feasible upper bound and a safe lower bound on the makespan.
 
         Upper bound: every job running under the equal 1/n isolated share

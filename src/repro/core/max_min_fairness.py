@@ -30,6 +30,7 @@ from repro.core.effective_throughput import normalized_throughput_scale
 from repro.core.policy import AllocationVariables, OptimizationPolicy
 from repro.core.problem import PolicyProblem
 from repro.core.session import IncrementalProgramSession, PolicySession
+from repro.core.throughput_matrix import ThroughputMatrix
 from repro.solver.lp import LinearExpression, LinearProgram
 
 __all__ = ["MaxMinFairnessPolicy", "MaxMinFairnessSession"]
@@ -43,7 +44,9 @@ class MaxMinFairnessPolicy(OptimizationPolicy):
     def _make_session(self, problem: PolicyProblem) -> PolicySession:
         return MaxMinFairnessSession(self, problem)
 
-    def normalized_throughput_scale(self, problem: PolicyProblem, matrix, job_id: int) -> float:
+    def normalized_throughput_scale(
+        self, problem: PolicyProblem, matrix: ThroughputMatrix, job_id: int
+    ) -> float:
         """The factor turning ``throughput(m, X)`` into the LAS objective term.
 
         Delegates to the shared
@@ -80,7 +83,7 @@ class MaxMinFairnessSession(IncrementalProgramSession):
     are edited in place rather than rebuilt, so unchanged jobs cost nothing.
     """
 
-    def __init__(self, policy: MaxMinFairnessPolicy, problem: PolicyProblem):
+    def __init__(self, policy: MaxMinFairnessPolicy, problem: PolicyProblem) -> None:
         super().__init__(policy, problem, LinearProgram(name=policy.display_name))
         self._epigraph = self._program.add_variable(name="max_min_t", lower=-math.inf)
         self._program.maximize({self._epigraph.index: 1.0})
@@ -128,7 +131,7 @@ class MaxMinFairnessSession(IncrementalProgramSession):
             self._scales[job_id] = scale
             self._expressions[job_id] = expression
 
-    def _align_vectorized(self, problem: PolicyProblem, matrix) -> None:
+    def _align_vectorized(self, problem: PolicyProblem, matrix: ThroughputMatrix) -> None:
         """Columnar twin of the per-job epigraph alignment (same rows, same order).
 
         A from-scratch alignment (first solve, or every job changed) emits

@@ -25,7 +25,7 @@ class MaxTotalThroughputPolicy(OptimizationPolicy):
         heterogeneity_agnostic: bool = False,
         space_sharing: bool = False,
         normalize: bool = True,
-    ):
+    ) -> None:
         super().__init__(heterogeneity_agnostic=heterogeneity_agnostic, space_sharing=space_sharing)
         self._normalize = normalize
 

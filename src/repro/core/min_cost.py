@@ -16,7 +16,7 @@ minimum-progress / SLO constraints) each round.
 from __future__ import annotations
 
 import math
-from typing import Optional, Set
+from typing import Optional, Set, Tuple
 
 import numpy as np
 
@@ -25,6 +25,7 @@ from repro.core.effective_throughput import fastest_reference_throughput
 from repro.core.policy import AllocationVariables, Policy
 from repro.core.problem import PolicyProblem
 from repro.core.session import OBJECTIVE_TAG, IncrementalProgramSession, PolicySession
+from repro.core.throughput_matrix import ThroughputMatrix
 from repro.exceptions import InfeasibleError, SolverError
 from repro.solver.fractional import FractionalProgram
 from repro.solver.lp import LinearExpression
@@ -43,13 +44,13 @@ class MinCostPolicy(Policy):
         space_sharing: bool = False,
         normalize: bool = True,
         minimum_normalized_throughput: float = 1e-3,
-    ):
+    ) -> None:
         super().__init__(heterogeneity_agnostic=heterogeneity_agnostic, space_sharing=space_sharing)
         self._normalize = normalize
         self._minimum_normalized_throughput = minimum_normalized_throughput
 
     # -- shared LP construction --------------------------------------------------
-    def _normalizer(self, matrix, job_id: int) -> float:
+    def _normalizer(self, matrix: ThroughputMatrix, job_id: int) -> float:
         if not self._normalize:
             return 1.0
         fastest = fastest_reference_throughput(matrix, job_id)
@@ -132,7 +133,9 @@ class MinCostPolicy(Policy):
                 )
         return numerator
 
-    def _build_program(self, problem: PolicyProblem):
+    def _build_program(
+        self, problem: PolicyProblem
+    ) -> Tuple[ThroughputMatrix, FractionalProgram, AllocationVariables]:
         matrix = self.effective_matrix(problem)
         program = FractionalProgram(name=self.display_name)
         variables = AllocationVariables(problem, matrix, program)
@@ -170,7 +173,7 @@ class MinCostWithSLOsPolicy(MinCostPolicy):
             return None
         return problem.remaining_steps(job_id) / remaining_time
 
-    def _achievable_slo_jobs(self, problem: PolicyProblem, matrix) -> Set[int]:
+    def _achievable_slo_jobs(self, problem: PolicyProblem, matrix: ThroughputMatrix) -> Set[int]:
         achievable: Set[int] = set()
         for job_id in problem.job_ids:
             required = self._required_throughput(problem, job_id)
@@ -184,7 +187,7 @@ class MinCostWithSLOsPolicy(MinCostPolicy):
 class MinCostSession(IncrementalProgramSession):
     """Stateful min-cost solver over a live :class:`FractionalProgram`."""
 
-    def __init__(self, policy: MinCostPolicy, problem: PolicyProblem):
+    def __init__(self, policy: MinCostPolicy, problem: PolicyProblem) -> None:
         super().__init__(policy, problem, FractionalProgram(name=policy.display_name))
 
     def _prepare(self, problem: PolicyProblem) -> None:
@@ -206,7 +209,7 @@ class MinCostSession(IncrementalProgramSession):
 class MinCostWithSLOsSession(IncrementalProgramSession):
     """Min-cost-with-SLOs solver: retry loop dropping unachievable SLOs."""
 
-    def __init__(self, policy: MinCostWithSLOsPolicy, problem: PolicyProblem):
+    def __init__(self, policy: MinCostWithSLOsPolicy, problem: PolicyProblem) -> None:
         super().__init__(policy, problem, FractionalProgram(name=policy.display_name))
 
     def _solve(self, problem: PolicyProblem) -> Allocation:
@@ -221,7 +224,7 @@ class MinCostWithSLOsSession(IncrementalProgramSession):
             program.begin_tag(OBJECTIVE_TAG)
             try:
                 policy._add_objective(problem, variables, program)
-                for job_id in achievable - dropped:
+                for job_id in sorted(achievable - dropped):
                     required = policy._required_throughput(problem, job_id)
                     if required is None:
                         continue

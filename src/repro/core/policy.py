@@ -95,7 +95,7 @@ class Policy(abc.ABC):
     #: option; a class attribute so existing constructors stay untouched.
     aggregation: str = "job"
 
-    def __init__(self, heterogeneity_agnostic: bool = False, space_sharing: bool = False):
+    def __init__(self, heterogeneity_agnostic: bool = False, space_sharing: bool = False) -> None:
         self._heterogeneity_agnostic = heterogeneity_agnostic
         self._space_sharing = space_sharing
 
@@ -197,7 +197,7 @@ class AllocationVariables:
         matrix: ThroughputMatrix,
         program: _Program,
         vectorized: Optional[bool] = None,
-    ):
+    ) -> None:
         self._problem = problem
         self._matrix = matrix
         self._program = program
@@ -420,11 +420,13 @@ class AllocationVariables:
         old_combinations = set(self._row_values)
         new_combinations = set(matrix.combinations)
 
-        for combination in old_combinations - new_combinations:
+        # Sorted: removal order decides variable-recycling order, which decides
+        # the column layout later inserts reuse.
+        for combination in sorted(old_combinations - new_combinations):
             self._remove_combination(combination)
 
         # Persisting rows: detect value changes (refined pair estimates).
-        for combination in old_combinations & new_combinations:
+        for combination in sorted(old_combinations & new_combinations):
             row = matrix.row(combination)
             if not np.array_equal(row, self._row_values[combination]):
                 self._row_values[combination] = row
@@ -464,7 +466,7 @@ class AllocationVariables:
         already used the new counts).
         """
         touched_rows: Dict[JobCombination, None] = {}
-        for job_id in changed_jobs:
+        for job_id in sorted(changed_jobs):
             handle = self._job_constraints.get(job_id)
             if handle is not None:
                 self._program.set_constraint_bounds(

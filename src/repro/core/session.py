@@ -34,7 +34,7 @@ from typing import Iterable, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.core.allocation import Allocation
-from repro.core.policy import AllocationVariables, OptimizationPolicy, Policy
+from repro.core.policy import AllocationVariables, OptimizationPolicy, Policy, _Program
 from repro.core.problem import PolicyProblem
 from repro.exceptions import ConfigurationError, InfeasibleError, SolverError
 from repro.solver.lp import LinearExpression, LinearProgram
@@ -120,7 +120,7 @@ class PolicySession(abc.ABC):
     that deltas do not carry; passing ``None`` re-solves the last snapshot.
     """
 
-    def __init__(self, policy: Policy, problem: PolicyProblem):
+    def __init__(self, policy: Policy, problem: PolicyProblem) -> None:
         self._policy = policy
         self._problem = problem
         self._pending: List[PolicyDelta] = []
@@ -198,7 +198,7 @@ class IncrementalProgramSession(PolicySession):
     memoizes its matrix, so an unchanged cluster hits this path).
     """
 
-    def __init__(self, policy: Policy, problem: PolicyProblem, program) -> None:
+    def __init__(self, policy: Policy, problem: PolicyProblem, program: _Program) -> None:
         super().__init__(policy, problem)
         self._program = program
         self._variables = AllocationVariables(
@@ -208,7 +208,7 @@ class IncrementalProgramSession(PolicySession):
         self._problem_seen = problem
 
     @property
-    def program(self):
+    def program(self) -> _Program:
         """The live solver program (exposed for tests and diagnostics)."""
         return self._program
 
@@ -240,7 +240,7 @@ class IncrementalLPSession(IncrementalProgramSession):
     every job whose rows did not change.
     """
 
-    def __init__(self, policy: OptimizationPolicy, problem: PolicyProblem):
+    def __init__(self, policy: OptimizationPolicy, problem: PolicyProblem) -> None:
         if not isinstance(policy, OptimizationPolicy):
             raise ConfigurationError(
                 f"{type(policy).__name__} is not an OptimizationPolicy; "
@@ -276,7 +276,7 @@ class ThroughputFeasibilitySession(IncrementalProgramSession):
     rounds.
     """
 
-    def __init__(self, policy: Policy, problem: PolicyProblem):
+    def __init__(self, policy: Policy, problem: PolicyProblem) -> None:
         super().__init__(policy, problem, LinearProgram(name=policy.display_name))
         self._feasibility: dict = {}
         self._feasibility_exprs: dict = {}

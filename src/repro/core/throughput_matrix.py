@@ -98,7 +98,7 @@ class ThroughputMatrix:
         self,
         registry: AcceleratorRegistry,
         entries: Mapping[JobCombination, np.ndarray],
-    ):
+    ) -> None:
         if not entries:
             raise ConfigurationError("throughput matrix must contain at least one row")
         singles: Dict[int, np.ndarray] = {}

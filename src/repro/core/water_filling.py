@@ -56,7 +56,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Set, Tuple
 
 import numpy as np
 
@@ -72,6 +72,9 @@ from repro.core.session import IncrementalProgramSession
 from repro.core.throughput_matrix import ThroughputMatrix
 from repro.exceptions import ConfigurationError, InfeasibleError, SolverError
 from repro.solver.lp import LinearExpression, LinearProgram
+
+if TYPE_CHECKING:  # circular at runtime: hierarchical imports this module
+    from repro.core.hierarchical import _WaterFillingPolicyBase
 
 __all__ = ["WaterFillingResult", "WaterFillingAllocator", "WaterFillingSession"]
 
@@ -165,7 +168,7 @@ class _LevelLoopProgram:
         program: LinearProgram,
         variables: AllocationVariables,
         use_milp_bottleneck_detection: bool = True,
-    ):
+    ) -> None:
         self._program = program
         self._variables = variables
         self._use_milp = use_milp_bottleneck_detection
@@ -421,7 +424,9 @@ class _LevelLoopProgram:
         program.set_constraint_bounds_from_arrays(floor_handles, lower=floor_lowers)
         improvable: Set[int] = set()
         try:
-            for job_id in candidates:
+            # Sorted: each probe re-solves the warm program, so probe order is
+            # part of the deterministic solve trajectory.
+            for job_id in sorted(candidates):
                 cols, vals = self._terms[job_id]
                 program.set_objective_from_arrays(
                     cols, vals * self._norms[job_id], maximize=True
@@ -471,7 +476,7 @@ class _LevelLoopProgram:
                 break
             self._begin_iteration(weights, levels, frozen)
             allocation, t_star = self._solve_level()
-            for job_id in active:
+            for job_id in sorted(active):
                 levels[job_id] = levels[job_id] + weights[job_id] * t_star
 
             improvable = self._find_improvable(levels, active)
@@ -514,7 +519,7 @@ class WaterFillingAllocator:
         use_milp_bottleneck_detection: bool = True,
         max_iterations: Optional[int] = None,
         persistent: bool = True,
-    ):
+    ) -> None:
         self._problem = problem
         self._matrix = matrix
         self._use_milp = use_milp_bottleneck_detection
@@ -582,7 +587,7 @@ class WaterFillingAllocator:
     ) -> Set[int]:
         """LP fallback: test each candidate individually for head room."""
         improvable: Set[int] = set()
-        for job_id in candidates:
+        for job_id in sorted(candidates):
             program = LinearProgram(name=f"water_filling_headroom[{job_id}]")
             variables = AllocationVariables(self._problem, self._matrix, program)
             for other in self._problem.job_ids:
@@ -692,7 +697,7 @@ class WaterFillingSession(IncrementalProgramSession):
     splits entity weights and re-splits on every freeze).
     """
 
-    def __init__(self, policy, problem: PolicyProblem):
+    def __init__(self, policy: "_WaterFillingPolicyBase", problem: PolicyProblem) -> None:
         super().__init__(policy, problem, LinearProgram(name=policy.display_name))
         self._loop = _LevelLoopProgram(
             self._program,

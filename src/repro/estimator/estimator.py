@@ -47,7 +47,7 @@ class ThroughputEstimator:
         profile_fraction: float = 0.3,
         completion_rank: int = 4,
         seed: int = 0,
-    ):
+    ) -> None:
         if not 0.0 < profile_fraction <= 1.0:
             raise EstimationError("profile_fraction must be in (0, 1]")
         self._true_model = true_model

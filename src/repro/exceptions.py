@@ -7,6 +7,19 @@ can catch library errors without also swallowing programming mistakes such as
 
 from __future__ import annotations
 
+__all__ = [
+    "AllocationError",
+    "ConfigurationError",
+    "EstimationError",
+    "InfeasibleError",
+    "ReproError",
+    "SchedulingError",
+    "SolverError",
+    "TraceError",
+    "UnknownAcceleratorError",
+    "UnknownJobError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""

@@ -46,6 +46,7 @@ from repro.core.policy import Policy
 from repro.core.problem import PolicyProblem
 from repro.core.registry import make_policy, parse_policy_spec
 from repro.core.session import RebuildSession
+from repro.core.throughput_matrix import JobCombination
 from repro.workloads.job import Job
 from repro.workloads.throughputs import ThroughputOracle
 from repro.workloads.trace_generator import TraceGenerator
@@ -194,7 +195,7 @@ def assert_session_equivalent(
     session_allocation.validate(problem.cluster_spec)
     scratch_allocation.validate(problem.cluster_spec)
 
-    def _row(allocation: Allocation, combination) -> Optional[np.ndarray]:
+    def _row(allocation: Allocation, combination: JobCombination) -> Optional[np.ndarray]:
         return allocation.row(combination) if allocation.has_row(combination) else None
 
     exact = True

@@ -37,7 +37,7 @@ class Clock(abc.ABC):
 class VirtualClock(Clock):
     """Simulated time: ``advance_to`` jumps instantly, nothing else moves it."""
 
-    def __init__(self, start: float = 0.0):
+    def __init__(self, start: float = 0.0) -> None:
         if start < 0:
             raise ConfigurationError(f"virtual clock cannot start at {start}")
         self._now = float(start)

@@ -77,7 +77,7 @@ class GavelIterator(Generic[T]):
         save_checkpoint: Callable[[int, int], None],
         lease_oracle: Callable[[int, int], bool],
         iterations_per_round: int = 100,
-    ):
+    ) -> None:
         if iterations_per_round <= 0:
             raise SchedulingError("iterations_per_round must be positive")
         self._data = data

@@ -44,7 +44,7 @@ class ScheduledCombination:
 class RoundScheduler:
     """Greedy highest-priority-first selection of combinations for one round."""
 
-    def __init__(self, cluster_spec: ClusterSpec):
+    def __init__(self, cluster_spec: ClusterSpec) -> None:
         self._cluster_spec = cluster_spec
 
     def schedule_round(

@@ -27,7 +27,7 @@ __all__ = ["PriorityTracker"]
 class PriorityTracker:
     """Tracks time received per (combination, accelerator type) and derives priorities."""
 
-    def __init__(self, allocation: Allocation):
+    def __init__(self, allocation: Allocation) -> None:
         self._allocation = allocation
         self._registry: AcceleratorRegistry = allocation.registry
         self._time_received: Dict[JobCombination, np.ndarray] = {

@@ -268,7 +268,7 @@ class ClusterScheduler:
         config: Optional[SchedulerConfig] = None,
         workers_per_server: int = 4,
         clock: Optional[Clock] = None,
-    ):
+    ) -> None:
         self._policy = make_policy(policy) if isinstance(policy, str) else policy
         self._oracle = oracle if oracle is not None else ThroughputOracle()
         self._colocation = (

@@ -59,7 +59,7 @@ class Simulator:
         colocation_model: Optional[ColocationModel] = None,
         config: Optional[SimulatorConfig] = None,
         workers_per_server: int = 4,
-    ):
+    ) -> None:
         self._policy = policy
         self._cluster_spec = cluster_spec
         self._oracle = oracle

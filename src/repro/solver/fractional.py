@@ -73,7 +73,7 @@ class _RatioConstraint:
         rhs: float = 0.0,
         indices: Optional[np.ndarray] = None,
         values: Optional[np.ndarray] = None,
-    ):
+    ) -> None:
         self._coefficients = coefficients
         self.constant = constant
         self.sense = sense
@@ -117,7 +117,7 @@ class FractionalProgram:
     optimum.
     """
 
-    def __init__(self, name: str = "fractional"):
+    def __init__(self, name: str = "fractional") -> None:
         self.name = name
         self._lower: List[float] = []
         self._upper: List[float] = []

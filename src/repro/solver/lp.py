@@ -187,7 +187,7 @@ class LinearExpression:
 
     __slots__ = ("coefficients", "constant")
 
-    def __init__(self, coefficients: Optional[Mapping[int, float]] = None, constant: float = 0.0):
+    def __init__(self, coefficients: Optional[Mapping[int, float]] = None, constant: float = 0.0) -> None:
         self.coefficients: Dict[int, float] = dict(coefficients or {})
         self.constant = float(constant)
 
@@ -306,7 +306,7 @@ class _Constraint:
         upper: float = math.inf,
         indices: Optional[np.ndarray] = None,
         values: Optional[np.ndarray] = None,
-    ):
+    ) -> None:
         self._coefficients = coefficients
         self.lower = lower
         self.upper = upper
@@ -347,6 +347,18 @@ class _Constraint:
         self.values = None
 
 
+def _ensure_highs_ok(status: object, action: str, name: str) -> None:
+    """Raise when a HiGHS call reports a hard error.
+
+    ``kWarning`` covers benign conditions (e.g. sub-tolerance coefficients
+    being dropped); only ``kError`` means the edit did not take, at which
+    point the live model has diverged from the program and every subsequent
+    warm-started solve would answer for the wrong LP.
+    """
+    if status == _highs_core.HighsStatus.kError:
+        raise SolverError(f"{name}: HiGHS {action} failed")
+
+
 class _HighsBackend:
     """A live HiGHS instance mirroring one :class:`LinearProgram`.
 
@@ -361,8 +373,12 @@ class _HighsBackend:
 
     def __init__(self) -> None:
         self._highs = _highs_core._Highs()
-        self._highs.setOptionValue("output_flag", False)
-        self._highs.setOptionValue("random_seed", 0)
+        for option, value in (("output_flag", False), ("random_seed", 0)):
+            _ensure_highs_ok(
+                self._highs.setOptionValue(option, value),
+                f"setOptionValue({option!r})",
+                "_HighsBackend",
+            )
         self._row_handles: List[int] = []
         self._row_of: Dict[int, int] = {}
         self._num_cols = 0
@@ -393,10 +409,7 @@ class _HighsBackend:
         a.index_ = matrix.indices.astype(np.int32)
         a.value_ = matrix.data.astype(float)
         lp.a_matrix_ = a
-        # kWarning covers benign conditions (e.g. sub-tolerance coefficients
-        # being dropped); only a hard error means the model did not load.
-        if self._highs.passModel(lp) == _highs_core.HighsStatus.kError:
-            raise SolverError(f"{program.name}: HiGHS rejected the model")
+        _ensure_highs_ok(self._highs.passModel(lp), "passModel", program.name)
         self._row_handles = list(program._cached_ids)
         self._row_of = {handle: row for row, handle in enumerate(self._row_handles)}
         self._num_cols = num_vars
@@ -408,7 +421,13 @@ class _HighsBackend:
         empty_i = np.empty(0, np.int32)
         empty_f = np.empty(0, float)
         for index in range(self._num_cols, num_vars):
-            highs.addCol(0.0, program._lower[index], program._upper[index], 0, empty_i, empty_f)
+            _ensure_highs_ok(
+                highs.addCol(
+                    0.0, program._lower[index], program._upper[index], 0, empty_i, empty_f
+                ),
+                "addCol",
+                program.name,
+            )
         self._num_cols = num_vars
 
         # Rows whose coefficients changed are deleted and re-added.
@@ -419,7 +438,7 @@ class _HighsBackend:
         }
         if drop:
             rows = np.array(sorted(self._row_of[handle] for handle in drop), np.int32)
-            highs.deleteRows(len(rows), rows)
+            _ensure_highs_ok(highs.deleteRows(len(rows), rows), "deleteRows", program.name)
             self._row_handles = [h for h in self._row_handles if h not in drop]
             self._row_of = {handle: row for row, handle in enumerate(self._row_handles)}
 
@@ -441,20 +460,22 @@ class _HighsBackend:
             uppers = np.fromiter(
                 (program._constraints[h].upper for h in add), float, count=len(add)
             )
-            status = highs.addRows(
-                len(add),
-                lowers,
-                uppers,
-                int(counts.sum()),
-                starts[:-1].astype(np.int32),
-                indices.astype(np.int32),
-                values.astype(float),
+            # An unchecked rejection here would silently desynchronise the
+            # HiGHS model from the program (constraints that exist
+            # Python-side but not solver-side) — the PR 6 bug.
+            _ensure_highs_ok(
+                highs.addRows(
+                    len(add),
+                    lowers,
+                    uppers,
+                    int(counts.sum()),
+                    starts[:-1].astype(np.int32),
+                    indices.astype(np.int32),
+                    values.astype(float),
+                ),
+                "addRows",
+                program.name,
             )
-            if status == _highs_core.HighsStatus.kError:
-                # An unchecked rejection here would silently desynchronise
-                # the HiGHS model from the program (constraints that exist
-                # Python-side but not solver-side).
-                raise SolverError(f"{program.name}: HiGHS rejected a constraint batch")
             base = len(self._row_handles)
             self._row_handles.extend(add)
             for offset, handle in enumerate(add):
@@ -464,17 +485,33 @@ class _HighsBackend:
             row = self._row_of.get(handle)
             constraint = program._constraints.get(handle)
             if row is not None and constraint is not None:
-                highs.changeRowBounds(row, constraint.lower, constraint.upper)
+                _ensure_highs_ok(
+                    highs.changeRowBounds(row, constraint.lower, constraint.upper),
+                    "changeRowBounds",
+                    program.name,
+                )
 
         all_columns = np.arange(num_vars, dtype=np.int32)
-        highs.changeColsBounds(
-            num_vars, all_columns, np.array(program._lower), np.array(program._upper)
+        _ensure_highs_ok(
+            highs.changeColsBounds(
+                num_vars, all_columns, np.array(program._lower), np.array(program._upper)
+            ),
+            "changeColsBounds",
+            program.name,
         )
-        highs.changeColsCost(num_vars, all_columns, program._objective_dense())
-        highs.changeObjectiveSense(
-            _highs_core.ObjSense.kMaximize
-            if program._maximize
-            else _highs_core.ObjSense.kMinimize
+        _ensure_highs_ok(
+            highs.changeColsCost(num_vars, all_columns, program._objective_dense()),
+            "changeColsCost",
+            program.name,
+        )
+        _ensure_highs_ok(
+            highs.changeObjectiveSense(
+                _highs_core.ObjSense.kMaximize
+                if program._maximize
+                else _highs_core.ObjSense.kMinimize
+            ),
+            "changeObjectiveSense",
+            program.name,
         )
 
     # -- solving ----------------------------------------------------------------
@@ -486,7 +523,7 @@ class _HighsBackend:
         program._hs_removed.clear()
         program._hs_dirty.clear()
         program._hs_bounds_dirty.clear()
-        self._highs.run()
+        _ensure_highs_ok(self._highs.run(), "run", program.name)
         status = self._highs.getModelStatus()
         if status != _highs_core.HighsModelStatus.kOptimal:
             message = f"{program.name}: HiGHS status {status}"
@@ -504,7 +541,7 @@ class _HighsBackend:
 class LinearProgram:
     """Incrementally built *and editable* LP / MILP solved with HiGHS."""
 
-    def __init__(self, name: str = "lp"):
+    def __init__(self, name: str = "lp") -> None:
         self.name = name
         # Variable storage is numpy-backed with amortized growth so bulk
         # allocation (add_variables_from_arrays) is a vectorized assignment.

@@ -95,7 +95,7 @@ class ColocationModel:
         self,
         oracle: Optional[ThroughputOracle] = None,
         interference_strength: float = 0.75,
-    ):
+    ) -> None:
         self._oracle = oracle if oracle is not None else ThroughputOracle()
         if not 0.0 <= interference_strength <= 1.0:
             raise ConfigurationError(

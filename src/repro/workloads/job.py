@@ -99,7 +99,7 @@ class Job:
 class JobIdAllocator:
     """Hands out monotonically increasing job ids."""
 
-    def __init__(self, start: int = 0):
+    def __init__(self, start: int = 0) -> None:
         if start < 0:
             raise ConfigurationError(f"start must be non-negative, got {start}")
         self._next = start

@@ -23,7 +23,7 @@ the paper, which is what the heterogeneity-aware policies exploit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.exceptions import ConfigurationError, UnknownJobError
 
@@ -175,7 +175,7 @@ def _default_specs() -> List[JobTypeSpec]:
 class JobTypeTable:
     """Registry of job-type specifications, indexed by canonical name."""
 
-    def __init__(self, specs: Optional[Sequence[JobTypeSpec]] = None):
+    def __init__(self, specs: Optional[Sequence[JobTypeSpec]] = None) -> None:
         specs = list(specs) if specs is not None else _default_specs()
         if not specs:
             raise ConfigurationError("job type table must contain at least one spec")
@@ -188,7 +188,7 @@ class JobTypeTable:
     def __len__(self) -> int:
         return len(self._ordered)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[JobTypeSpec]:
         return iter(self._ordered)
 
     def __contains__(self, name: object) -> bool:

@@ -41,7 +41,7 @@ class ThroughputOracle:
         job_types: Optional[JobTypeTable] = None,
         registry: Optional[AcceleratorRegistry] = None,
         batch_size_speedup_exponent: float = 0.03,
-    ):
+    ) -> None:
         self._job_types = job_types if job_types is not None else default_job_type_table()
         self._registry = registry if registry is not None else default_registry()
         if batch_size_speedup_exponent < 0:

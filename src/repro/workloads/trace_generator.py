@@ -76,7 +76,7 @@ class TraceGenerator:
         self,
         oracle: Optional[ThroughputOracle] = None,
         config: Optional[TraceGeneratorConfig] = None,
-    ):
+    ) -> None:
         self._oracle = oracle if oracle is not None else ThroughputOracle()
         self._config = config if config is not None else TraceGeneratorConfig()
         if self._config.reference_accelerator not in self._oracle.registry:

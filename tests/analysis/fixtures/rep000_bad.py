@@ -1,0 +1,17 @@
+"""REP000 fixture: suppression-comment misuse."""
+
+
+def exact_zero(allocation):
+    return allocation == 0  # repro: noqa[REP005] -- integral compare is fine  # expect[REP000]
+
+
+def blanket(jobs=[]):  # repro: noqa  # expect[REP000] expect[REP006]
+    return jobs
+
+
+def no_rationale(jobs=[]):  # repro: noqa[REP006]  # expect[REP000]
+    return jobs
+
+
+def typo_code(jobs=[]):  # repro: noqa[REP06] -- typo'd code suppresses nothing  # expect[REP000] expect[REP006]
+    return jobs

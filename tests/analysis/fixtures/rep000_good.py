@@ -1,0 +1,6 @@
+"""REP000 fixture: a well-formed suppression — codes listed, rationale given,
+and a real violation on the line to consume it."""
+
+
+def half_life(decay):
+    return decay == 0.5  # repro: noqa[REP005] -- protocol constant compared for identity, never computed

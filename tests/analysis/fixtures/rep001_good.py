@@ -1,0 +1,14 @@
+"""REP001 fixture: every backend status is checked before moving on."""
+
+from repro.exceptions import SolverError
+
+
+def apply_edits(highs, program, rows, lowers, uppers, kError):
+    status = highs.addRows(len(rows), lowers, uppers)
+    if status == kError:
+        raise SolverError(f"{program.name}: HiGHS rejected a constraint batch")
+
+
+def solve(highs, ensure_ok, program):
+    ensure_ok(highs.run(), "run", program.name)
+    return highs.getModelStatus()

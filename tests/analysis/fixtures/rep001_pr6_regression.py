@@ -1,0 +1,43 @@
+"""The PR 6 ignored-``addRows``-status bug, verbatim.
+
+This is the exact pre-fix shape of ``_HighsBackend._apply_edits`` (as merged
+in PR 4, commit ``ca1de24``): HiGHS rejected a whole row batch — a duplicate
+column in one row — returned ``kError``, and the backend carried on.  The
+model silently desynchronised from the program and capacity was
+oversubscribed until a downstream test happened to trip over it.  REP001
+exists so this shape can never come back quietly.
+"""
+
+import numpy as np
+
+
+def _apply_edits(self, program, highs, add):
+    fragments = [program._constraints[h].fragment() for h in add]
+    counts = np.fromiter((len(f[0]) for f in fragments), np.int64, count=len(add))
+    starts = np.zeros(len(add) + 1, np.int64)
+    np.cumsum(counts, out=starts[1:])
+    indices = (
+        np.concatenate([f[0] for f in fragments]) if len(add) else np.empty(0, np.int64)
+    )
+    values = (
+        np.concatenate([f[1] for f in fragments]) if len(add) else np.empty(0)
+    )
+    lowers = np.fromiter(
+        (program._constraints[h].lower for h in add), float, count=len(add)
+    )
+    uppers = np.fromiter(
+        (program._constraints[h].upper for h in add), float, count=len(add)
+    )
+    highs.addRows(  # expect[REP001]
+        len(add),
+        lowers,
+        uppers,
+        int(counts.sum()),
+        starts[:-1].astype(np.int32),
+        indices.astype(np.int32),
+        values.astype(float),
+    )
+    base = len(self._row_handles)
+    self._row_handles.extend(add)
+    for offset, handle in enumerate(add):
+        self._row_of[handle] = base + offset

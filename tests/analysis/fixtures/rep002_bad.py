@@ -1,0 +1,17 @@
+"""REP002 fixture: ambient wall-clock reads outside the clock module."""
+
+import time as _time
+from datetime import datetime
+from time import monotonic
+
+
+def round_deadline(round_duration):
+    return _time.time() + round_duration  # expect[REP002]
+
+
+def lease_epoch():
+    return monotonic()  # expect[REP002]
+
+
+def submitted_at():
+    return datetime.now()  # expect[REP002]

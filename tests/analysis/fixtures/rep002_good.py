@@ -1,0 +1,20 @@
+"""REP002 fixture: time flows only through the scheduler's pluggable Clock."""
+
+import time as _time
+from datetime import timezone
+from datetime import datetime
+
+
+def round_deadline(clock, round_duration):
+    return clock.now() + round_duration
+
+
+def benchmark_sample():
+    # perf_counter feeds performance metrics, never scheduling decisions.
+    return _time.perf_counter()
+
+
+def audit_stamp():
+    # tz-aware now is an explicit choice, not ambient wall clock (REP002
+    # covers only the arg-less form).
+    return datetime.now(timezone.utc)

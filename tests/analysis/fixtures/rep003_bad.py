@@ -1,0 +1,22 @@
+"""REP003 fixture: randomness that cannot be replayed."""
+
+import random
+
+import numpy as np
+
+
+def jitter():
+    return random.random()  # expect[REP003]
+
+
+def shuffle_jobs(jobs):
+    random.shuffle(jobs)  # expect[REP003]
+    return jobs
+
+
+def sample_durations(count):
+    return np.random.exponential(scale=1.0, size=count)  # expect[REP003]
+
+
+def fresh_generator():
+    return np.random.default_rng()  # expect[REP003]

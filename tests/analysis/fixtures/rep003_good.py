@@ -1,0 +1,15 @@
+"""REP003 fixture: every random draw comes from an explicitly seeded generator."""
+
+import random
+
+import numpy as np
+
+
+def sample_durations(seed, count):
+    rng = np.random.default_rng(seed)
+    return rng.exponential(scale=1.0, size=count)
+
+
+def shuffle_jobs(jobs, seed):
+    random.Random(seed).shuffle(jobs)
+    return jobs

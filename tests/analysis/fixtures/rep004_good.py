@@ -1,0 +1,21 @@
+"""REP004 fixture: ordering guards in front of every set consumption."""
+
+
+def remove_stale_rows(engine, old_rows, new_rows):
+    for combination in sorted(old_rows - new_rows):
+        engine.remove(combination)
+
+
+def dedup_in_order(job_ids):
+    # dict.fromkeys is the order-preserving dedup; no set order involved.
+    for job_id in dict.fromkeys(job_ids):
+        yield job_id
+
+
+def bound(levels, active: set):
+    # Order-insensitive reductions over a set are fine.
+    return min(levels[job_id] for job_id in active)
+
+
+def membership(pending: set, job_id):
+    return job_id in pending

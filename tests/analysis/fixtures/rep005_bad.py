@@ -1,0 +1,13 @@
+"""REP005 fixture: tolerance-blind float equality on computed values."""
+
+
+def level_converged(level, target, weight, t_star):
+    return level + weight * 0.3 == target  # expect[REP005]
+
+
+def share_is_half(used, capacity):
+    return used / capacity == 0.5  # expect[REP005]
+
+
+def drifted(level, baseline):
+    return level != baseline * 1.1  # expect[REP005]

@@ -1,0 +1,20 @@
+"""REP005 fixture: tolerant comparisons, and exact ones where exactness holds."""
+
+import math
+
+
+def level_converged(level, target, eps):
+    return math.isclose(level, target, abs_tol=eps)
+
+
+def share_is_half(used, capacity):
+    return abs(used / capacity - 0.5) < 1e-9
+
+
+def untouched(level, baseline):
+    # Comparing a stored, unmodified float is well-defined.
+    return level == baseline
+
+
+def is_idle(allocation):
+    return allocation == 0.0

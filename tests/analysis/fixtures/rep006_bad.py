@@ -1,0 +1,17 @@
+"""REP006 fixture: mutable defaults shared across calls."""
+
+
+def submit_jobs(scheduler, jobs=[]):  # expect[REP006]
+    scheduler.extend(jobs)
+
+
+def make_config(overrides={}):  # expect[REP006]
+    return dict(overrides)
+
+
+def track(seen=set()):  # expect[REP006]
+    return seen
+
+
+def batch(queue=list()):  # expect[REP006]
+    return queue

@@ -1,0 +1,15 @@
+"""REP006 fixture: None defaults, constructed per call."""
+
+from typing import Optional
+
+
+def submit_jobs(scheduler, jobs: Optional[list] = None) -> None:
+    scheduler.extend(jobs if jobs is not None else [])
+
+
+def make_config(overrides: Optional[dict] = None) -> dict:
+    return dict(overrides or {})
+
+
+def label(name: str = "default", count: int = 0, scale: float = 1.0) -> str:
+    return f"{name}:{count}:{scale}"

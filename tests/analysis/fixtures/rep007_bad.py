@@ -1,0 +1,13 @@
+"""REP007 fixture: reaching into another object's solver internals."""
+
+
+def poke_backend(session, values):
+    session._program.set_objective(values)  # expect[REP007]
+
+
+def hot_patch(backend, option):
+    backend._highs.getOptionValue(option)  # expect[REP007]
+
+
+def chained(scheduler):
+    return scheduler.session._program  # expect[REP007]

@@ -1,0 +1,15 @@
+"""REP007 fixture: internals touched only by their owner (self/cls)."""
+
+
+class Session:
+    def __init__(self, program) -> None:
+        self._program = program
+
+    def solve(self):
+        # The owner edits its own program through the mutation handles.
+        return self._program.solve()
+
+
+def go_through_the_api(session, delta):
+    session.update(delta)
+    return session.solve()

@@ -1,0 +1,19 @@
+"""REP008 fixture: __all__ drifted away from the module surface."""
+
+__all__ = [  # expect[REP008] expect[REP008]
+    "compute_allocation",
+    "compute_allocation",
+    "removed_long_ago",
+]
+
+
+def compute_allocation(problem):
+    return problem
+
+
+def leaked_public_helper(problem):  # expect[REP008]
+    return problem
+
+
+def _private_helper(problem):
+    return problem

@@ -1,0 +1,15 @@
+"""REP008 fixture: __all__ lists exactly the public surface."""
+
+__all__ = ["Policy", "compute_allocation"]
+
+
+class Policy:
+    pass
+
+
+def compute_allocation(problem):
+    return problem
+
+
+def _internal(problem):
+    return problem

@@ -1,0 +1,93 @@
+"""CLI tests: exit codes, report formats, rule listing, bad input handling."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cli import main
+from repro.analysis.rules import RULE_CLASSES
+
+
+@pytest.fixture()
+def project(tmp_path: Path) -> Path:
+    """A tiny standalone project the CLI can discover a root for."""
+    (tmp_path / "pyproject.toml").write_text("[tool.repro.analysis]\n")
+    return tmp_path
+
+
+def write(project: Path, name: str, source: str) -> Path:
+    target = project / name
+    target.write_text(source)
+    return target
+
+
+def test_clean_run_exits_zero(project: Path, capsys) -> None:
+    write(project, "ok.py", "def f(x):\n    return x\n")
+    assert main([str(project)]) == 0
+    assert "0 violations" in capsys.readouterr().out
+
+
+def test_violations_exit_one(project: Path, capsys) -> None:
+    write(project, "bad.py", "def f(xs=[]):\n    return xs\n")
+    assert main([str(project)]) == 1
+    out = capsys.readouterr().out
+    assert "REP006" in out
+    assert "bad.py:1:" in out
+
+
+def test_json_format(project: Path, capsys) -> None:
+    write(project, "bad.py", "def f(xs=[]):\n    return xs\n")
+    assert main(["--format", "json", str(project)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files_scanned"] == 1
+    assert payload["violation_count"] == 1
+    [violation] = payload["violations"]
+    assert violation["code"] == "REP006"
+    assert violation["path"] == "bad.py"
+    assert violation["line"] == 1
+
+
+def test_ignore_flag_silences_rule(project: Path) -> None:
+    write(project, "bad.py", "def f(xs=[]):\n    return xs\n")
+    assert main(["--ignore", "REP006", str(project)]) == 0
+
+
+def test_select_flag_limits_rules(project: Path) -> None:
+    write(project, "bad.py", "def f(xs=[]):\n    return xs\n")
+    assert main(["--select", "REP001", str(project)]) == 0
+    assert main(["--select", "REP006", str(project)]) == 1
+
+
+def test_unknown_code_exits_two(project: Path, capsys) -> None:
+    write(project, "ok.py", "")
+    assert main(["--select", "REP042", str(project)]) == 2
+    assert "unknown rule code" in capsys.readouterr().err
+
+
+def test_missing_path_exits_two(tmp_path: Path, capsys) -> None:
+    assert main([str(tmp_path / "nope.py")]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_bad_config_exits_two(tmp_path: Path, capsys) -> None:
+    (tmp_path / "pyproject.toml").write_text("[tool.repro.analysis]\nbogus = 1\n")
+    (tmp_path / "ok.py").write_text("")
+    assert main([str(tmp_path / "ok.py"), "--root", str(tmp_path)]) == 2
+    assert "unknown key" in capsys.readouterr().err
+
+
+def test_list_rules_covers_registry(capsys) -> None:
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in RULE_CLASSES:
+        assert code in out
+    assert "REP000" in out
+
+
+def test_syntax_error_exits_one(project: Path, capsys) -> None:
+    write(project, "broken.py", "def f(:\n")
+    assert main([str(project)]) == 1
+    assert "REP999" in capsys.readouterr().out

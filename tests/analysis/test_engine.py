@@ -1,0 +1,117 @@
+"""Engine-level tests: file scanning, suppression lifecycle, path expansion."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import AnalysisConfig, RuleSettings, analyze_file, analyze_paths
+from repro.analysis.engine import iter_python_files
+from repro.analysis.rules import RULE_CLASSES
+from repro.analysis.violations import PARSE_ERROR_CODE, SUPPRESSION_CODE
+
+
+def everywhere(root: Path, **overrides: object) -> AnalysisConfig:
+    return AnalysisConfig(
+        root=root,
+        rules={code: RuleSettings(include=()) for code in RULE_CLASSES},
+        **overrides,  # type: ignore[arg-type]
+    )
+
+
+def write(tmp_path: Path, name: str, source: str) -> Path:
+    target = tmp_path / name
+    target.write_text(source)
+    return target
+
+
+def codes(report) -> list:
+    return [violation.code for violation in report.violations]
+
+
+def test_syntax_error_reports_rep999(tmp_path: Path) -> None:
+    bad = write(tmp_path, "broken.py", "def f(:\n")
+    report = analyze_file(bad, everywhere(tmp_path))
+    assert codes(report) == [PARSE_ERROR_CODE]
+    assert report.violations[0].line == 1
+
+
+def test_clean_file_reports_nothing(tmp_path: Path) -> None:
+    good = write(tmp_path, "ok.py", "def f(x):\n    return x\n")
+    assert codes(analyze_file(good, everywhere(tmp_path))) == []
+
+
+def test_violation_found_and_suppressed(tmp_path: Path) -> None:
+    noisy = write(tmp_path, "noisy.py", "def f(xs=[]):\n    return xs\n")
+    report = analyze_file(noisy, everywhere(tmp_path))
+    assert codes(report) == ["REP006"]
+
+    quiet = write(
+        tmp_path,
+        "quiet.py",
+        "def f(xs=[]):  # repro: noqa[REP006] -- sentinel never mutated\n    return xs\n",
+    )
+    assert codes(analyze_file(quiet, everywhere(tmp_path))) == []
+
+
+def test_unused_suppression_flagged_only_when_rule_active(tmp_path: Path) -> None:
+    source = "def f(x):  # repro: noqa[REP006] -- nothing here\n    return x\n"
+    target = write(tmp_path, "stale.py", source)
+    report = analyze_file(target, everywhere(tmp_path))
+    assert codes(report) == [SUPPRESSION_CODE]
+
+    # With REP006 ignored for this run, the engine cannot know whether the
+    # suppression would have been used, so it must not cry "unused".
+    relaxed = everywhere(tmp_path, ignore=frozenset({"REP006"}))
+    assert codes(analyze_file(target, relaxed)) == []
+
+
+def test_select_limits_rules(tmp_path: Path) -> None:
+    both = write(
+        tmp_path,
+        "both.py",
+        "import time\n\n\ndef f(xs=[]):\n    return time.time(), xs\n",
+    )
+    config = everywhere(tmp_path, select=frozenset({"REP002", SUPPRESSION_CODE}))
+    assert codes(analyze_file(both, config)) == ["REP002"]
+
+
+def test_violations_sorted_by_position(tmp_path: Path) -> None:
+    target = write(
+        tmp_path,
+        "multi.py",
+        "import time\n\n\ndef f(xs=[]):\n    return time.time(), xs\n",
+    )
+    report = analyze_file(target, everywhere(tmp_path))
+    assert codes(report) == ["REP006", "REP002"]
+    assert [violation.line for violation in report.violations] == [4, 5]
+
+
+def test_iter_python_files_expands_and_excludes(tmp_path: Path) -> None:
+    write(tmp_path, "a.py", "")
+    (tmp_path / "__pycache__").mkdir()
+    write(tmp_path / "__pycache__", "cached.py", "")
+    (tmp_path / "vendored").mkdir()
+    write(tmp_path / "vendored", "third_party.py", "")
+    (tmp_path / ".hidden").mkdir()
+    write(tmp_path / ".hidden", "secret.py", "")
+    (tmp_path / "notes.txt").write_text("")
+
+    config = AnalysisConfig(root=tmp_path, exclude=("__pycache__", "vendored/"))
+    found = iter_python_files([tmp_path], config)
+    assert [path.name for path in found] == ["a.py"]
+
+
+def test_explicit_file_bypasses_excludes(tmp_path: Path) -> None:
+    excluded_dir = tmp_path / "vendored"
+    excluded_dir.mkdir()
+    target = write(excluded_dir, "third_party.py", "")
+    config = AnalysisConfig(root=tmp_path, exclude=("vendored/",))
+    assert iter_python_files([target], config) == [target]
+
+
+def test_analyze_paths_aggregates(tmp_path: Path) -> None:
+    write(tmp_path, "one.py", "def f(xs=[]):\n    return xs\n")
+    write(tmp_path, "two.py", "def g(ys={}):\n    return ys\n")
+    violations, files_scanned = analyze_paths([tmp_path], everywhere(tmp_path))
+    assert files_scanned == 2
+    assert sorted(violation.path for violation in violations) == ["one.py", "two.py"]

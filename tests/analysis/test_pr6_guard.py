@@ -1,0 +1,75 @@
+"""Acceptance test: re-introducing the PR 6 bug is caught by REP001.
+
+The PR 6 bug was an ``addRows`` batch whose rejection status nobody checked.
+This test performs the *actual revert* on today's ``src/repro/solver/lp.py``
+— it strips the ``_ensure_highs_ok`` wrapper off the ``addRows`` call via AST
+surgery — and asserts the checker flags the result, while the file as
+committed stays clean.  If the wrapper moves or is renamed, the surgery
+fails loudly instead of silently testing nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis import AnalysisConfig, analyze_file
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+LP_PATH = REPO_ROOT / "src" / "repro" / "solver" / "lp.py"
+
+
+def _find_wrapped_call(tree: ast.Module, source: str, method: str) -> ast.Call:
+    """Locate ``_ensure_highs_ok(<receiver>.<method>(...), ...)`` in ``tree``."""
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "_ensure_highs_ok"
+            and node.args
+            and isinstance(node.args[0], ast.Call)
+            and isinstance(node.args[0].func, ast.Attribute)
+            and node.args[0].func.attr == method
+        ):
+            return node
+    raise AssertionError(
+        f"_ensure_highs_ok wrapper around `{method}` not found in {LP_PATH}; "
+        "update this test alongside the backend"
+    )
+
+
+def _revert_status_check(source: str, method: str) -> str:
+    """Replace the wrapped call with the bare inner call — the PR 6 shape."""
+    tree = ast.parse(source)
+    wrapper = _find_wrapped_call(tree, source, method)
+    wrapper_text = ast.get_source_segment(source, wrapper)
+    inner_text = ast.get_source_segment(source, wrapper.args[0])
+    assert wrapper_text is not None and inner_text is not None
+    assert source.count(wrapper_text) == 1, "wrapper text is not unique"
+    return source.replace(wrapper_text, inner_text)
+
+
+def _rep001_lines(path: Path, root: Path) -> list:
+    report = analyze_file(path, AnalysisConfig(root=root))
+    return [violation.line for violation in report.violations if violation.code == "REP001"]
+
+
+def test_committed_lp_is_clean(tmp_path: Path) -> None:
+    assert _rep001_lines(LP_PATH, REPO_ROOT) == []
+
+
+def test_reverting_add_rows_check_is_flagged(tmp_path: Path) -> None:
+    source = LP_PATH.read_text()
+    reverted = _revert_status_check(source, "addRows")
+    target = tmp_path / "lp_reverted.py"
+    target.write_text(reverted)
+    flagged = _rep001_lines(target, tmp_path)
+    assert flagged, "REP001 must flag the bare addRows call after the revert"
+
+
+def test_reverting_run_check_is_flagged(tmp_path: Path) -> None:
+    source = LP_PATH.read_text()
+    reverted = _revert_status_check(source, "run")
+    target = tmp_path / "lp_reverted_run.py"
+    target.write_text(reverted)
+    assert _rep001_lines(target, tmp_path), "REP001 must flag the bare run() call"

@@ -1,0 +1,23 @@
+"""The repository must pass its own static checker — the lint gate as a test.
+
+CI runs ``python -m repro.analysis src tests benchmarks`` as a hard gate;
+this test keeps that guarantee inside the regular pytest suite too, so a
+violation (or a stale suppression) fails locally before it fails in CI.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import analyze_paths, load_config
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_repository_is_lint_clean() -> None:
+    config = load_config(REPO_ROOT)
+    targets = [REPO_ROOT / name for name in ("src", "tests", "benchmarks", "examples")]
+    violations, files_scanned = analyze_paths(targets, config)
+    assert files_scanned > 100, "scanner found suspiciously few files"
+    rendered = "\n".join(violation.render() for violation in violations)
+    assert not violations, f"repository is not lint-clean:\n{rendered}"

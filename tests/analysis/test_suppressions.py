@@ -1,0 +1,64 @@
+"""Unit tests for the `repro: noqa` suppression scanner."""
+
+from __future__ import annotations
+
+from repro.analysis.suppressions import scan_suppressions
+
+
+def scan_one(line: str):
+    found = scan_suppressions([line])
+    assert len(found) == 1
+    return found[0]
+
+
+def test_plain_line_yields_nothing() -> None:
+    assert scan_suppressions(["x = 1  # ordinary comment"]) == []
+
+
+def test_well_formed_suppression() -> None:
+    suppression = scan_one("x == 0.1  # repro: noqa[REP005] -- stored constant")
+    assert suppression.codes == ("REP005",)
+    assert suppression.rationale == "stored constant"
+    assert not suppression.blanket
+    assert suppression.malformed_codes == ()
+
+
+def test_multiple_codes() -> None:
+    suppression = scan_one("y  # repro: noqa[REP005, REP006] -- both intentional")
+    assert suppression.codes == ("REP005", "REP006")
+
+
+def test_blanket_detected() -> None:
+    suppression = scan_one("y  # repro: noqa")
+    assert suppression.blanket
+    assert suppression.codes == ()
+
+
+def test_empty_brackets_is_blanket() -> None:
+    suppression = scan_one("y  # repro: noqa[] -- why")
+    assert suppression.blanket
+
+
+def test_malformed_code_recorded() -> None:
+    suppression = scan_one("y  # repro: noqa[REP06] -- typo")
+    assert suppression.malformed_codes == ("REP06",)
+    assert suppression.codes == ()
+    assert not suppression.blanket
+
+
+def test_rationale_missing() -> None:
+    suppression = scan_one("y  # repro: noqa[REP005]")
+    assert suppression.rationale == ""
+
+
+def test_line_numbers_are_one_indexed() -> None:
+    found = scan_suppressions(["", "y  # repro: noqa[REP005] -- why"])
+    assert [suppression.line for suppression in found] == [2]
+
+
+def test_used_bookkeeping() -> None:
+    suppression = scan_one("y  # repro: noqa[REP005, REP006] -- why")
+    assert suppression.suppresses("REP005")
+    assert not suppression.suppresses("REP001")
+    suppression.mark_used("REP005")
+    assert suppression.unused_codes() == ("REP006",)

@@ -1,0 +1,62 @@
+"""Regression test: pair-row rebuilds must not follow set iteration order.
+
+``_rebuild_pair_rows_for_types`` receives a ``frozenset`` of type names whose
+iteration order depends on ``PYTHONHASHSEED``; before the fix, the pair-row
+insertion sequence (and thus LP row order downstream) differed across
+processes.  The rebuild must walk types in sorted order.
+"""
+
+import pytest
+
+from repro.core import AllocationEngine
+from repro.workloads import Job, ThroughputOracle
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return ThroughputOracle()
+
+
+def _engine_with_types(oracle, job_types):
+    engine = AllocationEngine(oracle, space_sharing=True, aggregation="type")
+    for job_id, job_type in enumerate(job_types):
+        engine.add_job(
+            Job(job_id=job_id, job_type=job_type, total_steps=1000, arrival_time=0.0)
+        )
+    return engine
+
+
+def test_rebuild_walks_types_in_sorted_order(oracle):
+    job_types = list(oracle.job_types.names)[:4]
+    assert len(job_types) >= 3, "registry too small for a meaningful order test"
+    engine = _engine_with_types(oracle, job_types)
+
+    observed = []
+    original = AllocationEngine._ensure_type_pair_row
+
+    def recording(self, type_a, type_b):
+        observed.append(type_a)
+        return original(self, type_a, type_b)
+
+    AllocationEngine._ensure_type_pair_row = recording
+    try:
+        engine._rebuild_pair_rows_for_types(frozenset(job_types))
+    finally:
+        AllocationEngine._ensure_type_pair_row = original
+
+    assert observed, "rebuild made no pair-row calls"
+    # The outer loop must visit affected types in sorted order, regardless of
+    # the frozenset's hash-seeded iteration order.
+    first_seen = list(dict.fromkeys(observed))
+    assert first_seen == sorted(first_seen)
+
+
+def test_rebuild_produces_same_rows_for_any_input_order(oracle):
+    job_types = list(oracle.job_types.names)[:4]
+    engine_a = _engine_with_types(oracle, job_types)
+    engine_b = _engine_with_types(oracle, list(reversed(job_types)))
+
+    engine_a._rebuild_pair_rows_for_types(frozenset(job_types))
+    engine_b._rebuild_pair_rows_for_types(frozenset(reversed(job_types)))
+
+    assert sorted(engine_a._type_pair_reps) == sorted(engine_b._type_pair_reps)

@@ -86,7 +86,7 @@ class TestQueries:
 
     def test_throughput_lookup(self, matrix):
         assert matrix.throughput((0,), 0, "v100") == 4.0
-        assert matrix.throughput((0, 1), 1, "v100") == 1.5
+        assert matrix.throughput((0, 1), 1, "v100") == 1.5  # repro: noqa[REP005] -- lookup returns the stored constant unmodified; equality is exact by design
 
     def test_rows_containing(self, matrix):
         rows = matrix.rows_containing(0)

@@ -1,0 +1,77 @@
+"""Regression tests: HiGHS edit/solve statuses must be checked, not dropped.
+
+PR 6 fixed an ``addRows`` whose rejection was silently ignored, leaving the
+live model desynchronised from the program.  These tests wrap the live
+backend in a proxy that forces ``kError`` from individual calls and assert
+the backend surfaces it as :class:`SolverError` instead of answering from a
+diverged model.
+"""
+
+import pytest
+
+from repro.exceptions import SolverError
+from repro.solver import LinearProgram
+
+try:
+    from scipy.optimize._highspy import _core as _highs_core
+except ImportError:  # pragma: no cover - exercised only without highspy
+    _highs_core = None
+
+pytestmark = pytest.mark.skipif(
+    _highs_core is None, reason="highspy backend not available"
+)
+
+
+class _ForcedError:
+    """Delegating proxy that performs the real call but reports ``kError``."""
+
+    def __init__(self, real, failing_method):
+        self._real = real
+        self._failing_method = failing_method
+
+    def __getattr__(self, name):
+        attribute = getattr(self._real, name)
+        if name != self._failing_method:
+            return attribute
+
+        def forced(*args, **kwargs):
+            attribute(*args, **kwargs)
+            return _highs_core.HighsStatus.kError
+
+        return forced
+
+
+def _warm_program():
+    lp = LinearProgram(name="status-guard")
+    x = lp.add_variable("x", upper=4.0)
+    y = lp.add_variable("y", upper=3.0)
+    lp.add_less_equal(x + y, 5.0)
+    lp.maximize(x * 2.0 + y)
+    lp.solve()  # instantiate the warm-started backend
+    assert lp._backend is not None
+    return lp, x, y
+
+
+def test_run_error_raises_solver_error():
+    lp, _x, _y = _warm_program()
+    lp._backend._highs = _ForcedError(lp._backend._highs, "run")
+    with pytest.raises(SolverError, match="run failed"):
+        lp.solve()
+
+
+def test_add_rows_error_raises_solver_error():
+    lp, x, y = _warm_program()
+    lp._backend._highs = _ForcedError(lp._backend._highs, "addRows")
+    lp.add_less_equal(x - y, 1.0)  # forces an addRows on the next replay
+    with pytest.raises(SolverError, match="addRows failed"):
+        lp.solve()
+
+
+def test_delete_rows_error_raises_solver_error():
+    lp, x, y = _warm_program()
+    handle = lp.add_less_equal(x - y, 1.0)
+    lp.solve()
+    lp._backend._highs = _ForcedError(lp._backend._highs, "deleteRows")
+    lp.remove_constraint(handle)
+    with pytest.raises(SolverError, match="deleteRows failed"):
+        lp.solve()
