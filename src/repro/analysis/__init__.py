@@ -21,26 +21,60 @@ codebase has already paid for cannot be silently reintroduced:
   (``._highs``/``._program``), bypassing the mutation-handle API.
 * **REP008** — ``__all__`` vs public-name consistency.
 
+On top of the per-file pack, a whole-program phase aggregates every scanned
+file into a :class:`~repro.analysis.project.ProjectContext` and checks the
+cross-module invariants no single file can witness:
+
+* **REP010** — import layering against the ``[tool.repro.analysis.layers]``
+  DAG (``solver → core → scheduler → {simulator, harness, cli}``; the
+  ``analysis`` package imports no runtime modules).
+* **REP011** — delta-dispatch exhaustiveness: ``isinstance``/``match``
+  dispatch over :class:`~repro.core.session.PolicyDelta` variants must cover
+  every registered variant or carry an explicit fallback.
+* **REP012** — snapshot-field coverage: mutable ``ClusterScheduler`` state
+  must be captured by ``SchedulerSnapshot`` or declared soft state.
+* **REP013** — dead exports: ``__all__`` names never used outside their
+  defining module.
+
 Violations can be suppressed per line with a ``repro: noqa[REP0xx] --
 rationale`` comment; unused or rationale-free suppressions are themselves violations
 (**REP000**).  Run the checker with ``python -m repro.analysis <paths>``;
 configuration lives in ``[tool.repro.analysis]`` in ``pyproject.toml``.
+The CLI also speaks SARIF (``--format sarif``), supports adopting a legacy
+corpus via ``--baseline``, parallelizes parsing with ``--jobs``, and caches
+per-file results by content hash with ``--cache``.
 """
 
 from __future__ import annotations
 
-from repro.analysis.config import AnalysisConfig, RuleSettings, find_project_root, load_config
-from repro.analysis.engine import FileReport, analyze_file, analyze_paths
-from repro.analysis.reporting import render_json, render_text
+from repro.analysis.baseline import BaselineComparison, compare_baseline, load_baseline, write_baseline
+from repro.analysis.cache import ResultCache
+from repro.analysis.config import (
+    AnalysisConfig,
+    LayerSpec,
+    RuleSettings,
+    find_project_root,
+    load_config,
+)
+from repro.analysis.engine import FileReport, FileResult, analyze_file, analyze_paths, scan_file
+from repro.analysis.project import ModuleSummary, ProjectContext
+from repro.analysis.reporting import render_json, render_sarif, render_text
 from repro.analysis.rules import RULE_CLASSES, all_rule_codes, iter_rule_classes
-from repro.analysis.rules.base import Rule
+from repro.analysis.rules.base import ProjectRule, Rule
 from repro.analysis.suppressions import Suppression, scan_suppressions
 from repro.analysis.violations import Violation
 
 __all__ = [
     "AnalysisConfig",
+    "BaselineComparison",
     "FileReport",
+    "FileResult",
+    "LayerSpec",
+    "ModuleSummary",
+    "ProjectContext",
+    "ProjectRule",
     "RULE_CLASSES",
+    "ResultCache",
     "Rule",
     "RuleSettings",
     "Suppression",
@@ -48,10 +82,15 @@ __all__ = [
     "all_rule_codes",
     "analyze_file",
     "analyze_paths",
+    "compare_baseline",
     "find_project_root",
     "iter_rule_classes",
+    "load_baseline",
     "load_config",
     "render_json",
+    "render_sarif",
     "render_text",
+    "scan_file",
     "scan_suppressions",
+    "write_baseline",
 ]

@@ -1,0 +1,108 @@
+"""Violation baselines: adopt the checker on a corpus with known findings.
+
+A baseline is a JSON snapshot of the current findings, fingerprinted by
+``(path, code, message)`` with a count — deliberately *not* by line number,
+so unrelated edits that shift a file do not churn the baseline.  ``compare``
+mode subtracts baselined counts from a fresh run and reports only the
+*new* violations; stale entries (baselined findings that no longer occur)
+are surfaced so the baseline shrinks monotonically toward zero instead of
+fossilizing.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.analysis.violations import Violation
+
+__all__ = ["BASELINE_VERSION", "BaselineComparison", "compare_baseline", "load_baseline", "write_baseline"]
+
+BASELINE_VERSION = 1
+
+#: What identifies a finding across runs.  Line numbers are excluded on
+#: purpose: they move with every unrelated edit above the finding.
+Fingerprint = Tuple[str, str, str]
+
+
+def _fingerprint(violation: Violation) -> Fingerprint:
+    return (violation.path, violation.code, violation.message)
+
+
+@dataclass
+class BaselineComparison:
+    """Outcome of comparing a fresh run against a stored baseline."""
+
+    #: Violations not absorbed by the baseline — these fail the run.
+    new_violations: List[Violation] = field(default_factory=list)
+    #: Count of findings absorbed (matched a baseline entry with budget left).
+    suppressed_count: int = 0
+    #: Baseline entries (fingerprint, unmatched count) no longer observed —
+    #: the baseline should be rewritten to drop them.
+    stale: List[Tuple[Fingerprint, int]] = field(default_factory=list)
+
+
+def write_baseline(path: Path, violations: Sequence[Violation]) -> None:
+    """Snapshot the current findings as the accepted baseline."""
+    counts = Counter(_fingerprint(violation) for violation in violations)
+    document = {
+        "version": BASELINE_VERSION,
+        "entries": [
+            {"path": fp[0], "code": fp[1], "message": fp[2], "count": count}
+            for fp, count in sorted(counts.items())
+        ],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+
+def load_baseline(path: Path) -> Dict[Fingerprint, int]:
+    """Load fingerprint → accepted count; raises on a malformed file."""
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise ConfigurationError(f"cannot read baseline {path}: {error}") from error
+    except ValueError as error:
+        raise ConfigurationError(f"baseline {path} is not valid JSON: {error}") from error
+    if not isinstance(raw, dict) or raw.get("version") != BASELINE_VERSION:
+        raise ConfigurationError(
+            f"baseline {path} has unsupported format (expected version {BASELINE_VERSION})"
+        )
+    entries = raw.get("entries")
+    if not isinstance(entries, list):
+        raise ConfigurationError(f"baseline {path}: `entries` must be a list")
+    counts: Dict[Fingerprint, int] = {}
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise ConfigurationError(f"baseline {path}: entries must be tables")
+        try:
+            fp = (str(entry["path"]), str(entry["code"]), str(entry["message"]))
+            count = int(entry["count"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise ConfigurationError(f"baseline {path}: malformed entry {entry!r}") from error
+        counts[fp] = counts.get(fp, 0) + count
+    return counts
+
+
+def compare_baseline(
+    violations: Sequence[Violation], baseline: Dict[Fingerprint, int]
+) -> BaselineComparison:
+    """Split a fresh run into new findings and baseline-absorbed ones."""
+    remaining = dict(baseline)
+    comparison = BaselineComparison()
+    for violation in violations:
+        fp = _fingerprint(violation)
+        budget = remaining.get(fp, 0)
+        if budget > 0:
+            remaining[fp] = budget - 1
+            comparison.suppressed_count += 1
+        else:
+            comparison.new_violations.append(violation)
+    comparison.stale = sorted(
+        (fp, count) for fp, count in remaining.items() if count > 0
+    )
+    return comparison

@@ -1,0 +1,185 @@
+"""Content-hash keyed result cache for the per-file analysis phase.
+
+The expensive part of an analysis run is parsing and walking every file; the
+outputs of that phase (:class:`~repro.analysis.engine.FileResult`) depend
+only on the file's bytes and the resolved configuration.  The cache persists
+them as one JSON document keyed by relative path, where each entry records a
+``sha256(content) + config-fingerprint + cache-format-version`` key — so
+editing a file, changing any analysis configuration, or upgrading the cache
+format each invalidate exactly the entries they must.
+
+Suppression *usage* is deliberately not cached: the engine re-applies
+suppressions (including project-rule violations) after loading, so cached
+entries hold raw violations and fresh suppression records.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.engine import FileResult
+from repro.analysis.project import summary_from_dict, summary_to_dict
+from repro.analysis.suppressions import Suppression
+from repro.analysis.violations import Violation
+
+__all__ = ["CACHE_VERSION", "ResultCache", "result_from_dict", "result_to_dict"]
+
+#: Bump when the FileResult serialization format changes; invalidates all
+#: existing entries without needing users to delete the cache file.
+CACHE_VERSION = 1
+
+
+def _violation_to_dict(violation: Violation) -> Dict[str, Any]:
+    return {
+        "path": violation.path,
+        "line": violation.line,
+        "col": violation.col,
+        "code": violation.code,
+        "message": violation.message,
+    }
+
+
+def _violation_from_dict(raw: Mapping[str, Any]) -> Violation:
+    return Violation(
+        path=str(raw["path"]),
+        line=int(raw["line"]),
+        col=int(raw["col"]),
+        code=str(raw["code"]),
+        message=str(raw["message"]),
+    )
+
+
+def _suppression_to_dict(suppression: Suppression) -> Dict[str, Any]:
+    return {
+        "line": suppression.line,
+        "codes": list(suppression.codes),
+        "rationale": suppression.rationale,
+        "blanket": suppression.blanket,
+        "malformed_codes": list(suppression.malformed_codes),
+    }
+
+
+def _suppression_from_dict(raw: Mapping[str, Any]) -> Suppression:
+    return Suppression(
+        line=int(raw["line"]),
+        codes=tuple(str(code) for code in raw["codes"]),
+        rationale=str(raw["rationale"]),
+        blanket=bool(raw["blanket"]),
+        malformed_codes=tuple(str(code) for code in raw["malformed_codes"]),
+    )
+
+
+def result_to_dict(result: FileResult) -> Dict[str, Any]:
+    """JSON-safe form of a :class:`FileResult` (inverse of below)."""
+    return {
+        "path": result.path,
+        "violations": [_violation_to_dict(violation) for violation in result.violations],
+        "suppressions": [
+            _suppression_to_dict(suppression) for suppression in result.suppressions
+        ],
+        "summary": summary_to_dict(result.summary) if result.summary is not None else None,
+        "statement_starts": {
+            str(line): start for line, start in result.statement_starts.items()
+        },
+    }
+
+
+def result_from_dict(raw: Mapping[str, Any]) -> FileResult:
+    summary_raw = raw.get("summary")
+    return FileResult(
+        path=str(raw["path"]),
+        violations=[_violation_from_dict(item) for item in raw["violations"]],
+        suppressions=[_suppression_from_dict(item) for item in raw["suppressions"]],
+        summary=summary_from_dict(summary_raw) if summary_raw is not None else None,
+        statement_starts={
+            int(line): int(start)
+            for line, start in dict(raw.get("statement_starts", {})).items()
+        },
+    )
+
+
+class ResultCache:
+    """On-disk cache of per-file scan results.
+
+    Usage: construct with a cache file path and the active config, ``get``
+    before scanning, ``put`` after a miss, ``save`` once at the end of the
+    run.  ``save`` also prunes entries for files not seen this run, so the
+    cache never grows past the corpus it describes.
+    """
+
+    def __init__(self, path: Path, config: AnalysisConfig) -> None:
+        self.path = path
+        self._config_fingerprint = config.fingerprint()
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self._seen: set[str] = set()
+        self._dirty = False
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(raw, dict) or raw.get("version") != CACHE_VERSION:
+            return
+        entries = raw.get("entries")
+        if isinstance(entries, dict):
+            self._entries = {
+                str(rel): entry for rel, entry in entries.items() if isinstance(entry, dict)
+            }
+
+    def _key(self, path: Path) -> Optional[str]:
+        try:
+            content = path.read_bytes()
+        except OSError:
+            return None
+        digest = hashlib.sha256(content).hexdigest()
+        return f"{CACHE_VERSION}:{self._config_fingerprint}:{digest}"
+
+    def get(self, path: Path, rel_path: str) -> Optional[FileResult]:
+        """Cached result for the file, or ``None`` on any kind of miss."""
+        self._seen.add(rel_path)
+        key = self._key(path)
+        entry = self._entries.get(rel_path)
+        if key is None or entry is None or entry.get("key") != key:
+            self.misses += 1
+            return None
+        try:
+            result = result_from_dict(entry["result"])
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, path: Path, result: FileResult) -> None:
+        key = self._key(path)
+        if key is None:
+            return
+        self._seen.add(result.path)
+        self._entries[result.path] = {"key": key, "result": result_to_dict(result)}
+        self._dirty = True
+
+    def save(self) -> None:
+        """Write the cache back, dropping entries for files not seen this run."""
+        pruned = {rel: entry for rel, entry in self._entries.items() if rel in self._seen}
+        if not self._dirty and pruned.keys() == self._entries.keys():
+            return
+        self._entries = pruned
+        document = {"version": CACHE_VERSION, "entries": self._entries}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        temporary = self.path.with_name(self.path.name + ".tmp")
+        temporary.write_text(
+            json.dumps(document, sort_keys=True, separators=(",", ":")), encoding="utf-8"
+        )
+        temporary.replace(self.path)
+        self._dirty = False
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,38 +1,80 @@
-"""File scanner: parse, dispatch rules in one walk, apply suppressions.
+"""File scanner and orchestrator: parse, dispatch rules, apply suppressions.
 
-The engine owns everything rule-agnostic: path expansion and excludes,
-building the :class:`~repro.analysis.context.FileContext`, dispatching AST
-nodes to the per-file rule instances, and the suppression lifecycle — a
-violation on a line with a matching ``repro: noqa`` comment is swallowed and
-the suppression marked used; suppressions that are blanket, rationale-free,
-malformed, or unused come back out as ``REP000`` violations.
+The engine owns everything rule-agnostic, in two phases:
+
+* the **per-file phase** parses each file once, dispatches AST nodes to the
+  per-file rule instances in a single walk, and extracts the picklable
+  :class:`~repro.analysis.project.ModuleSummary` the cross-module rules
+  need.  This phase parallelizes (``jobs``) and caches (content-hash keyed
+  :class:`~repro.analysis.cache.ResultCache`) because each file is
+  independent.
+* the **project phase** aggregates the summaries into a
+  :class:`~repro.analysis.project.ProjectContext` and runs every enabled
+  :class:`~repro.analysis.rules.base.ProjectRule` over it.
+
+Suppressions apply uniformly to both phases at the end: a violation on a
+line with a matching ``repro: noqa`` comment — or whose enclosing multi-line
+statement *starts* on such a line — is swallowed and the suppression marked
+used; suppressions that are blanket, rationale-free, malformed, or unused
+come back out as ``REP000`` violations.
 """
 
 from __future__ import annotations
 
 import ast
 import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Sequence, Tuple, Type
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Type
 
 from repro.analysis.config import AnalysisConfig, path_matches
 from repro.analysis.context import FileContext, build_parent_map, collect_import_aliases
+from repro.analysis.project import ModuleSummary, ProjectContext, summarize_module
 from repro.analysis.rules import RULE_CLASSES
-from repro.analysis.rules.base import Rule
+from repro.analysis.rules.base import ProjectRule, Rule, handler_node_types
 from repro.analysis.suppressions import Suppression, scan_suppressions
 from repro.analysis.violations import PARSE_ERROR_CODE, SUPPRESSION_CODE, Violation
 
-__all__ = ["FileReport", "analyze_file", "analyze_paths", "iter_python_files"]
+if TYPE_CHECKING:
+    from repro.analysis.cache import ResultCache
+
+__all__ = [
+    "FileReport",
+    "FileResult",
+    "analyze_file",
+    "analyze_paths",
+    "iter_python_files",
+    "scan_file",
+]
 
 
 @dataclass
 class FileReport:
-    """Outcome of scanning one file."""
+    """Outcome of scanning one file (suppressions already applied)."""
 
     path: str
     violations: List[Violation] = field(default_factory=list)
     suppressions: List[Suppression] = field(default_factory=list)
+
+
+@dataclass
+class FileResult:
+    """Raw per-file phase output, before suppression accounting.
+
+    Everything here is plain data so results cross the multiprocessing
+    boundary and round-trip through the on-disk cache: the *unsuppressed*
+    per-file violations, the suppression comments found, the whole-program
+    summary (``None`` when the file did not parse), and the line →
+    enclosing-statement-start map used to honor suppressions written on the
+    first line of a wrapped statement.
+    """
+
+    path: str
+    violations: List[Violation] = field(default_factory=list)
+    suppressions: List[Suppression] = field(default_factory=list)
+    summary: Optional[ModuleSummary] = None
+    statement_starts: Dict[int, int] = field(default_factory=dict)
 
 
 def _relative_path(path: Path, root: Path) -> str:
@@ -45,6 +87,8 @@ def _relative_path(path: Path, root: Path) -> str:
 def _active_rules(config: AnalysisConfig, rel_path: str) -> List[Type[Rule]]:
     active: List[Type[Rule]] = []
     for code, rule_class in RULE_CLASSES.items():
+        if issubclass(rule_class, ProjectRule):
+            continue
         if not config.code_enabled(code):
             continue
         if not config.scoped(
@@ -55,12 +99,19 @@ def _active_rules(config: AnalysisConfig, rel_path: str) -> List[Type[Rule]]:
     return active
 
 
+def _active_project_rules(config: AnalysisConfig) -> List[Type[ProjectRule]]:
+    return [
+        rule_class
+        for code, rule_class in RULE_CLASSES.items()
+        if issubclass(rule_class, ProjectRule) and config.code_enabled(code)
+    ]
+
+
 def _dispatch(tree: ast.Module, rules: Sequence[Rule]) -> None:
     handlers: Dict[str, List[Rule]] = {}
     for rule in rules:
-        for attribute in dir(rule):
-            if attribute.startswith("visit_"):
-                handlers.setdefault(attribute[len("visit_") :], []).append(rule)
+        for node_type in handler_node_types(type(rule)):
+            handlers.setdefault(node_type, []).append(rule)
     if not handlers:
         return
     for node in ast.walk(tree):
@@ -68,8 +119,77 @@ def _dispatch(tree: ast.Module, rules: Sequence[Rule]) -> None:
             getattr(rule, f"visit_{type(node).__name__}")(node)
 
 
+def _statement_start_map(tree: ast.Module) -> Dict[int, int]:
+    """Map continuation lines to the first line of their innermost statement.
+
+    A ``repro: noqa`` on the first line of a wrapped statement must suppress
+    violations reported on the statement's continuation lines.  Outer
+    statements claim their whole extent first, then nested statements
+    overwrite their own ranges, so each line maps to the *innermost*
+    enclosing statement's start; identity mappings are dropped.
+    """
+    mapping: Dict[int, int] = {}
+
+    def claim(statements: Iterable[ast.stmt]) -> None:
+        for statement in statements:
+            end = getattr(statement, "end_lineno", None) or statement.lineno
+            for line in range(statement.lineno, end + 1):
+                mapping[line] = statement.lineno
+            for child_field in ("body", "orelse", "finalbody"):
+                claim(getattr(statement, child_field, []))
+            for handler in getattr(statement, "handlers", []):
+                claim(handler.body)
+            for case in getattr(statement, "cases", []):
+                claim(case.body)
+
+    claim(tree.body)
+    return {line: start for line, start in mapping.items() if line != start}
+
+
+def scan_file(
+    path: Path, config: AnalysisConfig, rel_path: Optional[str] = None
+) -> FileResult:
+    """Per-file phase for one file: parse, run per-file rules, summarize."""
+    rel = rel_path if rel_path is not None else _relative_path(path, config.root)
+    result = FileResult(path=rel)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as error:
+        result.violations.append(
+            Violation(rel, 1, 1, PARSE_ERROR_CODE, f"cannot read file: {error}")
+        )
+        return result
+    lines = source.splitlines()
+    result.suppressions = scan_suppressions(lines)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        result.violations.append(
+            Violation(rel, error.lineno or 1, 1, PARSE_ERROR_CODE, f"syntax error: {error.msg}")
+        )
+        return result
+
+    context = FileContext(
+        path=path,
+        rel_path=rel,
+        lines=lines,
+        tree=tree,
+        config=config,
+        parents=build_parent_map(tree),
+        aliases=collect_import_aliases(tree),
+    )
+    rules = [rule_class(context) for rule_class in _active_rules(config, rel)]
+    _dispatch(tree, rules)
+    for rule in rules:
+        rule.finish()
+    result.violations = [violation for rule in rules for violation in rule.violations]
+    result.summary = summarize_module(rel, tree)
+    result.statement_starts = _statement_start_map(tree)
+    return result
+
+
 def _suppression_violations(
-    report: FileReport, active_codes: Iterable[str], config: AnalysisConfig
+    result: FileResult, active_codes: Iterable[str], config: AnalysisConfig
 ) -> List[Violation]:
     if not config.code_enabled(SUPPRESSION_CODE):
         return []
@@ -78,10 +198,10 @@ def _suppression_violations(
 
     def emit(line: int, message: str) -> None:
         found.append(
-            Violation(path=report.path, line=line, col=1, code=SUPPRESSION_CODE, message=message)
+            Violation(path=result.path, line=line, col=1, code=SUPPRESSION_CODE, message=message)
         )
 
-    for suppression in report.suppressions:
+    for suppression in result.suppressions:
         if suppression.blanket:
             emit(
                 suppression.line,
@@ -107,60 +227,51 @@ def _suppression_violations(
     return found
 
 
-def analyze_file(
-    path: Path, config: AnalysisConfig, rel_path: str | None = None
-) -> FileReport:
-    """Scan one file and return its (suppression-filtered) violations."""
-    rel = rel_path if rel_path is not None else _relative_path(path, config.root)
-    report = FileReport(path=rel)
-    try:
-        source = path.read_text(encoding="utf-8")
-    except (OSError, UnicodeDecodeError) as error:
-        report.violations.append(
-            Violation(rel, 1, 1, PARSE_ERROR_CODE, f"cannot read file: {error}")
-        )
-        return report
-    lines = source.splitlines()
-    report.suppressions = scan_suppressions(lines)
-    try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as error:
-        report.violations.append(
-            Violation(rel, error.lineno or 1, 1, PARSE_ERROR_CODE, f"syntax error: {error.msg}")
-        )
-        return report
-
-    context = FileContext(
-        path=path,
-        rel_path=rel,
-        lines=lines,
-        tree=tree,
-        config=config,
-        parents=build_parent_map(tree),
-        aliases=collect_import_aliases(tree),
-    )
-    rule_classes = _active_rules(config, rel)
-    rules = [rule_class(context) for rule_class in rule_classes]
-    _dispatch(tree, rules)
-    for rule in rules:
-        rule.finish()
-
-    raw = [violation for rule in rules for violation in rule.violations]
-    suppressions_by_line = {suppression.line: suppression for suppression in report.suppressions}
+def _finalize_file(
+    result: FileResult,
+    extra_violations: Sequence[Violation],
+    active_codes: Iterable[str],
+    config: AnalysisConfig,
+) -> List[Violation]:
+    """Apply suppressions to a file's (per-file + project) violations."""
+    suppressions_by_line = {
+        suppression.line: suppression for suppression in result.suppressions
+    }
     kept: List[Violation] = []
-    for violation in raw:
+    for violation in (*result.violations, *extra_violations):
         suppression = suppressions_by_line.get(violation.line)
+        if suppression is None:
+            # Violations on a continuation line inherit the suppression on the
+            # first line of their enclosing statement.
+            start = result.statement_starts.get(violation.line)
+            if start is not None:
+                suppression = suppressions_by_line.get(start)
         if suppression is not None and suppression.suppresses(violation.code):
             suppression.mark_used(violation.code)
             continue
         kept.append(violation)
-    kept.extend(
-        _suppression_violations(
-            report, (rule_class.code for rule_class in rule_classes), config
+    kept.extend(_suppression_violations(result, active_codes, config))
+    return sorted(kept, key=Violation.sort_key)
+
+
+def analyze_file(
+    path: Path, config: AnalysisConfig, rel_path: str | None = None
+) -> FileReport:
+    """Scan one file in isolation (per-file rules only, suppressions applied).
+
+    Whole-program (``ProjectRule``) checks need the full corpus and only run
+    in :func:`analyze_paths`.
+    """
+    result = scan_file(path, config, rel_path)
+    if result.summary is None:  # unreadable or unparsable: report as-is
+        return FileReport(
+            path=result.path,
+            violations=list(result.violations),
+            suppressions=result.suppressions,
         )
-    )
-    report.violations = sorted(kept, key=Violation.sort_key)
-    return report
+    active = [rule_class.code for rule_class in _active_rules(config, result.path)]
+    violations = _finalize_file(result, (), active, config)
+    return FileReport(path=result.path, violations=violations, suppressions=result.suppressions)
 
 
 def iter_python_files(paths: Sequence[Path], config: AnalysisConfig) -> List[Path]:
@@ -199,12 +310,112 @@ def iter_python_files(paths: Sequence[Path], config: AnalysisConfig) -> List[Pat
     return collected
 
 
+def _scan_one(task: Tuple[str, str, AnalysisConfig]) -> FileResult:
+    """Worker entry point for parallel scanning (must stay module-level)."""
+    path, rel, config = task
+    return scan_file(Path(path), config, rel)
+
+
+def _scan_files(
+    files: Sequence[Path],
+    config: AnalysisConfig,
+    jobs: int,
+    cache: "Optional[ResultCache]",
+) -> List[FileResult]:
+    rels = [_relative_path(path, config.root) for path in files]
+    results: Dict[int, FileResult] = {}
+    misses: List[Tuple[int, Path, str]] = []
+    if cache is not None:
+        for index, (path, rel) in enumerate(zip(files, rels)):
+            hit = cache.get(path, rel)
+            if hit is not None:
+                results[index] = hit
+            else:
+                misses.append((index, path, rel))
+    else:
+        misses = [(index, path, rel) for index, (path, rel) in enumerate(zip(files, rels))]
+
+    if misses:
+        if jobs > 1 and len(misses) > 1:
+            tasks = [(str(path), rel, config) for _index, path, rel in misses]
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                fresh = list(pool.map(_scan_one, tasks, chunksize=8))
+        else:
+            fresh = [scan_file(path, config, rel) for _index, path, rel in misses]
+        for (index, path, _rel), result in zip(misses, fresh):
+            results[index] = result
+            if cache is not None:
+                cache.put(path, result)
+    return [results[index] for index in range(len(files))]
+
+
+def _project_violations(
+    results: Sequence[FileResult], config: AnalysisConfig
+) -> Tuple[Dict[str, List[Violation]], Dict[str, List[str]]]:
+    """Run project rules; returns violations and applicable codes per path."""
+    rule_classes = _active_project_rules(config)
+    by_path: Dict[str, List[Violation]] = {}
+    codes_by_path: Dict[str, List[str]] = {}
+    if not rule_classes:
+        return by_path, codes_by_path
+    project = ProjectContext(
+        [result.summary for result in results if result.summary is not None]
+    )
+    scoped_cache: Dict[Tuple[str, str], bool] = {}
+
+    def scoped(rule_class: Type[ProjectRule], rel_path: str) -> bool:
+        key = (rule_class.code, rel_path)
+        cached = scoped_cache.get(key)
+        if cached is None:
+            cached = config.scoped(
+                rule_class.code,
+                rel_path,
+                rule_class.default_include,
+                rule_class.default_exclude,
+            )
+            scoped_cache[key] = cached
+        return cached
+
+    for rule_class in rule_classes:
+        rule = rule_class(config)
+        rule.check(project)
+        for violation in rule.violations:
+            if scoped(rule_class, violation.path):
+                by_path.setdefault(violation.path, []).append(violation)
+    for result in results:
+        codes_by_path[result.path] = [
+            rule_class.code for rule_class in rule_classes if scoped(rule_class, result.path)
+        ]
+    return by_path, codes_by_path
+
+
 def analyze_paths(
-    paths: Sequence[Path], config: AnalysisConfig
+    paths: Sequence[Path],
+    config: AnalysisConfig,
+    *,
+    jobs: int = 1,
+    cache: "Optional[ResultCache]" = None,
 ) -> Tuple[List[Violation], int]:
-    """Scan files/directories; returns (sorted violations, files scanned)."""
+    """Scan files/directories; returns (sorted violations, files scanned).
+
+    Runs both phases: per-file rules over every expanded file (parallelized
+    across ``jobs`` worker processes, short-circuited by ``cache`` hits for
+    files whose content and config are unchanged), then the whole-program
+    rules over the aggregated project context.
+    """
     files = iter_python_files(paths, config)
+    results = _scan_files(files, config, max(1, jobs), cache)
+    project_by_path, project_codes = _project_violations(results, config)
     violations: List[Violation] = []
-    for path in files:
-        violations.extend(analyze_file(path, config).violations)
+    for result in results:
+        if result.summary is None:
+            violations.extend(result.violations)
+            continue
+        active = [rule_class.code for rule_class in _active_rules(config, result.path)]
+        active.extend(project_codes.get(result.path, ()))
+        violations.extend(
+            _finalize_file(result, project_by_path.get(result.path, ()), active, config)
+        )
+    if cache is not None:
+        cache.save()
     return sorted(violations, key=Violation.sort_key), len(files)

@@ -1,25 +1,41 @@
-"""Rule base class and the ``REP0xx`` registry.
+"""Rule base classes and the ``REP0xx`` registry.
 
-A rule is a class with a unique ``code``, a one-line ``summary``, default
-path scoping, and ``visit_<NodeType>`` methods; the engine instantiates one
-rule object per file and dispatches matching AST nodes to it in a single
-tree walk.  Rules that need whole-scope context (dataflow over a function
-body, module-level name accounting) register for the scope node
-(``visit_Module``/``visit_FunctionDef``) and walk the subtree themselves.
+Two rule kinds share one registry:
+
+* a per-file :class:`Rule` has ``visit_<NodeType>`` methods; the engine
+  instantiates one rule object per file and dispatches matching AST nodes to
+  it in a single tree walk.  Rules that need whole-scope context (dataflow
+  over a function body, module-level name accounting) register for the scope
+  node (``visit_Module``/``visit_FunctionDef``) and walk the subtree
+  themselves.
+* a whole-program :class:`ProjectRule` runs once per analysis over the
+  :class:`~repro.analysis.project.ProjectContext` aggregated from every
+  scanned file, and may report violations in any of them (import layering,
+  cross-module exhaustiveness, dead exports).
+
+Both kinds register through :func:`register` and share the configuration,
+``--select``/``--ignore`` and suppression machinery.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Callable, ClassVar, Dict, Iterator, List, Sequence, Tuple, Type
+from typing import TYPE_CHECKING, Any, Callable, ClassVar, Dict, Iterator, List, Mapping, Sequence, Tuple, Type, Union
 
 from repro.analysis.context import FileContext
 from repro.analysis.violations import Violation
 
+if TYPE_CHECKING:
+    from repro.analysis.config import AnalysisConfig
+    from repro.analysis.project import ProjectContext
+
 __all__ = [
     "RULE_CLASSES",
+    "AnyRuleClass",
+    "ProjectRule",
     "Rule",
     "all_rule_codes",
+    "handler_node_types",
     "iter_rule_classes",
     "register",
     "scope_statements",
@@ -57,12 +73,63 @@ class Rule:
         """Hook called once after the tree walk completes."""
 
 
-#: code → rule class, in registration order.
-RULE_CLASSES: Dict[str, Type[Rule]] = {}
+class ProjectRule:
+    """One cross-module invariant, checked once over the whole program.
+
+    Subclasses override :meth:`check`; ``default_include``/``default_exclude``
+    scope which *reported* paths the rule may flag (the context it reads is
+    always the full scanned corpus).
+    """
+
+    code: ClassVar[str] = ""
+    name: ClassVar[str] = ""
+    summary: ClassVar[str] = ""
+    default_include: ClassVar[Tuple[str, ...]] = ()
+    default_exclude: ClassVar[Tuple[str, ...]] = ()
+
+    def __init__(self, config: "AnalysisConfig") -> None:
+        self.config = config
+        self.violations: List[Violation] = []
+
+    def option(self, key: str, default: Any) -> Any:
+        """Rule-specific option with the pyproject override applied."""
+        return self.config.rule_settings(self.code).options.get(key, default)
+
+    def report(self, rel_path: str, line: int, col: int, message: str) -> None:
+        self.violations.append(
+            Violation(path=rel_path, line=line, col=col, code=self.code, message=message)
+        )
+
+    def check(self, project: "ProjectContext") -> None:
+        """Inspect the project context and :meth:`report` violations."""
+        raise NotImplementedError
 
 
-def register(rule_class: Type[Rule]) -> Type[Rule]:
-    """Class decorator adding a rule to the global registry."""
+AnyRuleClass = Union[Type[Rule], Type[ProjectRule]]
+
+#: code → rule class (per-file and project rules), in registration order.
+RULE_CLASSES: Dict[str, AnyRuleClass] = {}
+
+#: rule class → node-type names it handles, computed once per class (the
+#: engine's dispatch previously re-derived this with ``dir()`` per file).
+_HANDLER_NODE_TYPES: Dict[Type[Rule], Tuple[str, ...]] = {}
+
+
+def handler_node_types(rule_class: Type[Rule]) -> Tuple[str, ...]:
+    """AST node-type names (``"Call"``, ``"Module"``…) the rule visits."""
+    cached = _HANDLER_NODE_TYPES.get(rule_class)
+    if cached is None:
+        cached = tuple(
+            attribute[len("visit_") :]
+            for attribute in dir(rule_class)
+            if attribute.startswith("visit_")
+        )
+        _HANDLER_NODE_TYPES[rule_class] = cached
+    return cached
+
+
+def register(rule_class: AnyRuleClass) -> AnyRuleClass:
+    """Class decorator adding a (per-file or project) rule to the registry."""
     if not rule_class.code:
         raise ValueError(f"rule {rule_class.__name__} has no code")
     if rule_class.code in RULE_CLASSES:
@@ -71,7 +138,7 @@ def register(rule_class: Type[Rule]) -> Type[Rule]:
     return rule_class
 
 
-def iter_rule_classes() -> Iterator[Type[Rule]]:
+def iter_rule_classes() -> Iterator[AnyRuleClass]:
     yield from RULE_CLASSES.values()
 
 

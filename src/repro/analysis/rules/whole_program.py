@@ -1,0 +1,226 @@
+"""Whole-program rules (REP010–REP013): invariants no single file can show.
+
+These are the cross-module counterparts of the per-file pack, run once per
+analysis over the aggregated :class:`~repro.analysis.project.ProjectContext`:
+
+* **REP010** — import-layering violations against the
+  ``[tool.repro.analysis.layers]`` DAG in ``pyproject.toml``.
+* **REP011** — delta-dispatch exhaustiveness: a function branching on
+  :class:`~repro.core.session.PolicyDelta` variants via ``isinstance``/
+  ``match`` must cover every registered variant or carry an explicit
+  fallback (the PR 6 ``TypeCountChanged`` silent-no-op bug class).
+* **REP012** — snapshot-field coverage: mutable ``self._*`` state assigned
+  in :class:`~repro.scheduler.service.ClusterScheduler` must be captured by
+  a :class:`~repro.scheduler.service.SchedulerSnapshot` field or declared
+  soft state (reconstructible by replay).
+* **REP013** — dead exports: ``__all__`` names never imported or referenced
+  outside their defining module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.project import ModuleSummary, ProjectContext
+from repro.analysis.rules.base import ProjectRule, register
+
+__all__ = [
+    "DeadExportRule",
+    "DeltaDispatchExhaustivenessRule",
+    "ImportLayeringRule",
+    "SnapshotFieldCoverageRule",
+]
+
+
+@register
+class ImportLayeringRule(ProjectRule):
+    """REP010: an import crossing the declared layer DAG upward or sideways.
+
+    Each layer in ``[tool.repro.analysis.layers]`` lists the layers it may
+    import from; an import whose source and target modules both map to
+    declared layers must follow an allowed edge.  Modules outside every
+    declared prefix (tests, benchmarks, fixtures) are unconstrained, and
+    ``if TYPE_CHECKING:`` imports are exempt by default (annotation-only
+    cycles do not exist at runtime).
+    """
+
+    code = "REP010"
+    name = "import-layering"
+    summary = "import violates the declared layer DAG"
+
+    def check(self, project: ProjectContext) -> None:
+        layers = self.config.layers
+        if not layers:
+            return
+        ignore_type_checking = bool(self.option("ignore_type_checking", True))
+        for summary in project.summaries:
+            source_layer = self.config.layer_of(summary.module) if summary.module else None
+            if source_layer is None:
+                continue
+            allowed = set(layers[source_layer].imports) | {source_layer}
+            for record in summary.imports:
+                if ignore_type_checking and record.type_checking:
+                    continue
+                target_layer = self.config.layer_of(record.target)
+                if target_layer is None or target_layer in allowed:
+                    continue
+                permitted = ", ".join(sorted(allowed))
+                self.report(
+                    summary.rel_path,
+                    record.line,
+                    1,
+                    f"layer `{source_layer}` may not import `{record.target}` "
+                    f"(layer `{target_layer}`); allowed layers: {permitted}",
+                )
+
+
+@register
+class DeltaDispatchExhaustivenessRule(ProjectRule):
+    """REP011: a delta-type dispatch that silently drops registered variants.
+
+    The delta stream is a closed union (``PolicyDelta``); any ``isinstance``
+    elif-chain or ``match`` statement branching over two or more of its
+    variants is a dispatch and must either test every registered variant or
+    carry an explicit fallback (``else:`` / ``case _:``).  Without this, a
+    newly registered delta class — exactly what happened when PR 6 added
+    ``TypeCountChanged`` — is silently ignored by pre-existing dispatchers.
+    """
+
+    code = "REP011"
+    name = "delta-dispatch-exhaustiveness"
+    summary = "isinstance/match over delta types misses registered variants"
+
+    _UNION = "repro.core.session.PolicyDelta"
+    _MIN_BRANCHES = 2
+
+    def check(self, project: ProjectContext) -> None:
+        union_name = str(self.option("union", self._UNION))
+        registry = project.union_members(union_name)
+        if not registry:
+            return
+        registry_set = set(registry)
+        min_branches = int(self.option("min_branches", self._MIN_BRANCHES))
+        for summary in project.summaries:
+            for site in summary.dispatches:
+                tested = {project.resolve_symbol(name) for name in site.tested}
+                matched = tested & registry_set
+                if len(matched) < min_branches or site.has_fallback:
+                    continue
+                missing = sorted(
+                    name.rsplit(".", 1)[-1] for name in registry_set - tested
+                )
+                if not missing:
+                    continue
+                self.report(
+                    summary.rel_path,
+                    site.line,
+                    site.col + 1,
+                    f"{site.kind} dispatch over {union_name.rsplit('.', 1)[-1]} "
+                    f"variants in `{site.scope}` does not handle "
+                    f"{', '.join(missing)}; cover every registered delta or "
+                    "add an explicit fallback branch",
+                )
+
+
+@register
+class SnapshotFieldCoverageRule(ProjectRule):
+    """REP012: scheduler state invisible to the snapshot contract.
+
+    Every ``self._*`` attribute assigned anywhere in the configured state
+    class must be accounted for: captured under the matching snapshot field
+    (``_busy_seconds`` → ``busy_seconds``), captured under a declared
+    ``captured_as`` alias (``_rng`` → ``rng_state``), or listed as
+    reconstructible soft state (``soft_state``).  State added to the
+    scheduler without extending the snapshot is exactly the bug class that
+    silently breaks restore determinism.
+    """
+
+    code = "REP012"
+    name = "snapshot-field-coverage"
+    summary = "scheduler state not covered by snapshot capture/restore"
+
+    _STATE_CLASS = "repro.scheduler.service.ClusterScheduler"
+    _SNAPSHOT_CLASS = "repro.scheduler.service.SchedulerSnapshot"
+
+    @staticmethod
+    def _snapshot_fields(project: ProjectContext, qualified: str) -> Optional[Set[str]]:
+        found = project.find_class(qualified)
+        if found is None:
+            return None
+        _, cls = found
+        fields = set(cls.dataclass_fields)
+        fields.update(attr for attr, _line in cls.self_attrs)
+        return fields
+
+    def check(self, project: ProjectContext) -> None:
+        state_name = str(self.option("state_class", self._STATE_CLASS))
+        snapshot_name = str(self.option("snapshot_class", self._SNAPSHOT_CLASS))
+        state = project.find_class(state_name)
+        snapshot_fields = self._snapshot_fields(project, snapshot_name)
+        if state is None or snapshot_fields is None:
+            return
+        soft_state = {str(name) for name in self.option("soft_state", [])}
+        captured_as_raw = self.option("captured_as", {})
+        captured_as: Dict[str, str] = {
+            str(key): str(value) for key, value in dict(captured_as_raw).items()
+        }
+        state_summary, state_class = state
+        short_snapshot = snapshot_name.rsplit(".", 1)[-1]
+        for attr, line in state_class.self_attrs:
+            if not attr.startswith("_") or attr.startswith("__"):
+                continue
+            if attr.lstrip("_") in snapshot_fields:
+                continue
+            if attr in soft_state:
+                continue
+            alias = captured_as.get(attr)
+            if alias is not None and alias in snapshot_fields:
+                continue
+            self.report(
+                state_summary.rel_path,
+                line,
+                1,
+                f"`self.{attr}` is scheduler state with no {short_snapshot} "
+                f"coverage; capture it as `{attr.lstrip('_')}`, map it via "
+                "`captured_as`, or declare it reconstructible in `soft_state`",
+            )
+
+
+@register
+class DeadExportRule(ProjectRule):
+    """REP013: a name in ``__all__`` that no other scanned module uses.
+
+    An export is *used* when any other module from-imports it, references it
+    through an attribute chain (``module.name``), star-imports its module, or
+    when the name is itself a submodule.  Everything else is API surface that
+    exists only in ``__all__`` — either delete the export (and make the
+    definition private) or, for genuinely external entry points, list it in
+    the rule's ``allow`` option.
+    """
+
+    code = "REP013"
+    name = "dead-export"
+    summary = "__all__ name never used outside its module"
+
+    default_include = ("src/repro",)
+
+    def check(self, project: ProjectContext) -> None:
+        allow = {str(name) for name in self.option("allow", [])}
+        for summary in project.summaries:
+            if summary.dunder_all is None or not summary.module:
+                continue
+            dead: List[str] = []
+            for name in summary.dunder_all:
+                if f"{summary.module}.{name}" in allow:
+                    continue
+                if not project.is_name_used_externally(summary.module, name):
+                    dead.append(name)
+            for name in dead:
+                self.report(
+                    summary.rel_path,
+                    summary.dunder_all_line,
+                    1,
+                    f"`{name}` is exported in __all__ but never imported or "
+                    "referenced outside this module; drop the export or add "
+                    f"`{summary.module}.{name}` to the REP013 allow list",
+                )

@@ -45,7 +45,7 @@ from repro.core.effective_throughput import (
 from repro.core.policy import Policy
 from repro.core.problem import PolicyProblem
 from repro.core.registry import make_policy, parse_policy_spec
-from repro.core.session import RebuildSession
+from repro.core.session import DeltaSummary, RebuildSession, summarize_deltas
 from repro.core.throughput_matrix import JobCombination
 from repro.workloads.job import Job
 from repro.workloads.throughputs import ThroughputOracle
@@ -314,6 +314,25 @@ def churn_events(
     return events
 
 
+def _assert_delta_stream_consistent(
+    spec: str, summary: DeltaSummary, active_ids: set
+) -> None:
+    """The drained delta batch must agree with the engine's active set.
+
+    Jobs the stream advertises as (net) added must be active, and jobs it
+    advertises as (net) removed must not be — a violation means the engine
+    emitted a delta for churn it never applied, or dropped one it did.
+    """
+    added = set(summary.added_job_ids)
+    removed = set(summary.removed_job_ids)
+    ghost = (added - removed) - active_ids
+    assert not ghost, f"{spec}: delta stream added unknown jobs {sorted(ghost)}"
+    lingering = (removed - added) & active_ids
+    assert not lingering, (
+        f"{spec}: delta stream removed still-active jobs {sorted(lingering)}"
+    )
+
+
 def run_session_churn_equivalence(
     spec: str,
     oracle: ThroughputOracle,
@@ -359,6 +378,7 @@ def run_session_churn_equivalence(
             current_time=3600.0,
         )
         deltas = engine.drain_deltas()
+        _assert_delta_stream_consistent(spec, summarize_deltas(deltas), set(active))
         if session is None:
             session = session_policy.session(problem)
         else:
@@ -439,6 +459,13 @@ def run_aggregated_churn_equivalence(
         )
         engine_full.drain_deltas()
         deltas = engine_type.drain_deltas()
+        summary = summarize_deltas(deltas)
+        for key, advertised in summary.group_counts:
+            actual = engine_type.group_counts.get(key, 0)
+            assert actual == advertised, (
+                f"{spec}: delta stream advertises group {key!r} at count "
+                f"{advertised} but the engine histogram says {actual}"
+            )
         if session is None:
             session = aggregated_policy.session(aggregated_problem)
             assert isinstance(session, AggregatedSession), type(session).__name__

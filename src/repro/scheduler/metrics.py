@@ -5,8 +5,7 @@ split into short and long jobs, makespan, finish-time fairness, dollar cost,
 SLO violations and cluster utilization; this module holds the per-job records
 and the aggregation helpers that compute those quantities.  The records are
 written by :class:`~repro.scheduler.service.ClusterScheduler` as it executes
-rounds; ``repro.simulator.metrics`` re-exports everything here for backwards
-compatibility.
+rounds; ``repro.simulator`` re-exports the public names for convenience.
 """
 
 from __future__ import annotations

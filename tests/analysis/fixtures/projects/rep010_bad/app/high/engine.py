@@ -1,0 +1,7 @@
+"""Top layer: importing downward is fine."""
+
+import app.low
+
+
+def run() -> int:
+    return 1 if app.low else 0

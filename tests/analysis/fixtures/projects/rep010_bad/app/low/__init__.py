@@ -1,0 +1,8 @@
+"""Bottom layer: may not import upward."""
+
+import app.high.engine  # expect[REP010]
+from app.high import engine  # expect[REP010]
+
+
+def helper() -> int:
+    return engine.run()

@@ -1,0 +1,8 @@
+"""Top layer: importing downward follows the declared edge."""
+
+import app.low
+
+
+class Engine:
+    def run(self) -> int:
+        return app.low.helper(self)

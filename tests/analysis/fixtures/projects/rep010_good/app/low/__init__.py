@@ -1,0 +1,10 @@
+"""Bottom layer: annotation-only upward references are exempt."""
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from app.high.engine import Engine
+
+
+def helper(engine: "Engine") -> int:
+    return 1

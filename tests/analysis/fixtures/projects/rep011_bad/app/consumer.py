@@ -1,0 +1,20 @@
+"""Dispatchers that silently drop a registered variant."""
+
+from app.deltas import Added, Delta, Refined, Removed
+
+
+def incomplete_chain(delta: Delta) -> str:
+    if isinstance(delta, Added):  # expect[REP011]
+        return "added"
+    elif isinstance(delta, Removed):
+        return "removed"
+    return "ignored"
+
+
+def incomplete_match(delta: Delta) -> str:
+    match delta:  # expect[REP011]
+        case Added():
+            return "added"
+        case Refined():
+            return "refined"
+    return "ignored"

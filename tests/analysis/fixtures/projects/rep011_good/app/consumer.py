@@ -1,0 +1,39 @@
+"""Dispatchers that are exhaustive or carry an explicit fallback."""
+
+from app.deltas import Added, Delta, Refined, Removed
+
+
+def exhaustive_chain(delta: Delta) -> str:
+    if isinstance(delta, Added):
+        return "added"
+    elif isinstance(delta, Removed):
+        return "removed"
+    elif isinstance(delta, Refined):
+        return "refined"
+    return "unreachable"
+
+
+def partial_with_fallback(delta: Delta) -> str:
+    if isinstance(delta, Added):
+        return "added"
+    elif isinstance(delta, Removed):
+        return "removed"
+    else:
+        return "everything else"
+
+
+def exhaustive_match(delta: Delta) -> str:
+    match delta:
+        case Added():
+            return "added"
+        case Removed() | Refined():
+            return "churn"
+    return "unreachable"
+
+
+def partial_match_with_wildcard(delta: Delta) -> str:
+    match delta:
+        case Added():
+            return "added"
+        case _:
+            return "everything else"

@@ -1,0 +1,18 @@
+"""A closed delta union with three registered variants."""
+
+from typing import Union
+
+
+class Added:
+    pass
+
+
+class Removed:
+    pass
+
+
+class Refined:
+    pass
+
+
+Delta = Union[Added, Removed, Refined]

@@ -1,0 +1,25 @@
+"""Scheduler state with a field the snapshot never captures."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Snap:
+    time: float
+    queue: list
+    rng_state: dict
+
+
+class Sched:
+    def __init__(self) -> None:
+        self._time = 0.0
+        self._queue: list = []
+        self._rng = {"state": 1}
+        self._oracle = object()
+        self._lost_counter = 0  # expect[REP012]
+
+    def tick(self) -> None:
+        self._lost_counter += 1
+
+    def snapshot(self) -> Snap:
+        return Snap(time=self._time, queue=list(self._queue), rng_state=dict(self._rng))

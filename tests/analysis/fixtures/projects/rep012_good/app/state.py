@@ -1,0 +1,31 @@
+"""Scheduler state fully accounted for by the snapshot contract."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Snap:
+    time: float
+    queue: list
+    lost_counter: int
+    rng_state: dict
+
+
+class Sched:
+    def __init__(self) -> None:
+        self._time = 0.0
+        self._queue: list = []
+        self._rng = {"state": 1}
+        self._oracle = object()  # soft state: rebuilt by restore()
+        self._lost_counter = 0
+
+    def tick(self) -> None:
+        self._lost_counter += 1
+
+    def snapshot(self) -> Snap:
+        return Snap(
+            time=self._time,
+            queue=list(self._queue),
+            lost_counter=self._lost_counter,
+            rng_state=dict(self._rng),
+        )

@@ -1,0 +1,7 @@
+"""Imports only one of the three exports; `blessed` is allow-listed."""
+
+from app.tools import used
+
+
+def call() -> int:
+    return used()

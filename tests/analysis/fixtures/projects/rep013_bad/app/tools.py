@@ -1,0 +1,15 @@
+"""Exports where one name is genuinely dead."""
+
+__all__ = ["used", "dead", "blessed"]  # expect[REP013]
+
+
+def used() -> int:
+    return 1
+
+
+def dead() -> int:
+    return 2
+
+
+def blessed() -> int:
+    return 3

@@ -1,0 +1,5 @@
+"""Package re-exports stay alive through any import path to the symbol."""
+
+from app.tools import attr_used, used
+
+__all__ = ["attr_used", "used"]

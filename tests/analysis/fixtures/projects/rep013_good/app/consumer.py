@@ -1,0 +1,8 @@
+"""Uses one export by from-import and one by attribute reference."""
+
+import app.tools
+from app.tools import used
+
+
+def call() -> int:
+    return used() + app.tools.attr_used()

@@ -1,0 +1,11 @@
+"""Every export here has an external consumer."""
+
+__all__ = ["attr_used", "used"]
+
+
+def used() -> int:
+    return 1
+
+
+def attr_used() -> int:
+    return 2

@@ -7,7 +7,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis.cli import main
+from repro.analysis.cli import build_parser, main
 from repro.analysis.rules import RULE_CLASSES
 
 
@@ -91,3 +91,90 @@ def test_syntax_error_exits_one(project: Path, capsys) -> None:
     write(project, "broken.py", "def f(:\n")
     assert main([str(project)]) == 1
     assert "REP999" in capsys.readouterr().out
+
+
+def test_build_parser_defaults() -> None:
+    options = build_parser().parse_args([])
+    assert options.paths == ["."]
+    assert options.format == "text"
+    assert options.jobs == 1
+    assert options.baseline is None and options.cache is None
+
+
+def test_sarif_format(project: Path, capsys) -> None:
+    write(project, "bad.py", "def f(xs=[]):\n    return xs\n")
+    assert main(["--format", "sarif", str(project)]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["version"] == "2.1.0"
+    [result] = document["runs"][0]["results"]
+    assert result["ruleId"] == "REP006"
+
+
+def test_list_rules_tags_project_rules(capsys) -> None:
+    assert main(["--list-rules"]) == 0
+    tagged = {
+        line.split()[0]
+        for line in capsys.readouterr().out.splitlines()
+        if "[project]" in line
+    }
+    assert tagged == {"REP010", "REP011", "REP012", "REP013"}
+
+
+def test_baseline_write_then_compare(project: Path, capsys) -> None:
+    write(project, "bad.py", "def f(xs=[]):\n    return xs\n")
+    baseline = project / "baseline.json"
+
+    assert main(["--baseline", str(baseline), "--baseline-mode", "write", str(project)]) == 0
+    assert "wrote 1 finding" in capsys.readouterr().err
+
+    # Same corpus: the known finding is absorbed and the run goes green.
+    assert main(["--baseline", str(baseline), str(project)]) == 0
+    assert "absorbed 1 known finding" in capsys.readouterr().err
+
+    # A new finding elsewhere still fails the run.
+    write(project, "worse.py", "def g(ys={}):\n    return ys\n")
+    assert main(["--baseline", str(baseline), str(project)]) == 1
+    assert "worse.py" in capsys.readouterr().out
+
+
+def test_baseline_stale_entry_reported(project: Path, capsys) -> None:
+    bad = write(project, "bad.py", "def f(xs=[]):\n    return xs\n")
+    baseline = project / "baseline.json"
+    assert main(["--baseline", str(baseline), "--baseline-mode", "write", str(project)]) == 0
+    capsys.readouterr()
+
+    bad.write_text("def f(xs=()):\n    return xs\n")  # finding fixed for real
+    assert main(["--baseline", str(baseline), str(project)]) == 0
+    assert "stale entry" in capsys.readouterr().err
+
+
+def test_malformed_baseline_exits_two(project: Path, capsys) -> None:
+    write(project, "ok.py", "def f(x):\n    return x\n")
+    baseline = write(project, "baseline.json", "{broken")
+    assert main(["--baseline", str(baseline), str(project)]) == 2
+    assert "baseline" in capsys.readouterr().err
+
+
+def test_cache_flag_persists_and_reuses_results(project: Path, capsys) -> None:
+    write(project, "bad.py", "def f(xs=[]):\n    return xs\n")
+    cache = project / ".analysis-cache.json"
+    assert main(["--cache", str(cache), str(project)]) == 1
+    assert cache.exists()
+    first = capsys.readouterr().out
+    assert main(["--cache", str(cache), str(project)]) == 1
+    assert capsys.readouterr().out == first
+
+
+def test_jobs_must_be_positive(project: Path, capsys) -> None:
+    write(project, "ok.py", "def f(x):\n    return x\n")
+    assert main(["--jobs", "0", str(project)]) == 2
+    assert "--jobs" in capsys.readouterr().err
+
+
+def test_jobs_two_matches_serial_output(project: Path, capsys) -> None:
+    write(project, "bad.py", "def f(xs=[]):\n    return xs\n")
+    write(project, "ok.py", "def f(x):\n    return x\n")
+    assert main([str(project)]) == 1
+    serial = capsys.readouterr().out
+    assert main(["--jobs", "2", str(project)]) == 1
+    assert capsys.readouterr().out == serial

@@ -1,0 +1,89 @@
+"""Baseline write/compare semantics: absorption, new findings, staleness."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import BaselineComparison, compare_baseline, load_baseline, write_baseline
+from repro.analysis.baseline import BASELINE_VERSION
+from repro.analysis.violations import Violation
+from repro.exceptions import ConfigurationError
+
+
+def violation(path: str = "a.py", line: int = 3, code: str = "REP006", message: str = "m") -> Violation:
+    return Violation(path=path, line=line, col=1, code=code, message=message)
+
+
+def test_write_then_load_round_trips(tmp_path: Path) -> None:
+    target = tmp_path / "baseline.json"
+    write_baseline(target, [violation(), violation(line=9), violation(code="REP002")])
+    loaded = load_baseline(target)
+    assert loaded == {
+        ("a.py", "REP006", "m"): 2,  # line numbers deliberately not part of the key
+        ("a.py", "REP002", "m"): 1,
+    }
+
+
+def test_compare_absorbs_known_and_reports_new(tmp_path: Path) -> None:
+    target = tmp_path / "baseline.json"
+    write_baseline(target, [violation()])
+    fresh = [violation(line=40), violation(code="REP003", message="new finding")]
+    comparison = compare_baseline(fresh, load_baseline(target))
+    assert isinstance(comparison, BaselineComparison)
+    assert comparison.suppressed_count == 1
+    assert [v.code for v in comparison.new_violations] == ["REP003"]
+    assert comparison.stale == []
+
+
+def test_count_budget_is_per_fingerprint(tmp_path: Path) -> None:
+    target = tmp_path / "baseline.json"
+    write_baseline(target, [violation()])
+    # Two occurrences of a fingerprint baselined once: one absorbed, one new.
+    comparison = compare_baseline([violation(), violation(line=50)], load_baseline(target))
+    assert comparison.suppressed_count == 1
+    assert len(comparison.new_violations) == 1
+
+
+def test_stale_entries_surface_with_counts(tmp_path: Path) -> None:
+    target = tmp_path / "baseline.json"
+    write_baseline(target, [violation(), violation(line=9), violation(code="REP002")])
+    comparison = compare_baseline([violation()], load_baseline(target))
+    assert comparison.stale == [
+        (("a.py", "REP002", "m"), 1),
+        (("a.py", "REP006", "m"), 1),
+    ]
+
+
+def test_empty_baseline_absorbs_nothing(tmp_path: Path) -> None:
+    target = tmp_path / "baseline.json"
+    write_baseline(target, [])
+    document = target.read_text()
+    assert f'"version": {BASELINE_VERSION}' in document
+    comparison = compare_baseline([violation()], load_baseline(target))
+    assert comparison.suppressed_count == 0
+    assert len(comparison.new_violations) == 1
+
+
+@pytest.mark.parametrize(
+    "content",
+    [
+        "not json at all",
+        '{"version": 999, "entries": []}',
+        '{"version": 1, "entries": "nope"}',
+        '{"version": 1, "entries": [{"path": "a.py"}]}',
+        '{"version": 1, "entries": [42]}',
+    ],
+    ids=["not-json", "bad-version", "entries-not-list", "missing-keys", "entry-not-table"],
+)
+def test_malformed_baseline_raises(tmp_path: Path, content: str) -> None:
+    target = tmp_path / "baseline.json"
+    target.write_text(content)
+    with pytest.raises(ConfigurationError):
+        load_baseline(target)
+
+
+def test_missing_baseline_file_raises(tmp_path: Path) -> None:
+    with pytest.raises(ConfigurationError):
+        load_baseline(tmp_path / "does-not-exist.json")

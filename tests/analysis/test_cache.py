@@ -1,0 +1,122 @@
+"""Result-cache correctness: hits, invalidation, pruning, and jobs parity.
+
+The cache must be *transparent*: a cached run reports exactly what a cold
+run reports, and any input that could change a file's result — its content,
+the resolved configuration, or the cache format version — must invalidate
+exactly the affected entries.  The ``--jobs`` path shares the same
+``FileResult`` plumbing, so its parity test lives here too.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.analysis import AnalysisConfig, ResultCache, RuleSettings, analyze_paths, scan_file
+from repro.analysis.cache import CACHE_VERSION, result_from_dict, result_to_dict
+from repro.analysis.engine import iter_python_files
+from repro.analysis.rules import RULE_CLASSES
+
+NOISY = "def f(xs=[]):\n    return xs\n"
+CLEAN = "def f(x):\n    return x\n"
+
+
+def everywhere(root: Path) -> AnalysisConfig:
+    return AnalysisConfig(
+        root=root, rules={code: RuleSettings(include=()) for code in RULE_CLASSES}
+    )
+
+
+def corpus(tmp_path: Path) -> Path:
+    (tmp_path / "noisy.py").write_text(NOISY)
+    (tmp_path / "clean.py").write_text(CLEAN)
+    return tmp_path
+
+
+def run(root: Path, cache: ResultCache | None = None, jobs: int = 1):
+    violations, files_scanned = analyze_paths([root], everywhere(root), jobs=jobs, cache=cache)
+    return [
+        (violation.path, violation.line, violation.code) for violation in violations
+    ], files_scanned
+
+
+def test_file_result_round_trips_through_dict(tmp_path: Path) -> None:
+    target = corpus(tmp_path) / "noisy.py"
+    result = scan_file(target, everywhere(tmp_path))
+    assert result.violations and result.summary is not None
+    assert result_from_dict(result_to_dict(result)) == result
+
+
+def test_warm_cache_hits_and_matches_cold_run(tmp_path: Path) -> None:
+    root = corpus(tmp_path)
+    cache_file = tmp_path / ".cache" / "analysis.json"
+    config = everywhere(root)
+
+    cold_cache = ResultCache(cache_file, config)
+    cold = run(root, cache=cold_cache)
+    assert (cold_cache.hits, cold_cache.misses) == (0, 2)
+    assert cache_file.exists()
+
+    warm_cache = ResultCache(cache_file, config)
+    warm = run(root, cache=warm_cache)
+    assert (warm_cache.hits, warm_cache.misses) == (2, 0)
+    assert warm == cold
+
+
+def test_editing_a_file_invalidates_only_it(tmp_path: Path) -> None:
+    root = corpus(tmp_path)
+    cache_file = tmp_path / "analysis-cache.json"
+    config = everywhere(root)
+    run(root, cache=ResultCache(cache_file, config))
+
+    (root / "clean.py").write_text("def g(ys={}):\n    return ys\n")
+    edited_cache = ResultCache(cache_file, config)
+    violations, _files = run(root, cache=edited_cache)
+    assert (edited_cache.hits, edited_cache.misses) == (1, 1)
+    assert ("clean.py", 1, "REP006") in violations
+
+
+def test_config_change_invalidates_everything(tmp_path: Path) -> None:
+    root = corpus(tmp_path)
+    cache_file = tmp_path / "analysis-cache.json"
+    config = everywhere(root)
+    run(root, cache=ResultCache(cache_file, config))
+
+    narrowed = dataclasses.replace(config, ignore=frozenset({"REP006"}))
+    cache = ResultCache(cache_file, narrowed)
+    violations, _files = analyze_paths([root], narrowed, cache=cache)
+    assert (cache.hits, cache.misses) == (0, 2)
+    assert not any(code == "REP006" for _path, _line, code in
+                   [(v.path, v.line, v.code) for v in violations])
+
+
+def test_save_prunes_entries_for_deleted_files(tmp_path: Path) -> None:
+    root = corpus(tmp_path)
+    cache_file = tmp_path / "analysis-cache.json"
+    config = everywhere(root)
+    run(root, cache=ResultCache(cache_file, config))
+
+    (root / "noisy.py").unlink()
+    run(root, cache=ResultCache(cache_file, config))
+    document = json.loads(cache_file.read_text())
+    assert document["version"] == CACHE_VERSION
+    assert sorted(document["entries"]) == ["clean.py"]
+
+
+def test_corrupt_cache_file_is_ignored(tmp_path: Path) -> None:
+    root = corpus(tmp_path)
+    cache_file = tmp_path / "analysis-cache.json"
+    cache_file.write_text("{not json")
+    cache = ResultCache(cache_file, everywhere(root))
+    assert len(cache) == 0
+    assert run(root, cache=cache) == run(root)
+
+
+def test_parallel_jobs_match_serial_results(tmp_path: Path) -> None:
+    root = corpus(tmp_path)
+    (root / "also_noisy.py").write_text("import time\n\n\ndef f():\n    return time.time()\n")
+    serial = run(root, jobs=1)
+    parallel = run(root, jobs=2)
+    assert parallel == serial
+    assert serial[1] == len(iter_python_files([root], everywhere(root)))

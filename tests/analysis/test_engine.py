@@ -115,3 +115,53 @@ def test_analyze_paths_aggregates(tmp_path: Path) -> None:
     violations, files_scanned = analyze_paths([tmp_path], everywhere(tmp_path))
     assert files_scanned == 2
     assert sorted(violation.path for violation in violations) == ["one.py", "two.py"]
+
+
+MULTILINE = (
+    "import time\n"
+    "\n"
+    "value = max(  # repro: noqa[REP002] -- frozen test input\n"
+    "    0.0,\n"
+    "    time.time(),\n"
+    ")\n"
+)
+
+
+def test_suppression_on_statement_start_covers_continuation_lines(tmp_path: Path) -> None:
+    """A noqa on the first line of a wrapped statement suppresses violations
+    reported on its continuation lines (the violation node's own lineno)."""
+    target = write(tmp_path, "wrapped.py", MULTILINE)
+    assert codes(analyze_file(target, everywhere(tmp_path))) == []
+
+
+def test_suppression_on_interior_line_does_not_match(tmp_path: Path) -> None:
+    source = MULTILINE.replace(
+        "value = max(  # repro: noqa[REP002] -- frozen test input", "value = max("
+    ).replace("    0.0,", "    0.0,  # repro: noqa[REP002] -- wrong line")
+    target = write(tmp_path, "wrapped.py", source)
+    report = analyze_file(target, everywhere(tmp_path))
+    # The violation survives and the misplaced suppression is flagged unused.
+    assert sorted(codes(report)) == [SUPPRESSION_CODE, "REP002"]
+
+
+def test_project_rule_violation_is_suppressible(tmp_path: Path) -> None:
+    """Suppressions apply to whole-program findings too (REP013 here)."""
+    (tmp_path / "pyproject.toml").write_text(
+        '[tool.repro.analysis]\nselect = ["REP013"]\n\n'
+        "[tool.repro.analysis.REP013]\ninclude = []\n"
+    )
+    write(tmp_path, "mod.py", '__all__ = ["dead"]\n\n\ndef dead() -> None: ...\n')
+    from repro.analysis import load_config
+
+    config = load_config(tmp_path)
+    violations, _files = analyze_paths([tmp_path], config)
+    assert [violation.code for violation in violations] == ["REP013"]
+
+    write(
+        tmp_path,
+        "mod.py",
+        '__all__ = ["dead"]  # repro: noqa[REP013] -- external entry point\n'
+        "\n\ndef dead() -> None: ...\n",
+    )
+    violations, _files = analyze_paths([tmp_path], config)
+    assert violations == []

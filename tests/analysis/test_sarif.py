@@ -1,0 +1,154 @@
+"""SARIF output: structural guarantees and schema validation.
+
+The embedded schema is a trimmed-but-faithful subset of the official SARIF
+2.1.0 JSON schema (no network access in tests): every constraint it encodes
+— required properties, types, the version literal, rule/result/location
+shapes — is copied from the upstream schema, with unrelated object kinds
+omitted.  ``additionalProperties`` stays open exactly as upstream.
+"""
+
+from __future__ import annotations
+
+import json
+
+import jsonschema
+
+from repro.analysis import render_sarif
+from repro.analysis.rules import RULE_CLASSES
+from repro.analysis.violations import Violation
+
+#: Trimmed SARIF 2.1.0 schema: sarifLog → run → tool/driver/rules + results.
+SARIF_SCHEMA = {
+    "$schema": "http://json-schema.org/draft-07/schema#",
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"enum": ["2.1.0"]},
+        "$schema": {"type": "string", "format": "uri"},
+        "runs": {"type": "array", "items": {"$ref": "#/definitions/run"}},
+    },
+    "definitions": {
+        "run": {
+            "type": "object",
+            "required": ["tool"],
+            "properties": {
+                "tool": {
+                    "type": "object",
+                    "required": ["driver"],
+                    "properties": {"driver": {"$ref": "#/definitions/toolComponent"}},
+                },
+                "results": {
+                    "type": "array",
+                    "items": {"$ref": "#/definitions/result"},
+                },
+                "columnKind": {"enum": ["utf16CodeUnits", "unicodeCodePoints"]},
+            },
+        },
+        "toolComponent": {
+            "type": "object",
+            "required": ["name"],
+            "properties": {
+                "name": {"type": "string"},
+                "informationUri": {"type": "string", "format": "uri"},
+                "rules": {
+                    "type": "array",
+                    "items": {"$ref": "#/definitions/reportingDescriptor"},
+                },
+            },
+        },
+        "reportingDescriptor": {
+            "type": "object",
+            "required": ["id"],
+            "properties": {
+                "id": {"type": "string"},
+                "name": {"type": "string"},
+                "shortDescription": {"$ref": "#/definitions/message"},
+            },
+        },
+        "result": {
+            "type": "object",
+            "required": ["message"],
+            "properties": {
+                "ruleId": {"type": "string"},
+                "ruleIndex": {"type": "integer", "minimum": -1},
+                "level": {"enum": ["none", "note", "warning", "error"]},
+                "message": {"$ref": "#/definitions/message"},
+                "locations": {
+                    "type": "array",
+                    "items": {"$ref": "#/definitions/location"},
+                },
+            },
+        },
+        "message": {
+            "type": "object",
+            "properties": {"text": {"type": "string"}},
+        },
+        "location": {
+            "type": "object",
+            "properties": {
+                "physicalLocation": {
+                    "type": "object",
+                    "properties": {
+                        "artifactLocation": {
+                            "type": "object",
+                            "properties": {
+                                "uri": {"type": "string"},
+                                "uriBaseId": {"type": "string"},
+                            },
+                        },
+                        "region": {
+                            "type": "object",
+                            "properties": {
+                                "startLine": {"type": "integer", "minimum": 1},
+                                "startColumn": {"type": "integer", "minimum": 1},
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def sample_violations() -> list:
+    return [
+        Violation(path="src/repro/core/x.py", line=12, col=5, code="REP006", message="mutable default"),
+        Violation(path="tests/test_y.py", line=1, col=1, code="REP013", message="dead export"),
+    ]
+
+
+def test_sarif_validates_against_schema() -> None:
+    document = json.loads(render_sarif(sample_violations(), files_scanned=2))
+    jsonschema.validate(document, SARIF_SCHEMA)
+
+
+def test_empty_run_validates_and_has_no_results() -> None:
+    document = json.loads(render_sarif([], files_scanned=0))
+    jsonschema.validate(document, SARIF_SCHEMA)
+    assert document["runs"][0]["results"] == []
+
+
+def test_rule_index_resolves_into_driver_rules() -> None:
+    document = json.loads(render_sarif(sample_violations(), files_scanned=2))
+    run = document["runs"][0]
+    rules = run["tool"]["driver"]["rules"]
+    assert len(run["results"]) == 2
+    for result in run["results"]:
+        assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+
+def test_every_registered_rule_has_a_descriptor() -> None:
+    document = json.loads(render_sarif([], files_scanned=0))
+    descriptor_ids = {
+        rule["id"] for rule in document["runs"][0]["tool"]["driver"]["rules"]
+    }
+    assert descriptor_ids >= set(RULE_CLASSES)
+
+
+def test_result_uris_are_root_relative() -> None:
+    document = json.loads(render_sarif(sample_violations(), files_scanned=2))
+    for result in document["runs"][0]["results"]:
+        location = result["locations"][0]["physicalLocation"]["artifactLocation"]
+        assert not location["uri"].startswith(("/", "file:"))
+        assert location["uriBaseId"] == "PROJECTROOT"

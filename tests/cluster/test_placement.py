@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster import ClusterSpec, ClusterTopology, Placer, PlacementRequest
+from repro.cluster import ClusterSpec, ClusterTopology, Placement, Placer, PlacementRequest
 from repro.exceptions import SchedulingError
 
 
@@ -17,6 +17,7 @@ class TestPlacement:
         [placement] = placer.place(
             [PlacementRequest(combination=(0,), accelerator_name="v100", scale_factor=1)]
         )
+        assert isinstance(placement, Placement)
         assert placement.consolidated is True
         assert len(placement.worker_ids) == 1
 

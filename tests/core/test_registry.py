@@ -134,3 +134,45 @@ class TestPolicySpecs:
     def test_unknown_base_in_spec_raises(self):
         with pytest.raises(ConfigurationError):
             make_policy("round_robin+ss")
+
+
+class TestSessionClasses:
+    """Each LP/feasibility policy hands out its registered session type."""
+
+    def test_policy_sessions_use_registered_classes(self):
+        from repro.cluster import ClusterSpec
+        from repro.core import AllocationEngine, PolicyProblem
+        from repro.core.finish_time_fairness import FinishTimeFairnessSession
+        from repro.core.makespan import MakespanSession
+        from repro.core.max_min_fairness import MaxMinFairnessSession
+        from repro.core.min_cost import MinCostSession, MinCostWithSLOsSession
+        from repro.workloads import ThroughputOracle, TraceGenerator
+
+        expected = {
+            "max_min_fairness": MaxMinFairnessSession,
+            "makespan": MakespanSession,
+            "finish_time_fairness": FinishTimeFairnessSession,
+            "min_cost": MinCostSession,
+            "min_cost_slo": MinCostWithSLOsSession,
+        }
+        oracle = ThroughputOracle()
+        cluster = ClusterSpec.from_counts(
+            {name: 2 for name in oracle.registry.names}, registry=oracle.registry
+        )
+        trace = TraceGenerator(oracle=oracle).generate_static(num_jobs=3, seed=7)
+        jobs = {job.job_id: job for job in trace.jobs}
+        for spec, session_class in expected.items():
+            policy = make_policy(spec)
+            engine = AllocationEngine(oracle, space_sharing=policy.space_sharing)
+            for job in trace.jobs:
+                engine.add_job(job)
+            problem = PolicyProblem(
+                jobs=jobs,
+                throughputs=engine.matrix(),
+                cluster_spec=cluster,
+                steps_remaining={job_id: job.total_steps for job_id, job in jobs.items()},
+                time_elapsed={job_id: 0.0 for job_id in jobs},
+                current_time=0.0,
+            )
+            session = policy.session(problem)
+            assert isinstance(session, session_class), spec

@@ -5,6 +5,7 @@ import pytest
 from repro.cluster import ClusterSpec
 from repro.exceptions import ConfigurationError
 from repro.harness import (
+    LoadSweepPoint,
     measure_policy_runtime,
     run_load_sweep,
     run_policy_on_trace,
@@ -59,6 +60,7 @@ class TestLoadSweep:
             oracle=oracle,
         )
         assert len(points) == 2
+        assert all(isinstance(point, LoadSweepPoint) for point in points)
         assert points[1].mean >= points[0].mean * 0.8
 
     def test_multiple_seeds_produce_std(self, oracle, spec):

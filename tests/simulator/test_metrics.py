@@ -127,20 +127,3 @@ class TestCdfPoints:
         xs, ys = cdf_points([3.0, 1.0, 2.0])
         np.testing.assert_allclose(xs, [1.0, 2.0, 3.0])
         np.testing.assert_allclose(ys, [1 / 3, 2 / 3, 1.0])
-
-
-class TestDeprecatedMetricsShim:
-    def test_simulator_metrics_import_warns(self):
-        import importlib
-        import sys
-        import warnings
-
-        sys.modules.pop("repro.simulator.metrics", None)
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            module = importlib.import_module("repro.simulator.metrics")
-        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
-        # The aliases still resolve to the scheduler-service classes.
-        from repro.scheduler.metrics import SimulationResult as canonical
-
-        assert module.SimulationResult is canonical

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.exceptions import ConfigurationError, InfeasibleError
-from repro.solver import bisect_min_feasible
+from repro.solver import BisectionResult, bisect_min_feasible
 
 
 class TestBisection:
@@ -15,6 +15,7 @@ class TestBisection:
             return value if value >= threshold else None
 
         result = bisect_min_feasible(predicate, lower=0.0, upper=10.0, relative_tolerance=1e-4)
+        assert isinstance(result, BisectionResult)
         assert result.value == pytest.approx(threshold, rel=1e-3)
         assert result.witness == pytest.approx(result.value)
 
