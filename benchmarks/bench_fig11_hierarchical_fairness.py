@@ -6,6 +6,11 @@ hierarchical allocation as jobs arrive and reports (a) the fraction of total
 normalized throughput each entity receives (bands of Figure 11a) and (b) the
 total effective throughput compared against a heterogeneity-agnostic static
 partition (Figure 11b, paper: ~17% worse).
+
+The timeline runs twice: once with the per-job hierarchical solve and once
+with ``aggregation="type"`` (the level loop over per-entity group
+representatives); the aggregated variant must reproduce the per-job entity
+bands and totals.
 """
 
 from __future__ import annotations
@@ -15,10 +20,10 @@ import numpy as np
 from repro.cluster import ClusterSpec
 from repro.core import (
     EntitySpec,
-    HierarchicalPolicy,
     PolicyProblem,
     build_throughput_matrix,
     effective_throughput,
+    make_policy,
 )
 from repro.harness import format_table
 from repro.workloads import Job
@@ -34,11 +39,16 @@ _JOB_TYPES = [
 ]
 
 
-def _timeline(oracle, num_steps=6, jobs_per_step=3):
+def _timeline(oracle, num_steps=6, jobs_per_step=3, aggregation="job"):
     """Add jobs over time (one per entity per step) and re-run the policy."""
     cluster = ClusterSpec.from_counts({"v100": 3, "p100": 3, "k80": 3}, registry=oracle.registry)
-    policy = HierarchicalPolicy(
-        [EntitySpec(entity_id, weight) for entity_id, weight in _ENTITY_WEIGHTS.items()]
+    policy = make_policy(
+        "hierarchical",
+        entities=[
+            EntitySpec(entity_id, weight)
+            for entity_id, weight in _ENTITY_WEIGHTS.items()
+        ],
+        aggregation=aggregation,
     )
     jobs = []
     timeline = []
@@ -99,6 +109,7 @@ def _timeline(oracle, num_steps=6, jobs_per_step=3):
 
 def bench_fig11_hierarchical_fairness(benchmark, oracle):
     timeline, static_total = benchmark.pedantic(_timeline, args=(oracle,), rounds=1, iterations=1)
+    aggregated_timeline, _ = _timeline(oracle, aggregation="type")
     rows = [
         [
             entry["step"],
@@ -126,9 +137,36 @@ def bench_fig11_hierarchical_fairness(benchmark, oracle):
     )
     benchmark.extra_info["throughput_vs_static_partition"] = round(gain, 3)
 
+    aggregated_final = aggregated_timeline[-1]
+    print(
+        "aggregation='type' variant: total = "
+        f"{aggregated_final['total']:.2f}, entity fractions = "
+        + ", ".join(
+            f"{entity_id}: {aggregated_final['entity_fractions'][entity_id]:.2f}"
+            for entity_id in _ENTITY_WEIGHTS
+        )
+    )
+    benchmark.extra_info["aggregated_total_eff_throughput"] = round(
+        aggregated_final["total"], 3
+    )
+
     # Once the cluster is saturated, entity shares should be ordered by weight.
     fractions = final["entity_fractions"]
     assert fractions[2] >= fractions[1] >= fractions[0] - 0.05
     # The heterogeneity-aware hierarchical policy beats the static partition
     # (paper reports ~17% higher total effective throughput).
     assert gain > 1.0
+    # The type-aggregated variant (level loop over per-entity group
+    # representatives) must reproduce the per-job bands at every timestep.
+    for per_job_entry, aggregated_entry in zip(timeline, aggregated_timeline):
+        assert abs(aggregated_entry["total"] - per_job_entry["total"]) <= 0.02 * max(
+            1.0, per_job_entry["total"]
+        )
+        for entity_id in _ENTITY_WEIGHTS:
+            assert (
+                abs(
+                    aggregated_entry["entity_fractions"][entity_id]
+                    - per_job_entry["entity_fractions"][entity_id]
+                )
+                <= 0.02
+            )

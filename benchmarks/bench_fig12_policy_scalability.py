@@ -39,7 +39,9 @@ Also measures, under job churn:
   LP stops being timeable — and is gated two ways: the aggregated path must
   be at least 5x faster than the per-job session at every measured count of
   2048+ jobs, and the aggregated LP's row count must stay bounded by the
-  active-type count regardless of the job count.
+  active-group count regardless of the job count.  The sweep covers plain
+  LAS plus the iterative water-filling family (``max_min_fairness_water_filling``
+  and ``hierarchical``), whose level loops run over group representatives.
 
 The per-sweep timings are additionally written to ``BENCH_fig12.json``
 (override the path with ``REPRO_BENCH_JSON``) so CI can publish them as an
@@ -105,11 +107,20 @@ _AGG_NUM_JOBS = [512, 2048, 16384] if BENCH_SCALE == 1 else [2048, 16384, 100_00
 #: this the per-job LP dominates the benchmark's wall clock and only the
 #: aggregated leg is timed.
 _AGG_PER_JOB_MAX = 2048
-#: Spec for the aggregated sweep — plain LAS, whose aggregated LP carries
-#: exactly one row per active type (no colocation pair rows).
-_AGG_SPEC = "max_min_fairness"
+#: Specs for the aggregated sweep, keyed by display name.  Plain LAS carries
+#: exactly one aggregated LP row per active type (no colocation pair rows);
+#: the water-filling family runs its level loop over group representatives,
+#: where the hierarchical policy's entity-refined grouping keeps one row per
+#: (type, entity) pair rather than one per type.
+_AGG_SPECS = {
+    "LAS": "max_min_fairness",
+    "WaterFilling": "max_min_fairness_water_filling",
+    "Hierarchical": "hierarchical",
+}
 #: Required aggregated-over-per-job session speedup at every measured count
-#: of 2048+ jobs where both legs ran (typically 30-60x at 2048).
+#: of 2048+ jobs where both legs ran (typically 30-60x for LAS and well over
+#: 100x for the water-filling family, whose per-job level loop solves LPs
+#: that grow with the job count).
 _AGG_SPEEDUP_GATE = 5.0
 
 
@@ -163,9 +174,12 @@ def _measure(oracle):
         name: measure_lp_build_runtime(spec, _BUILD_NUM_JOBS, oracle=oracle)
         for name, spec in _BUILD_POLICIES.items()
     }
-    aggregated = measure_aggregated_solve_runtime(
-        _AGG_SPEC, _AGG_NUM_JOBS, per_job_max=_AGG_PER_JOB_MAX, oracle=oracle
-    )
+    aggregated = {
+        name: measure_aggregated_solve_runtime(
+            spec, _AGG_NUM_JOBS, per_job_max=_AGG_PER_JOB_MAX, oracle=oracle
+        )
+        for name, spec in _AGG_SPECS.items()
+    }
     return runtimes, prep, churn, build, aggregated
 
 
@@ -193,7 +207,8 @@ def _write_artifact(runtimes, prep, churn, build, aggregated) -> str:
             for name, series in build.items()
         },
         "aggregated_solve_seconds": {
-            str(n): point for n, point in aggregated.items()
+            name: {str(n): point for n, point in series.items()}
+            for name, series in aggregated.items()
         },
     }
     with open(path, "w") as handle:
@@ -296,40 +311,52 @@ def bench_fig12_policy_scalability(benchmark, oracle):
         )
 
     agg_rows = []
-    for n in _AGG_NUM_JOBS:
-        point = aggregated[n]
-        per_job = point["per_job"]
-        agg_rows.append(
-            [
-                str(n),
-                f"{per_job:.3f}" if per_job is not None else "-",
-                f"{point['aggregated']:.3f}",
-                f"{per_job / max(point['aggregated'], 1e-12):.1f}x"
-                if per_job is not None
-                else "-",
-                str(point["lp_rows"]),
-                str(point["active_types"]),
-            ]
-        )
+    for name in _AGG_SPECS:
+        for n in _AGG_NUM_JOBS:
+            point = aggregated[name][n]
+            per_job = point["per_job"]
+            agg_rows.append(
+                [
+                    name,
+                    str(n),
+                    f"{per_job:.3f}" if per_job is not None else "-",
+                    f"{point['aggregated']:.3f}",
+                    f"{per_job / max(point['aggregated'], 1e-12):.1f}x"
+                    if per_job is not None
+                    else "-",
+                    str(point["lp_rows"]),
+                    str(point["active_types"]),
+                ]
+            )
     print(
         format_table(
-            ["jobs", "per-job (s)", "aggregated (s)", "speedup", "LP rows", "types"],
+            [
+                "policy",
+                "jobs",
+                "per-job (s)",
+                "aggregated (s)",
+                "speedup",
+                "LP rows",
+                "groups",
+            ],
             agg_rows,
-            title=f"Type-aggregated solve ({_AGG_SPEC}): per-job session vs aggregated session",
+            title="Type-aggregated solve: per-job session vs aggregated session",
         )
     )
-    agg_gate_points = [
-        n for n in _AGG_NUM_JOBS if n >= 2048 and aggregated[n]["per_job"] is not None
-    ]
-    if agg_gate_points:
-        gate_n = max(agg_gate_points)
-        gate_point = aggregated[gate_n]
-        benchmark.extra_info[f"aggregated_solve_speedup@{gate_n}jobs"] = round(
-            gate_point["per_job"] / max(gate_point["aggregated"], 1e-12), 2
+    for name in _AGG_SPECS:
+        series = aggregated[name]
+        agg_gate_points = [
+            n for n in _AGG_NUM_JOBS if n >= 2048 and series[n]["per_job"] is not None
+        ]
+        if agg_gate_points:
+            gate_n = max(agg_gate_points)
+            gate_point = series[gate_n]
+            benchmark.extra_info[f"aggregated_solve_speedup[{name}]@{gate_n}jobs"] = (
+                round(gate_point["per_job"] / max(gate_point["aggregated"], 1e-12), 2)
+            )
+        benchmark.extra_info[f"aggregated_lp_rows[{name}]@{_AGG_NUM_JOBS[-1]}jobs"] = (
+            series[_AGG_NUM_JOBS[-1]]["lp_rows"]
         )
-    benchmark.extra_info[f"aggregated_lp_rows@{_AGG_NUM_JOBS[-1]}jobs"] = aggregated[
-        _AGG_NUM_JOBS[-1]
-    ]["lp_rows"]
 
     artifact = _write_artifact(runtimes, prep, churn, build, aggregated)
     print(f"wrote sweep timings to {artifact}")
@@ -374,20 +401,24 @@ def bench_fig12_policy_scalability(benchmark, oracle):
             f"vectorized LP construction speedup below {_BUILD_SPEEDUP_GATE}x "
             f"at {n} jobs: dict={point['dict']:.3f}s vectorized={point['vectorized']:.3f}s"
         )
-    # The type-aggregated session must beat the per-job session by at least
-    # 5x at every measured count of 2048+ jobs where both legs ran (typically
-    # 30-60x: the per-job LP grows with the job count, the aggregated LP
-    # doesn't), and the aggregated LP's row count must stay bounded by the
-    # active-type count at every job count — the Figure 12 evidence that the
-    # LP size is independent of the number of active jobs.
-    for n in _AGG_NUM_JOBS:
-        point = aggregated[n]
-        assert point["lp_rows"] <= point["active_types"], (
-            f"aggregated LP rows exceed the active-type count at {n} jobs: "
-            f"{point['lp_rows']} rows for {point['active_types']} types"
-        )
-        if n >= 2048 and point["per_job"] is not None:
-            assert point["per_job"] >= _AGG_SPEEDUP_GATE * point["aggregated"], (
-                f"aggregated solve speedup below {_AGG_SPEEDUP_GATE}x at {n} jobs: "
-                f"per_job={point['per_job']:.3f}s aggregated={point['aggregated']:.3f}s"
+    # Every type-aggregated session (plain LAS and the iterative water-filling
+    # family) must beat its per-job counterpart by at least 5x at every
+    # measured count of 2048+ jobs where both legs ran (typically 30-60x for
+    # LAS and 100x+ for water filling: the per-job program grows with the job
+    # count, the aggregated one doesn't), and the aggregated LP's row count
+    # must stay bounded by the active-group count at every job count — the
+    # Figure 12 evidence that level-loop LP size is independent of the number
+    # of active jobs.
+    for name in _AGG_SPECS:
+        for n in _AGG_NUM_JOBS:
+            point = aggregated[name][n]
+            assert point["lp_rows"] <= point["active_types"], (
+                f"aggregated LP rows exceed the active-group count for {name} at "
+                f"{n} jobs: {point['lp_rows']} rows for {point['active_types']} groups"
             )
+            if n >= 2048 and point["per_job"] is not None:
+                assert point["per_job"] >= _AGG_SPEEDUP_GATE * point["aggregated"], (
+                    f"aggregated solve speedup below {_AGG_SPEEDUP_GATE}x for {name} "
+                    f"at {n} jobs: per_job={point['per_job']:.3f}s "
+                    f"aggregated={point['aggregated']:.3f}s"
+                )

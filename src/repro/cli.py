@@ -172,9 +172,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="scheduling round length in seconds")
     sweep.add_argument("--mode", choices=["round", "ideal", "physical"], default="round")
     sweep.add_argument("--aggregation", choices=["job", "type"], default="job",
-                       help="LP representation: 'job' (one row per job) or 'type' "
-                            "(solve over groups of interchangeable jobs; only "
-                            "supported for the LP policy bases — see 'policies')")
+                       help="problem representation: 'job' (one row per job) or "
+                            "'type' (solve over groups of interchangeable jobs; "
+                            "see 'policies' for the supported bases)")
     sweep.add_argument("--seed", type=int, default=0)
 
     online = subparsers.add_parser(
@@ -196,9 +196,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="scheduling round length in seconds")
     online.add_argument("--mode", choices=["round", "ideal", "physical"], default="round")
     online.add_argument("--aggregation", choices=["job", "type"], default="job",
-                        help="LP representation: 'job' (one row per job) or 'type' "
-                             "(solve over groups of interchangeable jobs; only "
-                             "supported for the LP policy bases — see 'policies')")
+                        help="problem representation: 'job' (one row per job) or "
+                             "'type' (solve over groups of interchangeable jobs; "
+                             "see 'policies' for the supported bases)")
     online.add_argument("--cancel", action="append", default=[], metavar="JOB_ID@SECONDS",
                         type=_parse_cancel_event,
                         help="cancel one job at the given time (repeatable)")
@@ -225,8 +225,9 @@ def _command_policies() -> int:
     print("  modifiers combine: max_min_fairness+ss@agnostic")
     print()
     print("'sweep' and 'online' additionally accept --aggregation type, which")
-    print("solves the policy LP over groups of interchangeable jobs instead of")
-    print("individual jobs (rows scale with active job *types*).  Supported for:")
+    print("solves each policy over groups of interchangeable jobs instead of")
+    print("individual jobs (LP and water-filling level rows scale with active")
+    print("job *groups*, not the job count).  Supported for:")
     from repro.core import AGGREGATION_SUPPORTED_BASES
 
     for base in sorted(AGGREGATION_SUPPORTED_BASES):

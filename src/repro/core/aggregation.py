@@ -32,15 +32,27 @@ total is divided among its members (equally by default — optimal for every
 supported objective by symmetry — or by caller-supplied weights such as
 ``steps_remaining`` where an objective requires it).
 
+The same compression is exact for the *iterative* water-filling family
+(``max_min_fairness_water_filling`` and ``hierarchical``): members of a group
+share one water level, so the level loop of
+:mod:`repro.core.water_filling` runs over group representatives — one floor
+row and one level row per active group, with the baked ``w · n_g`` weight
+making the epigraph and the analytic level bumps track group *totals* — and
+splits equally inside each group after the last level converges.  Policies
+may refine the grouping through
+:meth:`~repro.core.policy.Policy.aggregation_group_key` (the hierarchical
+policy appends the entity, so a group never straddles entity boundaries and
+FIFO-internal entities degrade to singleton groups).
+
 Supported policy bases are listed in :data:`AGGREGATION_SUPPORTED_BASES`;
-policies whose objectives read *per-job* state that may differ within a
-group (SLO deadlines, entity trees, water-filling priorities) are excluded.
+policies whose objectives read *per-job* state that cannot be folded into
+the group key (e.g. SLO deadlines) are excluded.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -54,6 +66,7 @@ from repro.workloads.job import Job
 
 __all__ = [
     "AggregationKey",
+    "GroupKey",
     "aggregation_key",
     "AGGREGATION_SUPPORTED_BASES",
     "supports_type_aggregation",
@@ -67,12 +80,25 @@ __all__ = [
 #: configuration, a worker count and a priority class.
 AggregationKey = Tuple[str, int, float]
 
-#: Policy bases whose objectives are exact over group totals.  LAS is
-#: ``max_min_fairness`` (the registry name); ``min_cost_slo`` is excluded
-#: because SLO deadlines are per-job, as are the entity/water-filling
-#: families whose priorities differ within a type group.
+#: A policy-refined grouping key (see ``Policy.aggregation_group_key``):
+#: always starts with the :data:`AggregationKey` triple and may append
+#: policy-specific components (entity id, FIFO rank, ...).
+GroupKey = Tuple[object, ...]
+
+#: Policy bases whose objectives are exact over group totals: the one-shot
+#: LP bases (LAS is ``max_min_fairness``, the registry name) plus the
+#: iterative water-filling family, whose level loops run over group
+#: representatives.  ``min_cost_slo`` and the remaining bases are excluded
+#: because SLO deadlines / finish-time state are per-job and cannot be
+#: folded into the group key.
 AGGREGATION_SUPPORTED_BASES = frozenset(
-    {"max_min_fairness", "max_total_throughput", "min_cost"}
+    {
+        "max_min_fairness",
+        "max_total_throughput",
+        "min_cost",
+        "max_min_fairness_water_filling",
+        "hierarchical",
+    }
 )
 
 
@@ -138,34 +164,38 @@ class AggregatedProblem:
 
     base: PolicyProblem
     problem: PolicyProblem
-    groups: Mapping[AggregationKey, Tuple[int, ...]]
-    representatives: Mapping[AggregationKey, int]
+    groups: Mapping[GroupKey, Tuple[int, ...]]
+    representatives: Mapping[GroupKey, int]
 
     @classmethod
     def build(
-        cls, problem: PolicyProblem, previous: Optional["AggregatedProblem"] = None
+        cls,
+        problem: PolicyProblem,
+        previous: Optional["AggregatedProblem"] = None,
+        key: Optional[Callable[[Job], GroupKey]] = None,
     ) -> "AggregatedProblem":
-        """Aggregate ``problem`` by :func:`aggregation_key`.
+        """Aggregate ``problem`` by ``key`` (default :func:`aggregation_key`).
 
         ``previous`` (the view from the last solve) lets the builder reuse
         the aggregated throughput matrix when the base matrix object and the
         group membership are unchanged, which keeps the inner session's
-        structural diff trivial between churn events.
+        structural diff trivial between churn events.  ``key`` is the owning
+        policy's :meth:`~repro.core.policy.Policy.aggregation_group_key`; any
+        refinement must still keep members interchangeable (same job type,
+        scale factor and priority weight).
         """
         if problem.group_counts is not None:
             raise ConfigurationError(
                 "problem is already type-aggregated (group_counts is set)"
             )
-        groups: Dict[AggregationKey, List[int]] = {}
+        key_fn: Callable[[Job], GroupKey] = aggregation_key if key is None else key
+        groups: Dict[GroupKey, List[int]] = {}
         for job_id in problem.job_ids:
-            groups.setdefault(aggregation_key(problem.jobs[job_id]), []).append(job_id)
-        frozen_groups: Dict[AggregationKey, Tuple[int, ...]] = {
-            key: tuple(sorted(members)) for key, members in groups.items()
+            groups.setdefault(key_fn(problem.jobs[job_id]), []).append(job_id)
+        frozen_groups: Dict[GroupKey, Tuple[int, ...]] = {
+            key_value: tuple(sorted(members)) for key_value, members in groups.items()
         }
         representatives = {key: members[0] for key, members in frozen_groups.items()}
-        group_of: Dict[int, AggregationKey] = {
-            job_id: key for key, members in frozen_groups.items() for job_id in members
-        }
 
         if (
             previous is not None
@@ -175,7 +205,7 @@ class AggregatedProblem:
             matrix = previous.problem.throughputs
         else:
             matrix = cls._aggregate_matrix(
-                problem.throughputs, frozen_groups, representatives, group_of
+                problem.throughputs, problem.jobs, frozen_groups, representatives
             )
 
         jobs: Dict[int, Job] = {}
@@ -212,43 +242,69 @@ class AggregatedProblem:
     @staticmethod
     def _aggregate_matrix(
         matrix: ThroughputMatrix,
-        groups: Mapping[AggregationKey, Tuple[int, ...]],
-        representatives: Mapping[AggregationKey, int],
-        group_of: Mapping[int, AggregationKey],
+        jobs: Mapping[int, Job],
+        groups: Mapping[GroupKey, Tuple[int, ...]],
+        representatives: Mapping[GroupKey, int],
     ) -> ThroughputMatrix:
         """Collapse a per-job matrix to representative rows.
 
         Singleton rows come from each representative (members share oracle
-        rows by construction of the key).  A per-job pair row maps to the
-        pair of its members' representatives: distinct groups keep a sorted
-        ``(rep_g, rep_h)`` row, a within-group pair becomes the duplicate
-        ``(rep, rep)`` row (emitted only when the group has >= 2 members).
+        rows by construction of the key).  Pair rows are replicated at the
+        *job-type* level: colocation throughput depends only on the two job
+        types, so one canonical row per (sorted) type pair — taken from
+        whichever member pair the source matrix carries — is emitted for
+        every pair of single-worker groups with matching types: a sorted
+        ``(rep_g, rep_h)`` row for distinct groups, the duplicate ``(rep,
+        rep)`` row for a group with >= 2 members.  This makes the aggregated
+        matrix independent of *which* member pairs the source happened to
+        instantiate (the type-mode engine keeps only one representative pair
+        per type pair).
         """
         reps = sorted(representatives.values())
         singles = np.vstack([matrix.isolated_throughputs(rep) for rep in reps])
-        pairs: Dict[JobCombination, np.ndarray] = {}
+        type_of = {rep: jobs[rep].job_type for rep in reps}
+        # Canonical throughput row per sorted job-type pair, oriented so the
+        # first half carries the lexicographically smaller type.
+        canonical: Dict[Tuple[str, str], np.ndarray] = {}
         for combination in matrix.combinations:
             if len(combination) != 2:
                 continue
             first, second = combination
-            key_first, key_second = group_of[first], group_of[second]
-            rep_first = representatives[key_first]
-            rep_second = representatives[key_second]
-            if rep_first == rep_second:
-                if len(groups[key_first]) < 2:
-                    continue
-                aggregated_key: JobCombination = (rep_first, rep_second)
-                if aggregated_key not in pairs:
-                    pairs[aggregated_key] = matrix.row(combination)
+            type_first = jobs[first].job_type
+            type_second = jobs[second].job_type
+            if type_first <= type_second:
+                type_pair = (type_first, type_second)
+                row = matrix.row(combination)
+            else:
+                type_pair = (type_second, type_first)
+                row = matrix.row(combination)[::-1]
+            canonical.setdefault(type_pair, row)
+        # Reps of single-worker groups per job type (pairs only ever involve
+        # single-worker jobs; the key bakes scale_factor, so one member being
+        # single-worker means all are).
+        pairable: Dict[str, List[int]] = {}
+        members_of_rep: Dict[int, int] = {}
+        for key, members in groups.items():
+            rep = representatives[key]
+            members_of_rep[rep] = len(members)
+            if int(jobs[rep].scale_factor) == 1:
+                pairable.setdefault(type_of[rep], []).append(rep)
+        pairs: Dict[JobCombination, np.ndarray] = {}
+        for (type_a, type_b), row in sorted(canonical.items(), key=lambda item: item[0]):
+            if type_a == type_b:
+                same_type = sorted(pairable.get(type_a, []))
+                for position, rep_a in enumerate(same_type):
+                    if members_of_rep[rep_a] >= 2:
+                        pairs[(rep_a, rep_a)] = row
+                    for rep_b in same_type[position + 1 :]:
+                        pairs[(rep_a, rep_b)] = row
                 continue
-            low, high = sorted((rep_first, rep_second))
-            aggregated_key = (low, high)
-            if aggregated_key in pairs:
-                continue
-            row = matrix.row(combination)
-            # Position 0 of the aggregated row must carry the group of the
-            # smaller representative; the source row is ordered by member id.
-            pairs[aggregated_key] = row if rep_first == low else row[::-1]
+            for rep_a in sorted(pairable.get(type_a, [])):
+                for rep_b in sorted(pairable.get(type_b, [])):
+                    low, high = sorted((rep_a, rep_b))
+                    # Position 0 of the aggregated row must carry the group
+                    # of the smaller representative.
+                    pairs[(low, high)] = row if type_of[low] == type_a else row[::-1]
         return ThroughputMatrix.from_parts(matrix.registry, reps, singles, pairs)
 
     # -- recovery ----------------------------------------------------------------
@@ -337,7 +393,7 @@ class AggregatedSession(PolicySession):
 
     def __init__(self, policy: Policy, problem: PolicyProblem) -> None:
         super().__init__(policy, problem)
-        self._view = AggregatedProblem.build(problem)
+        self._view = AggregatedProblem.build(problem, key=policy.aggregation_group_key)
         self._inner = policy._make_session(self._view.problem)
 
     @property
@@ -352,7 +408,9 @@ class AggregatedSession(PolicySession):
 
     def _refresh_view(self, problem: PolicyProblem) -> None:
         if problem is not self._view.base or self._pending:
-            self._view = AggregatedProblem.build(problem, previous=self._view)
+            self._view = AggregatedProblem.build(
+                problem, previous=self._view, key=self._policy.aggregation_group_key
+            )
 
     def _prepare(self, problem: PolicyProblem) -> None:
         self._refresh_view(problem)

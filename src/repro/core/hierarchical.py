@@ -37,6 +37,7 @@ from repro.core.water_filling import (
     _Redistribute,
 )
 from repro.exceptions import ConfigurationError
+from repro.workloads.job import Job
 
 __all__ = ["EntitySpec", "HierarchicalPolicy", "WaterFillingFairnessPolicy"]
 
@@ -114,6 +115,11 @@ class _WaterFillingPolicyBase(Policy):
         return WaterFillingSession(self, problem)
 
     def compute_allocation(self, problem: PolicyProblem) -> Allocation:
+        if self.aggregation == "type" and problem.group_counts is None:
+            # Route through ``session`` so the stateless API honours the
+            # aggregated mode (one level row per group of interchangeable
+            # jobs) instead of silently running the per-job level loop.
+            return self.session(problem).solve(problem)
         return self.compute_with_diagnostics(problem).allocation
 
     def compute_with_diagnostics(self, problem: PolicyProblem) -> WaterFillingResult:
@@ -183,17 +189,40 @@ class HierarchicalPolicy(_WaterFillingPolicyBase):
         return self._entities[entity_id]
 
     # -- weight distribution -----------------------------------------------------------
-    def _entity_of(self, problem: PolicyProblem, job_id: int) -> int:
-        entity_id = problem.job(job_id).entity_id
+    def _entity_of_job(self, job: Job) -> int:
+        entity_id = job.entity_id
         if entity_id is None:
             if self._entity_fallback == _ROUND_ROBIN:
-                return self._entity_order[job_id % len(self._entity_order)]
+                return self._entity_order[job.job_id % len(self._entity_order)]
             raise ConfigurationError(
-                f"job {job_id} has no entity_id but the hierarchical policy requires one"
+                f"job {job.job_id} has no entity_id but the hierarchical policy requires one"
             )
         if entity_id not in self._entities:
-            raise ConfigurationError(f"job {job_id} belongs to unknown entity {entity_id}")
+            raise ConfigurationError(
+                f"job {job.job_id} belongs to unknown entity {entity_id}"
+            )
         return entity_id
+
+    def _entity_of(self, problem: PolicyProblem, job_id: int) -> int:
+        return self._entity_of_job(problem.job(job_id))
+
+    # -- aggregation grouping ----------------------------------------------------------
+    def aggregation_group_key(self, job: Job) -> Tuple[object, ...]:
+        """Refine the type key with the job's (effective) entity.
+
+        Entities water-fill at different levels, so a group must never
+        straddle an entity boundary; the effective entity (including the
+        round-robin fallback) is a pure function of the job, so the group's
+        representative resolves to the same entity as every member.  Jobs in
+        a FIFO-internal entity are not interchangeable at all — the earliest
+        one carries the whole entity weight — so their key also bakes the job
+        id, degenerating those groups to singletons (the exact per-job path).
+        """
+        base = super().aggregation_group_key(job)
+        entity_id = self._entity_of_job(job)
+        if self._entities[entity_id].internal_policy == _FIFO:
+            return (*base, entity_id, job.job_id)
+        return (*base, entity_id)
 
     def _jobs_by_entity(self, problem: PolicyProblem) -> Dict[int, List[int]]:
         grouped: Dict[int, List[int]] = {entity_id: [] for entity_id in self._entities}
@@ -223,7 +252,13 @@ class HierarchicalPolicy(_WaterFillingPolicyBase):
             if not active:
                 continue
             if entity.internal_policy == _FAIRNESS:
-                share = entity.weight / len(active)
+                # Split per *member*, not per row: on a type-aggregated
+                # problem a row stands for group_count interchangeable jobs
+                # (and its priority_weight is already baked to w·n_g), so the
+                # member count keeps the per-job share identical to the
+                # per-job path.  Ordinary problems have group_count == 1.
+                members = sum(problem.group_count(job_id) for job_id in active)
+                share = entity.weight / members
                 for job_id in active:
                     weights[job_id] = share * problem.priority_weight(job_id)
             else:  # FIFO: the earliest non-bottlenecked job carries the entity weight.

@@ -37,6 +37,7 @@ from repro.solver.lp import LinearExpression, LinearProgram, Solution, Variable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.session import PolicySession
+    from repro.workloads.job import Job
 
 __all__ = [
     "Policy",
@@ -132,6 +133,21 @@ class Policy(abc.ABC):
         if self._heterogeneity_agnostic:
             matrix = matrix.heterogeneity_agnostic()
         return matrix
+
+    def aggregation_group_key(self, job: "Job") -> Tuple[object, ...]:
+        """Grouping key used by ``aggregation="type"`` solves.
+
+        Jobs sharing a key are interchangeable *for this policy*: they may be
+        collapsed into one representative LP/level row and recovered by an
+        equal split.  The default is the free-standing
+        :func:`~repro.core.aggregation.aggregation_key` — ``(job_type,
+        scale_factor, priority_weight)``.  Policies whose objectives read
+        extra per-job state refine the key (e.g. the hierarchical policy
+        appends the entity so groups never straddle entity boundaries).
+        """
+        from repro.core.aggregation import aggregation_key
+
+        return aggregation_key(job)
 
     def session(self, problem: PolicyProblem) -> "PolicySession":
         """Open a stateful allocation session seeded with ``problem``.

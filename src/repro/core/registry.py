@@ -168,7 +168,7 @@ def make_policy(name: str, **options: Any) -> Policy:
         raise ConfigurationError(
             f"policy {base!r} does not support aggregation='type'; supported "
             f"bases: {sorted(AGGREGATION_SUPPORTED_BASES)} (per-job state such "
-            "as SLOs or entity weights cannot be collapsed into type groups)"
+            "as SLO deadlines cannot be collapsed into type groups)"
         )
     try:
         policy = _FACTORIES[base](**merged)

@@ -50,6 +50,14 @@ on the live program's edit history and never invalidates the warm LP basis.
 The historical build-per-LP implementation is kept behind
 ``WaterFillingAllocator(..., persistent=False)`` as the equivalence and
 benchmark baseline, mirroring ``lp_assembly("dict")``.
+
+Type-aggregated runs (see :mod:`repro.core.aggregation`) feed the same loop a
+problem whose rows are group representatives with ``group_counts`` set: the
+variables hold group *totals*, the baked ``w · n_g`` weights make the
+epigraph and the analytic level bumps track per-member levels scaled by group
+mass, and every epsilon slack / improvement threshold / big-M constant /
+freeze-guard comparison scales by the row's group count.  The loop itself is
+unchanged — its iteration count is bounded by the number of active *groups*.
 """
 
 from __future__ import annotations
@@ -108,10 +116,15 @@ def _normalization_factors(
 
 
 def _normalized_upper_bound(
-    matrix: ThroughputMatrix, norms: Mapping[int, float], job_id: int
+    matrix: ThroughputMatrix, norms: Mapping[int, float], job_id: int, count: int = 1
 ) -> float:
-    """Upper bound on a job's normalized throughput (run 100% on fastest type)."""
-    return norms[job_id] * fastest_reference_throughput(matrix, job_id) + 1.0
+    """Upper bound on a job's normalized throughput (run 100% on fastest type).
+
+    ``count`` is the aggregation-group size behind the row: an aggregated
+    row's variables hold the group *total*, whose ceiling is ``n_g`` members
+    each running flat out on the fastest type.
+    """
+    return count * norms[job_id] * fastest_reference_throughput(matrix, job_id) + 1.0
 
 
 def _solve_bottleneck_milp(
@@ -128,6 +141,11 @@ def _solve_bottleneck_milp(
     canonical build keeps the (possibly tie-broken) optimal indicator set
     independent of any live program's edit history — which is what lets a
     long-lived session reproduce a from-scratch run bit for bit.
+
+    On a type-aggregated problem every row stands for a group of ``n_g``
+    interchangeable jobs and ``levels`` hold group totals, so the epsilon
+    slack, the improvement threshold and the big-M constant all scale by
+    ``n_g`` (a per-member delta for each of the ``n_g`` members).
     """
     program = LinearProgram(name="water_filling_bottleneck_milp")
     variables = AllocationVariables(problem, matrix, program)
@@ -136,16 +154,17 @@ def _solve_bottleneck_milp(
     for job_id in matrix.job_ids:
         normalized = variables.effective_throughput_expression(job_id) * norms[job_id]
         level = levels.get(job_id, 0.0)
-        # No job may drop below its current level.
-        program.add_greater_equal(normalized, level - _EPSILON)
+        count = problem.group_count(job_id)
+        # No group may drop below its current level.
+        program.add_greater_equal(normalized, level - _EPSILON * count)
         if job_id in candidates:
             z = program.add_variable(name=f"z[{job_id}]", lower=0.0, upper=1.0, integer=True)
             indicator[job_id] = z
-            big_m = _normalized_upper_bound(matrix, norms, job_id)
+            big_m = _normalized_upper_bound(matrix, norms, job_id, count)
             # z = 1 => normalized >= level + delta (strictly better), via
             # normalized >= (level + delta) - bigM * (1 - z).
             program.add_greater_equal(
-                normalized + z * (-big_m), level + _IMPROVEMENT - big_m
+                normalized + z * (-big_m), level + _IMPROVEMENT * count - big_m
             )
             objective = objective + z * 1.0
     program.maximize(objective)
@@ -334,6 +353,16 @@ class _LevelLoopProgram:
             self._handle_cache = (job_ids, floors, level_rows)
         return self._handle_cache
 
+    def _group_count(self, job_id: int) -> int:
+        """Aggregation-group size behind a row (1 on per-job problems).
+
+        Levels track group *totals* on aggregated problems, so every epsilon
+        slack, improvement threshold and freeze-guard comparison scales by
+        this count (see :func:`_solve_bottleneck_milp`).
+        """
+        problem = self._problem
+        return 1 if problem is None else problem.group_count(job_id)
+
     # -- per-iteration edits ----------------------------------------------------------
     def _begin_iteration(
         self,
@@ -345,7 +374,10 @@ class _LevelLoopProgram:
         program = self._program
         job_ids, floor_handles, level_handles = self._handles()
         floor_lowers = np.fromiter(
-            (levels.get(job_id, 0.0) - _EPSILON for job_id in job_ids),
+            (
+                levels.get(job_id, 0.0) - _EPSILON * self._group_count(job_id)
+                for job_id in job_ids
+            ),
             dtype=float,
             count=len(job_ids),
         )
@@ -417,7 +449,10 @@ class _LevelLoopProgram:
         program.fix_variable(self._epigraph, 0.0)
         program.set_constraint_bounds_from_arrays(level_handles, lower=-math.inf)
         floor_lowers = np.fromiter(
-            (levels.get(job_id, 0.0) - _EPSILON for job_id in job_ids),
+            (
+                levels.get(job_id, 0.0) - _EPSILON * self._group_count(job_id)
+                for job_id in job_ids
+            ),
             dtype=float,
             count=len(job_ids),
         )
@@ -435,7 +470,8 @@ class _LevelLoopProgram:
                     solution = program.solve()
                 except (InfeasibleError, SolverError):
                     continue
-                if solution.objective_value > levels.get(job_id, 0.0) + _IMPROVEMENT:
+                threshold = levels.get(job_id, 0.0) + _IMPROVEMENT * self._group_count(job_id)
+                if solution.objective_value > threshold:
                     improvable.add(job_id)
         finally:
             program.set_variable_bounds(self._epigraph, -math.inf, None)
@@ -482,8 +518,11 @@ class _LevelLoopProgram:
             improvable = self._find_improvable(levels, active)
             newly_frozen = active - improvable
             if not newly_frozen:
-                # Guard against cycling: freeze the lowest-level active job.
-                newly_frozen = {min(active, key=lambda job_id: levels[job_id])}
+                # Guard against cycling: freeze the lowest-level active group
+                # (compared per member so group size does not bias the pick).
+                newly_frozen = {
+                    min(active, key=lambda job_id: levels[job_id] / self._group_count(job_id))
+                }
             frozen.update(newly_frozen)
             bottleneck_order.append(set(newly_frozen))
 
@@ -554,7 +593,10 @@ class WaterFillingAllocator:
             normalized = self._normalized_expression(variables, job_id)
             # Nobody may drop below the level already achieved.
             if levels.get(job_id, 0.0) > 0:
-                program.add_greater_equal(normalized, levels[job_id] - _EPSILON)
+                program.add_greater_equal(
+                    normalized,
+                    levels[job_id] - _EPSILON * self._problem.group_count(job_id),
+                )
             weight = weights.get(job_id, 0.0)
             if job_id not in frozen and weight > 0:
                 active_expressions.append(
@@ -592,13 +634,19 @@ class WaterFillingAllocator:
             variables = AllocationVariables(self._problem, self._matrix, program)
             for other in self._problem.job_ids:
                 normalized = self._normalized_expression(variables, other)
-                program.add_greater_equal(normalized, levels.get(other, 0.0) - _EPSILON)
+                program.add_greater_equal(
+                    normalized,
+                    levels.get(other, 0.0) - _EPSILON * self._problem.group_count(other),
+                )
             program.maximize(self._normalized_expression(variables, job_id))
             try:
                 solution = program.solve()
             except (InfeasibleError, SolverError):
                 continue
-            if solution.objective_value > levels.get(job_id, 0.0) + _IMPROVEMENT:
+            threshold = levels.get(job_id, 0.0) + _IMPROVEMENT * self._problem.group_count(
+                job_id
+            )
+            if solution.objective_value > threshold:
                 improvable.add(job_id)
         return improvable
 
@@ -663,8 +711,15 @@ class WaterFillingAllocator:
             improvable = self._find_improvable_jobs(levels, active)
             newly_frozen = active - improvable
             if not newly_frozen:
-                # Guard against cycling: freeze the lowest-level active job.
-                newly_frozen = {min(active, key=lambda job_id: levels[job_id])}
+                # Guard against cycling: freeze the lowest-level active group
+                # (compared per member so group size does not bias the pick).
+                newly_frozen = {
+                    min(
+                        active,
+                        key=lambda job_id: levels[job_id]
+                        / self._problem.group_count(job_id),
+                    )
+                }
             frozen.update(newly_frozen)
             bottleneck_order.append(set(newly_frozen))
 

@@ -29,11 +29,12 @@ the registry-wide test is a one-liner per policy spec.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.cluster.cluster_spec import ClusterSpec
+from repro.core.aggregation import GroupKey
 from repro.core.allocation import Allocation
 from repro.core.allocation_engine import AllocationEngine
 from repro.core.effective_throughput import (
@@ -246,6 +247,7 @@ def assert_aggregation_equivalent(
     problem: PolicyProblem,
     aggregated_allocation: Allocation,
     baseline_allocation: Allocation,
+    group_key: Optional[Callable[[Job], GroupKey]] = None,
 ) -> None:
     """Assert a type-aggregated solve matches the per-job baseline.
 
@@ -254,28 +256,64 @@ def assert_aggregation_equivalent(
     The contract is:
 
     * both allocations are valid;
-    * the policy's scalar objective agrees exactly (to :data:`REL_TOL` —
-      allocation *rows* may differ because interchangeable jobs make many
-      LP vertices optimal, but the optimum value is unique);
+    * the policy's scalar objective agrees (to :data:`REL_TOL` for the
+      one-shot LP bases — allocation *rows* may differ because
+      interchangeable jobs make many LP vertices optimal, but the optimum
+      value is unique; to :data:`LEVEL_PROFILE_TOL` for the water-filling
+      bases, whose level loop carries its own epsilon slack);
+    * for the water-filling bases the *full sorted level profile* — the
+      leximin content of the procedure — also matches the per-job baseline;
     * within every aggregation group the expanded allocation hands each
       member the same total time fraction (the proportional equal split).
+      ``group_key`` is the aggregated policy's
+      :meth:`~repro.core.policy.Policy.aggregation_group_key` (default: the
+      free-standing type key), so the check follows policy-refined groupings
+      such as the hierarchical per-entity split.
     """
     from repro.core.aggregation import aggregation_key
 
     aggregated_allocation.validate(problem.cluster_spec)
     baseline_allocation.validate(problem.cluster_spec)
+    base = parse_policy_spec(spec)[0]
     aggregated_value = policy_objective_value(spec, policy, problem, aggregated_allocation)
     baseline_value = policy_objective_value(spec, policy, problem, baseline_allocation)
     assert aggregated_value is not None, (
         f"{spec}: policy has no objective evaluator; aggregation unsupported"
     )
-    assert math.isclose(aggregated_value, baseline_value, rel_tol=REL_TOL, abs_tol=1e-9), (
-        f"{spec}: aggregated objective {aggregated_value} != per-job baseline "
-        f"{baseline_value}"
+    if base in _WATER_FILLING_BASES:
+        assert math.isclose(
+            aggregated_value,
+            baseline_value,
+            rel_tol=LEVEL_PROFILE_TOL,
+            abs_tol=LEVEL_PROFILE_TOL,
+        ), (
+            f"{spec}: aggregated objective {aggregated_value} != per-job baseline "
+            f"{baseline_value}"
+        )
+        aggregated_profile = water_filling_level_profile(
+            policy, problem, aggregated_allocation
+        )
+        baseline_profile = water_filling_level_profile(policy, problem, baseline_allocation)
+        np.testing.assert_allclose(
+            aggregated_profile,
+            baseline_profile,
+            atol=LEVEL_PROFILE_TOL,
+            rtol=LEVEL_PROFILE_TOL,
+            err_msg=f"{spec}: aggregated water-filling level profile diverged",
+        )
+    else:
+        assert math.isclose(
+            aggregated_value, baseline_value, rel_tol=REL_TOL, abs_tol=1e-9
+        ), (
+            f"{spec}: aggregated objective {aggregated_value} != per-job baseline "
+            f"{baseline_value}"
+        )
+    key_fn: Callable[[Job], GroupKey] = (
+        aggregation_key if group_key is None else group_key
     )
-    groups: Dict[tuple, List[int]] = {}
+    groups: Dict[GroupKey, List[int]] = {}
     for job_id in problem.job_ids:
-        groups.setdefault(aggregation_key(problem.jobs[job_id]), []).append(job_id)
+        groups.setdefault(key_fn(problem.jobs[job_id]), []).append(job_id)
     for key, members in groups.items():
         totals = [aggregated_allocation.job_total(member) for member in members]
         np.testing.assert_allclose(
@@ -481,9 +519,15 @@ def run_aggregated_churn_equivalence(
             baseline_problem,
             aggregated_allocation,
             baseline_allocation,
+            group_key=aggregated_policy.aggregation_group_key,
         )
         max_inner_rows = max(max_inner_rows, session.view.problem.throughputs.num_rows())
-        max_active_types = max(max_active_types, len(engine_type.group_counts))
+        # Policies may refine the engine's type histogram (the hierarchical
+        # key appends the entity), so the group-count evidence is the larger
+        # of the engine histogram and the session's actual group partition.
+        max_active_types = max(
+            max_active_types, len(engine_type.group_counts), len(session.view.groups)
+        )
         steps += 1
     assert steps >= min_steps, f"{spec}: churn trace produced only {steps} comparisons"
     return {

@@ -411,7 +411,12 @@ def measure_aggregated_solve_runtime(
             session.solve(aggregated_problem)
             aggregated_total += _time.perf_counter() - start
             lp_rows = max(lp_rows, session.view.problem.throughputs.num_rows())
-            active_types = max(active_types, len(engine_type.group_counts))
+            # Policies may refine the engine's type histogram (the
+            # hierarchical key appends the entity), so the group evidence is
+            # the larger of the histogram and the session's group partition.
+            active_types = max(
+                active_types, len(engine_type.group_counts), len(session.view.groups)
+            )
 
             if run_per_job:
                 engine_job = AllocationEngine(

@@ -333,12 +333,15 @@ class ClusterScheduler:
         """
         if self._config.aggregation != "type" or policy.aggregation == "type":
             return
-        from repro.core.aggregation import supports_type_aggregation
+        from repro.core.aggregation import (
+            AGGREGATION_SUPPORTED_BASES,
+            supports_type_aggregation,
+        )
 
         if not supports_type_aggregation(policy.name):
             raise ConfigurationError(
-                f"policy {policy.name!r} does not support aggregation='type' "
-                "(see repro.core.aggregation.AGGREGATION_SUPPORTED_BASES)"
+                f"policy {policy.name!r} does not support aggregation='type'; "
+                f"supported bases: {sorted(AGGREGATION_SUPPORTED_BASES)}"
             )
         policy.aggregation = "type"
 

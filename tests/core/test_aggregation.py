@@ -86,9 +86,10 @@ class TestAggregationKey:
         assert supports_type_aggregation("max_min_fairness")
         assert supports_type_aggregation("max_total_throughput")
         assert supports_type_aggregation("min_cost")
+        assert supports_type_aggregation("hierarchical")
+        assert supports_type_aggregation("max_min_fairness_water_filling")
         assert not supports_type_aggregation("min_cost_slo")
-        assert not supports_type_aggregation("hierarchical")
-        assert not supports_type_aggregation("max_min_fairness_water_filling")
+        assert not supports_type_aggregation("finish_time_fairness")
 
 
 class TestAggregatedProblemBuild:
@@ -239,7 +240,7 @@ class TestChurnEquivalence:
         with pytest.raises(ConfigurationError, match="aggregation"):
             make_policy("min_cost_slo", aggregation="type")
         with pytest.raises(ConfigurationError, match="aggregation"):
-            make_policy("hierarchical", aggregation="type")
+            make_policy("finish_time_fairness", aggregation="type")
 
     def test_unknown_aggregation_mode_rejected(self):
         with pytest.raises(ConfigurationError):

@@ -357,15 +357,80 @@ class TestAggregatedScheduling:
     def test_type_mode_rejects_unsupported_policy(self, oracle, small_spec):
         config = SchedulerConfig(aggregation="type")
         with pytest.raises(ConfigurationError, match="aggregation"):
-            _scheduler(oracle, small_spec, "max_min_fairness_water_filling", config)
+            _scheduler(oracle, small_spec, "finish_time_fairness", config)
 
     def test_swap_policy_applies_aggregation_mode(self, oracle, small_spec):
         config = SchedulerConfig(aggregation="type")
         scheduler = _scheduler(oracle, small_spec, "max_min_fairness", config)
         swapped = scheduler.swap_policy("min_cost")
         assert swapped.aggregation == "type"
+        # The water-filling family aggregates too since the level loop runs
+        # over group representatives.
+        swapped = scheduler.swap_policy("hierarchical")
+        assert swapped.aggregation == "type"
         with pytest.raises(ConfigurationError, match="aggregation"):
-            scheduler.swap_policy("hierarchical")
+            scheduler.swap_policy("finish_time_fairness")
+
+    @pytest.mark.parametrize("mode", ["round", "ideal", "physical"])
+    @pytest.mark.parametrize(
+        "policy", ["max_min_fairness_water_filling", "hierarchical"]
+    )
+    def test_aggregated_water_filling_snapshot_restore_is_deterministic(
+        self, oracle, small_spec, policy, mode
+    ):
+        """Aggregated level-loop sessions replay byte-for-byte from a snapshot."""
+        from repro.core.aggregation import AggregatedSession
+
+        trace = _trace(oracle, num_jobs=10)
+        config = SchedulerConfig(mode=mode, aggregation="type")
+
+        uninterrupted = _scheduler(oracle, small_spec, policy, config)
+        for job in trace.jobs:
+            uninterrupted.submit(job)
+        uninterrupted.run_until()
+        reference = _result_fingerprint(uninterrupted.result())
+
+        interrupted = _scheduler(oracle, small_spec, policy, config)
+        for job in trace.jobs:
+            interrupted.submit(job)
+        interrupted.run_until(40_000.0)
+        checkpoint = interrupted.snapshot()
+
+        resumed = _scheduler(oracle, small_spec, policy, config)
+        resumed.restore(checkpoint)
+        assert isinstance(resumed._session, AggregatedSession)
+        resumed.run_until()
+        assert _result_fingerprint(resumed.result()) == reference
+
+    def test_mid_churn_swap_into_aggregated_water_filling_restores(
+        self, oracle, small_spec
+    ):
+        """swap_policy into an aggregated iterative policy survives snapshot/restore."""
+        from repro.core.aggregation import AggregatedSession
+        from repro.core.water_filling import WaterFillingSession
+
+        trace = _trace(oracle, num_jobs=10)
+        config = SchedulerConfig(aggregation="type")
+
+        scheduler = _scheduler(oracle, small_spec, "max_min_fairness", config)
+        for job in trace.jobs:
+            scheduler.submit(job)
+        scheduler.run_until(20_000.0)
+        swapped = scheduler.swap_policy("max_min_fairness_water_filling")
+        assert swapped.aggregation == "type"
+        scheduler.run_until(60_000.0)  # several rounds of session history
+        checkpoint = scheduler.snapshot()
+        assert len(checkpoint.session_history) > 1
+        scheduler.run_until()
+        reference = _result_fingerprint(scheduler.result())
+
+        resumed = _scheduler(oracle, small_spec, "max_min_fairness", config)
+        resumed.restore(checkpoint)
+        assert resumed.policy.name == "max_min_fairness_water_filling"
+        assert isinstance(resumed._session, AggregatedSession)
+        assert isinstance(resumed._session.inner, WaterFillingSession)
+        resumed.run_until()
+        assert _result_fingerprint(resumed.result()) == reference
 
     @pytest.mark.parametrize("policy", ["max_min_fairness", "max_min_fairness+ss"])
     def test_snapshot_restore_is_deterministic_under_type_mode(

@@ -112,7 +112,7 @@ class TestCommands:
             [
                 "online",
                 "--policy",
-                "max_min_fairness_water_filling",
+                "finish_time_fairness",
                 "--num-jobs",
                 "4",
                 "--aggregation",
