@@ -15,7 +15,12 @@ from repro.analysis.rules.base import (
     all_rule_codes,
     iter_rule_classes,
 )
-from repro.analysis.rules.determinism import SetIterationRule, UnseededRandomRule, WallClockRule
+from repro.analysis.rules.determinism import (
+    HeapTiebreakRule,
+    SetIterationRule,
+    UnseededRandomRule,
+    WallClockRule,
+)
 from repro.analysis.rules.hygiene import (
     DunderAllConsistencyRule,
     FloatEqualityRule,

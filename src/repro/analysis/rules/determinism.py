@@ -1,10 +1,11 @@
-"""Rules guarding replay determinism (REP002, REP003, REP004).
+"""Rules guarding replay determinism (REP002, REP003, REP004, REP009).
 
 Snapshot/restore and the session-vs-rebuild equivalence harness both depend
 on every run of the scheduler being a pure function of the event log: no
 wall-clock reads outside the pluggable :class:`~repro.scheduler.clock.Clock`,
-no unseeded randomness, and no allocation-ordering decisions fed by the
-iteration order of a ``set``.
+no unseeded randomness, no allocation-ordering decisions fed by the
+iteration order of a ``set``, and no heap entries whose equal-key ordering
+is left to heap-internal sift order instead of a monotone sequence number.
 """
 
 from __future__ import annotations
@@ -14,7 +15,12 @@ from typing import Dict, Iterator, List, Sequence, Set, Tuple
 
 from repro.analysis.rules.base import Rule, register, scope_statements
 
-__all__ = ["SetIterationRule", "UnseededRandomRule", "WallClockRule"]
+__all__ = [
+    "HeapTiebreakRule",
+    "SetIterationRule",
+    "UnseededRandomRule",
+    "WallClockRule",
+]
 
 
 @register
@@ -109,6 +115,74 @@ class UnseededRandomRule(Rule):
                 node,
                 f"`{dotted}(...)` uses the process-global RNG; use an explicitly "
                 "seeded random.Random(seed) or numpy.random.default_rng(seed)",
+            )
+
+
+@register
+class HeapTiebreakRule(Rule):
+    """REP009: heap entries pushed without a monotone sequence tiebreak.
+
+    The scheduler's pending-job and control-event heaps order on
+    ``(time, seq, ...)`` tuples: equal timestamps are broken by a
+    monotonically increasing sequence number, so pops replay in submission
+    order regardless of how ``heapq`` sifts equal keys.  A push whose entry
+    lacks that tiebreak either falls through to comparing payload objects (a
+    ``TypeError`` waiting for the first equal-time pair) or pops in
+    heap-internal order, which ``snapshot()``'s sorted serialization does
+    not — and cannot — preserve.
+    """
+
+    code = "REP009"
+    name = "heap-push-tiebreak"
+    summary = "heapq push without a monotone sequence tiebreak"
+    default_include = ("src/repro/scheduler",)
+
+    _FUNCTIONS = ("heapq.heappush", "heapq.heappushpop")
+    #: Substrings that mark a tuple's second element as a sequence counter.
+    _SEQ_MARKERS = ("seq", "counter", "count", "order", "tick", "index")
+
+    def _is_seq_like(self, node: ast.expr) -> bool:
+        # next(counter) on an itertools.count (or similar) is monotone.
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "next"
+        ):
+            return True
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        else:
+            return False
+        markers = tuple(
+            self.context.option(self.code, "sequence_markers", self._SEQ_MARKERS)
+        )
+        lowered = name.lower()
+        return any(marker in lowered for marker in markers)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self.context.dotted_name(node.func)
+        functions = tuple(self.context.option(self.code, "functions", self._FUNCTIONS))
+        if dotted not in functions:
+            return
+        if len(node.args) < 2:
+            return
+        entry = node.args[1]
+        if not isinstance(entry, ast.Tuple):
+            self.report(
+                node,
+                "heap entry is not a literal tuple; push `(key, seq, payload)` "
+                "with a monotone sequence number so equal keys replay "
+                "deterministically",
+            )
+            return
+        if len(entry.elts) < 2 or not self._is_seq_like(entry.elts[1]):
+            self.report(
+                node,
+                "heap entry lacks a monotone sequence tiebreak in position 2; "
+                "equal-key pops fall back to heap-internal order, which "
+                "snapshot restore does not preserve",
             )
 
 

@@ -48,6 +48,16 @@ _POLICY_SPEC_HELP = (
     "e.g. max_min_fairness+ss or fifo@agnostic"
 )
 
+_MODE_CHOICES = ["round", "ideal", "physical", "continuous"]
+_MODE_HELP = (
+    "scheduling mode: 'round' re-allocates at fixed round boundaries "
+    "(--round-duration), 'physical' adds placement and preemption overheads "
+    "on top of rounds, 'ideal' executes the fluid allocation exactly, and "
+    "'continuous' runs the central event loop — every arrival, completion, "
+    "cancel, resize or policy swap triggers an immediate re-solve, so the "
+    "round duration no longer applies"
+)
+
 
 def _parse_cluster(text: str) -> Dict[str, int]:
     """Parse ``"v100=2,p100=2,k80=2"`` into a counts mapping."""
@@ -158,7 +168,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_arguments(simulate, continuous_default=None)
     simulate.add_argument("--round-duration", type=float, default=360.0,
                           help="scheduling round length in seconds")
-    simulate.add_argument("--mode", choices=["round", "ideal", "physical"], default="round")
+    simulate.add_argument("--mode", choices=_MODE_CHOICES, default="round", help=_MODE_HELP)
 
     sweep = subparsers.add_parser("sweep", help="average JCT versus input job rate")
     sweep.add_argument("--policies", required=True,
@@ -170,7 +180,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--multi-worker", action="store_true")
     sweep.add_argument("--round-duration", type=float, default=360.0,
                        help="scheduling round length in seconds")
-    sweep.add_argument("--mode", choices=["round", "ideal", "physical"], default="round")
+    sweep.add_argument("--mode", choices=_MODE_CHOICES, default="round", help=_MODE_HELP)
     sweep.add_argument("--aggregation", choices=["job", "type"], default="job",
                        help="problem representation: 'job' (one row per job) or "
                             "'type' (solve over groups of interchangeable jobs; "
@@ -187,14 +197,16 @@ def build_parser() -> argparse.ArgumentParser:
             "Events may repeat and are applied in time order, each taking "
             "effect at the first scheduling event boundary at or after its "
             "time (the next round in round/physical mode, the next "
-            "arrival/completion in ideal mode)."
+            "arrival/completion in ideal mode).  With --mode continuous the "
+            "events are queued on the scheduler's own event heap and fire "
+            "exactly at their timestamps."
         ),
     )
     online.add_argument("--policy", required=True, help=_POLICY_SPEC_HELP)
     _add_trace_arguments(online, continuous_default=4.0)
     online.add_argument("--round-duration", type=float, default=360.0,
                         help="scheduling round length in seconds")
-    online.add_argument("--mode", choices=["round", "ideal", "physical"], default="round")
+    online.add_argument("--mode", choices=_MODE_CHOICES, default="round", help=_MODE_HELP)
     online.add_argument("--aggregation", choices=["job", "type"], default="job",
                         help="problem representation: 'job' (one row per job) or "
                              "'type' (solve over groups of interchangeable jobs; "
@@ -337,6 +349,19 @@ def _command_online(args: argparse.Namespace) -> int:
 
     events = _collect_online_events(args)
     log: List[List[object]] = []
+    if config.mode == "continuous":
+        # Continuous mode has its own event heap: queue everything up front
+        # and let each event fire exactly at its timestamp (a scripted cancel
+        # for an already-finished job is skipped by the scheduler).
+        for when, _, kind, payload in events:
+            if kind == "cancel":
+                scheduler.schedule_cancel(int(payload), at=when)
+            elif kind == "resize":
+                scheduler.schedule_resize(payload, at=when)  # type: ignore[arg-type]
+            else:
+                scheduler.schedule_swap_policy(str(payload), at=when)
+            log.append([f"t={when:.0f}s", f"queued {kind}: {payload}"])
+        events = []
     for when, _, kind, payload in events:
         scheduler.run_until(when)
         if kind == "cancel":

@@ -6,6 +6,7 @@ from repro.harness.equivalence import (
     churn_events,
     policy_objective_value,
     run_aggregated_churn_equivalence,
+    run_scheduler_mode_equivalence,
     run_session_churn_equivalence,
     water_filling_level_profile,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "churn_events",
     "policy_objective_value",
     "run_aggregated_churn_equivalence",
+    "run_scheduler_mode_equivalence",
     "run_session_churn_equivalence",
     "water_filling_level_profile",
     "run_policy_on_trace",

@@ -60,6 +60,7 @@ __all__ = [
     "churn_events",
     "run_session_churn_equivalence",
     "run_aggregated_churn_equivalence",
+    "run_scheduler_mode_equivalence",
 ]
 
 #: Relative tolerance for objective-tier comparisons.
@@ -430,6 +431,82 @@ def run_session_churn_equivalence(
         steps += 1
     assert steps >= min_steps, f"{spec}: churn trace produced only {steps} comparisons"
     return {"steps": steps, "exact": exact_steps}
+
+
+def run_scheduler_mode_equivalence(
+    spec: str,
+    oracle: ThroughputOracle,
+    cluster: ClusterSpec,
+    num_jobs: int = 10,
+    jobs_per_hour: float = 6.0,
+    seed: int = 11,
+    horizon_seconds: float = 2_000_000.0,
+) -> Dict[str, int]:
+    """``mode="continuous"`` must reproduce ``mode="ideal"`` byte for byte.
+
+    The continuous event loop is the generalization of ideal fluid stepping —
+    ideal is its zero-overhead special case — so with an identical workload
+    and identical scheduled control events (mid-run cancels, a resize, a
+    same-spec policy hot-swap, all queued on the event heap) the two modes
+    must produce *bit-identical* per-job outcomes, not merely objectives that
+    agree to tolerance.  Any drift means the refactor grew a mode-dependent
+    branch.  Returns ``{"jobs": ..., "cancel_events": ...}`` counters.
+    """
+    from repro.scheduler.service import ClusterScheduler, SchedulerConfig
+
+    trace = TraceGenerator(oracle=oracle).generate_continuous(
+        num_jobs=num_jobs, jobs_per_hour=jobs_per_hour, seed=seed
+    )
+    jobs = [job.with_entity(job.job_id % 3) for job in trace.jobs]
+    first_type = cluster.registry.names[0]
+    mid_run = jobs[len(jobs) // 2].arrival_time + 600.0
+
+    def _run(mode: str) -> "ClusterScheduler":
+        scheduler = ClusterScheduler(
+            policy=make_policy(spec),
+            cluster_spec=cluster,
+            oracle=oracle,
+            config=SchedulerConfig(mode=mode, max_simulated_seconds=horizon_seconds),
+        )
+        for job in jobs:
+            scheduler.submit(job)
+        for index, job in enumerate(jobs):
+            if index % 4 == 2:
+                # May fire after the job already finished; the event loop
+                # skips those, identically in both modes.
+                scheduler.schedule_cancel(job.job_id, at=job.arrival_time + 900.0)
+        scheduler.schedule_resize({first_type: +1}, at=mid_run)
+        scheduler.schedule_swap_policy(spec, at=mid_run + 600.0)
+        scheduler.run_until()
+        return scheduler
+
+    def _fingerprint(scheduler: "ClusterScheduler") -> object:
+        result = scheduler.result()
+        return (
+            {
+                job_id: (
+                    record.completion_time,
+                    record.steps_done,
+                    record.cost_dollars,
+                    record.cancelled,
+                    record.first_allocation_time,
+                )
+                for job_id, record in result.records.items()
+            },
+            result.end_time,
+            result.num_rounds,
+            result.total_cost_dollars,
+            result.allocation_staleness_integral,
+            result.num_allocation_stale_events,
+        )
+
+    ideal = _run("ideal")
+    continuous = _run("continuous")
+    assert _fingerprint(ideal) == _fingerprint(continuous), (
+        f"{spec}: continuous mode diverged from ideal under identical churn"
+    )
+    cancel_events = sum(1 for index in range(len(jobs)) if index % 4 == 2)
+    return {"jobs": len(jobs), "cancel_events": cancel_events}
 
 
 def run_aggregated_churn_equivalence(

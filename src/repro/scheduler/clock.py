@@ -6,6 +6,15 @@ time directly; it asks a :class:`Clock`.  Simulation drives a
 what makes trace replay deterministic and snapshot/restore exact), while a
 live deployment would plug in the :class:`WallClock` stub, whose ``now`` is
 the process clock and whose ``advance_to`` sleeps until the target instant.
+
+The continuous scheduling mode leans on the same contract: the event loop
+computes the next event time (arrival, completion, control event or periodic
+re-solve tick) and calls ``advance_to`` exactly once per event, so under a
+``VirtualClock`` the simulated timeline is the event sequence itself, and the
+scheduler core needs no notion of "sleeping between events".  The monotone
+requirement also covers the sub-epsilon nudge the service applies when a job
+is admitted up to ``_ARRIVAL_EPSILON`` early: the clock moves forward to the
+true admission instant, never backward.
 """
 
 from __future__ import annotations

@@ -21,7 +21,20 @@ from repro.core.throughput_matrix import JobCombination
 from repro.exceptions import SchedulingError
 from repro.scheduler.priorities import PriorityTracker
 
-__all__ = ["ScheduledCombination", "RoundScheduler"]
+__all__ = ["ScheduledCombination", "RoundScheduler", "scheduled_job_ids"]
+
+
+def scheduled_job_ids(scheduled: Sequence["ScheduledCombination"]) -> Tuple[int, ...]:
+    """Sorted ids of every job that received workers in one round.
+
+    The service core stamps each job's first-allocation time (the
+    time-to-first-allocation latency metric) from this set, so the mechanism
+    — not the accounting loop — defines what "allocated" means in round mode.
+    """
+    ids: Set[int] = set()
+    for item in scheduled:
+        ids.update(item.combination)
+    return tuple(sorted(ids))
 
 
 @dataclass(frozen=True)

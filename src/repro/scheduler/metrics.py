@@ -40,10 +40,21 @@ class JobRecord:
     #: Whether the job was cancelled through the online scheduler API before
     #: completing; cancelled jobs never count as completed.
     cancelled: bool = False
+    #: Simulated time at which the job first received a non-zero allocation
+    #: (workers in round mode, fluid throughput in ideal/continuous mode);
+    #: ``None`` while the job is still waiting.
+    first_allocation_time: Optional[float] = None
 
     @property
     def completed(self) -> bool:
         return self.completion_time is not None and not self.cancelled
+
+    @property
+    def time_to_first_allocation(self) -> Optional[float]:
+        """Queueing latency: first allocation minus arrival, in seconds."""
+        if self.first_allocation_time is None:
+            return None
+        return self.first_allocation_time - self.job.arrival_time
 
     @property
     def jct_seconds(self) -> Optional[float]:
@@ -96,6 +107,15 @@ class SimulationResult:
     #: throughput-matrix maintenance), as opposed to solving the policy
     #: optimization itself (``policy_compute_seconds``).
     matrix_prep_seconds: float = 0.0
+    #: Summed incorporation latency (seconds): for every churn event (arrival,
+    #: completion, cancel, resize, policy swap) the delay between the event's
+    #: occurrence and the allocation re-solve that first incorporated it.
+    #: Round mode incorporates events at the next round boundary (~d/2 lag on
+    #: average for duration ``d``); continuous mode re-solves at the event
+    #: instant, so its lag is zero by construction.
+    allocation_staleness_integral: float = 0.0
+    #: Number of churn events the staleness integral summed over.
+    num_allocation_stale_events: int = 0
 
     # -- completion-time metrics --------------------------------------------------
     def completed_job_ids(self) -> List[int]:
@@ -132,6 +152,43 @@ class SimulationResult:
         if not self.records:
             return 0.0
         return len(self.completed_job_ids()) / len(self.records)
+
+    # -- allocation-latency metrics -------------------------------------------------
+    def time_to_first_allocation_values(
+        self, job_ids: Optional[Iterable[int]] = None
+    ) -> List[float]:
+        """Per-job queueing latencies (first allocation minus arrival), in seconds."""
+        selected = set(job_ids) if job_ids is not None else set(self.records)
+        values: List[float] = []
+        for job_id in sorted(selected):
+            record = self.records.get(job_id)
+            if record is None:
+                continue
+            latency = record.time_to_first_allocation
+            if latency is not None:
+                values.append(latency)
+        return values
+
+    def average_time_to_first_allocation_seconds(
+        self, job_ids: Optional[Iterable[int]] = None
+    ) -> float:
+        """Mean time-to-first-allocation over jobs that were ever allocated."""
+        values = self.time_to_first_allocation_values(job_ids)
+        if not values:
+            raise ConfigurationError("no jobs ever received an allocation")
+        return float(np.mean(values))
+
+    def mean_allocation_staleness_seconds(self) -> float:
+        """Average delay before a churn event is incorporated into a solve.
+
+        Zero when no churn events were incorporated yet.  For round mode with
+        duration ``d`` this tends to ``d / 2`` (events wait for the next round
+        boundary); continuous mode re-solves at the event instant, so it is
+        exactly zero.
+        """
+        if self.num_allocation_stale_events <= 0:
+            return 0.0
+        return self.allocation_staleness_integral / self.num_allocation_stale_events
 
     # -- fairness metrics -----------------------------------------------------------
     def finish_time_fairness_values(

@@ -13,6 +13,12 @@ through an event API instead of a closed trace loop:
 * :meth:`~ClusterScheduler.resize` — grow or shrink the cluster mid-run;
 * :meth:`~ClusterScheduler.swap_policy` — hot-swap the scheduling policy,
   rebuilding the policy session from the live engine state;
+* :meth:`~ClusterScheduler.schedule_cancel` /
+  :meth:`~ClusterScheduler.schedule_resize` /
+  :meth:`~ClusterScheduler.schedule_swap_policy` — queue any of the above on
+  the central control-event heap for a future instant; in ``continuous`` mode
+  the event fires (and triggers an incremental re-allocation) exactly at its
+  timestamp, in the round modes at the first round boundary at or after it;
 * :meth:`~ClusterScheduler.step` / :meth:`~ClusterScheduler.run_until` —
   advance the scheduler by one event or until a time horizon;
 * :meth:`~ClusterScheduler.status` / :meth:`~ClusterScheduler.result` —
@@ -20,12 +26,19 @@ through an event API instead of a closed trace loop:
 * :meth:`~ClusterScheduler.snapshot` / :meth:`~ClusterScheduler.restore` —
   checkpoint and resume a long run deterministically.
 
-Time comes from a pluggable :class:`~repro.scheduler.clock.Clock`: the
-simulator drives a :class:`~repro.scheduler.clock.VirtualClock`, a live
-deployment would plug in a :class:`~repro.scheduler.clock.WallClock`.  The
-:class:`~repro.simulator.simulator.Simulator` is now a thin trace-replay
-driver over this core (``submit`` every trace job, ``run_until`` the end) and
-reproduces the pre-refactor results exactly in all three execution modes.
+Execution comes in four modes.  ``round``/``physical`` run the Section 5
+round mechanism; ``continuous`` replaces the round boundary with a central
+event heap — arrivals, completions, scheduled cancels/resizes/policy swaps
+and optional periodic re-solve ticks — where every event triggers an
+incremental re-allocation through the live policy session (Firmament-style
+event-driven scheduling); ``ideal`` is the zero-overhead special case of that
+same event loop (no control events, no ticks — the fluid baseline of
+Figure 13b).  Time comes from a pluggable
+:class:`~repro.scheduler.clock.Clock`: the simulator drives a
+:class:`~repro.scheduler.clock.VirtualClock`, a live deployment would plug in
+a :class:`~repro.scheduler.clock.WallClock`.  The
+:class:`~repro.simulator.simulator.Simulator` is a thin trace-replay driver
+over this core (``submit`` every trace job, ``run_until`` the end).
 """
 
 from __future__ import annotations
@@ -52,7 +65,7 @@ from repro.core.session import PolicyDelta, PolicySession, RebuildSession
 from repro.core.throughput_matrix import ThroughputMatrix, build_throughput_matrix
 from repro.exceptions import ConfigurationError, SchedulingError, UnknownJobError
 from repro.scheduler.clock import Clock, VirtualClock
-from repro.scheduler.mechanism import RoundScheduler
+from repro.scheduler.mechanism import RoundScheduler, scheduled_job_ids
 from repro.scheduler.metrics import JobRecord, SimulationResult
 from repro.scheduler.priorities import PriorityTracker
 from repro.workloads.colocation import ColocationModel
@@ -77,11 +90,23 @@ class SchedulerConfig:
     Attributes:
         round_duration_seconds: Length of one scheduling round (paper default
             6 minutes; 20 minutes for the physical cluster runs).
-        mode: ``"round"`` (the full Section 5 mechanism), ``"ideal"`` (jobs
-            progress continuously at exactly their allocation's effective
-            throughput — the baseline of Figure 13b) or ``"physical"``
-            (``round`` plus per-preemption checkpoint overhead and seeded
-            throughput jitter, standing in for the paper's 48-GPU cluster).
+        mode: ``"round"`` (the full Section 5 mechanism), ``"continuous"``
+            (event-driven: a central event heap of arrivals, completions,
+            scheduled control events and optional periodic re-solve ticks,
+            each triggering an incremental re-allocation at event granularity
+            instead of at round boundaries), ``"ideal"`` (the zero-overhead
+            special case of the continuous event loop: jobs progress fluidly
+            at exactly their allocation's effective throughput — the baseline
+            of Figure 13b) or ``"physical"`` (``round`` plus per-preemption
+            checkpoint overhead and seeded throughput jitter, standing in for
+            the paper's 48-GPU cluster).
+        resolve_interval_seconds: Continuous mode only: when set, the event
+            loop additionally re-solves on a periodic grid (the next tick is
+            the next multiple of the interval), bounding allocation staleness
+            for time-sensitive policies even when no arrival/completion/
+            control event fires.  Grid alignment keeps the tick schedule a
+            pure function of the clock, so snapshots need no extra tick
+            state.  ``None`` (the default) re-solves on events only.
         checkpoint_overhead_seconds: Time lost when a job is preempted or
             migrated at a round boundary (physical mode only).  The overhead
             window holds the accelerator, so it is billed and counted as busy
@@ -123,6 +148,7 @@ class SchedulerConfig:
 
     round_duration_seconds: float = 360.0
     mode: str = "round"
+    resolve_interval_seconds: Optional[float] = None
     checkpoint_overhead_seconds: float = 5.0
     throughput_jitter_std: float = 0.02
     seed: int = 0
@@ -135,8 +161,15 @@ class SchedulerConfig:
     def __post_init__(self) -> None:
         if self.round_duration_seconds <= 0:
             raise ConfigurationError("round_duration_seconds must be positive")
-        if self.mode not in ("round", "ideal", "physical"):
+        if self.mode not in ("round", "ideal", "physical", "continuous"):
             raise ConfigurationError(f"unknown simulator mode {self.mode!r}")
+        if self.resolve_interval_seconds is not None:
+            if self.mode != "continuous":
+                raise ConfigurationError(
+                    "resolve_interval_seconds requires mode='continuous'"
+                )
+            if self.resolve_interval_seconds <= 0:
+                raise ConfigurationError("resolve_interval_seconds must be positive")
         if self.aggregation not in ("job", "type"):
             raise ConfigurationError(
                 f"unknown aggregation mode {self.aggregation!r}; expected 'job' or 'type'"
@@ -154,6 +187,12 @@ class _JobState:
     """Mutable per-job execution state."""
 
     job: Job
+    #: True admission instant: ``max(arrival_time, clock at admission)``.
+    #: Admission may run up to ``_ARRIVAL_EPSILON`` before the nominal
+    #: arrival (float slack in the pending-heap comparison); recording the
+    #: real instant — and nudging the clock up to it — keeps policy-visible
+    #: elapsed times non-negative without clamping.
+    admitted_at: float = 0.0
     steps_done: float = 0.0
     last_accelerator: Optional[str] = None
     was_running_last_round: bool = False
@@ -178,6 +217,9 @@ class SchedulerStatus:
     num_rounds: int
     num_policy_recomputations: int
     total_cost_dollars: float
+    #: Control events (scheduled cancels/resizes/policy swaps) still queued
+    #: on the central event heap.
+    num_queued_events: int
 
     @property
     def has_work(self) -> bool:
@@ -209,7 +251,12 @@ class SchedulerSnapshot:
     capacity_epochs: List[Tuple[float, ClusterSpec]]
     pending: List[Tuple[float, int, Job]]
     submit_seq: int
-    active: List[Tuple[Job, float, Optional[str], bool]]
+    #: Queued control events ``(time, seq, kind, payload)`` in deterministic
+    #: (time, sequence) order; the seq tiebreak makes equal-timestamp events
+    #: replay identically.
+    event_heap: List[Tuple[float, int, str, object]]
+    event_seq: int
+    active: List[Tuple[Job, float, float, Optional[str], bool]]
     records: Dict[int, JobRecord]
     busy_seconds: Dict[str, float]
     checkpoint_seconds: Dict[str, float]
@@ -219,6 +266,11 @@ class SchedulerSnapshot:
     policy_seconds: float
     matrix_seconds: float
     allocation_stale: bool
+    #: Churn events (by occurrence time) not yet incorporated into a solve,
+    #: plus the incorporation-latency accumulators already banked.
+    stale_event_times: List[float]
+    staleness_integral: float
+    staleness_events: int
     tracker_allocation: Optional[Allocation]
     tracker_state: Optional[Dict[Tuple[int, ...], np.ndarray]]
     rng_state: dict
@@ -290,6 +342,11 @@ class ClusterScheduler:
         self._pending_ids: Set[int] = set()
         self._cancelled_pending: Set[int] = set()
         self._submit_seq = 0
+        #: Central control-event heap: (time, seq, kind, payload).  The
+        #: monotone ``_event_seq`` tiebreak keeps equal-timestamp events in
+        #: submission order, so replay and snapshot/restore are exact.
+        self._event_heap: List[Tuple[float, int, str, object]] = []
+        self._event_seq = 0
         self._active: Dict[int, _JobState] = {}
         self._records: Dict[int, JobRecord] = {}
 
@@ -304,6 +361,15 @@ class ClusterScheduler:
         self._recomputations = 0
         self._policy_seconds = 0.0
         self._matrix_seconds = 0.0
+        #: Allocation-staleness accounting: occurrence times of churn events
+        #: (arrivals, completions, cancels, resizes, policy swaps) not yet
+        #: reflected in a policy solve, plus the running sum of their
+        #: incorporation lags (solve time minus occurrence time) and count.
+        #: Continuous mode re-solves at the event instant, driving the lag to
+        #: zero; round mode holds events until the next boundary.
+        self._stale_event_times: List[float] = []
+        self._staleness_integral = 0.0
+        self._staleness_events = 0
 
         self._allocation_stale = True
         self._tracker: Optional[PriorityTracker] = None
@@ -403,6 +469,7 @@ class ClusterScheduler:
             num_rounds=self._num_rounds,
             num_policy_recomputations=self._recomputations,
             total_cost_dollars=self._total_cost,
+            num_queued_events=len(self._event_heap),
         )
 
     # -- event API: job churn -----------------------------------------------------------
@@ -417,7 +484,11 @@ class ClusterScheduler:
         if job.job_id in self._records:
             raise ConfigurationError(f"job {job.job_id} was already submitted")
         self._records[job.job_id] = JobRecord(job=job)
-        heapq.heappush(self._pending, (job.arrival_time, self._submit_seq, job))
+        # The heap key is the *effective* arrival: a nominal arrival time in
+        # the past is clamped to the submit instant, since the scheduler
+        # cannot see (or incorporate) a job before it is submitted.
+        effective_arrival = max(job.arrival_time, self._clock.now())
+        heapq.heappush(self._pending, (effective_arrival, self._submit_seq, job))
         self._pending_ids.add(job.job_id)
         self._submit_seq += 1
 
@@ -435,6 +506,7 @@ class ClusterScheduler:
             self._matrix_seconds += _time.perf_counter() - start
             self._records[job_id].cancelled = True
             self._allocation_stale = True
+            self._note_churn(self._clock.now())
         elif job_id in self._pending_ids:
             self._pending_ids.discard(job_id)
             self._cancelled_pending.add(job_id)
@@ -445,6 +517,78 @@ class ClusterScheduler:
             )
         else:
             raise UnknownJobError(f"job {job_id} was never submitted")
+
+    def _note_churn(self, occurred_at: float) -> None:
+        """Record a churn event awaiting incorporation into a policy solve.
+
+        The next fresh solve at time ``T`` adds ``T - occurred_at`` to the
+        allocation-staleness integral — the latency between the cluster state
+        changing and the in-effect allocation reflecting it.
+        """
+        self._stale_event_times.append(occurred_at)
+
+    # -- event API: scheduled control events -------------------------------------------------
+    def _schedule_event(self, at: float, kind: str, payload: object) -> None:
+        when = float(at)
+        if not math.isfinite(when) or when < 0:
+            raise ConfigurationError(f"control-event time must be finite and >= 0, got {at!r}")
+        heapq.heappush(self._event_heap, (when, self._event_seq, kind, payload))
+        self._event_seq += 1
+
+    def schedule_cancel(self, job_id: int, at: float) -> None:
+        """Queue a :meth:`cancel` of ``job_id`` for scheduler time ``at``.
+
+        In ``continuous`` mode the cancellation fires exactly at ``at`` (the
+        event heap wakes the loop there); in the round modes it applies at
+        the first round boundary at or after ``at``.  A job that has already
+        completed or been cancelled when the event fires is skipped silently
+        — completion times are not known when the event is scheduled.
+        """
+        if job_id not in self._records:
+            raise UnknownJobError(f"job {job_id} was never submitted")
+        self._schedule_event(at, "cancel", job_id)
+
+    def schedule_resize(self, cluster: "ClusterSpec | Mapping[str, int]", at: float) -> None:
+        """Queue a :meth:`resize` (full spec or per-type deltas) for time ``at``."""
+        self._schedule_event(at, "resize", cluster)
+
+    def schedule_swap_policy(self, policy: "Policy | str", at: float) -> None:
+        """Queue a :meth:`swap_policy` to ``policy`` for scheduler time ``at``."""
+        self._schedule_event(at, "swap_policy", policy)
+
+    def _peek_control_event(self) -> Optional[Tuple[float, int, str, object]]:
+        return self._event_heap[0] if self._event_heap else None
+
+    def _apply_due_control_events(self, current_time: float) -> bool:
+        """Fire every queued control event with timestamp <= ``current_time``.
+
+        Events fire in (time, sequence) order.  Cancels of jobs that already
+        left the scheduler are skipped; resizes and policy swaps apply
+        unconditionally and mark the allocation stale through their
+        respective methods.
+        """
+        applied = False
+        while self._event_heap and self._event_heap[0][0] <= current_time:
+            when, _seq, kind, payload = heapq.heappop(self._event_heap)
+            notes_before = len(self._stale_event_times)
+            if kind == "cancel":
+                try:
+                    self.cancel(int(payload))  # type: ignore[arg-type]
+                except (SchedulingError, UnknownJobError):
+                    continue  # the job beat its scripted cancel time
+            elif kind == "resize":
+                self.resize(payload)  # type: ignore[arg-type]
+            elif kind == "swap_policy":
+                self.swap_policy(payload)  # type: ignore[arg-type]
+            else:
+                raise SchedulingError(f"unknown control-event kind {kind!r}")
+            if len(self._stale_event_times) > notes_before:
+                # The underlying method noted the churn at the fire instant;
+                # staleness must count from the *scheduled* timestamp — in
+                # round mode the gap to the firing boundary is real latency.
+                self._stale_event_times[-1] = when
+            applied = True
+        return applied
 
     # -- event API: cluster and policy churn ------------------------------------------------
     def resize(self, cluster: "ClusterSpec | Mapping[str, int]") -> ClusterSpec:
@@ -479,6 +623,7 @@ class ClusterScheduler:
         # fresh one at the next step.
         self._allocation_stale = True
         self._tracker = None
+        self._note_churn(self._clock.now())
         return new_spec
 
     def swap_policy(self, policy: "Policy | str") -> Policy:
@@ -502,6 +647,7 @@ class ClusterScheduler:
         self._session_history = []
         self._allocation_stale = True
         self._tracker = None
+        self._note_churn(self._clock.now())
         return old_policy
 
     def _rebuild_engine(self) -> None:
@@ -519,15 +665,20 @@ class ClusterScheduler:
 
         In ``round``/``physical`` mode an event is one scheduling round
         (admission, allocation recomputation if stale, Algorithm 1 selection,
-        placement, execution, accounting); in ``ideal`` mode it is the span to
-        the next arrival or completion at fluid progress rates.
+        placement, execution, accounting); in ``ideal``/``continuous`` mode
+        it is the span to the next event — arrival, completion, scheduled
+        control event or re-solve tick — at fluid progress rates.
+
+        The simulation cap is inclusive-exclusive: a step may only *start*
+        strictly before ``max_simulated_seconds``, so a round starting
+        exactly at the cap does not execute (and overshoot it).
         """
         if not self.has_work:
             return False
-        if self._clock.now() > self._config.max_simulated_seconds:
+        if self._clock.now() >= self._config.max_simulated_seconds:
             return False
-        if self._config.mode == "ideal":
-            self._step_ideal()
+        if self._config.mode in ("ideal", "continuous"):
+            self._step_continuous()
         else:
             self._step_round()
         return self.has_work
@@ -538,25 +689,33 @@ class ClusterScheduler:
         Steps are atomic: a step that starts before ``until`` runs to its
         end, so the clock overshoots — by up to one round in
         ``round``/``physical`` mode, and up to the span to the next
-        arrival/completion in ``ideal`` mode (fluid allocations only change
-        at event boundaries, so there is no meaningful intermediate state to
-        stop at).  Online interventions issued after ``run_until(t)``
-        therefore take effect at the first event boundary at or after ``t``.
+        arrival/completion/control-event/tick in ``ideal``/``continuous``
+        mode (fluid allocations only change at event boundaries, so there is
+        no meaningful intermediate state to stop at).  Online interventions
+        issued after ``run_until(t)`` therefore take effect at the first
+        event boundary at or after ``t``; events queued via
+        ``schedule_*`` fire at their own timestamps instead.  A step never
+        *starts* at or past ``max_simulated_seconds``, so the cap is
+        overshot by at most the tail of the last step that began before it.
         With the default horizon this drains every submitted job — exactly
         the trace-replay loop the simulator runs.
         """
         while self.has_work:
             now = self._clock.now()
-            if now > self._config.max_simulated_seconds:
+            if now >= self._config.max_simulated_seconds:
                 break
             if now >= until:
                 break
             if not self._active:
                 head = self._peek_pending()
-                if head is not None and head[0] >= until:
-                    break  # idle gap: the next arrival is beyond the horizon
+                control = self._peek_control_event()
+                next_control = control[0] if control is not None else math.inf
+                if head is not None and head[0] >= until and next_control >= until:
+                    break  # idle gap: the next arrival/event is beyond the horizon
             self.step()
         if math.isfinite(until):
+            # The clamp mirrors the step guard: the clock never parks past the
+            # simulation cap on account of the caller's horizon alone.
             self._clock.advance_to(min(until, self._config.max_simulated_seconds))
         return self
 
@@ -564,10 +723,9 @@ class ClusterScheduler:
     def result(self) -> SimulationResult:
         """Aggregate metrics for everything executed so far."""
         end_time = self._clock.now()
-        suffix = " (ideal)" if self._config.mode == "ideal" else ""
-        checkpoint = (
-            {} if self._config.mode == "ideal" else dict(self._checkpoint_seconds)
-        )
+        fluid = self._config.mode in ("ideal", "continuous")
+        suffix = f" ({self._config.mode})" if fluid else ""
+        checkpoint = {} if fluid else dict(self._checkpoint_seconds)
         return SimulationResult(
             policy_name=f"{self._policy.display_name}{suffix}",
             records=self._records,
@@ -581,6 +739,8 @@ class ClusterScheduler:
             num_policy_recomputations=self._recomputations,
             checkpoint_worker_seconds=checkpoint,
             matrix_prep_seconds=self._matrix_seconds,
+            allocation_staleness_integral=self._staleness_integral,
+            num_allocation_stale_events=self._staleness_events,
         )
 
     def _capacity_worker_seconds(self, end_time: float) -> Dict[str, float]:
@@ -636,8 +796,16 @@ class ClusterScheduler:
             capacity_epochs=list(self._capacity_epochs),
             pending=pending,
             submit_seq=self._submit_seq,
+            event_heap=sorted(self._event_heap),
+            event_seq=self._event_seq,
             active=[
-                (state.job, state.steps_done, state.last_accelerator, state.was_running_last_round)
+                (
+                    state.job,
+                    state.admitted_at,
+                    state.steps_done,
+                    state.last_accelerator,
+                    state.was_running_last_round,
+                )
                 for state in self._active.values()
             ],
             records=copy.deepcopy(self._records),
@@ -649,6 +817,9 @@ class ClusterScheduler:
             policy_seconds=self._policy_seconds,
             matrix_seconds=self._matrix_seconds,
             allocation_stale=self._allocation_stale,
+            stale_event_times=list(self._stale_event_times),
+            staleness_integral=self._staleness_integral,
+            staleness_events=self._staleness_events,
             tracker_allocation=tracker.allocation if tracker is not None else None,
             tracker_state=tracker.snapshot_state() if tracker is not None else None,
             rng_state=copy.deepcopy(self._rng.bit_generator.state),
@@ -675,14 +846,18 @@ class ClusterScheduler:
         self._pending_ids = {job.job_id for _, _, job in self._pending}
         self._cancelled_pending = set()
         self._submit_seq = snapshot.submit_seq
+        self._event_heap = list(snapshot.event_heap)
+        heapq.heapify(self._event_heap)
+        self._event_seq = snapshot.event_seq
         self._active = {
             job.job_id: _JobState(
                 job=job,
+                admitted_at=admitted_at,
                 steps_done=steps_done,
                 last_accelerator=last_accelerator,
                 was_running_last_round=was_running,
             )
-            for job, steps_done, last_accelerator, was_running in snapshot.active
+            for job, admitted_at, steps_done, last_accelerator, was_running in snapshot.active
         }
         self._records = copy.deepcopy(snapshot.records)
         self._busy_seconds = dict(snapshot.busy_seconds)
@@ -692,6 +867,9 @@ class ClusterScheduler:
         self._recomputations = snapshot.recomputations
         self._policy_seconds = snapshot.policy_seconds
         self._matrix_seconds = snapshot.matrix_seconds
+        self._stale_event_times = list(snapshot.stale_event_times)
+        self._staleness_integral = snapshot.staleness_integral
+        self._staleness_events = snapshot.staleness_events
         self._rng = np.random.default_rng(self._config.seed)
         self._rng.bit_generator.state = copy.deepcopy(snapshot.rng_state)
         self._rebuild_engine()
@@ -743,8 +921,18 @@ class ClusterScheduler:
         return None
 
     def _admit_arrivals(self, current_time: float) -> bool:
-        """Move every job whose arrival time has come into the active set."""
+        """Move every job whose arrival time has come into the active set.
+
+        The pending-heap comparison allows an ``_ARRIVAL_EPSILON`` of float
+        slack, so a job can be admitted marginally *before* its nominal
+        arrival time.  The true admission instant is recorded as
+        ``max(arrival_time, current_time)`` and the clock is nudged up to the
+        latest such instant, so every later ``now() - admitted_at`` elapsed
+        time is non-negative by construction — no clamping downstream.
+        Callers must re-read the clock after admission.
+        """
         admitted = False
+        latest_admission = current_time
         while True:
             head = self._peek_pending()
             if head is None or head[0] > current_time + _ARRIVAL_EPSILON:
@@ -752,11 +940,21 @@ class ClusterScheduler:
             heapq.heappop(self._pending)
             job = head[2]
             self._pending_ids.discard(job.job_id)
-            self._active[job.job_id] = _JobState(job=job)
+            admitted_at = max(job.arrival_time, current_time)
+            latest_admission = max(latest_admission, admitted_at)
+            self._active[job.job_id] = _JobState(job=job, admitted_at=admitted_at)
+            # Staleness counts from the *effective* arrival (the heap key): a
+            # job waiting in the pending queue for a round boundary is
+            # unincorporated churn from the moment it became visible.
+            self._note_churn(head[0])
             start = _time.perf_counter()
             self._engine.add_job(job)
             self._matrix_seconds += _time.perf_counter() - start
             admitted = True
+        if latest_admission > current_time:
+            # An epsilon-early admission: advance (<= _ARRIVAL_EPSILON) so the
+            # solve that follows sees current_time >= every admission instant.
+            self._clock.advance_to(latest_admission)
         return admitted
 
     def _build_problem(self, current_time: float, matrix: ThroughputMatrix) -> PolicyProblem:
@@ -764,8 +962,12 @@ class ClusterScheduler:
         steps_remaining = {
             job_id: state.steps_remaining for job_id, state in self._active.items()
         }
+        # Time in service since the recorded admission instant.  Admission
+        # guarantees current_time >= admitted_at, so no clamp is needed — a
+        # negative value here would be a real time-accounting bug and must
+        # not be masked.
         elapsed = {
-            job_id: max(0.0, current_time - state.job.arrival_time)
+            job_id: current_time - state.admitted_at
             for job_id, state in self._active.items()
         }
         return PolicyProblem(
@@ -803,6 +1005,15 @@ class ClusterScheduler:
         allocation = self._session.solve(problem)
         self._policy_seconds += _time.perf_counter() - start
         self._recomputations += 1
+        # This solve incorporates every churn event noted since the previous
+        # one; each waited (solve time - occurrence time) to take effect.
+        if self._stale_event_times:
+            self._staleness_integral += sum(
+                max(0.0, current_time - occurred_at)
+                for occurred_at in self._stale_event_times
+            )
+            self._staleness_events += len(self._stale_event_times)
+            self._stale_event_times.clear()
         return allocation
 
     def _execution_throughput(
@@ -845,8 +1056,12 @@ class ClusterScheduler:
             if head is not None:
                 self._clock.advance_to(head[0])
         current_time = self._clock.now()
+        # Scheduled control events apply at the first round boundary at or
+        # after their timestamp — before admission and the allocation solve.
+        self._apply_due_control_events(current_time)
         if self._admit_arrivals(current_time):
             self._allocation_stale = True
+        current_time = self._clock.now()
         if not self._active:
             return
 
@@ -868,6 +1083,9 @@ class ClusterScheduler:
         completed_this_round: List[Tuple[int, float]] = []
         running_jobs: Set[int] = set()
         records = self._records
+        for job_id in scheduled_job_ids(scheduled):
+            if records[job_id].first_allocation_time is None:
+                records[job_id].first_allocation_time = current_time
         for item in scheduled:
             combination = item.combination
             accelerator_name = item.accelerator_name
@@ -944,21 +1162,52 @@ class ClusterScheduler:
             start = _time.perf_counter()
             self._engine.remove_job(job_id)
             self._matrix_seconds += _time.perf_counter() - start
+            self._note_churn(finish_time)
         if completed_this_round:
             self._allocation_stale = True
 
         self._clock.advance_to(round_end)
         self._num_rounds += 1
 
-    # -- internals: ideal (fluid) stepping --------------------------------------------------------
-    def _step_ideal(self) -> None:
-        """One fluid event: solve, progress every job to the next arrival/completion."""
+    # -- internals: continuous (event-driven fluid) stepping --------------------------------------
+    def _next_resolve_tick(self, current_time: float) -> float:
+        """Next grid-aligned periodic re-solve instant strictly after ``current_time``.
+
+        The grid (multiples of ``resolve_interval_seconds``) is a pure
+        function of the clock, so the tick schedule needs no snapshot state.
+        """
+        interval = self._config.resolve_interval_seconds
+        if interval is None:
+            return math.inf
+        return (math.floor(current_time / interval) + 1) * interval
+
+    def _step_continuous(self) -> None:
+        """One fluid event: fire due events, re-solve, progress to the next event.
+
+        This is the central event loop of ``continuous`` mode: the next event
+        is the earliest of (a) the next arrival, (b) the earliest completion
+        at the current fluid rates, (c) the next queued control event
+        (scheduled cancel/resize/policy swap), and (d) the next periodic
+        re-solve tick.  Every event boundary triggers an incremental
+        re-allocation through the live policy session.  ``ideal`` mode is
+        exactly this loop with an empty control heap and no ticks.
+        """
         if not self._active:
+            # Idle: jump to whichever comes first — the next arrival or the
+            # next queued control event — but never into or past the cap;
+            # the step guard's "no step starts at or past the cap" contract
+            # must hold for the jump inside the step too.
             head = self._peek_pending()
-            if head is not None:
-                self._clock.advance_to(head[0])
+            control = self._peek_control_event()
+            targets = [entry[0] for entry in (head, control) if entry is not None]
+            if targets:
+                self._clock.advance_to(min(min(targets), self._config.max_simulated_seconds))
         current_time = self._clock.now()
+        if current_time >= self._config.max_simulated_seconds:
+            return
+        self._apply_due_control_events(current_time)
         self._admit_arrivals(current_time)
+        current_time = self._clock.now()
         if not self._active:
             return
 
@@ -968,7 +1217,10 @@ class ClusterScheduler:
         throughputs = {
             job_id: effective_throughput(matrix, allocation, job_id) for job_id in self._active
         }
-        # Time to the next event: the next arrival or the earliest completion.
+        for job_id, throughput in throughputs.items():
+            if throughput > 0 and self._records[job_id].first_allocation_time is None:
+                self._records[job_id].first_allocation_time = current_time
+        # Time to the next event.
         head = self._peek_pending()
         next_arrival = head[0] if head is not None else math.inf
         earliest_completion = math.inf
@@ -978,9 +1230,18 @@ class ClusterScheduler:
                 earliest_completion = min(
                     earliest_completion, current_time + state.steps_remaining / throughput
                 )
-        next_event = min(next_arrival, earliest_completion)
+        control = self._peek_control_event()
+        next_control = control[0] if control is not None else math.inf
+        next_event = min(
+            next_arrival,
+            earliest_completion,
+            next_control,
+            self._next_resolve_tick(current_time),
+        )
         if not math.isfinite(next_event):
-            raise SchedulingError("ideal execution stalled: no job can make progress")
+            raise SchedulingError(
+                f"{self._config.mode} execution stalled: no job can make progress"
+            )
         dt = max(0.0, next_event - current_time)
 
         names = self._cluster_spec.registry.names
@@ -1006,6 +1267,9 @@ class ClusterScheduler:
                 start = _time.perf_counter()
                 self._engine.remove_job(job_id)
                 self._matrix_seconds += _time.perf_counter() - start
+                # Incorporated by the solve at the very next event boundary,
+                # i.e. at the completion instant itself — zero staleness.
+                self._note_churn(record.completion_time)
 
         self._clock.advance_to(next_event)
         self._num_rounds += 1

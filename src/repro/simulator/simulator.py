@@ -7,7 +7,7 @@ simulator is the thin replay client of that API: it submits every trace job
 up front, drives a :class:`~repro.scheduler.clock.VirtualClock` to the end of
 the workload, and returns the collected metrics.
 
-Three execution modes cover the paper's experiments (see
+Four execution modes cover the paper's experiments (see
 :class:`~repro.scheduler.service.SchedulerConfig`):
 
 * ``round`` (default) — the full Section 5 mechanism, used everywhere;
@@ -15,7 +15,12 @@ Three execution modes cover the paper's experiments (see
   effective throughput, the baseline of Figure 13b;
 * ``physical`` — like ``round`` but with per-preemption checkpoint overhead
   and a small seeded throughput jitter, standing in for the paper's 48-GPU
-  physical cluster (Table 3).
+  physical cluster (Table 3);
+* ``continuous`` — the Firmament-style central event loop: every arrival,
+  completion, scheduled cancel/resize/policy swap, and optional periodic
+  re-solve tick (``resolve_interval_seconds``) triggers an incremental
+  re-allocation through the live policy session; ``ideal`` is its
+  zero-overhead special case (empty control heap, no ticks).
 
 ``SimulatorConfig`` is the historical name of the shared
 :class:`~repro.scheduler.service.SchedulerConfig` and stays importable from

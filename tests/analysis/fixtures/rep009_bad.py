@@ -1,0 +1,19 @@
+"""REP009 fixture: heap pushes whose entries lack a sequence tiebreak."""
+
+import heapq
+
+
+def queue_arrival(pending, arrival_time, job):
+    heapq.heappush(pending, (arrival_time, job))  # expect[REP009]
+
+
+def queue_event(heap, when, payload):
+    heapq.heappush(heap, (when, "cancel", payload))  # expect[REP009]
+
+
+def queue_opaque(heap, entry):
+    heapq.heappush(heap, entry)  # expect[REP009]
+
+
+def rotate(heap, when, payload):
+    return heapq.heappushpop(heap, (when, payload))  # expect[REP009]

@@ -1,0 +1,24 @@
+"""REP009 fixture: every heap entry carries a monotone sequence tiebreak."""
+
+import heapq
+import itertools
+
+_COUNTER = itertools.count()
+
+
+class EventQueue:
+    def __init__(self):
+        self._heap = []
+        self._event_seq = 0
+
+    def push(self, when, payload):
+        heapq.heappush(self._heap, (when, self._event_seq, payload))
+        self._event_seq += 1
+
+
+def queue_with_counter(heap, when, payload):
+    heapq.heappush(heap, (when, next(_COUNTER), payload))
+
+
+def rotate(heap, when, seq, payload):
+    return heapq.heappushpop(heap, (when, seq, payload))

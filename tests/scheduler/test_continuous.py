@@ -1,0 +1,340 @@
+"""Tests for the continuous (event-driven) scheduling mode.
+
+``mode="continuous"`` runs the central event loop — arrivals, completions,
+scheduled cancels/resizes/policy swaps, optional periodic re-solve ticks —
+with ``ideal`` as its zero-overhead special case.  These tests pin:
+
+* registry-wide byte-equivalence between the two modes under identical
+  scheduled churn (via :func:`repro.harness.run_scheduler_mode_equivalence`);
+* mid-churn snapshot→restore byte-determinism with a queued event heap
+  (cancels/resizes/swaps in flight at snapshot time);
+* the periodic re-solve tick machinery and its config validation;
+* the time-to-first-allocation and allocation-staleness latency metrics;
+* round mode converging toward continuous completion times as the round
+  duration shrinks (the Figure 13 story).
+"""
+
+import heapq
+import math
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.core import available_policies, make_policy
+from repro.exceptions import ConfigurationError, UnknownJobError
+from repro.harness import run_scheduler_mode_equivalence, steady_state_job_ids
+from repro.scheduler import ClusterScheduler, SchedulerConfig
+from repro.workloads import Job, ThroughputOracle, TraceGenerator
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return ThroughputOracle()
+
+
+@pytest.fixture(scope="module")
+def small_spec():
+    return ClusterSpec.from_counts({"v100": 2, "p100": 2, "k80": 2})
+
+
+def _scheduler(oracle, spec, policy="max_min_fairness", config=None):
+    return ClusterScheduler(
+        make_policy(policy) if isinstance(policy, str) else policy,
+        spec,
+        oracle=oracle,
+        config=config,
+    )
+
+
+def _trace(oracle, num_jobs=10, jobs_per_hour=6.0, seed=5):
+    return TraceGenerator(oracle).generate_continuous(
+        num_jobs=num_jobs, jobs_per_hour=jobs_per_hour, seed=seed
+    )
+
+
+def _fingerprint(result):
+    """Every per-job outcome plus the aggregate accumulators, bit-for-bit."""
+    return (
+        {
+            j: (
+                r.completion_time,
+                r.steps_done,
+                r.cost_dollars,
+                r.cancelled,
+                r.first_allocation_time,
+            )
+            for j, r in result.records.items()
+        },
+        result.end_time,
+        result.num_rounds,
+        result.busy_worker_seconds,
+        result.total_cost_dollars,
+        result.allocation_staleness_integral,
+        result.num_allocation_stale_events,
+    )
+
+
+class TestModeEquivalenceRegistryWide:
+    """Continuous must reproduce ideal byte-for-byte for every registry policy."""
+
+    @pytest.mark.parametrize("spec", available_policies())
+    def test_continuous_matches_ideal_under_churn(self, oracle, small_spec, spec):
+        counters = run_scheduler_mode_equivalence(spec, oracle, small_spec)
+        assert counters["jobs"] >= 5
+        assert counters["cancel_events"] >= 1
+
+
+class TestSnapshotRestoreMidChurn:
+    def _loaded_scheduler(self, oracle, small_spec, mode="continuous"):
+        config = SchedulerConfig(mode=mode, max_simulated_seconds=5_000_000.0)
+        scheduler = _scheduler(oracle, small_spec, config=config)
+        trace = _trace(oracle, num_jobs=12, jobs_per_hour=6.0, seed=7)
+        for job in trace.jobs:
+            scheduler.submit(job)
+        # Queue churn both before and far after the snapshot point so the
+        # serialized heap carries events in flight.
+        scheduler.schedule_cancel(2, at=4_000.0)
+        scheduler.schedule_cancel(5, at=40_000.0)
+        scheduler.schedule_resize({"v100": +1}, at=50_000.0)
+        scheduler.schedule_swap_policy("max_min_fairness_ss", at=60_000.0)
+        return scheduler
+
+    def test_mid_churn_snapshot_restore_is_byte_deterministic(self, oracle, small_spec):
+        scheduler = self._loaded_scheduler(oracle, small_spec)
+        scheduler.run_until(10_000.0)
+        snapshot = scheduler.snapshot()
+        # Events scheduled for after the snapshot instant are still queued.
+        assert len(snapshot.event_heap) >= 3
+        assert scheduler.status().num_queued_events >= 3
+
+        restored = _scheduler(
+            oracle,
+            small_spec,
+            config=SchedulerConfig(mode="continuous", max_simulated_seconds=5_000_000.0),
+        )
+        restored.restore(snapshot)
+        scheduler.run_until()
+        restored.run_until()
+        assert _fingerprint(scheduler.result()) == _fingerprint(restored.result())
+        assert scheduler.result().records[5].cancelled
+        assert restored.status().num_queued_events == 0
+
+    def test_snapshot_serializes_heap_in_deterministic_order(self, oracle, small_spec):
+        scheduler = self._loaded_scheduler(oracle, small_spec)
+        scheduler.run_until(10_000.0)
+        snapshot = scheduler.snapshot()
+        # The serialized heap is fully ordered by (time, seq) — no dependence
+        # on the in-memory heap's internal layout.
+        assert snapshot.event_heap == sorted(snapshot.event_heap)
+        restored = _scheduler(
+            oracle,
+            small_spec,
+            config=SchedulerConfig(mode="continuous", max_simulated_seconds=5_000_000.0),
+        )
+        restored.restore(snapshot)
+        again = restored.snapshot()
+        assert again.event_heap == snapshot.event_heap
+        assert again.event_seq == snapshot.event_seq
+
+
+class TestResolveTicks:
+    def test_interval_requires_continuous_mode(self):
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(mode="round", resolve_interval_seconds=60.0)
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(mode="ideal", resolve_interval_seconds=60.0)
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(mode="continuous", resolve_interval_seconds=0.0)
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(mode="continuous", resolve_interval_seconds=-5.0)
+
+    def test_ticks_add_grid_aligned_resolves(self, oracle, small_spec):
+        interval = 500.0
+        config = SchedulerConfig(
+            mode="continuous",
+            resolve_interval_seconds=interval,
+            max_simulated_seconds=5_000_000.0,
+        )
+        scheduler = _scheduler(oracle, small_spec, config=config)
+        baseline = _scheduler(
+            oracle,
+            small_spec,
+            config=SchedulerConfig(mode="continuous", max_simulated_seconds=5_000_000.0),
+        )
+        trace = _trace(oracle, num_jobs=6, jobs_per_hour=4.0, seed=3)
+        for sched in (scheduler, baseline):
+            for job in trace.jobs:
+                sched.submit(job)
+            sched.run_until()
+        ticked = scheduler.result()
+        untouched = baseline.result()
+        # Ticks insert extra event boundaries without losing any work.
+        assert ticked.num_rounds > untouched.num_rounds
+        assert ticked.completion_rate() == 1.0
+        # Grid alignment: some solves land exactly on multiples of the
+        # interval (pure function of the clock — no snapshot state needed).
+        times = [problem.current_time for problem, _ in scheduler._session_history]
+        on_grid = [
+            t for t in times if t > 0 and math.isclose(t % interval, 0.0, abs_tol=1e-6)
+        ]
+        assert on_grid, f"no grid-aligned solves among {times}"
+
+    def test_ticked_run_is_deterministic(self, oracle, small_spec):
+        def run():
+            config = SchedulerConfig(
+                mode="continuous",
+                resolve_interval_seconds=350.0,
+                max_simulated_seconds=5_000_000.0,
+            )
+            scheduler = _scheduler(oracle, small_spec, config=config)
+            for job in _trace(oracle, num_jobs=8, jobs_per_hour=6.0, seed=9).jobs:
+                scheduler.submit(job)
+            scheduler.run_until()
+            return _fingerprint(scheduler.result())
+
+        assert run() == run()
+
+
+class TestLatencyMetrics:
+    def test_time_to_first_allocation_round_mode(self, oracle):
+        # One v100 only: the second job waits until the first completes (FIFO
+        # gives the whole cluster to the head of the queue).
+        spec = ClusterSpec.from_counts({"v100": 1})
+        config = SchedulerConfig(mode="round", round_duration_seconds=360.0)
+        scheduler = _scheduler(oracle, spec, policy="fifo", config=config)
+        scheduler.submit(
+            Job(job_id=0, job_type="resnet18-bs64", total_steps=50_000.0, arrival_time=0.0)
+        )
+        scheduler.submit(
+            Job(job_id=1, job_type="resnet18-bs64", total_steps=50_000.0, arrival_time=0.0)
+        )
+        scheduler.run_until()
+        result = scheduler.result()
+        record0, record1 = result.records[0], result.records[1]
+        assert record0.time_to_first_allocation == 0.0
+        assert record1.time_to_first_allocation is not None
+        assert record1.time_to_first_allocation > 0.0
+        # Job 1 first ran no earlier than job 0's completion round.
+        assert record1.first_allocation_time >= record0.completion_time - 360.0
+        values = result.time_to_first_allocation_values()
+        assert len(values) == 2
+        assert result.average_time_to_first_allocation_seconds() == pytest.approx(
+            sum(values) / 2
+        )
+
+    def test_unallocated_job_has_no_latency_value(self, oracle, small_spec):
+        scheduler = _scheduler(
+            oracle, small_spec, config=SchedulerConfig(mode="round")
+        )
+        scheduler.submit(
+            Job(job_id=0, job_type="resnet18-bs64", total_steps=1e9, arrival_time=1e8)
+        )
+        assert scheduler.result().records[0].time_to_first_allocation is None
+        with pytest.raises(ConfigurationError):
+            scheduler.result().average_time_to_first_allocation_seconds()
+
+    def test_staleness_orders_by_reallocation_granularity(self, oracle, small_spec):
+        # Staleness = mean delay before a churn event (arrival/completion/
+        # control) is incorporated into a re-solve.  Round mode incorporates
+        # at the next round boundary (~d/2 mean lag for duration d);
+        # continuous mode re-solves at the event instant (exactly zero lag).
+        trace = _trace(oracle, num_jobs=8, jobs_per_hour=6.0, seed=5)
+
+        def staleness(config):
+            scheduler = _scheduler(oracle, small_spec, config=config)
+            for job in trace.jobs:
+                scheduler.submit(job)
+            scheduler.run_until()
+            result = scheduler.result()
+            assert result.num_allocation_stale_events > 0
+            return result.mean_allocation_staleness_seconds()
+
+        coarse = staleness(SchedulerConfig(mode="round", round_duration_seconds=2880.0))
+        fine = staleness(SchedulerConfig(mode="round", round_duration_seconds=360.0))
+        continuous = staleness(SchedulerConfig(mode="continuous"))
+        assert continuous == 0.0
+        assert 0.0 < fine < coarse
+        # The mean lag scales with the round duration: coarse rounds are 8x
+        # longer, so their mean incorporation lag is far above fine's, and
+        # both sit in the same ballpark as d/2.
+        assert fine < 360.0
+        assert coarse > fine * 2
+
+    def test_staleness_zero_before_any_execution(self, oracle, small_spec):
+        scheduler = _scheduler(oracle, small_spec)
+        assert scheduler.result().mean_allocation_staleness_seconds() == 0.0
+
+
+class TestControlEventAPI:
+    def test_schedule_cancel_unknown_job_rejected(self, oracle, small_spec):
+        scheduler = _scheduler(oracle, small_spec)
+        with pytest.raises(UnknownJobError):
+            scheduler.schedule_cancel(99, at=100.0)
+
+    @pytest.mark.parametrize("when", [-1.0, math.inf, math.nan])
+    def test_invalid_event_times_rejected(self, oracle, small_spec, when):
+        scheduler = _scheduler(oracle, small_spec)
+        with pytest.raises(ConfigurationError):
+            scheduler.schedule_resize({"v100": +1}, at=when)
+
+    def test_queued_events_visible_in_status_and_drained(self, oracle, small_spec):
+        config = SchedulerConfig(mode="continuous", max_simulated_seconds=5_000_000.0)
+        scheduler = _scheduler(oracle, small_spec, config=config)
+        scheduler.submit(
+            Job(job_id=0, job_type="resnet18-bs64", total_steps=100_000.0, arrival_time=0.0)
+        )
+        scheduler.schedule_resize({"v100": +1}, at=1_000.0)
+        scheduler.schedule_swap_policy("fifo", at=2_000.0)
+        assert scheduler.status().num_queued_events == 2
+        scheduler.run_until()
+        assert scheduler.status().num_queued_events == 0
+        assert scheduler.cluster_spec.count("v100") == 3
+        assert "fifo" in scheduler.result().policy_name
+
+    def test_round_mode_fires_events_at_round_boundaries(self, oracle, small_spec):
+        config = SchedulerConfig(mode="round", round_duration_seconds=360.0)
+        scheduler = _scheduler(oracle, small_spec, config=config)
+        scheduler.submit(
+            Job(job_id=0, job_type="resnet18-bs64", total_steps=100_000.0, arrival_time=0.0)
+        )
+        # Fires at the first round boundary at or after t=500 (i.e. 720).
+        scheduler.schedule_resize({"v100": +1}, at=500.0)
+        scheduler.run_until(700.0)
+        assert scheduler.cluster_spec.count("v100") == 2
+        scheduler.run_until(1100.0)
+        assert scheduler.cluster_spec.count("v100") == 3
+
+    def test_cancel_of_finished_job_is_skipped(self, oracle, small_spec):
+        config = SchedulerConfig(mode="continuous", max_simulated_seconds=5_000_000.0)
+        scheduler = _scheduler(oracle, small_spec, config=config)
+        scheduler.submit(
+            Job(job_id=0, job_type="resnet18-bs64", total_steps=100.0, arrival_time=0.0)
+        )
+        scheduler.schedule_cancel(0, at=4_000_000.0)
+        scheduler.run_until()
+        record = scheduler.result().records[0]
+        assert record.completed
+        assert not record.cancelled
+
+
+class TestRoundConvergence:
+    def test_round_jcts_approach_continuous_as_duration_shrinks(self, oracle, small_spec):
+        trace = _trace(oracle, num_jobs=14, jobs_per_hour=4.0, seed=2)
+        window = steady_state_job_ids(trace)
+
+        def average_jct(config):
+            scheduler = _scheduler(oracle, small_spec, config=config)
+            for job in trace.jobs:
+                scheduler.submit(job)
+            scheduler.run_until()
+            return scheduler.result().average_jct_hours(window)
+
+        continuous = average_jct(SchedulerConfig(mode="continuous"))
+        coarse = average_jct(SchedulerConfig(mode="round", round_duration_seconds=2880.0))
+        fine = average_jct(SchedulerConfig(mode="round", round_duration_seconds=60.0))
+        # The fine-grained round schedule must sit closer to the continuous
+        # limit than the coarse one, and within a tight relative band.
+        assert abs(fine - continuous) <= abs(coarse - continuous) + 1e-9
+        assert fine == pytest.approx(continuous, rel=0.10)

@@ -168,6 +168,60 @@ class TestSoakChurn:
         assert len(program._free_variables) < free_after_cancel
 
 
+class TestContinuousSoak:
+    def test_continuous_churn_keeps_state_bounded(self, oracle, soak_jobs):
+        """The event loop leaves no unbounded state under steady churn.
+
+        Engine rows must track the active set (not the total churn count),
+        the pinned solve history must respect its cap, and scheduled control
+        events must drain off the central heap instead of accumulating.
+        """
+        spec = ClusterSpec.from_counts({"v100": 2, "p100": 2, "k80": 2})
+        config = SchedulerConfig(mode="continuous", max_session_history=8, seed=0)
+        scheduler = ClusterScheduler(
+            make_policy("max_min_fairness+ss"), spec, oracle=oracle, config=config
+        )
+        max_active = 10
+        engine_rows_seen = []
+        heap_seen = []
+        history_seen = []
+        for job in soak_jobs[:max_active]:
+            scheduler.submit(job)
+        next_job = max_active
+        for event in range(160):
+            if not scheduler.step():
+                break
+            status = scheduler.status()
+            # Queue a scheduled cancel a little into the future every fourth
+            # event so the central heap sees steady traffic (cancels landing
+            # on already-finished jobs are skipped, which is fine here).
+            if event % 4 == 0 and status.active_job_ids:
+                scheduler.schedule_cancel(
+                    status.active_job_ids[0], at=status.current_time + 30.0
+                )
+            status = scheduler.status()
+            in_flight = len(status.active_job_ids) + len(status.pending_job_ids)
+            while in_flight < max_active and next_job < len(soak_jobs):
+                scheduler.submit(soak_jobs[next_job])
+                next_job += 1
+                in_flight += 1
+            engine_rows_seen.append(scheduler._engine.num_rows())
+            heap_seen.append(scheduler.status().num_queued_events)
+            history_seen.append(len(scheduler._session_history))
+
+        assert next_job > 100, "soak should have cycled through much of the job list"
+        max_rows = max_active + max_active * (max_active - 1) // 2
+        assert max(engine_rows_seen) <= max_rows
+        # The control heap holds only the not-yet-due cancels (one queued per
+        # four events, each 30 simulated seconds out) — it never accumulates.
+        assert max(heap_seen) <= 12
+        assert max(history_seen) <= config.max_session_history
+        scheduler.run_until(math.inf)
+        assert scheduler.status().num_queued_events == 0
+        # Continuous mode incorporates every churn event at its instant.
+        assert scheduler.result().mean_allocation_staleness_seconds() == 0.0
+
+
 class TestWaterFillingSoak:
     """Churn soak for the water-filling family's persistent level-loop sessions."""
 

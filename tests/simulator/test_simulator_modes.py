@@ -1,4 +1,4 @@
-"""Tests for the ideal and physical simulator modes."""
+"""Tests for the ideal, continuous and physical simulator modes."""
 
 import pytest
 
@@ -60,6 +60,48 @@ class TestIdealMode:
             config=SimulatorConfig(round_duration_seconds=5760.0),
         ).run(trace).average_jct_hours()
         assert abs(short_round - ideal) <= abs(long_round - ideal) + 1e-6
+
+
+class TestContinuousMode:
+    def test_continuous_mode_completes(self, oracle, spec, trace):
+        result = Simulator(
+            make_policy("max_min_fairness"),
+            spec,
+            oracle=oracle,
+            config=SimulatorConfig(mode="continuous"),
+        ).run(trace)
+        assert result.completion_rate() == 1.0
+        assert "(continuous)" in result.policy_name
+        # Continuous mode incorporates churn at the event instant: zero lag.
+        assert result.mean_allocation_staleness_seconds() == 0.0
+
+    def test_continuous_matches_ideal_without_control_events(self, oracle, spec, trace):
+        """With no queued control events, continuous IS the ideal event loop."""
+        ideal = Simulator(
+            make_policy("max_min_fairness"), spec, oracle=oracle,
+            config=SimulatorConfig(mode="ideal"),
+        ).run(trace)
+        continuous = Simulator(
+            make_policy("max_min_fairness"), spec, oracle=oracle,
+            config=SimulatorConfig(mode="continuous"),
+        ).run(trace)
+        assert continuous.end_time == ideal.end_time
+        assert continuous.num_rounds == ideal.num_rounds
+        for job_id, record in ideal.records.items():
+            assert continuous.records[job_id].completion_time == record.completion_time
+            assert continuous.records[job_id].steps_done == record.steps_done
+
+    def test_resolve_ticks_add_solves(self, oracle, spec, trace):
+        plain = Simulator(
+            make_policy("max_min_fairness"), spec, oracle=oracle,
+            config=SimulatorConfig(mode="continuous"),
+        ).run(trace)
+        ticked = Simulator(
+            make_policy("max_min_fairness"), spec, oracle=oracle,
+            config=SimulatorConfig(mode="continuous", resolve_interval_seconds=1800.0),
+        ).run(trace)
+        assert ticked.completion_rate() == 1.0
+        assert ticked.num_rounds > plain.num_rounds
 
 
 class TestPhysicalMode:
